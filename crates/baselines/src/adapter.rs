@@ -1,0 +1,78 @@
+//! Adapter presenting the FreewayML learner through the shared
+//! [`StreamingLearner`] interface, so the evaluation harness drives all
+//! systems identically.
+
+use crate::StreamingLearner;
+use freeway_core::{FreewayConfig, Learner};
+use freeway_linalg::Matrix;
+use freeway_ml::ModelSpec;
+
+/// FreewayML behind the baseline trait.
+pub struct FreewaySystem {
+    learner: Learner,
+}
+
+impl FreewaySystem {
+    /// Wraps an already-configured learner.
+    pub fn new(learner: Learner) -> Self {
+        Self { learner }
+    }
+
+    /// Builds FreewayML with paper defaults for the given architecture.
+    pub fn with_defaults(spec: ModelSpec, seed: u64) -> Self {
+        let config = FreewayConfig { seed, ..Default::default() };
+        Self { learner: Learner::new(spec, config) }
+    }
+
+    /// Builds FreewayML with an explicit configuration.
+    pub fn with_config(spec: ModelSpec, config: FreewayConfig) -> Self {
+        Self { learner: Learner::new(spec, config) }
+    }
+
+    /// Access to the wrapped learner (experiments read knowledge-space
+    /// metrics and strategy statistics through this).
+    pub fn learner(&self) -> &Learner {
+        &self.learner
+    }
+
+    /// Mutable access to the wrapped learner.
+    pub fn learner_mut(&mut self) -> &mut Learner {
+        &mut self.learner
+    }
+}
+
+impl StreamingLearner for FreewaySystem {
+    fn name(&self) -> &'static str {
+        "FreewayML"
+    }
+
+    fn infer(&mut self, x: &Matrix) -> Vec<usize> {
+        self.learner.infer(x).predictions
+    }
+
+    fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        self.learner.train(x, labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    #[test]
+    fn adapter_trains_and_infers() {
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let mut system = FreewaySystem::with_defaults(ModelSpec::lr(5, 2), 0);
+        for _ in 0..25 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            system.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let preds = system.infer(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.8, "FreewayML adapter accuracy {acc}");
+        assert_eq!(system.name(), "FreewayML");
+    }
+}

@@ -1,0 +1,251 @@
+//! Online bagging (Oza & Russell 2001) and leveraging bagging with
+//! ADWIN-triggered member replacement (Bifet et al. 2010).
+//!
+//! Online bagging simulates bootstrap resampling on a stream: each
+//! ensemble member sees every example `k ~ Poisson(λ)` times. With
+//! `λ = 1` this converges to classical bagging; leveraging bagging uses
+//! `λ = 6` for more diversity and pairs each member with an ADWIN
+//! detector that replaces it when its error drifts — River/MOA's
+//! strongest general-purpose streaming ensemble, included here as an
+//! extension baseline.
+
+use crate::plain::PlainSgd;
+use crate::StreamingLearner;
+use freeway_drift::Adwin;
+use freeway_linalg::Matrix;
+use freeway_ml::{ModelSpec, Sgd, Trainer};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Samples `k ~ Poisson(lambda)` by inversion (λ is small here).
+fn poisson<R: Rng>(lambda: f64, rng: &mut R) -> usize {
+    use rand::RngExt as _;
+    let l = (-lambda).exp();
+    let mut k = 0usize;
+    let mut p = 1.0;
+    loop {
+        p *= rng.random_range(0.0..1.0f64);
+        if p <= l || k > 64 {
+            return k;
+        }
+        k += 1;
+    }
+}
+
+struct Member {
+    trainer: Trainer,
+    adwin: Adwin,
+}
+
+/// Online bagging ensemble over the shared SGD substrate.
+pub struct OnlineBagging {
+    members: Vec<Member>,
+    spec: ModelSpec,
+    lambda: f64,
+    /// Replace drifting members (leveraging-bagging behaviour).
+    replace_on_drift: bool,
+    rng: StdRng,
+    replacements: usize,
+    next_seed: u64,
+}
+
+impl OnlineBagging {
+    /// Classic online bagging: `λ = 1`, no drift handling.
+    pub fn new(spec: ModelSpec, members: usize, seed: u64) -> Self {
+        Self::with_options(spec, members, 1.0, false, seed)
+    }
+
+    /// Leveraging bagging: `λ = 6` plus ADWIN-triggered member
+    /// replacement.
+    pub fn leveraging(spec: ModelSpec, members: usize, seed: u64) -> Self {
+        Self::with_options(spec, members, 6.0, true, seed)
+    }
+
+    /// Fully parameterised constructor.
+    ///
+    /// # Panics
+    /// Panics unless `members >= 1` and `lambda > 0`.
+    pub fn with_options(
+        spec: ModelSpec,
+        members: usize,
+        lambda: f64,
+        replace_on_drift: bool,
+        seed: u64,
+    ) -> Self {
+        assert!(members >= 1, "need at least one member");
+        assert!(lambda > 0.0, "lambda must be positive");
+        let member_list = (0..members)
+            .map(|i| Member {
+                trainer: Trainer::new(
+                    spec.build(seed.wrapping_add(i as u64)),
+                    Box::new(Sgd::new(PlainSgd::LEARNING_RATE)),
+                ),
+                adwin: Adwin::with_defaults(),
+            })
+            .collect();
+        Self {
+            members: member_list,
+            spec,
+            lambda,
+            replace_on_drift,
+            rng: StdRng::seed_from_u64(seed ^ 0xBA66),
+            replacements: 0,
+            next_seed: seed.wrapping_add(members as u64),
+        }
+    }
+
+    /// Ensemble size.
+    pub fn num_members(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Drift-triggered member replacements so far.
+    pub fn replacements(&self) -> usize {
+        self.replacements
+    }
+}
+
+impl StreamingLearner for OnlineBagging {
+    fn name(&self) -> &'static str {
+        if self.replace_on_drift {
+            "LeveragingBagging"
+        } else {
+            "OnlineBagging"
+        }
+    }
+
+    fn infer(&mut self, x: &Matrix) -> Vec<usize> {
+        // Majority vote over members.
+        let classes = self.spec.classes();
+        let mut votes = vec![vec![0usize; classes]; x.rows()];
+        for member in &self.members {
+            for (r, pred) in member.trainer.model().predict(x).into_iter().enumerate() {
+                votes[r][pred] += 1;
+            }
+        }
+        votes
+            .iter()
+            .map(|v| {
+                v.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(class, _)| class)
+            })
+            .collect()
+    }
+
+    fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        for member_idx in 0..self.members.len() {
+            // Poisson-weighted view of the batch: each row is included
+            // k ~ Poisson(λ) times (as a sample weight).
+            let weights: Vec<f64> =
+                (0..x.rows()).map(|_| poisson(self.lambda, &mut self.rng) as f64).collect();
+            if weights.iter().all(|&w| w == 0.0) {
+                continue;
+            }
+
+            if self.replace_on_drift {
+                // Feed per-batch error to the member's detector first.
+                let preds = self.members[member_idx].trainer.model().predict(x);
+                let mut drift = false;
+                for (p, t) in preds.iter().zip(labels) {
+                    if self.members[member_idx].adwin.update(if p == t { 0.0 } else { 1.0 })
+                        && self.members[member_idx].adwin.last_cut_was_increase()
+                    {
+                        drift = true;
+                    }
+                }
+                if drift {
+                    self.next_seed = self.next_seed.wrapping_add(1);
+                    self.members[member_idx] = Member {
+                        trainer: Trainer::new(
+                            self.spec.build(self.next_seed),
+                            Box::new(Sgd::new(PlainSgd::LEARNING_RATE)),
+                        ),
+                        adwin: Adwin::with_defaults(),
+                    };
+                    self.replacements += 1;
+                }
+            }
+
+            self.members[member_idx].trainer.train_weighted(x, labels, Some(&weights));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    #[test]
+    fn poisson_mean_is_close_to_lambda() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for lambda in [0.5, 1.0, 6.0] {
+            let n = 20_000;
+            let total: usize = (0..n).map(|_| poisson(lambda, &mut rng)).sum();
+            let mean = total as f64 / n as f64;
+            assert!(
+                (mean - lambda).abs() < 0.1 * lambda.max(1.0),
+                "λ={lambda}: sample mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn bagging_learns_and_votes() {
+        let mut rng = stream_rng(2);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.6, &mut rng);
+        let mut bag = OnlineBagging::new(ModelSpec::lr(5, 2), 5, 0);
+        for _ in 0..30 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            bag.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let preds = bag.infer(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.85, "bagged LR accuracy {acc}");
+        assert_eq!(bag.num_members(), 5);
+        assert_eq!(bag.name(), "OnlineBagging");
+    }
+
+    #[test]
+    fn leveraging_bagging_replaces_members_on_concept_swap() {
+        let mut rng = stream_rng(3);
+        let concept_a = GmmConcept::random(5, 2, 1, 4.0, 0.5, &mut rng);
+        let mut bag = OnlineBagging::leveraging(ModelSpec::lr(5, 2), 3, 0);
+        for _ in 0..40 {
+            let (x, y) = concept_a.sample_batch(128, &mut rng);
+            bag.train(&x, &y);
+        }
+        assert_eq!(bag.replacements(), 0, "no drift yet");
+        // Swap to a label-inverted world: errors surge, ADWIN fires.
+        for _ in 0..40 {
+            let (x, y) = concept_a.sample_batch(128, &mut rng);
+            let flipped: Vec<usize> = y.iter().map(|&l| 1 - l).collect();
+            bag.train(&x, &flipped);
+        }
+        assert!(bag.replacements() > 0, "drift must replace members");
+        assert_eq!(bag.name(), "LeveragingBagging");
+    }
+
+    #[test]
+    fn ensemble_beats_or_matches_single_member_on_noisy_data() {
+        let mut rng = stream_rng(4);
+        let concept = GmmConcept::random(4, 2, 2, 3.0, 1.2, &mut rng);
+        let mut bag = OnlineBagging::new(ModelSpec::lr(4, 2), 7, 1);
+        let mut single = PlainSgd::new(ModelSpec::lr(4, 2), 1);
+        for _ in 0..30 {
+            let (x, y) = concept.sample_batch(96, &mut rng);
+            bag.train(&x, &y);
+            single.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(512, &mut rng);
+        let acc = |preds: Vec<usize>| {
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+        };
+        let bag_acc = acc(bag.infer(&x));
+        let single_acc = acc(single.infer(&x));
+        assert!(
+            bag_acc >= single_acc - 0.02,
+            "ensemble {bag_acc} must not trail single {single_acc} materially"
+        );
+    }
+}

@@ -1,0 +1,213 @@
+//! Streaming Gaussian naive Bayes — an extension baseline.
+//!
+//! Naive Bayes is the third classic incremental classifier family
+//! alongside linear models and Hoeffding trees: exact one-pass updates
+//! (Welford moments per feature/class), no learning rate, and natural
+//! probability outputs. Included so the baseline suite covers the
+//! generative family as well.
+
+use crate::StreamingLearner;
+use freeway_linalg::Matrix;
+
+/// Running per-feature Gaussian via Welford's algorithm.
+#[derive(Clone, Debug, Default)]
+struct Moments {
+    n: f64,
+    mean: f64,
+    m2: f64,
+}
+
+impl Moments {
+    fn update(&mut self, x: f64) {
+        self.n += 1.0;
+        let delta = x - self.mean;
+        self.mean += delta / self.n;
+        self.m2 += delta * (x - self.mean);
+    }
+
+    fn variance(&self) -> f64 {
+        if self.n < 2.0 {
+            // A degenerate class: fall back to unit variance so its
+            // likelihood stays finite rather than spiking to a delta.
+            1.0
+        } else {
+            (self.m2 / self.n).max(1e-6)
+        }
+    }
+}
+
+/// Incremental Gaussian naive Bayes classifier.
+pub struct GaussianNaiveBayes {
+    /// `moments[class][feature]`.
+    moments: Vec<Vec<Moments>>,
+    class_counts: Vec<f64>,
+    total: f64,
+    features: usize,
+}
+
+impl GaussianNaiveBayes {
+    /// Creates an empty model.
+    ///
+    /// # Panics
+    /// Panics unless `features >= 1` and `classes >= 2`.
+    pub fn new(features: usize, classes: usize) -> Self {
+        assert!(features >= 1 && classes >= 2, "need features and at least two classes");
+        Self {
+            moments: vec![vec![Moments::default(); features]; classes],
+            class_counts: vec![0.0; classes],
+            total: 0.0,
+            features,
+        }
+    }
+
+    /// Learns one example.
+    pub fn learn_one(&mut self, x: &[f64], y: usize) {
+        assert_eq!(x.len(), self.features, "feature dimension mismatch");
+        assert!(y < self.class_counts.len(), "label out of range");
+        self.class_counts[y] += 1.0;
+        self.total += 1.0;
+        for (m, &v) in self.moments[y].iter_mut().zip(x) {
+            m.update(v);
+        }
+    }
+
+    /// Log joint likelihood `log P(y) + Σ log P(x_i | y)`.
+    fn log_joint(&self, x: &[f64], class: usize) -> f64 {
+        if self.class_counts[class] <= 0.0 {
+            return f64::NEG_INFINITY;
+        }
+        // Laplace-smoothed prior keeps unseen-but-possible classes sane.
+        let classes = self.class_counts.len() as f64;
+        let mut log_p =
+            ((self.class_counts[class] + 1.0) / (self.total + classes)).ln();
+        for (m, &v) in self.moments[class].iter().zip(x) {
+            let var = m.variance();
+            let diff = v - m.mean;
+            log_p += -0.5 * ((2.0 * std::f64::consts::PI * var).ln() + diff * diff / var);
+        }
+        log_p
+    }
+
+    /// Predicts one example's class (0 before any data arrives).
+    pub fn predict_one(&self, x: &[f64]) -> usize {
+        assert_eq!(x.len(), self.features, "feature dimension mismatch");
+        let scores: Vec<f64> =
+            (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
+        freeway_linalg::vector::argmax(&scores).unwrap_or(0)
+    }
+
+    /// Posterior class probabilities for one example.
+    pub fn predict_proba_one(&self, x: &[f64]) -> Vec<f64> {
+        let scores: Vec<f64> =
+            (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
+        let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        if !max.is_finite() {
+            // No data yet: uniform.
+            return vec![1.0 / scores.len() as f64; scores.len()];
+        }
+        let mut probs: Vec<f64> = scores.iter().map(|s| (s - max).exp()).collect();
+        let sum: f64 = probs.iter().sum();
+        for p in &mut probs {
+            *p /= sum;
+        }
+        probs
+    }
+
+    /// Examples observed so far.
+    pub fn samples(&self) -> f64 {
+        self.total
+    }
+}
+
+/// Naive Bayes behind the shared baseline interface.
+pub struct NaiveBayesBaseline {
+    model: GaussianNaiveBayes,
+}
+
+impl NaiveBayesBaseline {
+    /// Builds the baseline.
+    pub fn new(features: usize, classes: usize) -> Self {
+        Self { model: GaussianNaiveBayes::new(features, classes) }
+    }
+}
+
+impl StreamingLearner for NaiveBayesBaseline {
+    fn name(&self) -> &'static str {
+        "NaiveBayes"
+    }
+
+    fn infer(&mut self, x: &Matrix) -> Vec<usize> {
+        x.row_iter().map(|row| self.model.predict_one(row)).collect()
+    }
+
+    fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        for (row, &y) in x.row_iter().zip(labels) {
+            self.model.learn_one(row, y);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    #[test]
+    fn learns_gaussian_blobs_almost_perfectly() {
+        // NB's model class matches GMM data exactly (1 component/class).
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(6, 3, 1, 5.0, 0.8, &mut rng);
+        let mut nb = NaiveBayesBaseline::new(6, 3);
+        for _ in 0..20 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            nb.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(512, &mut rng);
+        let preds = nb.infer(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "matched model class: {acc}");
+    }
+
+    #[test]
+    fn probabilities_are_normalised() {
+        let mut nb = GaussianNaiveBayes::new(2, 3);
+        for i in 0..60 {
+            nb.learn_one(&[i as f64 % 3.0, 1.0], i % 3);
+        }
+        let p = nb.predict_proba_one(&[1.0, 1.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn empty_model_predicts_uniformly() {
+        let nb = GaussianNaiveBayes::new(2, 4);
+        let p = nb.predict_proba_one(&[0.0, 0.0]);
+        assert!(p.iter().all(|&v| (v - 0.25).abs() < 1e-9));
+        assert_eq!(nb.predict_one(&[0.0, 0.0]), 0);
+    }
+
+    #[test]
+    fn unseen_class_never_wins() {
+        let mut nb = GaussianNaiveBayes::new(1, 3);
+        for i in 0..50 {
+            nb.learn_one(&[i as f64 * 0.1], if i % 2 == 0 { 0 } else { 1 });
+        }
+        // Class 2 has no data: any input must map to 0 or 1.
+        for v in [-100.0, 0.0, 100.0] {
+            assert_ne!(nb.predict_one(&[v]), 2);
+        }
+    }
+
+    #[test]
+    fn adapts_mean_estimates_incrementally() {
+        let mut nb = GaussianNaiveBayes::new(1, 2);
+        for _ in 0..100 {
+            nb.learn_one(&[0.0], 0);
+            nb.learn_one(&[10.0], 1);
+        }
+        assert_eq!(nb.predict_one(&[1.0]), 0);
+        assert_eq!(nb.predict_one(&[9.0]), 1);
+        assert_eq!(nb.samples(), 200.0);
+    }
+}

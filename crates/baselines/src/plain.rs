@@ -1,0 +1,95 @@
+//! Plain streaming SGD — the unadorned "StreamingLR / StreamingMLP /
+//! StreamingCNN" that the per-mechanism studies (Table II, Figures 9/12)
+//! compare against.
+
+use crate::StreamingLearner;
+use freeway_linalg::Matrix;
+use freeway_ml::{ModelSpec, Sgd, Trainer};
+
+/// Mini-batch SGD with no drift handling at all.
+pub struct PlainSgd {
+    trainer: Trainer,
+}
+
+impl PlainSgd {
+    /// Default learning rate shared by the baseline family (matches
+    /// FreewayML's short-granularity model, keeping comparisons fair).
+    /// Deliberately on the *sensitive* side: the paper's premise is that
+    /// streaming models are sensitive and lightweight, and the stability
+    /// mechanisms exist to tame exactly that sensitivity.
+    pub const LEARNING_RATE: f64 = 0.3;
+
+    /// Builds a plain streaming learner.
+    pub fn new(spec: ModelSpec, seed: u64) -> Self {
+        Self { trainer: Trainer::new(spec.build(seed), Box::new(Sgd::new(Self::LEARNING_RATE))) }
+    }
+
+    /// Access to the underlying model (tests/diagnostics).
+    pub fn model(&self) -> &dyn freeway_ml::Model {
+        self.trainer.model()
+    }
+}
+
+impl StreamingLearner for PlainSgd {
+    fn name(&self) -> &'static str {
+        "Plain"
+    }
+
+    fn infer(&mut self, x: &Matrix) -> Vec<usize> {
+        self.trainer.model().predict(x)
+    }
+
+    fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        self.trainer.train_batch(x, labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    #[test]
+    fn learns_a_stationary_concept() {
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let mut learner = PlainSgd::new(ModelSpec::lr(5, 2), 0);
+        for _ in 0..30 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            learner.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let preds = learner.infer(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.8, "plain SGD accuracy {acc}");
+    }
+
+    #[test]
+    fn suffers_after_sudden_shift() {
+        // The motivating failure mode: once the distribution jumps, the
+        // frozen decision boundary mispredicts.
+        let mut rng = stream_rng(2);
+        let mut concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let mut learner = PlainSgd::new(ModelSpec::lr(5, 2), 0);
+        for _ in 0..30 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            learner.train(&x, &y);
+        }
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let before = {
+            let preds = learner.infer(&x);
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+        };
+        // Replace with a brand-new concept.
+        concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let after = {
+            let preds = learner.infer(&x);
+            preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
+        };
+        assert!(
+            after < before,
+            "sudden shift must hurt the frozen model: {before} -> {after}"
+        );
+    }
+}

@@ -1,0 +1,120 @@
+//! River-style baseline: streaming learner + ADWIN drift detection.
+//!
+//! River's canonical recipe for drifting streams pairs an incremental
+//! model with a drift detector; when the detector fires, the model is
+//! replaced by a fresh one that relearns the new concept. That reset is
+//! the behaviour FreewayML's Table-I/Figure-11 comparisons exercise: it
+//! adapts to sudden shifts (eventually) but forgets everything, so
+//! reoccurring concepts must be relearned from scratch.
+
+use crate::StreamingLearner;
+use freeway_drift::Adwin;
+use freeway_linalg::Matrix;
+use freeway_ml::{ModelSpec, Sgd, Trainer};
+
+/// River-style streaming learner with ADWIN-triggered resets.
+pub struct RiverStyle {
+    trainer: Trainer,
+    adwin: Adwin,
+    spec: ModelSpec,
+    seed: u64,
+    resets: usize,
+}
+
+impl RiverStyle {
+    /// Builds the baseline.
+    pub fn new(spec: ModelSpec, seed: u64) -> Self {
+        Self {
+            trainer: Trainer::new(
+                spec.build(seed),
+                Box::new(Sgd::new(crate::plain::PlainSgd::LEARNING_RATE)),
+            ),
+            adwin: Adwin::with_defaults(),
+            spec,
+            seed,
+            resets: 0,
+        }
+    }
+
+    /// Number of drift-triggered resets so far.
+    pub fn resets(&self) -> usize {
+        self.resets
+    }
+}
+
+impl StreamingLearner for RiverStyle {
+    fn name(&self) -> &'static str {
+        "River"
+    }
+
+    fn infer(&mut self, x: &Matrix) -> Vec<usize> {
+        self.trainer.model().predict(x)
+    }
+
+    fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        // Feed the detector per-sample 0/1 errors, the way River wires
+        // ADWIN behind its classifiers.
+        let preds = self.trainer.model().predict(x);
+        let mut drift = false;
+        for (p, t) in preds.iter().zip(labels) {
+            if self.adwin.update(if p == t { 0.0 } else { 1.0 })
+                && self.adwin.last_cut_was_increase()
+            {
+                // Only error *increases* indicate concept drift; decreases
+                // are the model learning.
+                drift = true;
+            }
+        }
+        if drift {
+            // Drift: discard the stale model, start fresh on this concept.
+            self.resets += 1;
+            self.trainer = Trainer::new(
+                self.spec.build(self.seed.wrapping_add(self.resets as u64)),
+                Box::new(Sgd::new(crate::plain::PlainSgd::LEARNING_RATE)),
+            );
+        }
+        self.trainer.train_batch(x, labels);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    #[test]
+    fn resets_on_persistent_error_jump() {
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let mut learner = RiverStyle::new(ModelSpec::lr(5, 2), 0);
+        for _ in 0..40 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            learner.train(&x, &y);
+        }
+        assert_eq!(learner.resets(), 0, "no drift yet");
+        // New concept: error rate jumps and stays high until relearned.
+        let flipped = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut stream_rng(99));
+        for _ in 0..40 {
+            let (x, y) = flipped.sample_batch(128, &mut rng);
+            learner.train(&x, &y);
+        }
+        assert!(learner.resets() >= 1, "ADWIN must fire on the concept swap");
+        // And the fresh model learns the new concept.
+        let (x, y) = flipped.sample_batch(256, &mut rng);
+        let preds = learner.infer(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.7, "post-reset accuracy {acc}");
+    }
+
+    #[test]
+    fn stable_stream_never_resets() {
+        let mut rng = stream_rng(2);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.5, &mut rng);
+        let mut learner = RiverStyle::new(ModelSpec::lr(5, 2), 0);
+        for _ in 0..60 {
+            let (x, y) = concept.sample_batch(128, &mut rng);
+            learner.train(&x, &y);
+        }
+        assert_eq!(learner.resets(), 0);
+    }
+}

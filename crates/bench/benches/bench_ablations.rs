@@ -1,0 +1,114 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! * pre-computing window on vs off (update-path cost);
+//! * disorder-aware decay vs uniform decay (ASW insertion cost);
+//! * CEC prediction cost vs a raw k-means fit (the price of guidance);
+//! * knowledge dedup-preserve vs append-preserve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freeway_cluster::{CoherentExperience, ExperienceBuffer, KMeans};
+use freeway_core::asw::{AdaptiveStreamingWindow, AswParams};
+use freeway_core::knowledge::KnowledgeStore;
+use freeway_core::{FreewayConfig, Learner};
+use freeway_ml::ModelSpec;
+use freeway_streams::concept::{stream_rng, GmmConcept};
+use freeway_streams::{Batch, DriftPhase};
+use std::hint::black_box;
+
+fn precompute_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/precompute");
+    group.sample_size(15);
+    for (label, subsets) in [("off", 1usize), ("subsets4", 4)] {
+        group.bench_with_input(BenchmarkId::new(label, 256), &subsets, |b, &subsets| {
+            let mut rng = stream_rng(3);
+            let concept = GmmConcept::random(10, 2, 2, 3.0, 1.0, &mut rng);
+            let config = FreewayConfig {
+                mini_batch: 256,
+                precompute_subsets: subsets,
+                pca_warmup_rows: 256,
+                ..Default::default()
+            };
+            let mut learner = Learner::new(ModelSpec::lr(10, 2), config);
+            let mut seq = 0;
+            b.iter(|| {
+                let (x, y) = concept.sample_batch(256, &mut rng);
+                let batch = Batch::labeled(x, y, seq, DriftPhase::Stable);
+                seq += 1;
+                black_box(learner.process(&batch));
+            });
+        });
+    }
+    group.finish();
+}
+
+fn decay_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/asw_decay");
+    for (label, rank_decay, boost) in [("disorder_aware", 0.15, 1.0), ("uniform", 0.0, 0.0)] {
+        group.bench_function(label, |b| {
+            let mut rng = stream_rng(4);
+            let concept = GmmConcept::random(8, 2, 2, 3.0, 1.0, &mut rng);
+            b.iter(|| {
+                let mut window = AdaptiveStreamingWindow::new(AswParams {
+                    max_batches: 64,
+                    max_items: 1_000_000,
+                    rank_decay,
+                    disorder_boost: boost,
+                    ..Default::default()
+                });
+                for i in 0..16 {
+                    let (x, y) = concept.sample_batch(64, &mut rng);
+                    let projected = vec![i as f64 * 0.1, 0.0, 0.0, 0.0];
+                    black_box(window.insert(x, y, projected));
+                }
+            });
+        });
+    }
+    group.finish();
+}
+
+fn cec_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/cec");
+    group.sample_size(15);
+    let mut rng = stream_rng(5);
+    let concept = GmmConcept::random(10, 3, 2, 4.0, 0.8, &mut rng);
+    let (batch, _) = concept.sample_batch(256, &mut rng);
+    let (exp_x, exp_y) = concept.sample_batch(256, &mut rng);
+    let mut buffer = ExperienceBuffer::new(256, None);
+    buffer.push_batch(&exp_x, &exp_y);
+
+    group.bench_function("cec_predict", |b| {
+        let cec = CoherentExperience::with_recent(12, 256, 0.0, 9);
+        b.iter(|| black_box(cec.predict_scored(black_box(&batch), &buffer)));
+    });
+    group.bench_function("raw_kmeans", |b| {
+        b.iter(|| black_box(KMeans::new(12, 9).fit(black_box(&batch))));
+    });
+    group.finish();
+}
+
+fn knowledge_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablations/knowledge_preserve");
+    let spec = ModelSpec::mlp(10, vec![32], 2);
+    let model = spec.build(0);
+    for (label, radius) in [("append", 0.0f64), ("dedup", 1.0)] {
+        group.bench_function(label, |b| {
+            b.iter(|| {
+                let mut store = KnowledgeStore::new(20);
+                for i in 0..30 {
+                    store.preserve_dedup(
+                        vec![(i % 5) as f64 * 0.1, 0.0],
+                        model.as_ref(),
+                        spec.clone(),
+                        0.5,
+                        radius,
+                    );
+                }
+                black_box(store.len());
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, precompute_ablation, decay_ablation, cec_ablation, knowledge_ablation);
+criterion_main!(benches);

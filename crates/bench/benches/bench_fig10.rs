@@ -1,0 +1,47 @@
+//! Figure 10: throughput vs batch size. Criterion's throughput mode
+//! reports elements/second for the full infer+train step of each
+//! framework, the exact series of the paper's Figure 10.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use freeway_eval::experiments::common::{build_system, ModelFamily, Scale};
+use freeway_streams::{Hyperplane, StreamGenerator};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [256, 1024, 2048];
+
+fn fig10(c: &mut Criterion) {
+    for family in [ModelFamily::Lr, ModelFamily::Mlp] {
+        let mut group = c.benchmark_group(format!("fig10/{}", family.tag()));
+        group.sample_size(15);
+        let mut systems: Vec<&str> = family.paper_baselines().to_vec();
+        systems.push("freewayml");
+        for &bs in &BATCH_SIZES {
+            group.throughput(Throughput::Elements(bs as u64));
+            for sys in &systems {
+                group.bench_with_input(
+                    BenchmarkId::new(*sys, bs),
+                    &bs,
+                    |bencher, &bs| {
+                        let scale = Scale { batch_size: bs, ..Scale::tiny() };
+                        let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                        let mut learner = build_system(sys, family, 10, 2, &scale);
+                        for _ in 0..6 {
+                            let b = generator.next_batch(bs);
+                            learner.train(&b.x, b.labels());
+                        }
+                        bencher.iter(|| {
+                            let batch = generator.next_batch(bs);
+                            let preds = learner.infer(black_box(&batch.x));
+                            learner.train(&batch.x, batch.labels());
+                            black_box(preds);
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, fig10);
+criterion_main!(benches);

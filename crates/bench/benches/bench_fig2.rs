@@ -1,0 +1,50 @@
+//! Figure 2 companion: the shift-graph machinery's cost — PCA fit,
+//! batch-mean projection, and the full per-batch shift measurement
+//! (Equations 2–10), which every FreewayML inference batch pays.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freeway_drift::{PcaReducer, ShiftTracker, ShiftTrackerConfig};
+use freeway_linalg::Matrix;
+use freeway_streams::concept::{stream_rng, GmmConcept};
+use std::hint::black_box;
+
+fn warm_data(dim: usize, rows: usize) -> Matrix {
+    let mut rng = stream_rng(5);
+    let concept = GmmConcept::random(dim, 2, 2, 3.0, 1.0, &mut rng);
+    concept.sample_batch(rows, &mut rng).0
+}
+
+fn fig2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig2/shift_graph");
+    for dim in [8usize, 20] {
+        let data = warm_data(dim, 512);
+        group.bench_with_input(BenchmarkId::new("pca_fit", dim), &data, |b, data| {
+            b.iter(|| black_box(PcaReducer::fit(black_box(data), 4.min(dim))));
+        });
+        let pca = PcaReducer::fit(&data, 4.min(dim));
+        let mean = data.column_means();
+        group.bench_with_input(BenchmarkId::new("project_mean", dim), &mean, |b, mean| {
+            b.iter(|| black_box(pca.project_mean(black_box(mean))));
+        });
+        group.bench_with_input(BenchmarkId::new("observe_batch", dim), &dim, |b, &dim| {
+            let mut rng = stream_rng(9);
+            let concept = GmmConcept::random(dim, 2, 2, 3.0, 1.0, &mut rng);
+            let mut tracker = ShiftTracker::new(ShiftTrackerConfig {
+                warmup_rows: 256,
+                components: 4.min(dim),
+                ..Default::default()
+            });
+            // Complete warm-up.
+            while !tracker.is_ready() {
+                let (batch, _) = concept.sample_batch(256, &mut rng);
+                let _ = tracker.observe(&batch);
+            }
+            let (batch, _) = concept.sample_batch(1024, &mut rng);
+            b.iter(|| black_box(tracker.observe(black_box(&batch))));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, fig2);
+criterion_main!(benches);

@@ -1,0 +1,60 @@
+//! Table III: update and inference latency per framework and batch size
+//! (LR and MLP families on the Hyperplane workload).
+//!
+//! Criterion measures the per-batch `infer` and `train` calls directly —
+//! the same quantities the paper's Table III reports in µs/batch.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freeway_eval::experiments::common::{build_system, ModelFamily, Scale};
+use freeway_streams::{Hyperplane, StreamGenerator};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 3] = [512, 1024, 2048];
+
+fn systems_for(family: ModelFamily) -> Vec<&'static str> {
+    let mut v: Vec<&str> = family.paper_baselines().to_vec();
+    v.push("freewayml");
+    v
+}
+
+fn bench_phase(c: &mut Criterion, family: ModelFamily, phase: &str) {
+    let mut group = c.benchmark_group(format!("table3/{}_{phase}", family.tag()));
+    group.sample_size(20);
+    for &bs in &BATCH_SIZES {
+        for sys in systems_for(family) {
+            let scale = Scale { batch_size: bs, ..Scale::tiny() };
+            group.bench_with_input(
+                BenchmarkId::new(sys, bs),
+                &bs,
+                |bencher, &bs| {
+                    let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                    let mut learner = build_system(sys, family, 10, 2, &scale);
+                    // Warm the system so steady-state cost is measured.
+                    for _ in 0..6 {
+                        let b = generator.next_batch(bs);
+                        learner.train(&b.x, b.labels());
+                    }
+                    let batch = generator.next_batch(bs);
+                    bencher.iter(|| {
+                        if phase == "infer" {
+                            black_box(learner.infer(black_box(&batch.x)));
+                        } else {
+                            learner.train(black_box(&batch.x), black_box(batch.labels()));
+                        }
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn table3(c: &mut Criterion) {
+    for family in [ModelFamily::Lr, ModelFamily::Mlp] {
+        bench_phase(c, family, "infer");
+        bench_phase(c, family, "update");
+    }
+}
+
+criterion_group!(benches, table3);
+criterion_main!(benches);

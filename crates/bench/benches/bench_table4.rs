@@ -1,0 +1,57 @@
+//! Table IV: cost of knowledge preservation and matching as the store
+//! grows (the time side of the paper's space study — snapshot capture,
+//! binary encoding, and nearest-distribution matching at k entries).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freeway_core::knowledge::KnowledgeStore;
+use freeway_ml::ModelSpec;
+use std::hint::black_box;
+
+fn filled_store(spec: &ModelSpec, k: usize) -> KnowledgeStore {
+    let mut store = KnowledgeStore::new(k.max(1) * 2);
+    for i in 0..k {
+        let model = spec.build(i as u64);
+        store.preserve(vec![i as f64, (i % 7) as f64], model.as_ref(), spec.clone(), 0.5);
+    }
+    store
+}
+
+fn table4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/knowledge");
+    for spec in [ModelSpec::lr(10, 2), ModelSpec::mlp(10, vec![32], 2)] {
+        let tag = spec.tag();
+        group.bench_with_input(BenchmarkId::new("preserve", tag), &spec, |b, spec| {
+            let model = spec.build(0);
+            b.iter(|| {
+                let mut store = KnowledgeStore::new(4);
+                store.preserve(
+                    black_box(vec![1.0, 2.0]),
+                    model.as_ref(),
+                    spec.clone(),
+                    0.5,
+                );
+                black_box(store.len());
+            });
+        });
+        for k in [10usize, 100] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("match_k{k}"), tag),
+                &spec,
+                |b, spec| {
+                    let store = filled_store(spec, k);
+                    b.iter(|| {
+                        black_box(store.match_knowledge(black_box(&[3.3, 1.1]), 10.0));
+                    });
+                },
+            );
+        }
+        group.bench_with_input(BenchmarkId::new("encode", tag), &spec, |b, spec| {
+            let store = filled_store(spec, 10);
+            b.iter(|| black_box(store.space_bytes()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table4);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table VI (appendix): CNN update/inference latency, plain StreamingCNN
+//! vs FreewayML, across batch sizes — the appendix's "<5% overhead"
+//! claim measured directly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use freeway_eval::experiments::common::{build_system, ModelFamily, Scale};
+use freeway_streams::{Hyperplane, StreamGenerator};
+use std::hint::black_box;
+
+const BATCH_SIZES: [usize; 2] = [512, 2048];
+
+fn table6(c: &mut Criterion) {
+    for phase in ["infer", "update"] {
+        let mut group = c.benchmark_group(format!("table6/CNN_{phase}"));
+        group.sample_size(15);
+        for &bs in &BATCH_SIZES {
+            for sys in ["plain", "freewayml"] {
+                group.bench_with_input(
+                    BenchmarkId::new(sys, bs),
+                    &bs,
+                    |bencher, &bs| {
+                        let scale = Scale { batch_size: bs, ..Scale::tiny() };
+                        let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                        let mut learner =
+                            build_system(sys, ModelFamily::Cnn, 10, 2, &scale);
+                        for _ in 0..5 {
+                            let b = generator.next_batch(bs);
+                            learner.train(&b.x, b.labels());
+                        }
+                        let batch = generator.next_batch(bs);
+                        bencher.iter(|| {
+                            if phase == "infer" {
+                                black_box(learner.infer(black_box(&batch.x)));
+                            } else {
+                                learner.train(black_box(&batch.x), black_box(batch.labels()));
+                            }
+                        });
+                    },
+                );
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, table6);
+criterion_main!(benches);

@@ -1,0 +1,7 @@
+//! Criterion benchmark harness for the FreewayML paper reproduction.
+//!
+//! Each bench target regenerates the performance-relevant measurements
+//! of one table or figure; the accuracy tables have companion binaries
+//! in `freeway-eval` (benchmarking accuracy makes no sense, but the
+//! per-batch processing cost of every system does).
+#![warn(missing_docs)]

@@ -1,0 +1,328 @@
+//! Coherent experience clustering (§IV-C).
+//!
+//! Hypothesis (from the paper): data continuous in time is continuous in
+//! distribution, so when a sudden shift is detected, the tail of the
+//! previous batch already carries the new distribution. CEC therefore
+//! clusters the current (unlabeled) batch *together with* the `m` most
+//! recent labeled points, and maps each cluster to the majority label of
+//! its labeled members.
+
+use crate::kmeans::{nearest_centroid, KMeans};
+use freeway_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// A labeled experience point with its insertion batch (for expiry).
+#[derive(Clone, Debug)]
+struct Experience {
+    features: Vec<f64>,
+    label: usize,
+    inserted_at: u64,
+}
+
+/// The `ExpBuffer` of the paper: the most recent labeled points, bounded
+/// in count and (optionally) in age.
+#[derive(Clone, Debug)]
+pub struct ExperienceBuffer {
+    entries: VecDeque<Experience>,
+    capacity: usize,
+    /// Entries older than this many batches are expired; `None` disables.
+    expiration_batches: Option<u64>,
+    clock: u64,
+}
+
+impl ExperienceBuffer {
+    /// Creates a buffer holding at most `capacity` points.
+    pub fn new(capacity: usize, expiration_batches: Option<u64>) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { entries: VecDeque::with_capacity(capacity), capacity, expiration_batches, clock: 0 }
+    }
+
+    /// Advances the batch clock and expires outdated experiences.
+    pub fn tick(&mut self) {
+        self.clock += 1;
+        if let Some(max_age) = self.expiration_batches {
+            while let Some(front) = self.entries.front() {
+                if self.clock.saturating_sub(front.inserted_at) > max_age {
+                    self.entries.pop_front();
+                } else {
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Inserts the (tail of the) labeled batch. Keeps at most `capacity`
+    /// points overall, evicting the oldest.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn push_batch(&mut self, x: &Matrix, labels: &[usize]) {
+        assert_eq!(x.rows(), labels.len(), "label count mismatch");
+        for (row, &label) in x.row_iter().zip(labels) {
+            if self.entries.len() == self.capacity {
+                self.entries.pop_front();
+            }
+            self.entries.push_back(Experience {
+                features: row.to_vec(),
+                label,
+                inserted_at: self.clock,
+            });
+        }
+    }
+
+    /// Number of stored experiences.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no experiences are stored.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Borrowed feature matrix + labels of all stored experiences.
+    pub fn snapshot(&self) -> (Matrix, Vec<usize>) {
+        self.snapshot_recent(self.entries.len())
+    }
+
+    /// Feature matrix + labels of the `m` most recent experiences. The
+    /// continuity hypothesis says only the *freshest* labeled data carries
+    /// the post-shift distribution, so CEC guides with a recent slice
+    /// rather than the whole buffer.
+    pub fn snapshot_recent(&self, m: usize) -> (Matrix, Vec<usize>) {
+        let take = m.min(self.entries.len());
+        let start = self.entries.len() - take;
+        let rows: Vec<Vec<f64>> =
+            self.entries.iter().skip(start).map(|e| e.features.clone()).collect();
+        let labels = self.entries.iter().skip(start).map(|e| e.label).collect();
+        (Matrix::from_rows(&rows), labels)
+    }
+}
+
+/// The CEC predictor.
+///
+/// ```
+/// use freeway_cluster::{CoherentExperience, ExperienceBuffer};
+/// use freeway_linalg::Matrix;
+///
+/// let mut buffer = ExperienceBuffer::new(100, None);
+/// // Labeled experience: two separated groups.
+/// let exp = Matrix::from_rows(&[vec![0.0, 0.0], vec![0.1, 0.0], vec![9.0, 9.0], vec![9.1, 9.0]]);
+/// buffer.push_batch(&exp, &[0, 0, 1, 1]);
+/// // Unlabeled batch from the same groups.
+/// let batch = Matrix::from_rows(&[vec![0.05, 0.02], vec![9.05, 9.01]]);
+/// let preds = CoherentExperience::new(2, 7).predict(&batch, &buffer).unwrap();
+/// assert_eq!(preds, vec![0, 1]);
+/// ```
+#[derive(Clone, Debug)]
+pub struct CoherentExperience {
+    /// Number of clusters. The paper frames this as the number of labels;
+    /// real classes are multi-modal, so callers typically pass a small
+    /// multiple of the label count.
+    pub clusters: usize,
+    /// Most recent experience points used as guidance (`m` in §IV-C);
+    /// `usize::MAX` uses the whole buffer.
+    pub max_experience: usize,
+    /// Minimum labeled-guidance purity for predictions to be emitted.
+    ///
+    /// Purity is the fraction of labeled guidance points that agree with
+    /// their cluster's majority label. When cluster structure does not
+    /// align with labels (e.g. classes that overlap in feature space),
+    /// the cluster→label mapping is noise and the caller should fall back
+    /// to its model; `0.0` disables the gate.
+    pub min_purity: f64,
+    /// k-means seed (kept fixed for reproducibility).
+    pub seed: u64,
+}
+
+impl CoherentExperience {
+    /// Creates a CEC predictor with `clusters` clusters using the whole
+    /// experience buffer as guidance.
+    pub fn new(clusters: usize, seed: u64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        Self { clusters, max_experience: usize::MAX, min_purity: 0.0, seed }
+    }
+
+    /// Creates a CEC predictor guided by at most `max_experience` recent
+    /// points, with the purity gate at `min_purity`.
+    pub fn with_recent(clusters: usize, max_experience: usize, min_purity: f64, seed: u64) -> Self {
+        assert!(clusters >= 1, "need at least one cluster");
+        assert!(max_experience >= 1, "need at least one guidance point");
+        assert!((0.0..=1.0).contains(&min_purity), "purity must be in [0, 1]");
+        Self { clusters, max_experience, min_purity, seed }
+    }
+
+    /// Predicts labels for `batch` by clustering it together with the
+    /// most recent buffered experience and voting within clusters.
+    ///
+    /// Clusters containing no labeled member inherit the label of the
+    /// nearest labeled centroid. Returns `None` when the buffer is empty
+    /// (no experience → no mapping; the caller falls back to its model).
+    pub fn predict(&self, batch: &Matrix, buffer: &ExperienceBuffer) -> Option<Vec<usize>> {
+        let (preds, purity) = self.predict_scored(batch, buffer)?;
+        if self.min_purity > 0.0 && purity < self.min_purity {
+            return None;
+        }
+        Some(preds)
+    }
+
+    /// Like [`Self::predict`] but always returns the predictions together
+    /// with the guidance purity, leaving the accept/reject decision to the
+    /// caller (FreewayML arbitrates CEC against its ensemble using this
+    /// score).
+    pub fn predict_scored(
+        &self,
+        batch: &Matrix,
+        buffer: &ExperienceBuffer,
+    ) -> Option<(Vec<usize>, f64)> {
+        if buffer.is_empty() || batch.rows() == 0 {
+            return None;
+        }
+        let (exp_x, exp_y) = buffer.snapshot_recent(self.max_experience);
+        let m = exp_x.rows();
+        let combined = exp_x.vstack(batch);
+        let k = self.clusters.min(combined.rows());
+        let result = KMeans::new(k, self.seed).fit(&combined);
+
+        // Vote labels within each cluster using the first m (labeled) rows.
+        let num_labels = exp_y.iter().copied().max().unwrap_or(0) + 1;
+        let mut votes = vec![vec![0usize; num_labels]; k];
+        for (i, &label) in exp_y.iter().enumerate() {
+            votes[result.assignments[i]][label] += 1;
+        }
+        let mut cluster_label: Vec<Option<usize>> = votes
+            .iter()
+            .map(|v| {
+                let best = v.iter().enumerate().max_by_key(|(_, &c)| c);
+                match best {
+                    Some((label, &count)) if count > 0 => Some(label),
+                    _ => None,
+                }
+            })
+            .collect();
+
+        // Guidance purity: the fraction of labeled guidance points that
+        // agree with their cluster's majority label — an unsupervised
+        // proxy for how accurate the cluster→label mapping will be.
+        let agree: usize = votes.iter().map(|v| v.iter().max().copied().unwrap_or(0)).sum();
+        let purity = agree as f64 / m as f64;
+
+        // Unlabeled clusters inherit from the nearest labeled centroid.
+        let labeled_centroids: Vec<usize> =
+            (0..k).filter(|&c| cluster_label[c].is_some()).collect();
+        if labeled_centroids.is_empty() {
+            return None;
+        }
+        for c in 0..k {
+            if cluster_label[c].is_none() {
+                let labeled_rows: Vec<usize> = labeled_centroids.clone();
+                let sub = result.centroids.select_rows(&labeled_rows);
+                let (nearest, _) = nearest_centroid(result.centroids.row(c), &sub);
+                cluster_label[c] = cluster_label[labeled_rows[nearest]];
+            }
+        }
+
+        // Emit predictions for the batch rows (offset m in the combined set).
+        let preds = result.assignments[m..]
+            .iter()
+            .map(|&a| cluster_label[a].expect("all clusters labeled by inheritance"))
+            .collect();
+        Some((preds, purity))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two separated blobs with labels, plus an unlabeled batch drawn from
+    /// the same blobs.
+    fn setting() -> (ExperienceBuffer, Matrix, Vec<usize>) {
+        let mut buffer = ExperienceBuffer::new(100, None);
+        let mut exp_rows = Vec::new();
+        let mut exp_labels = Vec::new();
+        for i in 0..20 {
+            let j = (i % 5) as f64 * 0.1;
+            exp_rows.push(vec![0.0 + j, 0.0]);
+            exp_labels.push(0);
+            exp_rows.push(vec![10.0 + j, 10.0]);
+            exp_labels.push(1);
+        }
+        buffer.push_batch(&Matrix::from_rows(&exp_rows), &exp_labels);
+
+        let mut batch_rows = Vec::new();
+        let mut truth = Vec::new();
+        for i in 0..30 {
+            let j = (i % 7) as f64 * 0.1;
+            if i % 2 == 0 {
+                batch_rows.push(vec![0.2 + j, 0.1]);
+                truth.push(0);
+            } else {
+                batch_rows.push(vec![9.8 + j, 10.2]);
+                truth.push(1);
+            }
+        }
+        (buffer, Matrix::from_rows(&batch_rows), truth)
+    }
+
+    #[test]
+    fn maps_clusters_to_labels_correctly() {
+        let (buffer, batch, truth) = setting();
+        let cec = CoherentExperience::new(2, 11);
+        let preds = cec.predict(&batch, &buffer).expect("buffer non-empty");
+        let correct = preds.iter().zip(&truth).filter(|(p, t)| p == t).count();
+        assert!(
+            correct as f64 / truth.len() as f64 > 0.95,
+            "CEC should nail separated blobs: {correct}/{}",
+            truth.len()
+        );
+    }
+
+    #[test]
+    fn empty_buffer_returns_none() {
+        let buffer = ExperienceBuffer::new(10, None);
+        let cec = CoherentExperience::new(2, 0);
+        assert!(cec.predict(&Matrix::zeros(4, 2), &buffer).is_none());
+    }
+
+    #[test]
+    fn buffer_respects_capacity() {
+        let mut buffer = ExperienceBuffer::new(5, None);
+        let x = Matrix::from_rows(&vec![vec![1.0]; 8]);
+        buffer.push_batch(&x, &[0; 8]);
+        assert_eq!(buffer.len(), 5);
+    }
+
+    #[test]
+    fn buffer_expires_old_entries() {
+        let mut buffer = ExperienceBuffer::new(100, Some(2));
+        buffer.push_batch(&Matrix::from_rows(&[vec![1.0]]), &[0]);
+        buffer.tick();
+        buffer.push_batch(&Matrix::from_rows(&[vec![2.0]]), &[1]);
+        assert_eq!(buffer.len(), 2);
+        buffer.tick();
+        buffer.tick();
+        buffer.tick();
+        assert_eq!(buffer.len(), 0, "all entries older than 2 batches expired");
+    }
+
+    #[test]
+    fn more_clusters_than_labels_still_maps_by_inheritance() {
+        let (buffer, batch, truth) = setting();
+        // 4 clusters over 2 labels: extra clusters inherit the nearest
+        // labeled centroid's label.
+        let cec = CoherentExperience::new(4, 3);
+        let preds = cec.predict(&batch, &buffer).expect("non-empty");
+        let correct = preds.iter().zip(&truth).filter(|(p, t)| p == t).count();
+        assert!(correct as f64 / truth.len() as f64 > 0.9, "{correct}/{}", truth.len());
+    }
+
+    #[test]
+    fn snapshot_round_trips() {
+        let mut buffer = ExperienceBuffer::new(10, None);
+        buffer.push_batch(&Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]), &[1, 0]);
+        let (x, y) = buffer.snapshot();
+        assert_eq!(x.shape(), (2, 2));
+        assert_eq!(y, vec![1, 0]);
+    }
+}

@@ -1,0 +1,253 @@
+//! Seeded k-means with k-means++ initialisation.
+
+use freeway_linalg::{vector, Matrix};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Configuration + entry point for k-means clustering.
+#[derive(Clone, Debug)]
+pub struct KMeans {
+    /// Number of clusters.
+    pub k: usize,
+    /// Maximum Lloyd iterations.
+    pub max_iters: usize,
+    /// Convergence tolerance on total centroid movement.
+    pub tol: f64,
+    /// RNG seed for k-means++ initialisation.
+    pub seed: u64,
+}
+
+/// Result of a k-means fit.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Cluster centroids (`k x d`).
+    pub centroids: Matrix,
+    /// Per-row cluster assignment.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+impl KMeans {
+    /// Creates a k-means configuration with sensible defaults
+    /// (`max_iters = 50`, `tol = 1e-6`).
+    pub fn new(k: usize, seed: u64) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        Self { k, max_iters: 50, tol: 1e-6, seed }
+    }
+
+    /// Runs k-means++ then Lloyd iterations.
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer rows than `k`.
+    pub fn fit(&self, data: &Matrix) -> KMeansResult {
+        let n = data.rows();
+        assert!(n >= self.k, "need at least k rows ({} < {})", n, self.k);
+        let d = data.cols();
+        let mut rng = StdRng::seed_from_u64(self.seed);
+
+        let mut centroids = self.init_plus_plus(data, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+
+        for iter in 0..self.max_iters {
+            iterations = iter + 1;
+            // Assignment step.
+            for (r, row) in data.row_iter().enumerate() {
+                let (best, _) = nearest_centroid(row, &centroids);
+                assignments[r] = best;
+            }
+            // Update step.
+            let mut sums = Matrix::zeros(self.k, d);
+            let mut counts = vec![0usize; self.k];
+            for (row, &a) in data.row_iter().zip(&assignments) {
+                vector::axpy(sums.row_mut(a), 1.0, row);
+                counts[a] += 1;
+            }
+            // Empty-cluster repair: re-seed on the point farthest from its
+            // centroid, the standard fix that keeps exactly k clusters.
+            for (c, count) in counts.iter_mut().enumerate() {
+                if *count == 0 {
+                    let (far_idx, _) = data
+                        .row_iter()
+                        .enumerate()
+                        .map(|(i, row)| {
+                            (i, vector::euclidean_distance(row, centroids.row(assignments[i])))
+                        })
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+                        .expect("data non-empty");
+                    sums.row_mut(c).copy_from_slice(data.row(far_idx));
+                    *count = 1;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, &count) in counts.iter().enumerate() {
+                let inv = 1.0 / count as f64;
+                let new_centroid: Vec<f64> = sums.row(c).iter().map(|x| x * inv).collect();
+                movement += vector::euclidean_distance(&new_centroid, centroids.row(c));
+                centroids.row_mut(c).copy_from_slice(&new_centroid);
+            }
+            if movement < self.tol {
+                break;
+            }
+        }
+
+        // Final assignment against the converged centroids.
+        let mut inertia = 0.0;
+        for (r, row) in data.row_iter().enumerate() {
+            let (best, dist) = nearest_centroid(row, &centroids);
+            assignments[r] = best;
+            inertia += dist * dist;
+        }
+
+        KMeansResult { centroids, assignments, inertia, iterations }
+    }
+
+    /// k-means++ seeding: first centroid uniform, then each next centroid
+    /// sampled proportionally to squared distance from the nearest chosen
+    /// one.
+    fn init_plus_plus(&self, data: &Matrix, rng: &mut StdRng) -> Matrix {
+        let n = data.rows();
+        let d = data.cols();
+        let mut centroids = Matrix::zeros(self.k, d);
+        let first = rng.random_range(0..n);
+        centroids.row_mut(0).copy_from_slice(data.row(first));
+
+        let mut dist_sq: Vec<f64> = data
+            .row_iter()
+            .map(|row| {
+                let dd = vector::euclidean_distance(row, centroids.row(0));
+                dd * dd
+            })
+            .collect();
+
+        for c in 1..self.k {
+            let total: f64 = dist_sq.iter().sum();
+            let chosen = if total <= f64::EPSILON {
+                // All points coincide with chosen centroids; pick uniformly.
+                rng.random_range(0..n)
+            } else {
+                let mut target = rng.random_range(0.0..total);
+                let mut idx = n - 1;
+                for (i, &w) in dist_sq.iter().enumerate() {
+                    if target < w {
+                        idx = i;
+                        break;
+                    }
+                    target -= w;
+                }
+                idx
+            };
+            centroids.row_mut(c).copy_from_slice(data.row(chosen));
+            for (i, row) in data.row_iter().enumerate() {
+                let dd = vector::euclidean_distance(row, centroids.row(c));
+                dist_sq[i] = dist_sq[i].min(dd * dd);
+            }
+        }
+        centroids
+    }
+}
+
+/// Index of and distance to the nearest centroid row.
+pub fn nearest_centroid(point: &[f64], centroids: &Matrix) -> (usize, f64) {
+    let mut best = 0;
+    let mut best_d = f64::INFINITY;
+    for (c, row) in centroids.row_iter().enumerate() {
+        let d = vector::euclidean_distance(point, row);
+        if d < best_d {
+            best_d = d;
+            best = c;
+        }
+    }
+    (best, best_d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight, well-separated blobs.
+    fn blobs() -> (Matrix, Vec<usize>) {
+        let centers = [[0.0, 0.0], [10.0, 10.0], [-10.0, 10.0]];
+        let mut rows = Vec::new();
+        let mut truth = Vec::new();
+        for (ci, c) in centers.iter().enumerate() {
+            for i in 0..30 {
+                let jx = ((i * 13 + ci * 7) % 11) as f64 * 0.05;
+                let jy = ((i * 29 + ci * 3) % 7) as f64 * 0.05;
+                rows.push(vec![c[0] + jx, c[1] + jy]);
+                truth.push(ci);
+            }
+        }
+        (Matrix::from_rows(&rows), truth)
+    }
+
+    #[test]
+    fn recovers_well_separated_blobs() {
+        let (data, truth) = blobs();
+        let result = KMeans::new(3, 7).fit(&data);
+        // Clusters must be pure: every truth group maps to one cluster.
+        for g in 0..3 {
+            let members: Vec<usize> = truth
+                .iter()
+                .enumerate()
+                .filter(|(_, &t)| t == g)
+                .map(|(i, _)| result.assignments[i])
+                .collect();
+            assert!(
+                members.iter().all(|&a| a == members[0]),
+                "group {g} split across clusters"
+            );
+        }
+        assert!(result.inertia < 50.0, "tight blobs: inertia {}", result.inertia);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = blobs();
+        let a = KMeans::new(3, 42).fit(&data);
+        let b = KMeans::new(3, 42).fit(&data);
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.centroids, b.centroids);
+    }
+
+    #[test]
+    fn k_equals_one_centroid_is_mean() {
+        let (data, _) = blobs();
+        let result = KMeans::new(1, 0).fit(&data);
+        let mean = data.column_means();
+        for (c, m) in result.centroids.row(0).iter().zip(&mean) {
+            assert!((c - m).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn k_equals_n_gives_zero_inertia() {
+        let data = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0], vec![9.0, 1.0]]);
+        let result = KMeans::new(3, 3).fit(&data);
+        assert!(result.inertia < 1e-18, "each point its own centroid");
+    }
+
+    #[test]
+    fn handles_duplicate_points() {
+        let data = Matrix::from_rows(&vec![vec![1.0, 1.0]; 10]);
+        let result = KMeans::new(3, 1).fit(&data);
+        assert_eq!(result.assignments.len(), 10);
+        assert!(result.inertia < 1e-12);
+    }
+
+    #[test]
+    fn nearest_centroid_picks_closest() {
+        let centroids = Matrix::from_rows(&[vec![0.0, 0.0], vec![10.0, 0.0]]);
+        assert_eq!(nearest_centroid(&[1.0, 0.0], &centroids).0, 0);
+        assert_eq!(nearest_centroid(&[9.0, 0.0], &centroids).0, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least k rows")]
+    fn rejects_insufficient_data() {
+        KMeans::new(5, 0).fit(&Matrix::zeros(3, 2));
+    }
+}

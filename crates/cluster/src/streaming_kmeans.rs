@@ -1,0 +1,211 @@
+//! Streaming (online) k-means with per-centroid learning rates.
+//!
+//! Batch k-means (used by CEC) refits from scratch per call; streaming
+//! k-means maintains centroids incrementally across batches — the
+//! sequential variant of MacQueen's algorithm with per-centroid counts
+//! as learning rates, plus optional count decay so centroids can track
+//! drifting clusters instead of freezing under their own history.
+
+use crate::kmeans::{nearest_centroid, KMeans};
+use freeway_linalg::Matrix;
+
+/// Incremental k-means over a stream of batches.
+#[derive(Clone, Debug)]
+pub struct StreamingKMeans {
+    centroids: Matrix,
+    counts: Vec<f64>,
+    initialized: usize,
+    /// Per-batch multiplicative decay of centroid counts in `(0, 1]`;
+    /// `1.0` gives the classic convergent behaviour, smaller values give
+    /// drift-tracking behaviour (counts — and so effective step sizes —
+    /// stop shrinking).
+    decay: f64,
+}
+
+impl StreamingKMeans {
+    /// Creates an empty clusterer for `k` clusters in `dim` dimensions.
+    ///
+    /// # Panics
+    /// Panics unless `k >= 1`, `dim >= 1`, and `0 < decay <= 1`.
+    pub fn new(k: usize, dim: usize, decay: f64) -> Self {
+        assert!(k >= 1, "need at least one cluster");
+        assert!(dim >= 1, "need at least one dimension");
+        assert!(decay > 0.0 && decay <= 1.0, "decay must be in (0, 1]");
+        Self { centroids: Matrix::zeros(k, dim), counts: vec![0.0; k], initialized: 0, decay }
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Centroids initialised so far (the first `k` distinct points seed
+    /// the centroids).
+    pub fn initialized(&self) -> usize {
+        self.initialized
+    }
+
+    /// Current centroids (`k x dim`; rows beyond [`Self::initialized`]
+    /// are zero).
+    pub fn centroids(&self) -> &Matrix {
+        &self.centroids
+    }
+
+    /// Feeds one point, returning the index of the cluster it joined.
+    pub fn update_one(&mut self, point: &[f64]) -> usize {
+        assert_eq!(point.len(), self.centroids.cols(), "dimension mismatch");
+        if self.initialized < self.k() {
+            let idx = self.initialized;
+            self.centroids.row_mut(idx).copy_from_slice(point);
+            self.counts[idx] = 1.0;
+            self.initialized += 1;
+            return idx;
+        }
+        let (idx, _) = nearest_centroid(point, &self.centroids);
+        self.counts[idx] += 1.0;
+        let lr = 1.0 / self.counts[idx];
+        let centroid = self.centroids.row_mut(idx);
+        for (c, &p) in centroid.iter_mut().zip(point) {
+            *c += lr * (p - *c);
+        }
+        idx
+    }
+
+    /// Feeds a batch, applying count decay once per batch; returns the
+    /// per-row assignments.
+    ///
+    /// The first sufficiently large batch seeds the centroids with a
+    /// k-means++ fit — one-point-per-centroid seeding routinely drops
+    /// two seeds into one cluster, a hole online updates cannot escape.
+    pub fn update_batch(&mut self, batch: &Matrix) -> Vec<usize> {
+        if self.initialized < self.k() && batch.rows() >= self.k() {
+            let k = self.k();
+            let fit = KMeans::new(k, 0).fit(batch);
+            self.centroids = fit.centroids;
+            self.initialized = k;
+            for (c, count) in self.counts.iter_mut().enumerate() {
+                *count = fit.assignments.iter().filter(|&&a| a == c).count() as f64;
+            }
+            return fit.assignments;
+        }
+        if self.decay < 1.0 {
+            for c in &mut self.counts {
+                *c *= self.decay;
+            }
+        }
+        batch.row_iter().map(|row| self.update_one(row)).collect()
+    }
+
+    /// Assigns points to current centroids without updating them.
+    pub fn assign(&self, batch: &Matrix) -> Vec<usize> {
+        batch.row_iter().map(|row| nearest_centroid(row, &self.centroids).0).collect()
+    }
+
+    /// Mean squared distance of a batch to its assigned centroids.
+    pub fn inertia(&self, batch: &Matrix) -> f64 {
+        if batch.rows() == 0 {
+            return 0.0;
+        }
+        let total: f64 = batch
+            .row_iter()
+            .map(|row| {
+                let (_, d) = nearest_centroid(row, &self.centroids);
+                d * d
+            })
+            .sum();
+        total / batch.rows() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_linalg::vector;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    fn blob_batch(centers: &[[f64; 2]], per: usize, seed: u64) -> Matrix {
+        let mut rng = stream_rng(seed);
+        use rand::RngExt;
+        let mut rows = Vec::new();
+        for c in centers {
+            for _ in 0..per {
+                rows.push(vec![
+                    c[0] + rng.random_range(-0.2..0.2),
+                    c[1] + rng.random_range(-0.2..0.2),
+                ]);
+            }
+        }
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn seeds_centroids_from_first_points() {
+        let mut km = StreamingKMeans::new(3, 2, 1.0);
+        km.update_one(&[1.0, 1.0]);
+        km.update_one(&[5.0, 5.0]);
+        assert_eq!(km.initialized(), 2);
+        km.update_one(&[9.0, 1.0]);
+        assert_eq!(km.initialized(), 3);
+        assert_eq!(km.centroids().row(1), &[5.0, 5.0]);
+    }
+
+    #[test]
+    fn converges_to_blob_centers() {
+        let centers = [[0.0, 0.0], [8.0, 8.0], [-8.0, 8.0]];
+        let mut km = StreamingKMeans::new(3, 2, 1.0);
+        for seed in 0..20 {
+            let batch = blob_batch(&centers, 30, seed);
+            km.update_batch(&batch);
+        }
+        // Every true center must have a centroid within 0.5.
+        for c in &centers {
+            let (_, d) = nearest_centroid(&c[..], km.centroids());
+            assert!(d < 0.5, "center {c:?} is {d} from nearest centroid");
+        }
+        let test = blob_batch(&centers, 20, 99);
+        assert!(km.inertia(&test) < 0.2, "tight blobs: inertia {}", km.inertia(&test));
+    }
+
+    #[test]
+    fn decayed_counts_track_a_drifting_cluster() {
+        let mut frozen = StreamingKMeans::new(1, 2, 1.0);
+        let mut tracking = StreamingKMeans::new(1, 2, 0.5);
+        // The blob walks from x=0 to x=10.
+        for step in 0..50 {
+            let x = step as f64 * 0.2;
+            let batch = blob_batch(&[[x, 0.0]], 20, step as u64);
+            frozen.update_batch(&batch);
+            tracking.update_batch(&batch);
+        }
+        let target = [9.8, 0.0];
+        let frozen_err = vector::euclidean_distance(frozen.centroids().row(0), &target);
+        let tracking_err = vector::euclidean_distance(tracking.centroids().row(0), &target);
+        assert!(
+            tracking_err < frozen_err,
+            "decay must track drift: {tracking_err} vs frozen {frozen_err}"
+        );
+        assert!(tracking_err < 1.0, "tracker should be near the final position");
+    }
+
+    #[test]
+    fn assign_does_not_move_centroids() {
+        let mut km = StreamingKMeans::new(2, 2, 1.0);
+        km.update_batch(&blob_batch(&[[0.0, 0.0], [5.0, 5.0]], 20, 1));
+        let before = km.centroids().clone();
+        let _ = km.assign(&blob_batch(&[[0.0, 0.0]], 10, 2));
+        assert_eq!(km.centroids(), &before);
+    }
+
+    #[test]
+    fn works_on_gmm_streams() {
+        let mut rng = stream_rng(5);
+        let concept = GmmConcept::random(4, 3, 1, 5.0, 0.4, &mut rng);
+        let mut km = StreamingKMeans::new(3, 4, 1.0);
+        for _ in 0..15 {
+            let (x, _) = concept.sample_batch(128, &mut rng);
+            km.update_batch(&x);
+        }
+        let (x, _) = concept.sample_batch(256, &mut rng);
+        assert!(km.inertia(&x) < 2.0, "3 clusters for 3 blobs: inertia {}", km.inertia(&x));
+    }
+}

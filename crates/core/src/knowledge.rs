@@ -1,0 +1,230 @@
+//! Historical knowledge preservation and reuse (§IV-D).
+//!
+//! Knowledge is a `(d_i, k_i)` pair: a distribution fingerprint (the
+//! projected mean at save time) and a model snapshot. Preservation is
+//! gated by the ASW disorder: high disorder ⇒ save the stable long model;
+//! low disorder ⇒ the stream just finished a directional move, so the
+//! short model holds information the window blurred — save it too.
+//!
+//! When the in-memory buffer reaches its `KdgBuffer` capacity, the older
+//! half is serialised to the archive (the paper writes it to local
+//! storage; we keep the encoded bytes, which is what the Table IV space
+//! study measures either way).
+
+use bytes::Bytes;
+use freeway_linalg::vector;
+use freeway_ml::{Model, ModelSnapshot, ModelSpec};
+
+/// One preserved `(d_i, k_i)` pair.
+#[derive(Clone, Debug)]
+pub struct KnowledgeEntry {
+    /// Distribution fingerprint: projected mean at preservation time.
+    pub distribution: Vec<f64>,
+    /// The reusable model parameters.
+    pub snapshot: ModelSnapshot,
+    /// ASW disorder at preservation time (provenance, used by ablations).
+    pub disorder: f64,
+}
+
+/// The `KdgBuffer`: bounded in-memory knowledge plus a byte archive.
+pub struct KnowledgeStore {
+    entries: Vec<KnowledgeEntry>,
+    capacity: usize,
+    archive: Vec<Bytes>,
+}
+
+impl KnowledgeStore {
+    /// Creates a store keeping at most `capacity` entries in memory.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self { entries: Vec::with_capacity(capacity), capacity, archive: Vec::new() }
+    }
+
+    /// Number of in-memory entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when no in-memory entries exist.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of archived (serialised) entries.
+    pub fn archived(&self) -> usize {
+        self.archive.len()
+    }
+
+    /// Preserves a knowledge pair, spilling the older half to the archive
+    /// when full (§V-A3).
+    pub fn preserve(&mut self, distribution: Vec<f64>, model: &dyn Model, spec: ModelSpec, disorder: f64) {
+        self.preserve_dedup(distribution, model, spec, disorder, 0.0);
+    }
+
+    /// Preserves a knowledge pair, *replacing* the nearest existing entry
+    /// when it lies within `dedup_radius` instead of appending.
+    ///
+    /// Streams spend most of their time inside one distribution, so naive
+    /// appending fills the buffer with near-duplicates of the current
+    /// concept and spills the distinct old concepts that reoccurring
+    /// shifts need — the opposite of the paper's "balance knowledge
+    /// coverage and knowledge quality". Deduplication keeps one fresh
+    /// entry per distribution region.
+    pub fn preserve_dedup(
+        &mut self,
+        distribution: Vec<f64>,
+        model: &dyn Model,
+        spec: ModelSpec,
+        disorder: f64,
+        dedup_radius: f64,
+    ) {
+        let snapshot = ModelSnapshot::capture(spec, model);
+        if dedup_radius > 0.0 {
+            let nearest = self
+                .entries
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, vector::euclidean_distance(&e.distribution, &distribution)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+            if let Some((idx, dist)) = nearest {
+                if dist <= dedup_radius {
+                    self.entries[idx] = KnowledgeEntry { distribution, snapshot, disorder };
+                    return;
+                }
+            }
+        }
+        if self.entries.len() >= self.capacity {
+            let spill = self.capacity / 2;
+            for entry in self.entries.drain(..spill.max(1)) {
+                self.archive.push(entry.snapshot.to_bytes());
+            }
+        }
+        self.entries.push(KnowledgeEntry { distribution, snapshot, disorder });
+    }
+
+    /// Finds the in-memory entry whose distribution is nearest to
+    /// `projected`, returning it with the distance.
+    pub fn nearest(&self, projected: &[f64]) -> Option<(&KnowledgeEntry, f64)> {
+        self.entries
+            .iter()
+            .map(|e| (e, vector::euclidean_distance(&e.distribution, projected)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+    }
+
+    /// The knowledge-match rule of §IV-D: reuse the nearest entry only if
+    /// its distance beats the current shift distance `d_t`.
+    pub fn match_knowledge(&self, projected: &[f64], current_shift: f64) -> Option<&KnowledgeEntry> {
+        self.nearest(projected).and_then(
+            |(entry, dist)| {
+                if dist < current_shift {
+                    Some(entry)
+                } else {
+                    None
+                }
+            },
+        )
+    }
+
+    /// Total bytes of all knowledge (in-memory entries encoded + archive)
+    /// — the quantity Table IV reports.
+    pub fn space_bytes(&self) -> usize {
+        let live: usize = self.entries.iter().map(|e| e.snapshot.size_bytes()).sum();
+        let archived: usize = self.archive.iter().map(Bytes::len).sum();
+        live + archived
+    }
+
+    /// Read-only view of the in-memory entries (oldest first).
+    pub fn entries(&self) -> &[KnowledgeEntry] {
+        &self.entries
+    }
+
+    /// Re-inserts a checkpointed entry verbatim (capacity still applies;
+    /// overflow spills to the archive as usual).
+    pub fn restore_entry(&mut self, distribution: Vec<f64>, snapshot: ModelSnapshot, disorder: f64) {
+        if self.entries.len() >= self.capacity {
+            let spill = self.capacity / 2;
+            for entry in self.entries.drain(..spill.max(1)) {
+                self.archive.push(entry.snapshot.to_bytes());
+            }
+        }
+        self.entries.push(KnowledgeEntry { distribution, snapshot, disorder });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn store_with(n: usize, capacity: usize) -> KnowledgeStore {
+        let spec = ModelSpec::lr(3, 2);
+        let mut s = KnowledgeStore::new(capacity);
+        for i in 0..n {
+            let model = spec.build(i as u64);
+            s.preserve(vec![i as f64, 0.0], model.as_ref(), spec.clone(), 0.5);
+        }
+        s
+    }
+
+    #[test]
+    fn preserve_and_nearest() {
+        let s = store_with(5, 10);
+        let (entry, dist) = s.nearest(&[2.2, 0.0]).expect("non-empty");
+        assert_eq!(entry.distribution, vec![2.0, 0.0]);
+        assert!((dist - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn match_requires_beating_current_shift() {
+        let s = store_with(3, 10);
+        // Nearest entry is at distance 0.5; only reuse when d_t > 0.5.
+        assert!(s.match_knowledge(&[1.5, 0.0], 0.4).is_none());
+        assert!(s.match_knowledge(&[1.5, 0.0], 0.6).is_some());
+    }
+
+    #[test]
+    fn overflow_spills_older_half_to_archive() {
+        let s = store_with(6, 4);
+        // Inserting the 5th entry spilled 2; the 6th fits.
+        assert_eq!(s.archived(), 2);
+        assert!(s.len() <= 4);
+        // Oldest surviving distribution is not 0 or 1 (they were spilled).
+        assert!(s.entries()[0].distribution[0] >= 2.0);
+    }
+
+    #[test]
+    fn space_grows_with_entries() {
+        let s1 = store_with(1, 100);
+        let s5 = store_with(5, 100);
+        assert!(s5.space_bytes() > 4 * s1.space_bytes());
+    }
+
+    #[test]
+    fn archive_counts_toward_space() {
+        let spilled = store_with(6, 4);
+        let unspilled = store_with(6, 100);
+        // Spilling changes representation, not the order of magnitude.
+        let ratio = spilled.space_bytes() as f64 / unspilled.space_bytes() as f64;
+        assert!((0.8..1.2).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn restored_snapshot_predicts_like_original() {
+        let spec = ModelSpec::lr(3, 2);
+        let mut s = KnowledgeStore::new(4);
+        let mut model = spec.build(7);
+        let x = freeway_linalg::Matrix::from_rows(&[vec![1.0, -1.0, 0.5]]);
+        let g = model.gradient(&x, &[1], None);
+        model.apply_update(&g.iter().map(|v| -0.2 * v).collect::<Vec<_>>());
+        s.preserve(vec![0.0, 0.0], model.as_ref(), spec, 0.1);
+        let restored = s.entries()[0].snapshot.restore();
+        assert_eq!(restored.predict(&x), model.predict(&x));
+    }
+
+    #[test]
+    fn empty_store_matches_nothing() {
+        let s = KnowledgeStore::new(3);
+        assert!(s.nearest(&[0.0]).is_none());
+        assert!(s.match_knowledge(&[0.0], 100.0).is_none());
+        assert!(s.is_empty());
+    }
+}

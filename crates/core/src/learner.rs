@@ -1,0 +1,616 @@
+//! The public FreewayML API.
+//!
+//! [`Learner`] mirrors the paper's constructor template
+//! (`Learner(Model, ModelNum, MiniBatch, KdgBuffer, ExpBuffer, α)`) and
+//! wires the strategy selector to the three mechanisms: on each inference
+//! batch exactly **one** strategy runs (slight → ensemble, sudden → CEC,
+//! reoccurring → knowledge reuse), while every training batch updates the
+//! multi-granularity models regardless (§V-A).
+
+use crate::config::FreewayConfig;
+use crate::granularity::MultiGranularity;
+use crate::knowledge::KnowledgeStore;
+use crate::selector::{Decision, StrategySelector};
+use freeway_cluster::{CoherentExperience, ExperienceBuffer};
+use freeway_drift::ShiftPattern;
+use freeway_linalg::{vector, Matrix};
+use freeway_ml::ModelSpec;
+use freeway_streams::Batch;
+
+/// Which mechanism produced a batch's predictions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Strategy {
+    /// Multi-granularity Gaussian-kernel ensemble (Pattern A / warm-up).
+    Ensemble,
+    /// Coherent experience clustering (Pattern B).
+    Clustering,
+    /// Historical knowledge reuse (Pattern C).
+    KnowledgeReuse,
+}
+
+impl Strategy {
+    /// Display tag used in experiment output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Ensemble => "ensemble",
+            Self::Clustering => "cec",
+            Self::KnowledgeReuse => "knowledge",
+        }
+    }
+}
+
+/// Outcome of one inference batch.
+#[derive(Clone, Debug)]
+pub struct InferenceReport {
+    /// Hard class predictions, one per input row.
+    pub predictions: Vec<usize>,
+    /// Strategy that produced them.
+    pub strategy: Strategy,
+    /// Classified pattern (`None` during PCA warm-up).
+    pub pattern: Option<ShiftPattern>,
+    /// Shift severity `M` (0 during warm-up).
+    pub severity: f64,
+    /// Shift distance `d_t` (0 during warm-up).
+    pub distance: f64,
+}
+
+/// Counters of how often each strategy served an inference batch.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StrategyStats {
+    /// Batches served by the multi-granularity ensemble.
+    pub ensemble: usize,
+    /// Batches served by coherent experience clustering.
+    pub clustering: usize,
+    /// Batches served by historical knowledge reuse.
+    pub knowledge: usize,
+}
+
+impl StrategyStats {
+    /// Total inference batches recorded.
+    pub fn total(&self) -> usize {
+        self.ensemble + self.clustering + self.knowledge
+    }
+}
+
+/// The adaptive, stable streaming learner.
+///
+/// ```
+/// use freeway_core::{FreewayConfig, Learner};
+/// use freeway_ml::ModelSpec;
+/// use freeway_streams::{Hyperplane, StreamGenerator};
+///
+/// let mut stream = Hyperplane::new(10, 0.02, 0.05, 42);
+/// let mut learner = Learner::new(
+///     ModelSpec::lr(10, 2),
+///     FreewayConfig { mini_batch: 128, pca_warmup_rows: 128, ..Default::default() },
+/// );
+/// for _ in 0..5 {
+///     let batch = stream.next_batch(128);
+///     let report = learner.process(&batch);
+///     assert_eq!(report.predictions.len(), 128);
+/// }
+/// assert_eq!(learner.strategy_stats().total(), 5);
+/// ```
+pub struct Learner {
+    config: FreewayConfig,
+    spec: ModelSpec,
+    selector: StrategySelector,
+    granularity: MultiGranularity,
+    knowledge: KnowledgeStore,
+    experience: ExperienceBuffer,
+    cec: CoherentExperience,
+    stats: StrategyStats,
+}
+
+impl Learner {
+    /// Creates a learner for the given model architecture.
+    pub fn new(spec: ModelSpec, config: FreewayConfig) -> Self {
+        config.validate();
+        let selector = StrategySelector::new(&config);
+        let granularity = MultiGranularity::new(spec.clone(), &config);
+        let knowledge = KnowledgeStore::new(config.kdg_buffer);
+        let experience =
+            ExperienceBuffer::new(config.experience_points(), Some(config.exp_buffer as u64 * 4));
+        let cec = CoherentExperience::with_recent(
+            spec.classes() * config.cec_cluster_multiplier.max(1),
+            config.mini_batch.max(1),
+            config.cec_min_purity,
+            config.seed ^ 0xCEC,
+        );
+        Self {
+            config,
+            spec,
+            selector,
+            granularity,
+            knowledge,
+            experience,
+            cec,
+            stats: StrategyStats::default(),
+        }
+    }
+
+    /// The paper's constructor template:
+    /// `Learner(Model, ModelNum, MiniBatch, KdgBuffer, ExpBuffer, α)`.
+    pub fn paper_interface(
+        model: ModelSpec,
+        model_num: usize,
+        mini_batch: usize,
+        kdg_buffer: usize,
+        exp_buffer: usize,
+        alpha: f64,
+    ) -> Self {
+        let config = FreewayConfig {
+            model_num,
+            mini_batch,
+            kdg_buffer,
+            exp_buffer,
+            alpha,
+            ..Default::default()
+        };
+        Self::new(model, config)
+    }
+
+    /// Configuration in force.
+    pub fn config(&self) -> &FreewayConfig {
+        &self.config
+    }
+
+    /// Model architecture.
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Knowledge store (space studies read this).
+    pub fn knowledge(&self) -> &KnowledgeStore {
+        &self.knowledge
+    }
+
+    /// Strategy selector (shift-graph introspection).
+    pub fn selector(&self) -> &StrategySelector {
+        &self.selector
+    }
+
+    /// Multi-granularity bank (ablations poke at this).
+    pub fn granularity(&self) -> &MultiGranularity {
+        &self.granularity
+    }
+
+    /// How often each strategy has served inference so far.
+    pub fn strategy_stats(&self) -> StrategyStats {
+        self.stats
+    }
+
+    /// Rate-aware adjuster hook: accelerate ASW decay under pressure.
+    pub fn set_decay_multiplier(&mut self, multiplier: f64) {
+        self.granularity.set_decay_multiplier(multiplier);
+    }
+
+    /// Projects a batch mean into shift-graph coordinates (zeros during
+    /// warm-up, when no PCA exists yet).
+    fn project(&self, x: &Matrix) -> Vec<f64> {
+        match self.selector.tracker().pca() {
+            Some(pca) => pca.project_mean(&x.column_means()),
+            // The warm-up placeholder must match the dimension PCA will
+            // actually fit, which is capped by the feature count (e.g.
+            // SEA has 3 features but the default asks for 4 components).
+            None => vec![0.0; self.config.pca_components.min(self.spec.features())],
+        }
+    }
+
+    /// Handles one **inference** batch: classifies its shift pattern and
+    /// runs exactly one strategy.
+    pub fn infer(&mut self, x: &Matrix) -> InferenceReport {
+        let report = self.infer_inner(x);
+        match report.strategy {
+            Strategy::Ensemble => self.stats.ensemble += 1,
+            Strategy::Clustering => self.stats.clustering += 1,
+            Strategy::KnowledgeReuse => self.stats.knowledge += 1,
+        }
+        report
+    }
+
+    fn infer_inner(&mut self, x: &Matrix) -> InferenceReport {
+        let decision = self.selector.observe(x);
+        let projected = self.project(x);
+        match decision {
+            None => {
+                // PCA warm-up: only the ensemble exists.
+                let predictions = self.granularity.predict(x, &projected);
+                InferenceReport {
+                    predictions,
+                    strategy: Strategy::Ensemble,
+                    pattern: None,
+                    severity: 0.0,
+                    distance: 0.0,
+                }
+            }
+            Some(Decision { pattern, measurement }) => {
+                let (predictions, strategy) = match pattern {
+                    ShiftPattern::Slight => (
+                        self.granularity.predict(x, &measurement.projected),
+                        Strategy::Ensemble,
+                    ),
+                    ShiftPattern::Sudden => {
+                        self.granularity.handle_severe_shift();
+                        self.infer_sudden(x, &measurement.projected)
+                    }
+                    ShiftPattern::Reoccurring => {
+                        self.granularity.handle_severe_shift();
+                        // Reuse is gated twice: the paper's `d_h < d_t`
+                        // (already part of the classification) plus an
+                        // absolute bound — moving to the matched
+                        // distribution must itself look like a *slight*
+                        // shift, otherwise the "match" is a projection
+                        // coincidence and the snapshot would mispredict.
+                        let slight_bound = measurement.history_mean
+                            + self.config.alpha * measurement.history_std;
+                        self.infer_reoccurring(
+                            x,
+                            &measurement.projected,
+                            measurement.distance.min(slight_bound),
+                        )
+                    }
+                };
+                InferenceReport {
+                    predictions,
+                    strategy,
+                    pattern: Some(pattern),
+                    severity: measurement.severity,
+                    distance: measurement.distance,
+                }
+            }
+        }
+    }
+
+    fn infer_sudden(&mut self, x: &Matrix, projected: &[f64]) -> (Vec<usize>, Strategy) {
+        if !self.config.enable_cec {
+            return (self.granularity.predict(x, projected), Strategy::Ensemble);
+        }
+        match self.cec.predict_scored(x, &self.experience) {
+            Some((preds, purity)) => {
+                // Evidence-based arbitration: the freshest labeled points
+                // already carry the post-shift distribution (continuity
+                // hypothesis). CEC's purity *is* its accuracy on the
+                // guidance slice (guidance points inherit their cluster's
+                // majority label), so scoring the ensemble on the same
+                // slice makes the comparison apples-to-apples.
+                let probe = self.cec.max_experience;
+                let (gx, gy) = self.experience.snapshot_recent(probe);
+                let ensemble_score = if gy.is_empty() {
+                    0.0
+                } else {
+                    let ens = self.granularity.predict(&gx, projected);
+                    ens.iter().zip(&gy).filter(|(p, t)| p == t).count() as f64
+                        / gy.len() as f64
+                };
+                if purity > ensemble_score {
+                    (preds, Strategy::Clustering)
+                } else {
+                    (self.granularity.predict(x, projected), Strategy::Ensemble)
+                }
+            }
+            // No coherent experience yet: the ensemble is the only option.
+            None => (self.granularity.predict(x, projected), Strategy::Ensemble),
+        }
+    }
+
+    fn infer_reoccurring(
+        &mut self,
+        x: &Matrix,
+        projected: &[f64],
+        distance: f64,
+    ) -> (Vec<usize>, Strategy) {
+        if !self.config.enable_knowledge {
+            return self.infer_sudden(x, projected);
+        }
+        // Knowledge must also beat the nearest *live* model's fingerprint:
+        // if a current model is as close to this data as the snapshot is,
+        // restoring the snapshot can only lose (it is older).
+        let live_bound = self
+            .granularity
+            .nearest_live_distance(projected)
+            .unwrap_or(f64::INFINITY);
+        if let Some(entry) = self.knowledge.match_knowledge(projected, distance.min(live_bound)) {
+            // Read-only reuse: the matched snapshot answers this batch.
+            // Overwriting the live models would destroy their current
+            // adaptation whenever a match is a false positive, so reuse
+            // stays inference-side and incremental training continues
+            // uninterrupted (§IV-D only requires the knowledge to serve
+            // the reoccurring distribution).
+            let restored = entry.snapshot.restore();
+            // Evidence check: a genuine reoccurrence means the freshest
+            // labeled points (continuity hypothesis) come from the
+            // distribution the snapshot was trained on, so the snapshot
+            // must score well on them. A projection-collision false match
+            // fails here and falls through to the Pattern-B path.
+            let probe = self.cec.max_experience;
+            let (gx, gy) = self.experience.snapshot_recent(probe);
+            if !gy.is_empty() {
+                let restored_preds = restored.predict(&gx);
+                let restored_score = restored_preds
+                    .iter()
+                    .zip(&gy)
+                    .filter(|(p, t)| p == t)
+                    .count() as f64
+                    / gy.len() as f64;
+                let ens = self.granularity.predict(&gx, projected);
+                let ensemble_score =
+                    ens.iter().zip(&gy).filter(|(p, t)| p == t).count() as f64
+                        / gy.len() as f64;
+                if restored_score < ensemble_score {
+                    return self.infer_sudden(x, projected);
+                }
+            }
+            let probs = restored.predict_proba(x);
+            let preds =
+                probs.row_iter().map(|r| vector::argmax(r).unwrap_or(0)).collect();
+            (preds, Strategy::KnowledgeReuse)
+        } else {
+            // No matching knowledge: Pattern C degenerates to Pattern B.
+            self.infer_sudden(x, projected)
+        }
+    }
+
+    /// Handles one **training** batch: always updates the
+    /// multi-granularity models, maintains coherent experience, and
+    /// preserves knowledge at window completions (§V-A).
+    pub fn train(&mut self, x: &Matrix, labels: &[usize]) {
+        assert_eq!(x.rows(), labels.len(), "label count mismatch");
+        // A training-only stream must still warm up PCA; observe() during
+        // warm-up only accumulates rows (it reports nothing), and once the
+        // selector is ready the inference stream owns all observations.
+        if !self.selector.is_ready() {
+            let _ = self.selector.observe(x);
+        }
+        let projected = self.project(x);
+        self.granularity.train(x, labels, &projected);
+
+        // Maintain the coherent-experience buffer from the training stream.
+        self.experience.tick();
+        self.experience.push_batch(x, labels);
+
+        // Knowledge preservation on window completion, gated by disorder.
+        if !self.config.enable_knowledge {
+            let _ = self.granularity.take_completed_disorder();
+            return;
+        }
+        if let Some(disorder) = self.granularity.take_completed_disorder() {
+            let (mu_d, _) = self.selector.tracker().history_stats();
+            let dedup_radius = self.config.kdg_dedup_scale * mu_d;
+            if disorder > self.config.beta {
+                self.knowledge.preserve_dedup(
+                    projected.clone(),
+                    self.granularity.long_model(),
+                    self.spec.clone(),
+                    disorder,
+                    dedup_radius,
+                );
+            } else {
+                // Low disorder: the stream just moved directionally; the
+                // long window blurred that trajectory, so preserve the
+                // information-rich short model (its distribution is the
+                // current one; preserving both under one fingerprint would
+                // just thrash the dedup slot).
+                self.knowledge.preserve_dedup(
+                    projected,
+                    self.granularity.short_model(),
+                    self.spec.clone(),
+                    disorder,
+                    dedup_radius,
+                );
+            }
+        }
+    }
+
+    /// Loads a checkpoint's models and knowledge into this learner (see
+    /// [`crate::persistence::Checkpoint`] for what is and is not carried
+    /// across restarts).
+    pub fn restore_from(&mut self, checkpoint: &crate::persistence::Checkpoint) {
+        self.granularity.set_level_parameters(&checkpoint.level_parameters);
+        for (distribution, snapshot, disorder) in &checkpoint.knowledge {
+            self.knowledge.restore_entry(distribution.clone(), snapshot.clone(), *disorder);
+        }
+    }
+
+    /// Prequential step: infer on the batch, then (if labeled) train on
+    /// it. Returns the inference report.
+    pub fn process(&mut self, batch: &Batch) -> InferenceReport {
+        let report = self.infer(&batch.x);
+        if let Some(labels) = batch.labels.as_deref() {
+            self.train(&batch.x, labels);
+        }
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::DriftPhase;
+
+    fn config() -> FreewayConfig {
+        FreewayConfig {
+            pca_warmup_rows: 64,
+            mini_batch: 128,
+            asw_max_batches: 3,
+            learning_rate: 0.3,
+            ..Default::default()
+        }
+    }
+
+    fn run_stream(
+        learner: &mut Learner,
+        concept: &GmmConcept,
+        rng: &mut rand::rngs::StdRng,
+        batches: usize,
+        size: usize,
+    ) -> Vec<InferenceReport> {
+        (0..batches)
+            .map(|i| {
+                let (x, y) = concept.sample_batch(size, rng);
+                let b = Batch::labeled(x, y, i as u64, DriftPhase::Stable);
+                learner.process(&b)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn paper_interface_sets_fields() {
+        let l = Learner::paper_interface(ModelSpec::lr(4, 2), 2, 512, 15, 8, 2.5);
+        assert_eq!(l.config().model_num, 2);
+        assert_eq!(l.config().mini_batch, 512);
+        assert_eq!(l.config().kdg_buffer, 15);
+        assert_eq!(l.config().exp_buffer, 8);
+        assert!((l.config().alpha - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn learns_a_stable_stream() {
+        let mut rng = stream_rng(10);
+        let concept = GmmConcept::random(6, 2, 2, 4.0, 0.6, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(6, 2), config());
+        let _ = run_stream(&mut learner, &concept, &mut rng, 25, 128);
+        // Accuracy on a fresh batch from the same concept.
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let report = learner.infer(&x);
+        let correct = report.predictions.iter().zip(&y).filter(|(p, t)| p == t).count();
+        assert!(
+            correct as f64 / y.len() as f64 > 0.8,
+            "stable stream accuracy {correct}/{}",
+            y.len()
+        );
+    }
+
+    #[test]
+    fn sudden_shift_triggers_clustering() {
+        let mut rng = stream_rng(11);
+        let mut concept = GmmConcept::random(6, 2, 2, 4.0, 0.6, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(6, 2), config());
+        let _ = run_stream(&mut learner, &concept, &mut rng, 20, 128);
+        concept.translate(&[30.0; 6]);
+        let (x, y) = concept.sample_batch(128, &mut rng);
+        let b = Batch::labeled(x, y, 99, DriftPhase::Sudden);
+        let report = learner.process(&b);
+        assert!(
+            matches!(report.strategy, Strategy::Clustering | Strategy::KnowledgeReuse),
+            "severe shift must leave the ensemble, got {:?}",
+            report.strategy
+        );
+        assert!(report.severity > 1.96);
+    }
+
+    #[test]
+    fn reoccurring_shift_reuses_knowledge() {
+        let mut rng = stream_rng(12);
+        let concept = GmmConcept::random(6, 2, 2, 4.0, 0.6, &mut rng);
+        let mut cfg = config();
+        cfg.beta = 0.9; // force both-save path frequently
+        let mut learner = Learner::new(ModelSpec::lr(6, 2), cfg);
+        // Home phase: long enough to preserve knowledge.
+        let _ = run_stream(&mut learner, &concept, &mut rng, 25, 128);
+        assert!(!learner.knowledge().is_empty(), "window completions must preserve");
+        // Away phase.
+        let mut away = concept.clone();
+        away.translate(&[40.0; 6]);
+        let _ = run_stream(&mut learner, &away, &mut rng, 10, 128);
+        // Return home: the jump back should match stored knowledge.
+        let (x, y) = concept.sample_batch(128, &mut rng);
+        let b = Batch::labeled(x, y, 999, DriftPhase::Reoccurring);
+        let report = learner.process(&b);
+        assert_eq!(report.pattern, Some(ShiftPattern::Reoccurring));
+        assert_eq!(report.strategy, Strategy::KnowledgeReuse);
+    }
+
+    #[test]
+    fn exactly_one_strategy_per_inference() {
+        // The report carries a single strategy; across a mixed stream all
+        // three appear (selector routes, never blends).
+        let mut rng = stream_rng(13);
+        let concept = GmmConcept::random(6, 2, 2, 4.0, 0.6, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(6, 2), config());
+        let reports = run_stream(&mut learner, &concept, &mut rng, 30, 128);
+        for r in &reports {
+            assert_eq!(r.predictions.len(), 128);
+        }
+        let ensemble_count =
+            reports.iter().filter(|r| r.strategy == Strategy::Ensemble).count();
+        assert!(ensemble_count > reports.len() / 2, "stable stream is mostly ensemble");
+    }
+
+    #[test]
+    fn unlabeled_batches_do_not_train() {
+        let mut rng = stream_rng(14);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(4, 2), config());
+        let (x, y) = concept.sample_batch(256, &mut rng);
+        let b = Batch::labeled(x, y, 0, DriftPhase::Stable);
+        learner.process(&b);
+        let params_before = learner.granularity().short_model().parameters();
+        let (x2, _) = concept.sample_batch(128, &mut rng);
+        let unlabeled = Batch::unlabeled(x2, 1, DriftPhase::Stable);
+        learner.process(&unlabeled);
+        assert_eq!(
+            learner.granularity().short_model().parameters(),
+            params_before,
+            "inference-only batches must not move parameters"
+        );
+    }
+
+    #[test]
+    fn knowledge_space_is_measurable() {
+        let mut rng = stream_rng(15);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(4, 2), config());
+        let _ = run_stream(&mut learner, &concept, &mut rng, 30, 128);
+        if !learner.knowledge().is_empty() {
+            assert!(learner.knowledge().space_bytes() > 0);
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::DriftPhase;
+
+    #[test]
+    fn strategy_stats_count_every_inference() {
+        let mut rng = stream_rng(77);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut learner = Learner::new(
+            ModelSpec::lr(4, 2),
+            FreewayConfig { mini_batch: 64, pca_warmup_rows: 64, ..Default::default() },
+        );
+        for i in 0..15 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            learner.process(&Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        let stats = learner.strategy_stats();
+        assert_eq!(stats.total(), 15, "every process() infers exactly once");
+        assert!(stats.ensemble >= 10, "stable stream is mostly ensemble: {stats:?}");
+    }
+
+    #[test]
+    fn three_level_learner_works_end_to_end() {
+        let mut rng = stream_rng(78);
+        let concept = GmmConcept::random(4, 2, 2, 3.0, 0.5, &mut rng);
+        let mut learner = Learner::new(
+            ModelSpec::lr(4, 2),
+            FreewayConfig {
+                model_num: 3,
+                mini_batch: 64,
+                pca_warmup_rows: 64,
+                asw_max_batches: 2,
+                ..Default::default()
+            },
+        );
+        for i in 0..20 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            let report = learner.process(&Batch::labeled(x, y, i, DriftPhase::Stable));
+            assert_eq!(report.predictions.len(), 64);
+        }
+        assert_eq!(learner.granularity().num_levels(), 3);
+    }
+}

@@ -1,0 +1,36 @@
+//! FreewayML core: the adaptive, stable streaming-learning framework.
+//!
+//! This crate assembles the paper's three adaptive mechanisms behind a
+//! single [`learner::Learner`] facade whose constructor mirrors the
+//! paper's interface
+//! (`Learner(Model, ModelNum, MiniBatch, KdgBuffer, ExpBuffer, α)`):
+//!
+//! * [`asw`] — the *adaptive streaming window* feeding the
+//!   long-granularity model, with disorder-aware decay (§IV-B, Alg. 1);
+//! * [`granularity`] — multi-time-granularity models and the Gaussian-
+//!   kernel distance ensemble (Equations 12–14);
+//! * [`knowledge`] — the `KdgBuffer` store with disorder-gated
+//!   preservation and distance matching (§IV-D);
+//! * [`selector`] — the strategy selector built on the shift tracker;
+//! * [`learner`] — the public API tying everything together;
+//! * [`pipeline`] — the threaded train/infer pipeline with asynchronous
+//!   long-model updates (§V-A);
+//! * [`rate`] — the rate-aware adjuster (§V-B).
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod asw;
+pub mod config;
+pub mod granularity;
+pub mod knowledge;
+pub mod learner;
+pub mod persistence;
+pub mod pipeline;
+pub mod rate;
+pub mod selector;
+
+pub use config::{FreewayConfig, OptimizerKind};
+pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
+pub use persistence::Checkpoint;
+pub use selector::StrategySelector;

@@ -1,0 +1,167 @@
+//! Checkpointing: saving and restoring a learner's state.
+//!
+//! Deployments restart; FreewayML's value is exactly the state it
+//! accumulates (trained granularity models, historical knowledge), so a
+//! checkpoint captures both. The shift tracker's PCA and history are
+//! deliberately **not** checkpointed: the paper freezes PCA on warm-up
+//! data, and after a restart the honest move is to re-warm on current
+//! data rather than resume distances against a projection fitted on a
+//! possibly long-gone distribution. A restored learner therefore spends
+//! one PCA warm-up answering from its (fully restored) ensemble before
+//! pattern routing resumes.
+
+use crate::config::FreewayConfig;
+use crate::learner::Learner;
+use freeway_ml::{ModelSnapshot, ModelSpec};
+use serde::{Deserialize, Serialize};
+
+/// A serialisable learner checkpoint.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Checkpoint {
+    /// Configuration the learner ran with.
+    pub config: FreewayConfig,
+    /// Model architecture.
+    pub spec: ModelSpec,
+    /// Flat parameters of every granularity level, short first.
+    pub level_parameters: Vec<Vec<f64>>,
+    /// Preserved knowledge: (distribution fingerprint, snapshot, disorder).
+    pub knowledge: Vec<(Vec<f64>, ModelSnapshot, f64)>,
+}
+
+impl Checkpoint {
+    /// Captures a checkpoint from a live learner.
+    pub fn capture(learner: &Learner) -> Self {
+        Self {
+            config: learner.config().clone(),
+            spec: learner.spec().clone(),
+            level_parameters: learner.granularity().level_parameters(),
+            knowledge: learner
+                .knowledge()
+                .entries()
+                .iter()
+                .map(|e| (e.distribution.clone(), e.snapshot.clone(), e.disorder))
+                .collect(),
+        }
+    }
+
+    /// Rebuilds a learner from the checkpoint.
+    pub fn restore(&self) -> Learner {
+        let mut learner = Learner::new(self.spec.clone(), self.config.clone());
+        learner.restore_from(self);
+        learner
+    }
+
+    /// JSON encoding (checkpoints are dominated by `f64` parameters, so
+    /// JSON costs ~2.5× the binary size; acceptable for the model sizes
+    /// the paper targets, and diffable/debuggable in return).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("checkpoint serialises")
+    }
+
+    /// Decodes a checkpoint from JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::{Batch, DriftPhase};
+
+    fn trained_learner() -> (Learner, GmmConcept, rand::rngs::StdRng) {
+        let mut rng = stream_rng(42);
+        let concept = GmmConcept::random(5, 2, 2, 4.0, 0.6, &mut rng);
+        let mut learner = Learner::new(
+            ModelSpec::mlp(5, vec![8], 2),
+            FreewayConfig {
+                mini_batch: 96,
+                pca_warmup_rows: 96,
+                asw_max_batches: 3,
+                ..Default::default()
+            },
+        );
+        for i in 0..30 {
+            let (x, y) = concept.sample_batch(96, &mut rng);
+            learner.process(&Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        (learner, concept, rng)
+    }
+
+    #[test]
+    fn roundtrip_preserves_models_and_knowledge() {
+        let (learner, concept, mut rng) = trained_learner();
+        let checkpoint = Checkpoint::capture(&learner);
+        let restored = checkpoint.restore();
+
+        assert_eq!(
+            restored.granularity().level_parameters(),
+            learner.granularity().level_parameters(),
+            "every level's parameters survive"
+        );
+        assert_eq!(restored.knowledge().len(), learner.knowledge().len());
+
+        // The restored ensemble predicts like the original's short model.
+        let (x, _) = concept.sample_batch(128, &mut rng);
+        let mut restored = restored;
+        let report = restored.infer(&x);
+        let original_short = learner.granularity().short_model().predict(&x);
+        let agree = report
+            .predictions
+            .iter()
+            .zip(&original_short)
+            .filter(|(a, b)| a == b)
+            .count();
+        assert!(
+            agree as f64 / x.rows() as f64 > 0.9,
+            "restored learner must behave like the original: {agree}/{}",
+            x.rows()
+        );
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let (learner, _, _) = trained_learner();
+        let checkpoint = Checkpoint::capture(&learner);
+        let json = checkpoint.to_json();
+        let decoded = Checkpoint::from_json(&json).expect("valid json");
+        assert_eq!(decoded.level_parameters, checkpoint.level_parameters);
+        assert_eq!(decoded.knowledge.len(), checkpoint.knowledge.len());
+        for (a, b) in decoded.knowledge.iter().zip(&checkpoint.knowledge) {
+            assert_eq!(a.0, b.0);
+            assert_eq!(a.1, b.1);
+        }
+    }
+
+    #[test]
+    fn restored_learner_keeps_learning() {
+        let (learner, concept, mut rng) = trained_learner();
+        let mut restored = Checkpoint::capture(&learner).restore();
+        // Continue the stream through the restored learner; accuracy must
+        // stay high (the restored models carry the learned state through
+        // the PCA re-warm-up).
+        let mut correct = 0;
+        let mut total = 0;
+        for i in 0..10 {
+            let (x, y) = concept.sample_batch(96, &mut rng);
+            let report =
+                restored.process(&Batch::labeled(x, y.clone(), 100 + i, DriftPhase::Stable));
+            correct += report.predictions.iter().zip(&y).filter(|(p, t)| p == t).count();
+            total += y.len();
+        }
+        assert!(
+            correct as f64 / total as f64 > 0.8,
+            "post-restore accuracy {correct}/{total}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "level count")]
+    fn restore_rejects_mismatched_levels() {
+        let (learner, _, _) = trained_learner();
+        let mut checkpoint = Checkpoint::capture(&learner);
+        checkpoint.level_parameters.pop();
+        let _ = checkpoint.restore();
+    }
+}

@@ -1,0 +1,203 @@
+//! The train/infer pipeline (§V-A).
+//!
+//! The paper deploys FreewayML as a multi-process architecture with
+//! asynchronous updates. This reproduction maps that onto a dedicated
+//! worker thread owning the learner, fed through a bounded crossbeam
+//! channel: producers never block on model updates shorter than the
+//! channel's slack, updates are atomic because exactly one thread touches
+//! parameters, and the labeled/unlabeled split of the paper's single
+//! input stream happens at the worker.
+
+use crate::learner::{InferenceReport, Learner};
+use crossbeam::channel::{bounded, Receiver, Sender};
+use freeway_streams::Batch;
+use std::thread::JoinHandle;
+
+/// Output of the pipeline for one batch.
+#[derive(Clone, Debug)]
+pub struct PipelineOutput {
+    /// Sequence number of the batch this refers to.
+    pub seq: u64,
+    /// Inference report (`None` for training-only batches).
+    pub report: Option<InferenceReport>,
+}
+
+enum Command {
+    Batch(Batch),
+    /// Prequential batch: infer first, then train on the same data.
+    Prequential(Batch),
+    Finish,
+}
+
+/// A running pipeline around a [`Learner`].
+pub struct Pipeline {
+    input: Sender<Command>,
+    output: Receiver<PipelineOutput>,
+    handle: Option<JoinHandle<Learner>>,
+}
+
+impl Pipeline {
+    /// Spawns the worker thread. `queue_depth` bounds both channels,
+    /// providing backpressure instead of unbounded memory growth.
+    pub fn spawn(mut learner: Learner, queue_depth: usize) -> Self {
+        assert!(queue_depth >= 1, "queue depth must be positive");
+        let (in_tx, in_rx) = bounded::<Command>(queue_depth);
+        let (out_tx, out_rx) = bounded::<PipelineOutput>(queue_depth);
+        let handle = std::thread::spawn(move || {
+            while let Ok(cmd) = in_rx.recv() {
+                match cmd {
+                    Command::Batch(batch) => {
+                        // The paper's routing: labeled data is the training
+                        // stream, unlabeled the inference stream.
+                        let report = match batch.labels.as_deref() {
+                            Some(labels) => {
+                                learner.train(&batch.x, labels);
+                                None
+                            }
+                            None => Some(learner.infer(&batch.x)),
+                        };
+                        if out_tx.send(PipelineOutput { seq: batch.seq, report }).is_err() {
+                            break;
+                        }
+                    }
+                    Command::Prequential(batch) => {
+                        let report = learner.process(&batch);
+                        if out_tx
+                            .send(PipelineOutput { seq: batch.seq, report: Some(report) })
+                            .is_err()
+                        {
+                            break;
+                        }
+                    }
+                    Command::Finish => break,
+                }
+            }
+            learner
+        });
+        Self { input: in_tx, output: out_rx, handle: Some(handle) }
+    }
+
+    /// Feeds a batch, routed by labeledness (blocks when the queue is
+    /// full — backpressure).
+    ///
+    /// Both channels are bounded by `queue_depth`: every fed batch
+    /// produces one output, so a producer that feeds more than
+    /// `2 * queue_depth` batches without receiving will block until the
+    /// consumer drains. Interleave [`Self::recv`]/[`Self::try_recv`] with
+    /// feeding.
+    pub fn feed(&self, batch: Batch) {
+        self.input.send(Command::Batch(batch)).expect("worker alive");
+    }
+
+    /// Feeds a prequential batch (infer-then-train on the same data).
+    pub fn feed_prequential(&self, batch: Batch) {
+        self.input.send(Command::Prequential(batch)).expect("worker alive");
+    }
+
+    /// Receives the next output, blocking.
+    pub fn recv(&self) -> PipelineOutput {
+        self.output.recv().expect("worker alive")
+    }
+
+    /// Receives without blocking.
+    pub fn try_recv(&self) -> Option<PipelineOutput> {
+        self.output.try_recv().ok()
+    }
+
+    /// Stops the worker and returns the learner (draining any unread
+    /// outputs).
+    pub fn finish(mut self) -> Learner {
+        self.input.send(Command::Finish).expect("worker alive");
+        while self.output.try_recv().is_ok() {}
+        self.handle.take().expect("finish called once").join().expect("worker panicked")
+    }
+}
+
+impl Drop for Pipeline {
+    fn drop(&mut self) {
+        if let Some(handle) = self.handle.take() {
+            let _ = self.input.send(Command::Finish);
+            while self.output.try_recv().is_ok() {}
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FreewayConfig;
+    use freeway_ml::ModelSpec;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::DriftPhase;
+
+    fn learner() -> Learner {
+        Learner::new(
+            ModelSpec::lr(4, 2),
+            FreewayConfig { pca_warmup_rows: 32, mini_batch: 64, ..Default::default() },
+        )
+    }
+
+    #[test]
+    fn routes_labeled_to_training_and_unlabeled_to_inference() {
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::spawn(learner(), 16);
+
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        pipeline.feed(Batch::labeled(x, y, 0, DriftPhase::Stable));
+        let out = pipeline.recv();
+        assert_eq!(out.seq, 0);
+        assert!(out.report.is_none(), "training batches emit no report");
+
+        let (x, _) = concept.sample_batch(64, &mut rng);
+        pipeline.feed(Batch::unlabeled(x, 1, DriftPhase::Stable));
+        let out = pipeline.recv();
+        assert_eq!(out.seq, 1);
+        let report = out.report.expect("inference batches report");
+        assert_eq!(report.predictions.len(), 64);
+
+        let _ = pipeline.finish();
+    }
+
+    #[test]
+    fn prequential_feed_reports_and_trains() {
+        let mut rng = stream_rng(2);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::spawn(learner(), 16);
+        for i in 0..10 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            pipeline.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        let mut reports = 0;
+        for _ in 0..10 {
+            if pipeline.recv().report.is_some() {
+                reports += 1;
+            }
+        }
+        assert_eq!(reports, 10);
+        let learner = pipeline.finish();
+        assert!(learner.selector().is_ready(), "training flowed through the worker");
+    }
+
+    #[test]
+    fn finish_returns_learner_with_state() {
+        let pipeline = Pipeline::spawn(learner(), 4);
+        let l = pipeline.finish();
+        assert_eq!(l.config().mini_batch, 64);
+    }
+
+    #[test]
+    fn outputs_preserve_batch_order() {
+        let mut rng = stream_rng(3);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::spawn(learner(), 32);
+        for i in 0..20 {
+            let (x, y) = concept.sample_batch(32, &mut rng);
+            pipeline.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        let seqs: Vec<u64> = (0..20).map(|_| pipeline.recv().seq).collect();
+        assert_eq!(seqs, (0..20).collect::<Vec<_>>(), "single worker keeps order");
+        let _ = pipeline.finish();
+    }
+}

@@ -1,0 +1,150 @@
+//! Rate-aware adjuster (§V-B).
+//!
+//! Inference and training compete for resources during fast streams. The
+//! adjuster maps observed flow rate and window (queue) pressure to two
+//! knobs:
+//!
+//! * an **inference boost** — how many pending inference batches to
+//!   consume per scheduling tick (raised when pressure is low, so pending
+//!   data drains quickly);
+//! * a **decay multiplier** — applied to the ASW so that, beyond a rate
+//!   threshold, window contents decay faster and long-model updates fire
+//!   less often, lowering resource competition.
+
+/// Tuning for the rate-aware adjuster.
+#[derive(Clone, Debug)]
+pub struct RateAdjusterParams {
+    /// Pressure below which inference frequency is boosted.
+    pub low_pressure: f64,
+    /// Pressure above which inference frequency is reduced to baseline.
+    pub high_pressure: f64,
+    /// Maximum batches consumed per tick at minimal pressure.
+    pub max_inference_boost: usize,
+    /// Flow rate (items/s) beyond which ASW decay accelerates.
+    pub rate_threshold: f64,
+    /// Decay multiplier applied at or above twice the rate threshold.
+    pub max_decay_multiplier: f64,
+}
+
+impl Default for RateAdjusterParams {
+    fn default() -> Self {
+        Self {
+            low_pressure: 0.25,
+            high_pressure: 0.75,
+            max_inference_boost: 4,
+            rate_threshold: 50_000.0,
+            max_decay_multiplier: 3.0,
+        }
+    }
+}
+
+/// The adjuster's verdict for one scheduling tick.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Adjustment {
+    /// Inference batches to consume this tick (≥ 1).
+    pub inference_batches: usize,
+    /// Multiplier to apply to ASW decay (≥ 1).
+    pub decay_multiplier: f64,
+}
+
+/// Maps (pressure, rate) to scheduling adjustments.
+#[derive(Clone, Debug, Default)]
+pub struct RateAwareAdjuster {
+    params: RateAdjusterParams,
+}
+
+impl RateAwareAdjuster {
+    /// Creates an adjuster.
+    pub fn new(params: RateAdjusterParams) -> Self {
+        assert!(params.low_pressure < params.high_pressure, "thresholds must be ordered");
+        assert!(params.max_inference_boost >= 1, "boost must be at least 1");
+        assert!(params.max_decay_multiplier >= 1.0, "decay multiplier must be at least 1");
+        Self { params }
+    }
+
+    /// Computes the adjustment for the current queue pressure (`[0, 1]`)
+    /// and observed flow rate (items per simulated second).
+    pub fn adjust(&self, pressure: f64, rate: f64) -> Adjustment {
+        let p = &self.params;
+        let pressure = pressure.clamp(0.0, 1.0);
+
+        // Inference frequency: linear ramp from max boost (at/below the
+        // low threshold) down to 1 (at/above the high threshold).
+        let inference_batches = if pressure <= p.low_pressure {
+            p.max_inference_boost
+        } else if pressure >= p.high_pressure {
+            1
+        } else {
+            let t = (pressure - p.low_pressure) / (p.high_pressure - p.low_pressure);
+            let boost = p.max_inference_boost as f64 * (1.0 - t);
+            boost.round().max(1.0) as usize
+        };
+
+        // Decay multiplier: 1 below the rate threshold, ramping to the
+        // maximum at twice the threshold.
+        let decay_multiplier = if rate <= p.rate_threshold {
+            1.0
+        } else {
+            let t = ((rate - p.rate_threshold) / p.rate_threshold).min(1.0);
+            1.0 + t * (p.max_decay_multiplier - 1.0)
+        };
+
+        Adjustment { inference_batches, decay_multiplier }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn adjuster() -> RateAwareAdjuster {
+        RateAwareAdjuster::new(RateAdjusterParams::default())
+    }
+
+    #[test]
+    fn low_pressure_boosts_inference() {
+        let a = adjuster().adjust(0.1, 1000.0);
+        assert_eq!(a.inference_batches, 4);
+        assert_eq!(a.decay_multiplier, 1.0);
+    }
+
+    #[test]
+    fn high_pressure_runs_at_baseline() {
+        let a = adjuster().adjust(0.9, 1000.0);
+        assert_eq!(a.inference_batches, 1);
+    }
+
+    #[test]
+    fn mid_pressure_interpolates() {
+        let a = adjuster().adjust(0.5, 1000.0);
+        assert!(a.inference_batches >= 1 && a.inference_batches <= 4);
+    }
+
+    #[test]
+    fn fast_rate_raises_decay() {
+        let slow = adjuster().adjust(0.5, 10_000.0);
+        let fast = adjuster().adjust(0.5, 100_000.0);
+        let very_fast = adjuster().adjust(0.5, 1_000_000.0);
+        assert_eq!(slow.decay_multiplier, 1.0);
+        assert!(fast.decay_multiplier > 1.0);
+        assert_eq!(very_fast.decay_multiplier, 3.0, "capped at the maximum");
+    }
+
+    #[test]
+    fn pressure_is_clamped() {
+        let a = adjuster().adjust(7.0, 0.0);
+        assert_eq!(a.inference_batches, 1);
+        let b = adjuster().adjust(-3.0, 0.0);
+        assert_eq!(b.inference_batches, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "ordered")]
+    fn rejects_inverted_thresholds() {
+        RateAwareAdjuster::new(RateAdjusterParams {
+            low_pressure: 0.9,
+            high_pressure: 0.1,
+            ..Default::default()
+        });
+    }
+}

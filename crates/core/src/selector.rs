@@ -1,0 +1,123 @@
+//! The strategy selector: shift tracker + pattern classifier (§V-A).
+
+use freeway_drift::{classify, ShiftMeasurement, ShiftPattern, ShiftTracker, ShiftTrackerConfig};
+use freeway_linalg::Matrix;
+
+use crate::config::FreewayConfig;
+
+/// The selector's verdict for one batch.
+#[derive(Clone, Debug)]
+pub struct Decision {
+    /// The classified shift pattern.
+    pub pattern: ShiftPattern,
+    /// The underlying measurement.
+    pub measurement: ShiftMeasurement,
+}
+
+/// Observes the inference stream and classifies each batch's shift
+/// pattern; `None` during PCA warm-up (the learner treats warm-up batches
+/// as slight shifts).
+pub struct StrategySelector {
+    tracker: ShiftTracker,
+    alpha: f64,
+}
+
+impl StrategySelector {
+    /// Builds a selector from the learner configuration.
+    pub fn new(config: &FreewayConfig) -> Self {
+        let tracker = ShiftTracker::new(ShiftTrackerConfig {
+            warmup_rows: config.pca_warmup_rows,
+            components: config.pca_components,
+            history: config.shift_history,
+            recency_decay: config.shift_recency_decay,
+            distribution_memory: config.distribution_memory,
+            ..Default::default()
+        });
+        Self { tracker, alpha: config.alpha }
+    }
+
+    /// True once PCA warm-up finished.
+    pub fn is_ready(&self) -> bool {
+        self.tracker.is_ready()
+    }
+
+    /// Classifies one batch; `None` during warm-up.
+    pub fn observe(&mut self, x: &Matrix) -> Option<Decision> {
+        let measurement = self.tracker.observe(x)?;
+        let pattern = classify(&measurement, self.alpha);
+        Some(Decision { pattern, measurement })
+    }
+
+    /// Access to the underlying tracker (experiments read the shift graph
+    /// through this).
+    pub fn tracker(&self) -> &ShiftTracker {
+        &self.tracker
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+
+    fn config() -> FreewayConfig {
+        FreewayConfig { pca_warmup_rows: 64, ..Default::default() }
+    }
+
+    #[test]
+    fn warmup_then_slight_on_stable_stream() {
+        let mut rng = stream_rng(1);
+        let concept = GmmConcept::random(5, 2, 2, 3.0, 0.5, &mut rng);
+        let mut sel = StrategySelector::new(&config());
+        let (b, _) = concept.sample_batch(64, &mut rng);
+        assert!(sel.observe(&b).is_none(), "warm-up completes on this batch");
+        assert!(sel.is_ready());
+        let mut slight = 0;
+        let mut total = 0;
+        for _ in 0..20 {
+            let (b, _) = concept.sample_batch(128, &mut rng);
+            if let Some(d) = sel.observe(&b) {
+                total += 1;
+                if d.pattern == ShiftPattern::Slight {
+                    slight += 1;
+                }
+            }
+        }
+        assert!(slight * 10 >= total * 7, "stable stream mostly slight: {slight}/{total}");
+    }
+
+    #[test]
+    fn jump_is_classified_severe() {
+        let mut rng = stream_rng(2);
+        let mut concept = GmmConcept::random(5, 2, 2, 3.0, 0.5, &mut rng);
+        let mut sel = StrategySelector::new(&config());
+        for _ in 0..15 {
+            let (b, _) = concept.sample_batch(128, &mut rng);
+            let _ = sel.observe(&b);
+        }
+        concept.translate(&[30.0; 5]);
+        let (b, _) = concept.sample_batch(128, &mut rng);
+        let d = sel.observe(&b).expect("ready");
+        assert_ne!(d.pattern, ShiftPattern::Slight, "a 30-unit jump is severe");
+    }
+
+    #[test]
+    fn return_to_origin_is_reoccurring() {
+        let mut rng = stream_rng(3);
+        let concept = GmmConcept::random(5, 2, 2, 3.0, 0.5, &mut rng);
+        let mut sel = StrategySelector::new(&config());
+        for _ in 0..12 {
+            let (b, _) = concept.sample_batch(128, &mut rng);
+            let _ = sel.observe(&b);
+        }
+        let mut away = concept.clone();
+        away.translate(&[40.0; 5]);
+        for _ in 0..8 {
+            let (b, _) = away.sample_batch(128, &mut rng);
+            let _ = sel.observe(&b);
+        }
+        let (b, _) = concept.sample_batch(128, &mut rng);
+        let d = sel.observe(&b).expect("ready");
+        assert_eq!(d.pattern, ShiftPattern::Reoccurring, "M = {}", d.measurement.severity);
+    }
+}

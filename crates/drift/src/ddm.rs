@@ -1,0 +1,262 @@
+//! DDM and EDDM drift detectors (Gama et al. 2004; Baena-García et al.
+//! 2006).
+//!
+//! ADWIN (the River baseline's detector) is distribution-agnostic but
+//! costs a window scan; DDM-family detectors are O(1) per sample and are
+//! the other standard choice in streaming-ML toolkits. They are included
+//! so downstream users can swap detectors, and so the ablation surface
+//! covers the detector family the related-work section discusses.
+
+/// Detector verdict after one observation.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DriftLevel {
+    /// Statistics within normal bounds.
+    Stable,
+    /// Error rising: a drift may be forming (callers often start caching
+    /// data for a replacement model here).
+    Warning,
+    /// Drift confirmed: the monitored model should be replaced/reset.
+    Drift,
+}
+
+/// DDM: monitors the error rate's `p + s` statistic against its running
+/// minimum; warning at `p + s > p_min + 2 s_min`, drift at `+ 3 s_min`.
+#[derive(Clone, Debug)]
+pub struct Ddm {
+    n: u64,
+    p: f64,
+    min_p: f64,
+    min_s: f64,
+    /// Samples to observe before emitting verdicts.
+    warmup: u64,
+}
+
+impl Ddm {
+    /// Creates a DDM detector with the conventional 30-sample warm-up.
+    pub fn new() -> Self {
+        Self { n: 0, p: 0.0, min_p: f64::INFINITY, min_s: f64::INFINITY, warmup: 30 }
+    }
+
+    /// Feeds one 0/1 error observation.
+    pub fn update(&mut self, error: bool) -> DriftLevel {
+        self.n += 1;
+        let x = if error { 1.0 } else { 0.0 };
+        // Incremental mean of a Bernoulli stream.
+        self.p += (x - self.p) / self.n as f64;
+        let s = (self.p * (1.0 - self.p) / self.n as f64).sqrt();
+
+        if self.n < self.warmup {
+            return DriftLevel::Stable;
+        }
+        if self.p + s < self.min_p + self.min_s {
+            self.min_p = self.p;
+            self.min_s = s;
+        }
+        let stat = self.p + s;
+        if stat > self.min_p + 3.0 * self.min_s {
+            self.reset();
+            DriftLevel::Drift
+        } else if stat > self.min_p + 2.0 * self.min_s {
+            DriftLevel::Warning
+        } else {
+            DriftLevel::Stable
+        }
+    }
+
+    /// Clears all state (also called internally after a drift verdict).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+
+    /// Samples observed since the last reset.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+}
+
+impl Default for Ddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// EDDM: monitors the *distance between errors* instead of the error
+/// rate, which detects gradual drifts earlier than DDM. Warning when
+/// `(p' + 2 s') / (p'_max + 2 s'_max) < 0.95`, drift below `0.90`.
+#[derive(Clone, Debug)]
+pub struct Eddm {
+    n_errors: u64,
+    since_last_error: u64,
+    mean_dist: f64,
+    var_dist: f64,
+    max_stat: f64,
+    /// Errors to observe before emitting verdicts.
+    warmup_errors: u64,
+}
+
+impl Eddm {
+    /// Creates an EDDM detector with the conventional 30-error warm-up.
+    pub fn new() -> Self {
+        Self {
+            n_errors: 0,
+            since_last_error: 0,
+            mean_dist: 0.0,
+            var_dist: 0.0,
+            max_stat: 0.0,
+            warmup_errors: 30,
+        }
+    }
+
+    /// Feeds one 0/1 error observation.
+    pub fn update(&mut self, error: bool) -> DriftLevel {
+        self.since_last_error += 1;
+        if !error {
+            return DriftLevel::Stable;
+        }
+        // Welford update over inter-error distances.
+        self.n_errors += 1;
+        let d = self.since_last_error as f64;
+        self.since_last_error = 0;
+        let delta = d - self.mean_dist;
+        self.mean_dist += delta / self.n_errors as f64;
+        self.var_dist += delta * (d - self.mean_dist);
+
+        if self.n_errors < self.warmup_errors {
+            return DriftLevel::Stable;
+        }
+        let std = (self.var_dist / self.n_errors as f64).sqrt();
+        let stat = self.mean_dist + 2.0 * std;
+        if stat > self.max_stat {
+            self.max_stat = stat;
+        }
+        if self.max_stat <= f64::EPSILON {
+            return DriftLevel::Stable;
+        }
+        let ratio = stat / self.max_stat;
+        if ratio < 0.90 {
+            self.reset();
+            DriftLevel::Drift
+        } else if ratio < 0.95 {
+            DriftLevel::Warning
+        } else {
+            DriftLevel::Stable
+        }
+    }
+
+    /// Clears all state (also called internally after a drift verdict).
+    pub fn reset(&mut self) {
+        *self = Self::new();
+    }
+}
+
+impl Default for Eddm {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn bernoulli_stream(p: f64, n: usize, seed: u64) -> Vec<bool> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| rng.random_bool(p)).collect()
+    }
+
+    #[test]
+    fn ddm_stays_stable_on_constant_error_rate() {
+        let mut ddm = Ddm::new();
+        let mut drifts = 0;
+        for e in bernoulli_stream(0.2, 3000, 1) {
+            if ddm.update(e) == DriftLevel::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "constant stream should be quiet: {drifts}");
+    }
+
+    #[test]
+    fn ddm_detects_error_surge() {
+        let mut ddm = Ddm::new();
+        for e in bernoulli_stream(0.1, 1000, 2) {
+            ddm.update(e);
+        }
+        let mut verdicts = Vec::new();
+        for e in bernoulli_stream(0.6, 400, 3) {
+            verdicts.push(ddm.update(e));
+        }
+        assert!(verdicts.contains(&DriftLevel::Drift), "0.1 -> 0.6 must fire DDM");
+    }
+
+    #[test]
+    fn ddm_warns_before_drifting_on_gradual_rise() {
+        let mut ddm = Ddm::new();
+        for e in bernoulli_stream(0.1, 1000, 4) {
+            ddm.update(e);
+        }
+        let mut saw_warning_before_drift = false;
+        let mut warned = false;
+        for step in 0..60 {
+            let p = 0.1 + step as f64 * 0.01;
+            for e in bernoulli_stream(p.min(0.9), 40, 5 + step as u64) {
+                match ddm.update(e) {
+                    DriftLevel::Warning => warned = true,
+                    DriftLevel::Drift => {
+                        if warned {
+                            saw_warning_before_drift = true;
+                        }
+                    }
+                    DriftLevel::Stable => {}
+                }
+            }
+        }
+        assert!(saw_warning_before_drift, "gradual rise should pass through Warning");
+    }
+
+    #[test]
+    fn ddm_resets_after_drift() {
+        let mut ddm = Ddm::new();
+        for e in bernoulli_stream(0.05, 500, 6) {
+            ddm.update(e);
+        }
+        for e in bernoulli_stream(0.7, 300, 7) {
+            if ddm.update(e) == DriftLevel::Drift {
+                break;
+            }
+        }
+        assert!(ddm.samples() < 100, "drift verdict must reset the statistics");
+    }
+
+    #[test]
+    fn eddm_detects_shrinking_error_distances() {
+        let mut eddm = Eddm::new();
+        // Long stretch of rare errors (distance ~20).
+        for e in bernoulli_stream(0.05, 4000, 8) {
+            eddm.update(e);
+        }
+        // Errors become frequent (distance ~2).
+        let mut detected = false;
+        for e in bernoulli_stream(0.5, 1000, 9) {
+            if eddm.update(e) == DriftLevel::Drift {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "distance collapse must fire EDDM");
+    }
+
+    #[test]
+    fn eddm_quiet_on_stationary_stream() {
+        let mut eddm = Eddm::new();
+        let mut drifts = 0;
+        for e in bernoulli_stream(0.15, 6000, 10) {
+            if eddm.update(e) == DriftLevel::Drift {
+                drifts += 1;
+            }
+        }
+        assert!(drifts <= 1, "stationary stream: {drifts} drifts");
+    }
+}

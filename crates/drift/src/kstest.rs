@@ -1,0 +1,201 @@
+//! Two-sample Kolmogorov–Smirnov drift detection on feature marginals.
+//!
+//! The shift graph compares *means* of projected batches — cheap, but
+//! blind to variance/shape changes that keep the mean fixed. The KS
+//! detector is the standard distribution-level complement: it compares
+//! the empirical CDFs of a reference window and the current batch per
+//! feature, flagging drift when any marginal's KS statistic exceeds the
+//! two-sample critical value. FreewayML itself stays mean-based (as in
+//! the paper); this module serves users who need shape-sensitive
+//! detection and the ablation surface.
+
+use freeway_linalg::Matrix;
+
+/// Two-sample KS statistic `sup_x |F_a(x) − F_b(x)|`.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
+    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
+    let mut sa = a.to_vec();
+    let mut sb = b.to_vec();
+    sa.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+    sb.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
+
+    let (mut i, mut j) = (0usize, 0usize);
+    let (na, nb) = (sa.len() as f64, sb.len() as f64);
+    let mut d: f64 = 0.0;
+    while i < sa.len() && j < sb.len() {
+        // Complete the CDF jumps of *both* samples at the current value
+        // before evaluating — ties otherwise yield spurious positive
+        // statistics (|F_a − F_b| measured mid-jump).
+        let v = sa[i].min(sb[j]);
+        while i < sa.len() && sa[i] == v {
+            i += 1;
+        }
+        while j < sb.len() && sb[j] == v {
+            j += 1;
+        }
+        let fa = i as f64 / na;
+        let fb = j as f64 / nb;
+        d = d.max((fa - fb).abs());
+    }
+    d
+}
+
+/// Critical value `c(α) · sqrt((n+m)/(n·m))` of the two-sample KS test.
+/// `alpha` must be one of the tabulated levels 0.10 / 0.05 / 0.01 /
+/// 0.001.
+///
+/// # Panics
+/// Panics on an untabulated `alpha`.
+pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
+    let c = if (alpha - 0.10).abs() < 1e-9 {
+        1.224
+    } else if (alpha - 0.05).abs() < 1e-9 {
+        1.358
+    } else if (alpha - 0.01).abs() < 1e-9 {
+        1.628
+    } else if (alpha - 0.001).abs() < 1e-9 {
+        1.949
+    } else {
+        panic!("alpha {alpha} not tabulated (use 0.10 / 0.05 / 0.01 / 0.001)");
+    };
+    let (n, m) = (n as f64, m as f64);
+    c * ((n + m) / (n * m)).sqrt()
+}
+
+/// Feature-marginal KS drift detector against a sliding reference batch.
+#[derive(Clone, Debug)]
+pub struct KsDetector {
+    reference: Option<Matrix>,
+    alpha: f64,
+}
+
+/// One KS verdict.
+#[derive(Clone, Debug)]
+pub struct KsReport {
+    /// Maximum KS statistic across features.
+    pub max_statistic: f64,
+    /// Feature index attaining the maximum.
+    pub argmax_feature: usize,
+    /// Whether the maximum exceeded the critical value.
+    pub drift: bool,
+}
+
+impl KsDetector {
+    /// Creates a detector at significance level `alpha` (tabulated levels
+    /// only — see [`ks_critical_value`]).
+    pub fn new(alpha: f64) -> Self {
+        // Validate eagerly so misconfiguration fails at construction.
+        let _ = ks_critical_value(10, 10, alpha);
+        Self { reference: None, alpha }
+    }
+
+    /// Observes a batch: compares it against the previous batch and makes
+    /// it the new reference. `None` on the first call.
+    pub fn observe(&mut self, batch: &Matrix) -> Option<KsReport> {
+        let report = self.reference.as_ref().map(|reference| {
+            let mut max_statistic: f64 = 0.0;
+            let mut argmax_feature = 0;
+            for f in 0..batch.cols() {
+                let d = ks_statistic(&reference.col(f), &batch.col(f));
+                if d > max_statistic {
+                    max_statistic = d;
+                    argmax_feature = f;
+                }
+            }
+            let critical = ks_critical_value(reference.rows(), batch.rows(), self.alpha);
+            KsReport { max_statistic, argmax_feature, drift: max_statistic > critical }
+        });
+        self.reference = Some(batch.clone());
+        report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{sample_standard_normal, stream_rng};
+
+    fn normal_batch(n: usize, dim: usize, mean: f64, std: f64, seed: u64) -> Matrix {
+        let mut rng = stream_rng(seed);
+        let data =
+            (0..n * dim).map(|_| mean + std * sample_standard_normal(&mut rng)).collect();
+        Matrix::from_vec(n, dim, data)
+    }
+
+    #[test]
+    fn identical_samples_have_zero_statistic() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        assert!(ks_statistic(&a, &a) < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_samples_have_statistic_one() {
+        let a = [1.0, 2.0, 3.0];
+        let b = [10.0, 11.0, 12.0];
+        assert!((ks_statistic(&a, &b) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn statistic_is_symmetric() {
+        let a = [1.0, 5.0, 2.0, 8.0, 3.0];
+        let b = [2.5, 4.0, 9.0, 1.5];
+        assert!((ks_statistic(&a, &b) - ks_statistic(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn same_distribution_rarely_flags() {
+        let mut det = KsDetector::new(0.01);
+        let mut flags = 0;
+        for seed in 0..30 {
+            let batch = normal_batch(200, 3, 0.0, 1.0, seed);
+            if let Some(r) = det.observe(&batch) {
+                if r.drift {
+                    flags += 1;
+                }
+            }
+        }
+        assert!(flags <= 2, "α=0.01 on iid batches: {flags}/29 flags");
+    }
+
+    #[test]
+    fn mean_shift_is_detected() {
+        let mut det = KsDetector::new(0.01);
+        det.observe(&normal_batch(300, 3, 0.0, 1.0, 1));
+        let r = det.observe(&normal_batch(300, 3, 1.5, 1.0, 2)).unwrap();
+        assert!(r.drift, "1.5σ mean shift: statistic {}", r.max_statistic);
+    }
+
+    #[test]
+    fn variance_change_is_detected_where_mean_tracking_is_blind() {
+        // Same mean, tripled spread: the shift graph's mean distance is
+        // ~0, but KS sees it.
+        let mut det = KsDetector::new(0.01);
+        det.observe(&normal_batch(400, 2, 0.0, 1.0, 3));
+        let r = det.observe(&normal_batch(400, 2, 0.0, 3.0, 4)).unwrap();
+        assert!(r.drift, "variance blow-up: statistic {}", r.max_statistic);
+    }
+
+    #[test]
+    fn report_identifies_the_drifting_feature() {
+        let mut det = KsDetector::new(0.05);
+        let mut a = normal_batch(300, 3, 0.0, 1.0, 5);
+        det.observe(&a);
+        // Shift only feature 2.
+        a = normal_batch(300, 3, 0.0, 1.0, 6);
+        for r in 0..a.rows() {
+            a.row_mut(r)[2] += 2.0;
+        }
+        let report = det.observe(&a).unwrap();
+        assert!(report.drift);
+        assert_eq!(report.argmax_feature, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not tabulated")]
+    fn rejects_untabulated_alpha() {
+        KsDetector::new(0.42);
+    }
+}

@@ -1,0 +1,38 @@
+//! Shift graph and drift-pattern detection (§III of the paper).
+//!
+//! This crate implements the quantitative machinery behind FreewayML's
+//! strategy selector:
+//!
+//! * [`pca::PcaReducer`] — PCA warm-up and batch-mean projection
+//!   (Equations 2–6);
+//! * [`shift::ShiftTracker`] — shift distance, weighted severity score,
+//!   and nearest historical distance (Equations 7–10);
+//! * [`pattern`] — the A / B / C pattern classifier built on those
+//!   measurements;
+//! * [`disorder`] — the inversion-count disorder of a distance ranking
+//!   (Equation 11), used by the adaptive streaming window;
+//! * [`adwin`] — the ADWIN drift detector, needed by the River baseline;
+//! * [`ddm`] — DDM/EDDM error-rate detectors (O(1) per sample);
+//! * [`kstest`] — two-sample KS detection on feature marginals, the
+//!   shape-sensitive complement to the mean-based shift graph.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod adwin;
+pub mod ddm;
+pub mod disorder;
+pub mod kstest;
+pub mod page_hinkley;
+pub mod pattern;
+pub mod pca;
+pub mod shift;
+
+pub use adwin::Adwin;
+pub use ddm::{Ddm, DriftLevel, Eddm};
+pub use kstest::{ks_statistic, KsDetector};
+pub use page_hinkley::PageHinkley;
+pub use disorder::{inversion_count, normalized_disorder};
+pub use pattern::{classify, ShiftPattern};
+pub use pca::PcaReducer;
+pub use shift::{ShiftMeasurement, ShiftTracker, ShiftTrackerConfig};

@@ -1,0 +1,162 @@
+//! Page–Hinkley test (Page 1954), the classic sequential change detector.
+//!
+//! Monitors the cumulative deviation of a signal from its running mean;
+//! an increase of more than `lambda` over the cumulative minimum signals
+//! an upward change. Cheaper than ADWIN (O(1) state) and the standard
+//! choice for monitoring losses or error rates in streaming-ML toolkits.
+
+/// Page–Hinkley detector for upward changes in a signal's mean.
+#[derive(Clone, Debug)]
+pub struct PageHinkley {
+    /// Tolerance `delta`: deviations below this are ignored.
+    delta: f64,
+    /// Detection threshold `lambda`.
+    lambda: f64,
+    n: u64,
+    mean: f64,
+    cumulative: f64,
+    minimum: f64,
+}
+
+impl PageHinkley {
+    /// Creates a detector. Typical values for error-rate monitoring:
+    /// `delta = 0.005`, `lambda = 50` × the per-sample scale.
+    ///
+    /// # Panics
+    /// Panics unless `delta >= 0` and `lambda > 0`.
+    pub fn new(delta: f64, lambda: f64) -> Self {
+        assert!(delta >= 0.0, "delta must be non-negative");
+        assert!(lambda > 0.0, "lambda must be positive");
+        Self { delta, lambda, n: 0, mean: 0.0, cumulative: 0.0, minimum: 0.0 }
+    }
+
+    /// Conventional defaults for 0/1 error streams.
+    pub fn with_defaults() -> Self {
+        Self::new(0.005, 50.0)
+    }
+
+    /// Feeds one observation; returns `true` when an upward mean change
+    /// is detected (the detector then resets).
+    pub fn update(&mut self, value: f64) -> bool {
+        assert!(value.is_finite(), "observations must be finite");
+        self.n += 1;
+        self.mean += (value - self.mean) / self.n as f64;
+        self.cumulative += value - self.mean - self.delta;
+        self.minimum = self.minimum.min(self.cumulative);
+        if self.cumulative - self.minimum > self.lambda {
+            self.reset();
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Observations since the last reset.
+    pub fn samples(&self) -> u64 {
+        self.n
+    }
+
+    /// Clears all state.
+    pub fn reset(&mut self) {
+        self.n = 0;
+        self.mean = 0.0;
+        self.cumulative = 0.0;
+        self.minimum = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+
+    fn noisy_signal(mean: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n).map(|_| mean + rng.random_range(-0.1..0.1)).collect()
+    }
+
+    #[test]
+    fn quiet_on_stationary_signal() {
+        let mut ph = PageHinkley::new(0.005, 20.0);
+        let mut alarms = 0;
+        for v in noisy_signal(0.3, 5000, 1) {
+            if ph.update(v) {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 0, "stationary signal must not alarm");
+    }
+
+    #[test]
+    fn detects_mean_increase() {
+        let mut ph = PageHinkley::new(0.005, 20.0);
+        for v in noisy_signal(0.2, 1000, 2) {
+            ph.update(v);
+        }
+        let mut detected = false;
+        for v in noisy_signal(0.8, 200, 3) {
+            if ph.update(v) {
+                detected = true;
+                break;
+            }
+        }
+        assert!(detected, "0.2 -> 0.8 mean jump must fire");
+    }
+
+    #[test]
+    fn resets_after_detection() {
+        let mut ph = PageHinkley::new(0.005, 10.0);
+        for v in noisy_signal(0.1, 500, 4) {
+            ph.update(v);
+        }
+        for v in noisy_signal(0.9, 200, 5) {
+            if ph.update(v) {
+                break;
+            }
+        }
+        assert!(ph.samples() < 50, "detection must reset the statistics");
+    }
+
+    #[test]
+    fn ignores_downward_changes() {
+        // PH as configured watches for increases; a *drop* in the mean
+        // must not alarm (use a second, negated detector for drops).
+        let mut ph = PageHinkley::new(0.005, 20.0);
+        for v in noisy_signal(0.8, 1000, 6) {
+            ph.update(v);
+        }
+        let mut alarms = 0;
+        for v in noisy_signal(0.1, 1000, 7) {
+            if ph.update(v) {
+                alarms += 1;
+            }
+        }
+        assert_eq!(alarms, 0, "downward change must be invisible");
+    }
+
+    #[test]
+    fn higher_lambda_detects_later() {
+        let measure = |lambda: f64| {
+            let mut ph = PageHinkley::new(0.005, lambda);
+            for v in noisy_signal(0.2, 500, 8) {
+                ph.update(v);
+            }
+            let mut at = None;
+            for (i, v) in noisy_signal(0.7, 500, 9).into_iter().enumerate() {
+                if ph.update(v) {
+                    at = Some(i);
+                    break;
+                }
+            }
+            at.expect("eventually detects")
+        };
+        assert!(measure(5.0) < measure(40.0), "smaller lambda fires earlier");
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn rejects_nan() {
+        PageHinkley::with_defaults().update(f64::NAN);
+    }
+}

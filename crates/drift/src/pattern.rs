@@ -1,0 +1,111 @@
+//! The shift-pattern classifier (§III-C).
+//!
+//! * Pattern A — slight shift: `M ≤ α`;
+//! * Pattern B — sudden shift: `M > α`;
+//! * Pattern C — reoccurring shift: `M > α` and `d_h < d_t`.
+
+use crate::shift::ShiftMeasurement;
+use serde::{Deserialize, Serialize};
+
+/// The paper's default severity threshold.
+pub const DEFAULT_ALPHA: f64 = 1.96;
+
+/// A classified shift pattern.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ShiftPattern {
+    /// Pattern A: slight shift — the multi-granularity ensemble handles it.
+    Slight,
+    /// Pattern B: sudden shift — coherent experience clustering takes over.
+    Sudden,
+    /// Pattern C: reoccurring shift — historical knowledge is reused.
+    Reoccurring,
+}
+
+impl ShiftPattern {
+    /// Display tag used in experiment output.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Self::Slight => "slight",
+            Self::Sudden => "sudden",
+            Self::Reoccurring => "reoccurring",
+        }
+    }
+}
+
+/// Classifies a measurement against the severity threshold `alpha`.
+pub fn classify(m: &ShiftMeasurement, alpha: f64) -> ShiftPattern {
+    if m.severity <= alpha {
+        return ShiftPattern::Slight;
+    }
+    match m.nearest_historical {
+        Some(dh) if dh < m.distance => ShiftPattern::Reoccurring,
+        _ => ShiftPattern::Sudden,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn measurement(severity: f64, distance: f64, dh: Option<f64>) -> ShiftMeasurement {
+        ShiftMeasurement {
+            projected: vec![0.0, 0.0],
+            distance,
+            severity,
+            nearest_historical: dh,
+            nearest_index: dh.map(|_| 0),
+            history_mean: 1.0,
+            history_std: 0.5,
+        }
+    }
+
+    #[test]
+    fn low_severity_is_slight() {
+        let m = measurement(0.5, 1.0, Some(0.1));
+        assert_eq!(classify(&m, DEFAULT_ALPHA), ShiftPattern::Slight);
+    }
+
+    #[test]
+    fn boundary_severity_is_slight() {
+        let m = measurement(1.96, 1.0, None);
+        assert_eq!(classify(&m, 1.96), ShiftPattern::Slight, "condition is strict M > α");
+    }
+
+    #[test]
+    fn high_severity_without_history_is_sudden() {
+        let m = measurement(5.0, 1.0, None);
+        assert_eq!(classify(&m, DEFAULT_ALPHA), ShiftPattern::Sudden);
+    }
+
+    #[test]
+    fn high_severity_with_distant_history_is_sudden() {
+        let m = measurement(5.0, 1.0, Some(2.0));
+        assert_eq!(classify(&m, DEFAULT_ALPHA), ShiftPattern::Sudden);
+    }
+
+    #[test]
+    fn high_severity_with_near_history_is_reoccurring() {
+        let m = measurement(5.0, 1.0, Some(0.2));
+        assert_eq!(classify(&m, DEFAULT_ALPHA), ShiftPattern::Reoccurring);
+    }
+
+    #[test]
+    fn infinite_severity_is_severe() {
+        let m = measurement(f64::INFINITY, 1.0, None);
+        assert_eq!(classify(&m, DEFAULT_ALPHA), ShiftPattern::Sudden);
+    }
+
+    #[test]
+    fn custom_alpha_shifts_the_boundary() {
+        let m = measurement(3.0, 1.0, None);
+        assert_eq!(classify(&m, 5.0), ShiftPattern::Slight);
+        assert_eq!(classify(&m, 2.0), ShiftPattern::Sudden);
+    }
+
+    #[test]
+    fn tags_are_stable() {
+        assert_eq!(ShiftPattern::Slight.tag(), "slight");
+        assert_eq!(ShiftPattern::Sudden.tag(), "sudden");
+        assert_eq!(ShiftPattern::Reoccurring.tag(), "reoccurring");
+    }
+}

@@ -1,0 +1,193 @@
+//! PCA warm-up and projection (Equations 2–6).
+
+use freeway_linalg::{jacobi_eigen, stats, Matrix};
+
+/// A PCA model warmed up on initial stream data, then frozen.
+///
+/// The paper trains PCA once on `n` initial points and applies the
+/// component matrix `P_d` to every later batch: `ȳ_t = P_d^T (μ_t − μ)`.
+/// Freezing is deliberate — the projection must stay comparable across
+/// time for shift distances to mean anything.
+#[derive(Clone, Debug)]
+pub struct PcaReducer {
+    mean: Vec<f64>,
+    components: Matrix, // d x k
+}
+
+impl PcaReducer {
+    /// Fits PCA on warm-up data, keeping the top `k` components.
+    ///
+    /// # Panics
+    /// Panics if `data` has fewer than 2 rows or `k` exceeds the feature
+    /// dimension.
+    pub fn fit(data: &Matrix, k: usize) -> Self {
+        assert!(data.rows() >= 2, "PCA warm-up needs at least two points");
+        assert!(
+            (1..=data.cols()).contains(&k),
+            "component count {k} out of range for {} features",
+            data.cols()
+        );
+        let mean = stats::mean_vector(data);
+        let cov = stats::covariance_matrix(data);
+        let eig = jacobi_eigen(&cov, 1e-10, 100);
+        Self { mean, components: eig.top_components(k) }
+    }
+
+    /// Number of retained components.
+    pub fn k(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Input feature dimension.
+    pub fn input_dim(&self) -> usize {
+        self.components.rows()
+    }
+
+    /// Projects a batch *mean* vector: `ȳ = P_d^T (μ_t − μ)` (Equation 6).
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn project_mean(&self, batch_mean: &[f64]) -> Vec<f64> {
+        assert_eq!(batch_mean.len(), self.mean.len(), "projection dimension mismatch");
+        let centered = freeway_linalg::vector::sub(batch_mean, &self.mean);
+        self.components.t_matvec(&centered)
+    }
+
+    /// Projects every row of a batch (used by the shift-graph
+    /// visualisation in Figure 2).
+    pub fn project_rows(&self, data: &Matrix) -> Matrix {
+        assert_eq!(data.cols(), self.mean.len(), "projection dimension mismatch");
+        let mut out = Matrix::zeros(data.rows(), self.k());
+        for (r, row) in data.row_iter().enumerate() {
+            let projected = self.project_mean(row);
+            out.row_mut(r).copy_from_slice(&projected);
+        }
+        out
+    }
+}
+
+/// Accumulates warm-up rows until enough are present to fit a reducer.
+#[derive(Clone, Debug)]
+pub struct PcaWarmup {
+    rows: Vec<Vec<f64>>,
+    needed: usize,
+    k: usize,
+}
+
+impl PcaWarmup {
+    /// Starts a warm-up that will fit `k` components after `needed` rows.
+    pub fn new(needed: usize, k: usize) -> Self {
+        assert!(needed >= 2, "warm-up needs at least two rows");
+        Self { rows: Vec::with_capacity(needed), needed, k }
+    }
+
+    /// Feeds a batch; returns the fitted reducer once enough rows arrived.
+    pub fn feed(&mut self, batch: &Matrix) -> Option<PcaReducer> {
+        for row in batch.row_iter() {
+            if self.rows.len() < self.needed {
+                self.rows.push(row.to_vec());
+            }
+        }
+        if self.rows.len() >= self.needed {
+            let data = Matrix::from_rows(&self.rows);
+            Some(PcaReducer::fit(&data, self.k.min(data.cols())))
+        } else {
+            None
+        }
+    }
+
+    /// Rows still required before fitting.
+    pub fn remaining(&self) -> usize {
+        self.needed.saturating_sub(self.rows.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_linalg::vector;
+
+    /// Data stretched along the (1, 1) diagonal in 2-D.
+    fn diagonal_data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..100)
+            .map(|i| {
+                let t = (i as f64 - 50.0) / 10.0;
+                let off = ((i * 7) % 13) as f64 * 0.01;
+                vec![t + off, t - off]
+            })
+            .collect();
+        Matrix::from_rows(&rows)
+    }
+
+    #[test]
+    fn first_component_aligns_with_dominant_direction() {
+        let pca = PcaReducer::fit(&diagonal_data(), 1);
+        // Project a step along (1, 1): should have large magnitude.
+        let along = pca.project_mean(&[1.0, 1.0]);
+        // A step along (1, -1) is orthogonal to the dominant direction.
+        let across = pca.project_mean(&[1.0, -1.0]);
+        assert!(
+            vector::norm(&along) > 5.0 * vector::norm(&across),
+            "dominant direction must dominate: {along:?} vs {across:?}"
+        );
+    }
+
+    #[test]
+    fn projection_of_training_mean_is_zero() {
+        let data = diagonal_data();
+        let pca = PcaReducer::fit(&data, 2);
+        let mu = data.column_means();
+        let proj = pca.project_mean(&mu);
+        assert!(vector::norm(&proj) < 1e-9);
+    }
+
+    #[test]
+    fn distances_are_preserved_for_full_rank_projection() {
+        // With k = d, PCA is an isometry: distances between projected
+        // means equal distances between raw means.
+        let data = diagonal_data();
+        let pca = PcaReducer::fit(&data, 2);
+        let a = [1.0, 2.0];
+        let b = [-0.5, 0.3];
+        let pa = pca.project_mean(&a);
+        let pb = pca.project_mean(&b);
+        let raw = vector::euclidean_distance(&a, &b);
+        let projected = vector::euclidean_distance(&pa, &pb);
+        assert!((raw - projected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn project_rows_matches_per_row_projection() {
+        let data = diagonal_data();
+        let pca = PcaReducer::fit(&data, 2);
+        let batch = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        let all = pca.project_rows(&batch);
+        assert_eq!(all.row(0), pca.project_mean(&[1.0, 0.0]).as_slice());
+        assert_eq!(all.row(1), pca.project_mean(&[0.0, 1.0]).as_slice());
+    }
+
+    #[test]
+    fn warmup_fits_after_enough_rows() {
+        let mut w = PcaWarmup::new(10, 2);
+        let chunk = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![1.0, 1.0]]);
+        assert!(w.feed(&chunk).is_none());
+        assert_eq!(w.remaining(), 7);
+        assert!(w.feed(&chunk).is_none());
+        assert!(w.feed(&chunk).is_none());
+        let fitted = w.feed(&chunk);
+        assert!(fitted.is_some(), "10th row arrived");
+        assert_eq!(fitted.unwrap().k(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn fit_rejects_single_point() {
+        PcaReducer::fit(&Matrix::from_rows(&[vec![1.0, 2.0]]), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn fit_rejects_excess_components() {
+        PcaReducer::fit(&diagonal_data(), 3);
+    }
+}

@@ -1,0 +1,351 @@
+//! Shift distance and severity tracking (Equations 6–10).
+
+use crate::pca::{PcaReducer, PcaWarmup};
+use freeway_linalg::{stats, vector, Matrix};
+use std::collections::VecDeque;
+
+/// Configuration for [`ShiftTracker`].
+#[derive(Clone, Debug)]
+pub struct ShiftTrackerConfig {
+    /// Rows of warm-up data before PCA is fitted.
+    pub warmup_rows: usize,
+    /// PCA components retained.
+    pub components: usize,
+    /// How many previous shift distances enter the severity statistics
+    /// (the `k` of Equations 8–9).
+    pub history: usize,
+    /// Per-step weight decay for older shifts (`w_i` in Equation 8).
+    pub recency_decay: f64,
+    /// How many projected batch means are remembered for the
+    /// nearest-historical-distance `d_h` (Pattern C detection).
+    pub distribution_memory: usize,
+    /// Severe shift distances are winsorized to `μ_d + winsorize_z · σ_d`
+    /// before entering the history: one jump must not inflate the
+    /// statistics so much that it masks the next jump.
+    pub winsorize_z: f64,
+}
+
+impl Default for ShiftTrackerConfig {
+    fn default() -> Self {
+        Self {
+            warmup_rows: 256,
+            components: 2,
+            history: 20,
+            recency_decay: 0.9,
+            distribution_memory: 200,
+            winsorize_z: 3.0,
+        }
+    }
+}
+
+/// One batch's shift measurement.
+#[derive(Clone, Debug)]
+pub struct ShiftMeasurement {
+    /// Projected batch mean `ȳ_t`.
+    pub projected: Vec<f64>,
+    /// Shift distance `d_t = ‖ȳ_t − ȳ_{t−1}‖` (Equation 7).
+    pub distance: f64,
+    /// Severity z-score `M = (d_t − μ_d)/σ_d` (Equation 10); zero while
+    /// history is too short to be meaningful.
+    pub severity: f64,
+    /// Nearest distance to any remembered historical distribution
+    /// (`d_h`), excluding the immediately previous batch; `None` until
+    /// history exists.
+    pub nearest_historical: Option<f64>,
+    /// Index (into the tracker's remembered distributions) of the nearest
+    /// historical distribution, aligned with `nearest_historical`.
+    pub nearest_index: Option<usize>,
+    /// Weighted mean `μ_d` of the shift-distance history (Equation 8).
+    pub history_mean: f64,
+    /// Standard deviation `σ_d` of the shift-distance history (Equation 9).
+    pub history_std: f64,
+}
+
+/// Tracks the data-shift graph of a stream.
+///
+/// Feed every batch in arrival order; the tracker warms up PCA first
+/// (reporting `None` meanwhile), then emits a [`ShiftMeasurement`] per
+/// batch.
+///
+/// ```
+/// use freeway_drift::{ShiftTracker, ShiftTrackerConfig};
+/// use freeway_linalg::Matrix;
+///
+/// let mut tracker = ShiftTracker::new(ShiftTrackerConfig {
+///     warmup_rows: 8,
+///     components: 2,
+///     ..Default::default()
+/// });
+/// // Warm-up batch fits the PCA…
+/// let warm = Matrix::from_rows(&(0..8).map(|i| vec![i as f64, -(i as f64)]).collect::<Vec<_>>());
+/// assert!(tracker.observe(&warm).is_none());
+/// // …after which every batch yields a measurement.
+/// let m = tracker.observe(&Matrix::filled(4, 2, 3.0)).unwrap();
+/// assert!(m.distance >= 0.0);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ShiftTracker {
+    config: ShiftTrackerConfig,
+    warmup: Option<PcaWarmup>,
+    pca: Option<PcaReducer>,
+    previous: Option<Vec<f64>>,
+    shift_history: VecDeque<f64>,
+    distributions: VecDeque<Vec<f64>>,
+}
+
+impl ShiftTracker {
+    /// Creates a tracker with the given configuration.
+    pub fn new(config: ShiftTrackerConfig) -> Self {
+        assert!(config.history >= 2, "severity needs at least two history entries");
+        assert!(config.components >= 1, "need at least one component");
+        Self {
+            warmup: Some(PcaWarmup::new(config.warmup_rows, config.components)),
+            config,
+            pca: None,
+            previous: None,
+            shift_history: VecDeque::new(),
+            distributions: VecDeque::new(),
+        }
+    }
+
+    /// Creates a tracker with default configuration.
+    pub fn with_defaults() -> Self {
+        Self::new(ShiftTrackerConfig::default())
+    }
+
+    /// True once PCA is fitted and measurements flow.
+    pub fn is_ready(&self) -> bool {
+        self.pca.is_some()
+    }
+
+    /// The fitted reducer, if warm-up completed.
+    pub fn pca(&self) -> Option<&PcaReducer> {
+        self.pca.as_ref()
+    }
+
+    /// Remembered historical distributions (projected means), oldest
+    /// first. Index positions match [`ShiftMeasurement::nearest_index`].
+    pub fn distributions(&self) -> &VecDeque<Vec<f64>> {
+        &self.distributions
+    }
+
+    /// Current weighted mean and standard deviation of the shift-distance
+    /// history (`μ_d`, `σ_d`); zeros while fewer than two shifts are
+    /// recorded. Consumers use the mean as the stream's characteristic
+    /// distance scale.
+    pub fn history_stats(&self) -> (f64, f64) {
+        if self.shift_history.len() < 2 {
+            return (0.0, 0.0);
+        }
+        let hist: Vec<f64> = self.shift_history.iter().copied().collect();
+        let weights = stats::recency_weights(hist.len(), self.config.recency_decay);
+        let mu = stats::weighted_mean(&hist, &weights);
+        (mu, stats::std_dev_around(&hist, mu))
+    }
+
+    /// Observes a batch; returns `None` during PCA warm-up.
+    pub fn observe(&mut self, batch: &Matrix) -> Option<ShiftMeasurement> {
+        if self.pca.is_none() {
+            let warmup = self.warmup.as_mut().expect("warmup present until PCA fitted");
+            if let Some(fitted) = warmup.feed(batch) {
+                self.pca = Some(fitted);
+                self.warmup = None;
+                // The warm-up tail also serves as the first reference point.
+                let mean = batch.column_means();
+                let projected =
+                    self.pca.as_ref().expect("just fitted").project_mean(&mean);
+                self.previous = Some(projected);
+            }
+            return None;
+        }
+
+        let pca = self.pca.as_ref().expect("ready");
+        let mean = batch.column_means();
+        let projected = pca.project_mean(&mean);
+
+        let previous = self.previous.as_ref().expect("set when PCA fitted");
+        let distance = vector::euclidean_distance(&projected, previous);
+
+        // Severity against weighted history (Equations 8–10).
+        let mut recorded_distance = distance;
+        let mut history_mean = distance;
+        let mut history_std = 0.0;
+        let severity = if self.shift_history.len() >= 2 {
+            let hist: Vec<f64> = self.shift_history.iter().copied().collect();
+            let weights = stats::recency_weights(hist.len(), self.config.recency_decay);
+            let mu = stats::weighted_mean(&hist, &weights);
+            let sigma = stats::std_dev_around(&hist, mu);
+            history_mean = mu;
+            history_std = sigma;
+            if sigma > 1e-12 {
+                let m = (distance - mu) / sigma;
+                // Winsorize severe distances before they enter the
+                // history, so one jump cannot mask the next.
+                if m > self.config.winsorize_z {
+                    recorded_distance = mu + self.config.winsorize_z * sigma;
+                }
+                m
+            } else if distance > mu + 1e-12 {
+                // Degenerate flat history: any real movement is severe.
+                f64::INFINITY
+            } else {
+                0.0
+            }
+        } else {
+            0.0
+        };
+
+        // Nearest historical distribution (for Pattern C detection).
+        let (nearest_historical, nearest_index) = self
+            .distributions
+            .iter()
+            .enumerate()
+            .map(|(i, d)| (vector::euclidean_distance(&projected, d), i))
+            .min_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"))
+            .map_or((None, None), |(d, i)| (Some(d), Some(i)));
+
+        // Update state.
+        self.shift_history.push_back(recorded_distance);
+        while self.shift_history.len() > self.config.history {
+            self.shift_history.pop_front();
+        }
+        self.distributions.push_back(previous.clone());
+        while self.distributions.len() > self.config.distribution_memory {
+            self.distributions.pop_front();
+        }
+        self.previous = Some(projected.clone());
+
+        Some(ShiftMeasurement {
+            projected,
+            distance,
+            severity,
+            nearest_historical,
+            nearest_index,
+            history_mean,
+            history_std,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::GmmConcept;
+    use freeway_streams::concept::stream_rng;
+
+    fn config() -> ShiftTrackerConfig {
+        ShiftTrackerConfig {
+            warmup_rows: 64,
+            components: 2,
+            history: 10,
+            recency_decay: 0.9,
+            distribution_memory: 50,
+            winsorize_z: 3.0,
+        }
+    }
+
+    fn steady_concept(seed: u64) -> (GmmConcept, rand::rngs::StdRng) {
+        let mut rng = stream_rng(seed);
+        let c = GmmConcept::random(6, 2, 2, 3.0, 0.5, &mut rng);
+        (c, rng)
+    }
+
+    #[test]
+    fn warmup_then_measurements() {
+        let (c, mut rng) = steady_concept(1);
+        let mut tracker = ShiftTracker::new(config());
+        let (b1, _) = c.sample_batch(32, &mut rng);
+        assert!(tracker.observe(&b1).is_none(), "32 < 64 warm-up rows");
+        let (b2, _) = c.sample_batch(32, &mut rng);
+        assert!(tracker.observe(&b2).is_none(), "warm-up completes on this batch");
+        assert!(tracker.is_ready());
+        let (b3, _) = c.sample_batch(32, &mut rng);
+        let m = tracker.observe(&b3).expect("ready");
+        assert!(m.distance.is_finite());
+        assert_eq!(m.projected.len(), 2);
+    }
+
+    #[test]
+    fn stable_stream_has_low_severity() {
+        let (c, mut rng) = steady_concept(2);
+        let mut tracker = ShiftTracker::new(config());
+        let mut severities = Vec::new();
+        for _ in 0..30 {
+            let (b, _) = c.sample_batch(128, &mut rng);
+            if let Some(m) = tracker.observe(&b) {
+                severities.push(m.severity);
+            }
+        }
+        // Individual batches can spike by chance; the robust property of
+        // a stable stream is that severe classifications stay rare.
+        let tail = &severities[5..];
+        let severe = tail.iter().filter(|&&m| m > 1.96).count();
+        assert!(
+            (severe as f64) < 0.35 * tail.len() as f64,
+            "stable stream mostly below α: {severe}/{} severe",
+            tail.len()
+        );
+        let mut sorted = tail.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = sorted[sorted.len() / 2];
+        assert!(median < 1.96, "median severity {median} should be below α");
+    }
+
+    #[test]
+    fn sudden_jump_spikes_severity() {
+        let (mut c, mut rng) = steady_concept(3);
+        let mut tracker = ShiftTracker::new(config());
+        for _ in 0..20 {
+            let (b, _) = c.sample_batch(128, &mut rng);
+            let _ = tracker.observe(&b);
+        }
+        // Jump the whole distribution far away.
+        c.translate(&[50.0, -50.0, 50.0, -50.0, 50.0, -50.0]);
+        let (b, _) = c.sample_batch(128, &mut rng);
+        let m = tracker.observe(&b).expect("ready");
+        assert!(m.severity > 1.96, "jump must exceed α: M = {}", m.severity);
+    }
+
+    #[test]
+    fn returning_to_old_distribution_yields_small_nearest_historical() {
+        let (c, mut rng) = steady_concept(4);
+        let mut tracker = ShiftTracker::new(config());
+        // Phase 1: home distribution.
+        for _ in 0..15 {
+            let (b, _) = c.sample_batch(128, &mut rng);
+            let _ = tracker.observe(&b);
+        }
+        // Phase 2: far-away distribution.
+        let mut away = c.clone();
+        away.translate(&[40.0; 6]);
+        for _ in 0..10 {
+            let (b, _) = away.sample_batch(128, &mut rng);
+            let _ = tracker.observe(&b);
+        }
+        // Phase 3: return home.
+        let (b, _) = c.sample_batch(128, &mut rng);
+        let m = tracker.observe(&b).expect("ready");
+        let dh = m.nearest_historical.expect("history exists");
+        assert!(
+            dh < m.distance,
+            "returning home: nearest history {dh} must beat current shift {}",
+            m.distance
+        );
+        assert!(m.severity > 1.96, "the return jump itself is severe");
+    }
+
+    #[test]
+    fn history_is_bounded() {
+        let (c, mut rng) = steady_concept(5);
+        let mut cfg = config();
+        cfg.distribution_memory = 5;
+        cfg.history = 3;
+        let mut tracker = ShiftTracker::new(cfg);
+        for _ in 0..40 {
+            let (b, _) = c.sample_batch(64, &mut rng);
+            let _ = tracker.observe(&b);
+        }
+        assert!(tracker.distributions().len() <= 5);
+        assert!(tracker.shift_history.len() <= 3);
+    }
+}

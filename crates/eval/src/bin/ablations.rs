@@ -1,0 +1,11 @@
+//! Runs the DESIGN.md ablation studies.
+
+use freeway_eval::experiments::{ablations, common, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Ablations at {scale:?}");
+    let a = ablations::run(&scale);
+    println!("{}", a.render());
+    common::save_json("ablations", &a);
+}

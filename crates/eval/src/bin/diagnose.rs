@@ -1,0 +1,66 @@
+//! Diagnostic tool: per-batch comparison of FreewayML vs the plain
+//! streaming model on one dataset, with the selector's verdict, the
+//! strategy used, and the component models' individual accuracies.
+//!
+//! ```sh
+//! cargo run --release -p freeway-eval --bin diagnose -- NSL-KDD
+//! ```
+//!
+//! Output is CSV: `batch,phase,pattern,strategy,severity,acc_fw,
+//! acc_plain,acc_short,acc_long,[per-level (distance, updates)]`.
+
+use freeway_baselines::{FreewaySystem, PlainSgd, StreamingLearner};
+use freeway_core::Strategy;
+use freeway_eval::experiments::common::{dataset, freeway_config, ModelFamily, Scale};
+use freeway_eval::metrics::batch_accuracy;
+
+fn main() {
+    let ds = std::env::args().nth(1).unwrap_or_else(|| "NSL-KDD".into());
+    let scale = Scale { batches: 100, batch_size: 128, warmup: 4, seed: 7 };
+    let mut gen_a = dataset(&ds, scale.seed);
+    let mut gen_b = dataset(&ds, scale.seed);
+    let spec = ModelFamily::Mlp.spec(gen_a.num_features(), gen_a.num_classes());
+    let mut freeway = FreewaySystem::with_config(spec.clone(), freeway_config(&scale));
+    let mut plain = PlainSgd::new(spec, scale.seed);
+
+    for _ in 0..scale.warmup {
+        let b = gen_a.next_batch(scale.batch_size);
+        freeway.train(&b.x, b.labels());
+        let b2 = gen_b.next_batch(scale.batch_size);
+        plain.train(&b2.x, b2.labels());
+    }
+    println!("batch,phase,pattern,strategy,severity,acc_fw,acc_plain,acc_short,acc_long");
+    for i in 0..scale.batches {
+        let b = gen_a.next_batch(scale.batch_size);
+        let report = freeway.learner_mut().infer(&b.x);
+        let acc_fw = batch_accuracy(&report.predictions, b.labels());
+        let short_preds = freeway.learner().granularity().short_model().predict(&b.x);
+        let acc_short = batch_accuracy(&short_preds, b.labels());
+        let long_preds = freeway.learner().granularity().long_model().predict(&b.x);
+        let acc_long = batch_accuracy(&long_preds, b.labels());
+        let proj = freeway
+            .learner()
+            .selector()
+            .tracker()
+            .pca()
+            .map(|p| p.project_mean(&b.x.column_means()))
+            .unwrap_or_default();
+        let diag = freeway.learner().granularity().level_diagnostics(&proj);
+        freeway.train(&b.x, b.labels());
+
+        let b2 = gen_b.next_batch(scale.batch_size);
+        let preds = plain.infer(&b2.x);
+        let acc_pl = batch_accuracy(&preds, b2.labels());
+        plain.train(&b2.x, b2.labels());
+
+        let strat = match report.strategy {
+            Strategy::Ensemble => "ens",
+            Strategy::Clustering => "cec",
+            Strategy::KnowledgeReuse => "kdg",
+        };
+        println!(
+            "{i},{:?},{:?},{strat},{:.2},{:.3},{:.3},{:.3},{:.3},{:?}",
+            b.phase, report.pattern, report.severity, acc_fw, acc_pl, acc_short, acc_long, diag
+        );
+    }
+}

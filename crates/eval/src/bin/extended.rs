@@ -1,0 +1,11 @@
+//! Runs the extended comparison (all learner families, beyond the paper).
+
+use freeway_eval::experiments::{common, extended, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Extended comparison at {scale:?}");
+    let e = extended::run(&scale);
+    println!("{}", e.render());
+    common::save_json("extended", &e);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Figure 10: throughput vs batch size.
+
+use freeway_eval::experiments::{common, fig10, Scale};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if std::env::var("FREEWAY_BATCHES").is_err() {
+        scale.batches = 30;
+    }
+    eprintln!("Figure 10 at {scale:?}");
+    let f = fig10::run(&scale);
+    println!("{}", f.render());
+    common::save_json("fig10", &f);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 11: per-pattern accuracy vs existing methods.
+
+use freeway_eval::experiments::{common, fig11, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Figure 11 at {scale:?}");
+    let f = fig11::run(&scale);
+    println!("{}", f.render());
+    common::save_json("fig11", &f);
+}

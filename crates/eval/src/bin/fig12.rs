@@ -1,0 +1,14 @@
+//! Regenerates Figure 12 (appendix): CNN per-mechanism accuracy curves.
+
+use freeway_eval::experiments::{common, fig9, ModelFamily, Scale};
+
+const FIG12_DATASETS: [&str; 6] =
+    ["Airlines", "Covertype", "NSL-KDD", "Electricity", "Animals", "Flowers"];
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Figure 12 at {scale:?}");
+    let f = fig9::run(ModelFamily::Cnn, &FIG12_DATASETS, &scale);
+    println!("{}", f.render());
+    common::save_json("fig12", &f);
+}

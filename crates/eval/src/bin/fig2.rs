@@ -1,0 +1,11 @@
+//! Regenerates Figure 2: shift graphs + accuracy under shifts.
+
+use freeway_eval::experiments::{common, fig2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Figure 2 at {scale:?}");
+    let f = fig2::run(&scale);
+    println!("{}", f.render());
+    common::save_json("fig2", &f);
+}

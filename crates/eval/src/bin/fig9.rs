@@ -1,0 +1,11 @@
+//! Regenerates Figure 9: per-mechanism accuracy curves (MLP family).
+
+use freeway_eval::experiments::{common, fig9, ModelFamily, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Figure 9 at {scale:?}");
+    let f = fig9::run(ModelFamily::Mlp, &fig9::FIG9_DATASETS, &scale);
+    println!("{}", f.render());
+    common::save_json("fig9", &f);
+}

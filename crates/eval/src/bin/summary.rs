@@ -1,0 +1,197 @@
+//! Digest of all experiment outputs under `results/` — the numbers
+//! EXPERIMENTS.md records, extracted from the JSON artifacts so the
+//! document and the data cannot drift apart.
+//!
+//! ```sh
+//! ./run_experiments.sh && cargo run --release -p freeway-eval --bin summary
+//! ```
+
+use serde_json::Value;
+use std::path::Path;
+
+fn load(name: &str) -> Option<Value> {
+    let path = Path::new("results").join(format!("{name}.json"));
+    let data = std::fs::read_to_string(&path).ok()?;
+    serde_json::from_str(&data).ok()
+}
+
+fn f(v: &Value) -> f64 {
+    v.as_f64().unwrap_or(f64::NAN)
+}
+
+fn main() {
+    println!("# Experiment digest (from results/*.json)\n");
+
+    if let Some(t) = load("fig2") {
+        println!("## Figure 2 — shift-distance vs accuracy-drop correlation");
+        for g in t["graphs"].as_array().into_iter().flatten() {
+            println!("  {:<12} {:+.3}", g["dataset"].as_str().unwrap_or("?"), f(&g["drop_correlation"]));
+        }
+        println!();
+    }
+
+    if let Some(t) = load("table1") {
+        println!("## Table I — G_acc / SI (FreewayML vs best baseline per dataset)");
+        let cells = t["cells"].as_array().cloned().unwrap_or_default();
+        let mut models: Vec<String> = Vec::new();
+        for c in &cells {
+            let m = c["model"].as_str().unwrap_or("?").to_string();
+            if !models.contains(&m) {
+                models.push(m);
+            }
+        }
+        for model in models {
+            let in_model: Vec<&Value> =
+                cells.iter().filter(|c| c["model"] == model.as_str()).collect();
+            let mut datasets: Vec<String> = Vec::new();
+            for c in &in_model {
+                let d = c["dataset"].as_str().unwrap_or("?").to_string();
+                if !datasets.contains(&d) {
+                    datasets.push(d);
+                }
+            }
+            println!("  {model}:");
+            for d in datasets {
+                let freeway = in_model
+                    .iter()
+                    .find(|c| c["dataset"] == d.as_str() && c["system"] == "FreewayML");
+                let best = in_model
+                    .iter()
+                    .filter(|c| c["dataset"] == d.as_str() && c["system"] != "FreewayML")
+                    .max_by(|a, b| f(&a["g_acc"]).partial_cmp(&f(&b["g_acc"])).unwrap());
+                if let (Some(fw), Some(b)) = (freeway, best) {
+                    println!(
+                        "    {:<12} FreewayML {:.2}%/{:.3} vs best baseline {} {:.2}%/{:.3} ({:+.2} pts)",
+                        d,
+                        f(&fw["g_acc"]) * 100.0,
+                        f(&fw["si"]),
+                        b["system"].as_str().unwrap_or("?"),
+                        f(&b["g_acc"]) * 100.0,
+                        f(&b["si"]),
+                        (f(&fw["g_acc"]) - f(&b["g_acc"])) * 100.0
+                    );
+                }
+            }
+        }
+        println!();
+    }
+
+    if let Some(t) = load("table2") {
+        println!("## Table II — improvement vs plain StreamingMLP (%)");
+        for r in t["rows"].as_array().into_iter().flatten() {
+            let cell = |k: &str| {
+                r[k].as_f64().map_or("n/a".to_string(), |v| format!("{v:+.1}"))
+            };
+            println!(
+                "  {:<12} slight {}  sudden {}  reoccurring {}",
+                r["dataset"].as_str().unwrap_or("?"),
+                cell("slight_pct"),
+                cell("sudden_pct"),
+                cell("reoccurring_pct")
+            );
+        }
+        println!();
+    }
+
+    if let Some(t) = load("fig10") {
+        println!("## Figure 10 — throughput at batch 1024 (items/s)");
+        for p in t["points"].as_array().into_iter().flatten() {
+            if p["batch_size"] == 1024 {
+                println!(
+                    "  {:<14} {:<12} {:>10.0}",
+                    p["model"].as_str().unwrap_or("?"),
+                    p["system"].as_str().unwrap_or("?"),
+                    f(&p["items_per_sec"])
+                );
+            }
+        }
+        println!();
+    }
+
+    if let Some(t) = load("table3") {
+        println!("## Table III — median latency at batch 1024 (µs)");
+        for p in t["points"].as_array().into_iter().flatten() {
+            if p["batch_size"] == 1024 {
+                println!(
+                    "  {:<4} {:<12} update {:>8.0}  infer {:>8.0}",
+                    p["model"].as_str().unwrap_or("?"),
+                    p["system"].as_str().unwrap_or("?"),
+                    f(&p["update_us"]),
+                    f(&p["infer_us"])
+                );
+            }
+        }
+        println!();
+    }
+
+    if let Some(t) = load("table4") {
+        println!("## Table IV — knowledge space (KB)");
+        for r in t["rows"].as_array().into_iter().flatten() {
+            println!(
+                "  k={:<4} LR {:>7.1}  MLP {:>8.1}",
+                r["k"].as_u64().unwrap_or(0),
+                f(&r["lr_kb"]),
+                f(&r["mlp_kb"])
+            );
+        }
+        println!();
+    }
+
+    if let Some(t) = load("table5") {
+        println!("## Table V — CNN G_acc, plain vs FreewayML");
+        for r in t["rows"].as_array().into_iter().flatten() {
+            println!(
+                "  {:<12} plain {:.2}%  freeway {:.2}%  ({:+.1} pts)",
+                r["dataset"].as_str().unwrap_or("?"),
+                f(&r["plain_g_acc"]) * 100.0,
+                f(&r["freeway_g_acc"]) * 100.0,
+                (f(&r["freeway_g_acc"]) - f(&r["plain_g_acc"])) * 100.0
+            );
+        }
+        println!();
+    }
+
+    if let Some(t) = load("fig9") {
+        println!("## Figure 9 — per-mechanism G_acc");
+        for ds in t["datasets"].as_array().into_iter().flatten() {
+            print!("  {:<12}", ds["dataset"].as_str().unwrap_or("?"));
+            for c in ds["curves"].as_array().into_iter().flatten() {
+                print!(" {}={:.1}%", c["variant"].as_str().unwrap_or("?"), f(&c["g_acc"]) * 100.0);
+            }
+            println!();
+        }
+        println!();
+    }
+
+    if let Some(t) = load("fig11") {
+        println!("## Figure 11 — per-pattern accuracy (%)");
+        for r in t["rows"].as_array().into_iter().flatten() {
+            let cell = |k: &str| {
+                r[k].as_f64().map_or("n/a".into(), |v| format!("{:.1}", v * 100.0))
+            };
+            println!(
+                "  {:<12} slight {}  sudden {}  reoccurring {}",
+                r["system"].as_str().unwrap_or("?"),
+                cell("slight"),
+                cell("sudden"),
+                cell("reoccurring")
+            );
+        }
+        println!();
+    }
+
+    if let Some(t) = load("ablations") {
+        println!("## Ablations — G_acc / SI / update µs");
+        for e in t["entries"].as_array().into_iter().flatten() {
+            println!(
+                "  {:<16} {:<14} {:<12} {:.2}% / {:.3} / {:.0}",
+                e["ablation"].as_str().unwrap_or("?"),
+                e["variant"].as_str().unwrap_or("?"),
+                e["dataset"].as_str().unwrap_or("?"),
+                f(&e["g_acc"]) * 100.0,
+                f(&e["si"]),
+                f(&e["update_us"])
+            );
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Regenerates Table I: accuracy and stability across frameworks.
+
+use freeway_eval::experiments::{common, table1, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table I at {scale:?} (override via FREEWAY_BATCHES / FREEWAY_BATCH_SIZE)");
+    let t = table1::run(&scale);
+    println!("{}", t.render());
+    println!(
+        "FreewayML G_acc advantage over best baseline: LR {:+.2} pts, MLP {:+.2} pts",
+        t.freeway_advantage("LR") * 100.0,
+        t.freeway_advantage("MLP") * 100.0
+    );
+    common::save_json("table1", &t);
+}

@@ -1,0 +1,11 @@
+//! Regenerates Table II: per-pattern improvement vs plain StreamingMLP.
+
+use freeway_eval::experiments::{common, table2, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table II at {scale:?}");
+    let t = table2::run(&scale);
+    println!("{}", t.render());
+    common::save_json("table2", &t);
+}

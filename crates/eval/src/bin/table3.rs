@@ -1,0 +1,14 @@
+//! Regenerates Table III: update/inference latency across batch sizes.
+
+use freeway_eval::experiments::{common, table3, Scale};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if std::env::var("FREEWAY_BATCHES").is_err() {
+        scale.batches = 30; // latency medians need fewer batches
+    }
+    eprintln!("Table III at {scale:?}");
+    let t = table3::run(&scale);
+    println!("{}", t.render());
+    common::save_json("table3", &t);
+}

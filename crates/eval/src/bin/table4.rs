@@ -1,0 +1,9 @@
+//! Regenerates Table IV: space overhead of historical knowledge.
+
+use freeway_eval::experiments::{common, table4};
+
+fn main() {
+    let t = table4::run();
+    println!("{}", t.render());
+    common::save_json("table4", &t);
+}

@@ -1,0 +1,12 @@
+//! Regenerates Table V (appendix): CNN accuracy incl. image streams.
+
+use freeway_eval::experiments::{common, table5, Scale};
+
+fn main() {
+    let scale = Scale::from_env();
+    eprintln!("Table V at {scale:?}");
+    let t = table5::run(&scale);
+    println!("{}", t.render());
+    println!("Mean G_acc improvement: {:+.1} points", t.mean_improvement_points());
+    common::save_json("table5", &t);
+}

@@ -1,0 +1,14 @@
+//! Regenerates Table VI (appendix): CNN latency, plain vs FreewayML.
+
+use freeway_eval::experiments::{common, table3, ModelFamily, Scale};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if std::env::var("FREEWAY_BATCHES").is_err() {
+        scale.batches = 20;
+    }
+    eprintln!("Table VI at {scale:?}");
+    let t = table3::run_families(&scale, &[ModelFamily::Cnn], &table3::BATCH_SIZES);
+    println!("{}", t.render());
+    common::save_json("table6", &t);
+}

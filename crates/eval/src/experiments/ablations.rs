@@ -1,0 +1,190 @@
+//! Ablation studies for the design choices DESIGN.md calls out.
+//!
+//! Each ablation pits the default FreewayML configuration against a
+//! variant with one design element neutralised:
+//!
+//! * **disorder-decay** — disorder-aware, rank-sorted ASW decay vs
+//!   uniform decay (`rank_decay = 0`, `disorder_boost = 0`);
+//! * **kernel-ensemble** — Gaussian-kernel distance weighting vs a plain
+//!   mean ensemble (`σ → ∞` flattens the kernel);
+//! * **cec** — coherent experience clustering on vs off under sudden
+//!   shifts;
+//! * **beta-policy** — knowledge-preservation gating at
+//!   `β ∈ {0.0, 0.3, 1.0}` (1.0 ⇒ always save both models);
+//! * **precompute** — pre-computing window on (4 subsets) vs off,
+//!   comparing update latency at equal accuracy.
+
+use crate::experiments::common::{dataset, freeway_config, ModelFamily, Scale};
+use crate::metrics::render_table;
+use crate::prequential::{run_prequential, PrequentialResult};
+use freeway_baselines::FreewaySystem;
+use freeway_core::FreewayConfig;
+use serde::Serialize;
+
+/// One measured variant.
+#[derive(Clone, Debug, Serialize)]
+pub struct Entry {
+    /// Ablation name.
+    pub ablation: String,
+    /// Variant label within the ablation.
+    pub variant: String,
+    /// Dataset used.
+    pub dataset: String,
+    /// Global average accuracy.
+    pub g_acc: f64,
+    /// Stability index.
+    pub si: f64,
+    /// Median update latency (µs/batch).
+    pub update_us: f64,
+}
+
+/// Full ablation result set.
+#[derive(Clone, Debug, Serialize)]
+pub struct Ablations {
+    /// All measured entries.
+    pub entries: Vec<Entry>,
+}
+
+fn measure(
+    ablation: &str,
+    variant: &str,
+    ds: &str,
+    config: FreewayConfig,
+    scale: &Scale,
+) -> Entry {
+    let mut generator = dataset(ds, scale.seed);
+    let spec = ModelFamily::Mlp.spec(generator.num_features(), generator.num_classes());
+    let mut learner = FreewaySystem::with_config(spec, config);
+    let r: PrequentialResult = run_prequential(
+        &mut learner,
+        generator.as_mut(),
+        scale.batches,
+        scale.batch_size,
+        scale.warmup,
+    );
+    Entry {
+        ablation: ablation.to_string(),
+        variant: variant.to_string(),
+        dataset: ds.to_string(),
+        g_acc: r.g_acc(),
+        si: r.si(),
+        update_us: r.median_train_us(),
+    }
+}
+
+/// Runs all ablations.
+#[allow(clippy::vec_init_then_push)] // each push is a distinct, commented study
+pub fn run(scale: &Scale) -> Ablations {
+    let base = |scale: &Scale| freeway_config(scale);
+    let mut entries = Vec::new();
+
+    // 1. Disorder-aware decay vs uniform decay (Electricity mixes all
+    //    patterns, exercising the window hardest).
+    entries.push(measure("disorder-decay", "disorder-aware", "Electricity", base(scale), scale));
+    entries.push(measure(
+        "disorder-decay",
+        "uniform",
+        "Electricity",
+        FreewayConfig { asw_rank_decay: 0.0, asw_disorder_boost: 0.0, ..base(scale) },
+        scale,
+    ));
+
+    // 2. Gaussian-kernel ensemble vs mean ensemble.
+    entries.push(measure("kernel-ensemble", "gaussian", "Airlines", base(scale), scale));
+    entries.push(measure(
+        "kernel-ensemble",
+        "mean",
+        "Airlines",
+        FreewayConfig { ensemble_sigma: 1e9, ..base(scale) },
+        scale,
+    ));
+
+    // 3. CEC on/off under sudden-heavy drift.
+    entries.push(measure("cec", "on", "NSL-KDD", base(scale), scale));
+    entries.push(measure(
+        "cec",
+        "off",
+        "NSL-KDD",
+        FreewayConfig { enable_cec: false, ..base(scale) },
+        scale,
+    ));
+
+    // 4. Knowledge-preservation β policy.
+    for beta in [0.0, 0.3, 1.0] {
+        entries.push(measure(
+            "beta-policy",
+            &format!("beta={beta}"),
+            "NSL-KDD",
+            FreewayConfig { beta, ..base(scale) },
+            scale,
+        ));
+    }
+
+    // 5. Pre-computing window on/off.
+    entries.push(measure(
+        "precompute",
+        "subsets=4",
+        "Covertype",
+        FreewayConfig { precompute_subsets: 4, ..base(scale) },
+        scale,
+    ));
+    entries.push(measure(
+        "precompute",
+        "off",
+        "Covertype",
+        FreewayConfig { precompute_subsets: 1, ..base(scale) },
+        scale,
+    ));
+
+    Ablations { entries }
+}
+
+impl Ablations {
+    /// Renders the ablation table.
+    pub fn render(&self) -> String {
+        let header = vec![
+            "Ablation".to_string(),
+            "Variant".to_string(),
+            "Dataset".to_string(),
+            "G_acc".to_string(),
+            "SI".to_string(),
+            "Update µs".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .entries
+            .iter()
+            .map(|e| {
+                vec![
+                    e.ablation.clone(),
+                    e.variant.clone(),
+                    e.dataset.clone(),
+                    format!("{:.2}%", e.g_acc * 100.0),
+                    format!("{:.3}", e.si),
+                    format!("{:.0}", e.update_us),
+                ]
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cec_ablation_smoke() {
+        // Only run the CEC pair at tiny scale to keep tests quick.
+        let scale = Scale { batches: 40, ..Scale::tiny() };
+        let base = freeway_config(&scale);
+        let on = measure("cec", "on", "NSL-KDD", base.clone(), &scale);
+        let off = measure(
+            "cec",
+            "off",
+            "NSL-KDD",
+            FreewayConfig { enable_cec: false, ..base },
+            &scale,
+        );
+        assert!(on.g_acc > 0.0 && off.g_acc > 0.0);
+    }
+}

@@ -1,0 +1,133 @@
+//! Figure 10: throughput vs batch size on the Hyperplane workload.
+//!
+//! Every framework runs infer-then-train over the same stream at batch
+//! sizes 256–2048; throughput is total items divided by total processing
+//! time (the figure's y-axis).
+
+use crate::experiments::common::{build_system, ModelFamily, Scale};
+use crate::prequential::run_prequential;
+use freeway_streams::Hyperplane;
+use serde::Serialize;
+
+/// Batch sizes swept by the paper's Figure 10.
+pub const BATCH_SIZES: [usize; 4] = [256, 512, 1024, 2048];
+
+/// One (family, system, batch size) throughput point.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Model family tag.
+    pub model: String,
+    /// System name.
+    pub system: String,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Measured throughput (items/second).
+    pub items_per_sec: f64,
+}
+
+/// Full Figure-10 result set.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig10 {
+    /// All measured points.
+    pub points: Vec<Point>,
+}
+
+/// Runs the sweep. `scale.batches` controls the batches measured per
+/// point (throughput needs fewer than accuracy studies).
+pub fn run(scale: &Scale) -> Fig10 {
+    run_families(scale, &[ModelFamily::Lr, ModelFamily::Mlp], &BATCH_SIZES)
+}
+
+/// Parameterised sweep used by tests and the CNN appendix.
+pub fn run_families(scale: &Scale, families: &[ModelFamily], batch_sizes: &[usize]) -> Fig10 {
+    let mut points = Vec::new();
+    for &family in families {
+        let mut systems: Vec<&str> = family.paper_baselines().to_vec();
+        systems.push("freewayml");
+        for &bs in batch_sizes {
+            for sys in &systems {
+                let mut generator = Hyperplane::new(10, 0.02, 0.05, scale.seed);
+                let point_scale = Scale { batch_size: bs, ..*scale };
+                let mut learner = build_system(sys, family, 10, 2, &point_scale);
+                let result = run_prequential(
+                    learner.as_mut(),
+                    &mut generator,
+                    scale.batches,
+                    bs,
+                    scale.warmup,
+                );
+                points.push(Point {
+                    model: format!("Streaming{}", family.tag()),
+                    system: result.system.clone(),
+                    batch_size: bs,
+                    items_per_sec: result.throughput_items_per_sec(),
+                });
+            }
+        }
+    }
+    Fig10 { points }
+}
+
+impl Fig10 {
+    /// Renders one series block per family: rows = system, columns =
+    /// batch size, cells = items/s.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let models: Vec<String> = {
+            let mut seen = Vec::new();
+            for p in &self.points {
+                if !seen.contains(&p.model) {
+                    seen.push(p.model.clone());
+                }
+            }
+            seen
+        };
+        for model in models {
+            out.push_str(&format!("== Throughput (items/s), {model} ==\n"));
+            let in_model: Vec<&Point> =
+                self.points.iter().filter(|p| p.model == model).collect();
+            let mut sizes: Vec<usize> = in_model.iter().map(|p| p.batch_size).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            let mut systems = Vec::new();
+            for p in &in_model {
+                if !systems.contains(&p.system) {
+                    systems.push(p.system.clone());
+                }
+            }
+            let mut header = vec!["System".to_string()];
+            header.extend(sizes.iter().map(|s| s.to_string()));
+            let rows: Vec<Vec<String>> = systems
+                .iter()
+                .map(|sys| {
+                    let mut row = vec![sys.clone()];
+                    for &s in &sizes {
+                        let p = in_model
+                            .iter()
+                            .find(|p| &p.system == sys && p.batch_size == s);
+                        row.push(p.map_or("-".into(), |p| format!("{:.0}", p.items_per_sec)));
+                    }
+                    row
+                })
+                .collect();
+            out.push_str(&crate::metrics::render_table(&header, &rows));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_produces_positive_throughput() {
+        let scale = Scale { batches: 10, ..Scale::tiny() };
+        let f = run_families(&scale, &[ModelFamily::Lr], &[128, 256]);
+        assert_eq!(f.points.len(), 4 * 2);
+        for p in &f.points {
+            assert!(p.items_per_sec > 0.0, "{p:?}");
+        }
+        assert!(f.render().contains("StreamingLR"));
+    }
+}

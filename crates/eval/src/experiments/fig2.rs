@@ -1,0 +1,190 @@
+//! Figure 2: the shift graph and the accuracy–shift correlation study.
+//!
+//! Replicates §III's empirical study: a StreamingMLP runs prequentially
+//! over the three study streams (electricity load, stock price trend,
+//! solar irradiance); each batch's PCA-projected mean becomes a point of
+//! the shift graph (Figures 2a–c), and the per-batch accuracy beside the
+//! per-batch shift distance exposes the correlation of Figure 2d.
+
+use crate::experiments::common::{ModelFamily, Scale};
+use crate::metrics::batch_accuracy;
+use freeway_baselines::{PlainSgd, StreamingLearner};
+use freeway_drift::{ShiftTracker, ShiftTrackerConfig};
+use freeway_streams::{datasets, StreamGenerator};
+use serde::Serialize;
+
+/// One batch's point in the study.
+#[derive(Clone, Debug, Serialize)]
+pub struct GraphPoint {
+    /// Batch index.
+    pub batch: usize,
+    /// Shift-graph coordinates (PCA-projected batch mean, 2-D).
+    pub projected: Vec<f64>,
+    /// Shift distance `d_t` from the previous batch.
+    pub distance: f64,
+    /// Real-time accuracy of the StreamingMLP on this batch.
+    pub accuracy: f64,
+    /// Ground-truth drift phase.
+    pub phase: String,
+}
+
+/// One dataset's shift graph + accuracy trace.
+#[derive(Clone, Debug, Serialize)]
+pub struct ShiftGraph {
+    /// Dataset name.
+    pub dataset: String,
+    /// The trace (warm-up batches excluded).
+    pub points: Vec<GraphPoint>,
+    /// Pearson correlation between shift distance and accuracy *drop*
+    /// (positive = bigger shifts, bigger drops — the paper's finding).
+    pub drop_correlation: f64,
+}
+
+/// Full Figure-2 result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Fig2 {
+    /// One graph per study dataset.
+    pub graphs: Vec<ShiftGraph>,
+}
+
+fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let ma = freeway_linalg::vector::mean(a);
+    let mb = freeway_linalg::vector::mean(b);
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    let denom = (va * vb).sqrt();
+    if denom < 1e-12 {
+        0.0
+    } else {
+        cov / denom
+    }
+}
+
+/// Runs the study on the paper's three datasets.
+pub fn run(scale: &Scale) -> Fig2 {
+    let generators: Vec<Box<dyn StreamGenerator>> = vec![
+        Box::new(datasets::electricity(scale.seed)),
+        Box::new(datasets::stock(scale.seed)),
+        Box::new(datasets::solar(scale.seed)),
+    ];
+    let graphs = generators.into_iter().map(|g| run_one(g, scale)).collect();
+    Fig2 { graphs }
+}
+
+fn run_one(mut generator: Box<dyn StreamGenerator>, scale: &Scale) -> ShiftGraph {
+    let spec =
+        ModelFamily::Mlp.spec(generator.num_features(), generator.num_classes());
+    let mut learner = PlainSgd::new(spec, scale.seed);
+    let mut tracker = ShiftTracker::new(ShiftTrackerConfig {
+        warmup_rows: (scale.warmup.max(1) * scale.batch_size).min(512),
+        components: 2,
+        ..Default::default()
+    });
+
+    // Warm-up: train the model and the PCA.
+    for _ in 0..scale.warmup {
+        let b = generator.next_batch(scale.batch_size);
+        let _ = tracker.observe(&b.x);
+        learner.train(&b.x, b.labels());
+    }
+
+    let mut points = Vec::new();
+    for i in 0..scale.batches {
+        let b = generator.next_batch(scale.batch_size);
+        let measurement = tracker.observe(&b.x);
+        let preds = learner.infer(&b.x);
+        let acc = batch_accuracy(&preds, b.labels());
+        learner.train(&b.x, b.labels());
+        if let Some(m) = measurement {
+            points.push(GraphPoint {
+                batch: i,
+                projected: m.projected.clone(),
+                distance: m.distance,
+                accuracy: acc,
+                phase: format!("{:?}", b.phase),
+            });
+        }
+    }
+
+    // Correlation between shift distance and accuracy drop vs previous
+    // batch (the paper's "larger shift, larger decrease").
+    let mut distances = Vec::new();
+    let mut drops = Vec::new();
+    for pair in points.windows(2) {
+        distances.push(pair[1].distance);
+        drops.push(pair[0].accuracy - pair[1].accuracy);
+    }
+    let drop_correlation = pearson(&distances, &drops);
+
+    ShiftGraph { dataset: generator.name().to_string(), points, drop_correlation }
+}
+
+impl Fig2 {
+    /// Renders per-dataset summaries plus CSV-style traces for replotting.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for g in &self.graphs {
+            out.push_str(&format!(
+                "== {} == (shift-distance vs accuracy-drop correlation: {:+.3})\n",
+                g.dataset, g.drop_correlation
+            ));
+            out.push_str("  batch,x,y,distance,accuracy,phase\n");
+            for p in &g.points {
+                out.push_str(&format!(
+                    "  {},{:.4},{:.4},{:.4},{:.4},{}\n",
+                    p.batch,
+                    p.projected.first().copied().unwrap_or(0.0),
+                    p.projected.get(1).copied().unwrap_or(0.0),
+                    p.distance,
+                    p.accuracy,
+                    p.phase
+                ));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn study_produces_graphs_with_positive_drop_correlation() {
+        let scale = Scale { batches: 80, ..Scale::tiny() };
+        let f = run(&scale);
+        assert_eq!(f.graphs.len(), 3);
+        for g in &f.graphs {
+            assert!(!g.points.is_empty(), "{} has points", g.dataset);
+            assert!(g.points.iter().all(|p| p.projected.len() == 2));
+        }
+        // The paper's core finding: at least on the jumpy streams, bigger
+        // shifts correlate with bigger accuracy drops.
+        let max_corr =
+            self::tests::max_correlation(&f);
+        assert!(max_corr > 0.1, "some stream must show the correlation: {max_corr}");
+        assert!(f.render().contains("Electricity"));
+    }
+
+    pub fn max_correlation(f: &Fig2) -> f64 {
+        f.graphs.iter().map(|g| g.drop_correlation).fold(f64::MIN, f64::max)
+    }
+
+    #[test]
+    fn pearson_basics() {
+        assert!((pearson(&[1.0, 2.0, 3.0], &[2.0, 4.0, 6.0]) - 1.0).abs() < 1e-12);
+        assert!((pearson(&[1.0, 2.0, 3.0], &[6.0, 4.0, 2.0]) + 1.0).abs() < 1e-12);
+        assert_eq!(pearson(&[1.0], &[1.0]), 0.0);
+        assert_eq!(pearson(&[1.0, 1.0], &[2.0, 3.0]), 0.0, "zero variance");
+    }
+}

@@ -1,0 +1,162 @@
+//! Figures 9 and 12: per-mechanism real-time accuracy curves.
+//!
+//! For each dataset, runs the plain model (dashed line in the paper) and
+//! three FreewayML variants, each with exactly one mechanism beyond the
+//! base model enabled:
+//!
+//! * `multi-granularity` — `model_num = 2`, CEC off, knowledge off;
+//! * `cec` — `model_num = 1`, CEC on, knowledge off;
+//! * `knowledge` — `model_num = 2` (preservation needs a window), CEC
+//!   off, knowledge on.
+//!
+//! Figure 9 uses the MLP family on the four real datasets; Figure 12 is
+//! the same study with the CNN family plus the two image streams.
+
+use crate::experiments::common::{build_freeway_variant, build_system, dataset, ModelFamily, Scale};
+use crate::prequential::{run_prequential, PrequentialResult};
+use freeway_baselines::StreamingLearner;
+use freeway_streams::StreamGenerator;
+use serde::Serialize;
+
+/// One accuracy curve.
+#[derive(Clone, Debug, Serialize)]
+pub struct Curve {
+    /// Variant label (`plain`, `multi-granularity`, `cec`, `knowledge`).
+    pub variant: String,
+    /// Per-batch accuracy in stream order.
+    pub accs: Vec<f64>,
+    /// Global average accuracy.
+    pub g_acc: f64,
+}
+
+/// All curves for one dataset.
+#[derive(Clone, Debug, Serialize)]
+pub struct DatasetCurves {
+    /// Dataset name.
+    pub dataset: String,
+    /// Ground-truth phases (shared across variants — same stream seed).
+    pub phases: Vec<String>,
+    /// The four curves.
+    pub curves: Vec<Curve>,
+}
+
+/// Full figure result.
+#[derive(Clone, Debug, Serialize)]
+pub struct MechanismCurves {
+    /// One entry per dataset.
+    pub datasets: Vec<DatasetCurves>,
+}
+
+/// The four real datasets of Figure 9.
+pub const FIG9_DATASETS: [&str; 4] = ["Airlines", "Covertype", "NSL-KDD", "Electricity"];
+
+fn generator_for(name: &str, seed: u64) -> Box<dyn StreamGenerator> {
+    match name {
+        "Animals" => Box::new(freeway_streams::image::ImageStream::animals(seed)),
+        "Flowers" => Box::new(freeway_streams::image::ImageStream::flowers(seed)),
+        other => dataset(other, seed),
+    }
+}
+
+fn record(result: &PrequentialResult, variant: &str) -> Curve {
+    Curve { variant: variant.to_string(), accs: result.accs.clone(), g_acc: result.g_acc() }
+}
+
+/// Runs the mechanism study for a model family over the given datasets.
+pub fn run(family: ModelFamily, datasets: &[&str], scale: &Scale) -> MechanismCurves {
+    let mut out = Vec::new();
+    for ds in datasets {
+        let mut curves = Vec::new();
+        let mut phases: Vec<String> = Vec::new();
+
+        let run_variant = |learner: &mut dyn StreamingLearner| -> PrequentialResult {
+            let mut generator = generator_for(ds, scale.seed);
+            run_prequential(
+                learner,
+                generator.as_mut(),
+                scale.batches,
+                scale.batch_size,
+                scale.warmup,
+            )
+        };
+
+        // Plain baseline (the dashed line).
+        {
+            let g = generator_for(ds, scale.seed);
+            let mut plain =
+                build_system("plain", family, g.num_features(), g.num_classes(), scale);
+            let r = run_variant(plain.as_mut());
+            phases.extend(r.phases.iter().map(|p| format!("{p:?}")));
+            curves.push(record(&r, "plain"));
+        }
+        // One variant per mechanism.
+        let variants: [(&str, usize, bool, bool); 3] = [
+            ("multi-granularity", 2, false, false),
+            ("cec", 1, true, false),
+            ("knowledge", 2, false, true),
+        ];
+        for (label, model_num, cec, knowledge) in variants {
+            let g = generator_for(ds, scale.seed);
+            let mut learner = build_freeway_variant(
+                family,
+                g.num_features(),
+                g.num_classes(),
+                scale,
+                model_num,
+                cec,
+                knowledge,
+            );
+            let r = run_variant(learner.as_mut());
+            curves.push(record(&r, label));
+        }
+        out.push(DatasetCurves { dataset: (*ds).to_string(), phases, curves });
+    }
+    MechanismCurves { datasets: out }
+}
+
+impl MechanismCurves {
+    /// Renders per-dataset G_acc summary plus a CSV-style series block
+    /// (batch index, one column per variant) suitable for replotting.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for ds in &self.datasets {
+            out.push_str(&format!("== {} ==\n", ds.dataset));
+            for c in &ds.curves {
+                out.push_str(&format!("  {:<18} G_acc = {:.2}%\n", c.variant, c.g_acc * 100.0));
+            }
+            out.push_str("  batch,phase");
+            for c in &ds.curves {
+                out.push_str(&format!(",{}", c.variant));
+            }
+            out.push('\n');
+            let n = ds.curves.first().map_or(0, |c| c.accs.len());
+            for i in 0..n {
+                out.push_str(&format!("  {},{}", i, ds.phases.get(i).map_or("?", |s| s)));
+                for c in &ds.curves {
+                    out.push_str(&format!(",{:.4}", c.accs[i]));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn curves_cover_all_variants() {
+        let scale = Scale::tiny();
+        let result = run(ModelFamily::Mlp, &["Electricity"], &scale);
+        assert_eq!(result.datasets.len(), 1);
+        let ds = &result.datasets[0];
+        let variants: Vec<&str> = ds.curves.iter().map(|c| c.variant.as_str()).collect();
+        assert_eq!(variants, vec!["plain", "multi-granularity", "cec", "knowledge"]);
+        for c in &ds.curves {
+            assert_eq!(c.accs.len(), scale.batches);
+        }
+        assert!(result.render().contains("Electricity"));
+    }
+}

@@ -1,0 +1,31 @@
+//! One module per table/figure of the paper's evaluation, plus the
+//! ablation studies DESIGN.md calls out.
+//!
+//! | Module | Regenerates |
+//! |--------|-------------|
+//! | [`fig2`] | Figure 2: shift graphs + MLP accuracy under shifts |
+//! | [`table1`] | Table I: G_acc + SI across systems and datasets |
+//! | [`table2`] | Table II: per-pattern improvement vs plain MLP |
+//! | [`fig9`] | Figures 9 & 12: per-mechanism accuracy curves (family-parameterised) |
+//! | [`fig10`] | Figure 10: throughput vs batch size |
+//! | [`fig11`] | Figure 11: per-pattern accuracy vs existing methods |
+//! | [`table3`] | Tables III & VI: update/infer latency (family-parameterised) |
+//! | [`table4`] | Table IV: knowledge space overhead |
+//! | [`table5`] | Table V: CNN accuracy incl. image streams |
+//! | [`ablations`] | DESIGN.md ablation benches |
+//! | [`extended`] | extension: all learner families incl. Hoeffding/NB/bagging |
+
+pub mod ablations;
+pub mod common;
+pub mod extended;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig9;
+pub mod table1;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+
+pub use common::{ModelFamily, Scale};

@@ -1,0 +1,167 @@
+//! Table I: accuracy and stability of streaming learning frameworks.
+//!
+//! For each of the six benchmark datasets, runs StreamingLR against
+//! {Flink ML, Spark MLlib, Alink, FreewayML} and StreamingMLP against
+//! {River, Camel, A-GEM, FreewayML}, reporting `G_acc` and `SI`.
+
+use crate::experiments::common::{build_system, dataset, ModelFamily, Scale, BENCHMARKS};
+use crate::metrics::{pct, render_table};
+use crate::prequential::run_prequential;
+use serde::Serialize;
+
+/// One (model, system, dataset) cell of Table I.
+#[derive(Clone, Debug, Serialize)]
+pub struct Cell {
+    /// Model family tag (LR/MLP).
+    pub model: String,
+    /// System name.
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Global average accuracy.
+    pub g_acc: f64,
+    /// Stability index.
+    pub si: f64,
+}
+
+/// Full Table-I result set.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table1 {
+    /// All measured cells.
+    pub cells: Vec<Cell>,
+}
+
+/// Runs the full table at the given scale.
+pub fn run(scale: &Scale) -> Table1 {
+    run_on(scale, &BENCHMARKS)
+}
+
+/// Runs on a subset of datasets (tests use one dataset to stay fast).
+pub fn run_on(scale: &Scale, datasets: &[&str]) -> Table1 {
+    let mut cells = Vec::new();
+    for family in [ModelFamily::Lr, ModelFamily::Mlp] {
+        let mut systems: Vec<&str> = family.paper_baselines().to_vec();
+        systems.push("freewayml");
+        for ds in datasets {
+            for sys in &systems {
+                let mut generator = dataset(ds, scale.seed);
+                let mut learner = build_system(
+                    sys,
+                    family,
+                    generator.num_features(),
+                    generator.num_classes(),
+                    scale,
+                );
+                let result = run_prequential(
+                    learner.as_mut(),
+                    generator.as_mut(),
+                    scale.batches,
+                    scale.batch_size,
+                    scale.warmup,
+                );
+                cells.push(Cell {
+                    model: format!("Streaming{}", family.tag()),
+                    system: result.system.clone(),
+                    dataset: (*ds).to_string(),
+                    g_acc: result.g_acc(),
+                    si: result.si(),
+                });
+            }
+        }
+    }
+    Table1 { cells }
+}
+
+impl Table1 {
+    /// Renders the paper-style table (rows = model × system, columns =
+    /// datasets, each cell `G_acc / SI`).
+    pub fn render(&self) -> String {
+        let datasets: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if !seen.contains(&c.dataset) {
+                    seen.push(c.dataset.clone());
+                }
+            }
+            seen
+        };
+        let mut header = vec!["Model".to_string(), "System".to_string()];
+        for d in &datasets {
+            header.push(format!("{d} G_acc/SI"));
+        }
+        let mut rows = Vec::new();
+        let mut row_keys = Vec::new();
+        for c in &self.cells {
+            let key = (c.model.clone(), c.system.clone());
+            if !row_keys.contains(&key) {
+                row_keys.push(key);
+            }
+        }
+        for (model, system) in row_keys {
+            let mut row = vec![model.clone(), system.clone()];
+            for d in &datasets {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| c.model == model && c.system == system && &c.dataset == d);
+                row.push(match cell {
+                    Some(c) => format!("{} / {:.3}", pct(c.g_acc), c.si),
+                    None => "-".to_string(),
+                });
+            }
+            rows.push(row);
+        }
+        render_table(&header, &rows)
+    }
+
+    /// FreewayML's mean G_acc advantage over the best baseline, per model
+    /// family (the paper's headline "average improvement" number).
+    pub fn freeway_advantage(&self, model_tag: &str) -> f64 {
+        let datasets: Vec<String> = {
+            let mut seen = Vec::new();
+            for c in &self.cells {
+                if c.model.ends_with(model_tag) && !seen.contains(&c.dataset) {
+                    seen.push(c.dataset.clone());
+                }
+            }
+            seen
+        };
+        let mut advantages = Vec::new();
+        for d in &datasets {
+            let in_ds: Vec<&Cell> = self
+                .cells
+                .iter()
+                .filter(|c| c.model.ends_with(model_tag) && &c.dataset == d)
+                .collect();
+            let freeway = in_ds.iter().find(|c| c.system == "FreewayML");
+            let best_baseline = in_ds
+                .iter()
+                .filter(|c| c.system != "FreewayML")
+                .map(|c| c.g_acc)
+                .fold(f64::MIN, f64::max);
+            if let Some(f) = freeway {
+                advantages.push(f.g_acc - best_baseline);
+            }
+        }
+        freeway_linalg::vector::mean(&advantages)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn one_dataset_smoke() {
+        let t = run_on(&Scale::tiny(), &["Electricity"]);
+        // 2 families x 4 systems x 1 dataset.
+        assert_eq!(t.cells.len(), 8);
+        for c in &t.cells {
+            assert!(c.g_acc > 0.0 && c.g_acc <= 1.0, "{c:?}");
+            assert!(c.si > 0.0 && c.si <= 1.0, "{c:?}");
+        }
+        let rendered = t.render();
+        assert!(rendered.contains("FreewayML"));
+        assert!(rendered.contains("Electricity"));
+    }
+}

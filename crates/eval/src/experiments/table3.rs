@@ -1,0 +1,155 @@
+//! Tables III and VI: update/inference latency across batch sizes.
+//!
+//! Measures the median per-batch latency of the update and inference
+//! phases separately, for each framework and batch size — Table III for
+//! the LR/MLP families, Table VI (via [`run_families`] with
+//! [`ModelFamily::Cnn`]) for the appendix's CNN comparison.
+
+use crate::experiments::common::{build_system, ModelFamily, Scale};
+use crate::prequential::run_prequential;
+use freeway_streams::Hyperplane;
+use serde::Serialize;
+
+/// Batch sizes swept by Table III.
+pub const BATCH_SIZES: [usize; 4] = [512, 1024, 2048, 4096];
+
+/// One latency measurement.
+#[derive(Clone, Debug, Serialize)]
+pub struct Point {
+    /// Model family tag.
+    pub model: String,
+    /// System name.
+    pub system: String,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Median update latency (µs/batch).
+    pub update_us: f64,
+    /// Median inference latency (µs/batch).
+    pub infer_us: f64,
+}
+
+/// Full latency table.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table3 {
+    /// All measured points.
+    pub points: Vec<Point>,
+}
+
+/// Runs Table III (LR + MLP families).
+pub fn run(scale: &Scale) -> Table3 {
+    run_families(scale, &[ModelFamily::Lr, ModelFamily::Mlp], &BATCH_SIZES)
+}
+
+/// Parameterised run (Table VI passes the CNN family).
+pub fn run_families(scale: &Scale, families: &[ModelFamily], batch_sizes: &[usize]) -> Table3 {
+    let mut points = Vec::new();
+    for &family in families {
+        let mut systems: Vec<&str> = family.paper_baselines().to_vec();
+        systems.push("freewayml");
+        for &bs in batch_sizes {
+            for sys in &systems {
+                let mut generator = Hyperplane::new(10, 0.02, 0.05, scale.seed);
+                let point_scale = Scale { batch_size: bs, ..*scale };
+                let mut learner = build_system(sys, family, 10, 2, &point_scale);
+                let result = run_prequential(
+                    learner.as_mut(),
+                    &mut generator,
+                    scale.batches,
+                    bs,
+                    scale.warmup,
+                );
+                points.push(Point {
+                    model: family.tag().to_string(),
+                    system: result.system.clone(),
+                    batch_size: bs,
+                    update_us: result.median_train_us(),
+                    infer_us: result.median_infer_us(),
+                });
+            }
+        }
+    }
+    Table3 { points }
+}
+
+impl Table3 {
+    /// Renders the paper-style latency table: one block per
+    /// (family, phase), rows = system, columns = batch size.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut models = Vec::new();
+        for p in &self.points {
+            if !models.contains(&p.model) {
+                models.push(p.model.clone());
+            }
+        }
+        for model in &models {
+            for (phase, pick) in [
+                ("update", true),
+                ("infer", false),
+            ] {
+                out.push_str(&format!("== {model}_{phase} latency (µs/batch) ==\n"));
+                let in_model: Vec<&Point> =
+                    self.points.iter().filter(|p| &p.model == model).collect();
+                let mut sizes: Vec<usize> = in_model.iter().map(|p| p.batch_size).collect();
+                sizes.sort_unstable();
+                sizes.dedup();
+                let mut systems = Vec::new();
+                for p in &in_model {
+                    if !systems.contains(&p.system) {
+                        systems.push(p.system.clone());
+                    }
+                }
+                let mut header = vec!["System".to_string()];
+                header.extend(sizes.iter().map(|s| s.to_string()));
+                let rows: Vec<Vec<String>> = systems
+                    .iter()
+                    .map(|sys| {
+                        let mut row = vec![sys.clone()];
+                        for &s in &sizes {
+                            let p = in_model
+                                .iter()
+                                .find(|p| &p.system == sys && p.batch_size == s);
+                            row.push(p.map_or("-".into(), |p| {
+                                let v = if pick { p.update_us } else { p.infer_us };
+                                format!("{v:.0}")
+                            }));
+                        }
+                        row
+                    })
+                    .collect();
+                out.push_str(&crate::metrics::render_table(&header, &rows));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latencies_scale_with_batch_size() {
+        let scale = Scale { batches: 12, ..Scale::tiny() };
+        let t = run_families(&scale, &[ModelFamily::Lr], &[128, 1024]);
+        for sys in ["Flink ML", "FreewayML"] {
+            let small = t
+                .points
+                .iter()
+                .find(|p| p.system == sys && p.batch_size == 128)
+                .expect("point exists");
+            let large = t
+                .points
+                .iter()
+                .find(|p| p.system == sys && p.batch_size == 1024)
+                .expect("point exists");
+            assert!(
+                large.infer_us > small.infer_us,
+                "{sys}: inference on 8x data must take longer ({} vs {})",
+                large.infer_us,
+                small.infer_us
+            );
+        }
+        assert!(t.render().contains("LR_update"));
+    }
+}

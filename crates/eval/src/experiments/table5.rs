@@ -1,0 +1,138 @@
+//! Table V (appendix): StreamingCNN vs FreewayML(CNN) accuracy/stability
+//! on the six benchmarks plus the Animals and Flowers image streams.
+
+use crate::experiments::common::{build_system, dataset, ModelFamily, Scale, BENCHMARKS};
+use crate::metrics::{pct, render_table};
+use crate::prequential::run_prequential;
+use freeway_streams::image::ImageStream;
+use freeway_streams::StreamGenerator;
+use serde::Serialize;
+
+/// One dataset row.
+#[derive(Clone, Debug, Serialize)]
+pub struct Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Plain StreamingCNN G_acc.
+    pub plain_g_acc: f64,
+    /// Plain StreamingCNN SI.
+    pub plain_si: f64,
+    /// FreewayML G_acc.
+    pub freeway_g_acc: f64,
+    /// FreewayML SI.
+    pub freeway_si: f64,
+}
+
+/// Full Table-V result.
+#[derive(Clone, Debug, Serialize)]
+pub struct Table5 {
+    /// One row per dataset.
+    pub rows: Vec<Row>,
+}
+
+/// The appendix's eight datasets.
+pub fn all_datasets() -> Vec<&'static str> {
+    let mut v: Vec<&'static str> = BENCHMARKS.to_vec();
+    v.push("Animals");
+    v.push("Flowers");
+    v
+}
+
+fn generator_for(name: &str, seed: u64) -> Box<dyn StreamGenerator> {
+    match name {
+        "Animals" => Box::new(ImageStream::animals(seed)),
+        "Flowers" => Box::new(ImageStream::flowers(seed)),
+        other => dataset(other, seed),
+    }
+}
+
+/// Runs the full study.
+pub fn run(scale: &Scale) -> Table5 {
+    run_on(scale, &all_datasets())
+}
+
+/// Runs on a dataset subset.
+pub fn run_on(scale: &Scale, datasets: &[&str]) -> Table5 {
+    let family = ModelFamily::Cnn;
+    let mut rows = Vec::new();
+    for ds in datasets {
+        let run_system = |name: &str| {
+            let mut generator = generator_for(ds, scale.seed);
+            let mut learner = build_system(
+                name,
+                family,
+                generator.num_features(),
+                generator.num_classes(),
+                scale,
+            );
+            run_prequential(
+                learner.as_mut(),
+                generator.as_mut(),
+                scale.batches,
+                scale.batch_size,
+                scale.warmup,
+            )
+        };
+        let plain = run_system("plain");
+        let freeway = run_system("freewayml");
+        rows.push(Row {
+            dataset: (*ds).to_string(),
+            plain_g_acc: plain.g_acc(),
+            plain_si: plain.si(),
+            freeway_g_acc: freeway.g_acc(),
+            freeway_si: freeway.si(),
+        });
+    }
+    Table5 { rows }
+}
+
+impl Table5 {
+    /// Paper-style rendering.
+    pub fn render(&self) -> String {
+        let header = vec![
+            "Dataset".to_string(),
+            "StreamingCNN G_acc".to_string(),
+            "StreamingCNN SI".to_string(),
+            "FreewayML G_acc".to_string(),
+            "FreewayML SI".to_string(),
+        ];
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                vec![
+                    r.dataset.clone(),
+                    pct(r.plain_g_acc),
+                    format!("{:.3}", r.plain_si),
+                    pct(r.freeway_g_acc),
+                    format!("{:.3}", r.freeway_si),
+                ]
+            })
+            .collect();
+        render_table(&header, &rows)
+    }
+
+    /// Mean G_acc improvement in percentage points (the appendix reports
+    /// ~5.1 points on benchmarks, ~4.3 on images).
+    pub fn mean_improvement_points(&self) -> f64 {
+        let diffs: Vec<f64> =
+            self.rows.iter().map(|r| (r.freeway_g_acc - r.plain_g_acc) * 100.0).collect();
+        freeway_linalg::vector::mean(&diffs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_stream_smoke() {
+        let scale = Scale { batches: 25, batch_size: 64, ..Scale::tiny() };
+        let t = run_on(&scale, &["Flowers"]);
+        assert_eq!(t.rows.len(), 1);
+        let r = &t.rows[0];
+        assert!(r.plain_g_acc > 0.1, "CNN learns something: {}", r.plain_g_acc);
+        assert!(r.freeway_g_acc > 0.1);
+        assert!(t.render().contains("Flowers"));
+    }
+}

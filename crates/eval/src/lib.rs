@@ -1,0 +1,18 @@
+//! Prequential evaluation harness and per-table/figure experiment
+//! runners for the FreewayML paper.
+//!
+//! Every table and figure in the paper's evaluation section has a module
+//! under [`experiments`] and a matching binary (`cargo run -p freeway-eval
+//! --bin table1`, etc.). Experiments are deterministic given their seeds;
+//! scale knobs (batches per run, repetitions) default to laptop-friendly
+//! values and can be raised through each experiment's `Params`.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod experiments;
+pub mod metrics;
+pub mod prequential;
+
+pub use metrics::{global_accuracy, stability_index};
+pub use prequential::{run_prequential, PrequentialResult};

@@ -1,0 +1,213 @@
+//! Evaluation metrics: real-time accuracy, global accuracy (Equation 15),
+//! stability index (Equation 16), and timing summaries.
+
+/// Real-time accuracy of one batch (Equation 1).
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn batch_accuracy(predictions: &[usize], labels: &[usize]) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let correct = predictions.iter().zip(labels).filter(|(p, t)| p == t).count();
+    correct as f64 / labels.len() as f64
+}
+
+/// Global average accuracy over per-batch accuracies (Equation 15).
+pub fn global_accuracy(batch_accs: &[f64]) -> f64 {
+    freeway_linalg::vector::mean(batch_accs)
+}
+
+/// Stability index `SI = exp(−σ_acc / μ_acc)` (Equation 16): 1 is
+/// perfectly stable; lower means larger relative accuracy fluctuation.
+pub fn stability_index(batch_accs: &[f64]) -> f64 {
+    let mu = freeway_linalg::vector::mean(batch_accs);
+    if mu <= f64::EPSILON {
+        return 0.0;
+    }
+    let sigma = freeway_linalg::vector::std_dev(batch_accs);
+    (-sigma / mu).exp()
+}
+
+/// Median of a sample (0 for empty input); used for latency summaries
+/// because timing distributions are long-tailed.
+pub fn median(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = sorted.len();
+    if n % 2 == 1 {
+        sorted[n / 2]
+    } else {
+        0.5 * (sorted[n / 2 - 1] + sorted[n / 2])
+    }
+}
+
+/// Formats a fraction as a percentage with two decimals (table cells).
+pub fn pct(x: f64) -> String {
+    format!("{:.2}%", x * 100.0)
+}
+
+/// Cohen's kappa between predictions and labels.
+///
+/// `G_acc` rewards majority-class guessing on imbalanced streams
+/// (NSL-KDD's normal-traffic class dominates); kappa corrects for chance
+/// agreement and is what River/MOA report alongside accuracy.
+///
+/// Returns 0 when the expected chance agreement is already perfect
+/// (degenerate single-class data).
+///
+/// # Panics
+/// Panics if lengths differ, either slice is empty, or a class id is out
+/// of range.
+pub fn cohens_kappa(predictions: &[usize], labels: &[usize], classes: usize) -> f64 {
+    assert_eq!(predictions.len(), labels.len(), "length mismatch");
+    assert!(!labels.is_empty(), "kappa of an empty sample is undefined");
+    let n = labels.len() as f64;
+    let mut pred_counts = vec![0.0; classes];
+    let mut label_counts = vec![0.0; classes];
+    let mut agree = 0.0;
+    for (&p, &t) in predictions.iter().zip(labels) {
+        assert!(p < classes && t < classes, "class id out of range");
+        pred_counts[p] += 1.0;
+        label_counts[t] += 1.0;
+        if p == t {
+            agree += 1.0;
+        }
+    }
+    let po = agree / n;
+    let pe: f64 = pred_counts
+        .iter()
+        .zip(&label_counts)
+        .map(|(p, l)| (p / n) * (l / n))
+        .sum();
+    if (1.0 - pe).abs() < 1e-12 {
+        return 0.0;
+    }
+    (po - pe) / (1.0 - pe)
+}
+
+/// Renders an aligned text table: header row plus data rows.
+pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
+    let cols = header.len();
+    let mut widths: Vec<usize> = header.iter().map(String::len).collect();
+    for row in rows {
+        assert_eq!(row.len(), cols, "ragged table row");
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let padded: Vec<String> = cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:<w$}", w = w))
+            .collect();
+        format!("| {} |", padded.join(" | "))
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    out.push_str(&fmt_row(&sep, &widths));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn batch_accuracy_counts_matches() {
+        assert_eq!(batch_accuracy(&[0, 1, 1], &[0, 1, 0]), 2.0 / 3.0);
+        assert_eq!(batch_accuracy(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn global_accuracy_is_mean() {
+        assert!((global_accuracy(&[0.8, 0.9, 1.0]) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_index_is_one_for_constant_accuracy() {
+        assert!((stability_index(&[0.8, 0.8, 0.8]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn stability_index_penalises_fluctuation() {
+        let stable = stability_index(&[0.85, 0.86, 0.84, 0.85]);
+        let jumpy = stability_index(&[0.95, 0.40, 0.95, 0.40]);
+        assert!(stable > jumpy, "{stable} must exceed {jumpy}");
+        assert!(jumpy > 0.0 && jumpy < 1.0);
+    }
+
+    #[test]
+    fn stability_index_handles_zero_mean() {
+        assert_eq!(stability_index(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn median_of_odd_and_even() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&[]), 0.0);
+    }
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["name".into(), "value".into()],
+            &[vec!["a".into(), "1".into()], vec!["longer".into(), "2".into()]],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines.iter().all(|l| l.len() == lines[0].len()), "aligned widths");
+        assert!(lines[0].contains("name"));
+    }
+
+    #[test]
+    fn pct_formats_two_decimals() {
+        assert_eq!(pct(0.8369), "83.69%");
+    }
+
+    #[test]
+    fn kappa_perfect_agreement_is_one() {
+        let y = vec![0, 1, 2, 1, 0, 2];
+        assert!((cohens_kappa(&y, &y, 3) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_majority_guessing_scores_zero() {
+        let labels = vec![0, 0, 0, 1, 0, 0, 0, 1];
+        let preds = vec![0; 8];
+        assert!(cohens_kappa(&preds, &labels, 2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn kappa_systematic_disagreement_is_negative() {
+        let labels = vec![0, 1, 0, 1];
+        let preds = vec![1, 0, 1, 0];
+        assert!(cohens_kappa(&preds, &labels, 2) < 0.0);
+    }
+
+    #[test]
+    fn kappa_informative_predictions_beat_chance() {
+        let labels = vec![0, 1, 0, 1];
+        let preds = vec![0, 1, 0, 0];
+        let k = cohens_kappa(&preds, &labels, 2);
+        assert!(k > 0.4 && k < 1.0, "kappa {k}");
+    }
+
+    #[test]
+    fn kappa_degenerate_single_class_returns_zero() {
+        assert_eq!(cohens_kappa(&[0, 0, 0], &[0, 0, 0], 2), 0.0);
+    }
+}

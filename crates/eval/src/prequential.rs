@@ -1,0 +1,172 @@
+//! The prequential (test-then-train) evaluation loop.
+
+use crate::metrics;
+use freeway_baselines::StreamingLearner;
+use freeway_streams::{DriftPhase, StreamGenerator};
+use std::time::Instant;
+
+/// Everything measured during one prequential run.
+#[derive(Clone, Debug)]
+pub struct PrequentialResult {
+    /// System name.
+    pub system: String,
+    /// Dataset name.
+    pub dataset: String,
+    /// Per-batch real-time accuracy, in stream order.
+    pub accs: Vec<f64>,
+    /// Ground-truth phase of each batch.
+    pub phases: Vec<DriftPhase>,
+    /// Per-batch inference latency in microseconds.
+    pub infer_us: Vec<f64>,
+    /// Per-batch update latency in microseconds.
+    pub train_us: Vec<f64>,
+    /// Batch size used.
+    pub batch_size: usize,
+}
+
+impl PrequentialResult {
+    /// Global average accuracy (Equation 15).
+    pub fn g_acc(&self) -> f64 {
+        metrics::global_accuracy(&self.accs)
+    }
+
+    /// Stability index (Equation 16).
+    pub fn si(&self) -> f64 {
+        metrics::stability_index(&self.accs)
+    }
+
+    /// Mean accuracy over batches whose phase satisfies `filter`.
+    pub fn phase_accuracy(&self, filter: impl Fn(DriftPhase) -> bool) -> Option<f64> {
+        let selected: Vec<f64> = self
+            .accs
+            .iter()
+            .zip(&self.phases)
+            .filter(|(_, &p)| filter(p))
+            .map(|(&a, _)| a)
+            .collect();
+        if selected.is_empty() {
+            None
+        } else {
+            Some(metrics::global_accuracy(&selected))
+        }
+    }
+
+    /// Median inference latency (µs).
+    pub fn median_infer_us(&self) -> f64 {
+        metrics::median(&self.infer_us)
+    }
+
+    /// Median update latency (µs).
+    pub fn median_train_us(&self) -> f64 {
+        metrics::median(&self.train_us)
+    }
+
+    /// Throughput in items per second over the whole run (inference +
+    /// training time).
+    pub fn throughput_items_per_sec(&self) -> f64 {
+        let total_us: f64 =
+            self.infer_us.iter().sum::<f64>() + self.train_us.iter().sum::<f64>();
+        if total_us <= 0.0 {
+            return 0.0;
+        }
+        let items = (self.accs.len() * self.batch_size) as f64;
+        items / (total_us / 1e6)
+    }
+}
+
+/// Runs test-then-train over `batches` mini-batches of `batch_size`.
+///
+/// The first `warmup_batches` are train-only (they warm PCA for FreewayML
+/// and give every system a non-random starting point) and are excluded
+/// from accuracy/latency accounting, keeping comparisons fair.
+pub fn run_prequential(
+    learner: &mut dyn StreamingLearner,
+    generator: &mut dyn StreamGenerator,
+    batches: usize,
+    batch_size: usize,
+    warmup_batches: usize,
+) -> PrequentialResult {
+    for _ in 0..warmup_batches {
+        let batch = generator.next_batch(batch_size);
+        learner.train(&batch.x, batch.labels());
+    }
+
+    let mut accs = Vec::with_capacity(batches);
+    let mut phases = Vec::with_capacity(batches);
+    let mut infer_us = Vec::with_capacity(batches);
+    let mut train_us = Vec::with_capacity(batches);
+
+    for _ in 0..batches {
+        let batch = generator.next_batch(batch_size);
+
+        let t0 = Instant::now();
+        let preds = learner.infer(&batch.x);
+        infer_us.push(t0.elapsed().as_secs_f64() * 1e6);
+
+        accs.push(metrics::batch_accuracy(&preds, batch.labels()));
+        phases.push(batch.phase);
+
+        let t1 = Instant::now();
+        learner.train(&batch.x, batch.labels());
+        train_us.push(t1.elapsed().as_secs_f64() * 1e6);
+    }
+
+    PrequentialResult {
+        system: learner.name().to_string(),
+        dataset: generator.name().to_string(),
+        accs,
+        phases,
+        infer_us,
+        train_us,
+        batch_size,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_baselines::PlainSgd;
+    use freeway_ml::ModelSpec;
+    use freeway_streams::Hyperplane;
+
+    fn run() -> PrequentialResult {
+        let mut learner = PlainSgd::new(ModelSpec::lr(10, 2), 0);
+        let mut generator = Hyperplane::new(10, 0.001, 0.0, 7);
+        run_prequential(&mut learner, &mut generator, 20, 64, 3)
+    }
+
+    #[test]
+    fn produces_one_record_per_batch() {
+        let r = run();
+        assert_eq!(r.accs.len(), 20);
+        assert_eq!(r.phases.len(), 20);
+        assert_eq!(r.infer_us.len(), 20);
+        assert_eq!(r.train_us.len(), 20);
+        assert_eq!(r.system, "Plain");
+        assert_eq!(r.dataset, "Hyperplane");
+    }
+
+    #[test]
+    fn accuracy_improves_over_random_guessing() {
+        let r = run();
+        assert!(r.g_acc() > 0.55, "learned something: {}", r.g_acc());
+        assert!(r.si() > 0.0 && r.si() <= 1.0);
+    }
+
+    #[test]
+    fn latencies_are_positive() {
+        let r = run();
+        assert!(r.median_infer_us() > 0.0);
+        assert!(r.median_train_us() > 0.0);
+        assert!(r.throughput_items_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn phase_accuracy_filters() {
+        let r = run();
+        let slight = r.phase_accuracy(|p| p.is_slight());
+        assert!(slight.is_some(), "hyperplane emits slight phases");
+        let severe = r.phase_accuracy(|p| p.is_severe());
+        assert!(severe.is_none(), "hyperplane has no severe phases");
+    }
+}

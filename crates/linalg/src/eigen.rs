@@ -1,0 +1,231 @@
+//! Symmetric eigendecomposition via the cyclic Jacobi method.
+//!
+//! PCA (Equations 2–5 of the paper) needs the eigenvectors of a `d x d`
+//! covariance matrix where `d` is the feature dimension of the stream —
+//! at most a few dozen for every workload in the evaluation. The Jacobi
+//! method is simple, numerically robust for symmetric matrices, and more
+//! than fast enough at these sizes.
+
+use crate::matrix::Matrix;
+
+/// Result of a symmetric eigendecomposition, sorted by descending
+/// eigenvalue.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f64>,
+    /// Eigenvectors as matrix columns: column `i` pairs with `values[i]`.
+    pub vectors: Matrix,
+}
+
+impl EigenDecomposition {
+    /// Returns the top-`k` eigenvectors as a `d x k` matrix (the component
+    /// matrix `P_d` of Equation 5).
+    ///
+    /// # Panics
+    /// Panics if `k` exceeds the number of eigenvectors.
+    pub fn top_components(&self, k: usize) -> Matrix {
+        let d = self.vectors.rows();
+        assert!(k <= self.vectors.cols(), "requested {k} components from {d}-dim decomposition");
+        let mut out = Matrix::zeros(d, k);
+        for c in 0..k {
+            for r in 0..d {
+                out[(r, c)] = self.vectors[(r, c)];
+            }
+        }
+        out
+    }
+}
+
+/// Off-diagonal Frobenius norm squared, the Jacobi convergence measure.
+fn off_diagonal_sq(a: &Matrix) -> f64 {
+    let n = a.rows();
+    let mut s = 0.0;
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                s += a[(i, j)] * a[(i, j)];
+            }
+        }
+    }
+    s
+}
+
+/// Eigendecomposition of a symmetric matrix using cyclic Jacobi rotations.
+///
+/// Sweeps zero out each off-diagonal element in turn until the
+/// off-diagonal mass drops below `tol` (relative to the Frobenius norm)
+/// or `max_sweeps` is exhausted. For symmetric input this converges
+/// quadratically; non-symmetric input is symmetrised first by averaging
+/// with its transpose, which is exact for covariance matrices whose
+/// asymmetry is only floating-point noise.
+pub fn jacobi_eigen(matrix: &Matrix, tol: f64, max_sweeps: usize) -> EigenDecomposition {
+    assert_eq!(matrix.rows(), matrix.cols(), "eigendecomposition requires a square matrix");
+    let n = matrix.rows();
+    if n == 0 {
+        return EigenDecomposition { values: Vec::new(), vectors: Matrix::zeros(0, 0) };
+    }
+
+    // Symmetrise to wash out floating-point asymmetry.
+    let mut a = matrix.clone();
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let avg = 0.5 * (a[(i, j)] + a[(j, i)]);
+            a[(i, j)] = avg;
+            a[(j, i)] = avg;
+        }
+    }
+
+    let mut v = Matrix::identity(n);
+    let scale = a.frobenius_norm().max(f64::MIN_POSITIVE);
+    let threshold = tol * tol * scale * scale;
+
+    for _ in 0..max_sweeps {
+        if off_diagonal_sq(&a) <= threshold {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = a[(p, q)];
+                if apq.abs() <= f64::EPSILON * scale {
+                    continue;
+                }
+                let app = a[(p, p)];
+                let aqq = a[(q, q)];
+                let theta = (aqq - app) / (2.0 * apq);
+                // Numerically stable tangent of the rotation angle.
+                let t = theta.signum() / (theta.abs() + (theta * theta + 1.0).sqrt());
+                let c = 1.0 / (t * t + 1.0).sqrt();
+                let s = t * c;
+
+                for k in 0..n {
+                    let akp = a[(k, p)];
+                    let akq = a[(k, q)];
+                    a[(k, p)] = c * akp - s * akq;
+                    a[(k, q)] = s * akp + c * akq;
+                }
+                for k in 0..n {
+                    let apk = a[(p, k)];
+                    let aqk = a[(q, k)];
+                    a[(p, k)] = c * apk - s * aqk;
+                    a[(q, k)] = s * apk + c * aqk;
+                }
+                for k in 0..n {
+                    let vkp = v[(k, p)];
+                    let vkq = v[(k, q)];
+                    v[(k, p)] = c * vkp - s * vkq;
+                    v[(k, q)] = s * vkp + c * vkq;
+                }
+            }
+        }
+    }
+
+    // Sort by descending eigenvalue, permuting eigenvector columns along.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_c, &old_c) in order.iter().enumerate() {
+        for r in 0..n {
+            vectors[(r, new_c)] = v[(r, old_c)];
+        }
+    }
+
+    EigenDecomposition { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vector;
+
+    fn assert_close(a: f64, b: f64, eps: f64) {
+        assert!((a - b).abs() < eps, "{a} !~ {b}");
+    }
+
+    #[test]
+    fn diagonal_matrix_eigenvalues_are_its_diagonal_sorted() {
+        let m = Matrix::from_rows(&[
+            vec![2.0, 0.0, 0.0],
+            vec![0.0, 5.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12, 50);
+        assert_close(e.values[0], 5.0, 1e-9);
+        assert_close(e.values[1], 2.0, 1e-9);
+        assert_close(e.values[2], 1.0, 1e-9);
+    }
+
+    #[test]
+    fn two_by_two_known_decomposition() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&m, 1e-12, 50);
+        assert_close(e.values[0], 3.0, 1e-9);
+        assert_close(e.values[1], 1.0, 1e-9);
+        // Leading eigenvector is (1,1)/sqrt(2) up to sign.
+        let v0 = e.vectors.col(0);
+        assert_close(v0[0].abs(), std::f64::consts::FRAC_1_SQRT_2, 1e-9);
+        assert_close(v0[0], v0[1], 1e-9);
+    }
+
+    #[test]
+    fn eigenvectors_are_orthonormal() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12, 100);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = vector::dot(&e.vectors.col(i), &e.vectors.col(j));
+                assert_close(d, if i == j { 1.0 } else { 0.0 }, 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn reconstruction_matches_original() {
+        let m = Matrix::from_rows(&[
+            vec![4.0, 1.0, 0.5],
+            vec![1.0, 3.0, 0.2],
+            vec![0.5, 0.2, 1.0],
+        ]);
+        let e = jacobi_eigen(&m, 1e-12, 100);
+        // Reconstruct V * diag(values) * V^T.
+        let mut lam = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            lam[(i, i)] = e.values[i];
+        }
+        let rec = e.vectors.matmul(&lam).matmul(&e.vectors.transpose());
+        for r in 0..3 {
+            for c in 0..3 {
+                assert_close(rec[(r, c)], m[(r, c)], 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn top_components_selects_leading_columns() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&m, 1e-12, 50);
+        let p = e.top_components(1);
+        assert_eq!(p.shape(), (2, 1));
+        assert_close(p[(0, 0)], e.vectors[(0, 0)], 1e-12);
+    }
+
+    #[test]
+    fn empty_matrix_yields_empty_decomposition() {
+        let e = jacobi_eigen(&Matrix::zeros(0, 0), 1e-12, 10);
+        assert!(e.values.is_empty());
+    }
+
+    #[test]
+    fn handles_nearly_symmetric_input() {
+        let m = Matrix::from_rows(&[vec![2.0, 1.0 + 1e-15], vec![1.0, 2.0]]);
+        let e = jacobi_eigen(&m, 1e-12, 50);
+        assert_close(e.values[0], 3.0, 1e-9);
+    }
+}

@@ -1,0 +1,27 @@
+//! Dense linear-algebra substrate for FreewayML.
+//!
+//! FreewayML's models (logistic regression, MLP, CNN) and its shift-graph
+//! machinery (PCA, distribution distances) only need small dense matrices,
+//! so this crate provides a deliberately compact, allocation-conscious
+//! implementation rather than binding an external BLAS:
+//!
+//! * [`Matrix`] — row-major `f64` matrix with the handful of operations the
+//!   rest of the workspace needs (matmul, transpose, row views, axpy).
+//! * [`eigen`] — symmetric eigendecomposition via cyclic Jacobi rotations,
+//!   which is robust for the covariance matrices PCA works on.
+//! * [`stats`] — batch mean, covariance, and distance helpers used by the
+//!   shift graph (Equations 2–7 of the paper).
+//! * [`vector`] — free functions over `&[f64]` slices.
+//!
+//! All random initialisation is seeded; no global RNG state is used.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod eigen;
+pub mod matrix;
+pub mod stats;
+pub mod vector;
+
+pub use eigen::{jacobi_eigen, EigenDecomposition};
+pub use matrix::Matrix;

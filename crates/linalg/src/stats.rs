@@ -1,0 +1,144 @@
+//! Batch statistics used by the shift graph (Equations 2–3 and 6–10).
+
+use crate::matrix::Matrix;
+
+/// Mean vector of the rows of `data` (Equation 2).
+///
+/// Empty input yields a zero vector of the matrix's column count.
+pub fn mean_vector(data: &Matrix) -> Vec<f64> {
+    data.column_means()
+}
+
+/// Population covariance matrix of the rows of `data` (Equation 3):
+/// `Σ = (1/n) Σ_i (x_i − μ)(x_i − μ)^T`.
+///
+/// Fewer than two rows yield the zero matrix, since a single point carries
+/// no spread information.
+pub fn covariance_matrix(data: &Matrix) -> Matrix {
+    let (n, d) = data.shape();
+    let mut cov = Matrix::zeros(d, d);
+    if n < 2 {
+        return cov;
+    }
+    let mu = data.column_means();
+    let mut centered = vec![0.0; d];
+    for row in data.row_iter() {
+        for ((c, &x), &m) in centered.iter_mut().zip(row).zip(&mu) {
+            *c = x - m;
+        }
+        for i in 0..d {
+            let ci = centered[i];
+            if ci == 0.0 {
+                continue;
+            }
+            let cov_row = &mut cov.as_mut_slice()[i * d..(i + 1) * d];
+            for (entry, &cj) in cov_row.iter_mut().zip(&centered) {
+                *entry += ci * cj;
+            }
+        }
+    }
+    cov.scale(1.0 / n as f64);
+    cov
+}
+
+/// Weighted mean of `values` with weights `w` (Equation 8).
+///
+/// Returns `0.0` when the total weight vanishes.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn weighted_mean(values: &[f64], w: &[f64]) -> f64 {
+    assert_eq!(values.len(), w.len(), "weighted_mean length mismatch");
+    let total: f64 = w.iter().sum();
+    if total.abs() < f64::EPSILON {
+        return 0.0;
+    }
+    values.iter().zip(w).map(|(v, wi)| v * wi).sum::<f64>() / total
+}
+
+/// Population standard deviation of `values` around a given center
+/// (Equation 9 uses the weighted mean as the center).
+pub fn std_dev_around(values: &[f64], center: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let ss: f64 = values.iter().map(|v| (v - center) * (v - center)).sum();
+    (ss / values.len() as f64).sqrt()
+}
+
+/// Exponential recency weights for a history of length `n`: the most
+/// recent entry (index `n-1`) gets weight 1, older entries decay by
+/// `decay` per step. These are the `w_i` of Equation 8.
+pub fn recency_weights(n: usize, decay: f64) -> Vec<f64> {
+    assert!((0.0..=1.0).contains(&decay), "decay must be in [0, 1]");
+    (0..n).map(|i| decay.powi((n - 1 - i) as i32)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_vector_of_simple_batch() {
+        let m = Matrix::from_rows(&[vec![1.0, 10.0], vec![3.0, 20.0]]);
+        assert_eq!(mean_vector(&m), vec![2.0, 15.0]);
+    }
+
+    #[test]
+    fn covariance_of_uncorrelated_axes_is_diagonal() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 0.0],
+            vec![-1.0, 0.0],
+            vec![0.0, 2.0],
+            vec![0.0, -2.0],
+        ]);
+        let c = covariance_matrix(&m);
+        assert!((c[(0, 0)] - 0.5).abs() < 1e-12);
+        assert!((c[(1, 1)] - 2.0).abs() < 1e-12);
+        assert!(c[(0, 1)].abs() < 1e-12);
+        assert!(c[(1, 0)].abs() < 1e-12);
+    }
+
+    #[test]
+    fn covariance_is_symmetric_psd_diagonal() {
+        let m = Matrix::from_rows(&[
+            vec![1.0, 2.0, 0.0],
+            vec![2.0, 4.5, 1.0],
+            vec![3.0, 5.5, -1.0],
+            vec![0.5, 1.0, 0.3],
+        ]);
+        let c = covariance_matrix(&m);
+        for i in 0..3 {
+            assert!(c[(i, i)] >= 0.0, "variance must be non-negative");
+            for j in 0..3 {
+                assert!((c[(i, j)] - c[(j, i)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn covariance_of_single_point_is_zero() {
+        let m = Matrix::from_rows(&[vec![5.0, -3.0]]);
+        assert_eq!(covariance_matrix(&m), Matrix::zeros(2, 2));
+    }
+
+    #[test]
+    fn weighted_mean_matches_equation_8() {
+        // values [1, 3] with weights [1, 3] => (1 + 9) / 4 = 2.5
+        assert!((weighted_mean(&[1.0, 3.0], &[1.0, 3.0]) - 2.5).abs() < 1e-12);
+        assert_eq!(weighted_mean(&[1.0], &[0.0]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_around_center() {
+        assert!((std_dev_around(&[1.0, 3.0], 2.0) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev_around(&[], 0.0), 0.0);
+    }
+
+    #[test]
+    fn recency_weights_decay_toward_the_past() {
+        let w = recency_weights(3, 0.5);
+        assert_eq!(w, vec![0.25, 0.5, 1.0]);
+        assert_eq!(recency_weights(0, 0.9), Vec::<f64>::new());
+    }
+}

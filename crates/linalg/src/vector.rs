@@ -1,0 +1,173 @@
+//! Free functions over `&[f64]` slices.
+//!
+//! The shift graph works almost entirely on small projected vectors
+//! (`ȳ_t` in the paper), so these helpers are the hottest primitives in
+//! pattern detection.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot length mismatch");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean (L2) norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// Euclidean distance between two equal-length slices
+/// (`d_t = ‖ȳ_t − ȳ_{t−1}‖`, Equation 7 of the paper).
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn euclidean_distance(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "distance length mismatch");
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+}
+
+/// Element-wise difference `a - b` as a new vector.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn sub(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "sub length mismatch");
+    a.iter().zip(b).map(|(x, y)| x - y).collect()
+}
+
+/// Element-wise sum `a + b` as a new vector.
+///
+/// # Panics
+/// Panics if lengths differ.
+pub fn add(a: &[f64], b: &[f64]) -> Vec<f64> {
+    assert_eq!(a.len(), b.len(), "add length mismatch");
+    a.iter().zip(b).map(|(x, y)| x + y).collect()
+}
+
+/// In-place `a += alpha * b`.
+///
+/// # Panics
+/// Panics if lengths differ.
+#[inline]
+pub fn axpy(a: &mut [f64], alpha: f64, b: &[f64]) {
+    assert_eq!(a.len(), b.len(), "axpy length mismatch");
+    for (x, &y) in a.iter_mut().zip(b) {
+        *x += alpha * y;
+    }
+}
+
+/// In-place scalar multiplication.
+#[inline]
+pub fn scale(a: &mut [f64], alpha: f64) {
+    for x in a {
+        *x *= alpha;
+    }
+}
+
+/// Arithmetic mean; `0.0` for an empty slice.
+pub fn mean(a: &[f64]) -> f64 {
+    if a.is_empty() {
+        0.0
+    } else {
+        a.iter().sum::<f64>() / a.len() as f64
+    }
+}
+
+/// Population standard deviation; `0.0` for slices shorter than 2.
+pub fn std_dev(a: &[f64]) -> f64 {
+    if a.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(a);
+    (a.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / a.len() as f64).sqrt()
+}
+
+/// Index of the maximum element (first one on ties).
+///
+/// Returns `None` for an empty slice; NaN entries never win.
+pub fn argmax(a: &[f64]) -> Option<usize> {
+    let mut best: Option<(usize, f64)> = None;
+    for (i, &x) in a.iter().enumerate() {
+        if x.is_nan() {
+            continue;
+        }
+        match best {
+            Some((_, b)) if x <= b => {}
+            _ => best = Some((i, x)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+/// Normalises `a` in place so it sums to one; leaves an all-zero slice
+/// untouched (there is no meaningful direction to normalise toward).
+pub fn normalize_sum(a: &mut [f64]) {
+    let s: f64 = a.iter().sum();
+    if s.abs() > f64::EPSILON {
+        scale(a, 1.0 / s);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert!((norm(&[3.0, 4.0]) - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distance_is_symmetric_and_zero_on_self() {
+        let a = [1.0, -2.0, 0.5];
+        let b = [0.0, 1.0, 4.5];
+        assert_eq!(euclidean_distance(&a, &a), 0.0);
+        assert!((euclidean_distance(&a, &b) - euclidean_distance(&b, &a)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_add_axpy_scale_roundtrip() {
+        let a = vec![1.0, 2.0, 3.0];
+        let b = vec![0.5, 0.5, 0.5];
+        let mut c = sub(&a, &b);
+        axpy(&mut c, 1.0, &b);
+        assert_eq!(c, a);
+        let d = add(&a, &b);
+        assert_eq!(d, vec![1.5, 2.5, 3.5]);
+        let mut e = a.clone();
+        scale(&mut e, 2.0);
+        assert_eq!(e, vec![2.0, 4.0, 6.0]);
+    }
+
+    #[test]
+    fn mean_and_std_dev() {
+        assert_eq!(mean(&[]), 0.0);
+        assert_eq!(mean(&[2.0, 4.0]), 3.0);
+        assert_eq!(std_dev(&[5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn argmax_prefers_first_max_and_skips_nan() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0, 3.0, 3.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN, 2.0]), Some(1));
+        assert_eq!(argmax(&[f64::NAN]), None);
+    }
+
+    #[test]
+    fn normalize_sum_handles_zero_vector() {
+        let mut a = vec![0.0, 0.0];
+        normalize_sum(&mut a);
+        assert_eq!(a, vec![0.0, 0.0]);
+        let mut b = vec![1.0, 3.0];
+        normalize_sum(&mut b);
+        assert!((b[0] - 0.25).abs() < 1e-12 && (b[1] - 0.75).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,122 @@
+//! Property-based tests for the linear-algebra substrate.
+
+use freeway_linalg::{jacobi_eigen, Matrix};
+use freeway_linalg::{stats, vector};
+use proptest::prelude::*;
+
+fn small_vec(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(-100.0..100.0f64, len)
+}
+
+fn small_matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-10.0..10.0f64, rows * cols)
+        .prop_map(move |data| Matrix::from_vec(rows, cols, data))
+}
+
+proptest! {
+    #[test]
+    fn distance_triangle_inequality(a in small_vec(5), b in small_vec(5), c in small_vec(5)) {
+        let ab = vector::euclidean_distance(&a, &b);
+        let bc = vector::euclidean_distance(&b, &c);
+        let ac = vector::euclidean_distance(&a, &c);
+        prop_assert!(ac <= ab + bc + 1e-9);
+    }
+
+    #[test]
+    fn distance_symmetry_and_identity(a in small_vec(6), b in small_vec(6)) {
+        prop_assert!((vector::euclidean_distance(&a, &b)
+            - vector::euclidean_distance(&b, &a)).abs() < 1e-9);
+        prop_assert!(vector::euclidean_distance(&a, &a) == 0.0);
+    }
+
+    #[test]
+    fn dot_is_bilinear(a in small_vec(4), b in small_vec(4), alpha in -5.0..5.0f64) {
+        let scaled: Vec<f64> = a.iter().map(|x| x * alpha).collect();
+        let lhs = vector::dot(&scaled, &b);
+        let rhs = alpha * vector::dot(&a, &b);
+        prop_assert!((lhs - rhs).abs() < 1e-6 * (1.0 + rhs.abs()));
+    }
+
+    #[test]
+    fn transpose_involution(m in small_matrix(3, 5)) {
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn matmul_associates_with_identity(m in small_matrix(4, 4)) {
+        let id = Matrix::identity(4);
+        prop_assert_eq!(m.matmul(&id), m.clone());
+        prop_assert_eq!(id.matmul(&m), m);
+    }
+
+    #[test]
+    fn matmul_distributes_over_axpy(a in small_matrix(3, 3), b in small_matrix(3, 3), c in small_matrix(3, 3)) {
+        // (a + b) * c == a*c + b*c
+        let mut sum = a.clone();
+        sum.axpy(1.0, &b);
+        let lhs = sum.matmul(&c);
+        let mut rhs = a.matmul(&c);
+        rhs.axpy(1.0, &b.matmul(&c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-6 * (1.0 + y.abs()));
+        }
+    }
+
+    #[test]
+    fn matvec_agrees_with_matmul(m in small_matrix(4, 3), v in small_vec(3)) {
+        let as_col = Matrix::from_vec(3, 1, v.clone());
+        let via_matmul = m.matmul(&as_col);
+        let via_matvec = m.matvec(&v);
+        for (i, &x) in via_matvec.iter().enumerate() {
+            prop_assert!((x - via_matmul[(i, 0)]).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn covariance_diagonal_nonnegative(rows in 2usize..12) {
+        let data: Vec<f64> = (0..rows * 4).map(|i| ((i * 37) % 101) as f64 / 10.0).collect();
+        let m = Matrix::from_vec(rows, 4, data);
+        let cov = stats::covariance_matrix(&m);
+        for i in 0..4 {
+            prop_assert!(cov[(i, i)] >= -1e-12);
+        }
+    }
+
+    #[test]
+    fn jacobi_eigenvalue_sum_equals_trace(m in small_matrix(4, 4)) {
+        // Symmetrise, then trace == sum of eigenvalues.
+        let mut sym = m.clone();
+        let t = m.transpose();
+        sym.axpy(1.0, &t);
+        sym.scale(0.5);
+        let trace: f64 = (0..4).map(|i| sym[(i, i)]).sum();
+        let e = jacobi_eigen(&sym, 1e-12, 100);
+        let sum: f64 = e.values.iter().sum();
+        prop_assert!((trace - sum).abs() < 1e-6 * (1.0 + trace.abs()));
+    }
+
+    #[test]
+    fn jacobi_vectors_orthonormal(m in small_matrix(3, 3)) {
+        let mut sym = m.clone();
+        let t = m.transpose();
+        sym.axpy(1.0, &t);
+        sym.scale(0.5);
+        let e = jacobi_eigen(&sym, 1e-12, 100);
+        for i in 0..3 {
+            for j in 0..3 {
+                let d = vector::dot(&e.vectors.col(i), &e.vectors.col(j));
+                let expected = if i == j { 1.0 } else { 0.0 };
+                prop_assert!((d - expected).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    fn recency_weights_monotone(n in 1usize..30, decay in 0.01..1.0f64) {
+        let w = stats::recency_weights(n, decay);
+        for pair in w.windows(2) {
+            prop_assert!(pair[0] <= pair[1] + 1e-12);
+        }
+        prop_assert!((w[n - 1] - 1.0).abs() < 1e-12);
+    }
+}

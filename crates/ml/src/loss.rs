@@ -1,0 +1,156 @@
+//! Numerically stable softmax and cross-entropy.
+
+use freeway_linalg::Matrix;
+
+/// In-place row-wise softmax with the log-sum-exp shift for stability.
+pub fn softmax_rows(logits: &mut Matrix) {
+    let cols = logits.cols();
+    if cols == 0 {
+        return;
+    }
+    for r in 0..logits.rows() {
+        let row = logits.row_mut(r);
+        let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        let mut sum = 0.0;
+        for x in row.iter_mut() {
+            *x = (*x - max).exp();
+            sum += *x;
+        }
+        let inv = 1.0 / sum;
+        for x in row.iter_mut() {
+            *x *= inv;
+        }
+    }
+}
+
+/// Mean cross-entropy of predicted class probabilities against integer
+/// labels, clamped away from `log(0)`.
+///
+/// # Panics
+/// Panics if `labels.len() != probs.rows()` or a label is out of range.
+pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> f64 {
+    assert_eq!(probs.rows(), labels.len(), "cross_entropy length mismatch");
+    if labels.is_empty() {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    for (row, &y) in probs.row_iter().zip(labels) {
+        assert!(y < probs.cols(), "label {y} out of range for {} classes", probs.cols());
+        total -= row[y].max(1e-12).ln();
+    }
+    total / labels.len() as f64
+}
+
+/// Writes `probs - onehot(labels)` scaled by per-sample weights into a new
+/// matrix: the shared softmax + cross-entropy output gradient.
+///
+/// `weights` of `None` means uniform `1/n`; otherwise each row is scaled by
+/// `w_i / Σw`, so the result is always an *average* gradient regardless of
+/// the weighting (this is what makes ASW-decayed batches and plain batches
+/// interchangeable downstream).
+///
+/// # Panics
+/// Panics on any length mismatch or out-of-range label.
+pub fn softmax_grad(probs: &Matrix, labels: &[usize], weights: Option<&[f64]>) -> Matrix {
+    assert_eq!(probs.rows(), labels.len(), "softmax_grad length mismatch");
+    let n = labels.len();
+    let mut out = probs.clone();
+    if n == 0 {
+        return out;
+    }
+    let total_weight = match weights {
+        Some(w) => {
+            assert_eq!(w.len(), n, "weights length mismatch");
+            let s: f64 = w.iter().sum();
+            if s.abs() < f64::EPSILON {
+                // All-zero weights contribute no gradient.
+                out.scale(0.0);
+                return out;
+            }
+            s
+        }
+        None => n as f64,
+    };
+    for (r, &y) in labels.iter().enumerate() {
+        assert!(y < out.cols(), "label {y} out of range");
+        out[(r, y)] -= 1.0;
+        let w = weights.map_or(1.0, |w| w[r]) / total_weight;
+        for v in out.row_mut(r) {
+            *v *= w;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let mut m = Matrix::from_rows(&[vec![1.0, 2.0, 3.0], vec![-5.0, 0.0, 5.0]]);
+        softmax_rows(&mut m);
+        for row in m.row_iter() {
+            let s: f64 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn softmax_is_shift_invariant_and_stable_at_extremes() {
+        let mut a = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        let mut b = Matrix::from_rows(&[vec![1001.0, 1002.0]]);
+        softmax_rows(&mut a);
+        softmax_rows(&mut b);
+        assert!((a[(0, 0)] - b[(0, 0)]).abs() < 1e-12);
+        assert!(b.is_finite());
+    }
+
+    #[test]
+    fn cross_entropy_of_perfect_prediction_is_near_zero() {
+        let probs = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0]]);
+        assert!(cross_entropy(&probs, &[0, 1]) < 1e-9);
+    }
+
+    #[test]
+    fn cross_entropy_of_uniform_is_log_c() {
+        let probs = Matrix::from_rows(&[vec![0.25; 4]]);
+        assert!((cross_entropy(&probs, &[2]) - 4.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cross_entropy_clamps_zero_probability() {
+        let probs = Matrix::from_rows(&[vec![0.0, 1.0]]);
+        assert!(cross_entropy(&probs, &[0]).is_finite());
+    }
+
+    #[test]
+    fn softmax_grad_rows_sum_to_zero_uniform_weighting() {
+        let probs = Matrix::from_rows(&[vec![0.3, 0.7], vec![0.6, 0.4]]);
+        let g = softmax_grad(&probs, &[1, 0], None);
+        for row in g.row_iter() {
+            let s: f64 = row.iter().sum();
+            assert!(s.abs() < 1e-12, "each (p - onehot) row sums to zero");
+        }
+        // Row 0: (0.3, 0.7-1) / 2
+        assert!((g[(0, 0)] - 0.15).abs() < 1e-12);
+        assert!((g[(0, 1)] + 0.15).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_grad_respects_sample_weights() {
+        let probs = Matrix::from_rows(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
+        let g = softmax_grad(&probs, &[0, 0], Some(&[3.0, 1.0]));
+        // First row weighted 3/4, second 1/4.
+        assert!((g[(0, 0)] - (-0.5 * 0.75)).abs() < 1e-12);
+        assert!((g[(1, 0)] - (-0.5 * 0.25)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_grad_zero_weights_yield_zero_gradient() {
+        let probs = Matrix::from_rows(&[vec![0.9, 0.1]]);
+        let g = softmax_grad(&probs, &[0], Some(&[0.0]));
+        assert!(g.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

@@ -1,0 +1,85 @@
+//! The object-safe model trait shared by FreewayML and every baseline.
+
+use freeway_linalg::Matrix;
+
+/// A streaming classification model trained by mini-batch gradient steps.
+///
+/// Gradients and parameters use a single *flat* layout (defined per model,
+/// stable across calls), which lets optimizer state, A-GEM projection,
+/// pre-computing-window accumulation, and knowledge snapshots operate on
+/// plain `&[f64]` without knowing the architecture. Models are plain
+/// parameter containers, so the trait requires `Send + Sync` — shared
+/// read-only access from shard threads is safe by construction.
+pub trait Model: Send + Sync {
+    /// Input feature dimension.
+    fn num_features(&self) -> usize;
+
+    /// Number of output classes.
+    fn num_classes(&self) -> usize;
+
+    /// Class-probability matrix (`n x classes`) for a batch of inputs.
+    fn predict_proba(&self, x: &Matrix) -> Matrix;
+
+    /// Hard class predictions via argmax over probabilities.
+    fn predict(&self, x: &Matrix) -> Vec<usize> {
+        let probs = self.predict_proba(x);
+        probs
+            .row_iter()
+            .map(|row| freeway_linalg::vector::argmax(row).unwrap_or(0))
+            .collect()
+    }
+
+    /// Mean cross-entropy of this model on a labeled batch.
+    fn loss(&self, x: &Matrix, y: &[usize]) -> f64 {
+        crate::loss::cross_entropy(&self.predict_proba(x), y)
+    }
+
+    /// Average gradient of the loss over a labeled batch, flattened in
+    /// parameter order. `weights` (when given) re-weights samples, which is
+    /// how ASW decay influences the long-granularity model update.
+    fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64>;
+
+    /// Adds `delta` to the flat parameter vector (optimizers produce the
+    /// delta, including its sign).
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != self.num_parameters()`.
+    fn apply_update(&mut self, delta: &[f64]);
+
+    /// Flat copy of all parameters.
+    fn parameters(&self) -> Vec<f64>;
+
+    /// Overwrites all parameters from a flat vector (used by historical
+    /// knowledge reuse to restore a snapshot).
+    ///
+    /// # Panics
+    /// Panics if `params.len() != self.num_parameters()`.
+    fn set_parameters(&mut self, params: &[f64]);
+
+    /// Total flat parameter count.
+    fn num_parameters(&self) -> usize;
+
+    /// Deep copy behind a fresh box (object-safe clone).
+    fn clone_model(&self) -> Box<dyn Model>;
+}
+
+impl Clone for Box<dyn Model> {
+    fn clone(&self) -> Self {
+        self.clone_model()
+    }
+}
+
+/// Fraction of correct hard predictions on a labeled batch — the paper's
+/// real-time accuracy `acc` (Equation 1).
+///
+/// # Panics
+/// Panics if `y.len() != x.rows()`.
+pub fn accuracy(model: &dyn Model, x: &Matrix, y: &[usize]) -> f64 {
+    assert_eq!(x.rows(), y.len(), "accuracy label mismatch");
+    if y.is_empty() {
+        return 0.0;
+    }
+    let preds = model.predict(x);
+    let correct = preds.iter().zip(y).filter(|(p, t)| p == t).count();
+    correct as f64 / y.len() as f64
+}

@@ -1,0 +1,151 @@
+//! Learning-rate schedules.
+//!
+//! Streaming deployments rarely keep a constant step size: Spark MLlib
+//! decays as `1/sqrt(t)`, warm-up ramps avoid early instability, and
+//! step decays follow regime lengths. [`LrSchedule`] composes with any
+//! optimizer by scaling the gradient fed to it (equivalent to scaling
+//! the step for SGD-family methods, and a standard practice for Adam).
+
+use serde::{Deserialize, Serialize};
+
+/// A learning-rate multiplier as a function of the step count.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum LrSchedule {
+    /// Constant multiplier 1.
+    Constant,
+    /// `1 / sqrt(t)` (Spark MLlib's streaming default).
+    InvSqrt,
+    /// Multiply by `gamma` every `every` steps.
+    Step {
+        /// Steps between decays.
+        every: u64,
+        /// Per-decay multiplier in `(0, 1]`.
+        gamma: f64,
+    },
+    /// Linear ramp from `start` to 1 over `steps` steps, then constant.
+    Warmup {
+        /// Initial multiplier in `(0, 1]`.
+        start: f64,
+        /// Ramp length.
+        steps: u64,
+    },
+}
+
+impl LrSchedule {
+    /// The multiplier at 1-based step `t`.
+    pub fn multiplier(&self, t: u64) -> f64 {
+        let t = t.max(1);
+        match *self {
+            Self::Constant => 1.0,
+            Self::InvSqrt => 1.0 / (t as f64).sqrt(),
+            Self::Step { every, gamma } => {
+                assert!(every > 0 && gamma > 0.0 && gamma <= 1.0, "invalid step schedule");
+                gamma.powi(((t - 1) / every) as i32)
+            }
+            Self::Warmup { start, steps } => {
+                assert!(start > 0.0 && start <= 1.0, "invalid warmup start");
+                if steps == 0 || t >= steps {
+                    1.0
+                } else {
+                    start + (1.0 - start) * (t as f64 / steps as f64)
+                }
+            }
+        }
+    }
+}
+
+/// Wraps an optimizer, scaling each gradient by the schedule multiplier.
+pub struct Scheduled {
+    inner: Box<dyn crate::optim::Optimizer>,
+    schedule: LrSchedule,
+    t: u64,
+}
+
+impl Scheduled {
+    /// Wraps `inner` with `schedule`.
+    pub fn new(inner: Box<dyn crate::optim::Optimizer>, schedule: LrSchedule) -> Self {
+        Self { inner, schedule, t: 0 }
+    }
+}
+
+impl crate::optim::Optimizer for Scheduled {
+    fn step(&mut self, params: &[f64], grad: &[f64]) -> Vec<f64> {
+        self.t += 1;
+        let m = self.schedule.multiplier(self.t);
+        let scaled: Vec<f64> = grad.iter().map(|g| g * m).collect();
+        self.inner.step(params, &scaled)
+    }
+
+    fn reset(&mut self) {
+        self.inner.reset();
+        self.t = 0;
+    }
+
+    fn clone_optimizer(&self) -> Box<dyn crate::optim::Optimizer> {
+        Box::new(Self {
+            inner: self.inner.clone_optimizer(),
+            schedule: self.schedule,
+            t: self.t,
+        })
+    }
+}
+
+#[cfg(test)]
+mod schedule_tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn constant_is_identity() {
+        assert_eq!(LrSchedule::Constant.multiplier(1), 1.0);
+        assert_eq!(LrSchedule::Constant.multiplier(1000), 1.0);
+    }
+
+    #[test]
+    fn inv_sqrt_decays() {
+        let s = LrSchedule::InvSqrt;
+        assert_eq!(s.multiplier(1), 1.0);
+        assert!((s.multiplier(4) - 0.5).abs() < 1e-12);
+        assert!((s.multiplier(100) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn step_decays_in_plateaus() {
+        let s = LrSchedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.multiplier(1), 1.0);
+        assert_eq!(s.multiplier(10), 1.0);
+        assert_eq!(s.multiplier(11), 0.5);
+        assert_eq!(s.multiplier(21), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup { start: 0.1, steps: 10 };
+        assert!(s.multiplier(1) < 0.3);
+        assert_eq!(s.multiplier(10), 1.0);
+        assert_eq!(s.multiplier(100), 1.0);
+    }
+
+    #[test]
+    fn scheduled_sgd_shrinks_steps_over_time() {
+        let mut opt = Scheduled::new(Box::new(Sgd::new(1.0)), LrSchedule::InvSqrt);
+        let d1 = opt.step(&[0.0], &[1.0])[0].abs();
+        for _ in 0..98 {
+            let _ = opt.step(&[0.0], &[1.0]);
+        }
+        let d100 = opt.step(&[0.0], &[1.0])[0].abs();
+        assert!((d1 - 1.0).abs() < 1e-12);
+        assert!((d100 - 0.1).abs() < 1e-12, "step 100 multiplier 0.1, got {d100}");
+    }
+
+    #[test]
+    fn reset_restarts_the_clock() {
+        let mut opt = Scheduled::new(Box::new(Sgd::new(1.0)), LrSchedule::InvSqrt);
+        for _ in 0..50 {
+            let _ = opt.step(&[0.0], &[1.0]);
+        }
+        opt.reset();
+        let d = opt.step(&[0.0], &[1.0])[0].abs();
+        assert!((d - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,202 @@
+//! Data-parallel sharded training with periodic model averaging.
+//!
+//! The paper's future work is "optimizing the scalability of FreewayML
+//! … in distributed computing environments". This module provides the
+//! standard single-machine simulation of that setting: a batch is split
+//! across `K` shard models that compute gradients in parallel (scoped
+//! threads); shards apply local steps and re-synchronise by parameter
+//! averaging every `sync_every` steps. With `sync_every = 1` this is
+//! exactly synchronous data-parallel SGD (identical to single-model
+//! training up to float associativity); larger values trade consistency
+//! for fewer synchronisation barriers, as in federated/local-SGD
+//! deployments.
+
+use crate::model::Model;
+use crate::optim::Optimizer;
+use freeway_linalg::Matrix;
+
+/// A bank of replicated models trained data-parallel.
+pub struct ShardedTrainer {
+    shards: Vec<(Box<dyn Model>, Box<dyn Optimizer>)>,
+    sync_every: usize,
+    steps_since_sync: usize,
+}
+
+impl ShardedTrainer {
+    /// Creates `num_shards` replicas of `model` (all start identical).
+    ///
+    /// # Panics
+    /// Panics if `num_shards == 0` or `sync_every == 0`.
+    pub fn new(
+        model: &dyn Model,
+        optimizer: &dyn Optimizer,
+        num_shards: usize,
+        sync_every: usize,
+    ) -> Self {
+        assert!(num_shards >= 1, "need at least one shard");
+        assert!(sync_every >= 1, "sync interval must be positive");
+        let shards = (0..num_shards)
+            .map(|_| (model.clone_model(), optimizer.clone_optimizer()))
+            .collect();
+        Self { shards, sync_every, steps_since_sync: 0 }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// One data-parallel step: the batch is split into contiguous chunks,
+    /// each shard computes its chunk's gradient concurrently and applies
+    /// a local optimizer step; every `sync_every` steps the shard
+    /// parameters are averaged back together.
+    ///
+    /// # Panics
+    /// Panics if the batch holds fewer rows than shards.
+    pub fn train_batch(&mut self, x: &Matrix, labels: &[usize]) {
+        let k = self.shards.len();
+        assert!(x.rows() >= k, "batch of {} rows cannot feed {k} shards", x.rows());
+        let chunk = x.rows().div_ceil(k);
+
+        // Phase 1: gradients in parallel (read-only model access).
+        let grads: Vec<Vec<f64>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter()
+                .enumerate()
+                .map(|(s, (model, _))| {
+                    let start = s * chunk;
+                    let end = ((s + 1) * chunk).min(x.rows());
+                    let idx: Vec<usize> = (start..end).collect();
+                    let sub_x = x.select_rows(&idx);
+                    let sub_y: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                    scope.spawn(move || model.gradient(&sub_x, &sub_y, None))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
+        });
+
+        // Phase 2: local steps.
+        for ((model, optimizer), grad) in self.shards.iter_mut().zip(&grads) {
+            let delta = optimizer.step(&model.parameters(), grad);
+            model.apply_update(&delta);
+        }
+
+        // Phase 3: periodic averaging.
+        self.steps_since_sync += 1;
+        if self.steps_since_sync >= self.sync_every {
+            self.synchronize();
+        }
+    }
+
+    /// Averages all shard parameters (the synchronisation barrier).
+    pub fn synchronize(&mut self) {
+        self.steps_since_sync = 0;
+        let k = self.shards.len();
+        if k == 1 {
+            return;
+        }
+        let mut avg = self.shards[0].0.parameters();
+        for (model, _) in &self.shards[1..] {
+            freeway_linalg::vector::axpy(&mut avg, 1.0, &model.parameters());
+        }
+        freeway_linalg::vector::scale(&mut avg, 1.0 / k as f64);
+        for (model, _) in &mut self.shards {
+            model.set_parameters(&avg);
+        }
+    }
+
+    /// The consensus model (shard 0; equal to all shards right after a
+    /// synchronisation).
+    pub fn model(&self) -> &dyn Model {
+        self.shards[0].0.as_ref()
+    }
+
+    /// Hard predictions from the consensus model.
+    pub fn predict(&self, x: &Matrix) -> Vec<usize> {
+        self.model().predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::Sgd;
+    use crate::spec::ModelSpec;
+    use crate::trainer::Trainer;
+
+    fn blobs(n: usize) -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f64>> = (0..n)
+            .map(|i| {
+                let side = if i % 2 == 0 { 1.0 } else { -1.0 };
+                vec![side * 2.0 + (i as f64 * 0.17).sin() * 0.2, side]
+            })
+            .collect();
+        (Matrix::from_rows(&rows), (0..n).map(|i| i % 2).collect())
+    }
+
+    #[test]
+    fn single_shard_matches_plain_trainer() {
+        let (x, y) = blobs(64);
+        let spec = ModelSpec::lr(2, 2);
+        let base = spec.build(0);
+        let opt = Sgd::new(0.2);
+        let mut sharded = ShardedTrainer::new(base.as_ref(), &opt, 1, 1);
+        let mut plain = Trainer::new(spec.build(0), Box::new(Sgd::new(0.2)));
+        for _ in 0..10 {
+            sharded.train_batch(&x, &y);
+            plain.train_batch(&x, &y);
+        }
+        for (a, b) in sharded.model().parameters().iter().zip(plain.model().parameters()) {
+            assert!((a - b).abs() < 1e-12, "one shard must equal plain training");
+        }
+    }
+
+    #[test]
+    fn sharded_training_learns_the_task() {
+        let (x, y) = blobs(128);
+        let spec = ModelSpec::mlp(2, vec![8], 2);
+        let base = spec.build(3);
+        let opt = Sgd::new(0.4);
+        let mut sharded = ShardedTrainer::new(base.as_ref(), &opt, 4, 2);
+        for _ in 0..150 {
+            sharded.train_batch(&x, &y);
+        }
+        sharded.synchronize();
+        let preds = sharded.predict(&x);
+        let acc = preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64;
+        assert!(acc > 0.95, "4-shard local SGD accuracy {acc}");
+    }
+
+    #[test]
+    fn shards_agree_after_synchronize() {
+        let (x, y) = blobs(64);
+        let spec = ModelSpec::lr(2, 2);
+        let base = spec.build(1);
+        let opt = Sgd::new(0.1);
+        // sync_every large: shards drift apart between barriers.
+        let mut sharded = ShardedTrainer::new(base.as_ref(), &opt, 3, 1000);
+        for _ in 0..5 {
+            sharded.train_batch(&x, &y);
+        }
+        let p0 = sharded.shards[0].0.parameters();
+        let p1 = sharded.shards[1].0.parameters();
+        assert_ne!(p0, p1, "shards see different chunks, so they drift");
+        sharded.synchronize();
+        let p0 = sharded.shards[0].0.parameters();
+        let p1 = sharded.shards[1].0.parameters();
+        let p2 = sharded.shards[2].0.parameters();
+        assert_eq!(p0, p1);
+        assert_eq!(p1, p2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot feed")]
+    fn rejects_batches_smaller_than_shard_count() {
+        let spec = ModelSpec::lr(2, 2);
+        let base = spec.build(0);
+        let mut sharded = ShardedTrainer::new(base.as_ref(), &Sgd::new(0.1), 8, 1);
+        let (x, y) = blobs(4);
+        sharded.train_batch(&x, &y);
+    }
+}

@@ -1,0 +1,164 @@
+//! Declarative model descriptions.
+//!
+//! FreewayML instantiates several copies of "the same" model (short and
+//! long granularity, knowledge-restored replicas, baseline twins).
+//! [`ModelSpec`] captures the architecture once so every copy is built
+//! identically, and so snapshots know what to rebuild.
+
+use crate::cnn::Cnn1d;
+use crate::logistic::SoftmaxRegression;
+use crate::mlp::Mlp;
+use crate::model::Model;
+use serde::{Deserialize, Serialize};
+
+/// Architecture description for the three model families in the paper.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ModelSpec {
+    /// Streaming (softmax) logistic regression.
+    Lr {
+        /// Input feature dimension.
+        features: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Streaming MLP with ReLU hidden layers.
+    Mlp {
+        /// Input feature dimension.
+        features: usize,
+        /// Hidden layer widths.
+        hidden: Vec<usize>,
+        /// Number of classes.
+        classes: usize,
+    },
+    /// Streaming 1-D CNN (conv + maxpool + dense head).
+    Cnn {
+        /// Input signal length.
+        features: usize,
+        /// Number of convolution filters.
+        filters: usize,
+        /// Convolution kernel width.
+        kernel: usize,
+        /// Number of classes.
+        classes: usize,
+    },
+}
+
+impl ModelSpec {
+    /// Logistic-regression spec.
+    pub fn lr(features: usize, classes: usize) -> Self {
+        Self::Lr { features, classes }
+    }
+
+    /// MLP spec.
+    pub fn mlp(features: usize, hidden: Vec<usize>, classes: usize) -> Self {
+        Self::Mlp { features, hidden, classes }
+    }
+
+    /// CNN spec mirroring the paper's appendix architecture: 32 kernels of
+    /// width 3 by default via [`ModelSpec::cnn_paper`], or custom here.
+    pub fn cnn(features: usize, filters: usize, kernel: usize, classes: usize) -> Self {
+        Self::Cnn { features, filters, kernel, classes }
+    }
+
+    /// The appendix's three-layer CNN: 32 kernels of size 3, pool 2, dense.
+    pub fn cnn_paper(features: usize, classes: usize) -> Self {
+        Self::Cnn { features, filters: 32, kernel: 3, classes }
+    }
+
+    /// Input feature dimension.
+    pub fn features(&self) -> usize {
+        match self {
+            Self::Lr { features, .. } | Self::Mlp { features, .. } | Self::Cnn { features, .. } => {
+                *features
+            }
+        }
+    }
+
+    /// Number of classes.
+    pub fn classes(&self) -> usize {
+        match self {
+            Self::Lr { classes, .. } | Self::Mlp { classes, .. } | Self::Cnn { classes, .. } => {
+                *classes
+            }
+        }
+    }
+
+    /// Builds a fresh model; `seed` controls random initialisation.
+    pub fn build(&self, seed: u64) -> Box<dyn Model> {
+        match self {
+            Self::Lr { features, classes } => Box::new(SoftmaxRegression::new(*features, *classes)),
+            Self::Mlp { features, hidden, classes } => {
+                Box::new(Mlp::new(*features, hidden, *classes, seed))
+            }
+            Self::Cnn { features, filters, kernel, classes } => {
+                Box::new(Cnn1d::new(*features, *filters, *kernel, *classes, seed))
+            }
+        }
+    }
+
+    /// Flat parameter count of the architecture.
+    pub fn num_parameters(&self) -> usize {
+        match self {
+            Self::Lr { features, classes } => features * classes + classes,
+            Self::Mlp { features, hidden, classes } => {
+                let mut dims = vec![*features];
+                dims.extend_from_slice(hidden);
+                dims.push(*classes);
+                dims.windows(2).map(|w| w[0] * w[1] + w[1]).sum()
+            }
+            Self::Cnn { features, filters, kernel, classes } => {
+                let conv_len = features - kernel + 1;
+                let pooled = conv_len / 2;
+                filters * kernel + filters + filters * pooled * classes + classes
+            }
+        }
+    }
+
+    /// Short human-readable tag, used in experiment output.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Lr { .. } => "LR",
+            Self::Mlp { .. } => "MLP",
+            Self::Cnn { .. } => "CNN",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_matches_declared_parameter_count() {
+        for spec in [
+            ModelSpec::lr(10, 3),
+            ModelSpec::mlp(10, vec![16, 8], 3),
+            ModelSpec::cnn(12, 4, 3, 2),
+            ModelSpec::cnn_paper(20, 5),
+        ] {
+            let model = spec.build(1);
+            assert_eq!(
+                model.num_parameters(),
+                spec.num_parameters(),
+                "spec {spec:?} parameter count mismatch"
+            );
+            assert_eq!(model.num_features(), spec.features());
+            assert_eq!(model.num_classes(), spec.classes());
+        }
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let spec = ModelSpec::mlp(7, vec![5], 4);
+        let json = serde_json::to_string(&spec).unwrap();
+        let back: ModelSpec = serde_json::from_str(&json).unwrap();
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn tags_distinguish_families() {
+        assert_eq!(ModelSpec::lr(2, 2).tag(), "LR");
+        assert_eq!(ModelSpec::mlp(2, vec![2], 2).tag(), "MLP");
+        assert_eq!(ModelSpec::cnn(8, 2, 3, 2).tag(), "CNN");
+    }
+}

@@ -1,0 +1,113 @@
+//! Model + optimizer pairing: one incremental training step per batch.
+
+use crate::model::Model;
+use crate::optim::Optimizer;
+use freeway_linalg::Matrix;
+
+/// Couples a model with an optimizer and performs mini-batch updates —
+/// the incremental-update loop every SML framework in the paper shares.
+pub struct Trainer {
+    model: Box<dyn Model>,
+    optimizer: Box<dyn Optimizer>,
+}
+
+impl Trainer {
+    /// Creates a trainer owning the model and optimizer.
+    pub fn new(model: Box<dyn Model>, optimizer: Box<dyn Optimizer>) -> Self {
+        Self { model, optimizer }
+    }
+
+    /// One mini-batch SGD step; returns the pre-update loss.
+    pub fn train_batch(&mut self, x: &Matrix, y: &[usize]) -> f64 {
+        self.train_weighted(x, y, None)
+    }
+
+    /// One weighted mini-batch step (weights come from ASW decay).
+    pub fn train_weighted(&mut self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> f64 {
+        let loss = self.model.loss(x, y);
+        let grad = self.model.gradient(x, y, weights);
+        let delta = self.optimizer.step(&self.model.parameters(), &grad);
+        self.model.apply_update(&delta);
+        loss
+    }
+
+    /// Applies a pre-computed (already merged) gradient — the final step of
+    /// the pre-computing window.
+    pub fn apply_gradient(&mut self, grad: &[f64]) {
+        let delta = self.optimizer.step(&self.model.parameters(), grad);
+        self.model.apply_update(&delta);
+    }
+
+    /// Immutable access to the model.
+    pub fn model(&self) -> &dyn Model {
+        self.model.as_ref()
+    }
+
+    /// Mutable access to the model (knowledge restore writes through this).
+    pub fn model_mut(&mut self) -> &mut dyn Model {
+        self.model.as_mut()
+    }
+
+    /// Resets optimizer state (after a drift-triggered model reset).
+    pub fn reset_optimizer(&mut self) {
+        self.optimizer.reset();
+    }
+}
+
+impl Clone for Trainer {
+    fn clone(&self) -> Self {
+        Self { model: self.model.clone_model(), optimizer: self.optimizer.clone_optimizer() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::accuracy;
+    use crate::optim::Sgd;
+    use crate::spec::ModelSpec;
+
+    fn separable() -> (Matrix, Vec<usize>) {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let side = if i % 2 == 0 { 1.0 } else { -1.0 };
+                vec![side * 2.0 + (i as f64 * 0.1).sin() * 0.2, side]
+            })
+            .collect();
+        let labels = (0..40).map(|i| i % 2).collect();
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn training_reduces_loss() {
+        let (x, y) = separable();
+        let mut t = Trainer::new(ModelSpec::lr(2, 2).build(0), Box::new(Sgd::new(0.5)));
+        let first = t.train_batch(&x, &y);
+        let mut last = first;
+        for _ in 0..50 {
+            last = t.train_batch(&x, &y);
+        }
+        assert!(last < first, "loss should drop: {first} -> {last}");
+        assert!(accuracy(t.model(), &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn apply_gradient_equals_train_batch_for_sgd() {
+        let (x, y) = separable();
+        let mut a = Trainer::new(ModelSpec::lr(2, 2).build(0), Box::new(Sgd::new(0.1)));
+        let mut b = a.clone();
+        a.train_batch(&x, &y);
+        let grad = b.model().gradient(&x, &y, None);
+        b.apply_gradient(&grad);
+        assert_eq!(a.model().parameters(), b.model().parameters());
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let (x, y) = separable();
+        let mut a = Trainer::new(ModelSpec::lr(2, 2).build(0), Box::new(Sgd::new(0.1)));
+        let b = a.clone();
+        a.train_batch(&x, &y);
+        assert_ne!(a.model().parameters(), b.model().parameters());
+    }
+}

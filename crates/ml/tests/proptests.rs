@@ -1,0 +1,114 @@
+//! Property-based tests for the ML substrate.
+
+use freeway_linalg::Matrix;
+use freeway_ml::{ModelSpec, Optimizer, PrecomputeAccumulator, Sgd};
+use proptest::prelude::*;
+
+fn batch(rows: usize, cols: usize, classes: usize) -> impl Strategy<Value = (Matrix, Vec<usize>)> {
+    (
+        prop::collection::vec(-3.0..3.0f64, rows * cols),
+        prop::collection::vec(0..classes, rows),
+    )
+        .prop_map(move |(data, labels)| (Matrix::from_vec(rows, cols, data), labels))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn probabilities_always_normalised((x, _) in batch(8, 4, 3)) {
+        for spec in [
+            ModelSpec::lr(4, 3),
+            ModelSpec::mlp(4, vec![6], 3),
+        ] {
+            let model = spec.build(1);
+            let probs = model.predict_proba(&x);
+            for row in probs.row_iter() {
+                let s: f64 = row.iter().sum();
+                prop_assert!((s - 1.0).abs() < 1e-9, "{spec:?} row sums to {s}");
+                prop_assert!(row.iter().all(|&p| (0.0..=1.0).contains(&p)));
+            }
+        }
+    }
+
+    #[test]
+    fn gradient_step_reduces_loss_on_fixed_batch((x, y) in batch(16, 4, 3)) {
+        // For a small enough step, loss must not increase (first-order).
+        let mut model = ModelSpec::lr(4, 3).build(2);
+        let before = model.loss(&x, &y);
+        let grad = model.gradient(&x, &y, None);
+        let delta: Vec<f64> = grad.iter().map(|g| -1e-3 * g).collect();
+        model.apply_update(&delta);
+        let after = model.loss(&x, &y);
+        prop_assert!(after <= before + 1e-9, "loss rose: {before} -> {after}");
+    }
+
+    #[test]
+    fn parameter_roundtrip_is_identity((x, _) in batch(4, 5, 2), seed in 0u64..100) {
+        for spec in [
+            ModelSpec::lr(5, 2),
+            ModelSpec::mlp(5, vec![4], 2),
+            ModelSpec::cnn(5, 3, 2, 2),
+        ] {
+            let a = spec.build(seed);
+            let mut b = spec.build(seed.wrapping_add(1));
+            b.set_parameters(&a.parameters());
+            prop_assert_eq!(a.parameters(), b.parameters());
+            prop_assert_eq!(a.predict(&x), b.predict(&x));
+        }
+    }
+
+    #[test]
+    fn uniform_weights_equal_unweighted((x, y) in batch(10, 3, 2), w in 0.1..5.0f64) {
+        let model = ModelSpec::lr(3, 2).build(3);
+        let unweighted = model.gradient(&x, &y, None);
+        let weights = vec![w; 10];
+        let weighted = model.gradient(&x, &y, Some(&weights));
+        for (a, b) in unweighted.iter().zip(&weighted) {
+            prop_assert!((a - b).abs() < 1e-9, "constant weights must cancel");
+        }
+    }
+
+    #[test]
+    fn precompute_merge_equals_full_gradient(split in 1usize..9, (x, y) in batch(10, 3, 2)) {
+        let model = ModelSpec::lr(3, 2).build(4);
+        let full = model.gradient(&x, &y, None);
+        let mut acc = PrecomputeAccumulator::new();
+        let first: Vec<usize> = (0..split).collect();
+        let second: Vec<usize> = (split..10).collect();
+        for idx in [first, second] {
+            if idx.is_empty() {
+                continue;
+            }
+            let sub_x = x.select_rows(&idx);
+            let sub_y: Vec<usize> = idx.iter().map(|&i| y[i]).collect();
+            let g = model.gradient(&sub_x, &sub_y, None);
+            acc.add_subset(&g, idx.len() as f64);
+        }
+        let merged = acc.take_merged().unwrap();
+        for (a, b) in full.iter().zip(&merged) {
+            prop_assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn sgd_delta_is_linear_in_lr(lr in 0.001..1.0f64, g in prop::collection::vec(-2.0..2.0f64, 6)) {
+        let params = vec![0.0; 6];
+        let mut opt1 = Sgd::new(lr);
+        let mut opt2 = Sgd::new(lr * 2.0);
+        let d1 = opt1.step(&params, &g);
+        let d2 = opt2.step(&params, &g);
+        for (a, b) in d1.iter().zip(&d2) {
+            prop_assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn snapshot_bytes_roundtrip(seed in 0u64..50) {
+        let spec = ModelSpec::mlp(4, vec![3], 2);
+        let model = spec.build(seed);
+        let snap = freeway_ml::ModelSnapshot::capture(spec, model.as_ref());
+        let decoded = freeway_ml::ModelSnapshot::from_bytes(snap.to_bytes()).unwrap();
+        prop_assert_eq!(decoded, snap);
+    }
+}

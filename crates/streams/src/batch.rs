@@ -1,0 +1,160 @@
+//! Mini-batches and ground-truth drift phases.
+
+use freeway_linalg::Matrix;
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth drift phase of a generated batch.
+///
+/// Simulated streams know which drift operation produced each batch; the
+/// per-pattern experiments group accuracy by this tag. Real deployments
+/// would not have it — FreewayML itself never reads the phase, only the
+/// evaluation harness does.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DriftPhase {
+    /// No intentional drift this batch.
+    Stable,
+    /// Pattern A1: gradual directional movement of the distribution.
+    SlightDirectional,
+    /// Pattern A2: localized jitter within a stable region.
+    SlightLocalized,
+    /// Pattern B: abrupt jump to a new distribution.
+    Sudden,
+    /// Pattern C: abrupt return to a previously seen distribution.
+    Reoccurring,
+}
+
+impl DriftPhase {
+    /// True for the two slight-shift sub-patterns.
+    pub fn is_slight(self) -> bool {
+        matches!(self, Self::SlightDirectional | Self::SlightLocalized | Self::Stable)
+    }
+
+    /// True for severe shifts (sudden or reoccurring).
+    pub fn is_severe(self) -> bool {
+        matches!(self, Self::Sudden | Self::Reoccurring)
+    }
+}
+
+/// One mini-batch of a data stream.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// Feature rows (`n x d`).
+    pub x: Matrix,
+    /// Integer class labels, present on the training stream and (for
+    /// prequential evaluation) on the inference stream too.
+    pub labels: Option<Vec<usize>>,
+    /// Monotone sequence number assigned by the generator.
+    pub seq: u64,
+    /// Ground-truth drift phase (evaluation-only metadata).
+    pub phase: DriftPhase,
+}
+
+impl Batch {
+    /// Creates a labeled batch.
+    ///
+    /// # Panics
+    /// Panics if `labels.len() != x.rows()`.
+    pub fn labeled(x: Matrix, labels: Vec<usize>, seq: u64, phase: DriftPhase) -> Self {
+        assert_eq!(x.rows(), labels.len(), "label count must match rows");
+        Self { x, labels: Some(labels), seq, phase }
+    }
+
+    /// Creates an unlabeled batch.
+    pub fn unlabeled(x: Matrix, seq: u64, phase: DriftPhase) -> Self {
+        Self { x, labels: None, seq, phase }
+    }
+
+    /// Number of samples in the batch.
+    pub fn len(&self) -> usize {
+        self.x.rows()
+    }
+
+    /// True when the batch holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.x.rows() == 0
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.x.cols()
+    }
+
+    /// Mean feature vector (`μ_t` of Equation 6).
+    pub fn mean(&self) -> Vec<f64> {
+        self.x.column_means()
+    }
+
+    /// Borrowed labels.
+    ///
+    /// # Panics
+    /// Panics if the batch is unlabeled; callers on the training path have
+    /// already routed by labeledness.
+    pub fn labels(&self) -> &[usize] {
+        self.labels.as_deref().expect("batch routed to training path must carry labels")
+    }
+
+    /// A copy of this batch with labels stripped (the inference stream's
+    /// view of the same data).
+    pub fn without_labels(&self) -> Self {
+        Self { x: self.x.clone(), labels: None, seq: self.seq, phase: self.phase }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Batch {
+        Batch::labeled(
+            Matrix::from_rows(&[vec![1.0, 3.0], vec![3.0, 5.0]]),
+            vec![0, 1],
+            7,
+            DriftPhase::Stable,
+        )
+    }
+
+    #[test]
+    fn mean_is_column_average() {
+        assert_eq!(tiny().mean(), vec![2.0, 4.0]);
+    }
+
+    #[test]
+    fn labeled_accessors() {
+        let b = tiny();
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.labels(), &[0, 1]);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn without_labels_strips_only_labels() {
+        let b = tiny().without_labels();
+        assert!(b.labels.is_none());
+        assert_eq!(b.seq, 7);
+        assert_eq!(b.phase, DriftPhase::Stable);
+    }
+
+    #[test]
+    #[should_panic(expected = "labels")]
+    fn labels_panics_on_unlabeled() {
+        let b = Batch::unlabeled(Matrix::zeros(1, 1), 0, DriftPhase::Stable);
+        let _ = b.labels();
+    }
+
+    #[test]
+    #[should_panic(expected = "label count")]
+    fn labeled_rejects_mismatched_labels() {
+        Batch::labeled(Matrix::zeros(2, 1), vec![0], 0, DriftPhase::Stable);
+    }
+
+    #[test]
+    fn phase_categories() {
+        assert!(DriftPhase::SlightDirectional.is_slight());
+        assert!(DriftPhase::SlightLocalized.is_slight());
+        assert!(DriftPhase::Stable.is_slight());
+        assert!(DriftPhase::Sudden.is_severe());
+        assert!(DriftPhase::Reoccurring.is_severe());
+        assert!(!DriftPhase::Sudden.is_slight());
+    }
+}

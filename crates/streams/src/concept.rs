@@ -1,0 +1,275 @@
+//! Gaussian-mixture class concepts and drift operations.
+//!
+//! A *concept* is a complete generative description of a labeled data
+//! distribution at one moment: per-class mixtures of spherical Gaussians
+//! plus class priors. Dataset simulators drift a concept over time using
+//! the operations below, each of which corresponds to one of the paper's
+//! shift patterns:
+//!
+//! * [`GmmConcept::translate`] — Pattern A1, directional slight shift;
+//! * [`GmmConcept::jitter`] — Pattern A2, localized slight shift;
+//! * replacing the concept wholesale — Pattern B, sudden shift;
+//! * restoring a stored clone — Pattern C, reoccurring shift.
+
+use freeway_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{Rng, RngExt, SeedableRng};
+
+/// One spherical Gaussian component.
+#[derive(Clone, Debug)]
+pub struct Component {
+    /// Component mean.
+    pub mean: Vec<f64>,
+    /// Component standard deviation (spherical).
+    pub std: f64,
+}
+
+/// Per-class mixture of components.
+#[derive(Clone, Debug)]
+pub struct ClassModel {
+    /// Mixture components (sampled uniformly).
+    pub components: Vec<Component>,
+    /// Unnormalised class prior.
+    pub prior: f64,
+}
+
+/// A labeled Gaussian-mixture data distribution.
+#[derive(Clone, Debug)]
+pub struct GmmConcept {
+    classes: Vec<ClassModel>,
+    dim: usize,
+}
+
+/// Draws one standard-normal value via Box–Muller (rand's distributions
+/// live in `rand_distr`, which is outside the allowed dependency set).
+pub fn sample_standard_normal<R: Rng>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.random_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+impl GmmConcept {
+    /// Creates a concept from explicit class models.
+    ///
+    /// # Panics
+    /// Panics if classes are empty, any class has no components, or
+    /// component dimensions disagree.
+    pub fn new(classes: Vec<ClassModel>) -> Self {
+        assert!(!classes.is_empty(), "concept needs at least one class");
+        let dim = classes[0].components.first().expect("class needs components").mean.len();
+        for class in &classes {
+            assert!(!class.components.is_empty(), "class needs at least one component");
+            for comp in &class.components {
+                assert_eq!(comp.mean.len(), dim, "inconsistent component dimension");
+                assert!(comp.std > 0.0, "component std must be positive");
+            }
+            assert!(class.prior > 0.0, "class prior must be positive");
+        }
+        Self { classes, dim }
+    }
+
+    /// Builds a random concept: `classes` classes, `components` Gaussians
+    /// each, means drawn uniformly in `[-spread, spread]^dim`.
+    pub fn random(
+        dim: usize,
+        classes: usize,
+        components: usize,
+        spread: f64,
+        std: f64,
+        rng: &mut StdRng,
+    ) -> Self {
+        let class_models = (0..classes)
+            .map(|_| ClassModel {
+                components: (0..components)
+                    .map(|_| Component {
+                        mean: (0..dim).map(|_| rng.random_range(-spread..=spread)).collect(),
+                        std,
+                    })
+                    .collect(),
+                prior: 1.0,
+            })
+            .collect();
+        Self::new(class_models)
+    }
+
+    /// Feature dimension.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Mutable access to class priors (used to create imbalance, e.g. the
+    /// NSL-KDD minority attack classes).
+    pub fn set_prior(&mut self, class: usize, prior: f64) {
+        assert!(prior > 0.0, "prior must be positive");
+        self.classes[class].prior = prior;
+    }
+
+    /// Samples a labeled batch of `n` points.
+    pub fn sample_batch(&self, n: usize, rng: &mut StdRng) -> (Matrix, Vec<usize>) {
+        let total_prior: f64 = self.classes.iter().map(|c| c.prior).sum();
+        let mut x = Matrix::zeros(n, self.dim);
+        let mut labels = Vec::with_capacity(n);
+        for r in 0..n {
+            // Sample class by prior.
+            let mut pick = rng.random_range(0.0..total_prior);
+            let mut class = self.classes.len() - 1;
+            for (ci, c) in self.classes.iter().enumerate() {
+                if pick < c.prior {
+                    class = ci;
+                    break;
+                }
+                pick -= c.prior;
+            }
+            let comps = &self.classes[class].components;
+            let comp = &comps[rng.random_range(0..comps.len())];
+            for (dst, &m) in x.row_mut(r).iter_mut().zip(&comp.mean) {
+                *dst = m + comp.std * sample_standard_normal(rng);
+            }
+            labels.push(class);
+        }
+        (x, labels)
+    }
+
+    /// Pattern A1: translate every component mean by `delta`.
+    ///
+    /// # Panics
+    /// Panics if `delta.len() != self.dim()`.
+    pub fn translate(&mut self, delta: &[f64]) {
+        assert_eq!(delta.len(), self.dim, "translate dimension mismatch");
+        for class in &mut self.classes {
+            for comp in &mut class.components {
+                for (m, &d) in comp.mean.iter_mut().zip(delta) {
+                    *m += d;
+                }
+            }
+        }
+    }
+
+    /// Pattern A2: perturb every component mean by independent uniform
+    /// noise in `[-amplitude, amplitude]` (localized wobble that stays in
+    /// the same region).
+    pub fn jitter(&mut self, amplitude: f64, rng: &mut StdRng) {
+        for class in &mut self.classes {
+            for comp in &mut class.components {
+                for m in &mut comp.mean {
+                    *m += rng.random_range(-amplitude..=amplitude);
+                }
+            }
+        }
+    }
+
+    /// Global mean of the concept (prior-weighted average of component
+    /// means) — handy for asserting drift direction in tests.
+    pub fn global_mean(&self) -> Vec<f64> {
+        let mut acc = vec![0.0; self.dim];
+        let mut total = 0.0;
+        for class in &self.classes {
+            let w = class.prior / class.components.len() as f64;
+            for comp in &class.components {
+                for (a, &m) in acc.iter_mut().zip(&comp.mean) {
+                    *a += w * m;
+                }
+            }
+            total += class.prior;
+        }
+        for a in &mut acc {
+            *a /= total;
+        }
+        acc
+    }
+}
+
+/// Convenience: a seeded RNG for stream generation.
+pub fn stream_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_linalg::vector;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1234)
+    }
+
+    #[test]
+    fn sample_batch_has_requested_shape() {
+        let c = GmmConcept::random(5, 3, 2, 4.0, 0.5, &mut rng());
+        let (x, y) = c.sample_batch(100, &mut rng());
+        assert_eq!(x.shape(), (100, 5));
+        assert_eq!(y.len(), 100);
+        assert!(y.iter().all(|&l| l < 3));
+    }
+
+    #[test]
+    fn samples_cluster_near_component_means() {
+        let c = GmmConcept::new(vec![ClassModel {
+            components: vec![Component { mean: vec![10.0, -10.0], std: 0.1 }],
+            prior: 1.0,
+        }]);
+        let (x, _) = c.sample_batch(200, &mut rng());
+        let mu = x.column_means();
+        assert!((mu[0] - 10.0).abs() < 0.1, "sample mean {} far from 10", mu[0]);
+        assert!((mu[1] + 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn priors_bias_class_frequencies() {
+        let mut c = GmmConcept::random(2, 2, 1, 1.0, 0.1, &mut rng());
+        c.set_prior(0, 9.0);
+        c.set_prior(1, 1.0);
+        let (_, y) = c.sample_batch(1000, &mut rng());
+        let zeros = y.iter().filter(|&&l| l == 0).count();
+        assert!(zeros > 800, "class 0 should dominate, got {zeros}/1000");
+    }
+
+    #[test]
+    fn translate_moves_global_mean_exactly() {
+        let mut c = GmmConcept::random(3, 2, 2, 2.0, 0.3, &mut rng());
+        let before = c.global_mean();
+        c.translate(&[1.0, -2.0, 0.5]);
+        let after = c.global_mean();
+        let moved = vector::sub(&after, &before);
+        assert!(vector::euclidean_distance(&moved, &[1.0, -2.0, 0.5]) < 1e-9);
+    }
+
+    #[test]
+    fn jitter_stays_within_amplitude() {
+        let mut c = GmmConcept::random(4, 2, 1, 2.0, 0.3, &mut rng());
+        let before = c.global_mean();
+        c.jitter(0.05, &mut rng());
+        let after = c.global_mean();
+        for (b, a) in before.iter().zip(&after) {
+            assert!((b - a).abs() <= 0.05 + 1e-12);
+        }
+    }
+
+    #[test]
+    fn same_seed_reproduces_stream() {
+        let c = GmmConcept::random(3, 2, 2, 2.0, 0.4, &mut rng());
+        let (x1, y1) = c.sample_batch(50, &mut stream_rng(7));
+        let (x2, y2) = c.sample_batch(50, &mut stream_rng(7));
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn standard_normal_has_plausible_moments() {
+        let mut r = rng();
+        let samples: Vec<f64> = (0..20_000).map(|_| sample_standard_normal(&mut r)).collect();
+        assert!(vector::mean(&samples).abs() < 0.05);
+        assert!((vector::std_dev(&samples) - 1.0).abs() < 0.05);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one class")]
+    fn rejects_empty_concept() {
+        GmmConcept::new(Vec::new());
+    }
+}

@@ -1,0 +1,43 @@
+//! The stream-generator trait all workloads implement.
+
+use crate::batch::Batch;
+
+/// An infinite source of labeled mini-batches.
+///
+/// Generators are deterministic given their construction seed, so every
+/// experiment in the harness is reproducible run-to-run.
+pub trait StreamGenerator: Send {
+    /// Produces the next batch of `size` samples.
+    fn next_batch(&mut self, size: usize) -> Batch;
+
+    /// Feature dimension of the stream.
+    fn num_features(&self) -> usize;
+
+    /// Number of classes in the stream.
+    fn num_classes(&self) -> usize;
+
+    /// Short human-readable name used in experiment output.
+    fn name(&self) -> &str;
+}
+
+/// Collects `n` batches of `size` from a generator (test/experiment helper).
+pub fn take_batches(generator: &mut dyn StreamGenerator, n: usize, size: usize) -> Vec<Batch> {
+    (0..n).map(|_| generator.next_batch(size)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hyperplane::Hyperplane;
+
+    #[test]
+    fn take_batches_returns_sequenced_batches() {
+        let mut g = Hyperplane::new(5, 0.01, 0.05, 42);
+        let batches = take_batches(&mut g, 4, 16);
+        assert_eq!(batches.len(), 4);
+        for (i, b) in batches.iter().enumerate() {
+            assert_eq!(b.seq, i as u64);
+            assert_eq!(b.len(), 16);
+        }
+    }
+}

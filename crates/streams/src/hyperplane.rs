@@ -1,0 +1,296 @@
+//! The rotating-hyperplane synthetic benchmark.
+//!
+//! Points are uniform in `[0, 1]^d` (plus a per-regime offset); the label
+//! is whether `Σ w_i x_i > Σ w_i / 2` over the pre-offset coordinates.
+//! The weight vector drifts every batch by `magnitude` (the classic
+//! gradual concept drift of River/MOA). Optionally the stream also cycles
+//! through *regimes* — (weights, feature-offset) pairs — every
+//! `severe_every` batches, producing sudden shifts on first visits and
+//! reoccurring shifts on revisits. Regime switches move the feature
+//! distribution as well as the labelling rule, so distribution-based
+//! detectors (the paper's shift graph) have signal; see DESIGN.md.
+//!
+//! Streams are *transition-blended*: the final fraction of the batch just
+//! before a switch is already drawn from the incoming regime, matching
+//! the paper's continuity hypothesis ("it is impossible to perfectly
+//! segment different data distributions with each batch").
+
+use crate::batch::{Batch, DriftPhase};
+use crate::generator::StreamGenerator;
+use freeway_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Fraction of a pre-switch batch drawn from the incoming regime.
+pub const BLEND_FRACTION: f64 = 0.3;
+
+#[derive(Clone, Debug)]
+struct Regime {
+    weights: Vec<f64>,
+    offset: Vec<f64>,
+}
+
+/// Rotating-hyperplane stream generator.
+pub struct Hyperplane {
+    dim: usize,
+    regimes: Vec<Regime>,
+    current_regime: usize,
+    visited: Vec<bool>,
+    directions: Vec<f64>,
+    magnitude: f64,
+    noise: f64,
+    severe_every: Option<u64>,
+    rng: StdRng,
+    seq: u64,
+    name: String,
+}
+
+impl Hyperplane {
+    /// Creates a hyperplane stream with gradual drift only.
+    ///
+    /// * `dim` — feature dimension;
+    /// * `magnitude` — per-batch weight drift magnitude (Pattern A1
+    ///   intensity);
+    /// * `noise` — probability of flipping each label;
+    /// * `seed` — RNG seed.
+    pub fn new(dim: usize, magnitude: f64, noise: f64, seed: u64) -> Self {
+        Self::with_regimes(dim, magnitude, noise, None, 1, seed)
+    }
+
+    /// Creates a hyperplane stream with `num_regimes` regimes cycled every
+    /// `severe_every` batches (pass `None` to disable severe shifts).
+    pub fn with_regimes(
+        dim: usize,
+        magnitude: f64,
+        noise: f64,
+        severe_every: Option<u64>,
+        num_regimes: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(dim > 0, "dimension must be positive");
+        assert!((0.0..=0.5).contains(&noise), "noise must be in [0, 0.5]");
+        assert!(num_regimes >= 1, "need at least one regime");
+        if let Some(s) = severe_every {
+            assert!(s > 0, "severe interval must be positive");
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        let regimes: Vec<Regime> = (0..num_regimes)
+            .map(|i| Regime {
+                weights: (0..dim).map(|_| rng.random_range(0.0..1.0)).collect(),
+                // Regime 0 sits at the origin; later regimes are displaced
+                // so switches move the observable feature distribution.
+                offset: (0..dim)
+                    .map(|_| if i == 0 { 0.0 } else { rng.random_range(-3.0..=3.0) })
+                    .collect(),
+            })
+            .collect();
+        let directions: Vec<f64> =
+            (0..dim).map(|_| if rng.random_bool(0.5) { 1.0 } else { -1.0 }).collect();
+        let mut visited = vec![false; num_regimes];
+        visited[0] = true;
+        Self {
+            dim,
+            regimes,
+            current_regime: 0,
+            visited,
+            directions,
+            magnitude,
+            noise,
+            severe_every,
+            rng,
+            seq: 0,
+            name: "Hyperplane".into(),
+        }
+    }
+
+    fn drift_weights(&mut self) {
+        let weights = &mut self.regimes[self.current_regime].weights;
+        for (w, dir) in weights.iter_mut().zip(self.directions.iter_mut()) {
+            *w += *dir * self.magnitude;
+            // 10% chance a coordinate reverses direction, keeping the
+            // hyperplane wandering instead of running away.
+            if self.rng.random_bool(0.1) {
+                *dir = -*dir;
+            }
+        }
+    }
+
+    /// The regime that will be active at sequence `seq`.
+    fn regime_at(&self, seq: u64) -> usize {
+        match self.severe_every {
+            Some(every) => ((seq / every) % self.regimes.len() as u64) as usize,
+            None => self.current_regime,
+        }
+    }
+
+    /// Samples one labeled row under regime `r` into `row`.
+    fn sample_row(&mut self, r: usize, row: &mut [f64]) -> usize {
+        let mut dot = 0.0;
+        let threshold: f64 = self.regimes[r].weights.iter().sum::<f64>() / 2.0;
+        for (i, cell) in row.iter_mut().enumerate().take(self.dim) {
+            let raw = self.rng.random_range(0.0..1.0);
+            dot += raw * self.regimes[r].weights[i];
+            *cell = raw + self.regimes[r].offset[i];
+        }
+        let mut label = usize::from(dot > threshold);
+        if self.noise > 0.0 && self.rng.random_bool(self.noise) {
+            label = 1 - label;
+        }
+        label
+    }
+}
+
+impl StreamGenerator for Hyperplane {
+    fn next_batch(&mut self, size: usize) -> Batch {
+        // Regime bookkeeping.
+        let regime_now = self.regime_at(self.seq);
+        let phase = if regime_now != self.current_regime {
+            self.current_regime = regime_now;
+            let reoccurring = self.visited[regime_now];
+            self.visited[regime_now] = true;
+            if reoccurring {
+                DriftPhase::Reoccurring
+            } else {
+                DriftPhase::Sudden
+            }
+        } else if self.magnitude > 0.0 {
+            DriftPhase::SlightDirectional
+        } else {
+            DriftPhase::Stable
+        };
+
+        // Transition blending: the tail of a pre-switch batch samples the
+        // incoming regime.
+        let regime_next = self.regime_at(self.seq + 1);
+        let blend_rows = if regime_next != regime_now {
+            ((size as f64) * BLEND_FRACTION) as usize
+        } else {
+            0
+        };
+
+        let mut x = Matrix::zeros(size, self.dim);
+        let mut labels = Vec::with_capacity(size);
+        for r in 0..size {
+            let regime = if r >= size - blend_rows { regime_next } else { regime_now };
+            let label = {
+                let row = x.row_mut(r);
+                // Borrow dance: sample_row needs &mut self, so copy out.
+                let mut buf = vec![0.0; row.len()];
+                let l = self.sample_row(regime, &mut buf);
+                row.copy_from_slice(&buf);
+                l
+            };
+            labels.push(label);
+        }
+        self.drift_weights();
+        let batch = Batch::labeled(x, labels, self.seq, phase);
+        self.seq += 1;
+        batch
+    }
+
+    fn num_features(&self) -> usize {
+        self.dim
+    }
+
+    fn num_classes(&self) -> usize {
+        2
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gradual_batches_are_in_unit_cube() {
+        let mut g = Hyperplane::new(10, 0.001, 0.05, 1);
+        let b = g.next_batch(256);
+        assert!(b.x.as_slice().iter().all(|&v| (0.0..1.0).contains(&v)));
+        assert_eq!(b.dim(), 10);
+    }
+
+    #[test]
+    fn both_labels_occur() {
+        let mut g = Hyperplane::new(10, 0.001, 0.0, 2);
+        let b = g.next_batch(512);
+        let ones = b.labels().iter().filter(|&&l| l == 1).count();
+        assert!(ones > 50 && ones < 462, "labels should be mixed, got {ones} ones");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let mut a = Hyperplane::new(6, 0.01, 0.1, 99);
+        let mut b = Hyperplane::new(6, 0.01, 0.1, 99);
+        let ba = a.next_batch(64);
+        let bb = b.next_batch(64);
+        assert_eq!(ba.x, bb.x);
+        assert_eq!(ba.labels, bb.labels);
+    }
+
+    #[test]
+    fn weights_actually_drift() {
+        let mut g = Hyperplane::new(4, 0.05, 0.0, 3);
+        let w0 = g.regimes[0].weights.clone();
+        for _ in 0..10 {
+            let _ = g.next_batch(8);
+        }
+        assert_ne!(w0, g.regimes[0].weights);
+    }
+
+    #[test]
+    fn zero_magnitude_tags_stable() {
+        let mut g = Hyperplane::new(4, 0.0, 0.0, 3);
+        assert_eq!(g.next_batch(8).phase, DriftPhase::Stable);
+        let mut g2 = Hyperplane::new(4, 0.01, 0.0, 3);
+        assert_eq!(g2.next_batch(8).phase, DriftPhase::SlightDirectional);
+    }
+
+    #[test]
+    fn regime_switches_tag_sudden_then_reoccurring() {
+        let mut g = Hyperplane::with_regimes(6, 0.0, 0.0, Some(5), 3, 4);
+        let phases: Vec<DriftPhase> = (0..35).map(|_| g.next_batch(16).phase).collect();
+        assert_eq!(phases[5], DriftPhase::Sudden, "regime 1 first visit");
+        assert_eq!(phases[10], DriftPhase::Sudden, "regime 2 first visit");
+        assert_eq!(phases[15], DriftPhase::Reoccurring, "regime 0 revisit");
+        assert_eq!(phases[20], DriftPhase::Reoccurring, "regime 1 revisit");
+        assert_eq!(phases[0], DriftPhase::Stable);
+    }
+
+    #[test]
+    fn regime_switches_move_the_feature_distribution() {
+        let mut g = Hyperplane::with_regimes(6, 0.0, 0.0, Some(4), 3, 5);
+        let mut means = Vec::new();
+        for _ in 0..8 {
+            means.push(g.next_batch(256).mean());
+        }
+        let within = freeway_linalg::vector::euclidean_distance(&means[0], &means[1]);
+        let across = freeway_linalg::vector::euclidean_distance(&means[2], &means[4]);
+        assert!(
+            across > 3.0 * within,
+            "switch jump {across} must dwarf within-regime wobble {within}"
+        );
+    }
+
+    #[test]
+    fn pre_switch_batch_is_blended() {
+        let mut g = Hyperplane::with_regimes(6, 0.0, 0.0, Some(3), 2, 6);
+        let b0 = g.next_batch(100);
+        let b1 = g.next_batch(100);
+        let b2 = g.next_batch(100); // pre-switch: tail from regime 1
+        let _ = (b0, b1);
+        let head_mean: Vec<f64> = {
+            let head: Vec<usize> = (0..50).collect();
+            b2.x.select_rows(&head).column_means()
+        };
+        let tail_mean: Vec<f64> = {
+            let tail: Vec<usize> = (75..100).collect();
+            b2.x.select_rows(&tail).column_means()
+        };
+        let spread = freeway_linalg::vector::euclidean_distance(&head_mean, &tail_mean);
+        assert!(spread > 1.0, "blended tail must sit in the new regime: spread {spread}");
+    }
+}

@@ -1,0 +1,313 @@
+//! Simulated image streams and the frozen feature extractor.
+//!
+//! The paper's appendix turns ImageNet-Subset ("Animals") and Flowers into
+//! image streams and feeds a VGG-16 feature extractor before coherent
+//! experience clustering. Neither dataset nor a pretrained VGG is
+//! available offline, so we substitute:
+//!
+//! * a synthetic 8×8 grayscale image generator, where each class is a
+//!   structured template (oriented bars + blobs) plus pixel noise, and
+//!   drift perturbs template intensity/position; and
+//! * [`FrozenExtractor`] — a fixed, seeded random-projection + ReLU layer
+//!   standing in for the frozen VGG: it is *never trained*, exactly like
+//!   the paper's extractor, preserving the "features come from a frozen
+//!   network" structure that the CEC experiments depend on.
+
+use crate::batch::{Batch, DriftPhase};
+use crate::generator::StreamGenerator;
+use freeway_linalg::Matrix;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// Side length of the synthetic images.
+pub const IMAGE_SIDE: usize = 8;
+/// Raw pixel count per image.
+pub const IMAGE_PIXELS: usize = IMAGE_SIDE * IMAGE_SIDE;
+
+/// A frozen random-projection feature extractor (the "VGG" stand-in).
+#[derive(Clone, Debug)]
+pub struct FrozenExtractor {
+    projection: Matrix, // in x out
+}
+
+impl FrozenExtractor {
+    /// Builds a frozen extractor from `input_dim` to `output_dim`,
+    /// deterministic in `seed`.
+    pub fn new(input_dim: usize, output_dim: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let limit = (2.0 / input_dim as f64).sqrt();
+        Self { projection: Matrix::random_uniform(input_dim, output_dim, limit, &mut rng) }
+    }
+
+    /// Output feature dimension.
+    pub fn output_dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Extracts ReLU(x · P) features for a batch of raw images.
+    ///
+    /// # Panics
+    /// Panics if the input width does not match the extractor.
+    pub fn extract(&self, raw: &Matrix) -> Matrix {
+        let mut out = raw.matmul(&self.projection);
+        for v in out.as_mut_slice() {
+            if *v < 0.0 {
+                *v = 0.0;
+            }
+        }
+        out
+    }
+}
+
+/// Per-class image template: oriented bar + blob, both class-specific.
+#[derive(Clone, Debug)]
+struct Template {
+    pixels: Vec<f64>,
+}
+
+impl Template {
+    fn for_class(class: usize, rng: &mut StdRng) -> Self {
+        let mut pixels = vec![0.0; IMAGE_PIXELS];
+        // Oriented bar: row or column indexed by class.
+        let idx = class % IMAGE_SIDE;
+        let horizontal = (class / IMAGE_SIDE).is_multiple_of(2);
+        for t in 0..IMAGE_SIDE {
+            let (r, c) = if horizontal { (idx, t) } else { (t, idx) };
+            pixels[r * IMAGE_SIDE + c] = 0.6;
+        }
+        // Class-specific blob.
+        let br = rng.random_range(1..IMAGE_SIDE - 1);
+        let bc = rng.random_range(1..IMAGE_SIDE - 1);
+        for dr in 0..2 {
+            for dc in 0..2 {
+                pixels[(br + dr) * IMAGE_SIDE + (bc + dc)] += 0.5;
+            }
+        }
+        Self { pixels }
+    }
+}
+
+/// A drifting stream of synthetic images, emitted as frozen-extractor
+/// features (ready for the CNN experiments).
+pub struct ImageStream {
+    name: String,
+    templates: Vec<Template>,
+    extractor: FrozenExtractor,
+    brightness: f64,
+    brightness_velocity: f64,
+    noise: f64,
+    switch_every: u64,
+    /// Alternate template sets representing "era" changes (sudden shifts);
+    /// revisiting era 0 produces reoccurring shifts.
+    eras: Vec<Vec<Template>>,
+    era: usize,
+    visited: Vec<bool>,
+    rng: StdRng,
+    seq: u64,
+}
+
+impl ImageStream {
+    /// Creates an image stream with `classes` classes.
+    ///
+    /// `switch_every` controls how often the stream jumps to another era
+    /// (a different template set); eras cycle, so every era after the
+    /// first full cycle is reoccurring.
+    pub fn new(name: impl Into<String>, classes: usize, switch_every: u64, seed: u64) -> Self {
+        assert!(classes >= 2, "need at least two classes");
+        assert!(switch_every > 0, "switch interval must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let num_eras = 3;
+        let eras: Vec<Vec<Template>> = (0..num_eras)
+            .map(|_| (0..classes).map(|c| Template::for_class(c, &mut rng)).collect())
+            .collect();
+        let templates = eras[0].clone();
+        Self {
+            name: name.into(),
+            templates,
+            extractor: FrozenExtractor::new(IMAGE_PIXELS, 64, seed ^ 0xFEED),
+            brightness: 1.0,
+            brightness_velocity: 0.002,
+            noise: 0.5,
+            switch_every,
+            visited: {
+                let mut v = vec![false; num_eras];
+                v[0] = true;
+                v
+            },
+            eras,
+            era: 0,
+            rng,
+            seq: 0,
+        }
+    }
+
+    /// The "Animals" stream of the appendix (10 classes).
+    pub fn animals(seed: u64) -> Self {
+        Self::new("Animals", 10, 30, seed)
+    }
+
+    /// The "Flowers" stream of the appendix (8 classes).
+    pub fn flowers(seed: u64) -> Self {
+        Self::new("Flowers", 8, 30, seed)
+    }
+
+    /// Raw (pre-extractor) pixel batch; exposed for tests and for the CEC
+    /// pipeline experiments that extract features explicitly.
+    pub fn raw_batch(&mut self, size: usize) -> (Matrix, Vec<usize>) {
+        let classes = self.templates.len();
+        let mut x = Matrix::zeros(size, IMAGE_PIXELS);
+        let mut labels = Vec::with_capacity(size);
+        for r in 0..size {
+            let class = self.rng.random_range(0..classes);
+            let template = &self.templates[class];
+            let row = x.row_mut(r);
+            for (v, &p) in row.iter_mut().zip(&template.pixels) {
+                let noise = self.rng.random_range(-1.0..=1.0) * self.noise;
+                *v = (p * self.brightness + noise).clamp(0.0, 2.0);
+            }
+            labels.push(class);
+        }
+        (x, labels)
+    }
+
+    /// Access to the frozen extractor.
+    pub fn extractor(&self) -> &FrozenExtractor {
+        &self.extractor
+    }
+}
+
+impl StreamGenerator for ImageStream {
+    fn next_batch(&mut self, size: usize) -> Batch {
+        // Drift: slow global brightness trend (directional slight shift),
+        // plus periodic era switches (sudden / reoccurring).
+        let phase = if self.seq > 0 && self.seq.is_multiple_of(self.switch_every) {
+            self.era = (self.era + 1) % self.eras.len();
+            self.templates = self.eras[self.era].clone();
+            let reoccurring = self.visited[self.era];
+            self.visited[self.era] = true;
+            if reoccurring {
+                DriftPhase::Reoccurring
+            } else {
+                DriftPhase::Sudden
+            }
+        } else {
+            self.brightness = (self.brightness + self.brightness_velocity).clamp(0.6, 1.4);
+            DriftPhase::SlightDirectional
+        };
+        let (mut raw, mut labels) = self.raw_batch(size);
+        // Transition blending: a pre-switch batch's tail already shows the
+        // next era (the continuity hypothesis CEC relies on).
+        if self.switch_every > 0 && (self.seq + 1).is_multiple_of(self.switch_every) {
+            let next_era = (self.era + 1) % self.eras.len();
+            let saved = std::mem::replace(&mut self.templates, self.eras[next_era].clone());
+            let blend_rows = ((size as f64) * 0.3) as usize;
+            if blend_rows > 0 {
+                let (braw, blabels) = self.raw_batch(blend_rows);
+                let start = size - blend_rows;
+                for (i, row) in braw.row_iter().enumerate() {
+                    raw.row_mut(start + i).copy_from_slice(row);
+                    labels[start + i] = blabels[i];
+                }
+            }
+            self.templates = saved;
+        }
+        let features = self.extractor.extract(&raw);
+        let batch = Batch::labeled(features, labels, self.seq, phase);
+        self.seq += 1;
+        batch
+    }
+
+    fn num_features(&self) -> usize {
+        self.extractor.output_dim()
+    }
+
+    fn num_classes(&self) -> usize {
+        self.templates.len()
+    }
+
+    fn name(&self) -> &str {
+        &self.name
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn extractor_is_deterministic_and_nonnegative() {
+        let e1 = FrozenExtractor::new(64, 32, 5);
+        let e2 = FrozenExtractor::new(64, 32, 5);
+        let x = Matrix::filled(3, 64, 0.5);
+        let f1 = e1.extract(&x);
+        let f2 = e2.extract(&x);
+        assert_eq!(f1, f2);
+        assert!(f1.as_slice().iter().all(|&v| v >= 0.0), "ReLU output");
+    }
+
+    #[test]
+    fn streams_emit_expected_shapes() {
+        let mut g = ImageStream::animals(1);
+        assert_eq!(g.num_classes(), 10);
+        assert_eq!(g.num_features(), 64);
+        let b = g.next_batch(32);
+        assert_eq!(b.x.shape(), (32, 64));
+        assert!(b.labels().iter().all(|&l| l < 10));
+    }
+
+    #[test]
+    fn era_switches_tag_sudden_then_reoccurring() {
+        let mut g = ImageStream::new("t", 4, 5, 3);
+        let phases: Vec<DriftPhase> = (0..20).map(|_| g.next_batch(8).phase).collect();
+        assert_eq!(phases[5], DriftPhase::Sudden, "era 1 first visit");
+        assert_eq!(phases[10], DriftPhase::Sudden, "era 2 first visit");
+        assert_eq!(phases[15], DriftPhase::Reoccurring, "era 0 revisited");
+        assert_eq!(phases[1], DriftPhase::SlightDirectional);
+    }
+
+    #[test]
+    fn classes_are_separable_in_feature_space() {
+        // Features of the same class should be closer to their class mean
+        // than to other class means, on average.
+        let mut g = ImageStream::flowers(7);
+        let b = g.next_batch(400);
+        let classes = g.num_classes();
+        let mut sums = vec![vec![0.0; 64]; classes];
+        let mut counts = vec![0usize; classes];
+        for (row, &l) in b.x.row_iter().zip(b.labels()) {
+            for (s, &v) in sums[l].iter_mut().zip(row) {
+                *s += v;
+            }
+            counts[l] += 1;
+        }
+        for (s, &c) in sums.iter_mut().zip(&counts) {
+            for v in s.iter_mut() {
+                *v /= c.max(1) as f64;
+            }
+        }
+        let mut own_closer = 0usize;
+        let mut total = 0usize;
+        for (row, &l) in b.x.row_iter().zip(b.labels()) {
+            let own = freeway_linalg::vector::euclidean_distance(row, &sums[l]);
+            let other_min = (0..classes)
+                .filter(|&c| c != l && counts[c] > 0)
+                .map(|c| freeway_linalg::vector::euclidean_distance(row, &sums[c]))
+                .fold(f64::INFINITY, f64::min);
+            if own < other_min {
+                own_closer += 1;
+            }
+            total += 1;
+        }
+        assert!(
+            own_closer as f64 / total as f64 > 0.7,
+            "features must carry class structure: {own_closer}/{total}"
+        );
+    }
+
+    #[test]
+    fn raw_pixels_in_valid_range() {
+        let mut g = ImageStream::animals(2);
+        let (raw, _) = g.raw_batch(16);
+        assert!(raw.as_slice().iter().all(|&v| (0.0..=2.0).contains(&v)));
+    }
+}

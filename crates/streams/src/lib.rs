@@ -1,0 +1,39 @@
+//! Data-stream substrate for FreewayML.
+//!
+//! The paper evaluates on two synthetic benchmarks (Hyperplane, SEA), four
+//! real tabular datasets (Airlines, Covertype, NSL-KDD, Electricity), two
+//! image streams (Animals, Flowers), and three motivating studies
+//! (electricity load, stock price, solar irradiance). The real datasets
+//! are not redistributable, so this crate simulates each one with a
+//! Gaussian-mixture *concept* whose drift schedule reproduces the drift
+//! signature the dataset carries in the paper (see DESIGN.md,
+//! "Substitutions"). Crucially, every simulated batch is tagged with its
+//! ground-truth [`DriftPhase`], which is what lets the per-pattern
+//! experiments (Table II, Figures 9/11/12) be regenerated exactly.
+//!
+//! * [`batch::Batch`] — a mini-batch of features + optional labels + phase.
+//! * [`concept`] — Gaussian-mixture class concepts and drift operations.
+//! * [`hyperplane`], [`sea`] — the standard synthetic benchmarks.
+//! * [`datasets`] — the simulated real-world datasets.
+//! * [`image`] — image streams + the frozen "VGG" feature extractor.
+//! * [`source`] — a rate-simulated source feeding the rate-aware adjuster;
+//! * [`csv`] — a loader streaming real CSV datasets in file order.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod batch;
+pub mod concept;
+pub mod csv;
+pub mod datasets;
+pub mod generator;
+pub mod hyperplane;
+pub mod image;
+pub mod sea;
+pub mod source;
+
+pub use batch::{Batch, DriftPhase};
+pub use concept::GmmConcept;
+pub use generator::StreamGenerator;
+pub use hyperplane::Hyperplane;
+pub use sea::Sea;

@@ -1,0 +1,54 @@
+//! Quickstart: the paper's `Learner` interface on a drifting stream.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use freewayml::prelude::*;
+
+fn main() {
+    // A rotating-hyperplane stream: 10 features, gradual concept drift,
+    // 5% label noise, plus regime switches every 30 batches.
+    let mut stream = freewayml::streams::datasets::by_name("hyperplane", 42);
+
+    // The paper's constructor template:
+    // Learner(Model=model, ModelNum=2, MiniBatch=256, KdgBuffer=20,
+    //         ExpBuffer=10, alpha=1.96).
+    let model = ModelSpec::mlp(stream.num_features(), vec![32], stream.num_classes());
+    let mut learner = Learner::paper_interface(model, 2, 256, 20, 10, 1.96);
+
+    println!("batch | pattern      | strategy  | accuracy");
+    println!("------+--------------+-----------+---------");
+    let mut accs = Vec::new();
+    for i in 0..60 {
+        let batch = stream.next_batch(256);
+        // Prequential: infer on the batch, then train on its labels.
+        let report = learner.process(&batch);
+        let correct = report
+            .predictions
+            .iter()
+            .zip(batch.labels())
+            .filter(|(p, t)| p == t)
+            .count();
+        let acc = correct as f64 / batch.len() as f64;
+        accs.push(acc);
+        if i % 5 == 0 || report.strategy != Strategy::Ensemble {
+            println!(
+                "{i:>5} | {:<12} | {:<9} | {:>6.1}%",
+                report.pattern.map_or("warm-up".to_string(), |p| p.tag().to_string()),
+                report.strategy.tag(),
+                acc * 100.0
+            );
+        }
+    }
+
+    let g_acc = freewayml::eval::global_accuracy(&accs);
+    let si = freewayml::eval::stability_index(&accs);
+    println!("\nG_acc = {:.2}%   SI = {:.3}", g_acc * 100.0, si);
+    println!(
+        "knowledge entries: {} in memory, {} archived ({} bytes)",
+        learner.knowledge().len(),
+        learner.knowledge().archived(),
+        learner.knowledge().space_bytes()
+    );
+}

@@ -1,0 +1,28 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper at full scale.
+# Outputs land in results/*.json and results/*.txt.
+set -e
+cd "$(dirname "$0")"
+mkdir -p results
+run() {
+  name=$1; shift
+  echo "=== $name ==="
+  env "$@" cargo run --release -p freeway-eval --bin "$name" > "results/$name.txt" 2>&1
+  tail -4 "results/$name.txt"
+}
+run table1 FREEWAY_BATCHES=300 FREEWAY_BATCH_SIZE=256
+run table2 FREEWAY_BATCHES=300 FREEWAY_BATCH_SIZE=256
+run table3 FREEWAY_BATCHES=30
+run table4
+run table5 FREEWAY_BATCHES=150 FREEWAY_BATCH_SIZE=128
+run table6 FREEWAY_BATCHES=20
+run fig2   FREEWAY_BATCHES=200
+run fig9   FREEWAY_BATCHES=200 FREEWAY_BATCH_SIZE=256
+run fig10  FREEWAY_BATCHES=30
+run fig11  FREEWAY_BATCHES=300 FREEWAY_BATCH_SIZE=256
+run fig12  FREEWAY_BATCHES=100 FREEWAY_BATCH_SIZE=128
+run ablations FREEWAY_BATCHES=200 FREEWAY_BATCH_SIZE=256
+run extended  FREEWAY_BATCHES=150 FREEWAY_BATCH_SIZE=128
+cargo run --release -p freeway-eval --bin summary > results/summary.txt 2>&1
+tail -4 results/summary.txt
+echo ALL-DONE

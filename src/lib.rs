@@ -1,0 +1,89 @@
+//! # FreewayML
+//!
+//! An adaptive and stable streaming-learning framework for dynamic data
+//! streams — a from-scratch Rust reproduction of *"FreewayML: An Adaptive
+//! and Stable Streaming Learning Framework for Dynamic Data Streams"*
+//! (ICDE 2025).
+//!
+//! Streaming models are sensitive and lightweight; when the data
+//! distribution drifts they fluctuate, collapse, or forget. FreewayML
+//! watches the stream's *shift graph* — the trajectory of PCA-projected
+//! batch means — classifies every batch's drift pattern, and routes
+//! inference through the mechanism built for that pattern:
+//!
+//! | Pattern | Shift | Mechanism |
+//! |---------|-------|-----------|
+//! | A (slight) | `M ≤ α` | multi-time-granularity model ensemble |
+//! | B (sudden) | `M > α` | coherent experience clustering |
+//! | C (reoccurring) | `M > α`, `d_h < d_t` | historical knowledge reuse |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use freewayml::prelude::*;
+//!
+//! // A drifting stream (rotating hyperplane, 10 features).
+//! let mut stream = Hyperplane::new(10, 0.02, 0.05, 42);
+//!
+//! // The paper's constructor: Learner(Model, ModelNum, MiniBatch,
+//! // KdgBuffer, ExpBuffer, alpha).
+//! let mut learner =
+//!     Learner::paper_interface(ModelSpec::mlp(10, vec![32], 2), 2, 256, 20, 10, 1.96);
+//!
+//! // Prequential loop: test, then train, on every batch.
+//! let mut correct = 0usize;
+//! let mut total = 0usize;
+//! for _ in 0..30 {
+//!     let batch = stream.next_batch(256);
+//!     let report = learner.process(&batch);
+//!     correct += report
+//!         .predictions
+//!         .iter()
+//!         .zip(batch.labels())
+//!         .filter(|(p, t)| p == t)
+//!         .count();
+//!     total += batch.len();
+//! }
+//! assert!(correct as f64 / total as f64 > 0.5);
+//! ```
+//!
+//! ## Crate map
+//!
+//! This facade re-exports the workspace:
+//!
+//! * [`core`] (`freeway-core`) — the learner, ASW, knowledge store,
+//!   strategy selector, pipeline;
+//! * [`ml`] (`freeway-ml`) — models (LR / MLP / CNN), optimizers,
+//!   snapshots;
+//! * [`streams`] (`freeway-streams`) — benchmark generators and simulated
+//!   datasets;
+//! * [`drift`] (`freeway-drift`) — shift graph, pattern classifier,
+//!   ADWIN;
+//! * [`cluster`] (`freeway-cluster`) — k-means and coherent experience
+//!   clustering;
+//! * [`baselines`] (`freeway-baselines`) — Flink ML / Spark MLlib / Alink /
+//!   River / Camel / A-GEM re-implementations;
+//! * [`eval`] (`freeway-eval`) — the prequential harness and every
+//!   table/figure runner;
+//! * [`linalg`] (`freeway-linalg`) — the dense math substrate.
+
+#![warn(missing_docs)]
+
+pub use freeway_baselines as baselines;
+pub use freeway_cluster as cluster;
+pub use freeway_core as core;
+pub use freeway_drift as drift;
+pub use freeway_eval as eval;
+pub use freeway_linalg as linalg;
+pub use freeway_ml as ml;
+pub use freeway_streams as streams;
+
+/// The commonly used types in one import.
+pub mod prelude {
+    pub use freeway_baselines::{FreewaySystem, StreamingLearner};
+    pub use freeway_core::{FreewayConfig, InferenceReport, Learner, Strategy};
+    pub use freeway_drift::ShiftPattern;
+    pub use freeway_linalg::Matrix;
+    pub use freeway_ml::{Model, ModelSpec};
+    pub use freeway_streams::{Batch, DriftPhase, Hyperplane, Sea, StreamGenerator};
+}

@@ -1,0 +1,201 @@
+//! Cross-crate integration tests: the full FreewayML system driven
+//! end-to-end over every workload family.
+
+use freewayml::baselines::{PlainSgd, StreamingLearner};
+use freewayml::eval::{global_accuracy, run_prequential, stability_index};
+use freewayml::prelude::*;
+use freewayml::streams::datasets;
+
+fn accuracy_of(report: &InferenceReport, labels: &[usize]) -> f64 {
+    report.predictions.iter().zip(labels).filter(|(p, t)| p == t).count() as f64
+        / labels.len() as f64
+}
+
+#[test]
+fn learner_beats_chance_on_every_benchmark() {
+    for name in ["hyperplane", "sea", "airlines", "covertype", "nslkdd", "electricity"] {
+        let mut stream = datasets::by_name(name, 5);
+        let spec = ModelSpec::mlp(stream.num_features(), vec![16], stream.num_classes());
+        let mut learner = Learner::new(
+            spec,
+            FreewayConfig { mini_batch: 128, pca_warmup_rows: 256, ..Default::default() },
+        );
+        let mut accs = Vec::new();
+        for _ in 0..40 {
+            let batch = stream.next_batch(128);
+            let report = learner.process(&batch);
+            accs.push(accuracy_of(&report, batch.labels()));
+        }
+        let chance = 1.0 / stream.num_classes() as f64;
+        let tail = global_accuracy(&accs[10..]);
+        assert!(
+            tail > chance + 0.15,
+            "{name}: accuracy {tail:.3} should clearly beat chance {chance:.3}"
+        );
+    }
+}
+
+#[test]
+fn all_three_strategies_fire_on_a_pattern_rich_stream() {
+    let mut stream = datasets::nslkdd(9);
+    let spec = ModelSpec::mlp(stream.num_features(), vec![16], stream.num_classes());
+    let mut learner =
+        Learner::new(spec, FreewayConfig { mini_batch: 128, ..Default::default() });
+    let mut used = std::collections::HashSet::new();
+    for _ in 0..120 {
+        let batch = stream.next_batch(128);
+        let report = learner.process(&batch);
+        used.insert(report.strategy);
+    }
+    assert!(used.contains(&Strategy::Ensemble), "ensemble must be the default");
+    assert!(
+        used.contains(&Strategy::Clustering) || used.contains(&Strategy::KnowledgeReuse),
+        "severe shifts must engage a severe-shift mechanism: {used:?}"
+    );
+}
+
+#[test]
+fn freeway_beats_plain_on_severe_batches_of_attack_stream() {
+    let seed = 13;
+    let mut stream_a = datasets::nslkdd(seed);
+    let mut stream_b = datasets::nslkdd(seed);
+    let spec = ModelSpec::mlp(stream_a.num_features(), vec![32], stream_a.num_classes());
+    let mut freeway =
+        Learner::new(spec.clone(), FreewayConfig { mini_batch: 128, ..Default::default() });
+    let mut plain = PlainSgd::new(spec, seed);
+
+    let mut severe_freeway = Vec::new();
+    let mut severe_plain = Vec::new();
+    for _ in 0..120 {
+        let batch = stream_a.next_batch(128);
+        let report = freeway.process(&batch);
+        let batch_b = stream_b.next_batch(128);
+        let preds = plain.infer(&batch_b.x);
+        let acc_plain = preds.iter().zip(batch_b.labels()).filter(|(p, t)| p == t).count()
+            as f64
+            / batch_b.len() as f64;
+        plain.train(&batch_b.x, batch_b.labels());
+        if batch.phase.is_severe() {
+            severe_freeway.push(accuracy_of(&report, batch.labels()));
+            severe_plain.push(acc_plain);
+        }
+    }
+    assert!(severe_freeway.len() >= 5, "stream must contain severe batches");
+    let f = global_accuracy(&severe_freeway);
+    let p = global_accuracy(&severe_plain);
+    assert!(
+        f > p,
+        "FreewayML must win on severe batches: {f:.3} vs plain {p:.3}"
+    );
+}
+
+#[test]
+fn prequential_harness_is_deterministic() {
+    let run = |seed: u64| {
+        let mut stream = datasets::electricity(seed);
+        let spec = ModelSpec::lr(stream.num_features(), stream.num_classes());
+        let mut learner = freewayml::baselines::FreewaySystem::with_config(
+            spec,
+            FreewayConfig { mini_batch: 96, ..Default::default() },
+        );
+        run_prequential(&mut learner, &mut stream, 25, 96, 3)
+    };
+    let a = run(3);
+    let b = run(3);
+    assert_eq!(a.accs, b.accs, "same seed, same trajectory");
+    let c = run(4);
+    assert_ne!(a.accs, c.accs, "different seed, different stream");
+}
+
+#[test]
+fn stability_index_is_sane_on_real_runs() {
+    let mut stream = datasets::airlines(21);
+    let spec = ModelSpec::lr(stream.num_features(), stream.num_classes());
+    let mut learner = freewayml::baselines::FreewaySystem::with_config(
+        spec,
+        FreewayConfig { mini_batch: 128, ..Default::default() },
+    );
+    let result = run_prequential(&mut learner, &mut stream, 40, 128, 4);
+    let si = stability_index(&result.accs);
+    assert!(si > 0.5 && si <= 1.0, "SI {si} out of plausible range");
+    assert!(result.throughput_items_per_sec() > 0.0);
+}
+
+#[test]
+fn pipeline_processes_mixed_streams_end_to_end() {
+    use freewayml::core::pipeline::Pipeline;
+    let mut stream = datasets::electricity(31);
+    let spec = ModelSpec::lr(stream.num_features(), stream.num_classes());
+    let learner = Learner::new(
+        spec,
+        FreewayConfig { mini_batch: 64, pca_warmup_rows: 128, ..Default::default() },
+    );
+    // Queue depth 8 with 30 batches: outputs must be drained while
+    // feeding — both channels are bounded, so fire-and-forget feeding
+    // of more than `2 * depth` batches would deadlock by design
+    // (backpressure, not unbounded buffering).
+    let pipeline = Pipeline::spawn(learner, 8);
+    let mut inference_reports = 0;
+    let mut received = 0;
+    for i in 0..30 {
+        let batch = stream.next_batch(64);
+        if i % 3 == 0 {
+            pipeline.feed(batch.without_labels());
+        } else {
+            pipeline.feed(batch);
+        }
+        while let Some(out) = pipeline.try_recv() {
+            received += 1;
+            if out.report.is_some() {
+                inference_reports += 1;
+            }
+        }
+    }
+    while received < 30 {
+        if pipeline.recv().report.is_some() {
+            inference_reports += 1;
+        }
+        received += 1;
+    }
+    assert_eq!(inference_reports, 10, "every unlabeled batch yields a report");
+    let learner = pipeline.finish();
+    assert!(learner.selector().is_ready());
+}
+
+#[test]
+fn knowledge_snapshots_survive_byte_roundtrips_in_context() {
+    let mut stream = datasets::electricity(17);
+    let spec = ModelSpec::lr(stream.num_features(), stream.num_classes());
+    let mut learner =
+        Learner::new(spec, FreewayConfig { mini_batch: 128, ..Default::default() });
+    for _ in 0..60 {
+        let batch = stream.next_batch(128);
+        learner.process(&batch);
+    }
+    for entry in learner.knowledge().entries() {
+        let bytes = entry.snapshot.to_bytes();
+        let decoded = freewayml::ml::ModelSnapshot::from_bytes(bytes).expect("roundtrip");
+        assert_eq!(decoded, entry.snapshot);
+    }
+}
+
+#[test]
+fn cnn_family_runs_the_image_stream_end_to_end() {
+    let mut stream = freewayml::streams::image::ImageStream::flowers(3);
+    let spec = ModelSpec::cnn_paper(stream.num_features(), stream.num_classes());
+    let mut learner = Learner::new(
+        spec,
+        FreewayConfig { mini_batch: 64, pca_warmup_rows: 128, ..Default::default() },
+    );
+    let mut accs = Vec::new();
+    for _ in 0..25 {
+        let batch = stream.next_batch(64);
+        let report = learner.process(&batch);
+        accs.push(accuracy_of(&report, batch.labels()));
+    }
+    let chance = 1.0 / stream.num_classes() as f64;
+    assert!(
+        global_accuracy(&accs[8..]) > chance + 0.2,
+        "CNN on image features must beat chance clearly"
+    );
+}

@@ -1,0 +1,82 @@
+//! Self-verifying paper-shape assertions at reduced scale.
+//!
+//! EXPERIMENTS.md records the full-scale numbers; these tests pin the
+//! *shapes* the reproduction claims (who wins, orderings, growth laws)
+//! at a scale small enough for CI, so a regression that flips a headline
+//! conclusion fails the build rather than silently corrupting the
+//! documentation.
+
+use freewayml::eval::experiments::{common::Scale, fig11, fig2, table2, table4};
+
+#[test]
+fn table2_severe_improvements_exceed_slight_on_attack_stream() {
+    // Paper Table II: sudden/reoccurring improvements dwarf slight ones.
+    let scale = Scale { batches: 100, batch_size: 128, warmup: 4, seed: 7 };
+    let t = table2::run_on(&scale, &["NSL-KDD"]);
+    let row = &t.rows[0];
+    let slight = row.slight_pct.expect("slight batches exist");
+    let sudden = row.sudden_pct.expect("sudden batches exist");
+    assert!(
+        sudden > slight,
+        "sudden improvement ({sudden:.1}%) must exceed slight ({slight:.1}%)"
+    );
+    assert!(sudden > 5.0, "sudden improvement must be substantial: {sudden:.1}%");
+}
+
+#[test]
+fn fig11_freeway_wins_sudden_and_reoccurring() {
+    // Paper Figure 11: FreewayML ahead of every method on severe patterns.
+    let scale = Scale { batches: 120, batch_size: 128, warmup: 4, seed: 7 };
+    let f = fig11::run_on(&scale, &["NSL-KDD"]);
+    let freeway = f.rows.iter().find(|r| r.system == "FreewayML").expect("present");
+    let freeway_sudden = freeway.sudden.expect("sudden cells");
+    let freeway_reocc = freeway.reoccurring.expect("reoccurring cells");
+    for r in &f.rows {
+        if r.system == "FreewayML" {
+            continue;
+        }
+        if let Some(s) = r.sudden {
+            assert!(
+                freeway_sudden >= s - 0.02,
+                "FreewayML sudden {freeway_sudden:.3} must not trail {} ({s:.3})",
+                r.system
+            );
+        }
+        if let Some(s) = r.reoccurring {
+            assert!(
+                freeway_reocc >= s - 0.02,
+                "FreewayML reoccurring {freeway_reocc:.3} must not trail {} ({s:.3})",
+                r.system
+            );
+        }
+    }
+}
+
+#[test]
+fn table4_space_grows_linearly_and_stays_small() {
+    // Paper Table IV: linear in k, MLP >> LR, < 2 MB at k = 100.
+    let t = table4::run();
+    let first = &t.rows[0];
+    let last = t.rows.last().unwrap();
+    let ratio = last.lr_kb / first.lr_kb;
+    let k_ratio = last.k as f64 / first.k as f64;
+    assert!(
+        (ratio / k_ratio - 1.0).abs() < 0.15,
+        "LR space must grow linearly: size ratio {ratio:.1} vs k ratio {k_ratio:.1}"
+    );
+    assert!(last.mlp_kb > 5.0 * last.lr_kb, "MLP snapshots dwarf LR snapshots");
+    assert!(last.mlp_kb < 2048.0, "k=100 stays under 2 MB: {} KB", last.mlp_kb);
+}
+
+#[test]
+fn fig2_correlation_is_positive_somewhere() {
+    // Paper §III: bigger shifts, bigger accuracy drops.
+    let scale = Scale { batches: 100, batch_size: 128, warmup: 4, seed: 7 };
+    let f = fig2::run(&scale);
+    let max = f
+        .graphs
+        .iter()
+        .map(|g| g.drop_correlation)
+        .fold(f64::MIN, f64::max);
+    assert!(max > 0.15, "at least one study stream must show the correlation: {max:.3}");
+}
