@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Tier-1 gate: everything a PR must keep green, in fail-fast order.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo build --release =="
+cargo build --release --workspace
+
+echo "== cargo test =="
+cargo test -q --workspace
+
+echo "== cargo clippy =="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "ci.sh: all green"

@@ -196,9 +196,6 @@ mod tests {
         };
         let agem_acc = acc(agem.infer(&x));
         let plain_acc = acc(plain.infer(&x));
-        assert!(
-            agem_acc >= plain_acc,
-            "A-GEM must forget less: {agem_acc} vs plain {plain_acc}"
-        );
+        assert!(agem_acc >= plain_acc, "A-GEM must forget less: {agem_acc} vs plain {plain_acc}");
     }
 }

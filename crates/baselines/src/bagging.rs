@@ -125,9 +125,7 @@ impl StreamingLearner for OnlineBagging {
         }
         votes
             .iter()
-            .map(|v| {
-                v.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(class, _)| class)
-            })
+            .map(|v| v.iter().enumerate().max_by_key(|(_, &c)| c).map_or(0, |(class, _)| class))
             .collect()
     }
 

@@ -63,11 +63,7 @@ mod tests {
         let (x, y) = concept.sample_batch(64, &mut rng);
         let before = learner.trainer.model().parameters();
         learner.train(&x, &y);
-        assert_eq!(
-            learner.trainer.model().parameters(),
-            before,
-            "first batch only staged"
-        );
+        assert_eq!(learner.trainer.model().parameters(), before, "first batch only staged");
         let (x2, y2) = concept.sample_batch(64, &mut rng);
         learner.train(&x2, &y2);
         assert_ne!(learner.trainer.model().parameters(), before, "staged batch consumed");

@@ -19,7 +19,8 @@ fn erf(x: f64) -> f64 {
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let poly = t
         * (0.254_829_592
-            + t * (-0.284_496_736 + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
+            + t * (-0.284_496_736
+                + t * (1.421_413_741 + t * (-1.453_152_027 + t * 1.061_405_429))));
     sign * (1.0 - poly * (-x * x).exp())
 }
 
@@ -250,9 +251,7 @@ impl HoeffdingTree {
             }
             Node::Leaf(stats) => {
                 stats.update(x, y);
-                if depth >= params.max_depth
-                    || stats.seen_since_check < params.grace_period
-                {
+                if depth >= params.max_depth || stats.seen_since_check < params.grace_period {
                     return;
                 }
                 stats.seen_since_check = 0;
@@ -376,11 +375,8 @@ mod tests {
     #[test]
     fn learns_an_axis_aligned_concept() {
         // Label = (x0 > 0): the canonical easy case for a tree.
-        let mut tree = HoeffdingTree::new(
-            3,
-            2,
-            HoeffdingParams { grace_period: 100, ..Default::default() },
-        );
+        let mut tree =
+            HoeffdingTree::new(3, 2, HoeffdingParams { grace_period: 100, ..Default::default() });
         let mut rng = stream_rng(1);
         use rand::RngExt;
         for _ in 0..5000 {

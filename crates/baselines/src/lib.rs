@@ -41,9 +41,9 @@ use freeway_streams::Batch;
 pub use adapter::FreewaySystem;
 pub use agem::AGem;
 pub use alink::AlinkStyle;
+pub use bagging::OnlineBagging;
 pub use camel::CamelStyle;
 pub use flinkml::FlinkMlStyle;
-pub use bagging::OnlineBagging;
 pub use hoeffding::{HoeffdingBaseline, HoeffdingTree};
 pub use naive_bayes::{GaussianNaiveBayes, NaiveBayesBaseline};
 pub use plain::PlainSgd;
@@ -80,11 +80,7 @@ pub trait StreamingLearner: Send {
 ///
 /// # Panics
 /// Panics on unknown names.
-pub fn by_name(
-    name: &str,
-    spec: freeway_ml::ModelSpec,
-    seed: u64,
-) -> Box<dyn StreamingLearner> {
+pub fn by_name(name: &str, spec: freeway_ml::ModelSpec, seed: u64) -> Box<dyn StreamingLearner> {
     match name.to_ascii_lowercase().as_str() {
         "flinkml" | "flink ml" => Box::new(FlinkMlStyle::new(spec, seed)),
         "sparkmllib" | "spark mllib" | "sparkml" => Box::new(SparkMlStyle::new(spec, seed)),
@@ -96,9 +92,7 @@ pub fn by_name(
         "hoeffding" | "hoeffdingtree" => {
             Box::new(HoeffdingBaseline::new(spec.features(), spec.classes()))
         }
-        "naivebayes" | "nb" => {
-            Box::new(NaiveBayesBaseline::new(spec.features(), spec.classes()))
-        }
+        "naivebayes" | "nb" => Box::new(NaiveBayesBaseline::new(spec.features(), spec.classes())),
         "onlinebagging" => Box::new(OnlineBagging::new(spec, 5, seed)),
         "leveragingbagging" => Box::new(OnlineBagging::leveraging(spec, 5, seed)),
         "freewayml" => Box::new(FreewaySystem::with_defaults(spec, seed)),
@@ -126,8 +120,7 @@ mod tests {
             "onlinebagging",
             "leveragingbagging",
             "freewayml",
-        ]
-        {
+        ] {
             let learner = by_name(name, ModelSpec::lr(4, 2), 1);
             assert!(!learner.name().is_empty(), "{name} has a display name");
         }

@@ -78,8 +78,7 @@ impl GaussianNaiveBayes {
         }
         // Laplace-smoothed prior keeps unseen-but-possible classes sane.
         let classes = self.class_counts.len() as f64;
-        let mut log_p =
-            ((self.class_counts[class] + 1.0) / (self.total + classes)).ln();
+        let mut log_p = ((self.class_counts[class] + 1.0) / (self.total + classes)).ln();
         for (m, &v) in self.moments[class].iter().zip(x) {
             let var = m.variance();
             let diff = v - m.mean;
@@ -91,15 +90,13 @@ impl GaussianNaiveBayes {
     /// Predicts one example's class (0 before any data arrives).
     pub fn predict_one(&self, x: &[f64]) -> usize {
         assert_eq!(x.len(), self.features, "feature dimension mismatch");
-        let scores: Vec<f64> =
-            (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
+        let scores: Vec<f64> = (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
         freeway_linalg::vector::argmax(&scores).unwrap_or(0)
     }
 
     /// Posterior class probabilities for one example.
     pub fn predict_proba_one(&self, x: &[f64]) -> Vec<f64> {
-        let scores: Vec<f64> =
-            (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
+        let scores: Vec<f64> = (0..self.class_counts.len()).map(|c| self.log_joint(x, c)).collect();
         let max = scores.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         if !max.is_finite() {
             // No data yet: uniform.

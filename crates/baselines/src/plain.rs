@@ -87,9 +87,6 @@ mod tests {
             let preds = learner.infer(&x);
             preds.iter().zip(&y).filter(|(p, t)| p == t).count() as f64 / y.len() as f64
         };
-        assert!(
-            after < before,
-            "sudden shift must hurt the frozen model: {before} -> {after}"
-        );
+        assert!(after < before, "sudden shift must hurt the frozen model: {before} -> {after}");
     }
 }

@@ -79,11 +79,7 @@ mod tests {
         let (x, y) = concept.sample_batch(128, &mut rng);
         learner.train(&x, &y);
         let after = learner.model.parameters();
-        let moved: f64 = before
-            .iter()
-            .zip(&after)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let moved: f64 = before.iter().zip(&after).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         assert!(moved < 0.05, "late updates should be small, moved {moved}");
     }
 }

@@ -18,25 +18,21 @@ fn fig10(c: &mut Criterion) {
         for &bs in &BATCH_SIZES {
             group.throughput(Throughput::Elements(bs as u64));
             for sys in &systems {
-                group.bench_with_input(
-                    BenchmarkId::new(*sys, bs),
-                    &bs,
-                    |bencher, &bs| {
-                        let scale = Scale { batch_size: bs, ..Scale::tiny() };
-                        let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
-                        let mut learner = build_system(sys, family, 10, 2, &scale);
-                        for _ in 0..6 {
-                            let b = generator.next_batch(bs);
-                            learner.train(&b.x, b.labels());
-                        }
-                        bencher.iter(|| {
-                            let batch = generator.next_batch(bs);
-                            let preds = learner.infer(black_box(&batch.x));
-                            learner.train(&batch.x, batch.labels());
-                            black_box(preds);
-                        });
-                    },
-                );
+                group.bench_with_input(BenchmarkId::new(*sys, bs), &bs, |bencher, &bs| {
+                    let scale = Scale { batch_size: bs, ..Scale::tiny() };
+                    let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                    let mut learner = build_system(sys, family, 10, 2, &scale);
+                    for _ in 0..6 {
+                        let b = generator.next_batch(bs);
+                        learner.train(&b.x, b.labels());
+                    }
+                    bencher.iter(|| {
+                        let batch = generator.next_batch(bs);
+                        let preds = learner.infer(black_box(&batch.x));
+                        learner.train(&batch.x, batch.labels());
+                        black_box(preds);
+                    });
+                });
             }
         }
         group.finish();

@@ -1,0 +1,52 @@
+//! Worker-pool speedup: MLP forward + update on a 1024-row batch at
+//! increasing pool sizes (1 = serial baseline).
+//!
+//! Thread counts beyond the host's cores are still measured — the pool
+//! spawns them happily — but cannot speed anything up; read the results
+//! against the printed core count. Kernels are bit-identical across
+//! pool sizes by construction, so every configuration trains the exact
+//! same model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use freeway_linalg::{pool, Matrix};
+use freeway_ml::{ModelSpec, Sgd, Trainer};
+use std::hint::black_box;
+
+const BATCH: usize = 1024;
+const FEATURES: usize = 32;
+const CLASSES: usize = 4;
+
+fn batch() -> (Matrix, Vec<usize>) {
+    let fill = |i: usize| ((i as f64) * 0.37).sin() * 2.0;
+    let x = Matrix::from_vec(BATCH, FEATURES, (0..BATCH * FEATURES).map(fill).collect());
+    let y = (0..BATCH).map(|i| i % CLASSES).collect();
+    (x, y)
+}
+
+fn parallel_mlp(c: &mut Criterion) {
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    eprintln!("bench_parallel: host has {cores} cores");
+    let (x, y) = batch();
+    let spec = ModelSpec::mlp(FEATURES, vec![64], CLASSES);
+
+    let mut group = c.benchmark_group("parallel/mlp_forward_update_1024");
+    group.sample_size(20);
+    group.throughput(Throughput::Elements(BATCH as u64));
+    for threads in [1usize, 2, 4] {
+        pool::configure(threads);
+        group.bench_with_input(BenchmarkId::new("pool", threads), &threads, |b, &t| {
+            let mut trainer = Trainer::new(spec.build(7), Box::new(Sgd::new(0.05)));
+            trainer.set_parallel_gradient(t > 1);
+            b.iter(|| {
+                let probs = trainer.model().predict_proba(black_box(&x));
+                black_box(probs);
+                trainer.train_batch(black_box(&x), black_box(&y));
+            });
+        });
+    }
+    pool::configure(1);
+    group.finish();
+}
+
+criterion_group!(benches, parallel_mlp);
+criterion_main!(benches);

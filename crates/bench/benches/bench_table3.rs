@@ -23,27 +23,23 @@ fn bench_phase(c: &mut Criterion, family: ModelFamily, phase: &str) {
     for &bs in &BATCH_SIZES {
         for sys in systems_for(family) {
             let scale = Scale { batch_size: bs, ..Scale::tiny() };
-            group.bench_with_input(
-                BenchmarkId::new(sys, bs),
-                &bs,
-                |bencher, &bs| {
-                    let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
-                    let mut learner = build_system(sys, family, 10, 2, &scale);
-                    // Warm the system so steady-state cost is measured.
-                    for _ in 0..6 {
-                        let b = generator.next_batch(bs);
-                        learner.train(&b.x, b.labels());
+            group.bench_with_input(BenchmarkId::new(sys, bs), &bs, |bencher, &bs| {
+                let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                let mut learner = build_system(sys, family, 10, 2, &scale);
+                // Warm the system so steady-state cost is measured.
+                for _ in 0..6 {
+                    let b = generator.next_batch(bs);
+                    learner.train(&b.x, b.labels());
+                }
+                let batch = generator.next_batch(bs);
+                bencher.iter(|| {
+                    if phase == "infer" {
+                        black_box(learner.infer(black_box(&batch.x)));
+                    } else {
+                        learner.train(black_box(&batch.x), black_box(batch.labels()));
                     }
-                    let batch = generator.next_batch(bs);
-                    bencher.iter(|| {
-                        if phase == "infer" {
-                            black_box(learner.infer(black_box(&batch.x)));
-                        } else {
-                            learner.train(black_box(&batch.x), black_box(batch.labels()));
-                        }
-                    });
-                },
-            );
+                });
+            });
         }
     }
     group.finish();

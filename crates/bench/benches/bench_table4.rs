@@ -24,12 +24,7 @@ fn table4(c: &mut Criterion) {
             let model = spec.build(0);
             b.iter(|| {
                 let mut store = KnowledgeStore::new(4);
-                store.preserve(
-                    black_box(vec![1.0, 2.0]),
-                    model.as_ref(),
-                    spec.clone(),
-                    0.5,
-                );
+                store.preserve(black_box(vec![1.0, 2.0]), model.as_ref(), spec.clone(), 0.5);
                 black_box(store.len());
             });
         });

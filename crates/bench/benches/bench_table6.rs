@@ -15,28 +15,23 @@ fn table6(c: &mut Criterion) {
         group.sample_size(15);
         for &bs in &BATCH_SIZES {
             for sys in ["plain", "freewayml"] {
-                group.bench_with_input(
-                    BenchmarkId::new(sys, bs),
-                    &bs,
-                    |bencher, &bs| {
-                        let scale = Scale { batch_size: bs, ..Scale::tiny() };
-                        let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
-                        let mut learner =
-                            build_system(sys, ModelFamily::Cnn, 10, 2, &scale);
-                        for _ in 0..5 {
-                            let b = generator.next_batch(bs);
-                            learner.train(&b.x, b.labels());
+                group.bench_with_input(BenchmarkId::new(sys, bs), &bs, |bencher, &bs| {
+                    let scale = Scale { batch_size: bs, ..Scale::tiny() };
+                    let mut generator = Hyperplane::new(10, 0.02, 0.05, 7);
+                    let mut learner = build_system(sys, ModelFamily::Cnn, 10, 2, &scale);
+                    for _ in 0..5 {
+                        let b = generator.next_batch(bs);
+                        learner.train(&b.x, b.labels());
+                    }
+                    let batch = generator.next_batch(bs);
+                    bencher.iter(|| {
+                        if phase == "infer" {
+                            black_box(learner.infer(black_box(&batch.x)));
+                        } else {
+                            learner.train(black_box(&batch.x), black_box(batch.labels()));
                         }
-                        let batch = generator.next_batch(bs);
-                        bencher.iter(|| {
-                            if phase == "infer" {
-                                black_box(learner.infer(black_box(&batch.x)));
-                            } else {
-                                learner.train(black_box(&batch.x), black_box(batch.labels()));
-                            }
-                        });
-                    },
-                );
+                    });
+                });
             }
         }
         group.finish();

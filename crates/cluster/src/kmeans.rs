@@ -196,10 +196,7 @@ mod tests {
                 .filter(|(_, &t)| t == g)
                 .map(|(i, _)| result.assignments[i])
                 .collect();
-            assert!(
-                members.iter().all(|&a| a == members[0]),
-                "group {g} split across clusters"
-            );
+            assert!(members.iter().all(|&a| a == members[0]), "group {g} split across clusters");
         }
         assert!(result.inertia < 50.0, "tight blobs: inertia {}", result.inertia);
     }

@@ -144,8 +144,7 @@ impl AdaptiveStreamingWindow {
             let n = self.batches.len() as f64;
             for (batch, &rank) in self.batches.iter_mut().zip(&ranks) {
                 // rank 0 = farthest ⇒ most decay; nearest decays least.
-                let rank_term =
-                    self.params.rank_decay * (n - rank as f64) / n.max(1.0);
+                let rank_term = self.params.rank_decay * (n - rank as f64) / n.max(1.0);
                 let decay = (self.params.base_decay + rank_term)
                     * (1.0 + self.params.disorder_boost * disorder)
                     * self.decay_multiplier;

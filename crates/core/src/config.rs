@@ -119,6 +119,28 @@ pub struct FreewayConfig {
     pub asw_update_epochs: usize,
     /// Base RNG seed for model initialisation.
     pub seed: u64,
+    /// Worker threads for the process-wide pool backing parallel
+    /// kernels, ensemble inference, sharded gradients, and async long
+    /// updates. `1` (the default) keeps everything serial; `0` means
+    /// "all available cores". The `FREEWAY_THREADS` environment
+    /// variable, when set, overrides this field.
+    pub num_threads: usize,
+    /// Evaluate ensemble voters concurrently on the worker pool when the
+    /// forward passes are large enough to amortise the dispatch. Results
+    /// are bit-identical to serial inference (per-voter arithmetic is
+    /// unchanged; blending runs in level order on the caller).
+    pub parallel_inference: bool,
+    /// Compute mini-batch gradients data-parallel in fixed 256-row
+    /// shards merged in shard order. Off by default: sharding changes
+    /// numerics for batches above one shard (identically for every
+    /// thread count).
+    pub parallel_gradient: bool,
+    /// Run ASW window-completion long-model updates as background pool
+    /// jobs: the update trains a snapshot of the level while inference
+    /// and short-model training continue on the live model; the result
+    /// is swapped in at a later `train` call. Off by default — it makes
+    /// *when* a long update lands timing-dependent.
+    pub async_long_updates: bool,
     /// Mechanism toggle: coherent experience clustering on Pattern B.
     /// Disabling falls back to the ensemble (per-mechanism studies and
     /// ablations flip this).
@@ -157,6 +179,10 @@ impl Default for FreewayConfig {
             precompute_subsets: 4,
             asw_update_epochs: 2,
             seed: 42,
+            num_threads: 1,
+            parallel_inference: true,
+            parallel_gradient: false,
+            async_long_updates: false,
             enable_cec: true,
             enable_knowledge: true,
         }
@@ -177,10 +203,7 @@ impl FreewayConfig {
         assert!(self.ensemble_sigma > 0.0, "ensemble_sigma must be positive");
         assert!(self.asw_max_batches >= 1, "asw_max_batches must be at least 1");
         assert!(self.asw_max_items > 0, "asw_max_items must be positive");
-        assert!(
-            (0.0..1.0).contains(&self.asw_base_decay),
-            "asw_base_decay must be in [0, 1)"
-        );
+        assert!((0.0..1.0).contains(&self.asw_base_decay), "asw_base_decay must be in [0, 1)");
         assert!(self.asw_min_weight > 0.0, "asw_min_weight must be positive");
         assert!(self.learning_rate > 0.0, "learning_rate must be positive");
         assert!(self.pca_warmup_rows >= 2, "pca_warmup_rows must be at least 2");

@@ -13,12 +13,31 @@
 
 use crate::asw::{AdaptiveStreamingWindow, AswParams};
 use crate::config::FreewayConfig;
-use freeway_linalg::{vector, Matrix};
+use freeway_linalg::{pool, vector, Matrix};
 use freeway_ml::{Model, ModelSpec, PrecomputeAccumulator, Trainer};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// A long-model update running as a background pool job. The job trains
+/// a snapshot (clone) of the level's trainer and deposits it here; the
+/// level swaps the result in at a later `train` call, so inference never
+/// waits on the update.
+struct PendingUpdate {
+    /// `None` while the job runs; `Ok(trained)` on success, `Err` when
+    /// the update panicked (the level then keeps its current model).
+    slot: Arc<Mutex<Option<Result<Trainer, String>>>>,
+    /// Fingerprint of the window the job trained on, installed with it.
+    window_mean: Option<Vec<f64>>,
+    /// Disorder of that window, surfaced on installation.
+    disorder: f64,
+}
 
 /// One granularity level.
 struct Level {
     trainer: Trainer,
+    /// In-flight async window updates, oldest first. Results are
+    /// installed in submission order; a severe shift discards them.
+    pending: Vec<PendingUpdate>,
     /// `None` for the short level (trains every batch), the window
     /// otherwise.
     window: Option<AdaptiveStreamingWindow>,
@@ -47,6 +66,8 @@ pub struct MultiGranularity {
     sigma: f64,
     precompute_subsets: usize,
     update_epochs: usize,
+    parallel_inference: bool,
+    async_long_updates: bool,
     /// Projection of the short model's most recent training batch
     /// (`ȳ_{n−1}` in Equation 12).
     last_trained_projection: Option<Vec<f64>>,
@@ -78,8 +99,11 @@ impl MultiGranularity {
                         min_weight: config.asw_min_weight,
                     })
                 });
+                let mut trainer = trainer;
+                trainer.set_parallel_gradient(config.parallel_gradient);
                 Level {
                     trainer,
+                    pending: Vec::new(),
                     window,
                     updates: 0,
                     trained_projection: None,
@@ -94,6 +118,8 @@ impl MultiGranularity {
             sigma: config.ensemble_sigma,
             precompute_subsets: config.precompute_subsets.max(1),
             update_epochs: config.asw_update_epochs.max(1),
+            parallel_inference: config.parallel_inference,
+            async_long_updates: config.async_long_updates,
             last_trained_projection: None,
             last_completed_disorder: None,
         }
@@ -147,8 +173,54 @@ impl MultiGranularity {
             if let Some(window) = level.window.as_mut() {
                 window.clear();
                 level.trusted = false;
+                // In-flight async updates trained on the invalidated
+                // window contents; their results must not land.
+                level.pending.clear();
             }
         }
+    }
+
+    /// Installs finished async window updates, oldest first, stopping at
+    /// the first still-running job so results land in submission order.
+    /// Called at the top of every [`Self::train`]; cheap when nothing is
+    /// pending.
+    /// Installs every *completed* asynchronous window update, in
+    /// submission order per level; in-flight updates stay pending.
+    /// Called automatically at the start of each [`train`](Self::train);
+    /// public so serving processes that have stopped training (and
+    /// tests) can still land finished updates without feeding a batch.
+    pub fn harvest_async_updates(&mut self) {
+        let mut completed_disorder = None;
+        for level in &mut self.levels {
+            while let Some(front) = level.pending.first() {
+                let Some(outcome) = front.slot.lock().take() else {
+                    break;
+                };
+                let finished = level.pending.remove(0);
+                match outcome {
+                    Ok(trainer) => {
+                        level.trainer = trainer;
+                        level.updates += 1;
+                        level.trained_projection = finished.window_mean;
+                        level.trusted = true;
+                        completed_disorder = Some(finished.disorder);
+                    }
+                    Err(message) => {
+                        // The level keeps its current model; the next
+                        // window completion retrains it.
+                        eprintln!("freeway-core: async long update dropped: {message}");
+                    }
+                }
+            }
+        }
+        if completed_disorder.is_some() {
+            self.last_completed_disorder = completed_disorder;
+        }
+    }
+
+    /// Number of async window updates still in flight across all levels.
+    pub fn pending_async_updates(&self) -> usize {
+        self.levels.iter().map(|l| l.pending.len()).sum()
     }
 
     /// Rate-aware adjuster hook: boost window decay under pressure.
@@ -164,6 +236,7 @@ impl MultiGranularity {
     /// window completion). `projected` is the batch's shift-graph
     /// projection, used for window decay and ensemble distances.
     pub fn train(&mut self, x: &Matrix, labels: &[usize], projected: &[f64]) {
+        self.harvest_async_updates();
         // Captured once: long levels warm-start from the short model's
         // parameters at their window completions.
         let mut short_params: Option<Vec<f64>> = None;
@@ -205,22 +278,62 @@ impl MultiGranularity {
                             // *stable* granularity — at a fraction of the
                             // cost of training the long model from its own
                             // stale parameters.
+                            //
+                            // The passes run on a snapshot (clone) of the
+                            // trainer so the level's live model keeps
+                            // serving inference; with async updates on,
+                            // they run as a background pool job and the
+                            // snapshot is swapped in at a later train.
+                            let mut snapshot = level.trainer.clone();
                             if let Some(short_params) = short_params.as_ref() {
-                                level.trainer.model_mut().set_parameters(short_params);
+                                snapshot.model_mut().set_parameters(short_params);
                             }
-                            for _ in 0..self.update_epochs {
-                                train_weighted_precomputed(
-                                    &mut level.trainer,
-                                    &wx,
-                                    &wy,
-                                    &ww,
-                                    self.precompute_subsets,
-                                );
+                            let epochs = self.update_epochs;
+                            let subsets = self.precompute_subsets;
+                            let pool = self
+                                .async_long_updates
+                                .then(pool::global)
+                                .filter(|p| p.is_parallel());
+                            if let Some(pool) = pool {
+                                let slot = Arc::new(Mutex::new(None));
+                                let job_slot = Arc::clone(&slot);
+                                let spawned = pool.spawn_detached(move || {
+                                    let result = std::panic::catch_unwind(
+                                        std::panic::AssertUnwindSafe(move || {
+                                            for _ in 0..epochs {
+                                                train_weighted_precomputed(
+                                                    &mut snapshot,
+                                                    &wx,
+                                                    &wy,
+                                                    &ww,
+                                                    subsets,
+                                                );
+                                            }
+                                            snapshot
+                                        }),
+                                    );
+                                    *job_slot.lock() = Some(result.map_err(|_| {
+                                        "long-model window update panicked".to_string()
+                                    }));
+                                });
+                                debug_assert!(spawned, "pool checked parallel above");
+                                level.pending.push(PendingUpdate { slot, window_mean, disorder });
+                            } else {
+                                for _ in 0..epochs {
+                                    train_weighted_precomputed(
+                                        &mut snapshot,
+                                        &wx,
+                                        &wy,
+                                        &ww,
+                                        subsets,
+                                    );
+                                }
+                                level.trainer = snapshot;
+                                level.updates += 1;
+                                level.trained_projection = window_mean;
+                                level.trusted = true;
+                                self.last_completed_disorder = Some(disorder);
                             }
-                            level.updates += 1;
-                            level.trained_projection = window_mean;
-                            level.trusted = true;
-                            self.last_completed_disorder = Some(disorder);
                         }
                     }
                 }
@@ -263,9 +376,7 @@ impl MultiGranularity {
                     // Distance kernel (Eq. 14) modulated by prequential
                     // quality: at similar distances the historically more
                     // accurate level dominates.
-                    d.map_or(0.0, |d| {
-                        gaussian_kernel(d, sigma) * level.ewma_acc.powi(4)
-                    })
+                    d.map_or(0.0, |d| gaussian_kernel(d, sigma) * level.ewma_acc.powi(4))
                 })
                 .collect()
         } else if min_d.is_finite() {
@@ -290,8 +401,10 @@ impl MultiGranularity {
         let mut blended = Matrix::zeros(x.rows(), self.spec.classes());
         // The paper's multi-process deployment evaluates the granularity
         // models concurrently, which is why its ensemble adds almost no
-        // inference latency; reproduce that with scoped threads when the
-        // forward passes are expensive enough to amortise a thread spawn.
+        // inference latency; reproduce that with jobs on the persistent
+        // worker pool when the forward passes are expensive enough to
+        // amortise the dispatch. Blending stays on this thread in level
+        // order, so the result is bit-identical to serial inference.
         let work = x.rows() * self.spec.num_parameters();
         // A level whose kernel weight is negligible cannot change the
         // argmax; skipping it saves a full forward pass, which is the
@@ -303,24 +416,29 @@ impl MultiGranularity {
             .filter(|(_, &w)| w > 0.02 * total)
             .map(|(i, &w)| (i, w))
             .collect();
-        let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
-        if voters.len() > 1 && cores > 1 && work > 64 * 1024 {
-            let probs: Vec<(f64, Matrix)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = voters
-                    .iter()
-                    .map(|&(i, w)| {
-                        let model = self.levels[i].trainer.model();
-                        scope.spawn(move || (w, model.predict_proba(x)))
-                    })
-                    .collect();
-                handles.into_iter().map(|h| h.join().expect("level thread")).collect()
-            });
-            let voting_total: f64 = probs.iter().map(|(w, _)| w).sum();
-            for (w, p) in probs {
-                blended.axpy(w / voting_total, &p);
+        let voting_total: f64 = voters.iter().map(|(_, w)| w).sum();
+        if self.parallel_inference
+            && voters.len() > 1
+            && work > 64 * 1024
+            && pool::configured_threads() > 1
+        {
+            let mut probs: Vec<Option<Matrix>> = Vec::new();
+            probs.resize_with(voters.len(), || None);
+            let tasks: Vec<pool::Task<'_>> = probs
+                .iter_mut()
+                .zip(&voters)
+                .map(|(slot, &(i, _))| {
+                    let model = self.levels[i].trainer.model();
+                    Box::new(move || {
+                        *slot = Some(model.predict_proba(x));
+                    }) as pool::Task<'_>
+                })
+                .collect();
+            pool::global().run(tasks);
+            for (&(_, w), p) in voters.iter().zip(probs) {
+                blended.axpy(w / voting_total, &p.expect("voter task completed"));
             }
         } else {
-            let voting_total: f64 = voters.iter().map(|(_, w)| w).sum();
             for &(i, w) in &voters {
                 let probs = self.levels[i].trainer.model().predict_proba(x);
                 blended.axpy(w / voting_total, &probs);
@@ -346,6 +464,8 @@ impl MultiGranularity {
             level.trainer.model_mut().set_parameters(p);
             level.updates = level.updates.max(1);
             level.trusted = true;
+            // Async results trained before the restore are stale now.
+            level.pending.clear();
         }
     }
 
@@ -520,10 +640,7 @@ mod tests {
         // Query projected exactly at the short model's last batch.
         let short_pred = {
             let probs = mg.levels[0].trainer.model().predict_proba(&x);
-            probs
-                .row_iter()
-                .map(|r| vector::argmax(r).unwrap_or(0))
-                .collect::<Vec<_>>()
+            probs.row_iter().map(|r| vector::argmax(r).unwrap_or(0)).collect::<Vec<_>>()
         };
         let ens_pred = mg.predict(&x, &p);
         assert_eq!(short_pred, ens_pred, "at D_short = 0 the short model dominates enough");
@@ -598,11 +715,7 @@ mod warmstart_tests {
         // (one refinement epoch of distance at most).
         let short = mg.short_model().parameters();
         let long = mg.long_model().parameters();
-        let gap: f64 = short
-            .iter()
-            .zip(&long)
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max);
+        let gap: f64 = short.iter().zip(&long).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max);
         // Before the fix the long model sat at initialisation (far from
         // the trained short model); warm-start bounds the gap by one
         // window pass.

@@ -57,7 +57,13 @@ impl KnowledgeStore {
 
     /// Preserves a knowledge pair, spilling the older half to the archive
     /// when full (§V-A3).
-    pub fn preserve(&mut self, distribution: Vec<f64>, model: &dyn Model, spec: ModelSpec, disorder: f64) {
+    pub fn preserve(
+        &mut self,
+        distribution: Vec<f64>,
+        model: &dyn Model,
+        spec: ModelSpec,
+        disorder: f64,
+    ) {
         self.preserve_dedup(distribution, model, spec, disorder, 0.0);
     }
 
@@ -113,7 +119,11 @@ impl KnowledgeStore {
 
     /// The knowledge-match rule of §IV-D: reuse the nearest entry only if
     /// its distance beats the current shift distance `d_t`.
-    pub fn match_knowledge(&self, projected: &[f64], current_shift: f64) -> Option<&KnowledgeEntry> {
+    pub fn match_knowledge(
+        &self,
+        projected: &[f64],
+        current_shift: f64,
+    ) -> Option<&KnowledgeEntry> {
         self.nearest(projected).and_then(
             |(entry, dist)| {
                 if dist < current_shift {
@@ -140,7 +150,12 @@ impl KnowledgeStore {
 
     /// Re-inserts a checkpointed entry verbatim (capacity still applies;
     /// overflow spills to the archive as usual).
-    pub fn restore_entry(&mut self, distribution: Vec<f64>, snapshot: ModelSnapshot, disorder: f64) {
+    pub fn restore_entry(
+        &mut self,
+        distribution: Vec<f64>,
+        snapshot: ModelSnapshot,
+        disorder: f64,
+    ) {
         if self.entries.len() >= self.capacity {
             let spill = self.capacity / 2;
             for entry in self.entries.drain(..spill.max(1)) {

@@ -107,12 +107,7 @@ mod tests {
         let mut restored = restored;
         let report = restored.infer(&x);
         let original_short = learner.granularity().short_model().predict(&x);
-        let agree = report
-            .predictions
-            .iter()
-            .zip(&original_short)
-            .filter(|(a, b)| a == b)
-            .count();
+        let agree = report.predictions.iter().zip(&original_short).filter(|(a, b)| a == b).count();
         assert!(
             agree as f64 / x.rows() as f64 > 0.9,
             "restored learner must behave like the original: {agree}/{}",
@@ -150,10 +145,7 @@ mod tests {
             correct += report.predictions.iter().zip(&y).filter(|(p, t)| p == t).count();
             total += y.len();
         }
-        assert!(
-            correct as f64 / total as f64 > 0.8,
-            "post-restore accuracy {correct}/{total}"
-        );
+        assert!(correct as f64 / total as f64 > 0.8, "post-restore accuracy {correct}/{total}");
     }
 
     #[test]

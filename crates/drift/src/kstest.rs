@@ -120,8 +120,7 @@ mod tests {
 
     fn normal_batch(n: usize, dim: usize, mean: f64, std: f64, seed: u64) -> Matrix {
         let mut rng = stream_rng(seed);
-        let data =
-            (0..n * dim).map(|_| mean + std * sample_standard_normal(&mut rng)).collect();
+        let data = (0..n * dim).map(|_| mean + std * sample_standard_normal(&mut rng)).collect();
         Matrix::from_vec(n, dim, data)
     }
 

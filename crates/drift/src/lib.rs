@@ -30,9 +30,9 @@ pub mod shift;
 
 pub use adwin::Adwin;
 pub use ddm::{Ddm, DriftLevel, Eddm};
+pub use disorder::{inversion_count, normalized_disorder};
 pub use kstest::{ks_statistic, KsDetector};
 pub use page_hinkley::PageHinkley;
-pub use disorder::{inversion_count, normalized_disorder};
 pub use pattern::{classify, ShiftPattern};
 pub use pca::PcaReducer;
 pub use shift::{ShiftMeasurement, ShiftTracker, ShiftTrackerConfig};

@@ -152,8 +152,7 @@ impl ShiftTracker {
                 self.warmup = None;
                 // The warm-up tail also serves as the first reference point.
                 let mean = batch.column_means();
-                let projected =
-                    self.pca.as_ref().expect("just fitted").project_mean(&mean);
+                let projected = self.pca.as_ref().expect("just fitted").project_mean(&mean);
                 self.previous = Some(projected);
             }
             return None;
@@ -230,8 +229,8 @@ impl ShiftTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use freeway_streams::concept::GmmConcept;
     use freeway_streams::concept::stream_rng;
+    use freeway_streams::concept::GmmConcept;
 
     fn config() -> ShiftTrackerConfig {
         ShiftTrackerConfig {

@@ -1,0 +1,29 @@
+//! Serial-vs-pooled throughput comparison over the Figure-10 workload.
+//!
+//! Writes `results/BENCH_throughput.json`: items/second per framework,
+//! batch size, and worker-pool size (1 = serial, plus the host's core
+//! count unless `FREEWAY_THREADS_SWEEP` overrides the pooled size).
+
+use freeway_eval::experiments::{common, fig10, ModelFamily, Scale};
+
+fn main() {
+    let mut scale = Scale::from_env();
+    if std::env::var("FREEWAY_BATCHES").is_err() {
+        scale.batches = 30;
+    }
+    let cores = std::thread::available_parallelism().map_or(1, usize::from);
+    let pooled = std::env::var("FREEWAY_THREADS_SWEEP")
+        .ok()
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(cores)
+        .max(2);
+    eprintln!("Throughput comparison at {scale:?}, pool sizes [1, {pooled}] on {cores} cores");
+    let result = fig10::run_thread_comparison(
+        &scale,
+        &[ModelFamily::Lr, ModelFamily::Mlp],
+        &[256, 1024, 2048],
+        &[1, pooled],
+    );
+    println!("{}", result.render());
+    common::save_json("BENCH_throughput", &result);
+}

@@ -25,7 +25,11 @@ fn main() {
     if let Some(t) = load("fig2") {
         println!("## Figure 2 — shift-distance vs accuracy-drop correlation");
         for g in t["graphs"].as_array().into_iter().flatten() {
-            println!("  {:<12} {:+.3}", g["dataset"].as_str().unwrap_or("?"), f(&g["drop_correlation"]));
+            println!(
+                "  {:<12} {:+.3}",
+                g["dataset"].as_str().unwrap_or("?"),
+                f(&g["drop_correlation"])
+            );
         }
         println!();
     }
@@ -79,9 +83,7 @@ fn main() {
     if let Some(t) = load("table2") {
         println!("## Table II — improvement vs plain StreamingMLP (%)");
         for r in t["rows"].as_array().into_iter().flatten() {
-            let cell = |k: &str| {
-                r[k].as_f64().map_or("n/a".to_string(), |v| format!("{v:+.1}"))
-            };
+            let cell = |k: &str| r[k].as_f64().map_or("n/a".to_string(), |v| format!("{v:+.1}"));
             println!(
                 "  {:<12} slight {}  sudden {}  reoccurring {}",
                 r["dataset"].as_str().unwrap_or("?"),
@@ -166,9 +168,8 @@ fn main() {
     if let Some(t) = load("fig11") {
         println!("## Figure 11 — per-pattern accuracy (%)");
         for r in t["rows"].as_array().into_iter().flatten() {
-            let cell = |k: &str| {
-                r[k].as_f64().map_or("n/a".into(), |v| format!("{:.1}", v * 100.0))
-            };
+            let cell =
+                |k: &str| r[k].as_f64().map_or("n/a".into(), |v| format!("{:.1}", v * 100.0));
             println!(
                 "  {:<12} slight {}  sudden {}  reoccurring {}",
                 r["system"].as_str().unwrap_or("?"),

@@ -45,13 +45,7 @@ pub struct Ablations {
     pub entries: Vec<Entry>,
 }
 
-fn measure(
-    ablation: &str,
-    variant: &str,
-    ds: &str,
-    config: FreewayConfig,
-    scale: &Scale,
-) -> Entry {
+fn measure(ablation: &str, variant: &str, ds: &str, config: FreewayConfig, scale: &Scale) -> Entry {
     let mut generator = dataset(ds, scale.seed);
     let spec = ModelFamily::Mlp.spec(generator.num_features(), generator.num_classes());
     let mut learner = FreewaySystem::with_config(spec, config);
@@ -178,13 +172,8 @@ mod tests {
         let scale = Scale { batches: 40, ..Scale::tiny() };
         let base = freeway_config(&scale);
         let on = measure("cec", "on", "NSL-KDD", base.clone(), &scale);
-        let off = measure(
-            "cec",
-            "off",
-            "NSL-KDD",
-            FreewayConfig { enable_cec: false, ..base },
-            &scale,
-        );
+        let off =
+            measure("cec", "off", "NSL-KDD", FreewayConfig { enable_cec: false, ..base }, &scale);
         assert!(on.g_acc > 0.0 && off.g_acc > 0.0);
     }
 }

@@ -93,11 +93,10 @@ impl Extended {
             .map(|sys| {
                 let mut row = vec![sys.clone()];
                 for d in &datasets {
-                    let cell =
-                        self.cells.iter().find(|c| &c.system == sys && &c.dataset == d);
-                    row.push(cell.map_or("-".into(), |c| {
-                        format!("{} / {:.3}", pct(c.g_acc), c.si)
-                    }));
+                    let cell = self.cells.iter().find(|c| &c.system == sys && &c.dataset == d);
+                    row.push(
+                        cell.map_or("-".into(), |c| format!("{} / {:.3}", pct(c.g_acc), c.si)),
+                    );
                 }
                 row
             })

@@ -4,7 +4,7 @@
 //! sizes 256–2048; throughput is total items divided by total processing
 //! time (the figure's y-axis).
 
-use crate::experiments::common::{build_system, ModelFamily, Scale};
+use crate::experiments::common::{build_system, build_system_threaded, ModelFamily, Scale};
 use crate::prequential::run_prequential;
 use freeway_streams::Hyperplane;
 use serde::Serialize;
@@ -68,6 +68,123 @@ pub fn run_families(scale: &Scale, families: &[ModelFamily], batch_sizes: &[usiz
     Fig10 { points }
 }
 
+/// One throughput point at an explicit worker-pool size.
+#[derive(Clone, Debug, Serialize)]
+pub struct ThreadedPoint {
+    /// Model family tag.
+    pub model: String,
+    /// System name.
+    pub system: String,
+    /// Batch size.
+    pub batch_size: usize,
+    /// Worker-pool size the point was measured at (1 = serial).
+    pub threads: usize,
+    /// Measured throughput (items/second).
+    pub items_per_sec: f64,
+}
+
+/// Serial-vs-pooled throughput comparison (the machine-readable
+/// `results/BENCH_throughput.json` artifact).
+#[derive(Clone, Debug, Serialize)]
+pub struct BenchThroughput {
+    /// Cores available on the measuring host (context for the numbers).
+    pub host_cores: usize,
+    /// All measured points.
+    pub points: Vec<ThreadedPoint>,
+}
+
+/// Runs the Figure-10 sweep once per entry of `thread_counts`, with the
+/// process-wide worker pool configured to that size for the whole pass.
+/// Every framework is measured at every size: the baselines share the
+/// parallel linalg kernels, and FreewayML additionally turns on
+/// data-parallel gradients when the pool is parallel.
+pub fn run_thread_comparison(
+    scale: &Scale,
+    families: &[ModelFamily],
+    batch_sizes: &[usize],
+    thread_counts: &[usize],
+) -> BenchThroughput {
+    let mut points = Vec::new();
+    for &threads in thread_counts {
+        freeway_linalg::pool::configure(threads);
+        for &family in families {
+            let mut systems: Vec<&str> = family.paper_baselines().to_vec();
+            systems.push("freewayml");
+            for &bs in batch_sizes {
+                for sys in &systems {
+                    let mut generator = Hyperplane::new(10, 0.02, 0.05, scale.seed);
+                    let point_scale = Scale { batch_size: bs, ..*scale };
+                    let mut learner =
+                        build_system_threaded(sys, family, 10, 2, &point_scale, threads);
+                    let result = run_prequential(
+                        learner.as_mut(),
+                        &mut generator,
+                        scale.batches,
+                        bs,
+                        scale.warmup,
+                    );
+                    points.push(ThreadedPoint {
+                        model: format!("Streaming{}", family.tag()),
+                        system: result.system.clone(),
+                        batch_size: bs,
+                        threads,
+                        items_per_sec: result.throughput_items_per_sec(),
+                    });
+                }
+            }
+        }
+    }
+    // Leave the pool the way library defaults expect it.
+    freeway_linalg::pool::configure(1);
+    BenchThroughput {
+        host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        points,
+    }
+}
+
+impl BenchThroughput {
+    /// Renders one block per (family, thread count): rows = system,
+    /// columns = batch size, cells = items/s.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let mut keys: Vec<(String, usize)> =
+            self.points.iter().map(|p| (p.model.clone(), p.threads)).collect();
+        keys.dedup();
+        for (model, threads) in keys {
+            out.push_str(&format!(
+                "== Throughput (items/s), {model}, {threads} thread(s) of {} ==\n",
+                self.host_cores
+            ));
+            let in_block: Vec<&ThreadedPoint> =
+                self.points.iter().filter(|p| p.model == model && p.threads == threads).collect();
+            let mut sizes: Vec<usize> = in_block.iter().map(|p| p.batch_size).collect();
+            sizes.sort_unstable();
+            sizes.dedup();
+            let mut systems = Vec::new();
+            for p in &in_block {
+                if !systems.contains(&p.system) {
+                    systems.push(p.system.clone());
+                }
+            }
+            let mut header = vec!["System".to_string()];
+            header.extend(sizes.iter().map(|s| s.to_string()));
+            let rows: Vec<Vec<String>> = systems
+                .iter()
+                .map(|sys| {
+                    let mut row = vec![sys.clone()];
+                    for &s in &sizes {
+                        let p = in_block.iter().find(|p| &p.system == sys && p.batch_size == s);
+                        row.push(p.map_or("-".into(), |p| format!("{:.0}", p.items_per_sec)));
+                    }
+                    row
+                })
+                .collect();
+            out.push_str(&crate::metrics::render_table(&header, &rows));
+        }
+        out
+    }
+}
+
 impl Fig10 {
     /// Renders one series block per family: rows = system, columns =
     /// batch size, cells = items/s.
@@ -84,8 +201,7 @@ impl Fig10 {
         };
         for model in models {
             out.push_str(&format!("== Throughput (items/s), {model} ==\n"));
-            let in_model: Vec<&Point> =
-                self.points.iter().filter(|p| p.model == model).collect();
+            let in_model: Vec<&Point> = self.points.iter().filter(|p| p.model == model).collect();
             let mut sizes: Vec<usize> = in_model.iter().map(|p| p.batch_size).collect();
             sizes.sort_unstable();
             sizes.dedup();
@@ -102,9 +218,7 @@ impl Fig10 {
                 .map(|sys| {
                     let mut row = vec![sys.clone()];
                     for &s in &sizes {
-                        let p = in_model
-                            .iter()
-                            .find(|p| &p.system == sys && p.batch_size == s);
+                        let p = in_model.iter().find(|p| &p.system == sys && p.batch_size == s);
                         row.push(p.map_or("-".into(), |p| format!("{:.0}", p.items_per_sec)));
                     }
                     row
@@ -119,6 +233,18 @@ impl Fig10 {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn thread_comparison_covers_every_pool_size() {
+        let scale = Scale { batches: 4, ..Scale::tiny() };
+        let b = run_thread_comparison(&scale, &[ModelFamily::Lr], &[64], &[1, 2]);
+        assert_eq!(b.points.len(), 4 * 2, "4 systems x 2 pool sizes");
+        for p in &b.points {
+            assert!(p.items_per_sec > 0.0, "{p:?}");
+            assert!(p.threads == 1 || p.threads == 2);
+        }
+        assert!(b.render().contains("thread(s)"));
+    }
 
     #[test]
     fn sweep_produces_positive_throughput() {

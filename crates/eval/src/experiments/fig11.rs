@@ -57,13 +57,8 @@ pub fn run_on(scale: &Scale, datasets: &[&str]) -> Fig11 {
         let mut display_name = String::new();
         for ds in datasets {
             let mut generator = dataset(ds, scale.seed);
-            let mut learner = build_system(
-                sys,
-                family,
-                generator.num_features(),
-                generator.num_classes(),
-                scale,
-            );
+            let mut learner =
+                build_system(sys, family, generator.num_features(), generator.num_classes(), scale);
             let r = run_prequential(
                 learner.as_mut(),
                 generator.as_mut(),
@@ -114,9 +109,7 @@ impl Fig11 {
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
-            .map(|r| {
-                vec![r.system.clone(), fmt(&r.slight), fmt(&r.sudden), fmt(&r.reoccurring)]
-            })
+            .map(|r| vec![r.system.clone(), fmt(&r.slight), fmt(&r.sudden), fmt(&r.reoccurring)])
             .collect();
         format!(
             "== Per-pattern accuracy over {:?} ==\n{}",

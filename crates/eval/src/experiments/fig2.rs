@@ -82,8 +82,7 @@ pub fn run(scale: &Scale) -> Fig2 {
 }
 
 fn run_one(mut generator: Box<dyn StreamGenerator>, scale: &Scale) -> ShiftGraph {
-    let spec =
-        ModelFamily::Mlp.spec(generator.num_features(), generator.num_classes());
+    let spec = ModelFamily::Mlp.spec(generator.num_features(), generator.num_classes());
     let mut learner = PlainSgd::new(spec, scale.seed);
     let mut tracker = ShiftTracker::new(ShiftTrackerConfig {
         warmup_rows: (scale.warmup.max(1) * scale.batch_size).min(512),
@@ -170,8 +169,7 @@ mod tests {
         }
         // The paper's core finding: at least on the jumpy streams, bigger
         // shifts correlate with bigger accuracy drops.
-        let max_corr =
-            self::tests::max_correlation(&f);
+        let max_corr = self::tests::max_correlation(&f);
         assert!(max_corr > 0.1, "some stream must show the correlation: {max_corr}");
         assert!(f.render().contains("Electricity"));
     }

@@ -12,7 +12,9 @@
 //! Figure 9 uses the MLP family on the four real datasets; Figure 12 is
 //! the same study with the CNN family plus the two image streams.
 
-use crate::experiments::common::{build_freeway_variant, build_system, dataset, ModelFamily, Scale};
+use crate::experiments::common::{
+    build_freeway_variant, build_system, dataset, ModelFamily, Scale,
+};
 use crate::prequential::{run_prequential, PrequentialResult};
 use freeway_baselines::StreamingLearner;
 use freeway_streams::StreamGenerator;
@@ -83,8 +85,7 @@ pub fn run(family: ModelFamily, datasets: &[&str], scale: &Scale) -> MechanismCu
         // Plain baseline (the dashed line).
         {
             let g = generator_for(ds, scale.seed);
-            let mut plain =
-                build_system("plain", family, g.num_features(), g.num_classes(), scale);
+            let mut plain = build_system("plain", family, g.num_features(), g.num_classes(), scale);
             let r = run_variant(plain.as_mut());
             phases.extend(r.phases.iter().map(|p| format!("{p:?}")));
             curves.push(record(&r, "plain"));

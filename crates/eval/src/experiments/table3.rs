@@ -83,10 +83,7 @@ impl Table3 {
             }
         }
         for model in &models {
-            for (phase, pick) in [
-                ("update", true),
-                ("infer", false),
-            ] {
+            for (phase, pick) in [("update", true), ("infer", false)] {
                 out.push_str(&format!("== {model}_{phase} latency (µs/batch) ==\n"));
                 let in_model: Vec<&Point> =
                     self.points.iter().filter(|p| &p.model == model).collect();
@@ -106,9 +103,7 @@ impl Table3 {
                     .map(|sys| {
                         let mut row = vec![sys.clone()];
                         for &s in &sizes {
-                            let p = in_model
-                                .iter()
-                                .find(|p| &p.system == sys && p.batch_size == s);
+                            let p = in_model.iter().find(|p| &p.system == sys && p.batch_size == s);
                             row.push(p.map_or("-".into(), |p| {
                                 let v = if pick { p.update_us } else { p.infer_us };
                                 format!("{v:.0}")

@@ -79,11 +79,7 @@ pub fn cohens_kappa(predictions: &[usize], labels: &[usize], classes: usize) -> 
         }
     }
     let po = agree / n;
-    let pe: f64 = pred_counts
-        .iter()
-        .zip(&label_counts)
-        .map(|(p, l)| (p / n) * (l / n))
-        .sum();
+    let pe: f64 = pred_counts.iter().zip(&label_counts).map(|(p, l)| (p / n) * (l / n)).sum();
     if (1.0 - pe).abs() < 1e-12 {
         return 0.0;
     }
@@ -102,11 +98,8 @@ pub fn render_table(header: &[String], rows: &[Vec<String>]) -> String {
     }
     let mut out = String::new();
     let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-        let padded: Vec<String> = cells
-            .iter()
-            .zip(widths)
-            .map(|(c, w)| format!("{c:<w$}", w = w))
-            .collect();
+        let padded: Vec<String> =
+            cells.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
         format!("| {} |", padded.join(" | "))
     };
     out.push_str(&fmt_row(header, &widths));

@@ -64,8 +64,7 @@ impl PrequentialResult {
     /// Throughput in items per second over the whole run (inference +
     /// training time).
     pub fn throughput_items_per_sec(&self) -> f64 {
-        let total_us: f64 =
-            self.infer_us.iter().sum::<f64>() + self.train_us.iter().sum::<f64>();
+        let total_us: f64 = self.infer_us.iter().sum::<f64>() + self.train_us.iter().sum::<f64>();
         if total_us <= 0.0 {
             return 0.0;
         }

@@ -146,11 +146,7 @@ mod tests {
 
     #[test]
     fn diagonal_matrix_eigenvalues_are_its_diagonal_sorted() {
-        let m = Matrix::from_rows(&[
-            vec![2.0, 0.0, 0.0],
-            vec![0.0, 5.0, 0.0],
-            vec![0.0, 0.0, 1.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![2.0, 0.0, 0.0], vec![0.0, 5.0, 0.0], vec![0.0, 0.0, 1.0]]);
         let e = jacobi_eigen(&m, 1e-12, 50);
         assert_close(e.values[0], 5.0, 1e-9);
         assert_close(e.values[1], 2.0, 1e-9);
@@ -172,11 +168,7 @@ mod tests {
 
     #[test]
     fn eigenvectors_are_orthonormal() {
-        let m = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 1.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 1.0]]);
         let e = jacobi_eigen(&m, 1e-12, 100);
         for i in 0..3 {
             for j in 0..3 {
@@ -188,11 +180,7 @@ mod tests {
 
     #[test]
     fn reconstruction_matches_original() {
-        let m = Matrix::from_rows(&[
-            vec![4.0, 1.0, 0.5],
-            vec![1.0, 3.0, 0.2],
-            vec![0.5, 0.2, 1.0],
-        ]);
+        let m = Matrix::from_rows(&[vec![4.0, 1.0, 0.5], vec![1.0, 3.0, 0.2], vec![0.5, 0.2, 1.0]]);
         let e = jacobi_eigen(&m, 1e-12, 100);
         // Reconstruct V * diag(values) * V^T.
         let mut lam = Matrix::zeros(3, 3);

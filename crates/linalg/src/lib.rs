@@ -12,14 +12,19 @@
 //! * [`stats`] — batch mean, covariance, and distance helpers used by the
 //!   shift graph (Equations 2–7 of the paper).
 //! * [`vector`] — free functions over `&[f64]` slices.
+//! * [`pool`] — persistent worker pool backing the parallel kernels;
+//!   serial by default, sized via `FreewayConfig` or `FREEWAY_THREADS`.
 //!
-//! All random initialisation is seeded; no global RNG state is used.
+//! All random initialisation is seeded; no global RNG state is used, and
+//! every parallel kernel is bit-identical to its serial form for any
+//! thread count (reductions run in a fixed order on the calling thread).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod eigen;
 pub mod matrix;
+pub mod pool;
 pub mod stats;
 pub mod vector;
 

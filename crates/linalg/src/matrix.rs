@@ -17,6 +17,18 @@ pub struct Matrix {
     data: Vec<f64>,
 }
 
+/// Minimum `rows * cols * rhs.cols` before [`Matrix::matmul`] goes
+/// parallel; below this the channel round-trip costs more than the math.
+pub const PAR_MATMUL_MIN_FLOPS: usize = 64 * 1024;
+
+/// Minimum `rows * cols` before [`Matrix::matvec`] goes parallel.
+pub const PAR_MATVEC_MIN_ELEMS: usize = 64 * 1024;
+
+/// Fixed accumulation chunk for [`Matrix::t_matvec`]. Partial sums are
+/// produced per chunk and combined in chunk order, so results depend on
+/// this constant and the row count — never on the thread count.
+pub const T_MATVEC_CHUNK_ROWS: usize = 256;
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -143,6 +155,9 @@ impl Matrix {
     ///
     /// Uses the i-k-j loop order so the inner loop walks both operands
     /// contiguously, which matters for the hot MLP forward/backward passes.
+    /// Large products are split across the global worker pool by output
+    /// row; each row's arithmetic is unchanged, so the result is
+    /// bit-identical to the serial computation for any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
@@ -152,42 +167,168 @@ impl Matrix {
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
-        let mut out = Matrix::zeros(self.rows, rhs.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * rhs.cols..(i + 1) * rhs.cols];
-            for (k, &a_ik) in a_row.iter().enumerate() {
-                if a_ik == 0.0 {
-                    continue;
-                }
-                let b_row = rhs.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a_ik * b;
-                }
+        let flops = self.rows * self.cols * rhs.cols;
+        if self.rows < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
+            let mut out = Matrix::zeros(self.rows, rhs.cols);
+            for (i, out_row) in out.data.chunks_mut(rhs.cols.max(1)).enumerate() {
+                self.matmul_row_into(rhs, i, out_row);
             }
+            return out;
         }
+        self.matmul_with(rhs, &crate::pool::global())
+    }
+
+    /// [`Self::matmul`] on an explicit pool, bypassing the size gate.
+    /// Exposed so tests can compare pool sizes side by side.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_with(&self, rhs: &Matrix, pool: &crate::pool::WorkerPool) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.rows,
+            "matmul dimension mismatch: {}x{} * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        if self.rows == 0 {
+            return out;
+        }
+        let out_cols = rhs.cols.max(1);
+        let chunk_rows = self.rows.div_ceil(pool.threads());
+        let tasks: Vec<crate::pool::Task<'_>> = out
+            .data
+            .chunks_mut((chunk_rows * out_cols).max(1))
+            .enumerate()
+            .map(|(chunk, out_chunk)| {
+                let row0 = chunk * chunk_rows;
+                Box::new(move || {
+                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
+                        self.matmul_row_into(rhs, row0 + offset, out_row);
+                    }
+                }) as crate::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
         out
     }
 
+    /// Computes one output row of `self * rhs` into `out_row`.
+    #[inline]
+    fn matmul_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f64]) {
+        let a_row = self.row(i);
+        for (k, &a_ik) in a_row.iter().enumerate() {
+            let b_row = rhs.row(k);
+            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                *o += a_ik * b;
+            }
+        }
+    }
+
     /// Matrix-vector product `self * v`.
+    ///
+    /// Large products are split across the global worker pool by output
+    /// row; bit-identical to serial for any thread count.
     ///
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
-        self.row_iter().map(|row| crate::vector::dot(row, v)).collect()
+        if self.rows < 2
+            || self.rows * self.cols < PAR_MATVEC_MIN_ELEMS
+            || crate::pool::configured_threads() == 1
+        {
+            return self.row_iter().map(|row| crate::vector::dot(row, v)).collect();
+        }
+        self.matvec_with(v, &crate::pool::global())
+    }
+
+    /// [`Self::matvec`] on an explicit pool, bypassing the size gate.
+    /// Exposed so tests can compare pool sizes side by side.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec_with(&self, v: &[f64], pool: &crate::pool::WorkerPool) -> Vec<f64> {
+        assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        let mut out = vec![0.0; self.rows];
+        if self.rows == 0 {
+            return out;
+        }
+        let chunk_rows = self.rows.div_ceil(pool.threads());
+        let tasks: Vec<crate::pool::Task<'_>> = out
+            .chunks_mut(chunk_rows)
+            .enumerate()
+            .map(|(chunk, out_chunk)| {
+                let row0 = chunk * chunk_rows;
+                Box::new(move || {
+                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
+                        *slot = crate::vector::dot(self.row(row0 + offset), v);
+                    }
+                }) as crate::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        out
     }
 
     /// Transposed matrix-vector product `self^T * v`.
+    ///
+    /// Rows are accumulated in fixed chunks of [`T_MATVEC_CHUNK_ROWS`]
+    /// whose partial sums are combined in chunk order on the calling
+    /// thread. The chunking depends only on `self.rows()`, so the result
+    /// is bit-identical for any thread count (including fully serial).
     ///
     /// # Panics
     /// Panics if `v.len() != self.rows()`.
     pub fn t_matvec(&self, v: &[f64]) -> Vec<f64> {
         assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
+        if self.rows <= T_MATVEC_CHUNK_ROWS || crate::pool::configured_threads() == 1 {
+            // A single chunk — or chunks run inline in order — reduces
+            // exactly like the pooled path, so this stays bit-identical.
+            return self.t_matvec_with(v, &crate::pool::WorkerPool::new(1));
+        }
+        self.t_matvec_with(v, &crate::pool::global())
+    }
+
+    /// [`Self::t_matvec`] on an explicit pool, bypassing the size gate.
+    /// Exposed so tests can compare pool sizes side by side.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn t_matvec_with(&self, v: &[f64], pool: &crate::pool::WorkerPool) -> Vec<f64> {
+        assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
+        let chunks = self.rows.div_ceil(T_MATVEC_CHUNK_ROWS);
+        if chunks <= 1 {
+            return self.t_matvec_range(v, 0, self.rows);
+        }
+        let mut partials: Vec<Vec<f64>> = vec![Vec::new(); chunks];
+        let tasks: Vec<crate::pool::Task<'_>> = partials
+            .iter_mut()
+            .enumerate()
+            .map(|(chunk, slot)| {
+                Box::new(move || {
+                    let start = chunk * T_MATVEC_CHUNK_ROWS;
+                    let end = (start + T_MATVEC_CHUNK_ROWS).min(self.rows);
+                    *slot = self.t_matvec_range(v, start, end);
+                }) as crate::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+        let mut iter = partials.into_iter();
+        let mut out = iter.next().expect("at least one chunk");
+        for partial in iter {
+            for (o, x) in out.iter_mut().zip(partial) {
+                *o += x;
+            }
+        }
+        out
+    }
+
+    /// Sequential `self[start..end]^T * v[start..end]` partial sum.
+    fn t_matvec_range(&self, v: &[f64], start: usize, end: usize) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
-        for (row, &vi) in self.row_iter().zip(v) {
-            for (o, &x) in out.iter_mut().zip(row) {
-                *o += vi * x;
+        for (r, &vr) in v.iter().enumerate().take(end).skip(start) {
+            for (o, &x) in out.iter_mut().zip(self.row(r)) {
+                *o += vr * x;
             }
         }
         out

@@ -86,12 +86,8 @@ mod tests {
 
     #[test]
     fn covariance_of_uncorrelated_axes_is_diagonal() {
-        let m = Matrix::from_rows(&[
-            vec![1.0, 0.0],
-            vec![-1.0, 0.0],
-            vec![0.0, 2.0],
-            vec![0.0, -2.0],
-        ]);
+        let m =
+            Matrix::from_rows(&[vec![1.0, 0.0], vec![-1.0, 0.0], vec![0.0, 2.0], vec![0.0, -2.0]]);
         let c = covariance_matrix(&m);
         assert!((c[(0, 0)] - 0.5).abs() < 1e-12);
         assert!((c[(1, 1)] - 2.0).abs() < 1e-12);

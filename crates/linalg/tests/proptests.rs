@@ -1,5 +1,6 @@
 //! Property-based tests for the linear-algebra substrate.
 
+use freeway_linalg::pool::WorkerPool;
 use freeway_linalg::{jacobi_eigen, Matrix};
 use freeway_linalg::{stats, vector};
 use proptest::prelude::*;
@@ -109,6 +110,62 @@ proptest! {
                 prop_assert!((d - expected).abs() < 1e-7);
             }
         }
+    }
+
+    // Determinism contract of the worker pool (see `pool` module docs):
+    // every parallel kernel must be BIT-identical — `==`, not approximate
+    // — for any pool size, because chunk boundaries and reduction order
+    // are fixed by the input shape, never by the thread count.
+
+    #[test]
+    fn parallel_matmul_is_bit_identical_across_pool_sizes(
+        rows in 1usize..24,
+        inner in 1usize..12,
+        cols in 1usize..12,
+        data in prop::collection::vec(-10.0..10.0f64, 24 * 12 + 12 * 12),
+    ) {
+        let a = Matrix::from_vec(rows, inner, data[..rows * inner].to_vec());
+        let b_off = 24 * 12;
+        let b = Matrix::from_vec(inner, cols, data[b_off..b_off + inner * cols].to_vec());
+        let serial = a.matmul_with(&b, &WorkerPool::new(1));
+        for threads in [2usize, 8] {
+            let parallel = a.matmul_with(&b, &WorkerPool::new(threads));
+            prop_assert_eq!(&serial, &parallel);
+        }
+        prop_assert_eq!(&serial, &a.matmul(&b));
+    }
+
+    #[test]
+    fn parallel_matvec_is_bit_identical_across_pool_sizes(
+        rows in 1usize..40,
+        cols in 1usize..10,
+        data in prop::collection::vec(-10.0..10.0f64, 40 * 10 + 10),
+    ) {
+        let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let v = data[40 * 10..40 * 10 + cols].to_vec();
+        let serial = m.matvec_with(&v, &WorkerPool::new(1));
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&serial, &m.matvec_with(&v, &WorkerPool::new(threads)));
+        }
+        prop_assert_eq!(&serial, &m.matvec(&v));
+    }
+
+    #[test]
+    fn parallel_t_matvec_is_bit_identical_across_pool_sizes(
+        // Rows straddle the fixed 256-row chunk boundary so multi-chunk
+        // reduction (the only path where order could matter) is hit.
+        rows in 200usize..600,
+        cols in 1usize..6,
+        seed in 0u64..1000,
+    ) {
+        let fill = |i: usize| ((i as f64 + seed as f64) * 0.37).sin() * 3.0;
+        let m = Matrix::from_vec(rows, cols, (0..rows * cols).map(fill).collect());
+        let v: Vec<f64> = (0..rows).map(|i| fill(i + 7)).collect();
+        let serial = m.t_matvec_with(&v, &WorkerPool::new(1));
+        for threads in [2usize, 8] {
+            prop_assert_eq!(&serial, &m.t_matvec_with(&v, &WorkerPool::new(threads)));
+        }
+        prop_assert_eq!(&serial, &m.t_matvec(&v));
     }
 
     #[test]

@@ -36,13 +36,16 @@ impl Cnn1d {
     /// # Panics
     /// Panics unless `features >= kernel + 1` (so at least one pooled
     /// position exists) and `classes >= 2`.
-    pub fn new(features: usize, num_filters: usize, kernel: usize, classes: usize, seed: u64) -> Self {
+    pub fn new(
+        features: usize,
+        num_filters: usize,
+        kernel: usize,
+        classes: usize,
+        seed: u64,
+    ) -> Self {
         assert!(classes >= 2, "need at least two classes");
         assert!(kernel >= 1 && num_filters >= 1, "kernel and filter count must be positive");
-        assert!(
-            features > kernel,
-            "features ({features}) must exceed the kernel width ({kernel})"
-        );
+        assert!(features > kernel, "features ({features}) must exceed the kernel width ({kernel})");
         let conv_len = features - kernel + 1;
         let pooled = conv_len / 2;
         assert!(pooled >= 1, "input too short for pooling");

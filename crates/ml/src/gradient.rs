@@ -9,7 +9,72 @@
 //! so the result is identical (up to float associativity) to one gradient
 //! over the concatenated data.
 
-use freeway_linalg::vector;
+use crate::model::Model;
+use freeway_linalg::{pool, vector, Matrix};
+
+/// Fixed shard size for [`sharded_gradient`]. Shard boundaries depend
+/// only on the batch size — never on the thread count — so the merged
+/// gradient is bit-identical for any pool size (including fully serial).
+pub const GRAD_SHARD_ROWS: usize = 256;
+
+/// Average gradient over a batch, computed data-parallel on `pool`.
+///
+/// The batch is split into fixed [`GRAD_SHARD_ROWS`]-row shards, each
+/// shard's average gradient is computed as an independent pool task
+/// (read-only model access), and the per-shard results are merged into
+/// one weighted average *in shard order on the calling thread* via
+/// [`PrecomputeAccumulator`]. Batches of at most one shard take the
+/// plain [`Model::gradient`] path unchanged, so small mini-batches keep
+/// their exact serial numerics.
+///
+/// # Panics
+/// Panics if `y` (or `weights`, when given) does not match `x.rows()`.
+pub fn sharded_gradient(
+    model: &dyn Model,
+    x: &Matrix,
+    y: &[usize],
+    weights: Option<&[f64]>,
+    pool: &pool::WorkerPool,
+) -> Vec<f64> {
+    assert_eq!(x.rows(), y.len(), "sharded_gradient label mismatch");
+    if let Some(w) = weights {
+        assert_eq!(w.len(), y.len(), "sharded_gradient weights mismatch");
+    }
+    let rows = x.rows();
+    if rows <= GRAD_SHARD_ROWS {
+        return model.gradient(x, y, weights);
+    }
+    let shards = rows.div_ceil(GRAD_SHARD_ROWS);
+    let mut partials: Vec<(Vec<f64>, f64)> = vec![(Vec::new(), 0.0); shards];
+    let tasks: Vec<pool::Task<'_>> = partials
+        .iter_mut()
+        .enumerate()
+        .map(|(shard, slot)| {
+            Box::new(move || {
+                let start = shard * GRAD_SHARD_ROWS;
+                let end = (start + GRAD_SHARD_ROWS).min(rows);
+                let idx: Vec<usize> = (start..end).collect();
+                let sub_x = x.select_rows(&idx);
+                let sub_w = weights.map(|w| &w[start..end]);
+                let grad = model.gradient(&sub_x, &y[start..end], sub_w);
+                let weight = match sub_w {
+                    Some(w) => w.iter().sum(),
+                    None => (end - start) as f64,
+                };
+                *slot = (grad, weight);
+            }) as pool::Task<'_>
+        })
+        .collect();
+    pool.run(tasks);
+    let mut acc = PrecomputeAccumulator::new();
+    for (grad, weight) in &partials {
+        // Zero-weight shards (all-zero ASW decay) contribute nothing.
+        if *weight > 0.0 {
+            acc.add_subset(grad, *weight);
+        }
+    }
+    acc.take_merged().unwrap_or_else(|| vec![0.0; model.num_parameters()])
+}
 
 /// Accumulates per-subset average gradients into one weighted average.
 #[derive(Clone, Debug, Default)]
@@ -125,6 +190,23 @@ mod tests {
             assert!((a - b).abs() < 1e-12, "merge must equal full-batch gradient");
         }
         assert!(acc.is_empty(), "take_merged resets the window");
+    }
+
+    #[test]
+    fn sharded_gradient_matches_full_batch_and_is_pool_size_invariant() {
+        let rows: Vec<Vec<f64>> =
+            (0..600).map(|i| vec![(i as f64 * 0.13).sin(), (i as f64 * 0.07).cos()]).collect();
+        let x = Matrix::from_rows(&rows);
+        let y: Vec<usize> = (0..600).map(|i| i % 2).collect();
+        let model = SoftmaxRegression::with_seed(2, 2, 4);
+
+        let full = model.gradient(&x, &y, None);
+        let serial = sharded_gradient(&model, &x, &y, None, &pool::WorkerPool::new(1));
+        let parallel = sharded_gradient(&model, &x, &y, None, &pool::WorkerPool::new(4));
+        assert_eq!(serial, parallel, "sharding must not depend on pool size");
+        for (a, b) in full.iter().zip(&serial) {
+            assert!((a - b).abs() < 1e-12, "sharded merge must match full gradient");
+        }
     }
 
     #[test]

@@ -39,7 +39,7 @@ pub mod spec;
 pub mod trainer;
 
 pub use cnn::Cnn1d;
-pub use gradient::PrecomputeAccumulator;
+pub use gradient::{sharded_gradient, PrecomputeAccumulator, GRAD_SHARD_ROWS};
 pub use logistic::SoftmaxRegression;
 pub use mlp::Mlp;
 pub use model::Model;

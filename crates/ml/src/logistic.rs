@@ -64,7 +64,7 @@ impl Model for SoftmaxRegression {
     fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64> {
         let probs = self.predict_proba(x);
         let delta = loss::softmax_grad(&probs, y, weights); // n x classes
-        // grad_W = x^T delta ; grad_b = column sums of delta.
+                                                            // grad_W = x^T delta ; grad_b = column sums of delta.
         let grad_w = x.transpose().matmul(&delta);
         let grad_b = delta.column_sums();
         let mut flat = grad_w.into_vec();

@@ -23,10 +23,7 @@ pub trait Model: Send + Sync {
     /// Hard class predictions via argmax over probabilities.
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         let probs = self.predict_proba(x);
-        probs
-            .row_iter()
-            .map(|row| freeway_linalg::vector::argmax(row).unwrap_or(0))
-            .collect()
+        probs.row_iter().map(|row| freeway_linalg::vector::argmax(row).unwrap_or(0)).collect()
     }
 
     /// Mean cross-entropy of this model on a labeled batch.

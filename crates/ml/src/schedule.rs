@@ -82,11 +82,7 @@ impl crate::optim::Optimizer for Scheduled {
     }
 
     fn clone_optimizer(&self) -> Box<dyn crate::optim::Optimizer> {
-        Box::new(Self {
-            inner: self.inner.clone_optimizer(),
-            schedule: self.schedule,
-            t: self.t,
-        })
+        Box::new(Self { inner: self.inner.clone_optimizer(), schedule: self.schedule, t: self.t })
     }
 }
 

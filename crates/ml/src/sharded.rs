@@ -3,9 +3,9 @@
 //! The paper's future work is "optimizing the scalability of FreewayML
 //! … in distributed computing environments". This module provides the
 //! standard single-machine simulation of that setting: a batch is split
-//! across `K` shard models that compute gradients in parallel (scoped
-//! threads); shards apply local steps and re-synchronise by parameter
-//! averaging every `sync_every` steps. With `sync_every = 1` this is
+//! across `K` shard models that compute gradients in parallel (jobs on
+//! the global worker pool); shards apply local steps and re-synchronise
+//! by parameter averaging every `sync_every` steps. With `sync_every = 1` this is
 //! exactly synchronous data-parallel SGD (identical to single-model
 //! training up to float associativity); larger values trade consistency
 //! for fewer synchronisation barriers, as in federated/local-SGD
@@ -35,9 +35,8 @@ impl ShardedTrainer {
     ) -> Self {
         assert!(num_shards >= 1, "need at least one shard");
         assert!(sync_every >= 1, "sync interval must be positive");
-        let shards = (0..num_shards)
-            .map(|_| (model.clone_model(), optimizer.clone_optimizer()))
-            .collect();
+        let shards =
+            (0..num_shards).map(|_| (model.clone_model(), optimizer.clone_optimizer())).collect();
         Self { shards, sync_every, steps_since_sync: 0 }
     }
 
@@ -58,23 +57,27 @@ impl ShardedTrainer {
         assert!(x.rows() >= k, "batch of {} rows cannot feed {k} shards", x.rows());
         let chunk = x.rows().div_ceil(k);
 
-        // Phase 1: gradients in parallel (read-only model access).
-        let grads: Vec<Vec<f64>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter()
-                .enumerate()
-                .map(|(s, (model, _))| {
-                    let start = s * chunk;
-                    let end = ((s + 1) * chunk).min(x.rows());
-                    let idx: Vec<usize> = (start..end).collect();
-                    let sub_x = x.select_rows(&idx);
-                    let sub_y: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
-                    scope.spawn(move || model.gradient(&sub_x, &sub_y, None))
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("shard thread panicked")).collect()
-        });
+        // Phase 1: gradients in parallel (read-only model access). Each
+        // shard is one job on the persistent worker pool; on a serial
+        // pool the jobs run inline, producing the same gradients.
+        let pool = freeway_linalg::pool::global();
+        let mut grads: Vec<Vec<f64>> = vec![Vec::new(); k];
+        let tasks: Vec<freeway_linalg::pool::Task<'_>> = grads
+            .iter_mut()
+            .zip(&self.shards)
+            .enumerate()
+            .map(|(s, (slot, (model, _)))| {
+                let start = s * chunk;
+                let end = ((s + 1) * chunk).min(x.rows());
+                let idx: Vec<usize> = (start..end).collect();
+                let sub_x = x.select_rows(&idx);
+                let sub_y: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                Box::new(move || {
+                    *slot = model.gradient(&sub_x, &sub_y, None);
+                }) as freeway_linalg::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
 
         // Phase 2: local steps.
         for ((model, optimizer), grad) in self.shards.iter_mut().zip(&grads) {

@@ -56,8 +56,7 @@ impl ModelSnapshot {
     /// bytes — specs are tiny), then raw little-endian `f64` parameters.
     pub fn to_bytes(&self) -> Bytes {
         let spec_json = serde_json::to_vec(&self.spec).expect("spec serialises");
-        let mut buf =
-            BytesMut::with_capacity(4 + 4 + spec_json.len() + 8 + self.params.len() * 8);
+        let mut buf = BytesMut::with_capacity(4 + 4 + spec_json.len() + 8 + self.params.len() * 8);
         buf.put_u32(MAGIC);
         buf.put_u32(spec_json.len() as u32);
         buf.put_slice(&spec_json);

@@ -9,12 +9,27 @@ use freeway_linalg::Matrix;
 pub struct Trainer {
     model: Box<dyn Model>,
     optimizer: Box<dyn Optimizer>,
+    parallel_gradient: bool,
 }
 
 impl Trainer {
     /// Creates a trainer owning the model and optimizer.
     pub fn new(model: Box<dyn Model>, optimizer: Box<dyn Optimizer>) -> Self {
-        Self { model, optimizer }
+        Self { model, optimizer, parallel_gradient: false }
+    }
+
+    /// Enables data-parallel gradient computation on the global worker
+    /// pool (see [`crate::gradient::sharded_gradient`]). Off by default;
+    /// sharding is fixed by batch size, so turning this on changes
+    /// results only for batches above one shard — and identically for
+    /// every thread count.
+    pub fn set_parallel_gradient(&mut self, enabled: bool) {
+        self.parallel_gradient = enabled;
+    }
+
+    /// Whether data-parallel gradients are enabled.
+    pub fn parallel_gradient(&self) -> bool {
+        self.parallel_gradient
     }
 
     /// One mini-batch SGD step; returns the pre-update loss.
@@ -25,7 +40,17 @@ impl Trainer {
     /// One weighted mini-batch step (weights come from ASW decay).
     pub fn train_weighted(&mut self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> f64 {
         let loss = self.model.loss(x, y);
-        let grad = self.model.gradient(x, y, weights);
+        let grad = if self.parallel_gradient {
+            crate::gradient::sharded_gradient(
+                self.model.as_ref(),
+                x,
+                y,
+                weights,
+                &freeway_linalg::pool::global(),
+            )
+        } else {
+            self.model.gradient(x, y, weights)
+        };
         let delta = self.optimizer.step(&self.model.parameters(), &grad);
         self.model.apply_update(&delta);
         loss
@@ -56,7 +81,11 @@ impl Trainer {
 
 impl Clone for Trainer {
     fn clone(&self) -> Self {
-        Self { model: self.model.clone_model(), optimizer: self.optimizer.clone_optimizer() }
+        Self {
+            model: self.model.clone_model(),
+            optimizer: self.optimizer.clone_optimizer(),
+            parallel_gradient: self.parallel_gradient,
+        }
     }
 }
 

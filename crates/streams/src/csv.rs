@@ -135,11 +135,7 @@ impl CsvStream {
             let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
             let expected = *expected_cols.get_or_insert(cells.len());
             if cells.len() != expected {
-                return Err(CsvError::RaggedRow {
-                    line: human_line,
-                    found: cells.len(),
-                    expected,
-                });
+                return Err(CsvError::RaggedRow { line: human_line, found: cells.len(), expected });
             }
             let label_idx = match label {
                 LabelColumn::Last => expected - 1,
@@ -282,14 +278,9 @@ mod tests {
     #[test]
     fn label_column_index_selects_other_columns_as_features() {
         let csv = "lbl,a,b\n1,10,20\n0,30,40\n";
-        let s = CsvStream::from_reader(
-            csv.as_bytes(),
-            LabelColumn::Index(0),
-            true,
-            false,
-            "t".into(),
-        )
-        .unwrap();
+        let s =
+            CsvStream::from_reader(csv.as_bytes(), LabelColumn::Index(0), true, false, "t".into())
+                .unwrap();
         assert_eq!(s.num_features(), 2);
         assert_eq!(s.class_names(), &["1".to_string(), "0".to_string()]);
     }
@@ -297,14 +288,9 @@ mod tests {
     #[test]
     fn bad_number_is_reported_with_position() {
         let csv = "a,b,label\n1.0,oops,x\n";
-        let err = CsvStream::from_reader(
-            csv.as_bytes(),
-            LabelColumn::Last,
-            true,
-            false,
-            "t".into(),
-        )
-        .unwrap_err();
+        let err =
+            CsvStream::from_reader(csv.as_bytes(), LabelColumn::Last, true, false, "t".into())
+                .unwrap_err();
         let msg = err.to_string();
         assert!(msg.contains("line 2") && msg.contains("oops"), "{msg}");
     }
@@ -312,14 +298,9 @@ mod tests {
     #[test]
     fn ragged_row_is_rejected() {
         let csv = "1,2,x\n1,2,3,x\n";
-        let err = CsvStream::from_reader(
-            csv.as_bytes(),
-            LabelColumn::Last,
-            false,
-            false,
-            "t".into(),
-        )
-        .unwrap_err();
+        let err =
+            CsvStream::from_reader(csv.as_bytes(), LabelColumn::Last, false, false, "t".into())
+                .unwrap_err();
         assert!(matches!(err, CsvError::RaggedRow { line: 2, .. }), "{err}");
     }
 

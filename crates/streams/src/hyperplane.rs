@@ -162,11 +162,8 @@ impl StreamGenerator for Hyperplane {
         // Transition blending: the tail of a pre-switch batch samples the
         // incoming regime.
         let regime_next = self.regime_at(self.seq + 1);
-        let blend_rows = if regime_next != regime_now {
-            ((size as f64) * BLEND_FRACTION) as usize
-        } else {
-            0
-        };
+        let blend_rows =
+            if regime_next != regime_now { ((size as f64) * BLEND_FRACTION) as usize } else { 0 };
 
         let mut x = Matrix::zeros(size, self.dim);
         let mut labels = Vec::with_capacity(size);

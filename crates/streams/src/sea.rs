@@ -72,8 +72,7 @@ impl StreamGenerator for Sea {
     fn next_batch(&mut self, size: usize) -> Batch {
         let ci = self.concept_index(self.seq);
         let ci_next = self.concept_index(self.seq + 1);
-        let blend_rows =
-            if ci_next != ci { ((size as f64) * BLEND_FRACTION) as usize } else { 0 };
+        let blend_rows = if ci_next != ci { ((size as f64) * BLEND_FRACTION) as usize } else { 0 };
 
         let mut x = Matrix::zeros(size, 3);
         let mut labels = Vec::with_capacity(size);

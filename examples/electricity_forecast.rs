@@ -21,10 +21,7 @@ fn sparkline(values: &[f64]) -> String {
     let min = values.iter().cloned().fold(f64::INFINITY, f64::min);
     let max = values.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
     let span = (max - min).max(1e-9);
-    values
-        .iter()
-        .map(|v| BARS[(((v - min) / span) * 7.0).round() as usize])
-        .collect()
+    values.iter().map(|v| BARS[(((v - min) / span) * 7.0).round() as usize]).collect()
 }
 
 fn main() {
@@ -36,10 +33,8 @@ fn main() {
     let mut stream_b = datasets::electricity(seed);
     let spec = ModelSpec::mlp(stream_a.num_features(), vec![32], stream_a.num_classes());
 
-    let mut freeway = Learner::new(
-        spec.clone(),
-        FreewayConfig { mini_batch: batch_size, ..Default::default() },
-    );
+    let mut freeway =
+        Learner::new(spec.clone(), FreewayConfig { mini_batch: batch_size, ..Default::default() });
     let mut plain = PlainSgd::new(spec, seed);
 
     let mut freeway_accs = Vec::new();
@@ -47,18 +42,12 @@ fn main() {
     for _ in 0..batches {
         let batch = stream_a.next_batch(batch_size);
         let report = freeway.process(&batch);
-        let correct = report
-            .predictions
-            .iter()
-            .zip(batch.labels())
-            .filter(|(p, t)| p == t)
-            .count();
+        let correct = report.predictions.iter().zip(batch.labels()).filter(|(p, t)| p == t).count();
         freeway_accs.push(correct as f64 / batch.len() as f64);
 
         let batch_b = stream_b.next_batch(batch_size);
         let preds = plain.infer(&batch_b.x);
-        let correct_b =
-            preds.iter().zip(batch_b.labels()).filter(|(p, t)| p == t).count();
+        let correct_b = preds.iter().zip(batch_b.labels()).filter(|(p, t)| p == t).count();
         plain.train(&batch_b.x, batch_b.labels());
         plain_accs.push(correct_b as f64 / batch_b.len() as f64);
     }
@@ -79,9 +68,7 @@ fn main() {
     );
 
     // Worst single-batch drop — the "sudden decline" the paper targets.
-    let worst = |accs: &[f64]| {
-        accs.windows(2).map(|w| w[0] - w[1]).fold(f64::MIN, f64::max)
-    };
+    let worst = |accs: &[f64]| accs.windows(2).map(|w| w[0] - w[1]).fold(f64::MIN, f64::max);
     println!(
         "\nworst batch-to-batch accuracy drop: plain {:.1} pts, freewayml {:.1} pts",
         worst(&plain_accs) * 100.0,

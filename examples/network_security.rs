@@ -26,11 +26,10 @@ fn main() {
     let mut stream_b = datasets::nslkdd(seed);
 
     let spec = ModelSpec::mlp(stream_a.num_features(), vec![32], stream_a.num_classes());
-    let mut freeway = Learner::new(spec.clone(), FreewayConfig {
-        mini_batch: batch_size,
-        pca_warmup_rows: 512,
-        ..Default::default()
-    });
+    let mut freeway = Learner::new(
+        spec.clone(),
+        FreewayConfig { mini_batch: batch_size, pca_warmup_rows: 512, ..Default::default() },
+    );
     let mut plain = PlainSgd::new(spec, seed);
 
     let mut freeway_by_phase: HashMap<&str, Vec<f64>> = HashMap::new();

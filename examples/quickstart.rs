@@ -24,12 +24,7 @@ fn main() {
         let batch = stream.next_batch(256);
         // Prequential: infer on the batch, then train on its labels.
         let report = learner.process(&batch);
-        let correct = report
-            .predictions
-            .iter()
-            .zip(batch.labels())
-            .filter(|(p, t)| p == t)
-            .count();
+        let correct = report.predictions.iter().zip(batch.labels()).filter(|(p, t)| p == t).count();
         let acc = correct as f64 / batch.len() as f64;
         accs.push(acc);
         if i % 5 == 0 || report.strategy != Strategy::Ensemble {

@@ -29,34 +29,19 @@ fn main() {
         Segment::SwitchFresh { batches: 15 },
         Segment::SwitchTo { index: 0, batches: 15 },
     ];
-    let mut stream = SimulatedDataset::new(
-        "Retail",
-        vec![regular],
-        program,
-        3.5,
-        1.0,
-        2,
-        seed,
-    )
-    .with_label_noise(0.1);
+    let mut stream = SimulatedDataset::new("Retail", vec![regular], program, 3.5, 1.0, 2, seed)
+        .with_label_noise(0.1);
 
     let spec = ModelSpec::mlp(12, vec![32], 3);
-    let mut learner = Learner::new(
-        spec,
-        FreewayConfig { mini_batch: batch_size, ..Default::default() },
-    );
+    let mut learner =
+        Learner::new(spec, FreewayConfig { mini_batch: batch_size, ..Default::default() });
 
     println!("batch | phase             | detected     | strategy  | accuracy");
     println!("------+-------------------+--------------+-----------+---------");
     for i in 0..60 {
         let batch = stream.next_batch(batch_size);
         let report = learner.process(&batch);
-        let correct = report
-            .predictions
-            .iter()
-            .zip(batch.labels())
-            .filter(|(p, t)| p == t)
-            .count();
+        let correct = report.predictions.iter().zip(batch.labels()).filter(|(p, t)| p == t).count();
         let acc = correct as f64 / batch.len() as f64;
         let interesting = !matches!(batch.phase, DriftPhase::SlightLocalized)
             || report.strategy != Strategy::Ensemble;

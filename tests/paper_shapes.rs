@@ -16,10 +16,7 @@ fn table2_severe_improvements_exceed_slight_on_attack_stream() {
     let row = &t.rows[0];
     let slight = row.slight_pct.expect("slight batches exist");
     let sudden = row.sudden_pct.expect("sudden batches exist");
-    assert!(
-        sudden > slight,
-        "sudden improvement ({sudden:.1}%) must exceed slight ({slight:.1}%)"
-    );
+    assert!(sudden > slight, "sudden improvement ({sudden:.1}%) must exceed slight ({slight:.1}%)");
     assert!(sudden > 5.0, "sudden improvement must be substantial: {sudden:.1}%");
 }
 
@@ -73,10 +70,6 @@ fn fig2_correlation_is_positive_somewhere() {
     // Paper §III: bigger shifts, bigger accuracy drops.
     let scale = Scale { batches: 100, batch_size: 128, warmup: 4, seed: 7 };
     let f = fig2::run(&scale);
-    let max = f
-        .graphs
-        .iter()
-        .map(|g| g.drop_correlation)
-        .fold(f64::MIN, f64::max);
+    let max = f.graphs.iter().map(|g| g.drop_correlation).fold(f64::MIN, f64::max);
     assert!(max > 0.15, "at least one study stream must show the correlation: {max:.3}");
 }

@@ -1,0 +1,242 @@
+//! Offline stand-in for `criterion` (see `vendor/README.md`): runs each
+//! benchmark with a short warm-up, measures mean wall time per
+//! iteration, and prints one line per benchmark (with throughput when
+//! configured). No statistical analysis, HTML reports, or comparison
+//! with saved baselines. Measurement length is tunable via
+//! `FREEWAY_BENCH_MS` (milliseconds per benchmark, default 300).
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 0 }
+    }
+}
+
+impl Criterion {
+    /// Parses CLI filters in the real crate; a no-op here.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group<S: Into<String>>(&mut self, name: S) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            throughput: None,
+            _criterion: std::marker::PhantomData,
+        }
+    }
+
+    /// Runs a single benchmark outside any group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_benchmark(id, None, &mut f);
+        self
+    }
+}
+
+/// Units for reporting items processed per second.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Identifier combining a function name and a parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` identifier.
+    pub fn new<F: Display, P: Display>(function: F, parameter: P) -> Self {
+        Self { id: format!("{function}/{parameter}") }
+    }
+
+    /// Identifier from a parameter alone.
+    pub fn from_parameter<P: Display>(parameter: P) -> Self {
+        Self { id: parameter.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(id: String) -> Self {
+        Self { id }
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput config.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    _criterion: std::marker::PhantomData<&'a mut Criterion>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the per-iteration throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; unused by this stub.
+    pub fn warm_up_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.id);
+        run_benchmark(&label, self.throughput, &mut |b| f(b, input));
+        self
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<D: Into<BenchmarkId>, F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: D,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into().id);
+        run_benchmark(&label, self.throughput, &mut f);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    budget: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the mean wall time per call.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run for ~10% of the budget to populate caches.
+        let warmup_end = Instant::now() + self.budget / 10;
+        while Instant::now() < warmup_end {
+            black_box(f());
+        }
+        // Measure in growing batches until the budget is used.
+        let started = Instant::now();
+        let mut iters: u64 = 0;
+        let mut batch: u64 = 1;
+        let mut elapsed = Duration::ZERO;
+        while elapsed < self.budget {
+            for _ in 0..batch {
+                black_box(f());
+            }
+            iters += batch;
+            batch = (batch * 2).min(1024);
+            elapsed = started.elapsed();
+        }
+        self.mean_ns = Some(elapsed.as_nanos() as f64 / iters as f64);
+    }
+}
+
+fn run_benchmark(label: &str, throughput: Option<Throughput>, f: &mut dyn FnMut(&mut Bencher)) {
+    let budget_ms: u64 = std::env::var("FREEWAY_BENCH_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300);
+    let mut bencher =
+        Bencher { budget: Duration::from_millis(budget_ms), mean_ns: None };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) => {
+            let rate = match throughput {
+                Some(Throughput::Elements(n)) => {
+                    format!("  thrpt: {:>12.0} elem/s", n as f64 * 1e9 / ns)
+                }
+                Some(Throughput::Bytes(n)) => {
+                    format!("  thrpt: {:>12.0} B/s", n as f64 * 1e9 / ns)
+                }
+                None => String::new(),
+            };
+            println!("bench {label:<48} time: {ns:>12.0} ns/iter{rate}");
+        }
+        None => println!("bench {label:<48} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

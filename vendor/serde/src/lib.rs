@@ -1,0 +1,367 @@
+//! Offline stand-in for `serde` (see `vendor/README.md`).
+//!
+//! Instead of serde's visitor-based data model, this stub routes every
+//! type through one self-describing [`Content`] tree. The derive macro
+//! (`vendor/serde_derive`) generates `serialize_content` /
+//! `deserialize_content` impls, and `vendor/serde_json` converts the
+//! tree to and from JSON text. Supported shapes: named-field structs
+//! and enums with unit / tuple / struct variants, no generics — the
+//! exact surface this workspace uses.
+
+use std::collections::{BTreeMap, HashMap};
+
+/// Self-describing serialized form of any supported value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Content {
+    /// JSON `null` / `Option::None`.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    U64(u64),
+    /// Negative integer.
+    I64(i64),
+    /// Floating point number.
+    F64(f64),
+    /// String.
+    Str(String),
+    /// Sequence (`Vec`, slice, tuple variant payload).
+    Seq(Vec<Content>),
+    /// Key/value map (structs, maps, externally-tagged enum variants).
+    /// Insertion order is preserved so output is deterministic.
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// The map entries if this is a map.
+    pub fn as_map(&self) -> Option<&[(String, Content)]> {
+        match self {
+            Content::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The elements if this is a sequence.
+    pub fn as_seq(&self) -> Option<&[Content]> {
+        match self {
+            Content::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The string if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Content::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Content::U64(v) => Some(v as f64),
+            Content::I64(v) => Some(v as f64),
+            Content::F64(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` if non-negative integral.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Content::U64(v) => Some(v),
+            Content::I64(v) if v >= 0 => Some(v as u64),
+            Content::F64(v) if v >= 0.0 && v.fract() == 0.0 && v <= u64::MAX as f64 => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Content::U64(v) if v <= i64::MAX as u64 => Some(v as i64),
+            Content::I64(v) => Some(v),
+            Content::F64(v) if v.fract() == 0.0 && v.abs() <= i64::MAX as f64 => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The boolean if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match *self {
+            Content::Bool(b) => Some(b),
+            _ => None,
+        }
+    }
+}
+
+/// Serialization to the [`Content`] tree.
+pub trait Serialize {
+    /// Convert `self` into its serialized form.
+    fn serialize_content(&self) -> Content;
+}
+
+/// Deserialization from the [`Content`] tree. The lifetime mirrors real
+/// serde's signature; this stub never borrows from the input.
+pub trait Deserialize<'de>: Sized {
+    /// Reconstruct `Self` from its serialized form.
+    fn deserialize_content(content: &Content) -> Result<Self, String>;
+
+    /// Value to use when a struct field is absent (`Some` only for
+    /// `Option`, matching serde's implicit-`None` behavior).
+    fn deserialize_missing() -> Option<Self> {
+        None
+    }
+}
+
+/// Owned deserialization, as in `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` for paths like `serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser`.
+pub mod ser {
+    pub use crate::Serialize;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Look up `key` in a struct map and deserialize it, falling back to the
+/// type's missing-field default (used by generated code).
+pub fn get_field<T: DeserializeOwned>(
+    map: &[(String, Content)],
+    key: &str,
+) -> Result<T, String> {
+    match map.iter().find(|(k, _)| k == key) {
+        Some((_, v)) => {
+            T::deserialize_content(v).map_err(|e| format!("field `{key}`: {e}"))
+        }
+        None => T::deserialize_missing().ok_or_else(|| format!("missing field `{key}`")),
+    }
+}
+
+macro_rules! impl_unsigned {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::U64(*self as u64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_u64().ok_or_else(|| format!("expected unsigned integer, got {c:?}"))?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+impl_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let v = c.as_i64().ok_or_else(|| format!("expected integer, got {c:?}"))?;
+                <$t>::try_from(v).map_err(|_| format!("integer {v} out of range"))
+            }
+        }
+    )*};
+}
+impl_signed!(i8, i16, i32, i64, isize);
+
+macro_rules! impl_float {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize_content(&self) -> Content { Content::F64(*self as f64) }
+        }
+        impl<'de> Deserialize<'de> for $t {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                c.as_f64().map(|v| v as $t).ok_or_else(|| format!("expected number, got {c:?}"))
+            }
+        }
+    )*};
+}
+impl_float!(f32, f64);
+
+impl Serialize for bool {
+    fn serialize_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+impl<'de> Deserialize<'de> for bool {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_bool().ok_or_else(|| format!("expected bool, got {c:?}"))
+    }
+}
+
+impl Serialize for String {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+impl<'de> Deserialize<'de> for String {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_str().map(str::to_owned).ok_or_else(|| format!("expected string, got {c:?}"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn serialize_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+impl<'de> Deserialize<'de> for char {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        let s = c.as_str().ok_or_else(|| format!("expected char, got {c:?}"))?;
+        let mut it = s.chars();
+        match (it.next(), it.next()) {
+            (Some(ch), None) => Ok(ch),
+            _ => Err(format!("expected single char, got {s:?}")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize_content(&self) -> Content {
+        (**self).serialize_content()
+    }
+}
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Box<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        T::deserialize_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize_content(&self) -> Content {
+        match self {
+            Some(v) => v.serialize_content(),
+            None => Content::Null,
+        }
+    }
+}
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Option<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::deserialize_content(other).map(Some),
+        }
+    }
+
+    fn deserialize_missing() -> Option<Self> {
+        Some(None)
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<'de, T: DeserializeOwned> Deserialize<'de> for Vec<T> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_seq()
+            .ok_or_else(|| format!("expected sequence, got {c:?}"))?
+            .iter()
+            .map(T::deserialize_content)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::serialize_content).collect())
+    }
+}
+impl<'de, T: DeserializeOwned + std::fmt::Debug, const N: usize> Deserialize<'de> for [T; N] {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        let v: Vec<T> = Vec::deserialize_content(c)?;
+        let n = v.len();
+        <[T; N]>::try_from(v).map_err(|_| format!("expected {N} elements, got {n}"))
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.serialize_content()),+])
+            }
+        }
+        impl<'de, $($name: DeserializeOwned),+> Deserialize<'de> for ($($name,)+) {
+            fn deserialize_content(c: &Content) -> Result<Self, String> {
+                let seq = c.as_seq().ok_or_else(|| format!("expected tuple, got {c:?}"))?;
+                let expect = [$($idx),+].len();
+                if seq.len() != expect {
+                    return Err(format!("expected {expect}-tuple, got {} elements", seq.len()));
+                }
+                Ok(($($name::deserialize_content(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+impl_tuple!((A: 0), (A: 0, B: 1), (A: 0, B: 1, C: 2), (A: 0, B: 1, C: 2, D: 3));
+
+impl<V: Serialize> Serialize for HashMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        let mut keys: Vec<&String> = self.keys().collect();
+        keys.sort();
+        Content::Map(
+            keys.into_iter().map(|k| (k.clone(), self[k].serialize_content())).collect(),
+        )
+    }
+}
+impl<'de, V: DeserializeOwned> Deserialize<'de> for HashMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_map()
+            .ok_or_else(|| format!("expected map, got {c:?}"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn serialize_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.serialize_content())).collect())
+    }
+}
+impl<'de, V: DeserializeOwned> Deserialize<'de> for BTreeMap<String, V> {
+    fn deserialize_content(c: &Content) -> Result<Self, String> {
+        c.as_map()
+            .ok_or_else(|| format!("expected map, got {c:?}"))?
+            .iter()
+            .map(|(k, v)| Ok((k.clone(), V::deserialize_content(v)?)))
+            .collect()
+    }
+}

@@ -1,0 +1,368 @@
+//! Offline stand-in for `serde_derive` (see `vendor/README.md`).
+//!
+//! Hand-parses the derive input (no `syn`/`quote` available offline)
+//! and emits `serialize_content` / `deserialize_content` impls against
+//! the stub `serde`'s [`Content`] tree. Supports exactly the shapes
+//! this workspace derives: non-generic named-field structs and enums
+//! with unit / tuple / struct variants.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+enum Shape {
+    Struct { name: String, fields: Vec<String> },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+/// Derives `serde::Serialize` via the stub's `Content` tree.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let entries = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize_content(&self.{f})),"
+                    )
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         ::serde::Content::Map(::std::vec![{entries}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms = variants
+                .iter()
+                .map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vname} => ::serde::Content::Str(\
+                             ::std::string::String::from({vname:?})),"
+                        ),
+                        VariantKind::Tuple(n) => {
+                            let binds =
+                                (0..*n).map(|i| format!("f{i},")).collect::<String>();
+                            let payload = if *n == 1 {
+                                "::serde::Serialize::serialize_content(f0)".to_string()
+                            } else {
+                                let items = (0..*n)
+                                    .map(|i| {
+                                        format!(
+                                            "::serde::Serialize::serialize_content(f{i}),"
+                                        )
+                                    })
+                                    .collect::<String>();
+                                format!("::serde::Content::Seq(::std::vec![{items}])")
+                            };
+                            format!(
+                                "{name}::{vname}({binds}) => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 {payload})]),"
+                            )
+                        }
+                        VariantKind::Struct(fields) => {
+                            let binds =
+                                fields.iter().map(|f| format!("{f},")).collect::<String>();
+                            let entries = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(::std::string::String::from({f:?}), \
+                                         ::serde::Serialize::serialize_content({f})),"
+                                    )
+                                })
+                                .collect::<String>();
+                            format!(
+                                "{name}::{vname} {{ {binds} }} => ::serde::Content::Map(\
+                                 ::std::vec![(::std::string::String::from({vname:?}), \
+                                 ::serde::Content::Map(::std::vec![{entries}]))]),"
+                            )
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn serialize_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives `serde::Deserialize` via the stub's `Content` tree.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = parse(input);
+    let code = match &shape {
+        Shape::Struct { name, fields } => {
+            let inits = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::get_field(m, {f:?})?,"))
+                .collect::<String>();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize_content(c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         let m = c.as_map().ok_or_else(|| ::std::format!(\
+                             \"expected map for {name}, got {{c:?}}\"))?;\n\
+                         ::std::result::Result::Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .map(|v| format!("{:?} => return ::std::result::Result::Ok({name}::{}),", v.name, v.name))
+                .collect::<String>();
+            let tagged_arms = variants
+                .iter()
+                .filter_map(|v| {
+                    let vname = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => None,
+                        VariantKind::Tuple(n) if *n == 1 => Some(format!(
+                            "{vname:?} => ::std::result::Result::Ok({name}::{vname}(\
+                             ::serde::Deserialize::deserialize_content(v)?)),"
+                        )),
+                        VariantKind::Tuple(n) => {
+                            let items = (0..*n)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::deserialize_content(&s[{i}])?,"
+                                    )
+                                })
+                                .collect::<String>();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let s = v.as_seq().ok_or_else(|| ::std::format!(\
+                                         \"expected sequence for {name}::{vname}\"))?;\n\
+                                     if s.len() != {n} {{ return ::std::result::Result::Err(\
+                                         ::std::format!(\"expected {n} fields for \
+                                         {name}::{vname}, got {{}}\", s.len())); }}\n\
+                                     ::std::result::Result::Ok({name}::{vname}({items}))\n\
+                                 }}"
+                            ))
+                        }
+                        VariantKind::Struct(fields) => {
+                            let inits = fields
+                                .iter()
+                                .map(|f| format!("{f}: ::serde::get_field(im, {f:?})?,"))
+                                .collect::<String>();
+                            Some(format!(
+                                "{vname:?} => {{\n\
+                                     let im = v.as_map().ok_or_else(|| ::std::format!(\
+                                         \"expected map for {name}::{vname}\"))?;\n\
+                                     ::std::result::Result::Ok({name}::{vname} {{ {inits} }})\n\
+                                 }}"
+                            ))
+                        }
+                    }
+                })
+                .collect::<String>();
+            format!(
+                "impl<'de> ::serde::Deserialize<'de> for {name} {{\n\
+                     fn deserialize_content(c: &::serde::Content) \
+                         -> ::std::result::Result<Self, ::std::string::String> {{\n\
+                         if let ::std::option::Option::Some(s) = c.as_str() {{\n\
+                             match s {{ {unit_arms} _ => {{}} }}\n\
+                             return ::std::result::Result::Err(::std::format!(\
+                                 \"unknown {name} variant {{s:?}}\"));\n\
+                         }}\n\
+                         let m = c.as_map().ok_or_else(|| ::std::format!(\
+                             \"expected map for {name}, got {{c:?}}\"))?;\n\
+                         if m.len() != 1 {{ return ::std::result::Result::Err(\
+                             ::std::string::String::from(\
+                                 \"expected single-key map for enum {name}\")); }}\n\
+                         let (k, v) = &m[0];\n\
+                         match k.as_str() {{\n\
+                             {tagged_arms}\n\
+                             _ => ::std::result::Result::Err(::std::format!(\
+                                 \"unknown {name} variant {{k:?}}\")),\n\
+                         }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().expect("serde_derive stub generated invalid Deserialize impl")
+}
+
+fn parse(input: TokenStream) -> Shape {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility ahead of the keyword.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => i += 2,
+            Some(TokenTree::Ident(id)) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected struct/enum, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive stub: expected type name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive stub does not support generic type `{name}`");
+        }
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        other => panic!(
+            "serde_derive stub: `{name}` has no braced body (tuple/unit structs \
+             unsupported), got {other:?}"
+        ),
+    };
+    match kind.as_str() {
+        "struct" => Shape::Struct { name, fields: parse_named_fields(body) },
+        "enum" => Shape::Enum { name, variants: parse_variants(body) },
+        other => panic!("serde_derive stub: unsupported item kind `{other}`"),
+    }
+}
+
+/// Parses `field: Type, ...`, skipping attributes, visibility, and type
+/// tokens (tracking `<`/`>` depth so commas inside generics don't split).
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) if *id.to_string() == *"pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                i += 1;
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+                    other => panic!("serde_derive stub: expected `:` after field, got {other:?}"),
+                }
+                let mut angle = 0i32;
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                        TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                        TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => break,
+                        _ => {}
+                    }
+                    i += 1;
+                }
+                i += 1; // past the comma (or end)
+            }
+            other => panic!("serde_derive stub: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => i += 2,
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                i += 1;
+                let kind = match tokens.get(i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        i += 1;
+                        VariantKind::Struct(parse_named_fields(g.stream()))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        i += 1;
+                        VariantKind::Tuple(count_tuple_fields(g.stream()))
+                    }
+                    _ => VariantKind::Unit,
+                };
+                // Skip discriminant (`= expr`) if present, then the comma.
+                while i < tokens.len() {
+                    match &tokens[i] {
+                        TokenTree::Punct(p) if p.as_char() == ',' => {
+                            i += 1;
+                            break;
+                        }
+                        _ => i += 1,
+                    }
+                }
+                variants.push(Variant { name, kind });
+            }
+            other => panic!("serde_derive stub: unexpected token in variants: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut commas = 0usize;
+    let mut trailing_comma = false;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing_comma = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                commas += 1;
+                trailing_comma = true;
+            }
+            _ => trailing_comma = false,
+        }
+    }
+    commas + if trailing_comma { 0 } else { 1 }
+}

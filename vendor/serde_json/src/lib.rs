@@ -1,0 +1,153 @@
+//! Offline stand-in for `serde_json` (see `vendor/README.md`).
+//!
+//! A real (if small) JSON implementation: serializes any stub-`serde`
+//! `Serialize` type by walking its `Content` tree, and deserializes by
+//! parsing JSON text into a `Content` tree first. Floats round-trip via
+//! Rust's shortest-representation formatting.
+
+use serde::Content;
+use std::fmt;
+
+mod parser;
+mod value;
+
+pub use value::Value;
+
+/// Error type for this stub's (de)serialization.
+pub struct Error(String);
+
+impl Error {
+    fn msg(s: impl Into<String>) -> Self {
+        Error(s.into())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl fmt::Debug for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Error({})", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Result alias matching `serde_json::Result`.
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.serialize_content(), &mut out, None, 0);
+    Ok(out)
+}
+
+/// Serialize to pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: ?Sized + serde::Serialize>(value: &T) -> Result<String> {
+    let mut out = String::new();
+    write_content(&value.serialize_content(), &mut out, Some(2), 0);
+    Ok(out)
+}
+
+/// Serialize to JSON bytes.
+pub fn to_vec<T: ?Sized + serde::Serialize>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<'a, T: serde::Deserialize<'a>>(s: &'a str) -> Result<T> {
+    let content = parser::parse(s).map_err(Error::msg)?;
+    T::deserialize_content(&content).map_err(Error::msg)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<'a, T: serde::Deserialize<'a>>(bytes: &'a [u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|e| Error::msg(e.to_string()))?;
+    from_str(s)
+}
+
+fn write_content(c: &Content, out: &mut String, indent: Option<usize>, depth: usize) {
+    match c {
+        Content::Null => out.push_str("null"),
+        Content::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Content::U64(v) => out.push_str(&v.to_string()),
+        Content::I64(v) => out.push_str(&v.to_string()),
+        Content::F64(v) => {
+            if v.is_finite() {
+                // `{:?}` is Rust's shortest round-trip form and is valid JSON
+                // for finite values (e.g. `1.0`, `6.02e23`).
+                out.push_str(&format!("{v:?}"));
+            } else {
+                out.push_str("null");
+            }
+        }
+        Content::Str(s) => write_string(s, out),
+        Content::Seq(items) => {
+            write_bracketed(out, '[', ']', items.len(), indent, depth, |out, i, d| {
+                write_content(&items[i], out, indent, d);
+            });
+        }
+        Content::Map(entries) => {
+            write_bracketed(out, '{', '}', entries.len(), indent, depth, |out, i, d| {
+                let (k, v) = &entries[i];
+                write_string(k, out);
+                out.push(':');
+                if indent.is_some() {
+                    out.push(' ');
+                }
+                write_content(v, out, indent, d);
+            });
+        }
+    }
+}
+
+fn write_bracketed(
+    out: &mut String,
+    open: char,
+    close: char,
+    len: usize,
+    indent: Option<usize>,
+    depth: usize,
+    mut item: impl FnMut(&mut String, usize, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(width) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(width * (depth + 1)));
+        }
+        item(out, i, depth + 1);
+    }
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat(' ').take(width * depth));
+    }
+    out.push(close);
+}
+
+fn write_string(s: &str, out: &mut String) {
+    out.push('"');
+    for ch in s.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
