@@ -9,8 +9,13 @@ cargo build --release --workspace
 echo "== cargo test =="
 cargo test -q --workspace
 
+echo "== alloc regression gate (zero-allocation hot path) =="
+cargo test -q -p freeway-eval --features alloc-metrics --test alloc_regression
+
 echo "== cargo clippy =="
-cargo clippy --workspace --all-targets -- -D warnings
+# redundant_clone is allow-by-default (nursery); promote it to warn
+# *before* `-D warnings` so the group elevation turns it into an error.
+cargo clippy --workspace --all-targets -- -W clippy::redundant_clone -D warnings
 
 echo "== cargo fmt --check =="
 cargo fmt --all --check

@@ -58,7 +58,7 @@ fn decay_ablation(c: &mut Criterion) {
                 for i in 0..16 {
                     let (x, y) = concept.sample_batch(64, &mut rng);
                     let projected = vec![i as f64 * 0.1, 0.0, 0.0, 0.0];
-                    black_box(window.insert(x, y, projected));
+                    black_box(window.insert(x.into(), y.into(), projected));
                 }
             });
         });

@@ -91,11 +91,23 @@ impl ExperienceBuffer {
     /// rather than the whole buffer.
     pub fn snapshot_recent(&self, m: usize) -> (Matrix, Vec<usize>) {
         let take = m.min(self.entries.len());
+        let dim = self.entries.back().map_or(0, |e| e.features.len());
+        let mut x = Matrix::zeros(take, dim);
+        let mut labels = Vec::with_capacity(take);
+        for (r, (row, label)) in self.recent_rows(m).enumerate() {
+            x.row_mut(r).copy_from_slice(row);
+            labels.push(label);
+        }
+        (x, labels)
+    }
+
+    /// Iterator over the `m` most recent experiences as `(features,
+    /// label)` pairs, oldest of the slice first — lets callers assemble
+    /// working matrices directly without intermediate row clones.
+    pub fn recent_rows(&self, m: usize) -> impl Iterator<Item = (&[f64], usize)> {
+        let take = m.min(self.entries.len());
         let start = self.entries.len() - take;
-        let rows: Vec<Vec<f64>> =
-            self.entries.iter().skip(start).map(|e| e.features.clone()).collect();
-        let labels = self.entries.iter().skip(start).map(|e| e.label).collect();
-        (Matrix::from_rows(&rows), labels)
+        self.entries.iter().skip(start).map(|e| (e.features.as_slice(), e.label))
     }
 }
 
@@ -178,9 +190,19 @@ impl CoherentExperience {
         if buffer.is_empty() || batch.rows() == 0 {
             return None;
         }
-        let (exp_x, exp_y) = buffer.snapshot_recent(self.max_experience);
-        let m = exp_x.rows();
-        let combined = exp_x.vstack(batch);
+        // Assemble guidance + batch rows straight into the combined
+        // matrix: no per-row clones, no intermediate guidance matrix, no
+        // vstack copy.
+        let m = self.max_experience.min(buffer.len());
+        let mut combined = Matrix::zeros(m + batch.rows(), batch.cols());
+        let mut exp_y = Vec::with_capacity(m);
+        for (r, (row, label)) in buffer.recent_rows(self.max_experience).enumerate() {
+            combined.row_mut(r).copy_from_slice(row);
+            exp_y.push(label);
+        }
+        for (r, row) in batch.row_iter().enumerate() {
+            combined.row_mut(m + r).copy_from_slice(row);
+        }
         let k = self.clusters.min(combined.rows());
         let result = KMeans::new(k, self.seed).fit(&combined);
 
@@ -213,12 +235,13 @@ impl CoherentExperience {
         if labeled_centroids.is_empty() {
             return None;
         }
+        let mut labeled_sub: Option<Matrix> = None;
         for c in 0..k {
             if cluster_label[c].is_none() {
-                let labeled_rows: Vec<usize> = labeled_centroids.clone();
-                let sub = result.centroids.select_rows(&labeled_rows);
-                let (nearest, _) = nearest_centroid(result.centroids.row(c), &sub);
-                cluster_label[c] = cluster_label[labeled_rows[nearest]];
+                let sub = labeled_sub
+                    .get_or_insert_with(|| result.centroids.select_rows(&labeled_centroids));
+                let (nearest, _) = nearest_centroid(result.centroids.row(c), sub);
+                cluster_label[c] = cluster_label[labeled_centroids[nearest]];
             }
         }
 

@@ -11,14 +11,19 @@
 
 use freeway_drift::disorder::{distance_ranks, normalized_disorder};
 use freeway_linalg::{vector, Matrix};
+use std::sync::Arc;
 
 /// One batch held in the window.
+///
+/// Feature rows and labels sit behind `Arc` so that inserting the same
+/// incoming batch into several granularity windows (and cloning windows
+/// for snapshots) shares one copy instead of deep-cloning the data.
 #[derive(Clone, Debug)]
 pub struct WindowBatch {
-    /// Feature rows.
-    pub x: Matrix,
-    /// Labels.
-    pub labels: Vec<usize>,
+    /// Feature rows (shared).
+    pub x: Arc<Matrix>,
+    /// Labels (shared).
+    pub labels: Arc<[usize]>,
     /// Projected mean `ȳ` of the batch (shift-graph coordinates).
     pub projected: Vec<f64>,
     /// Current decay weight in `(0, 1]`.
@@ -60,13 +65,14 @@ impl Default for AswParams {
 /// ```
 /// use freeway_core::asw::{AdaptiveStreamingWindow, AswParams};
 /// use freeway_linalg::Matrix;
+/// use std::sync::Arc;
 ///
 /// let mut window = AdaptiveStreamingWindow::new(AswParams {
 ///     max_batches: 2,
 ///     ..Default::default()
 /// });
-/// window.insert(Matrix::filled(4, 2, 0.0), vec![0; 4], vec![0.0, 0.0]);
-/// window.insert(Matrix::filled(4, 2, 1.0), vec![1; 4], vec![1.0, 0.0]);
+/// window.insert(Arc::new(Matrix::filled(4, 2, 0.0)), vec![0; 4].into(), vec![0.0, 0.0]);
+/// window.insert(Arc::new(Matrix::filled(4, 2, 1.0)), vec![1; 4].into(), vec![1.0, 0.0]);
 /// assert!(window.is_full());
 /// let (x, labels, weights) = window.drain_for_update().unwrap();
 /// assert_eq!(x.rows(), 8);
@@ -125,9 +131,12 @@ impl AdaptiveStreamingWindow {
     }
 
     /// Inserts a batch, decaying existing batches first (Algorithm 1).
+    /// The batch data is taken behind `Arc`, so several windows (one per
+    /// granularity level) can hold the same incoming batch without
+    /// copying it.
     ///
     /// Returns the disorder computed for this insertion.
-    pub fn insert(&mut self, x: Matrix, labels: Vec<usize>, projected: Vec<f64>) -> f64 {
+    pub fn insert(&mut self, x: Arc<Matrix>, labels: Arc<[usize]>, projected: Vec<f64>) -> f64 {
         assert_eq!(x.rows(), labels.len(), "label count mismatch");
         if !self.batches.is_empty() {
             // Shift distances from the incoming batch to each held batch,
@@ -239,9 +248,9 @@ impl AdaptiveStreamingWindow {
 mod tests {
     use super::*;
 
-    fn batch_at(mean: f64, rows: usize) -> (Matrix, Vec<usize>, Vec<f64>) {
-        let x = Matrix::filled(rows, 2, mean);
-        let labels = vec![0; rows];
+    fn batch_at(mean: f64, rows: usize) -> (Arc<Matrix>, Arc<[usize]>, Vec<f64>) {
+        let x = Arc::new(Matrix::filled(rows, 2, mean));
+        let labels: Arc<[usize]> = vec![0; rows].into();
         (x, labels, vec![mean, mean])
     }
 

@@ -14,7 +14,7 @@
 use crate::asw::{AdaptiveStreamingWindow, AswParams};
 use crate::config::FreewayConfig;
 use freeway_linalg::{pool, vector, Matrix};
-use freeway_ml::{Model, ModelSpec, PrecomputeAccumulator, Trainer};
+use freeway_ml::{Model, ModelSpec, PrecomputeAccumulator, Trainer, Workspace};
 use parking_lot::Mutex;
 use std::sync::Arc;
 
@@ -57,6 +57,11 @@ struct Level {
     /// accuracy on incoming labeled batches (prequential quality). Breaks
     /// distance ties in the ensemble toward the stronger model.
     ewma_acc: f64,
+    /// Reusable inference scratch (model workspace + probability buffer),
+    /// shared across `predict_proba` calls so the warm ensemble forward
+    /// pass allocates nothing. Behind a mutex because prediction takes
+    /// `&self` and the parallel path evaluates levels on pool threads.
+    scratch: Mutex<(Workspace, Matrix)>,
 }
 
 /// The multi-granularity model bank.
@@ -109,6 +114,7 @@ impl MultiGranularity {
                     trained_projection: None,
                     trusted: true,
                     ewma_acc: 0.5,
+                    scratch: Mutex::new((Workspace::new(), Matrix::zeros(0, 0))),
                 }
             })
             .collect();
@@ -240,6 +246,9 @@ impl MultiGranularity {
         // Captured once: long levels warm-start from the short model's
         // parameters at their window completions.
         let mut short_params: Option<Vec<f64>> = None;
+        // Long levels share one `Arc`'d copy of the incoming batch
+        // instead of deep-cloning it once per window.
+        let mut shared_batch: Option<(Arc<Matrix>, Arc<[usize]>)> = None;
         for level in &mut self.levels {
             // Prequential quality: score the level on (a deterministic
             // slice of) this batch before any update touches it. 64 rows
@@ -249,8 +258,7 @@ impl MultiGranularity {
             if level.updates > 0 {
                 const PROBE_ROWS: usize = 64;
                 let acc = if x.rows() > PROBE_ROWS {
-                    let idx: Vec<usize> = (0..PROBE_ROWS).collect();
-                    let sub = x.select_rows(&idx);
+                    let sub = x.slice_rows(0, PROBE_ROWS);
                     freeway_ml::model::accuracy(level.trainer.model(), &sub, &labels[..PROBE_ROWS])
                 } else {
                     freeway_ml::model::accuracy(level.trainer.model(), x, labels)
@@ -265,7 +273,9 @@ impl MultiGranularity {
                     short_params = Some(level.trainer.model().parameters());
                 }
                 Some(window) => {
-                    window.insert(x.clone(), labels.to_vec(), projected.to_vec());
+                    let (sx, sy) = shared_batch
+                        .get_or_insert_with(|| (Arc::new(x.clone()), Arc::from(labels)));
+                    window.insert(Arc::clone(sx), Arc::clone(sy), projected.to_vec());
                     if window.is_full() {
                         let disorder = window.disorder();
                         let window_mean = window.projected_mean();
@@ -422,26 +432,30 @@ impl MultiGranularity {
             && work > 64 * 1024
             && pool::configured_threads() > 1
         {
-            let mut probs: Vec<Option<Matrix>> = Vec::new();
-            probs.resize_with(voters.len(), || None);
-            let tasks: Vec<pool::Task<'_>> = probs
-                .iter_mut()
-                .zip(&voters)
-                .map(|(slot, &(i, _))| {
+            let tasks: Vec<pool::Task<'_>> = voters
+                .iter()
+                .map(|&(i, _)| {
                     let model = self.levels[i].trainer.model();
+                    let scratch = &self.levels[i].scratch;
                     Box::new(move || {
-                        *slot = Some(model.predict_proba(x));
+                        let mut guard = scratch.lock();
+                        let (ws, probs) = &mut *guard;
+                        model.predict_proba_into(x, ws, probs);
                     }) as pool::Task<'_>
                 })
                 .collect();
             pool::global().run(tasks);
-            for (&(_, w), p) in voters.iter().zip(probs) {
-                blended.axpy(w / voting_total, &p.expect("voter task completed"));
+            for &(i, w) in &voters {
+                let guard = self.levels[i].scratch.lock();
+                blended.axpy(w / voting_total, &guard.1);
             }
         } else {
             for &(i, w) in &voters {
-                let probs = self.levels[i].trainer.model().predict_proba(x);
-                blended.axpy(w / voting_total, &probs);
+                let level = &self.levels[i];
+                let mut guard = level.scratch.lock();
+                let (ws, probs) = &mut *guard;
+                level.trainer.model().predict_proba_into(x, ws, probs);
+                blended.axpy(w / voting_total, probs);
             }
         }
         blended
@@ -537,8 +551,7 @@ fn train_weighted_precomputed(
     let mut start = 0;
     while start < n {
         let end = (start + chunk).min(n);
-        let idx: Vec<usize> = (start..end).collect();
-        let sub_x = x.select_rows(&idx);
+        let sub_x = x.slice_rows(start, end);
         let sub_y = &labels[start..end];
         let sub_w = &weights[start..end];
         let weight_sum: f64 = sub_w.iter().sum();

@@ -21,7 +21,7 @@ proptest! {
     ) {
         let mut w = AdaptiveStreamingWindow::new(window_params(100));
         for &m in &means {
-            w.insert(Matrix::filled(2, 3, m), vec![0, 1], vec![m, m]);
+            w.insert(Matrix::filled(2, 3, m).into(), vec![0, 1].into(), vec![m, m]);
             for b in w.batches() {
                 prop_assert!((0.0..=1.0).contains(&b.weight), "weight {}", b.weight);
             }
@@ -35,7 +35,7 @@ proptest! {
     ) {
         let mut w = AdaptiveStreamingWindow::new(window_params(100));
         for &m in &means {
-            let d = w.insert(Matrix::filled(1, 2, m), vec![0], vec![m, 0.0]);
+            let d = w.insert(Matrix::filled(1, 2, m).into(), vec![0].into(), vec![m, 0.0]);
             prop_assert!((0.0..=1.0).contains(&d), "disorder {d}");
         }
     }
@@ -47,7 +47,7 @@ proptest! {
         let mut w = AdaptiveStreamingWindow::new(window_params(100));
         let mut total = 0;
         for (i, &n) in sizes.iter().enumerate() {
-            w.insert(Matrix::filled(n, 2, i as f64), vec![0; n], vec![i as f64, 0.0]);
+            w.insert(Matrix::filled(n, 2, i as f64).into(), vec![0; n].into(), vec![i as f64, 0.0]);
             total += n;
         }
         // Decay may have evicted some batches; drained rows must match

@@ -16,9 +16,18 @@ use freeway_linalg::Matrix;
 /// # Panics
 /// Panics if either sample is empty.
 pub fn ks_statistic(a: &[f64], b: &[f64]) -> f64 {
-    assert!(!a.is_empty() && !b.is_empty(), "KS needs non-empty samples");
     let mut sa = a.to_vec();
     let mut sb = b.to_vec();
+    ks_statistic_mut(&mut sa, &mut sb)
+}
+
+/// [`ks_statistic`] over caller-owned buffers, sorted in place — the
+/// allocation-free form for per-feature sweeps.
+///
+/// # Panics
+/// Panics if either sample is empty.
+pub fn ks_statistic_mut(sa: &mut [f64], sb: &mut [f64]) -> f64 {
+    assert!(!sa.is_empty() && !sb.is_empty(), "KS needs non-empty samples");
     sa.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
     sb.sort_by(|x, y| x.partial_cmp(y).expect("finite samples"));
 
@@ -70,6 +79,9 @@ pub fn ks_critical_value(n: usize, m: usize, alpha: f64) -> f64 {
 pub struct KsDetector {
     reference: Option<Matrix>,
     alpha: f64,
+    // Per-feature column scratch, reused across observations.
+    ref_col: Vec<f64>,
+    batch_col: Vec<f64>,
 }
 
 /// One KS verdict.
@@ -89,26 +101,34 @@ impl KsDetector {
     pub fn new(alpha: f64) -> Self {
         // Validate eagerly so misconfiguration fails at construction.
         let _ = ks_critical_value(10, 10, alpha);
-        Self { reference: None, alpha }
+        Self { reference: None, alpha, ref_col: Vec::new(), batch_col: Vec::new() }
     }
 
     /// Observes a batch: compares it against the previous batch and makes
-    /// it the new reference. `None` on the first call.
+    /// it the new reference. `None` on the first call. Column scratch and
+    /// the reference allocation are reused across calls, so a warm
+    /// steady-state observation of equal-sized batches allocates nothing.
     pub fn observe(&mut self, batch: &Matrix) -> Option<KsReport> {
-        let report = self.reference.as_ref().map(|reference| {
+        let Self { reference, alpha, ref_col, batch_col } = self;
+        let report = reference.as_ref().map(|reference| {
             let mut max_statistic: f64 = 0.0;
             let mut argmax_feature = 0;
             for f in 0..batch.cols() {
-                let d = ks_statistic(&reference.col(f), &batch.col(f));
+                reference.col_into(f, ref_col);
+                batch.col_into(f, batch_col);
+                let d = ks_statistic_mut(ref_col, batch_col);
                 if d > max_statistic {
                     max_statistic = d;
                     argmax_feature = f;
                 }
             }
-            let critical = ks_critical_value(reference.rows(), batch.rows(), self.alpha);
+            let critical = ks_critical_value(reference.rows(), batch.rows(), *alpha);
             KsReport { max_statistic, argmax_feature, drift: max_statistic > critical }
         });
-        self.reference = Some(batch.clone());
+        match self.reference.as_mut() {
+            Some(r) => r.copy_from(batch),
+            None => self.reference = Some(batch.clone()),
+        }
         report
     }
 }

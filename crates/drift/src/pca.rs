@@ -48,19 +48,40 @@ impl PcaReducer {
     /// # Panics
     /// Panics on dimension mismatch.
     pub fn project_mean(&self, batch_mean: &[f64]) -> Vec<f64> {
+        let mut centered = Vec::new();
+        let mut out = Vec::new();
+        self.project_mean_into(batch_mean, &mut centered, &mut out);
+        out
+    }
+
+    /// [`Self::project_mean`] writing into `out`, drawing the centered
+    /// intermediate from `centered` — the allocation-free form for
+    /// per-batch callers. Bit-identical to the allocating path.
+    ///
+    /// # Panics
+    /// Panics on dimension mismatch.
+    pub fn project_mean_into(
+        &self,
+        batch_mean: &[f64],
+        centered: &mut Vec<f64>,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(batch_mean.len(), self.mean.len(), "projection dimension mismatch");
-        let centered = freeway_linalg::vector::sub(batch_mean, &self.mean);
-        self.components.t_matvec(&centered)
+        centered.clear();
+        centered.extend(batch_mean.iter().zip(&self.mean).map(|(&a, &m)| a - m));
+        self.components.t_matvec_into(centered, out);
     }
 
     /// Projects every row of a batch (used by the shift-graph
-    /// visualisation in Figure 2).
+    /// visualisation in Figure 2). Scratch is reused across rows.
     pub fn project_rows(&self, data: &Matrix) -> Matrix {
         assert_eq!(data.cols(), self.mean.len(), "projection dimension mismatch");
         let mut out = Matrix::zeros(data.rows(), self.k());
+        let mut centered = Vec::new();
+        let mut proj = Vec::new();
         for (r, row) in data.row_iter().enumerate() {
-            let projected = self.project_mean(row);
-            out.row_mut(r).copy_from_slice(&projected);
+            self.project_mean_into(row, &mut centered, &mut proj);
+            out.row_mut(r).copy_from_slice(&proj);
         }
         out
     }

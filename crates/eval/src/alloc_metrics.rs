@@ -1,0 +1,104 @@
+//! Feature-gated counting global allocator.
+//!
+//! With the `alloc-metrics` feature enabled, this module installs a
+//! [`std::alloc::GlobalAlloc`] wrapper around the system allocator that
+//! counts, per thread, how many heap allocations happen and how many
+//! bytes they request. The zero-allocation regression test and
+//! `bench_throughput` use it to *prove* (not estimate) that the warm
+//! steady-state training loop never touches the heap.
+//!
+//! Without the feature every probe returns `None` and no allocator is
+//! installed, so default builds pay nothing.
+//!
+//! Counters are thread-local and `const`-initialised (`Cell`, no lazy
+//! init, no `Drop`), so reading or bumping them never allocates — a hard
+//! requirement inside a global allocator.
+
+/// Snapshot of one thread's allocation counters.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub struct AllocSnapshot {
+    /// Number of allocation calls (`alloc` + `realloc`) on this thread.
+    pub allocs: u64,
+    /// Total bytes requested by those calls.
+    pub bytes: u64,
+}
+
+#[cfg(feature = "alloc-metrics")]
+mod imp {
+    use super::AllocSnapshot;
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::cell::Cell;
+
+    thread_local! {
+        static ALLOCS: Cell<u64> = const { Cell::new(0) };
+        static BYTES: Cell<u64> = const { Cell::new(0) };
+    }
+
+    /// The counting allocator: delegates to [`System`], bumping the
+    /// calling thread's counters on `alloc` and `realloc`.
+    pub struct CountingAllocator;
+
+    unsafe impl GlobalAlloc for CountingAllocator {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            let _ = BYTES.try_with(|c| c.set(c.get() + layout.size() as u64));
+            unsafe { System.alloc(layout) }
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            unsafe { System.dealloc(ptr, layout) }
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            let _ = ALLOCS.try_with(|c| c.set(c.get() + 1));
+            let _ = BYTES.try_with(|c| c.set(c.get() + new_size as u64));
+            unsafe { System.realloc(ptr, layout, new_size) }
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAllocator = CountingAllocator;
+
+    pub fn snapshot() -> Option<AllocSnapshot> {
+        let allocs = ALLOCS.try_with(Cell::get).unwrap_or(0);
+        let bytes = BYTES.try_with(Cell::get).unwrap_or(0);
+        Some(AllocSnapshot { allocs, bytes })
+    }
+
+    pub fn reset() {
+        let _ = ALLOCS.try_with(|c| c.set(0));
+        let _ = BYTES.try_with(|c| c.set(0));
+    }
+}
+
+#[cfg(not(feature = "alloc-metrics"))]
+mod imp {
+    use super::AllocSnapshot;
+
+    pub fn snapshot() -> Option<AllocSnapshot> {
+        None
+    }
+
+    pub fn reset() {}
+}
+
+/// Current thread's allocation counters, or `None` when the
+/// `alloc-metrics` feature is disabled.
+pub fn snapshot() -> Option<AllocSnapshot> {
+    imp::snapshot()
+}
+
+/// Resets the current thread's counters to zero. No-op when the feature
+/// is disabled.
+pub fn reset() {
+    imp::reset()
+}
+
+/// Counters accumulated on the current thread since `before` was taken.
+/// `None` when the feature is disabled.
+pub fn since(before: &AllocSnapshot) -> Option<AllocSnapshot> {
+    snapshot().map(|now| AllocSnapshot {
+        allocs: now.allocs.saturating_sub(before.allocs),
+        bytes: now.bytes.saturating_sub(before.bytes),
+    })
+}

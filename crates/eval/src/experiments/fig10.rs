@@ -81,6 +81,13 @@ pub struct ThreadedPoint {
     pub threads: usize,
     /// Measured throughput (items/second).
     pub items_per_sec: f64,
+    /// Heap allocations per stream item on the caller thread during the
+    /// measured run, or `-1.0` when the binary was built without the
+    /// `alloc-metrics` feature.
+    pub allocs_per_item: f64,
+    /// Heap bytes requested per stream item on the caller thread during
+    /// the measured run, or `-1.0` when not measured.
+    pub bytes_per_item: f64,
 }
 
 /// Serial-vs-pooled throughput comparison (the machine-readable
@@ -116,6 +123,7 @@ pub fn run_thread_comparison(
                     let point_scale = Scale { batch_size: bs, ..*scale };
                     let mut learner =
                         build_system_threaded(sys, family, 10, 2, &point_scale, threads);
+                    let before = crate::alloc_metrics::snapshot();
                     let result = run_prequential(
                         learner.as_mut(),
                         &mut generator,
@@ -123,12 +131,24 @@ pub fn run_thread_comparison(
                         bs,
                         scale.warmup,
                     );
+                    // Caller-thread allocations per measured item; -1 when
+                    // the alloc-metrics feature is off. Includes the stream
+                    // generator and warmup, so warm zero-alloc hot paths
+                    // show up as a small constant, not exactly zero.
+                    let items = (scale.batches * bs) as f64;
+                    let (allocs_per_item, bytes_per_item) = before
+                        .and_then(|b| crate::alloc_metrics::since(&b))
+                        .map_or((-1.0, -1.0), |d| {
+                            (d.allocs as f64 / items, d.bytes as f64 / items)
+                        });
                     points.push(ThreadedPoint {
                         model: format!("Streaming{}", family.tag()),
                         system: result.system.clone(),
                         batch_size: bs,
                         threads,
                         items_per_sec: result.throughput_items_per_sec(),
+                        allocs_per_item,
+                        bytes_per_item,
                     });
                 }
             }
@@ -242,6 +262,12 @@ mod tests {
         for p in &b.points {
             assert!(p.items_per_sec > 0.0, "{p:?}");
             assert!(p.threads == 1 || p.threads == 2);
+            if cfg!(feature = "alloc-metrics") {
+                assert!(p.allocs_per_item >= 0.0 && p.bytes_per_item >= 0.0, "{p:?}");
+            } else {
+                assert_eq!(p.allocs_per_item, -1.0, "{p:?}");
+                assert_eq!(p.bytes_per_item, -1.0, "{p:?}");
+            }
         }
         assert!(b.render().contains("thread(s)"));
     }

@@ -10,6 +10,7 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod alloc_metrics;
 pub mod experiments;
 pub mod metrics;
 pub mod prequential;

@@ -1,0 +1,83 @@
+//! Zero-allocation regression gate for the warm training hot path.
+//!
+//! Builds the paper's StreamingMLP trainer, warms every scratch buffer,
+//! then *proves* via the counting global allocator that a steady-state
+//! infer + train loop over batch-1024 Hyperplane data performs zero heap
+//! allocations on the hot thread. Run with:
+//!
+//! ```text
+//! cargo test -p freeway-eval --features alloc-metrics --test alloc_regression
+//! ```
+#![cfg(feature = "alloc-metrics")]
+
+use freeway_eval::alloc_metrics;
+use freeway_linalg::Matrix;
+use freeway_ml::{ModelSpec, Sgd, Trainer};
+use freeway_streams::{Hyperplane, StreamGenerator};
+
+const BATCH: usize = 1024;
+const WARM_ITERS: usize = 3;
+const MEASURED_ITERS: usize = 5;
+
+fn warm_and_measure(mut trainer: Trainer) -> alloc_metrics::AllocSnapshot {
+    let mut generator = Hyperplane::new(10, 0.02, 0.05, 42);
+    let batch = generator.next_batch(BATCH);
+    let (x, y) = (&batch.x, batch.labels());
+    let mut probs = Matrix::zeros(0, 0);
+
+    for _ in 0..WARM_ITERS {
+        trainer.predict_proba_into(x, &mut probs);
+        trainer.train_batch(x, y);
+    }
+
+    alloc_metrics::reset();
+    let before = alloc_metrics::snapshot().expect("alloc-metrics feature is on");
+    for _ in 0..MEASURED_ITERS {
+        trainer.predict_proba_into(x, &mut probs);
+        trainer.train_batch(x, y);
+    }
+    alloc_metrics::since(&before).expect("alloc-metrics feature is on")
+}
+
+/// The headline gate: the serial StreamingMLP train + infer loop must not
+/// touch the heap once its workspaces are warm.
+#[test]
+fn warm_mlp_loop_allocates_nothing() {
+    freeway_linalg::pool::configure(1);
+    let trainer = Trainer::new(ModelSpec::mlp(10, vec![32], 2).build(0), Box::new(Sgd::new(0.05)));
+    let delta = warm_and_measure(trainer);
+    assert_eq!(
+        delta.allocs, 0,
+        "warm MLP hot path allocated {} times ({} bytes) over {MEASURED_ITERS} iterations",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.bytes, 0);
+}
+
+/// Same gate for the logistic-regression family, which shares the
+/// workspace machinery through the default trait plumbing.
+#[test]
+fn warm_lr_loop_allocates_nothing() {
+    freeway_linalg::pool::configure(1);
+    let trainer = Trainer::new(ModelSpec::lr(10, 2).build(0), Box::new(Sgd::new(0.05)));
+    let delta = warm_and_measure(trainer);
+    assert_eq!(
+        delta.allocs, 0,
+        "warm LR hot path allocated {} times ({} bytes) over {MEASURED_ITERS} iterations",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.bytes, 0);
+}
+
+/// The counters themselves must observe ordinary allocations — guards
+/// against the gate silently passing because counting broke.
+#[test]
+fn counter_sees_allocations() {
+    alloc_metrics::reset();
+    let before = alloc_metrics::snapshot().expect("alloc-metrics feature is on");
+    let v: Vec<u8> = Vec::with_capacity(4096);
+    let delta = alloc_metrics::since(&before).expect("alloc-metrics feature is on");
+    drop(v);
+    assert!(delta.allocs >= 1, "Vec::with_capacity must be counted");
+    assert!(delta.bytes >= 4096, "bytes must cover the requested capacity");
+}

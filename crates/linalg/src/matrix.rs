@@ -7,9 +7,16 @@ use std::ops::{Index, IndexMut};
 /// A dense, row-major matrix of `f64` values.
 ///
 /// The element at row `r`, column `c` lives at `data[r * cols + c]`.
-/// Dimensions are immutable after construction; all binary operations
-/// panic on dimension mismatch, which in this workspace always indicates
-/// a programming error rather than a recoverable condition.
+/// Dimensions only change through [`Matrix::resize`], which re-shapes a
+/// scratch matrix in place (retaining its allocation); all binary
+/// operations panic on dimension mismatch, which in this workspace always
+/// indicates a programming error rather than a recoverable condition.
+///
+/// Every allocating product (`matmul`, `matvec`, …) has an `_into`
+/// counterpart that writes into a caller-owned buffer; the `_into` paths
+/// perform no heap allocation once the buffer's capacity has reached its
+/// high-water mark, which is what makes the warm training loop
+/// allocation-free.
 #[derive(Clone, PartialEq, Serialize, Deserialize)]
 pub struct Matrix {
     rows: usize,
@@ -129,10 +136,41 @@ impl Matrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
+    /// Re-shapes this matrix in place to `rows x cols`.
+    ///
+    /// Intended for scratch/workspace buffers: the backing allocation is
+    /// retained, so repeated resizes stop allocating once the buffer's
+    /// high-water mark is reached. Entries carried over from the previous
+    /// shape keep their (now meaningless) values — callers that need
+    /// zeroed contents must clear explicitly.
+    pub fn resize(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    /// Makes this matrix an exact copy of `src`, reusing the existing
+    /// allocation when its capacity suffices.
+    pub fn copy_from(&mut self, src: &Matrix) {
+        self.resize(src.rows, src.cols);
+        self.data.copy_from_slice(&src.data);
+    }
+
     /// Copies column `c` into a new vector.
     pub fn col(&self, c: usize) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.col_into(c, &mut out);
+        out
+    }
+
+    /// Copies column `c` into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if `c >= self.cols()`.
+    pub fn col_into(&self, c: usize, out: &mut Vec<f64>) {
         assert!(c < self.cols);
-        (0..self.rows).map(|r| self[(r, c)]).collect()
+        out.clear();
+        out.extend((0..self.rows).map(|r| self[(r, c)]));
     }
 
     /// Iterator over row slices.
@@ -162,20 +200,33 @@ impl Matrix {
     /// # Panics
     /// Panics if `self.cols() != rhs.rows()`.
     pub fn matmul(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul`] writing into `out`, which is re-shaped to
+    /// `self.rows() x rhs.cols()` reusing its allocation. Bit-identical to
+    /// the allocating path.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.rows()`.
+    pub fn matmul_into(&self, rhs: &Matrix, out: &mut Matrix) {
         assert_eq!(
             self.cols, rhs.rows,
             "matmul dimension mismatch: {}x{} * {}x{}",
             self.rows, self.cols, rhs.rows, rhs.cols
         );
+        out.resize(self.rows, rhs.cols);
+        out.data.fill(0.0);
         let flops = self.rows * self.cols * rhs.cols;
         if self.rows < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
-            let mut out = Matrix::zeros(self.rows, rhs.cols);
             for (i, out_row) in out.data.chunks_mut(rhs.cols.max(1)).enumerate() {
                 self.matmul_row_into(rhs, i, out_row);
             }
-            return out;
+            return;
         }
-        self.matmul_with(rhs, &crate::pool::global())
+        self.matmul_pooled_into(rhs, out, &crate::pool::global());
     }
 
     /// [`Self::matmul`] on an explicit pool, bypassing the size gate.
@@ -190,8 +241,17 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         let mut out = Matrix::zeros(self.rows, rhs.cols);
+        self.matmul_pooled_into(rhs, &mut out, pool);
+        out
+    }
+
+    /// Pooled matmul body; `out` must already be zeroed with shape
+    /// `self.rows x rhs.cols`. Output rows are partitioned across pool
+    /// threads; each row's arithmetic is unchanged, so the result is
+    /// bit-identical for any thread count.
+    fn matmul_pooled_into(&self, rhs: &Matrix, out: &mut Matrix, pool: &crate::pool::WorkerPool) {
         if self.rows == 0 {
-            return out;
+            return;
         }
         let out_cols = rhs.cols.max(1);
         let chunk_rows = self.rows.div_ceil(pool.threads());
@@ -209,18 +269,309 @@ impl Matrix {
             })
             .collect();
         pool.run(tasks);
-        out
     }
 
-    /// Computes one output row of `self * rhs` into `out_row`.
+    /// Computes one output row of `self * rhs` into `out_row` (whose prior
+    /// contents are ignored; every element is overwritten).
+    ///
+    /// Each output element accumulates its terms in plain ascending-`k`
+    /// order — the register blocking below only changes *where* the
+    /// partial sums live (a fixed-size accumulator array instead of the
+    /// output slice), never the order or association of the additions, so
+    /// the result is bit-identical to the naive k-outer loop.
     #[inline]
     fn matmul_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f64]) {
         let a_row = self.row(i);
-        for (k, &a_ik) in a_row.iter().enumerate() {
-            let b_row = rhs.row(k);
-            for (o, &b) in out_row.iter_mut().zip(b_row) {
-                *o += a_ik * b;
+        let mut j0 = 0;
+        while out_row.len() - j0 >= 8 {
+            Self::matmul_row_block::<8>(a_row, rhs, j0, &mut out_row[j0..j0 + 8]);
+            j0 += 8;
+        }
+        let rest = &mut out_row[j0..];
+        match rest.len() {
+            0 => {}
+            1 => Self::matmul_row_block::<1>(a_row, rhs, j0, rest),
+            2 => Self::matmul_row_block::<2>(a_row, rhs, j0, rest),
+            3 => Self::matmul_row_block::<3>(a_row, rhs, j0, rest),
+            4 => Self::matmul_row_block::<4>(a_row, rhs, j0, rest),
+            5 => Self::matmul_row_block::<5>(a_row, rhs, j0, rest),
+            6 => Self::matmul_row_block::<6>(a_row, rhs, j0, rest),
+            _ => Self::matmul_row_block::<7>(a_row, rhs, j0, rest),
+        }
+    }
+
+    /// One `N`-wide column block of a matmul output row: `out[j] =
+    /// Σ_k a_row[k] · rhs[k][j0+j]`, terms added in ascending `k` with a
+    /// per-column register accumulator (constant `N` lets the chains
+    /// vectorize).
+    #[inline]
+    fn matmul_row_block<const N: usize>(a_row: &[f64], rhs: &Matrix, j0: usize, out: &mut [f64]) {
+        let mut acc = [0.0f64; N];
+        for (&a_ik, b_row) in a_row.iter().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
+            let b = &b_row[j0..j0 + N];
+            for j in 0..N {
+                acc[j] += a_ik * b[j];
             }
+        }
+        out.copy_from_slice(&acc);
+    }
+
+    /// Fused transposed product `self^T * rhs` without materializing the
+    /// transpose.
+    ///
+    /// Every output element accumulates its terms in ascending shared-row
+    /// order, exactly like `self.transpose().matmul(rhs)`, so the result
+    /// is bit-identical to the two-step form (and across thread counts).
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_transa(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transa_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transa`] writing into `out`, which is re-shaped to
+    /// `self.cols() x rhs.cols()` reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_transa_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_transa dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.cols, rhs.cols);
+        out.data.fill(0.0);
+        if rhs.cols == 0 || self.cols == 0 {
+            return;
+        }
+        let flops = self.rows * self.cols * rhs.cols;
+        if self.cols < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
+            // Shared-row-outer order streams both operands contiguously;
+            // each output element still sees plain ascending-k
+            // accumulation, matching the pooled path below element-wise.
+            // Narrow right-hand sides (backprop's `input^T · delta` with
+            // few classes) take a register-held copy of the shared row.
+            match rhs.cols {
+                1 => self.matmul_transa_serial::<1>(rhs, out),
+                2 => self.matmul_transa_serial::<2>(rhs, out),
+                3 => self.matmul_transa_serial::<3>(rhs, out),
+                4 => self.matmul_transa_serial::<4>(rhs, out),
+                cols => {
+                    for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
+                        for (out_row, &a_kc) in out.data.chunks_exact_mut(cols).zip(a_row) {
+                            for (o, &b) in out_row.iter_mut().zip(b_row) {
+                                *o += a_kc * b;
+                            }
+                        }
+                    }
+                }
+            }
+            return;
+        }
+        self.matmul_transa_pooled_into(rhs, out, &crate::pool::global());
+    }
+
+    /// Serial `self^T * rhs` body for a constant narrow `rhs` width:
+    /// identical shared-row-outer traversal and per-element ascending-k
+    /// accumulation as the generic loop, with the `N` right-hand values
+    /// of each shared row held in registers.
+    #[inline]
+    fn matmul_transa_serial<const N: usize>(&self, rhs: &Matrix, out: &mut Matrix) {
+        for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
+            let mut b = [0.0f64; N];
+            b.copy_from_slice(&b_row[..N]);
+            for (out_row, &a_kc) in out.data.chunks_exact_mut(N).zip(a_row) {
+                for j in 0..N {
+                    out_row[j] += a_kc * b[j];
+                }
+            }
+        }
+    }
+
+    /// [`Self::matmul_transa`] on an explicit pool, bypassing the size
+    /// gate. Exposed so tests can compare pool sizes side by side.
+    ///
+    /// # Panics
+    /// Panics if `self.rows() != rhs.rows()`.
+    pub fn matmul_transa_with(&self, rhs: &Matrix, pool: &crate::pool::WorkerPool) -> Matrix {
+        assert_eq!(
+            self.rows, rhs.rows,
+            "matmul_transa dimension mismatch: ({}x{})^T * {}x{}",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.cols, rhs.cols);
+        self.matmul_transa_pooled_into(rhs, &mut out, pool);
+        out
+    }
+
+    /// Pooled `self^T * rhs` body; `out` must already be zeroed with shape
+    /// `self.cols x rhs.cols`. Output rows (columns of `self`) are
+    /// partitioned across threads; each output element is produced wholly
+    /// within one task by ascending shared-row accumulation, so there are
+    /// no split reductions and the result is thread-count invariant.
+    fn matmul_transa_pooled_into(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        pool: &crate::pool::WorkerPool,
+    ) {
+        if self.cols == 0 {
+            return;
+        }
+        let out_cols = rhs.cols.max(1);
+        let chunk_rows = self.cols.div_ceil(pool.threads());
+        let tasks: Vec<crate::pool::Task<'_>> = out
+            .data
+            .chunks_mut((chunk_rows * out_cols).max(1))
+            .enumerate()
+            .map(|(chunk, out_chunk)| {
+                let c0 = chunk * chunk_rows;
+                Box::new(move || {
+                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
+                        let c = c0 + offset;
+                        for k in 0..self.rows {
+                            let a_kc = self[(k, c)];
+                            for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
+                                *o += a_kc * b;
+                            }
+                        }
+                    }
+                }) as crate::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
+    /// Fused transposed product `self * rhs^T` without materializing the
+    /// transpose.
+    ///
+    /// Every output element is a plain ascending-k dot of two rows,
+    /// exactly the accumulation order of `self.matmul(&rhs.transpose())`,
+    /// so the result is bit-identical to the two-step form (and across
+    /// thread counts).
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transb(&self, rhs: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.matmul_transb_into(rhs, &mut out);
+        out
+    }
+
+    /// [`Self::matmul_transb`] writing into `out`, which is re-shaped to
+    /// `self.rows() x rhs.rows()` reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transb_into(&self, rhs: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transb dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        out.resize(self.rows, rhs.rows);
+        let flops = self.rows * self.cols * rhs.rows;
+        if self.rows < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
+            for (i, out_row) in out.data.chunks_mut(rhs.rows.max(1)).enumerate() {
+                self.matmul_transb_row_into(rhs, i, out_row);
+            }
+            return;
+        }
+        self.matmul_transb_pooled_into(rhs, out, &crate::pool::global());
+    }
+
+    /// [`Self::matmul_transb`] on an explicit pool, bypassing the size
+    /// gate. Exposed so tests can compare pool sizes side by side.
+    ///
+    /// # Panics
+    /// Panics if `self.cols() != rhs.cols()`.
+    pub fn matmul_transb_with(&self, rhs: &Matrix, pool: &crate::pool::WorkerPool) -> Matrix {
+        assert_eq!(
+            self.cols, rhs.cols,
+            "matmul_transb dimension mismatch: {}x{} * ({}x{})^T",
+            self.rows, self.cols, rhs.rows, rhs.cols
+        );
+        let mut out = Matrix::zeros(self.rows, rhs.rows);
+        self.matmul_transb_pooled_into(rhs, &mut out, pool);
+        out
+    }
+
+    /// Pooled `self * rhs^T` body; `out` must have shape
+    /// `self.rows x rhs.rows` (every element is overwritten). Output rows
+    /// are partitioned across threads with unchanged per-row arithmetic.
+    fn matmul_transb_pooled_into(
+        &self,
+        rhs: &Matrix,
+        out: &mut Matrix,
+        pool: &crate::pool::WorkerPool,
+    ) {
+        if self.rows == 0 {
+            return;
+        }
+        let out_cols = rhs.rows.max(1);
+        let chunk_rows = self.rows.div_ceil(pool.threads());
+        let tasks: Vec<crate::pool::Task<'_>> = out
+            .data
+            .chunks_mut((chunk_rows * out_cols).max(1))
+            .enumerate()
+            .map(|(chunk, out_chunk)| {
+                let row0 = chunk * chunk_rows;
+                Box::new(move || {
+                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
+                        self.matmul_transb_row_into(rhs, row0 + offset, out_row);
+                    }
+                }) as crate::pool::Task<'_>
+            })
+            .collect();
+        pool.run(tasks);
+    }
+
+    /// Computes one output row of `self * rhs^T` into `out_row`.
+    ///
+    /// Uses a plain ascending-k scalar sum — deliberately *not* the
+    /// unrolled [`crate::vector::dot`], whose 4-lane association order
+    /// differs — so each element matches `matmul` against a materialized
+    /// transpose bit for bit.
+    #[inline]
+    fn matmul_transb_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f64]) {
+        let a_row = self.row(i);
+        // Narrow shared dimensions (backprop's `delta · W^T` with few
+        // classes) keep the row in registers; the ascending-k sum below
+        // is the same either way.
+        match a_row.len() {
+            0 => out_row.fill(0.0),
+            1 => Self::matmul_transb_row_narrow::<1>(a_row, rhs, out_row),
+            2 => Self::matmul_transb_row_narrow::<2>(a_row, rhs, out_row),
+            3 => Self::matmul_transb_row_narrow::<3>(a_row, rhs, out_row),
+            4 => Self::matmul_transb_row_narrow::<4>(a_row, rhs, out_row),
+            cols => {
+                for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(cols)) {
+                    let mut s = 0.0;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        s += a * b;
+                    }
+                    *o = s;
+                }
+            }
+        }
+    }
+
+    /// One output row of `self * rhs^T` for a constant narrow shared
+    /// dimension `N`: per-element ascending-k scalar sums exactly like the
+    /// generic loop, with `a_row` held in registers.
+    #[inline]
+    fn matmul_transb_row_narrow<const N: usize>(a_row: &[f64], rhs: &Matrix, out_row: &mut [f64]) {
+        let mut a = [0.0f64; N];
+        a.copy_from_slice(&a_row[..N]);
+        for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(N)) {
+            let mut s = 0.0;
+            for j in 0..N {
+                s += a[j] * b_row[j];
+            }
+            *o = s;
         }
     }
 
@@ -232,14 +583,28 @@ impl Matrix {
     /// # Panics
     /// Panics if `v.len() != self.cols()`.
     pub fn matvec(&self, v: &[f64]) -> Vec<f64> {
+        let mut out = Vec::with_capacity(self.rows);
+        self.matvec_into(v, &mut out);
+        out
+    }
+
+    /// [`Self::matvec`] writing into `out`, reusing its allocation.
+    /// Bit-identical to the allocating path.
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.cols()`.
+    pub fn matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
+        out.clear();
         if self.rows < 2
             || self.rows * self.cols < PAR_MATVEC_MIN_ELEMS
             || crate::pool::configured_threads() == 1
         {
-            return self.row_iter().map(|row| crate::vector::dot(row, v)).collect();
+            out.extend(self.row_iter().map(|row| crate::vector::dot(row, v)));
+            return;
         }
-        self.matvec_with(v, &crate::pool::global())
+        out.resize(self.rows, 0.0);
+        self.matvec_pooled_into(v, out, &crate::pool::global());
     }
 
     /// [`Self::matvec`] on an explicit pool, bypassing the size gate.
@@ -250,8 +615,15 @@ impl Matrix {
     pub fn matvec_with(&self, v: &[f64], pool: &crate::pool::WorkerPool) -> Vec<f64> {
         assert_eq!(v.len(), self.cols, "matvec dimension mismatch");
         let mut out = vec![0.0; self.rows];
+        self.matvec_pooled_into(v, &mut out, pool);
+        out
+    }
+
+    /// Pooled matvec body; `out` must have length `self.rows` (every
+    /// element is overwritten).
+    fn matvec_pooled_into(&self, v: &[f64], out: &mut [f64], pool: &crate::pool::WorkerPool) {
         if self.rows == 0 {
-            return out;
+            return;
         }
         let chunk_rows = self.rows.div_ceil(pool.threads());
         let tasks: Vec<crate::pool::Task<'_>> = out
@@ -267,7 +639,6 @@ impl Matrix {
             })
             .collect();
         pool.run(tasks);
-        out
     }
 
     /// Transposed matrix-vector product `self^T * v`.
@@ -287,6 +658,30 @@ impl Matrix {
             return self.t_matvec_with(v, &crate::pool::WorkerPool::new(1));
         }
         self.t_matvec_with(v, &crate::pool::global())
+    }
+
+    /// [`Self::t_matvec`] writing into `out`, reusing its allocation.
+    /// Bit-identical to the allocating path; allocation-free when the
+    /// matrix fits a single accumulation chunk
+    /// (`rows <= T_MATVEC_CHUNK_ROWS`, which covers every per-row hot
+    /// caller in this workspace).
+    ///
+    /// # Panics
+    /// Panics if `v.len() != self.rows()`.
+    pub fn t_matvec_into(&self, v: &[f64], out: &mut Vec<f64>) {
+        assert_eq!(v.len(), self.rows, "t_matvec dimension mismatch");
+        if self.rows <= T_MATVEC_CHUNK_ROWS {
+            out.clear();
+            out.resize(self.cols, 0.0);
+            self.t_matvec_range_into(v, 0, self.rows, out);
+            return;
+        }
+        // Multi-chunk: reuse the fixed chunked reduction wholesale so the
+        // chunk-order combine stays byte-for-byte the same. The partials
+        // allocate, but only for matrices past the chunk threshold.
+        let result = self.t_matvec(v);
+        out.clear();
+        out.extend_from_slice(&result);
     }
 
     /// [`Self::t_matvec`] on an explicit pool, bypassing the size gate.
@@ -326,12 +721,17 @@ impl Matrix {
     /// Sequential `self[start..end]^T * v[start..end]` partial sum.
     fn t_matvec_range(&self, v: &[f64], start: usize, end: usize) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.t_matvec_range_into(v, start, end, &mut out);
+        out
+    }
+
+    /// [`Self::t_matvec_range`] accumulating into a pre-zeroed slice.
+    fn t_matvec_range_into(&self, v: &[f64], start: usize, end: usize, out: &mut [f64]) {
         for (r, &vr) in v.iter().enumerate().take(end).skip(start) {
             for (o, &x) in out.iter_mut().zip(self.row(r)) {
                 *o += vr * x;
             }
         }
-        out
     }
 
     /// In-place `self += alpha * other`.
@@ -368,12 +768,23 @@ impl Matrix {
     /// Sums each column into a length-`cols` vector.
     pub fn column_sums(&self) -> Vec<f64> {
         let mut out = vec![0.0; self.cols];
+        self.column_sums_into(&mut out);
+        out
+    }
+
+    /// [`Self::column_sums`] writing into `out` (every element is
+    /// overwritten). Bit-identical to the allocating path.
+    ///
+    /// # Panics
+    /// Panics if `out.len() != self.cols()`.
+    pub fn column_sums_into(&self, out: &mut [f64]) {
+        assert_eq!(out.len(), self.cols, "column_sums_into length mismatch");
+        out.fill(0.0);
         for row in self.row_iter() {
             for (o, &x) in out.iter_mut().zip(row) {
                 *o += x;
             }
         }
-        out
     }
 
     /// Means of each column; empty matrix yields all zeros.
@@ -398,6 +809,32 @@ impl Matrix {
             data.extend_from_slice(self.row(i));
         }
         Matrix { rows: indices.len(), cols: self.cols, data }
+    }
+
+    /// Returns a new matrix holding the contiguous row range
+    /// `start..end` — equivalent to `select_rows` over consecutive
+    /// indices, without building an index vector.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn slice_rows(&self, start: usize, end: usize) -> Matrix {
+        let mut out = Matrix::zeros(0, 0);
+        self.copy_row_range_into(start, end, &mut out);
+        out
+    }
+
+    /// [`Self::slice_rows`] writing into `out`, reusing its allocation.
+    ///
+    /// # Panics
+    /// Panics if `start > end` or `end > self.rows()`.
+    pub fn copy_row_range_into(&self, start: usize, end: usize, out: &mut Matrix) {
+        assert!(
+            start <= end && end <= self.rows,
+            "row range {start}..{end} out of bounds for {} rows",
+            self.rows
+        );
+        out.resize(end - start, self.cols);
+        out.data.copy_from_slice(&self.data[start * self.cols..end * self.cols]);
     }
 
     /// Stacks two matrices vertically.
@@ -561,5 +998,71 @@ mod tests {
     #[test]
     fn frobenius_norm_of_identity() {
         assert!((Matrix::identity(4).frobenius_norm() - 2.0).abs() < 1e-12);
+    }
+
+    fn arange(rows: usize, cols: usize, scale: f64) -> Matrix {
+        Matrix::from_vec(rows, cols, (0..rows * cols).map(|i| (i as f64 - 3.0) * scale).collect())
+    }
+
+    #[test]
+    fn transa_matches_two_step_transpose_matmul() {
+        let a = arange(5, 3, 0.7);
+        let b = arange(5, 4, -0.31);
+        assert_eq!(a.matmul_transa(&b), a.transpose().matmul(&b));
+    }
+
+    #[test]
+    fn transb_matches_two_step_transpose_matmul() {
+        let a = arange(4, 6, 0.13);
+        let b = arange(3, 6, 0.57);
+        assert_eq!(a.matmul_transb(&b), a.matmul(&b.transpose()));
+    }
+
+    #[test]
+    fn into_variants_reuse_buffers_across_shapes() {
+        let mut out = Matrix::zeros(7, 7);
+        let mut v_out = Vec::new();
+        for rows in [2usize, 6, 3] {
+            let a = arange(rows, 3, 0.2);
+            let b = arange(3, 2, 0.9);
+            a.matmul_into(&b, &mut out);
+            assert_eq!(out, a.matmul(&b));
+            let v: Vec<f64> = (0..3).map(|i| i as f64 - 1.0).collect();
+            a.matvec_into(&v, &mut v_out);
+            assert_eq!(v_out, a.matvec(&v));
+            let w: Vec<f64> = (0..rows).map(|i| 0.5 - i as f64).collect();
+            a.t_matvec_into(&w, &mut v_out);
+            assert_eq!(v_out, a.t_matvec(&w));
+            let mut sums = vec![0.0; 3];
+            a.column_sums_into(&mut sums);
+            assert_eq!(sums, a.column_sums());
+        }
+    }
+
+    #[test]
+    fn resize_retains_capacity_and_copy_from_round_trips() {
+        let src = arange(4, 2, 1.0);
+        let mut dst = Matrix::zeros(1, 1);
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
+        dst.resize(2, 2);
+        assert_eq!(dst.shape(), (2, 2));
+        assert_eq!(dst.as_slice(), &src.as_slice()[..4]);
+    }
+
+    #[test]
+    fn slice_rows_matches_select_rows() {
+        let m = arange(6, 3, 0.4);
+        let idx: Vec<usize> = (1..4).collect();
+        assert_eq!(m.slice_rows(1, 4), m.select_rows(&idx));
+        assert_eq!(m.slice_rows(0, 0).rows(), 0);
+    }
+
+    #[test]
+    fn col_into_matches_col() {
+        let m = arange(5, 3, 0.8);
+        let mut out = vec![99.0; 7];
+        m.col_into(2, &mut out);
+        assert_eq!(out, m.col(2));
     }
 }

@@ -158,7 +158,7 @@ mod tests {
         assert_eq!(c, a);
         let d = add(&a, &b);
         assert_eq!(d, vec![1.5, 2.5, 3.5]);
-        let mut e = a.clone();
+        let mut e = a;
         scale(&mut e, 2.0);
         assert_eq!(e, vec![2.0, 4.0, 6.0]);
     }

@@ -168,6 +168,81 @@ proptest! {
         prop_assert_eq!(&serial, &m.t_matvec(&v));
     }
 
+    // Zero-allocation hot path contract: every `_into` variant and fused
+    // transposed kernel must be BIT-identical (`==`) to its allocating
+    // two-step counterpart, for every pool size, even when the output
+    // buffer is dirty from a previous differently-shaped call.
+
+    #[test]
+    fn matmul_into_matches_matmul_with_dirty_buffer(
+        rows in 1usize..20,
+        inner in 1usize..10,
+        cols in 1usize..10,
+        data in prop::collection::vec(-10.0..10.0f64, 20 * 10 + 10 * 10),
+    ) {
+        let a = Matrix::from_vec(rows, inner, data[..rows * inner].to_vec());
+        let b = Matrix::from_vec(inner, cols, data[200..200 + inner * cols].to_vec());
+        let mut out = Matrix::filled(7, 3, f64::NAN); // dirty, wrong shape
+        a.matmul_into(&b, &mut out);
+        prop_assert_eq!(&out, &a.matmul(&b));
+    }
+
+    #[test]
+    fn fused_transa_matches_transpose_then_matmul(
+        rows in 1usize..24,
+        cols_a in 1usize..10,
+        cols_b in 1usize..10,
+        data in prop::collection::vec(-10.0..10.0f64, 24 * 10 + 24 * 10),
+    ) {
+        // A is rows x cols_a, B is rows x cols_b; fused computes Aᵀ·B.
+        let a = Matrix::from_vec(rows, cols_a, data[..rows * cols_a].to_vec());
+        let b = Matrix::from_vec(rows, cols_b, data[240..240 + rows * cols_b].to_vec());
+        let two_step = a.transpose().matmul(&b);
+        prop_assert_eq!(&a.matmul_transa(&b), &two_step);
+        let mut out = Matrix::filled(2, 5, f64::NAN);
+        a.matmul_transa_into(&b, &mut out);
+        prop_assert_eq!(&out, &two_step);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(&a.matmul_transa_with(&b, &WorkerPool::new(threads)), &two_step);
+        }
+    }
+
+    #[test]
+    fn fused_transb_matches_transpose_then_matmul(
+        rows in 1usize..24,
+        inner in 1usize..10,
+        cols in 1usize..10,
+        data in prop::collection::vec(-10.0..10.0f64, 24 * 10 + 10 * 10),
+    ) {
+        // A is rows x inner, B is cols x inner; fused computes A·Bᵀ.
+        let a = Matrix::from_vec(rows, inner, data[..rows * inner].to_vec());
+        let b = Matrix::from_vec(cols, inner, data[240..240 + cols * inner].to_vec());
+        let two_step = a.matmul(&b.transpose());
+        prop_assert_eq!(&a.matmul_transb(&b), &two_step);
+        let mut out = Matrix::filled(3, 1, f64::NAN);
+        a.matmul_transb_into(&b, &mut out);
+        prop_assert_eq!(&out, &two_step);
+        for threads in [1usize, 2, 8] {
+            prop_assert_eq!(&a.matmul_transb_with(&b, &WorkerPool::new(threads)), &two_step);
+        }
+    }
+
+    #[test]
+    fn vector_into_variants_match_allocating(
+        rows in 1usize..30,
+        cols in 1usize..8,
+        data in prop::collection::vec(-10.0..10.0f64, 30 * 8 + 30 + 8),
+    ) {
+        let m = Matrix::from_vec(rows, cols, data[..rows * cols].to_vec());
+        let v_cols = data[240..240 + cols].to_vec();
+        let v_rows = data[248..248 + rows].to_vec();
+        let mut out = vec![f64::NAN; 3]; // dirty, wrong length
+        m.matvec_into(&v_cols, &mut out);
+        prop_assert_eq!(&out, &m.matvec(&v_cols));
+        m.t_matvec_into(&v_rows, &mut out);
+        prop_assert_eq!(&out, &m.t_matvec(&v_rows));
+    }
+
     #[test]
     fn recency_weights_monotone(n in 1usize..30, decay in 0.01..1.0f64) {
         let w = stats::recency_weights(n, decay);

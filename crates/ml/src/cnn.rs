@@ -9,6 +9,7 @@
 
 use crate::loss;
 use crate::model::Model;
+use crate::workspace::Workspace;
 use freeway_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -76,14 +77,20 @@ impl Cnn1d {
         self.filters.rows()
     }
 
-    /// Forward pass for one sample: returns (relu'd conv activations
-    /// `filters x conv_len` flattened, pooled features, pool argmax
-    /// indices into the conv activations).
-    fn forward_sample(&self, x: &[f64]) -> (Vec<f64>, Vec<f64>, Vec<usize>) {
+    /// Forward pass for one sample, written into caller-owned slices:
+    /// relu'd conv activations (`filters x conv_len` flattened), pooled
+    /// features, and pool argmax indices into the conv activations.
+    /// Every element of each slice is overwritten.
+    fn forward_sample_into(
+        &self,
+        x: &[f64],
+        conv: &mut [f64],
+        pooled: &mut [f64],
+        arg: &mut [usize],
+    ) {
         let k = self.num_filters();
         let cl = self.conv_len();
         let pl = self.pooled_len();
-        let mut conv = vec![0.0; k * cl];
         for f in 0..k {
             let w = self.filters.row(f);
             let b = self.conv_bias[f];
@@ -95,8 +102,6 @@ impl Cnn1d {
                 conv[f * cl + t] = s.max(0.0); // ReLU fused into the conv output
             }
         }
-        let mut pooled = vec![0.0; k * pl];
-        let mut arg = vec![0; k * pl];
         for f in 0..k {
             for u in 0..pl {
                 let i0 = f * cl + 2 * u;
@@ -106,16 +111,42 @@ impl Cnn1d {
                 arg[f * pl + u] = best_i;
             }
         }
-        (conv, pooled, arg)
+    }
+
+    /// Forward-traces the whole batch into workspace buffers: conv
+    /// activations per row in `ws.conv`, argmax indices in `ws.argmax`,
+    /// pooled features in `ws.acts[0]`.
+    fn trace_batch_into(&self, x: &Matrix, ws: &mut Workspace) {
+        let n = x.rows();
+        let k = self.num_filters();
+        let cl = self.conv_len();
+        let pl = self.pooled_len();
+        ws.ensure_acts(1);
+        ws.conv.resize(n, k * cl);
+        ws.argmax.resize(n * k * pl, 0);
+        let pooled = &mut ws.acts[0];
+        pooled.resize(n, k * pl);
+        for r in 0..n {
+            self.forward_sample_into(
+                x.row(r),
+                ws.conv.row_mut(r),
+                pooled.row_mut(r),
+                &mut ws.argmax[r * k * pl..(r + 1) * k * pl],
+            );
+        }
     }
 
     fn pooled_batch(&self, x: &Matrix) -> Matrix {
         let pl = self.pooled_len();
         let k = self.num_filters();
+        let cl = self.conv_len();
         let mut out = Matrix::zeros(x.rows(), k * pl);
-        for (r, row) in x.row_iter().enumerate() {
-            let (_, pooled, _) = self.forward_sample(row);
-            out.row_mut(r).copy_from_slice(&pooled);
+        // Per-call (not per-row) scratch: the conv/argmax traces are
+        // discarded, only the pooled features survive.
+        let mut conv = vec![0.0; k * cl];
+        let mut arg = vec![0usize; k * pl];
+        for r in 0..x.rows() {
+            self.forward_sample_into(x.row(r), &mut conv, out.row_mut(r), &mut arg);
         }
         out
     }
@@ -143,47 +174,77 @@ impl Model for Cnn1d {
         logits
     }
 
+    fn predict_proba_into(&self, x: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        assert_eq!(x.cols(), self.features, "feature dimension mismatch");
+        self.trace_batch_into(x, ws);
+        ws.acts[0].matmul_into(&self.dense, out);
+        for r in 0..out.rows() {
+            for (v, &b) in out.row_mut(r).iter_mut().zip(&self.dense_bias) {
+                *v += b;
+            }
+        }
+        loss::softmax_rows(out);
+    }
+
     fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64> {
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        self.gradient_into(x, y, weights, &mut ws, &mut out);
+        out
+    }
+
+    fn gradient_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
         assert_eq!(x.cols(), self.features, "feature dimension mismatch");
         let n = x.rows();
         let k = self.num_filters();
         let cl = self.conv_len();
         let pl = self.pooled_len();
 
-        // Forward with traces.
-        let mut pooled = Matrix::zeros(n, k * pl);
-        let mut convs: Vec<Vec<f64>> = Vec::with_capacity(n);
-        let mut args: Vec<Vec<usize>> = Vec::with_capacity(n);
-        for (r, row) in x.row_iter().enumerate() {
-            let (conv, p, a) = self.forward_sample(row);
-            pooled.row_mut(r).copy_from_slice(&p);
-            convs.push(conv);
-            args.push(a);
-        }
-        let mut logits = pooled.matmul(&self.dense);
-        for r in 0..n {
-            for (v, &b) in logits.row_mut(r).iter_mut().zip(&self.dense_bias) {
-                *v += b;
+        // Forward with traces: pooled in acts[0], logits/probs in acts[1].
+        ws.ensure_acts(2);
+        self.trace_batch_into(x, ws);
+        {
+            let (head, tail) = ws.acts.split_at_mut(1);
+            let (pooled, logits) = (&head[0], &mut tail[0]);
+            pooled.matmul_into(&self.dense, logits);
+            for r in 0..n {
+                for (v, &b) in logits.row_mut(r).iter_mut().zip(&self.dense_bias) {
+                    *v += b;
+                }
             }
+            loss::softmax_rows(logits);
         }
-        loss::softmax_rows(&mut logits);
-        let delta = loss::softmax_grad(&logits, y, weights); // n x classes
+        loss::softmax_grad_into(&ws.acts[1], y, weights, &mut ws.delta_a); // n x classes
 
-        // Dense grads.
-        let grad_dense = pooled.transpose().matmul(&delta);
-        let grad_dense_bias = delta.column_sums();
+        let nf = k * self.kernel;
+        let nd = self.dense.rows() * self.dense.cols();
+        out.clear();
+        out.resize(self.num_parameters(), 0.0);
 
-        // Back through pooling + ReLU + conv.
-        let delta_pooled = delta.matmul(&self.dense.transpose()); // n x (k*pl)
-        let mut grad_filters = Matrix::zeros(k, self.kernel);
-        let mut grad_conv_bias = vec![0.0; k];
+        // Dense grads, written straight into their flat-layout slots.
+        ws.acts[0].matmul_transa_into(&ws.delta_a, &mut ws.grad_w);
+        out[nf + k..nf + k + nd].copy_from_slice(ws.grad_w.as_slice());
+        ws.delta_a.column_sums_into(&mut out[nf + k + nd..]);
+
+        // Back through pooling + ReLU + conv, accumulating into the flat
+        // filter/conv-bias slots directly.
+        ws.delta_a.matmul_transb_into(&self.dense, &mut ws.delta_b); // n x (k*pl)
+        let (head, _) = out.split_at_mut(nf + k);
+        let (gf_flat, grad_conv_bias) = head.split_at_mut(nf);
         for r in 0..n {
-            let dp = delta_pooled.row(r);
-            let conv = &convs[r];
-            let arg = &args[r];
+            let dp = ws.delta_b.row(r);
+            let conv = ws.conv.row(r);
+            let arg = &ws.argmax[r * k * pl..(r + 1) * k * pl];
             let xrow = x.row(r);
             for f in 0..k {
-                let gf = grad_filters.row_mut(f);
+                let gf = &mut gf_flat[f * self.kernel..(f + 1) * self.kernel];
                 for u in 0..pl {
                     let d = dp[f * pl + u];
                     if d == 0.0 {
@@ -202,13 +263,29 @@ impl Model for Cnn1d {
                 }
             }
         }
+    }
 
-        let mut flat = Vec::with_capacity(self.num_parameters());
-        flat.extend_from_slice(grad_filters.as_slice());
-        flat.extend_from_slice(&grad_conv_bias);
-        flat.extend_from_slice(grad_dense.as_slice());
-        flat.extend_from_slice(&grad_dense_bias);
-        flat
+    fn gradient_loss_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        // The probabilities sit in `acts[1]` after the backward pass
+        // (which only reads them), so the loss reuses the gradient's
+        // forward pass.
+        self.gradient_into(x, y, weights, ws, out);
+        loss::cross_entropy(&ws.acts[1], y)
+    }
+
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.filters.as_slice());
+        out.extend_from_slice(&self.conv_bias);
+        out.extend_from_slice(self.dense.as_slice());
+        out.extend_from_slice(&self.dense_bias);
     }
 
     fn apply_update(&mut self, delta: &[f64]) {

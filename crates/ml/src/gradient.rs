@@ -10,6 +10,7 @@
 //! over the concatenated data.
 
 use crate::model::Model;
+use crate::workspace::Workspace;
 use freeway_linalg::{pool, vector, Matrix};
 
 /// Fixed shard size for [`sharded_gradient`]. Shard boundaries depend
@@ -36,44 +37,118 @@ pub fn sharded_gradient(
     weights: Option<&[f64]>,
     pool: &pool::WorkerPool,
 ) -> Vec<f64> {
+    let mut scratch = ShardScratch::new();
+    let mut out = Vec::new();
+    sharded_gradient_into(model, x, y, weights, pool, &mut scratch, &mut out);
+    out
+}
+
+/// [`sharded_gradient`] writing into `out`, drawing every per-shard
+/// intermediate (sub-batch copy, workspace, gradient buffer) from
+/// `scratch` so a warm steady-state call performs no heap allocation.
+/// Bit-identical to the allocating path: shard boundaries, per-shard
+/// numerics, and the shard-order weighted merge are all unchanged.
+///
+/// # Panics
+/// Panics if `y` (or `weights`, when given) does not match `x.rows()`.
+pub fn sharded_gradient_into(
+    model: &dyn Model,
+    x: &Matrix,
+    y: &[usize],
+    weights: Option<&[f64]>,
+    pool: &pool::WorkerPool,
+    scratch: &mut ShardScratch,
+    out: &mut Vec<f64>,
+) {
     assert_eq!(x.rows(), y.len(), "sharded_gradient label mismatch");
     if let Some(w) = weights {
         assert_eq!(w.len(), y.len(), "sharded_gradient weights mismatch");
     }
     let rows = x.rows();
     if rows <= GRAD_SHARD_ROWS {
-        return model.gradient(x, y, weights);
+        scratch.ensure(1);
+        model.gradient_into(x, y, weights, &mut scratch.shards[0].ws, out);
+        return;
     }
     let shards = rows.div_ceil(GRAD_SHARD_ROWS);
-    let mut partials: Vec<(Vec<f64>, f64)> = vec![(Vec::new(), 0.0); shards];
-    let tasks: Vec<pool::Task<'_>> = partials
+    scratch.ensure(shards);
+    let tasks: Vec<pool::Task<'_>> = scratch.shards[..shards]
         .iter_mut()
         .enumerate()
         .map(|(shard, slot)| {
             Box::new(move || {
                 let start = shard * GRAD_SHARD_ROWS;
                 let end = (start + GRAD_SHARD_ROWS).min(rows);
-                let idx: Vec<usize> = (start..end).collect();
-                let sub_x = x.select_rows(&idx);
+                x.copy_row_range_into(start, end, &mut slot.sub_x);
                 let sub_w = weights.map(|w| &w[start..end]);
-                let grad = model.gradient(&sub_x, &y[start..end], sub_w);
-                let weight = match sub_w {
+                model.gradient_into(
+                    &slot.sub_x,
+                    &y[start..end],
+                    sub_w,
+                    &mut slot.ws,
+                    &mut slot.grad,
+                );
+                slot.weight = match sub_w {
                     Some(w) => w.iter().sum(),
                     None => (end - start) as f64,
                 };
-                *slot = (grad, weight);
             }) as pool::Task<'_>
         })
         .collect();
     pool.run(tasks);
-    let mut acc = PrecomputeAccumulator::new();
-    for (grad, weight) in &partials {
+    // Weighted merge in shard order — same axpy-then-scale arithmetic as
+    // PrecomputeAccumulator, written into `out` without allocating.
+    out.clear();
+    out.resize(model.num_parameters(), 0.0);
+    let mut total_weight = 0.0;
+    for slot in &scratch.shards[..shards] {
         // Zero-weight shards (all-zero ASW decay) contribute nothing.
-        if *weight > 0.0 {
-            acc.add_subset(grad, *weight);
+        if slot.weight > 0.0 {
+            vector::axpy(out, slot.weight, &slot.grad);
+            total_weight += slot.weight;
         }
     }
-    acc.take_merged().unwrap_or_else(|| vec![0.0; model.num_parameters()])
+    if total_weight > 0.0 {
+        let inv = 1.0 / total_weight;
+        for v in out.iter_mut() {
+            *v *= inv;
+        }
+    }
+}
+
+/// Reusable per-shard scratch for [`sharded_gradient_into`]: one slot per
+/// shard holding the contiguous sub-batch copy, a model workspace, and the
+/// shard's gradient buffer. Slots are created on first use and reused
+/// (never shrunk) across calls.
+#[derive(Debug, Default)]
+pub struct ShardScratch {
+    shards: Vec<ShardSlot>,
+}
+
+#[derive(Debug)]
+struct ShardSlot {
+    sub_x: Matrix,
+    ws: Workspace,
+    grad: Vec<f64>,
+    weight: f64,
+}
+
+impl ShardScratch {
+    /// Creates an empty scratch; slots materialise on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn ensure(&mut self, n: usize) {
+        if self.shards.len() < n {
+            self.shards.resize_with(n, || ShardSlot {
+                sub_x: Matrix::zeros(0, 0),
+                ws: Workspace::new(),
+                grad: Vec::new(),
+                weight: 0.0,
+            });
+        }
+    }
 }
 
 /// Accumulates per-subset average gradients into one weighted average.

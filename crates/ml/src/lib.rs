@@ -37,9 +37,12 @@ pub mod sharded;
 pub mod snapshot;
 pub mod spec;
 pub mod trainer;
+pub mod workspace;
 
 pub use cnn::Cnn1d;
-pub use gradient::{sharded_gradient, PrecomputeAccumulator, GRAD_SHARD_ROWS};
+pub use gradient::{
+    sharded_gradient, sharded_gradient_into, PrecomputeAccumulator, ShardScratch, GRAD_SHARD_ROWS,
+};
 pub use logistic::SoftmaxRegression;
 pub use mlp::Mlp;
 pub use model::Model;
@@ -49,3 +52,4 @@ pub use sharded::ShardedTrainer;
 pub use snapshot::ModelSnapshot;
 pub use spec::ModelSpec;
 pub use trainer::Trainer;
+pub use workspace::Workspace;

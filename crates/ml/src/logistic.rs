@@ -2,6 +2,7 @@
 
 use crate::loss;
 use crate::model::Model;
+use crate::workspace::Workspace;
 use freeway_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -35,14 +36,13 @@ impl SoftmaxRegression {
         }
     }
 
-    fn logits(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.weights);
+    fn logits_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weights, out);
         for r in 0..out.rows() {
             for (v, &b) in out.row_mut(r).iter_mut().zip(&self.bias) {
                 *v += b;
             }
         }
-        out
     }
 }
 
@@ -56,20 +56,64 @@ impl Model for SoftmaxRegression {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        let mut logits = self.logits(x);
+        let mut logits = Matrix::zeros(0, 0);
+        self.logits_into(x, &mut logits);
         loss::softmax_rows(&mut logits);
         logits
     }
 
+    fn predict_proba_into(&self, x: &Matrix, _ws: &mut Workspace, out: &mut Matrix) {
+        self.logits_into(x, out);
+        loss::softmax_rows(out);
+    }
+
     fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64> {
-        let probs = self.predict_proba(x);
-        let delta = loss::softmax_grad(&probs, y, weights); // n x classes
-                                                            // grad_W = x^T delta ; grad_b = column sums of delta.
-        let grad_w = x.transpose().matmul(&delta);
-        let grad_b = delta.column_sums();
-        let mut flat = grad_w.into_vec();
-        flat.extend_from_slice(&grad_b);
-        flat
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        self.gradient_into(x, y, weights, &mut ws, &mut out);
+        out
+    }
+
+    fn gradient_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        ws.ensure_acts(1);
+        self.logits_into(x, &mut ws.acts[0]);
+        loss::softmax_rows(&mut ws.acts[0]);
+        loss::softmax_grad_into(&ws.acts[0], y, weights, &mut ws.delta_a); // n x classes
+                                                                           // grad_W = x^T delta ; grad_b = column sums of delta.
+        x.matmul_transa_into(&ws.delta_a, &mut ws.grad_w);
+        let nw = self.weights.rows() * self.weights.cols();
+        out.clear();
+        out.resize(nw + self.bias.len(), 0.0);
+        out[..nw].copy_from_slice(ws.grad_w.as_slice());
+        ws.delta_a.column_sums_into(&mut out[nw..]);
+    }
+
+    fn gradient_loss_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        // `gradient_into` leaves the probabilities in `acts[0]` (the
+        // backward pass never touches them), so the loss comes free from
+        // the gradient's own forward pass.
+        self.gradient_into(x, y, weights, ws, out);
+        loss::cross_entropy(&ws.acts[0], y)
+    }
+
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        out.extend_from_slice(self.weights.as_slice());
+        out.extend_from_slice(&self.bias);
     }
 
     fn apply_update(&mut self, delta: &[f64]) {

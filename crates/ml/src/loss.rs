@@ -52,11 +52,27 @@ pub fn cross_entropy(probs: &Matrix, labels: &[usize]) -> f64 {
 /// # Panics
 /// Panics on any length mismatch or out-of-range label.
 pub fn softmax_grad(probs: &Matrix, labels: &[usize], weights: Option<&[f64]>) -> Matrix {
+    let mut out = Matrix::zeros(0, 0);
+    softmax_grad_into(probs, labels, weights, &mut out);
+    out
+}
+
+/// [`softmax_grad`] writing into `out` (re-shaped in place, reusing its
+/// allocation). Bit-identical to the allocating path.
+///
+/// # Panics
+/// Panics on any length mismatch or out-of-range label.
+pub fn softmax_grad_into(
+    probs: &Matrix,
+    labels: &[usize],
+    weights: Option<&[f64]>,
+    out: &mut Matrix,
+) {
     assert_eq!(probs.rows(), labels.len(), "softmax_grad length mismatch");
     let n = labels.len();
-    let mut out = probs.clone();
+    out.copy_from(probs);
     if n == 0 {
-        return out;
+        return;
     }
     let total_weight = match weights {
         Some(w) => {
@@ -65,7 +81,7 @@ pub fn softmax_grad(probs: &Matrix, labels: &[usize], weights: Option<&[f64]>) -
             if s.abs() < f64::EPSILON {
                 // All-zero weights contribute no gradient.
                 out.scale(0.0);
-                return out;
+                return;
             }
             s
         }
@@ -79,7 +95,6 @@ pub fn softmax_grad(probs: &Matrix, labels: &[usize], weights: Option<&[f64]>) -
             *v *= w;
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::loss;
 use crate::model::Model;
+use crate::workspace::Workspace;
 use freeway_linalg::Matrix;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -14,14 +15,13 @@ struct Dense {
 }
 
 impl Dense {
-    fn forward(&self, x: &Matrix) -> Matrix {
-        let mut out = x.matmul(&self.weights);
+    fn forward_into(&self, x: &Matrix, out: &mut Matrix) {
+        x.matmul_into(&self.weights, out);
         for r in 0..out.rows() {
             for (v, &b) in out.row_mut(r).iter_mut().zip(&self.bias) {
                 *v += b;
             }
         }
-        out
     }
 
     fn param_count(&self) -> usize {
@@ -68,16 +68,20 @@ impl Mlp {
         Self { layers, features, classes }
     }
 
-    /// Forward pass keeping every layer's *post-activation* output
-    /// (activations[0] is the input batch itself).
-    fn forward_trace(&self, x: &Matrix) -> Vec<Matrix> {
-        let mut acts = Vec::with_capacity(self.layers.len() + 1);
-        acts.push(x.clone());
+    /// Forward pass writing every layer's *post-activation* output into
+    /// `acts[i]`. The input batch is borrowed, never copied — layer 0
+    /// reads `x` directly, layer `i > 0` reads `acts[i - 1]`.
+    fn forward_layers_into(&self, x: &Matrix, acts: &mut Vec<Matrix>) {
+        if acts.len() < self.layers.len() {
+            acts.resize_with(self.layers.len(), || Matrix::zeros(0, 0));
+        }
         for (i, layer) in self.layers.iter().enumerate() {
-            let mut z = layer.forward(acts.last().expect("non-empty"));
-            let is_output = i + 1 == self.layers.len();
-            if is_output {
-                loss::softmax_rows(&mut z);
+            let (prev, rest) = acts.split_at_mut(i);
+            let input: &Matrix = if i == 0 { x } else { &prev[i - 1] };
+            let z = &mut rest[0];
+            layer.forward_into(input, z);
+            if i + 1 == self.layers.len() {
+                loss::softmax_rows(z);
             } else {
                 for v in z.as_mut_slice() {
                     if *v < 0.0 {
@@ -85,9 +89,7 @@ impl Mlp {
                     }
                 }
             }
-            acts.push(z);
         }
-        acts
     }
 }
 
@@ -101,42 +103,87 @@ impl Model for Mlp {
     }
 
     fn predict_proba(&self, x: &Matrix) -> Matrix {
-        self.forward_trace(x).pop().expect("at least the input activation")
+        let mut acts = Vec::new();
+        self.forward_layers_into(x, &mut acts);
+        acts.pop().expect("at least one layer")
+    }
+
+    fn predict_proba_into(&self, x: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        ws.ensure_acts(self.layers.len());
+        self.forward_layers_into(x, &mut ws.acts);
+        out.copy_from(&ws.acts[self.layers.len() - 1]);
     }
 
     fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64> {
-        let acts = self.forward_trace(x);
-        let probs = acts.last().expect("output activation");
-        // delta starts as the (weighted-average) softmax+CE gradient and is
-        // back-propagated layer by layer.
-        let mut delta = loss::softmax_grad(probs, y, weights);
+        let mut ws = Workspace::new();
+        let mut out = Vec::new();
+        self.gradient_into(x, y, weights, &mut ws, &mut out);
+        out
+    }
 
-        // Collect per-layer grads back-to-front, then reverse into layout order.
-        let mut grads_rev: Vec<(Matrix, Vec<f64>)> = Vec::with_capacity(self.layers.len());
+    fn gradient_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        ws.ensure_acts(self.layers.len());
+        self.forward_layers_into(x, &mut ws.acts);
+        // delta starts as the (weighted-average) softmax+CE gradient and is
+        // back-propagated layer by layer, ping-ponging between the two
+        // workspace delta buffers.
+        loss::softmax_grad_into(&ws.acts[self.layers.len() - 1], y, weights, &mut ws.delta_a);
+
+        let total = self.num_parameters();
+        out.clear();
+        out.resize(total, 0.0);
+        let mut off = total;
         for (i, layer) in self.layers.iter().enumerate().rev() {
-            let input = &acts[i];
-            let grad_w = input.transpose().matmul(&delta);
-            let grad_b = delta.column_sums();
+            let nw = layer.weights.rows() * layer.weights.cols();
+            let nb = layer.bias.len();
+            off -= nw + nb;
+            let input: &Matrix = if i == 0 { x } else { &ws.acts[i - 1] };
+            // grad_W = input^T delta, written straight into the layer's
+            // slice of the flat layout; grad_b = column sums of delta.
+            input.matmul_transa_into(&ws.delta_a, &mut ws.grad_w);
+            out[off..off + nw].copy_from_slice(ws.grad_w.as_slice());
+            ws.delta_a.column_sums_into(&mut out[off + nw..off + nw + nb]);
             if i > 0 {
-                let mut prev_delta = delta.matmul(&layer.weights.transpose());
-                // ReLU mask from the *post-activation* values of layer i-1.
-                let mask = &acts[i];
-                for (d, &a) in prev_delta.as_mut_slice().iter_mut().zip(mask.as_slice()) {
+                ws.delta_a.matmul_transb_into(&layer.weights, &mut ws.delta_b);
+                // ReLU mask from the *post-activation* values of layer
+                // i-1 — which is exactly this layer's input.
+                for (d, &a) in ws.delta_b.as_mut_slice().iter_mut().zip(input.as_slice()) {
                     if a <= 0.0 {
                         *d = 0.0;
                     }
                 }
-                delta = prev_delta;
+                std::mem::swap(&mut ws.delta_a, &mut ws.delta_b);
             }
-            grads_rev.push((grad_w, grad_b));
         }
+    }
 
-        let mut flat = Vec::with_capacity(self.num_parameters());
-        for (grad_w, grad_b) in grads_rev.into_iter().rev() {
-            flat.extend_from_slice(grad_w.as_slice());
-            flat.extend_from_slice(&grad_b);
+    fn gradient_loss_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        // The final activations (probabilities) survive the backward pass
+        // untouched, so the loss reuses the gradient's forward pass.
+        self.gradient_into(x, y, weights, ws, out);
+        loss::cross_entropy(&ws.acts[self.layers.len() - 1], y)
+    }
+
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        out.clear();
+        for layer in &self.layers {
+            out.extend_from_slice(layer.weights.as_slice());
+            out.extend_from_slice(&layer.bias);
         }
-        flat
     }
 
     fn apply_update(&mut self, delta: &[f64]) {

@@ -1,5 +1,6 @@
 //! The object-safe model trait shared by FreewayML and every baseline.
 
+use crate::workspace::Workspace;
 use freeway_linalg::Matrix;
 
 /// A streaming classification model trained by mini-batch gradient steps.
@@ -20,6 +21,17 @@ pub trait Model: Send + Sync {
     /// Class-probability matrix (`n x classes`) for a batch of inputs.
     fn predict_proba(&self, x: &Matrix) -> Matrix;
 
+    /// [`Model::predict_proba`] writing into `out` (re-shaped in place),
+    /// with intermediates drawn from `ws`. Bit-identical to the
+    /// allocating path. The default delegates to `predict_proba`, so
+    /// existing `Box<dyn Model>` implementors are untouched; the hot
+    /// models override this to be allocation-free once the workspace is
+    /// warm.
+    fn predict_proba_into(&self, x: &Matrix, ws: &mut Workspace, out: &mut Matrix) {
+        let _ = ws;
+        *out = self.predict_proba(x);
+    }
+
     /// Hard class predictions via argmax over probabilities.
     fn predict(&self, x: &Matrix) -> Vec<usize> {
         let probs = self.predict_proba(x);
@@ -36,6 +48,43 @@ pub trait Model: Send + Sync {
     /// how ASW decay influences the long-granularity model update.
     fn gradient(&self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> Vec<f64>;
 
+    /// [`Model::gradient`] writing the flat gradient into `out` (cleared
+    /// and re-sized in place), with intermediates drawn from `ws`.
+    /// Bit-identical to the allocating path; the default delegates to
+    /// `gradient`.
+    fn gradient_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) {
+        let _ = ws;
+        let grad = self.gradient(x, y, weights);
+        out.clear();
+        out.extend_from_slice(&grad);
+    }
+
+    /// [`Model::gradient_into`] that also returns the pre-update mean
+    /// cross-entropy, computed from the *same* forward pass the gradient
+    /// already performs — the probabilities are identical floats either
+    /// way, so this is bit-identical to `loss` followed by
+    /// `gradient_into` while skipping a whole forward pass. The default
+    /// runs the two-pass form; the built-in models override it.
+    fn gradient_loss_into(
+        &self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        ws: &mut Workspace,
+        out: &mut Vec<f64>,
+    ) -> f64 {
+        let loss = self.loss(x, y);
+        self.gradient_into(x, y, weights, ws, out);
+        loss
+    }
+
     /// Adds `delta` to the flat parameter vector (optimizers produce the
     /// delta, including its sign).
     ///
@@ -45,6 +94,14 @@ pub trait Model: Send + Sync {
 
     /// Flat copy of all parameters.
     fn parameters(&self) -> Vec<f64>;
+
+    /// [`Model::parameters`] writing into `out`, reusing its allocation.
+    /// The default delegates to `parameters`.
+    fn parameters_into(&self, out: &mut Vec<f64>) {
+        let params = self.parameters();
+        out.clear();
+        out.extend_from_slice(&params);
+    }
 
     /// Overwrites all parameters from a flat vector (used by historical
     /// knowledge reuse to restore a snapshot).

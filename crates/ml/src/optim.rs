@@ -19,6 +19,17 @@ pub trait Optimizer: Send {
     /// length changes between calls.
     fn step(&mut self, params: &[f64], grad: &[f64]) -> Vec<f64>;
 
+    /// [`Optimizer::step`] writing the delta into `out` (cleared and
+    /// refilled), reusing its allocation. Bit-identical to `step`; the
+    /// default delegates to it, while the hot optimizers (SGD, momentum,
+    /// Adam) override this as their primary implementation so the warm
+    /// training loop performs no per-step allocation.
+    fn step_into(&mut self, params: &[f64], grad: &[f64], out: &mut Vec<f64>) {
+        let delta = self.step(params, grad);
+        out.clear();
+        out.extend_from_slice(&delta);
+    }
+
     /// Clears accumulated state (used when a model is reset after drift).
     fn reset(&mut self);
 
@@ -49,8 +60,15 @@ impl Sgd {
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &[f64], grad: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.step_into(params, grad, &mut out);
+        out
+    }
+
+    fn step_into(&mut self, params: &[f64], grad: &[f64], out: &mut Vec<f64>) {
         assert_eq!(params.len(), grad.len(), "sgd length mismatch");
-        grad.iter().map(|g| -self.lr * g).collect()
+        out.clear();
+        out.extend(grad.iter().map(|g| -self.lr * g));
     }
 
     fn reset(&mut self) {}
@@ -80,6 +98,12 @@ impl Momentum {
 
 impl Optimizer for Momentum {
     fn step(&mut self, params: &[f64], grad: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.step_into(params, grad, &mut out);
+        out
+    }
+
+    fn step_into(&mut self, params: &[f64], grad: &[f64], out: &mut Vec<f64>) {
         assert_eq!(params.len(), grad.len(), "momentum length mismatch");
         if self.velocity.len() != grad.len() {
             self.velocity = vec![0.0; grad.len()];
@@ -87,7 +111,8 @@ impl Optimizer for Momentum {
         for (v, &g) in self.velocity.iter_mut().zip(grad) {
             *v = self.mu * *v + g;
         }
-        self.velocity.iter().map(|v| -self.lr * v).collect()
+        out.clear();
+        out.extend(self.velocity.iter().map(|v| -self.lr * v));
     }
 
     fn reset(&mut self) {
@@ -122,6 +147,12 @@ impl Adam {
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &[f64], grad: &[f64]) -> Vec<f64> {
+        let mut out = Vec::new();
+        self.step_into(params, grad, &mut out);
+        out
+    }
+
+    fn step_into(&mut self, params: &[f64], grad: &[f64], out: &mut Vec<f64>) {
         assert_eq!(params.len(), grad.len(), "adam length mismatch");
         if self.m.len() != grad.len() {
             self.m = vec![0.0; grad.len()];
@@ -131,15 +162,15 @@ impl Optimizer for Adam {
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
         let bc2 = 1.0 - self.beta2.powi(self.t as i32);
-        let mut delta = vec![0.0; grad.len()];
+        out.clear();
+        out.resize(grad.len(), 0.0);
         for i in 0..grad.len() {
             self.m[i] = self.beta1 * self.m[i] + (1.0 - self.beta1) * grad[i];
             self.v[i] = self.beta2 * self.v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
             let m_hat = self.m[i] / bc1;
             let v_hat = self.v[i] / bc2;
-            delta[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            out[i] = -self.lr * m_hat / (v_hat.sqrt() + self.eps);
         }
-        delta
     }
 
     fn reset(&mut self) {

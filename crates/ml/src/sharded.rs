@@ -69,11 +69,10 @@ impl ShardedTrainer {
             .map(|(s, (slot, (model, _)))| {
                 let start = s * chunk;
                 let end = ((s + 1) * chunk).min(x.rows());
-                let idx: Vec<usize> = (start..end).collect();
-                let sub_x = x.select_rows(&idx);
-                let sub_y: Vec<usize> = idx.iter().map(|&i| labels[i]).collect();
+                let sub_x = x.slice_rows(start, end);
+                let sub_y = &labels[start..end];
                 Box::new(move || {
-                    *slot = model.gradient(&sub_x, &sub_y, None);
+                    *slot = model.gradient(&sub_x, sub_y, None);
                 }) as freeway_linalg::pool::Task<'_>
             })
             .collect();

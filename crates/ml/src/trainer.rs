@@ -1,21 +1,45 @@
 //! Model + optimizer pairing: one incremental training step per batch.
 
+use crate::gradient::ShardScratch;
 use crate::model::Model;
 use crate::optim::Optimizer;
+use crate::workspace::Workspace;
 use freeway_linalg::Matrix;
 
 /// Couples a model with an optimizer and performs mini-batch updates —
 /// the incremental-update loop every SML framework in the paper shares.
+///
+/// The trainer owns all per-step scratch (a model [`Workspace`], the
+/// probability/gradient/parameter/delta buffers, and per-shard scratch for
+/// the parallel path), so a warm steady-state `train_batch` performs no
+/// heap allocation while producing bit-identical results to the
+/// allocating path.
 pub struct Trainer {
     model: Box<dyn Model>,
     optimizer: Box<dyn Optimizer>,
     parallel_gradient: bool,
+    ws: Workspace,
+    probs: Matrix,
+    grad: Vec<f64>,
+    params: Vec<f64>,
+    delta: Vec<f64>,
+    shard_scratch: ShardScratch,
 }
 
 impl Trainer {
     /// Creates a trainer owning the model and optimizer.
     pub fn new(model: Box<dyn Model>, optimizer: Box<dyn Optimizer>) -> Self {
-        Self { model, optimizer, parallel_gradient: false }
+        Self {
+            model,
+            optimizer,
+            parallel_gradient: false,
+            ws: Workspace::new(),
+            probs: Matrix::zeros(0, 0),
+            grad: Vec::new(),
+            params: Vec::new(),
+            delta: Vec::new(),
+            shard_scratch: ShardScratch::new(),
+        }
     }
 
     /// Enables data-parallel gradient computation on the global worker
@@ -39,28 +63,44 @@ impl Trainer {
 
     /// One weighted mini-batch step (weights come from ASW decay).
     pub fn train_weighted(&mut self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) -> f64 {
-        let loss = self.model.loss(x, y);
-        let grad = if self.parallel_gradient {
-            crate::gradient::sharded_gradient(
+        let loss;
+        if self.parallel_gradient {
+            self.model.predict_proba_into(x, &mut self.ws, &mut self.probs);
+            loss = crate::loss::cross_entropy(&self.probs, y);
+            crate::gradient::sharded_gradient_into(
                 self.model.as_ref(),
                 x,
                 y,
                 weights,
                 &freeway_linalg::pool::global(),
-            )
+                &mut self.shard_scratch,
+                &mut self.grad,
+            );
         } else {
-            self.model.gradient(x, y, weights)
-        };
-        let delta = self.optimizer.step(&self.model.parameters(), &grad);
-        self.model.apply_update(&delta);
+            // Single forward pass: the loss comes from the probabilities
+            // the gradient computes anyway (bit-identical to predicting
+            // first — same weights, same arithmetic).
+            loss = self.model.gradient_loss_into(x, y, weights, &mut self.ws, &mut self.grad);
+        }
+        self.model.parameters_into(&mut self.params);
+        self.optimizer.step_into(&self.params, &self.grad, &mut self.delta);
+        self.model.apply_update(&self.delta);
         loss
     }
 
     /// Applies a pre-computed (already merged) gradient — the final step of
     /// the pre-computing window.
     pub fn apply_gradient(&mut self, grad: &[f64]) {
-        let delta = self.optimizer.step(&self.model.parameters(), grad);
-        self.model.apply_update(&delta);
+        self.model.parameters_into(&mut self.params);
+        self.optimizer.step_into(&self.params, grad, &mut self.delta);
+        self.model.apply_update(&self.delta);
+    }
+
+    /// Class probabilities written into `out` using this trainer's
+    /// workspace — the allocation-free inference path. Bit-identical to
+    /// `self.model().predict_proba(x)`.
+    pub fn predict_proba_into(&mut self, x: &Matrix, out: &mut Matrix) {
+        self.model.predict_proba_into(x, &mut self.ws, out);
     }
 
     /// Immutable access to the model.
@@ -81,11 +121,11 @@ impl Trainer {
 
 impl Clone for Trainer {
     fn clone(&self) -> Self {
-        Self {
-            model: self.model.clone_model(),
-            optimizer: self.optimizer.clone_optimizer(),
-            parallel_gradient: self.parallel_gradient,
-        }
+        // Scratch buffers are per-trainer working memory, not state: the
+        // clone starts with fresh (empty) ones and warms them on first use.
+        let mut t = Self::new(self.model.clone_model(), self.optimizer.clone_optimizer());
+        t.parallel_gradient = self.parallel_gradient;
+        t
     }
 }
 

@@ -3,7 +3,7 @@
 use freeway_linalg::pool::WorkerPool;
 use freeway_linalg::Matrix;
 use freeway_ml::{
-    sharded_gradient, ModelSpec, Optimizer, PrecomputeAccumulator, Sgd, GRAD_SHARD_ROWS,
+    sharded_gradient, ModelSpec, Optimizer, PrecomputeAccumulator, Sgd, Workspace, GRAD_SHARD_ROWS,
 };
 use proptest::prelude::*;
 
@@ -126,6 +126,42 @@ proptest! {
         let d2 = opt2.step(&params, &g);
         for (a, b) in d1.iter().zip(&d2) {
             prop_assert!((2.0 * a - b).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_bit_identical_across_batch_sizes(
+        // One Workspace carried across batches that grow and shrink must
+        // give results `==` to fresh allocating calls: stale contents or
+        // stale dimensions in reused scratch may never leak through.
+        sizes in prop::collection::vec(1usize..24, 2..6),
+        seed in 0u64..64,
+    ) {
+        let fill = |i: usize| ((i as f64 + seed as f64) * 0.31).sin() * 2.0;
+        for spec in [
+            ModelSpec::lr(4, 3),
+            ModelSpec::mlp(4, vec![5], 3),
+            ModelSpec::cnn(4, 3, 2, 3),
+        ] {
+            let model = spec.build(seed);
+            let mut ws = Workspace::new();
+            let mut probs = Matrix::zeros(0, 0);
+            let mut grad = Vec::new();
+            let mut probs_grad = Vec::new();
+            let mut params = Vec::new();
+            for (step, &n) in sizes.iter().enumerate() {
+                let x = Matrix::from_vec(n, 4, (0..n * 4).map(|i| fill(i + step)).collect());
+                let y: Vec<usize> = (0..n).map(|i| (i + step) % 3).collect();
+                model.predict_proba_into(&x, &mut ws, &mut probs);
+                prop_assert_eq!(&probs, &model.predict_proba(&x), "{:?} step {}", &spec, step);
+                model.gradient_into(&x, &y, None, &mut ws, &mut grad);
+                prop_assert_eq!(&grad, &model.gradient(&x, &y, None), "{:?} step {}", &spec, step);
+                let loss = model.gradient_loss_into(&x, &y, None, &mut ws, &mut probs_grad);
+                prop_assert_eq!(&probs_grad, &grad, "{:?} step {}", &spec, step);
+                prop_assert_eq!(loss, model.loss(&x, &y), "{:?} step {}", &spec, step);
+                model.parameters_into(&mut params);
+                prop_assert_eq!(&params, &model.parameters());
+            }
         }
     }
 
