@@ -12,6 +12,17 @@ cargo test -q --workspace
 echo "== alloc regression gate (zero-allocation hot path) =="
 cargo test -q -p freeway-eval --features alloc-metrics --test alloc_regression
 
+echo "== chaos recovery gate (fault-tolerant runtime) =="
+cargo test -q -p freeway-chaos --test recovery
+
+echo "== unwrap/expect audit (freeway-core runtime must not panic) =="
+# The supervised runtime's library code may not unwrap/expect its way
+# past errors; tests keep their expects (cfg(test) code is not linted
+# because only the lib target is checked, and --no-deps keeps the audit
+# scoped to freeway-core itself).
+cargo clippy -q -p freeway-core --lib --no-deps -- \
+    -W clippy::unwrap_used -W clippy::expect_used -D warnings
+
 echo "== cargo clippy =="
 # redundant_clone is allow-by-default (nursery); promote it to warn
 # *before* `-D warnings` so the group elevation turns it into an error.

@@ -222,7 +222,7 @@ impl AdaptiveStreamingWindow {
             weights.extend(std::iter::repeat_n(b.weight, b.x.rows()));
         }
         // Seed the next window with the most recent batch at full weight.
-        let newest = self.batches.pop().expect("non-empty");
+        let newest = self.batches.pop()?;
         self.batches.clear();
         self.items = newest.x.rows();
         self.batches.push(WindowBatch { weight: 1.0, ..newest });

@@ -13,6 +13,7 @@
 
 use crate::asw::{AdaptiveStreamingWindow, AswParams};
 use crate::config::FreewayConfig;
+use crate::error::CheckpointError;
 use freeway_linalg::{pool, vector, Matrix};
 use freeway_ml::{Model, ModelSpec, PrecomputeAccumulator, Trainer, Workspace};
 use parking_lot::Mutex;
@@ -154,6 +155,9 @@ impl MultiGranularity {
     /// The slowest (longest-granularity) model, or the short model when
     /// `model_num == 1`.
     pub fn long_model(&self) -> &dyn Model {
+        // Audited: the constructor clamps `model_num` to at least 1, so
+        // `levels` is never empty.
+        #[allow(clippy::expect_used)]
         self.levels.last().expect("at least one level").trainer.model()
     }
 
@@ -470,10 +474,27 @@ impl MultiGranularity {
     /// marked trained (they vote immediately) but keep no fingerprint —
     /// the first post-restore batches re-establish distances.
     ///
-    /// # Panics
-    /// Panics if the level count differs from this bank's.
-    pub fn set_level_parameters(&mut self, params: &[Vec<f64>]) {
-        assert_eq!(params.len(), self.levels.len(), "checkpoint level count mismatch");
+    /// # Errors
+    /// [`CheckpointError::LevelCountMismatch`] when the level count
+    /// differs from this bank's,
+    /// [`CheckpointError::ParameterLengthMismatch`] when a level's flat
+    /// vector does not fit the architecture. Both leave the bank
+    /// untouched — a rejected checkpoint must not half-apply.
+    pub fn set_level_parameters(&mut self, params: &[Vec<f64>]) -> Result<(), CheckpointError> {
+        if params.len() != self.levels.len() {
+            return Err(CheckpointError::LevelCountMismatch {
+                found: params.len(),
+                expected: self.levels.len(),
+            });
+        }
+        let expected = self.spec.num_parameters();
+        if let Some((level, p)) = params.iter().enumerate().find(|(_, p)| p.len() != expected) {
+            return Err(CheckpointError::ParameterLengthMismatch {
+                level,
+                found: p.len(),
+                expected,
+            });
+        }
         for (level, p) in self.levels.iter_mut().zip(params) {
             level.trainer.model_mut().set_parameters(p);
             level.updates = level.updates.max(1);
@@ -481,6 +502,7 @@ impl MultiGranularity {
             // Async results trained before the restore are stale now.
             level.pending.clear();
         }
+        Ok(())
     }
 
     /// Smallest fingerprint distance among trusted, trained levels —
@@ -495,7 +517,7 @@ impl MultiGranularity {
                     .as_ref()
                     .map(|p| vector::euclidean_distance(current_projection, p))
             })
-            .min_by(|a, b| a.partial_cmp(b).expect("finite distances"))
+            .min_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// Diagnostic: per-level (distance, update-count) against a

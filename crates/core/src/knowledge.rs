@@ -91,7 +91,7 @@ impl KnowledgeStore {
                 .iter()
                 .enumerate()
                 .map(|(i, e)| (i, vector::euclidean_distance(&e.distribution, &distribution)))
-                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"));
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
             if let Some((idx, dist)) = nearest {
                 if dist <= dedup_radius {
                     self.entries[idx] = KnowledgeEntry { distribution, snapshot, disorder };
@@ -114,7 +114,7 @@ impl KnowledgeStore {
         self.entries
             .iter()
             .map(|e| (e, vector::euclidean_distance(&e.distribution, projected)))
-            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distances"))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
     }
 
     /// The knowledge-match rule of §IV-D: reuse the nearest entry only if

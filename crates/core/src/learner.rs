@@ -52,6 +52,10 @@ pub struct InferenceReport {
     pub severity: f64,
     /// Shift distance `d_t` (0 during warm-up).
     pub distance: f64,
+    /// True when the shift tracker is running on a degraded (identity)
+    /// PCA projection after a numerical failure — predictions still
+    /// flow, but pattern routing is less trustworthy until re-warm-up.
+    pub degraded: bool,
 }
 
 /// Counters of how often each strategy served an inference batch.
@@ -214,6 +218,7 @@ impl Learner {
     fn infer_inner(&mut self, x: &Matrix) -> InferenceReport {
         let decision = self.selector.observe(x);
         let projected = self.project(x);
+        let degraded = self.selector.tracker().pca().is_some_and(|p| p.degraded());
         match decision {
             None => {
                 // PCA warm-up: only the ensemble exists.
@@ -224,6 +229,7 @@ impl Learner {
                     pattern: None,
                     severity: 0.0,
                     distance: 0.0,
+                    degraded,
                 }
             }
             Some(Decision { pattern, measurement }) => {
@@ -258,6 +264,7 @@ impl Learner {
                     pattern: Some(pattern),
                     severity: measurement.severity,
                     distance: measurement.distance,
+                    degraded,
                 }
             }
         }
@@ -397,11 +404,19 @@ impl Learner {
     /// Loads a checkpoint's models and knowledge into this learner (see
     /// [`crate::persistence::Checkpoint`] for what is and is not carried
     /// across restarts).
-    pub fn restore_from(&mut self, checkpoint: &crate::persistence::Checkpoint) {
-        self.granularity.set_level_parameters(&checkpoint.level_parameters);
+    ///
+    /// # Errors
+    /// [`crate::FreewayError::Checkpoint`] when the checkpoint's shape
+    /// does not fit this learner; nothing is applied on rejection.
+    pub fn restore_from(
+        &mut self,
+        checkpoint: &crate::persistence::Checkpoint,
+    ) -> Result<(), crate::error::FreewayError> {
+        self.granularity.set_level_parameters(&checkpoint.level_parameters)?;
         for (distribution, snapshot, disorder) in &checkpoint.knowledge {
             self.knowledge.restore_entry(distribution.clone(), snapshot.clone(), *disorder);
         }
+        Ok(())
     }
 
     /// Prequential step: infer on the batch, then (if labeled) train on

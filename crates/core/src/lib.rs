@@ -16,21 +16,36 @@
 //! * [`pipeline`] — the threaded train/infer pipeline with asynchronous
 //!   long-model updates (§V-A);
 //! * [`rate`] — the rate-aware adjuster (§V-B).
+//!
+//! The fault-tolerance layer lives in three further modules: [`error`]
+//! (the `FreewayError` taxonomy every fallible runtime operation
+//! returns), [`guard`] (ingestion validation and the poison-batch
+//! quarantine), and [`supervisor`] (the checkpointed, auto-restarting
+//! [`supervisor::SupervisedPipeline`]).
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod asw;
 pub mod config;
+pub mod error;
 pub mod granularity;
+pub mod guard;
 pub mod knowledge;
 pub mod learner;
 pub mod persistence;
 pub mod pipeline;
 pub mod rate;
 pub mod selector;
+pub mod supervisor;
 
 pub use config::{FreewayConfig, OptimizerKind};
+pub use error::{CheckpointError, FreewayError, PipelineError};
+pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
 pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
-pub use persistence::Checkpoint;
+pub use persistence::{Checkpoint, CHECKPOINT_VERSION};
+pub use pipeline::{Pipeline, PipelineOutput};
 pub use selector::StrategySelector;
+pub use supervisor::{
+    FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
+};

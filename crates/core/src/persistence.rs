@@ -9,15 +9,37 @@
 //! possibly long-gone distribution. A restored learner therefore spends
 //! one PCA warm-up answering from its (fully restored) ensemble before
 //! pattern routing resumes.
+//!
+//! Restoring is fallible, never panicking: a checkpoint from another
+//! build, another architecture, or a corrupted file is *rejected* with a
+//! [`CheckpointError`] naming what disagreed, and the learner being
+//! restored into is left untouched. Disk persistence goes through
+//! [`Checkpoint::save_atomic`] (write temp, fsync, rename), so a crash
+//! mid-write leaves the previous checkpoint intact.
 
 use crate::config::FreewayConfig;
+use crate::error::{CheckpointError, FreewayError};
 use crate::learner::Learner;
 use freeway_ml::{ModelSnapshot, ModelSpec};
 use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// Format version this build writes and accepts. Bump on any change to
+/// the serialized shape; readers reject every other version instead of
+/// mis-decoding state.
+pub const CHECKPOINT_VERSION: u32 = 1;
+
+fn current_version() -> u32 {
+    CHECKPOINT_VERSION
+}
 
 /// A serialisable learner checkpoint.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Checkpoint {
+    /// Format version (see [`CHECKPOINT_VERSION`]). Checkpoints written
+    /// before versioning decode as 0 and are rejected.
+    #[serde(default)]
+    pub version: u32,
     /// Configuration the learner ran with.
     pub config: FreewayConfig,
     /// Model architecture.
@@ -32,6 +54,7 @@ impl Checkpoint {
     /// Captures a checkpoint from a live learner.
     pub fn capture(learner: &Learner) -> Self {
         Self {
+            version: current_version(),
             config: learner.config().clone(),
             spec: learner.spec().clone(),
             level_parameters: learner.granularity().level_parameters(),
@@ -44,23 +67,105 @@ impl Checkpoint {
         }
     }
 
+    /// Checks internal consistency without building a learner: version,
+    /// level count against the checkpoint's own config, per-level
+    /// parameter lengths against the spec, and knowledge snapshots
+    /// against the spec.
+    pub fn validate(&self) -> Result<(), CheckpointError> {
+        if self.version != CHECKPOINT_VERSION {
+            return Err(CheckpointError::UnsupportedVersion {
+                found: self.version,
+                supported: CHECKPOINT_VERSION,
+            });
+        }
+        let expected_levels = self.config.model_num.max(1);
+        if self.level_parameters.len() != expected_levels {
+            return Err(CheckpointError::LevelCountMismatch {
+                found: self.level_parameters.len(),
+                expected: expected_levels,
+            });
+        }
+        let expected_params = self.spec.num_parameters();
+        if let Some((level, p)) =
+            self.level_parameters.iter().enumerate().find(|(_, p)| p.len() != expected_params)
+        {
+            return Err(CheckpointError::ParameterLengthMismatch {
+                level,
+                found: p.len(),
+                expected: expected_params,
+            });
+        }
+        if let Some((entry, _)) =
+            self.knowledge.iter().enumerate().find(|(_, (_, snap, _))| snap.spec != self.spec)
+        {
+            return Err(CheckpointError::SnapshotSpecMismatch { entry });
+        }
+        Ok(())
+    }
+
     /// Rebuilds a learner from the checkpoint.
-    pub fn restore(&self) -> Learner {
+    ///
+    /// # Errors
+    /// [`FreewayError::Checkpoint`] when the checkpoint fails
+    /// [`Self::validate`] — a corrupt or mismatched checkpoint is
+    /// rejected, never half-restored.
+    pub fn restore(&self) -> Result<Learner, FreewayError> {
+        self.validate()?;
         let mut learner = Learner::new(self.spec.clone(), self.config.clone());
-        learner.restore_from(self);
-        learner
+        learner.restore_from(self)?;
+        Ok(learner)
     }
 
     /// JSON encoding (checkpoints are dominated by `f64` parameters, so
     /// JSON costs ~2.5× the binary size; acceptable for the model sizes
     /// the paper targets, and diffable/debuggable in return).
     pub fn to_json(&self) -> String {
+        // Audited: encoding plain structs of numbers/strings to an
+        // in-memory string has no failure path.
+        #[allow(clippy::expect_used)]
         serde_json::to_string(self).expect("checkpoint serialises")
     }
 
-    /// Decodes a checkpoint from JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Decodes a checkpoint from JSON and validates it.
+    ///
+    /// # Errors
+    /// [`CheckpointError::Malformed`] when the JSON does not parse, any
+    /// other [`CheckpointError`] when it parses but fails validation.
+    pub fn from_json(json: &str) -> Result<Self, FreewayError> {
+        let checkpoint: Self =
+            serde_json::from_str(json).map_err(|e| CheckpointError::Malformed(e.to_string()))?;
+        checkpoint.validate()?;
+        Ok(checkpoint)
+    }
+
+    /// Persists to `path` atomically: write to `<path>.tmp`, fsync, then
+    /// rename over the destination. Readers observe either the old
+    /// checkpoint or the new one — never a torn write.
+    ///
+    /// # Errors
+    /// [`FreewayError::Io`] on any filesystem failure.
+    pub fn save_atomic(&self, path: &Path) -> Result<(), FreewayError> {
+        use std::io::Write as _;
+        let tmp = path.with_extension("tmp");
+        {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(self.to_json().as_bytes())?;
+            file.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads and validates a checkpoint previously written with
+    /// [`Self::save_atomic`].
+    ///
+    /// # Errors
+    /// [`FreewayError::Io`] when the file cannot be read,
+    /// [`FreewayError::Checkpoint`] when it cannot be decoded or fails
+    /// validation.
+    pub fn load(path: &Path) -> Result<Self, FreewayError> {
+        let json = std::fs::read_to_string(path)?;
+        Self::from_json(&json)
     }
 }
 
@@ -93,7 +198,7 @@ mod tests {
     fn roundtrip_preserves_models_and_knowledge() {
         let (learner, concept, mut rng) = trained_learner();
         let checkpoint = Checkpoint::capture(&learner);
-        let restored = checkpoint.restore();
+        let restored = checkpoint.restore().expect("self-captured checkpoint restores");
 
         assert_eq!(
             restored.granularity().level_parameters(),
@@ -121,6 +226,7 @@ mod tests {
         let checkpoint = Checkpoint::capture(&learner);
         let json = checkpoint.to_json();
         let decoded = Checkpoint::from_json(&json).expect("valid json");
+        assert_eq!(decoded.version, CHECKPOINT_VERSION);
         assert_eq!(decoded.level_parameters, checkpoint.level_parameters);
         assert_eq!(decoded.knowledge.len(), checkpoint.knowledge.len());
         for (a, b) in decoded.knowledge.iter().zip(&checkpoint.knowledge) {
@@ -132,7 +238,8 @@ mod tests {
     #[test]
     fn restored_learner_keeps_learning() {
         let (learner, concept, mut rng) = trained_learner();
-        let mut restored = Checkpoint::capture(&learner).restore();
+        let mut restored =
+            Checkpoint::capture(&learner).restore().expect("self-captured checkpoint restores");
         // Continue the stream through the restored learner; accuracy must
         // stay high (the restored models carry the learned state through
         // the PCA re-warm-up).
@@ -149,11 +256,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "level count")]
     fn restore_rejects_mismatched_levels() {
         let (learner, _, _) = trained_learner();
         let mut checkpoint = Checkpoint::capture(&learner);
         checkpoint.level_parameters.pop();
-        let _ = checkpoint.restore();
+        match checkpoint.restore().err() {
+            Some(FreewayError::Checkpoint(CheckpointError::LevelCountMismatch {
+                found: 1,
+                expected: 2,
+            })) => {}
+            other => panic!("expected LevelCountMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_rejects_truncated_parameters() {
+        let (learner, _, _) = trained_learner();
+        let mut checkpoint = Checkpoint::capture(&learner);
+        checkpoint.level_parameters[1].truncate(3);
+        match checkpoint.restore().err() {
+            Some(FreewayError::Checkpoint(CheckpointError::ParameterLengthMismatch {
+                level: 1,
+                found: 3,
+                ..
+            })) => {}
+            other => panic!("expected ParameterLengthMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_version_is_rejected() {
+        let (learner, _, _) = trained_learner();
+        let mut checkpoint = Checkpoint::capture(&learner);
+        checkpoint.version = CHECKPOINT_VERSION + 1;
+        let json = checkpoint.to_json();
+        match Checkpoint::from_json(&json) {
+            Err(FreewayError::Checkpoint(CheckpointError::UnsupportedVersion {
+                found,
+                supported,
+            })) => {
+                assert_eq!(found, CHECKPOINT_VERSION + 1);
+                assert_eq!(supported, CHECKPOINT_VERSION);
+            }
+            other => panic!("expected UnsupportedVersion, got {other:?}"),
+        }
+        // Pre-versioning checkpoints deserialize as version 0 and are
+        // rejected the same way, not mis-decoded.
+        checkpoint.version = 0;
+        assert!(matches!(
+            Checkpoint::from_json(&checkpoint.to_json()),
+            Err(FreewayError::Checkpoint(CheckpointError::UnsupportedVersion { found: 0, .. }))
+        ));
+    }
+
+    #[test]
+    fn malformed_json_is_an_error_not_a_panic() {
+        assert!(matches!(
+            Checkpoint::from_json("{\"version\": 1, \"garbage\":"),
+            Err(FreewayError::Checkpoint(CheckpointError::Malformed(_)))
+        ));
+    }
+
+    #[test]
+    fn save_atomic_then_load_roundtrips() {
+        let (learner, _, _) = trained_learner();
+        let checkpoint = Checkpoint::capture(&learner);
+        let dir = std::env::temp_dir().join("freeway-persistence-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("ckpt.json");
+        checkpoint.save_atomic(&path).expect("save succeeds");
+        assert!(!path.with_extension("tmp").exists(), "temp file renamed away");
+        let loaded = Checkpoint::load(&path).expect("load succeeds");
+        assert_eq!(loaded.level_parameters, checkpoint.level_parameters);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

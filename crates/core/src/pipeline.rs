@@ -7,10 +7,18 @@
 //! channel's slack, updates are atomic because exactly one thread touches
 //! parameters, and the labeled/unlabeled split of the paper's single
 //! input stream happens at the worker.
+//!
+//! The worker body runs under `catch_unwind`, so a panic inside the
+//! learner surfaces as [`PipelineError::WorkerPanicked`] from
+//! [`Pipeline::finish`] instead of aborting the process. This type is the
+//! unsupervised primitive: it reports failure but does not recover. For
+//! checkpointed auto-restart and poison-batch quarantine, wrap the same
+//! worker in [`crate::supervisor::SupervisedPipeline`].
 
+use crate::error::{panic_message, PipelineError};
 use crate::learner::{InferenceReport, Learner};
 use crossbeam::channel::{bounded, Receiver, Sender};
-use freeway_streams::Batch;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
 /// Output of the pipeline for one batch.
@@ -23,17 +31,17 @@ pub struct PipelineOutput {
 }
 
 enum Command {
-    Batch(Batch),
+    Batch(freeway_streams::Batch),
     /// Prequential batch: infer first, then train on the same data.
-    Prequential(Batch),
-    Finish,
+    Prequential(freeway_streams::Batch),
 }
 
 /// A running pipeline around a [`Learner`].
 pub struct Pipeline {
-    input: Sender<Command>,
+    /// `None` once the channel has been closed (by `finish` or `Drop`).
+    input: Option<Sender<Command>>,
     output: Receiver<PipelineOutput>,
-    handle: Option<JoinHandle<Learner>>,
+    handle: Option<JoinHandle<Result<Learner, String>>>,
 }
 
 impl Pipeline {
@@ -44,37 +52,53 @@ impl Pipeline {
         let (in_tx, in_rx) = bounded::<Command>(queue_depth);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(queue_depth);
         let handle = std::thread::spawn(move || {
-            while let Ok(cmd) = in_rx.recv() {
-                match cmd {
-                    Command::Batch(batch) => {
-                        // The paper's routing: labeled data is the training
-                        // stream, unlabeled the inference stream.
-                        let report = match batch.labels.as_deref() {
-                            Some(labels) => {
-                                learner.train(&batch.x, labels);
-                                None
+            // A learner panic must not abort the process: catch it and
+            // hand the payload back through `join`. The learner is moved
+            // into the closure, so a caught panic forfeits it — exactly
+            // the semantics the supervisor's checkpoint restart assumes.
+            catch_unwind(AssertUnwindSafe(move || {
+                while let Ok(cmd) = in_rx.recv() {
+                    match cmd {
+                        Command::Batch(batch) => {
+                            // The paper's routing: labeled data is the
+                            // training stream, unlabeled the inference
+                            // stream.
+                            let report = match batch.labels.as_deref() {
+                                Some(labels) => {
+                                    learner.train(&batch.x, labels);
+                                    None
+                                }
+                                None => Some(learner.infer(&batch.x)),
+                            };
+                            if out_tx.send(PipelineOutput { seq: batch.seq, report }).is_err() {
+                                break;
                             }
-                            None => Some(learner.infer(&batch.x)),
-                        };
-                        if out_tx.send(PipelineOutput { seq: batch.seq, report }).is_err() {
-                            break;
+                        }
+                        Command::Prequential(batch) => {
+                            let report = learner.process(&batch);
+                            if out_tx
+                                .send(PipelineOutput { seq: batch.seq, report: Some(report) })
+                                .is_err()
+                            {
+                                break;
+                            }
                         }
                     }
-                    Command::Prequential(batch) => {
-                        let report = learner.process(&batch);
-                        if out_tx
-                            .send(PipelineOutput { seq: batch.seq, report: Some(report) })
-                            .is_err()
-                        {
-                            break;
-                        }
-                    }
-                    Command::Finish => break,
                 }
-            }
-            learner
+                learner
+            }))
+            .map_err(panic_message)
         });
-        Self { input: in_tx, output: out_rx, handle: Some(handle) }
+        Self { input: Some(in_tx), output: out_rx, handle: Some(handle) }
+    }
+
+    fn send(&self, cmd: Command) -> Result<(), PipelineError> {
+        let Some(input) = self.input.as_ref() else {
+            return Err(PipelineError::WorkerUnavailable);
+        };
+        // A send error means the worker dropped its receiver — it either
+        // panicked or exited; `finish` can still recover the payload.
+        input.send(cmd).map_err(|_| PipelineError::WorkerUnavailable)
     }
 
     /// Feeds a batch, routed by labeledness (blocks when the queue is
@@ -85,39 +109,74 @@ impl Pipeline {
     /// `2 * queue_depth` batches without receiving will block until the
     /// consumer drains. Interleave [`Self::recv`]/[`Self::try_recv`] with
     /// feeding.
-    pub fn feed(&self, batch: Batch) {
-        self.input.send(Command::Batch(batch)).expect("worker alive");
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerUnavailable`] when the worker has exited
+    /// (e.g. after a panic); call [`Self::finish`] for the panic message.
+    pub fn feed(&self, batch: freeway_streams::Batch) -> Result<(), PipelineError> {
+        self.send(Command::Batch(batch))
     }
 
     /// Feeds a prequential batch (infer-then-train on the same data).
-    pub fn feed_prequential(&self, batch: Batch) {
-        self.input.send(Command::Prequential(batch)).expect("worker alive");
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerUnavailable`] when the worker has exited.
+    pub fn feed_prequential(&self, batch: freeway_streams::Batch) -> Result<(), PipelineError> {
+        self.send(Command::Prequential(batch))
     }
 
     /// Receives the next output, blocking.
-    pub fn recv(&self) -> PipelineOutput {
-        self.output.recv().expect("worker alive")
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerUnavailable`] when the worker has exited
+    /// and all buffered outputs are drained.
+    pub fn recv(&self) -> Result<PipelineOutput, PipelineError> {
+        self.output.recv().map_err(|_| PipelineError::WorkerUnavailable)
     }
 
-    /// Receives without blocking.
+    /// Receives without blocking (`None` both when idle and when the
+    /// worker has exited — use [`Self::recv`] to distinguish).
     pub fn try_recv(&self) -> Option<PipelineOutput> {
         self.output.try_recv().ok()
     }
 
     /// Stops the worker and returns the learner (draining any unread
     /// outputs).
-    pub fn finish(mut self) -> Learner {
-        self.input.send(Command::Finish).expect("worker alive");
-        while self.output.try_recv().is_ok() {}
-        self.handle.take().expect("finish called once").join().expect("worker panicked")
+    ///
+    /// # Errors
+    /// [`PipelineError::WorkerPanicked`] with the panic payload when the
+    /// worker died mid-stream; the learner it owned is lost.
+    pub fn finish(mut self) -> Result<Learner, PipelineError> {
+        // Dropping the sender closes the channel without ever blocking
+        // (a plain `send(Finish)` could wait forever on a full queue with
+        // a dead worker); the worker's `recv` loop observes the
+        // disconnect and exits.
+        drop(self.input.take());
+        // Drain until the worker drops its output sender: this unblocks a
+        // worker stuck sending into a full output queue.
+        while self.output.recv().is_ok() {}
+        let Some(handle) = self.handle.take() else {
+            return Err(PipelineError::WorkerUnavailable);
+        };
+        match handle.join() {
+            Ok(Ok(learner)) => Ok(learner),
+            Ok(Err(panic)) => Err(PipelineError::WorkerPanicked(panic)),
+            // The thread itself cannot panic outside catch_unwind, but
+            // map the payload anyway rather than unwrapping.
+            Err(payload) => Err(PipelineError::WorkerPanicked(panic_message(payload))),
+        }
     }
 }
 
 impl Drop for Pipeline {
     fn drop(&mut self) {
+        // Same shutdown as `finish`, minus returning the learner: close
+        // the input by dropping the sender (never blocks, even with a
+        // full queue and a dead worker), drain outputs to unblock the
+        // worker, then join.
+        drop(self.input.take());
+        while self.output.recv().is_ok() {}
         if let Some(handle) = self.handle.take() {
-            let _ = self.input.send(Command::Finish);
-            while self.output.try_recv().is_ok() {}
             let _ = handle.join();
         }
     }
@@ -129,7 +188,7 @@ mod tests {
     use crate::config::FreewayConfig;
     use freeway_ml::ModelSpec;
     use freeway_streams::concept::{stream_rng, GmmConcept};
-    use freeway_streams::DriftPhase;
+    use freeway_streams::{Batch, DriftPhase};
 
     fn learner() -> Learner {
         Learner::new(
@@ -145,19 +204,19 @@ mod tests {
         let pipeline = Pipeline::spawn(learner(), 16);
 
         let (x, y) = concept.sample_batch(64, &mut rng);
-        pipeline.feed(Batch::labeled(x, y, 0, DriftPhase::Stable));
-        let out = pipeline.recv();
+        pipeline.feed(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("worker alive");
+        let out = pipeline.recv().expect("worker alive");
         assert_eq!(out.seq, 0);
         assert!(out.report.is_none(), "training batches emit no report");
 
         let (x, _) = concept.sample_batch(64, &mut rng);
-        pipeline.feed(Batch::unlabeled(x, 1, DriftPhase::Stable));
-        let out = pipeline.recv();
+        pipeline.feed(Batch::unlabeled(x, 1, DriftPhase::Stable)).expect("worker alive");
+        let out = pipeline.recv().expect("worker alive");
         assert_eq!(out.seq, 1);
         let report = out.report.expect("inference batches report");
         assert_eq!(report.predictions.len(), 64);
 
-        let _ = pipeline.finish();
+        let _ = pipeline.finish().expect("clean shutdown");
     }
 
     #[test]
@@ -167,23 +226,25 @@ mod tests {
         let pipeline = Pipeline::spawn(learner(), 16);
         for i in 0..10 {
             let (x, y) = concept.sample_batch(64, &mut rng);
-            pipeline.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable));
+            pipeline
+                .feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable))
+                .expect("worker alive");
         }
         let mut reports = 0;
         for _ in 0..10 {
-            if pipeline.recv().report.is_some() {
+            if pipeline.recv().expect("worker alive").report.is_some() {
                 reports += 1;
             }
         }
         assert_eq!(reports, 10);
-        let learner = pipeline.finish();
+        let learner = pipeline.finish().expect("clean shutdown");
         assert!(learner.selector().is_ready(), "training flowed through the worker");
     }
 
     #[test]
     fn finish_returns_learner_with_state() {
         let pipeline = Pipeline::spawn(learner(), 4);
-        let l = pipeline.finish();
+        let l = pipeline.finish().expect("clean shutdown");
         assert_eq!(l.config().mini_batch, 64);
     }
 
@@ -194,10 +255,71 @@ mod tests {
         let pipeline = Pipeline::spawn(learner(), 32);
         for i in 0..20 {
             let (x, y) = concept.sample_batch(32, &mut rng);
-            pipeline.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable));
+            pipeline
+                .feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable))
+                .expect("worker alive");
         }
-        let seqs: Vec<u64> = (0..20).map(|_| pipeline.recv().seq).collect();
+        let seqs: Vec<u64> = (0..20).map(|_| pipeline.recv().expect("worker alive").seq).collect();
         assert_eq!(seqs, (0..20).collect::<Vec<_>>(), "single worker keeps order");
-        let _ = pipeline.finish();
+        let _ = pipeline.finish().expect("clean shutdown");
+    }
+
+    #[test]
+    fn worker_panic_is_caught_and_reported() {
+        let pipeline = Pipeline::spawn(learner(), 4);
+        // A ragged batch trips the learner's label-count assert inside
+        // the worker; the panic must be contained, not abort the test.
+        let poison = Batch {
+            x: freeway_linalg::Matrix::zeros(4, 4),
+            labels: Some(vec![0]),
+            seq: 0,
+            phase: DriftPhase::Stable,
+        };
+        pipeline.feed_prequential(poison).expect("queue accepts before the crash");
+        match pipeline.finish().err() {
+            Some(PipelineError::WorkerPanicked(msg)) => {
+                assert!(msg.contains("label count"), "payload survives: {msg}");
+            }
+            other => panic!("expected WorkerPanicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn feed_after_worker_death_errors_instead_of_panicking() {
+        let mut rng = stream_rng(4);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::spawn(learner(), 4);
+        let poison = Batch {
+            x: freeway_linalg::Matrix::zeros(4, 4),
+            labels: Some(vec![0]),
+            seq: 0,
+            phase: DriftPhase::Stable,
+        };
+        pipeline.feed(poison).expect("queue accepts before the crash");
+        // Wait for the worker to die, then feeding must error, not panic
+        // or hang.
+        while pipeline.recv().is_ok() {}
+        let (x, y) = concept.sample_batch(32, &mut rng);
+        let res = pipeline.feed(Batch::labeled(x, y, 1, DriftPhase::Stable));
+        assert!(matches!(res, Err(PipelineError::WorkerUnavailable)));
+    }
+
+    #[test]
+    fn drop_with_full_queue_and_dead_worker_does_not_deadlock() {
+        let pipeline = Pipeline::spawn(learner(), 1);
+        let poison = |seq| Batch {
+            x: freeway_linalg::Matrix::zeros(4, 4),
+            labels: Some(vec![0]),
+            seq,
+            phase: DriftPhase::Stable,
+        };
+        // First poison batch kills the worker; keep pushing until the
+        // (tiny) queue rejects, so Drop runs against a full channel and a
+        // dead worker — the exact shape of the old deadlock.
+        let mut seq = 0;
+        while pipeline.feed(poison(seq)).is_ok() && seq < 64 {
+            seq += 1;
+        }
+        drop(pipeline); // must return promptly
     }
 }

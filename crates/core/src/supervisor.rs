@@ -1,0 +1,673 @@
+//! The supervised pipeline: checkpointed auto-restart + poison quarantine.
+//!
+//! [`SupervisedPipeline`] wraps the same worker-thread architecture as
+//! [`crate::pipeline::Pipeline`] in a fault boundary:
+//!
+//! * every batch passes the [`BatchGuard`] **before** touching the
+//!   channel; poison batches land in a bounded, counted [`Quarantine`]
+//!   instead of panicking inside the math substrate;
+//! * the worker captures a [`Checkpoint`] every
+//!   `checkpoint_every_n_batches` accepted batches (persisted atomically
+//!   to disk when a path is configured);
+//! * a worker panic is detected at the channel boundary, the crashed
+//!   thread is joined for its panic message, and a fresh worker is
+//!   spawned from the last checkpoint — up to `max_restarts` times;
+//! * batches in flight at the moment of a crash are *lost, not replayed*
+//!   (streaming semantics: the stream has moved on), and the loss is
+//!   counted in [`SupervisorStats::lost_in_flight`].
+//!
+//! The supervisor is single-threaded on the caller side: `feed`,
+//! `try_recv`, and `finish` take `&mut self` so restart bookkeeping
+//! needs no locking.
+
+use crate::error::{panic_message, FreewayError};
+use crate::guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
+use crate::learner::Learner;
+use crate::persistence::Checkpoint;
+use crate::pipeline::PipelineOutput;
+use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
+use freeway_streams::Batch;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::thread::JoinHandle;
+
+/// Supervision policy knobs.
+#[derive(Clone, Debug)]
+pub struct SupervisorConfig {
+    /// Bound on both channels (backpressure), as in the plain pipeline.
+    pub queue_depth: usize,
+    /// A checkpoint is captured after every this-many accepted batches.
+    pub checkpoint_every_n_batches: usize,
+    /// When set, every checkpoint is also persisted here atomically
+    /// (write temp, fsync, rename). Persistence failures are counted and
+    /// logged, never fatal — the in-memory checkpoint still updates.
+    pub checkpoint_path: Option<PathBuf>,
+    /// How many poison batches the dead-letter buffer retains (all are
+    /// counted regardless).
+    pub quarantine_capacity: usize,
+    /// Worker crashes tolerated before the supervisor gives up with
+    /// [`FreewayError::RestartsExhausted`].
+    pub max_restarts: usize,
+    /// Reject duplicate / regressing sequence numbers at the guard.
+    /// Disable for sources that legitimately re-emit (cycling files).
+    pub check_seq: bool,
+}
+
+impl Default for SupervisorConfig {
+    fn default() -> Self {
+        Self {
+            queue_depth: 32,
+            checkpoint_every_n_batches: 8,
+            checkpoint_path: None,
+            quarantine_capacity: 64,
+            max_restarts: 3,
+            check_seq: true,
+        }
+    }
+}
+
+/// Counters describing one supervised run.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SupervisorStats {
+    /// Batches that passed the guard and reached the worker.
+    pub accepted: u64,
+    /// Batches rejected by the guard and quarantined.
+    pub quarantined: u64,
+    /// Worker crashes observed (restarted or not).
+    pub worker_panics: u64,
+    /// Successful checkpoint restarts performed.
+    pub restarts: usize,
+    /// Checkpoints captured from the worker.
+    pub checkpoints_taken: u64,
+    /// Checkpoints also persisted to disk.
+    pub checkpoints_persisted: u64,
+    /// Disk persistence failures (non-fatal; in-memory state kept).
+    pub checkpoint_persist_failures: u64,
+    /// Accepted batches whose results were lost to a crash (streaming
+    /// semantics: lost batches are not replayed).
+    pub lost_in_flight: u64,
+}
+
+/// What happened to a batch offered to [`SupervisedPipeline::feed`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum FeedOutcome {
+    /// The batch passed validation and reached the worker.
+    Accepted,
+    /// The batch was rejected and sits in the quarantine.
+    Quarantined(BatchFault),
+}
+
+/// Everything a finished supervised run hands back.
+pub struct FinishedRun {
+    /// The learner, recovered from the last checkpoint if the worker was
+    /// dead at finish time.
+    pub learner: Learner,
+    /// All outputs not yet consumed via `recv`/`try_recv`, in order.
+    pub outputs: Vec<PipelineOutput>,
+    /// Run counters.
+    pub stats: SupervisorStats,
+    /// The dead-letter buffer with every retained poison batch.
+    pub quarantine: Quarantine,
+}
+
+enum SupCommand {
+    Batch(Batch),
+    Prequential(Batch),
+    /// Capture and send back a checkpoint of the current learner state.
+    Checkpoint,
+    /// Chaos hook: panic deterministically inside the worker.
+    InjectPanic,
+}
+
+enum WorkerMsg {
+    Output(PipelineOutput),
+    Checkpoint(Box<Checkpoint>),
+}
+
+struct Worker {
+    input: Sender<SupCommand>,
+    output: Receiver<WorkerMsg>,
+    handle: JoinHandle<Result<Learner, String>>,
+}
+
+fn spawn_worker(mut learner: Learner, queue_depth: usize) -> Worker {
+    let (in_tx, in_rx) = bounded::<SupCommand>(queue_depth);
+    // One extra slot per possible in-flight checkpoint reply so a
+    // checkpoint command never wedges behind a full output queue.
+    let (out_tx, out_rx) = bounded::<WorkerMsg>(queue_depth + 1);
+    let handle = std::thread::spawn(move || {
+        catch_unwind(AssertUnwindSafe(move || {
+            while let Ok(cmd) = in_rx.recv() {
+                let msg = match cmd {
+                    SupCommand::Batch(batch) => {
+                        let report = match batch.labels.as_deref() {
+                            Some(labels) => {
+                                learner.train(&batch.x, labels);
+                                None
+                            }
+                            None => Some(learner.infer(&batch.x)),
+                        };
+                        WorkerMsg::Output(PipelineOutput { seq: batch.seq, report })
+                    }
+                    SupCommand::Prequential(batch) => {
+                        let report = learner.process(&batch);
+                        WorkerMsg::Output(PipelineOutput { seq: batch.seq, report: Some(report) })
+                    }
+                    SupCommand::Checkpoint => {
+                        WorkerMsg::Checkpoint(Box::new(Checkpoint::capture(&learner)))
+                    }
+                    SupCommand::InjectPanic => panic!("injected worker panic (chaos)"),
+                };
+                if out_tx.send(msg).is_err() {
+                    break;
+                }
+            }
+            learner
+        }))
+        .map_err(panic_message)
+    });
+    Worker { input: in_tx, output: out_rx, handle }
+}
+
+/// A fault-tolerant pipeline around a [`Learner`].
+pub struct SupervisedPipeline {
+    config: SupervisorConfig,
+    worker: Option<Worker>,
+    guard: BatchGuard,
+    quarantine: Quarantine,
+    /// Outputs drained from the worker but not yet handed to the caller.
+    pending: VecDeque<PipelineOutput>,
+    /// The restart point. Seeded with a checkpoint of the initial
+    /// learner, so recovery is possible before the first cadence point.
+    last_checkpoint: Checkpoint,
+    stats: SupervisorStats,
+    /// Accepted batches whose outputs have not been observed yet.
+    in_flight: usize,
+    accepted_since_checkpoint: usize,
+}
+
+impl SupervisedPipeline {
+    /// Spawns the supervised worker. The guard's policy (feature width,
+    /// class count) is derived from the learner's model spec.
+    pub fn spawn(learner: Learner, config: SupervisorConfig) -> Self {
+        assert!(config.queue_depth >= 1, "queue depth must be positive");
+        assert!(config.checkpoint_every_n_batches >= 1, "checkpoint cadence must be positive");
+        let policy = GuardPolicy {
+            expected_features: learner.spec().features(),
+            num_classes: learner.spec().classes(),
+            check_seq: config.check_seq,
+        };
+        let guard = BatchGuard::new(policy);
+        let quarantine = Quarantine::new(config.quarantine_capacity);
+        let last_checkpoint = Checkpoint::capture(&learner);
+        let worker = Some(spawn_worker(learner, config.queue_depth));
+        Self {
+            config,
+            worker,
+            guard,
+            quarantine,
+            pending: VecDeque::new(),
+            last_checkpoint,
+            stats: SupervisorStats::default(),
+            in_flight: 0,
+            accepted_since_checkpoint: 0,
+        }
+    }
+
+    /// Feeds a batch, routed by labeledness. Poison batches are
+    /// quarantined (an `Ok` outcome — the pipeline survived them).
+    ///
+    /// # Errors
+    /// [`FreewayError::RestartsExhausted`] when the worker kept crashing
+    /// past the restart budget, [`FreewayError::Checkpoint`] if the
+    /// restart checkpoint itself failed to restore.
+    pub fn feed(&mut self, batch: Batch) -> Result<FeedOutcome, FreewayError> {
+        self.submit(batch, false)
+    }
+
+    /// Feeds a prequential batch (infer-then-train on the same data).
+    ///
+    /// # Errors
+    /// As [`Self::feed`].
+    pub fn feed_prequential(&mut self, batch: Batch) -> Result<FeedOutcome, FreewayError> {
+        self.submit(batch, true)
+    }
+
+    fn submit(&mut self, batch: Batch, prequential: bool) -> Result<FeedOutcome, FreewayError> {
+        if let Err(fault) = self.guard.admit(&batch) {
+            self.stats.quarantined += 1;
+            self.quarantine.push(batch, fault.clone());
+            return Ok(FeedOutcome::Quarantined(fault));
+        }
+        let cmd =
+            if prequential { SupCommand::Prequential(batch) } else { SupCommand::Batch(batch) };
+        self.send_with_recovery(cmd)?;
+        self.in_flight += 1;
+        self.stats.accepted += 1;
+        self.accepted_since_checkpoint += 1;
+        if self.accepted_since_checkpoint >= self.config.checkpoint_every_n_batches {
+            self.accepted_since_checkpoint = 0;
+            self.send_with_recovery(SupCommand::Checkpoint)?;
+        }
+        Ok(FeedOutcome::Accepted)
+    }
+
+    /// Chaos hook: makes the worker panic on its next command, exercising
+    /// the real crash-detection and restart path end to end.
+    ///
+    /// # Errors
+    /// As [`Self::feed`].
+    pub fn inject_worker_panic(&mut self) -> Result<(), FreewayError> {
+        self.send_with_recovery(SupCommand::InjectPanic)
+    }
+
+    /// Delivers a command, recovering along the way: a full queue blocks
+    /// on draining one worker message (backpressure), a disconnected
+    /// queue means the worker died — restart it and retry.
+    fn send_with_recovery(&mut self, mut cmd: SupCommand) -> Result<(), FreewayError> {
+        loop {
+            let Some(worker) = self.worker.as_ref() else {
+                return Err(FreewayError::WorkerUnavailable);
+            };
+            match worker.input.try_send(cmd) {
+                Ok(()) => return Ok(()),
+                Err(TrySendError::Full(returned)) => {
+                    cmd = returned;
+                    self.pump_one_blocking()?;
+                }
+                Err(TrySendError::Disconnected(returned)) => {
+                    cmd = returned;
+                    self.restart_worker()?;
+                }
+            }
+        }
+    }
+
+    /// Waits for one worker message and absorbs it; a disconnect is a
+    /// crash — restart.
+    fn pump_one_blocking(&mut self) -> Result<(), FreewayError> {
+        let Some(worker) = self.worker.as_ref() else {
+            return Err(FreewayError::WorkerUnavailable);
+        };
+        match worker.output.recv() {
+            Ok(msg) => {
+                self.handle_msg(msg);
+                Ok(())
+            }
+            Err(_) => self.restart_worker(),
+        }
+    }
+
+    fn handle_msg(&mut self, msg: WorkerMsg) {
+        match msg {
+            WorkerMsg::Output(out) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                self.pending.push_back(out);
+            }
+            WorkerMsg::Checkpoint(cp) => self.install_checkpoint(*cp),
+        }
+    }
+
+    fn install_checkpoint(&mut self, checkpoint: Checkpoint) {
+        self.stats.checkpoints_taken += 1;
+        if let Some(path) = self.config.checkpoint_path.as_ref() {
+            match checkpoint.save_atomic(path) {
+                Ok(()) => self.stats.checkpoints_persisted += 1,
+                Err(e) => {
+                    // Persistence failing must not take down a healthy
+                    // pipeline: the in-memory checkpoint still advances.
+                    self.stats.checkpoint_persist_failures += 1;
+                    eprintln!("freeway-core: checkpoint persistence failed (state kept): {e}");
+                }
+            }
+        }
+        self.last_checkpoint = checkpoint;
+    }
+
+    /// Reaps a dead worker and spawns a replacement from the last
+    /// checkpoint. Outputs the dead worker already produced are kept;
+    /// batches still in its queue are counted as lost.
+    fn restart_worker(&mut self) -> Result<(), FreewayError> {
+        let Some(Worker { input, output, handle }) = self.worker.take() else {
+            return Err(FreewayError::WorkerUnavailable);
+        };
+        drop(input);
+        // Everything the worker managed to emit before dying survives.
+        while let Ok(msg) = output.recv() {
+            self.handle_msg(msg);
+        }
+        let panic = match handle.join() {
+            Ok(Err(panic)) => panic,
+            Err(payload) => panic_message(payload),
+            Ok(Ok(learner)) => {
+                // A clean exit while we hold the sender should be
+                // impossible; salvage the freshest state anyway.
+                self.last_checkpoint = Checkpoint::capture(&learner);
+                "worker exited unexpectedly".to_string()
+            }
+        };
+        self.stats.worker_panics += 1;
+        self.stats.lost_in_flight += self.in_flight as u64;
+        self.in_flight = 0;
+        self.accepted_since_checkpoint = 0;
+        if self.stats.restarts >= self.config.max_restarts {
+            return Err(FreewayError::RestartsExhausted {
+                attempts: self.stats.restarts,
+                last_panic: panic,
+            });
+        }
+        self.stats.restarts += 1;
+        let learner = self.last_checkpoint.restore()?;
+        self.worker = Some(spawn_worker(learner, self.config.queue_depth));
+        Ok(())
+    }
+
+    /// Receives the next output without blocking; absorbs checkpoint
+    /// messages and restarts a crashed worker along the way.
+    ///
+    /// # Errors
+    /// As [`Self::feed`] when a crash is detected and recovery fails.
+    pub fn try_recv(&mut self) -> Result<Option<PipelineOutput>, FreewayError> {
+        loop {
+            if let Some(out) = self.pending.pop_front() {
+                return Ok(Some(out));
+            }
+            let Some(worker) = self.worker.as_ref() else {
+                return Ok(None);
+            };
+            match worker.output.try_recv() {
+                Ok(msg) => self.handle_msg(msg),
+                Err(TryRecvError::Empty) => return Ok(None),
+                Err(TryRecvError::Disconnected) => {
+                    self.restart_worker()?;
+                    return Ok(None);
+                }
+            }
+        }
+    }
+
+    /// Receives the next output, blocking while results are outstanding.
+    ///
+    /// # Errors
+    /// [`FreewayError::WorkerUnavailable`] when nothing is in flight
+    /// (results of batches lost to a crash are never produced — check
+    /// [`Self::stats`]); restart errors as [`Self::feed`].
+    pub fn recv(&mut self) -> Result<PipelineOutput, FreewayError> {
+        loop {
+            if let Some(out) = self.pending.pop_front() {
+                return Ok(out);
+            }
+            if self.in_flight == 0 {
+                return Err(FreewayError::WorkerUnavailable);
+            }
+            self.pump_one_blocking()?;
+        }
+    }
+
+    /// Run counters so far.
+    pub fn stats(&self) -> SupervisorStats {
+        self.stats
+    }
+
+    /// The dead-letter buffer (counted, bounded).
+    pub fn quarantine(&self) -> &Quarantine {
+        &self.quarantine
+    }
+
+    /// The most recent checkpoint (the restart point).
+    pub fn last_checkpoint(&self) -> &Checkpoint {
+        &self.last_checkpoint
+    }
+
+    /// Stops the worker and returns the learner plus every unconsumed
+    /// output. If the worker is dead at finish time (crashed on its final
+    /// batches, or the restart budget ran out), the learner is recovered
+    /// from the last checkpoint instead of failing the whole run.
+    ///
+    /// # Errors
+    /// [`FreewayError::Checkpoint`] only when that final checkpoint
+    /// recovery itself fails.
+    pub fn finish(mut self) -> Result<FinishedRun, FreewayError> {
+        let learner = match self.worker.take() {
+            Some(Worker { input, output, handle }) => {
+                drop(input);
+                while let Ok(msg) = output.recv() {
+                    self.handle_msg(msg);
+                }
+                match handle.join() {
+                    Ok(Ok(learner)) => learner,
+                    Ok(Err(panic)) => {
+                        self.stats.worker_panics += 1;
+                        self.stats.lost_in_flight += self.in_flight as u64;
+                        eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
+                        self.last_checkpoint.restore()?
+                    }
+                    Err(payload) => {
+                        let panic = panic_message(payload);
+                        self.stats.worker_panics += 1;
+                        self.stats.lost_in_flight += self.in_flight as u64;
+                        eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
+                        self.last_checkpoint.restore()?
+                    }
+                }
+            }
+            None => self.last_checkpoint.restore()?,
+        };
+        Ok(FinishedRun {
+            learner,
+            outputs: std::mem::take(&mut self.pending).into(),
+            stats: self.stats,
+            quarantine: self.quarantine.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FreewayConfig;
+    use freeway_linalg::Matrix;
+    use freeway_ml::ModelSpec;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::DriftPhase;
+
+    fn learner() -> Learner {
+        Learner::new(
+            ModelSpec::lr(4, 2),
+            FreewayConfig { pca_warmup_rows: 32, mini_batch: 64, ..Default::default() },
+        )
+    }
+
+    fn config() -> SupervisorConfig {
+        SupervisorConfig { checkpoint_every_n_batches: 3, ..Default::default() }
+    }
+
+    fn drain(p: &mut SupervisedPipeline, into: &mut Vec<PipelineOutput>) {
+        while let Ok(Some(out)) = p.try_recv() {
+            into.push(out);
+        }
+    }
+
+    #[test]
+    fn clean_stream_flows_like_the_plain_pipeline() {
+        let mut rng = stream_rng(21);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut outputs = Vec::new();
+        for i in 0..12 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            let outcome = sup
+                .feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable))
+                .expect("healthy pipeline");
+            assert_eq!(outcome, FeedOutcome::Accepted);
+            drain(&mut sup, &mut outputs);
+        }
+        let run = sup.finish().expect("clean finish");
+        outputs.extend(run.outputs);
+        assert_eq!(outputs.len(), 12, "one output per accepted batch");
+        assert_eq!(run.stats.accepted, 12);
+        assert_eq!(run.stats.restarts, 0);
+        assert_eq!(run.stats.quarantined, 0);
+        assert!(run.stats.checkpoints_taken >= 3, "cadence 3 over 12 batches");
+        assert!(run.quarantine.is_empty());
+    }
+
+    #[test]
+    fn poison_batches_are_quarantined_not_fed() {
+        let mut rng = stream_rng(22);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        sup.feed_prequential(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("clean");
+
+        let mut nan = concept.sample_batch(64, &mut rng).0;
+        nan.row_mut(3)[1] = f64::NAN;
+        let outcome = sup
+            .feed_prequential(Batch::unlabeled(nan, 1, DriftPhase::Stable))
+            .expect("quarantine is not an error");
+        assert!(matches!(outcome, FeedOutcome::Quarantined(BatchFault::NonFiniteFeature { .. })));
+
+        let wide = Batch::unlabeled(Matrix::zeros(8, 7), 2, DriftPhase::Stable);
+        assert!(matches!(
+            sup.feed(wide).expect("quarantine is not an error"),
+            FeedOutcome::Quarantined(BatchFault::WidthMismatch { found: 7, expected: 4 })
+        ));
+
+        let run = sup.finish().expect("finish");
+        assert_eq!(run.stats.accepted, 1);
+        assert_eq!(run.stats.quarantined, 2);
+        assert_eq!(run.quarantine.total(), 2);
+        assert_eq!(run.stats.restarts, 0, "poison never reached the worker");
+        assert_eq!(run.outputs.len(), 1);
+    }
+
+    /// Spins on `try_recv` until the supervisor has performed `target`
+    /// restarts (crash detection happens at the channel boundary, so the
+    /// test must give the supervisor a chance to observe the disconnect).
+    fn wait_for_restarts(
+        sup: &mut SupervisedPipeline,
+        target: usize,
+        outputs: &mut Vec<PipelineOutput>,
+    ) {
+        while sup.stats().restarts < target {
+            match sup.try_recv() {
+                Ok(Some(out)) => outputs.push(out),
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => panic!("recovery failed while waiting for restart: {e}"),
+            }
+        }
+    }
+
+    #[test]
+    fn injected_panic_restarts_from_checkpoint_and_stream_continues() {
+        let mut rng = stream_rng(23);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut outputs = Vec::new();
+        for i in 0..6 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
+            drain(&mut sup, &mut outputs);
+        }
+        sup.inject_worker_panic().expect("inject");
+        wait_for_restarts(&mut sup, 1, &mut outputs);
+        for i in 6..12 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable))
+                .expect("restart absorbs the crash");
+            drain(&mut sup, &mut outputs);
+        }
+        let run = sup.finish().expect("finish");
+        outputs.extend(run.outputs);
+        assert_eq!(run.stats.restarts, 1, "exactly one restart: {:?}", run.stats);
+        assert_eq!(run.stats.worker_panics, 1);
+        assert!(run.stats.checkpoints_taken >= 1, "restart had a checkpoint to use");
+        // Every post-restart batch reached the fresh worker and produced
+        // its output (nothing was in flight when they were fed).
+        let post_restart = outputs.iter().filter(|o| o.seq >= 6).count();
+        assert_eq!(post_restart, 6, "stream flowed after recovery");
+    }
+
+    #[test]
+    fn restart_budget_exhaustion_is_an_error_and_finish_still_recovers() {
+        let mut rng = stream_rng(24);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup =
+            SupervisedPipeline::spawn(learner(), SupervisorConfig { max_restarts: 1, ..config() });
+        let mut outputs = Vec::new();
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        sup.feed_prequential(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("healthy");
+        sup.inject_worker_panic().expect("first crash scheduled");
+        wait_for_restarts(&mut sup, 1, &mut outputs);
+        // Second crash exceeds max_restarts = 1: the next recovery
+        // attempt must surface RestartsExhausted instead of respawning.
+        sup.inject_worker_panic().expect("second crash scheduled");
+        let err = loop {
+            match sup.try_recv() {
+                Ok(Some(out)) => outputs.push(out),
+                Ok(None) => std::thread::yield_now(),
+                Err(e) => break e,
+            }
+        };
+        assert!(
+            matches!(err, FreewayError::RestartsExhausted { attempts: 1, .. }),
+            "expected RestartsExhausted, got {err:?}"
+        );
+        // With the budget spent, feeding errors too (worker is gone).
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        assert!(matches!(
+            sup.feed_prequential(Batch::labeled(x, y, 1, DriftPhase::Stable)),
+            Err(FreewayError::WorkerUnavailable)
+        ));
+        // The run still finishes by recovering state from the checkpoint.
+        let run = sup.finish().expect("finish recovers from checkpoint");
+        assert_eq!(run.stats.restarts, 1);
+        assert_eq!(run.stats.worker_panics, 2);
+    }
+
+    #[test]
+    fn checkpoints_persist_to_disk_at_cadence() {
+        let dir = std::env::temp_dir().join("freeway-supervisor-test");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let path = dir.join("sup-ckpt.json");
+        let _ = std::fs::remove_file(&path);
+
+        let mut rng = stream_rng(25);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::spawn(
+            learner(),
+            SupervisorConfig {
+                checkpoint_every_n_batches: 2,
+                checkpoint_path: Some(path.clone()),
+                ..Default::default()
+            },
+        );
+        for i in 0..6 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
+        }
+        let run = sup.finish().expect("finish");
+        assert!(run.stats.checkpoints_persisted >= 1, "{:?}", run.stats);
+        assert_eq!(run.stats.checkpoint_persist_failures, 0);
+        let loaded = Checkpoint::load(&path).expect("persisted checkpoint loads and validates");
+        assert_eq!(loaded.spec, *run.learner.spec());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn sequence_faults_are_quarantined_when_enabled() {
+        let mut rng = stream_rng(26);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        let batch = Batch::labeled(x, y, 5, DriftPhase::Stable);
+        sup.feed_prequential(batch.clone()).expect("clean");
+        assert!(matches!(
+            sup.feed_prequential(batch).expect("quarantine is not an error"),
+            FeedOutcome::Quarantined(BatchFault::DuplicateSeq { seq: 5 })
+        ));
+        let run = sup.finish().expect("finish");
+        assert_eq!(run.stats.quarantined, 1);
+    }
+}

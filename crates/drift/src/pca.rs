@@ -12,14 +12,25 @@ use freeway_linalg::{jacobi_eigen, stats, Matrix};
 pub struct PcaReducer {
     mean: Vec<f64>,
     components: Matrix, // d x k
+    /// True when numerical failure forced the identity fallback.
+    degraded: bool,
 }
 
 impl PcaReducer {
     /// Fits PCA on warm-up data, keeping the top `k` components.
     ///
+    /// Numerical failure — a non-finite mean or covariance (NaN/Inf rows
+    /// slipped past upstream guards), or an eigendecomposition that
+    /// produced non-finite output — does **not** panic: the reducer
+    /// degrades to the identity projection onto the first `k` raw
+    /// coordinates (with a NaN-sanitised mean) and reports it via
+    /// [`Self::degraded`]. Shift distances stay well-defined, just
+    /// unrotated; callers surface the flag so operators know routing
+    /// quality is reduced.
+    ///
     /// # Panics
     /// Panics if `data` has fewer than 2 rows or `k` exceeds the feature
-    /// dimension.
+    /// dimension (programmer errors, not data faults).
     pub fn fit(data: &Matrix, k: usize) -> Self {
         assert!(data.rows() >= 2, "PCA warm-up needs at least two points");
         assert!(
@@ -27,10 +38,32 @@ impl PcaReducer {
             "component count {k} out of range for {} features",
             data.cols()
         );
-        let mean = stats::mean_vector(data);
-        let cov = stats::covariance_matrix(data);
-        let eig = jacobi_eigen(&cov, 1e-10, 100);
-        Self { mean, components: eig.top_components(k) }
+        let mut mean = stats::mean_vector(data);
+        if mean.iter().all(|v| v.is_finite()) {
+            let cov = stats::covariance_matrix(data);
+            if cov.as_slice().iter().all(|v| v.is_finite()) {
+                let eig = jacobi_eigen(&cov, 1e-10, 100);
+                if eig.all_finite() {
+                    return Self { mean, components: eig.top_components(k), degraded: false };
+                }
+            }
+        }
+        for v in mean.iter_mut() {
+            if !v.is_finite() {
+                *v = 0.0;
+            }
+        }
+        let mut components = Matrix::zeros(data.cols(), k);
+        for i in 0..k {
+            components[(i, i)] = 1.0;
+        }
+        Self { mean, components, degraded: true }
+    }
+
+    /// True when this reducer fell back to the identity projection after
+    /// a numerical failure during fitting.
+    pub fn degraded(&self) -> bool {
+        self.degraded
     }
 
     /// Number of retained components.
@@ -198,6 +231,25 @@ mod tests {
         let fitted = w.feed(&chunk);
         assert!(fitted.is_some(), "10th row arrived");
         assert_eq!(fitted.unwrap().k(), 2);
+    }
+
+    #[test]
+    fn non_finite_warmup_degrades_to_identity_instead_of_panicking() {
+        let data = Matrix::from_rows(&[
+            vec![1.0, f64::NAN, 3.0],
+            vec![2.0, 1.0, f64::INFINITY],
+            vec![0.5, 0.0, 1.0],
+        ]);
+        let pca = PcaReducer::fit(&data, 2);
+        assert!(pca.degraded(), "numerical failure must be flagged");
+        assert_eq!(pca.k(), 2);
+        // The identity fallback projects onto the first k raw coordinates
+        // relative to the sanitised mean — always finite.
+        let proj = pca.project_mean(&[1.0, 2.0, 3.0]);
+        assert!(proj.iter().all(|v| v.is_finite()), "degraded projection stays finite: {proj:?}");
+        // A healthy fit is not flagged.
+        let healthy = PcaReducer::fit(&diagonal_data(), 1);
+        assert!(!healthy.degraded());
     }
 
     #[test]

@@ -35,6 +35,14 @@ impl EigenDecomposition {
         }
         out
     }
+
+    /// True when every eigenvalue and eigenvector entry is finite —
+    /// callers use this to detect a decomposition poisoned by NaN/Inf
+    /// input and fall back instead of propagating garbage.
+    pub fn all_finite(&self) -> bool {
+        self.values.iter().all(|v| v.is_finite())
+            && self.vectors.as_slice().iter().all(|v| v.is_finite())
+    }
 }
 
 /// Off-diagonal Frobenius norm squared, the Jacobi convergence measure.
@@ -121,8 +129,10 @@ pub fn jacobi_eigen(matrix: &Matrix, tol: f64, max_sweeps: usize) -> EigenDecomp
     }
 
     // Sort by descending eigenvalue, permuting eigenvector columns along.
+    // NaN diagonals (non-finite input) compare Equal rather than
+    // panicking; `all_finite` lets callers detect and reject the result.
     let mut order: Vec<usize> = (0..n).collect();
-    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).expect("finite eigenvalues"));
+    order.sort_by(|&i, &j| a[(j, j)].partial_cmp(&a[(i, i)]).unwrap_or(std::cmp::Ordering::Equal));
 
     let values: Vec<f64> = order.iter().map(|&i| a[(i, i)]).collect();
     let mut vectors = Matrix::zeros(n, n);

@@ -709,6 +709,8 @@ impl Matrix {
             .collect();
         pool.run(tasks);
         let mut iter = partials.into_iter();
+        // Audited: `partials` has one slot per chunk and rows > 0 here.
+        #[allow(clippy::expect_used)]
         let mut out = iter.next().expect("at least one chunk");
         for partial in iter {
             for (o, x) in out.iter_mut().zip(partial) {

@@ -55,6 +55,9 @@ impl WorkerPool {
         if threads > 1 {
             for i in 0..threads {
                 let rx: Receiver<Job> = receiver.clone();
+                // Audited: OS refusing to spawn threads at startup is
+                // unrecoverable; failing loudly here is the design.
+                #[allow(clippy::expect_used)]
                 std::thread::Builder::new()
                     .name(format!("freeway-worker-{i}"))
                     .spawn(move || {
@@ -111,6 +114,9 @@ impl WorkerPool {
                 let result = panic::catch_unwind(AssertUnwindSafe(task));
                 latch_handle.complete(result.err());
             });
+            // Audited: workers only exit when the last sender drops, and
+            // `self` holds one — the channel cannot be disconnected here.
+            #[allow(clippy::expect_used)]
             self.sender.send(job).expect("worker threads outlive the pool handle");
         }
         latch.wait_and_propagate();

@@ -9,8 +9,11 @@
 //! Format expectations: one record per line, `,`-separated, numeric
 //! feature columns, one label column (numeric or categorical — labels
 //! are interned to dense class ids in first-appearance order), optional
-//! header line. Rows with unparseable feature values are rejected with
-//! a line-numbered error rather than skipped silently.
+//! header line. The strict loaders reject the whole file on the first
+//! malformed row with a line-numbered error; the `_tolerant` variants
+//! instead *skip and count* malformed rows (bad numbers, ragged widths,
+//! non-finite values) and report a [`CsvLoadSummary`], which is what a
+//! production ingest of dirty real-world files wants.
 
 use crate::batch::{Batch, DriftPhase};
 use crate::generator::StreamGenerator;
@@ -91,6 +94,31 @@ impl From<std::io::Error> for CsvError {
     }
 }
 
+/// How many per-row errors a tolerant load keeps verbatim; everything
+/// past the cap is still *counted* in [`CsvLoadSummary::skipped`].
+pub const MAX_RECORDED_ROW_ERRORS: usize = 8;
+
+/// Outcome report of a tolerant load.
+#[derive(Debug, Default)]
+pub struct CsvLoadSummary {
+    /// Rows successfully loaded.
+    pub loaded: usize,
+    /// Malformed rows skipped.
+    pub skipped: usize,
+    /// The first [`MAX_RECORDED_ROW_ERRORS`] row errors, for diagnostics.
+    pub errors: Vec<CsvError>,
+}
+
+impl std::fmt::Display for CsvLoadSummary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rows loaded, {} skipped", self.loaded, self.skipped)?;
+        if let Some(first) = self.errors.first() {
+            write!(f, " (first: {first})")?;
+        }
+        Ok(())
+    }
+}
+
 impl CsvStream {
     /// Loads a CSV file.
     pub fn from_path(
@@ -107,6 +135,23 @@ impl CsvStream {
         Self::from_reader(file, label, has_header, cycle, name)
     }
 
+    /// Loads a CSV file, skipping and counting malformed rows instead of
+    /// rejecting the whole file (hardened ingest for dirty real data).
+    /// Only I/O failure or a file with no loadable rows is an error.
+    pub fn from_path_tolerant(
+        path: impl AsRef<Path>,
+        label: LabelColumn,
+        has_header: bool,
+        cycle: bool,
+    ) -> Result<(Self, CsvLoadSummary), CsvError> {
+        let name = path
+            .as_ref()
+            .file_stem()
+            .map_or_else(|| "csv".to_string(), |s| s.to_string_lossy().into_owned());
+        let file = std::fs::File::open(path)?;
+        Self::from_reader_tolerant(file, label, has_header, cycle, name)
+    }
+
     /// Loads CSV records from any reader (tests use in-memory strings).
     pub fn from_reader(
         reader: impl Read,
@@ -115,14 +160,53 @@ impl CsvStream {
         cycle: bool,
         name: String,
     ) -> Result<Self, CsvError> {
+        Self::from_reader_impl(reader, label, has_header, cycle, name, false).map(|(s, _)| s)
+    }
+
+    /// [`Self::from_reader`], but malformed rows (unparseable or
+    /// non-finite numbers, ragged widths) are skipped and counted in the
+    /// returned [`CsvLoadSummary`] instead of failing the load.
+    pub fn from_reader_tolerant(
+        reader: impl Read,
+        label: LabelColumn,
+        has_header: bool,
+        cycle: bool,
+        name: String,
+    ) -> Result<(Self, CsvLoadSummary), CsvError> {
+        Self::from_reader_impl(reader, label, has_header, cycle, name, true)
+    }
+
+    fn from_reader_impl(
+        reader: impl Read,
+        label: LabelColumn,
+        has_header: bool,
+        cycle: bool,
+        name: String,
+        tolerant: bool,
+    ) -> Result<(Self, CsvLoadSummary), CsvError> {
         let reader = BufReader::new(reader);
         let mut rows: Vec<Vec<f64>> = Vec::new();
         let mut labels: Vec<usize> = Vec::new();
         let mut class_ids: BTreeMap<String, usize> = BTreeMap::new();
         let mut class_names: Vec<String> = Vec::new();
         let mut expected_cols: Option<usize> = None;
+        let mut summary = CsvLoadSummary::default();
 
-        for (line_no, line) in reader.lines().enumerate() {
+        // In strict mode the first row error aborts the load; in tolerant
+        // mode it is recorded (up to the cap), counted, and the row is
+        // skipped.
+        let reject = |summary: &mut CsvLoadSummary, err: CsvError| -> Result<(), CsvError> {
+            if !tolerant {
+                return Err(err);
+            }
+            summary.skipped += 1;
+            if summary.errors.len() < MAX_RECORDED_ROW_ERRORS {
+                summary.errors.push(err);
+            }
+            Ok(())
+        };
+
+        'rows: for (line_no, line) in reader.lines().enumerate() {
             let line = line?;
             let human_line = line_no + 1;
             if has_header && line_no == 0 {
@@ -135,7 +219,11 @@ impl CsvStream {
             let cells: Vec<&str> = trimmed.split(',').map(str::trim).collect();
             let expected = *expected_cols.get_or_insert(cells.len());
             if cells.len() != expected {
-                return Err(CsvError::RaggedRow { line: human_line, found: cells.len(), expected });
+                reject(
+                    &mut summary,
+                    CsvError::RaggedRow { line: human_line, found: cells.len(), expected },
+                )?;
+                continue;
             }
             let label_idx = match label {
                 LabelColumn::Last => expected - 1,
@@ -146,12 +234,29 @@ impl CsvStream {
                 if col == label_idx {
                     continue;
                 }
-                let v: f64 = cell.parse().map_err(|_| CsvError::BadNumber {
-                    line: human_line,
-                    column: col,
-                    cell: (*cell).to_string(),
-                })?;
-                features.push(v);
+                let parsed: Result<f64, _> = cell.parse();
+                // Strict mode predates the finite check and keeps its
+                // exact behavior; tolerant mode also rejects NaN/Inf
+                // cells — they parse, but poison every statistic
+                // downstream.
+                let ok = match parsed {
+                    Ok(v) if !tolerant || v.is_finite() => Some(v),
+                    _ => None,
+                };
+                match ok {
+                    Some(v) => features.push(v),
+                    None => {
+                        reject(
+                            &mut summary,
+                            CsvError::BadNumber {
+                                line: human_line,
+                                column: col,
+                                cell: (*cell).to_string(),
+                            },
+                        )?;
+                        continue 'rows;
+                    }
+                }
             }
             let class = cells[label_idx].to_string();
             let next_id = class_ids.len();
@@ -165,7 +270,11 @@ impl CsvStream {
         if rows.is_empty() {
             return Err(CsvError::Empty);
         }
-        Ok(Self { x: Matrix::from_rows(&rows), labels, class_names, cursor: 0, cycle, name })
+        summary.loaded = rows.len();
+        Ok((
+            Self { x: Matrix::from_rows(&rows), labels, class_names, cursor: 0, cycle, name },
+            summary,
+        ))
     }
 
     /// Total records loaded.
@@ -315,5 +424,86 @@ mod tests {
         )
         .unwrap_err();
         assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn tolerant_loader_skips_and_counts_bad_rows() {
+        let csv = "a,b,label\n\
+                   1.0,2.0,up\n\
+                   1.0,oops,down\n\
+                   3.0,4.0,down\n\
+                   5.0,6.0,7.0,up\n\
+                   NaN,8.0,up\n\
+                   9.0,10.0,up\n";
+        let (s, summary) = CsvStream::from_reader_tolerant(
+            csv.as_bytes(),
+            LabelColumn::Last,
+            true,
+            false,
+            "t".into(),
+        )
+        .expect("rows survive");
+        assert_eq!(s.len(), 3, "three clean rows load");
+        assert_eq!(summary.loaded, 3);
+        assert_eq!(summary.skipped, 3, "bad number, ragged row, NaN all skipped");
+        assert_eq!(summary.errors.len(), 3);
+        assert!(
+            matches!(summary.errors[0], CsvError::BadNumber { line: 3, .. }),
+            "{}",
+            summary.errors[0]
+        );
+        assert!(matches!(summary.errors[1], CsvError::RaggedRow { line: 5, .. }));
+        assert!(matches!(summary.errors[2], CsvError::BadNumber { line: 6, .. }));
+        // Labels are interned only for accepted rows, in file order.
+        assert_eq!(s.class_names(), &["up".to_string(), "down".to_string()]);
+        let msg = summary.to_string();
+        assert!(msg.contains("3 rows loaded") && msg.contains("3 skipped"), "{msg}");
+    }
+
+    #[test]
+    fn tolerant_loader_caps_recorded_errors() {
+        let mut csv = String::from("a,b,label\n1.0,2.0,up\n");
+        for _ in 0..(MAX_RECORDED_ROW_ERRORS + 5) {
+            csv.push_str("bad,2.0,up\n");
+        }
+        let (_, summary) = CsvStream::from_reader_tolerant(
+            csv.as_bytes(),
+            LabelColumn::Last,
+            true,
+            false,
+            "t".into(),
+        )
+        .expect("one clean row survives");
+        assert_eq!(summary.skipped, MAX_RECORDED_ROW_ERRORS + 5);
+        assert_eq!(summary.errors.len(), MAX_RECORDED_ROW_ERRORS, "recording is capped");
+    }
+
+    #[test]
+    fn tolerant_loader_with_no_good_rows_is_empty() {
+        let csv = "a,b,label\nx,2.0,up\ny,4.0,down\n";
+        let err = CsvStream::from_reader_tolerant(
+            csv.as_bytes(),
+            LabelColumn::Last,
+            true,
+            false,
+            "t".into(),
+        )
+        .unwrap_err();
+        assert!(matches!(err, CsvError::Empty));
+    }
+
+    #[test]
+    fn strict_loader_behavior_is_unchanged_by_tolerant_path() {
+        // Strict mode still accepts non-finite cells that parse (legacy
+        // behavior) and still aborts on the first structural error.
+        let s = CsvStream::from_reader(
+            "inf,2.0,up\n".as_bytes(),
+            LabelColumn::Last,
+            false,
+            false,
+            "t".into(),
+        )
+        .expect("strict mode does not add the finite check");
+        assert_eq!(s.len(), 1);
     }
 }

@@ -34,6 +34,7 @@ pub mod source;
 
 pub use batch::{Batch, DriftPhase};
 pub use concept::GmmConcept;
+pub use csv::{CsvError, CsvLoadSummary, CsvStream, LabelColumn};
 pub use generator::StreamGenerator;
 pub use hyperplane::Hyperplane;
 pub use sea::Sea;

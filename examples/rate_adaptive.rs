@@ -56,7 +56,7 @@ fn main() {
 
         for _ in 0..adj.inference_batches {
             if let Some(batch) = source.try_take_batch(batch_size) {
-                pipeline.feed_prequential(batch.clone());
+                pipeline.feed_prequential(batch.clone()).expect("worker alive");
                 seq += 1;
             }
         }
@@ -64,7 +64,7 @@ fn main() {
         while pipeline.try_recv().is_some() {}
     }
 
-    let learner = pipeline.finish();
+    let learner = pipeline.finish().expect("clean shutdown");
     println!(
         "\nprocessed ~{seq} batches; dropped {:.0} items at the source; \
          selector ready: {}",

@@ -65,11 +65,14 @@
 //!   River / Camel / A-GEM re-implementations;
 //! * [`eval`] (`freeway-eval`) — the prequential harness and every
 //!   table/figure runner;
+//! * [`chaos`] (`freeway-chaos`) — deterministic fault injection and
+//!   recovery drills for the supervised runtime;
 //! * [`linalg`] (`freeway-linalg`) — the dense math substrate.
 
 #![warn(missing_docs)]
 
 pub use freeway_baselines as baselines;
+pub use freeway_chaos as chaos;
 pub use freeway_cluster as cluster;
 pub use freeway_core as core;
 pub use freeway_drift as drift;

@@ -147,9 +147,9 @@ fn pipeline_processes_mixed_streams_end_to_end() {
     for i in 0..30 {
         let batch = stream.next_batch(64);
         if i % 3 == 0 {
-            pipeline.feed(batch.without_labels());
+            pipeline.feed(batch.without_labels()).expect("worker alive");
         } else {
-            pipeline.feed(batch);
+            pipeline.feed(batch).expect("worker alive");
         }
         while let Some(out) = pipeline.try_recv() {
             received += 1;
@@ -159,13 +159,13 @@ fn pipeline_processes_mixed_streams_end_to_end() {
         }
     }
     while received < 30 {
-        if pipeline.recv().report.is_some() {
+        if pipeline.recv().expect("worker alive").report.is_some() {
             inference_reports += 1;
         }
         received += 1;
     }
     assert_eq!(inference_reports, 10, "every unlabeled batch yields a report");
-    let learner = pipeline.finish();
+    let learner = pipeline.finish().expect("clean shutdown");
     assert!(learner.selector().is_ready());
 }
 

@@ -73,6 +73,46 @@ pub mod channel {
         Disconnected,
     }
 
+    /// Reason a `try_send` rejected a message; carries it back.
+    pub enum TrySendError<T> {
+        /// Channel at capacity but receivers remain.
+        Full(T),
+        /// All receivers dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Debug for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("Full(..)"),
+                TrySendError::Disconnected(_) => f.write_str("Disconnected(..)"),
+            }
+        }
+    }
+
+    impl<T> fmt::Display for TrySendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TrySendError::Full(_) => f.write_str("sending on a full channel"),
+                TrySendError::Disconnected(_) => f.write_str("sending on a disconnected channel"),
+            }
+        }
+    }
+
+    impl<T> TrySendError<T> {
+        /// Recovers the message that could not be sent.
+        pub fn into_inner(self) -> T {
+            match self {
+                TrySendError::Full(msg) | TrySendError::Disconnected(msg) => msg,
+            }
+        }
+
+        /// True when the error is a disconnect (all receivers dropped).
+        pub fn is_disconnected(&self) -> bool {
+            matches!(self, TrySendError::Disconnected(_))
+        }
+    }
+
     impl<T> fmt::Debug for SendError<T> {
         fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
             f.write_str("SendError(..)")
@@ -152,6 +192,24 @@ pub mod channel {
                         st = self.shared.not_full.wait(st).unwrap();
                     }
                     _ => break,
+                }
+            }
+            st.items.push_back(msg);
+            drop(st);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Non-blocking send: errors with `Full` instead of waiting for
+        /// queue space, and with `Disconnected` once all receivers drop.
+        pub fn try_send(&self, msg: T) -> Result<(), TrySendError<T>> {
+            let mut st = self.shared.state.lock().unwrap();
+            if st.receivers == 0 {
+                return Err(TrySendError::Disconnected(msg));
+            }
+            if let Some(cap) = st.capacity {
+                if st.items.len() >= cap {
+                    return Err(TrySendError::Full(msg));
                 }
             }
             st.items.push_back(msg);
