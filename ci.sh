@@ -15,6 +15,25 @@ cargo test -q -p freeway-eval --features alloc-metrics --test alloc_regression
 echo "== chaos recovery gate (fault-tolerant runtime) =="
 cargo test -q -p freeway-chaos --test recovery
 
+echo "== telemetry gate (drift-event observability) =="
+# The observe_drift example self-checks (exit code) that the detected
+# drift timeline covers the generator's ground truth and writes both
+# export formats; the JSON re-parse below asserts the exported snapshot
+# independently records at least one DriftDetected event.
+cargo run --release --example observe_drift > /dev/null
+python3 - <<'PY'
+import json
+with open("results/TELEMETRY_observe_drift.json") as fh:
+    snapshot = json.load(fh)
+drifts = [e for e in snapshot["events"] if "DriftDetected" in e]
+assert drifts, "exported snapshot carries no DriftDetected events"
+assert snapshot["metrics"]["counters"]["freeway_events_drift_detected_total"] >= len(drifts) > 0
+print(f"telemetry gate: {len(drifts)} DriftDetected event(s) in exported snapshot")
+PY
+
+echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
 echo "== unwrap/expect audit (freeway-core runtime must not panic) =="
 # The supervised runtime's library code may not unwrap/expect its way
 # past errors; tests keep their expects (cfg(test) code is not linted

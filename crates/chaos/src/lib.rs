@@ -28,6 +28,7 @@
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use freeway_core::supervisor::{SupervisedPipeline, SupervisorConfig, SupervisorStats};
+use freeway_core::telemetry::TelemetryEvent;
 use freeway_core::{FreewayError, Learner};
 use freeway_linalg::Matrix;
 use freeway_streams::{Batch, StreamGenerator};
@@ -311,6 +312,10 @@ pub struct ChaosRunReport {
     pub correct: usize,
     /// Scored rows (labeled batches that produced an output).
     pub scored: usize,
+    /// Telemetry events recorded during the run (empty unless the learner
+    /// was built with a recording sink, e.g. via
+    /// `PipelineBuilder::recording`).
+    pub events: Vec<TelemetryEvent>,
 }
 
 impl ChaosRunReport {
@@ -375,7 +380,7 @@ pub fn run_supervised_prequential(
     batch_size: usize,
     panic_at: &[usize],
 ) -> Result<ChaosRunReport, FreewayError> {
-    let mut sup = SupervisedPipeline::spawn(learner, config);
+    let mut sup = SupervisedPipeline::with_learner(learner, config)?;
     let mut labels_by_seq: HashMap<u64, Vec<usize>> = HashMap::new();
     let mut outputs = Vec::new();
     let mut restart_target = 0usize;
@@ -429,6 +434,7 @@ pub fn run_supervised_prequential(
         per_seq,
         correct,
         scored,
+        events: run.learner.telemetry().events(),
     })
 }
 

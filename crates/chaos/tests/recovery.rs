@@ -6,7 +6,8 @@
 
 use freeway_chaos::{paired_accuracy, run_supervised_prequential, ChaosConfig, ChaosStream};
 use freeway_core::supervisor::SupervisorConfig;
-use freeway_core::{FreewayConfig, Learner};
+use freeway_core::telemetry::{EventKind, TelemetryEvent};
+use freeway_core::{FreewayConfig, Learner, PipelineBuilder};
 use freeway_ml::ModelSpec;
 use freeway_streams::datasets::electricity;
 use freeway_streams::StreamGenerator;
@@ -16,11 +17,25 @@ const CHAOS_SEED: u64 = 42;
 const BATCHES: usize = 128;
 const BATCH_SIZE: usize = 128;
 
+/// Chaos runs are observed through the event stream: the builder attaches
+/// a recording sink so the assertions below read telemetry, not
+/// supervisor internals.
 fn learner(stream: &dyn StreamGenerator) -> Learner {
-    Learner::new(
-        ModelSpec::lr(stream.num_features(), stream.num_classes()),
-        FreewayConfig { pca_warmup_rows: 256, mini_batch: BATCH_SIZE, ..Default::default() },
-    )
+    let (builder, _sink) =
+        PipelineBuilder::new(ModelSpec::lr(stream.num_features(), stream.num_classes()))
+            .recording();
+    builder
+        .with_config(FreewayConfig {
+            pca_warmup_rows: 256,
+            mini_batch: BATCH_SIZE,
+            ..Default::default()
+        })
+        .build_learner()
+        .expect("valid configuration")
+}
+
+fn count_kind(events: &[TelemetryEvent], kind: EventKind) -> usize {
+    events.iter().filter(|e| e.kind() == kind).count()
 }
 
 fn supervisor() -> SupervisorConfig {
@@ -70,6 +85,33 @@ fn chaos_drill_quarantines_poison_and_stays_close_to_fault_free() {
         "every emitted batch is either accepted or quarantined"
     );
 
+    // The event stream tells the same story as the counters: one
+    // quarantine event per poison batch, at least one checkpoint, the
+    // restore, and exactly one restart — asserted on telemetry, not by
+    // reaching into supervisor state.
+    assert_eq!(
+        count_kind(&report.events, EventKind::BatchQuarantined) as u64,
+        expected,
+        "one BatchQuarantined event per poison batch"
+    );
+    assert!(count_kind(&report.events, EventKind::CheckpointWritten) >= 1);
+    assert_eq!(count_kind(&report.events, EventKind::WorkerRestarted), 1);
+    assert_eq!(count_kind(&report.events, EventKind::CheckpointRestored), 1);
+    let quarantined_seqs: Vec<u64> = report
+        .events
+        .iter()
+        .filter(|e| e.kind() == EventKind::BatchQuarantined)
+        .filter_map(TelemetryEvent::seq)
+        .collect();
+    for rec in chaotic.log().iter().filter(|r| r.expect_quarantine && r.emit_index < BATCHES) {
+        assert!(
+            quarantined_seqs.contains(&rec.seq),
+            "poison seq {} ({}) missing from the event stream",
+            rec.seq,
+            rec.kind
+        );
+    }
+
     // Accuracy stays within two points of the fault-free run over the
     // sequence numbers both runs scored.
     let (faulted, fault_free) = paired_accuracy(&report, &reference);
@@ -92,6 +134,10 @@ fn checkpoint_recovery_restores_tail_accuracy_after_panic() {
     let report = run_supervised_prequential(&mut stream, lrn, supervisor(), 60, BATCH_SIZE, &[30])
         .expect("panic mid-stream is survivable");
     assert_eq!(report.stats.restarts, 1);
+    // Restart observability: the event stream carries the restart and the
+    // checkpoint restore that preceded it.
+    assert_eq!(count_kind(&report.events, EventKind::WorkerRestarted), 1);
+    assert_eq!(count_kind(&report.events, EventKind::CheckpointRestored), 1);
     let tail = report.tail_accuracy(35);
     println!("recovery: overall {:.4}, tail-after-restart {tail:.4}", report.accuracy());
     assert!(

@@ -11,6 +11,7 @@
 
 use freeway_drift::disorder::{distance_ranks, normalized_disorder};
 use freeway_linalg::{vector, Matrix};
+use freeway_telemetry::{Telemetry, TelemetryEvent};
 use std::sync::Arc;
 
 /// One batch held in the window.
@@ -87,6 +88,9 @@ pub struct AdaptiveStreamingWindow {
     /// Runtime multiplier on decay, raised by the rate-aware adjuster
     /// under high flow rates (§V-B).
     decay_multiplier: f64,
+    telemetry: Telemetry,
+    /// Granularity level this window belongs to, for event labeling.
+    level: usize,
 }
 
 impl AdaptiveStreamingWindow {
@@ -94,7 +98,23 @@ impl AdaptiveStreamingWindow {
     pub fn new(params: AswParams) -> Self {
         assert!(params.max_batches >= 1, "max_batches must be at least 1");
         assert!(params.max_items >= 1, "max_items must be at least 1");
-        Self { params, batches: Vec::new(), items: 0, last_disorder: 0.0, decay_multiplier: 1.0 }
+        Self {
+            params,
+            batches: Vec::new(),
+            items: 0,
+            last_disorder: 0.0,
+            decay_multiplier: 1.0,
+            telemetry: Telemetry::disabled(),
+            level: 0,
+        }
+    }
+
+    /// Attaches an observability handle: evictions emit
+    /// [`TelemetryEvent::WindowEvicted`] labeled with `level`, and each
+    /// insertion updates the disorder gauge.
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry, level: usize) {
+        self.telemetry = telemetry;
+        self.level = level;
     }
 
     /// Number of batches currently held.
@@ -162,6 +182,7 @@ impl AdaptiveStreamingWindow {
             // Evict fully decayed batches.
             let min_weight = self.params.min_weight;
             let mut removed_items = 0;
+            let before = self.batches.len();
             self.batches.retain(|b| {
                 if b.weight < min_weight {
                     removed_items += b.x.rows();
@@ -171,6 +192,16 @@ impl AdaptiveStreamingWindow {
                 }
             });
             self.items -= removed_items;
+            let evicted = before - self.batches.len();
+            if evicted > 0 {
+                self.telemetry.emit(TelemetryEvent::WindowEvicted {
+                    seq: self.telemetry.seq(),
+                    level: self.level,
+                    evicted,
+                    disorder,
+                });
+            }
+            self.telemetry.record_disorder(disorder);
         }
 
         self.items += x.rows();

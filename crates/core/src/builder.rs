@@ -1,0 +1,286 @@
+//! The unified construction path for FreewayML pipelines.
+//!
+//! [`PipelineBuilder`] is the single place where a deployment is
+//! described: model architecture, learner configuration, supervision
+//! policy, and the telemetry sink are all set **before** anything spawns,
+//! so observers see the run from its very first batch. The legacy
+//! constructors ([`Learner::new`], `Pipeline::spawn`,
+//! `SupervisedPipeline::spawn`) remain as thin deprecated wrappers.
+//!
+//! ```
+//! use freeway_core::PipelineBuilder;
+//! use freeway_ml::ModelSpec;
+//!
+//! let (builder, sink) = PipelineBuilder::new(ModelSpec::lr(8, 2)).recording();
+//! let mut learner = builder
+//!     .with_mini_batch(128)
+//!     .with_pca_warmup_rows(128)
+//!     .build_learner()
+//!     .expect("valid configuration");
+//! assert!(learner.telemetry().enabled());
+//! assert!(sink.is_empty(), "nothing has run yet");
+//! # let _ = &mut learner;
+//! ```
+
+use crate::config::FreewayConfig;
+use crate::error::FreewayError;
+use crate::learner::Learner;
+use crate::pipeline::Pipeline;
+use crate::supervisor::{SupervisedPipeline, SupervisorConfig};
+use freeway_ml::ModelSpec;
+use freeway_telemetry::{RecordingSink, Telemetry, TelemetrySink};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Fluent builder producing a [`Learner`], [`Pipeline`], or
+/// [`SupervisedPipeline`] from one description.
+///
+/// Every `with_*` method is by-value (chainable); the `build_*` methods
+/// validate the whole description at once and return
+/// [`FreewayError::InvalidConfig`] on contradictions instead of
+/// panicking mid-construction.
+#[derive(Debug)]
+pub struct PipelineBuilder {
+    spec: ModelSpec,
+    config: FreewayConfig,
+    supervisor: SupervisorConfig,
+    telemetry: Telemetry,
+}
+
+impl PipelineBuilder {
+    /// Starts a builder for the given model architecture with default
+    /// [`FreewayConfig`], default [`SupervisorConfig`], and telemetry
+    /// disabled.
+    pub fn new(spec: ModelSpec) -> Self {
+        Self {
+            spec,
+            config: FreewayConfig::default(),
+            supervisor: SupervisorConfig::default(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Replaces the whole learner configuration.
+    #[must_use]
+    pub fn with_config(mut self, config: FreewayConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Replaces the whole supervision policy (queue depth, checkpoint
+    /// cadence, quarantine size, restart budget).
+    #[must_use]
+    pub fn with_supervisor_config(mut self, supervisor: SupervisorConfig) -> Self {
+        self.supervisor = supervisor;
+        self
+    }
+
+    /// Sets the mini-batch size ([`FreewayConfig::mini_batch`]).
+    #[must_use]
+    pub fn with_mini_batch(mut self, mini_batch: usize) -> Self {
+        self.config.mini_batch = mini_batch;
+        self
+    }
+
+    /// Sets the PCA warm-up row budget
+    /// ([`FreewayConfig::pca_warmup_rows`]).
+    #[must_use]
+    pub fn with_pca_warmup_rows(mut self, rows: usize) -> Self {
+        self.config.pca_warmup_rows = rows;
+        self
+    }
+
+    /// Sets the channel bound for both spawned-pipeline variants
+    /// ([`SupervisorConfig::queue_depth`], and the plain pipeline's
+    /// `queue_depth`).
+    #[must_use]
+    pub fn with_queue_depth(mut self, queue_depth: usize) -> Self {
+        self.supervisor.queue_depth = queue_depth;
+        self
+    }
+
+    /// Sets the checkpoint cadence
+    /// ([`SupervisorConfig::checkpoint_every_n_batches`]).
+    #[must_use]
+    pub fn with_checkpoint_every(mut self, batches: usize) -> Self {
+        self.supervisor.checkpoint_every_n_batches = batches;
+        self
+    }
+
+    /// Persists checkpoints to this path atomically
+    /// ([`SupervisorConfig::checkpoint_path`]).
+    #[must_use]
+    pub fn with_checkpoint_path(mut self, path: impl Into<PathBuf>) -> Self {
+        self.supervisor.checkpoint_path = Some(path.into());
+        self
+    }
+
+    /// Sets the dead-letter buffer size
+    /// ([`SupervisorConfig::quarantine_capacity`]).
+    #[must_use]
+    pub fn with_quarantine_capacity(mut self, capacity: usize) -> Self {
+        self.supervisor.quarantine_capacity = capacity;
+        self
+    }
+
+    /// Sets the worker restart budget
+    /// ([`SupervisorConfig::max_restarts`]).
+    #[must_use]
+    pub fn with_max_restarts(mut self, max_restarts: usize) -> Self {
+        self.supervisor.max_restarts = max_restarts;
+        self
+    }
+
+    /// Enables or disables sequence-number validation at the guard
+    /// ([`SupervisorConfig::check_seq`]).
+    #[must_use]
+    pub fn with_check_seq(mut self, check_seq: bool) -> Self {
+        self.supervisor.check_seq = check_seq;
+        self
+    }
+
+    /// Attaches a telemetry sink: metrics, stage timings, and the full
+    /// event stream flow into it from the first batch onward.
+    #[must_use]
+    pub fn with_telemetry_sink(mut self, sink: Arc<dyn TelemetrySink>) -> Self {
+        self.telemetry = Telemetry::attached(sink);
+        self
+    }
+
+    /// Attaches a pre-built telemetry handle (shared across components).
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry) -> Self {
+        self.telemetry = telemetry;
+        self
+    }
+
+    /// Convenience: attaches an in-memory [`RecordingSink`] and hands it
+    /// back so the caller can read events after (or during) the run.
+    #[must_use]
+    pub fn recording(mut self) -> (Self, Arc<RecordingSink>) {
+        let (telemetry, sink) = Telemetry::recording();
+        self.telemetry = telemetry;
+        (self, sink)
+    }
+
+    /// Builds the bare learner (synchronous use, no worker thread).
+    ///
+    /// # Errors
+    /// [`FreewayError::InvalidConfig`] naming the offending field.
+    pub fn build_learner(self) -> Result<Learner, FreewayError> {
+        Self::check_supervisor(&self.supervisor)?;
+        Learner::try_new(self.spec, self.config, self.telemetry)
+    }
+
+    /// Builds the plain worker-thread pipeline (no supervision).
+    ///
+    /// # Errors
+    /// As [`Self::build_learner`], plus a zero queue depth.
+    pub fn build(self) -> Result<Pipeline, FreewayError> {
+        let queue_depth = self.supervisor.queue_depth;
+        let learner = self.build_learner()?;
+        Pipeline::with_learner(learner, queue_depth)
+    }
+
+    /// Builds the fault-tolerant supervised pipeline.
+    ///
+    /// # Errors
+    /// As [`Self::build_learner`], plus invalid supervision knobs.
+    pub fn build_supervised(self) -> Result<SupervisedPipeline, FreewayError> {
+        let supervisor = self.supervisor.clone();
+        let learner = self.build_learner()?;
+        SupervisedPipeline::with_learner(learner, supervisor)
+    }
+
+    fn check_supervisor(supervisor: &SupervisorConfig) -> Result<(), FreewayError> {
+        if supervisor.queue_depth == 0 {
+            return Err(FreewayError::InvalidConfig("queue depth must be positive".to_owned()));
+        }
+        if supervisor.checkpoint_every_n_batches == 0 {
+            return Err(FreewayError::InvalidConfig(
+                "checkpoint cadence must be positive".to_owned(),
+            ));
+        }
+        if supervisor.quarantine_capacity == 0 {
+            return Err(FreewayError::InvalidConfig(
+                "quarantine capacity must be positive".to_owned(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use freeway_streams::concept::{stream_rng, GmmConcept};
+    use freeway_streams::{Batch, DriftPhase};
+
+    fn spec() -> ModelSpec {
+        ModelSpec::lr(4, 2)
+    }
+
+    #[test]
+    fn invalid_learner_config_is_an_error_not_a_panic() {
+        let err = PipelineBuilder::new(spec())
+            .with_config(FreewayConfig { alpha: -1.0, ..Default::default() })
+            .build_learner()
+            .err()
+            .expect("negative alpha is invalid");
+        assert!(matches!(err, FreewayError::InvalidConfig(_)), "got {err:?}");
+        assert!(err.to_string().contains("alpha"), "message names the field: {err}");
+    }
+
+    #[test]
+    fn invalid_supervision_is_an_error_not_a_panic() {
+        let err = PipelineBuilder::new(spec())
+            .with_queue_depth(0)
+            .build_supervised()
+            .err()
+            .expect("zero queue depth is invalid");
+        assert!(matches!(err, FreewayError::InvalidConfig(_)), "got {err:?}");
+        let err = PipelineBuilder::new(spec())
+            .with_checkpoint_every(0)
+            .build_learner()
+            .err()
+            .expect("zero cadence is invalid even for a bare learner");
+        assert!(err.to_string().contains("cadence"), "{err}");
+    }
+
+    #[test]
+    fn recording_builder_wires_the_sink_through_the_whole_stack() {
+        let mut rng = stream_rng(31);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let (builder, sink) = PipelineBuilder::new(spec()).recording();
+        let mut learner = builder
+            .with_mini_batch(64)
+            .with_pca_warmup_rows(32)
+            .build_learner()
+            .expect("valid configuration");
+        for i in 0..6 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            learner.process(&Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        assert!(!sink.is_empty(), "processing batches must emit events");
+        let snapshot = learner.telemetry().metrics();
+        assert_eq!(snapshot.counters.get("freeway_batches_total"), Some(&6));
+    }
+
+    #[test]
+    fn supervised_builder_runs_a_stream() {
+        let mut rng = stream_rng(32);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = PipelineBuilder::new(spec())
+            .with_mini_batch(64)
+            .with_pca_warmup_rows(32)
+            .with_queue_depth(8)
+            .build_supervised()
+            .expect("valid configuration");
+        for i in 0..5 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
+        }
+        let run = sup.finish().expect("clean finish");
+        assert_eq!(run.stats.accepted, 5);
+    }
+}

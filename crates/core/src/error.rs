@@ -18,7 +18,11 @@ pub type PipelineError = FreewayError;
 
 /// Everything that can go wrong in the hardened runtime.
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum FreewayError {
+    /// A configuration or builder combination failed validation; the
+    /// message names the offending field.
+    InvalidConfig(String),
     /// The worker thread is gone and no restart was attempted (e.g. the
     /// pipeline was already finished).
     WorkerUnavailable,
@@ -48,6 +52,7 @@ pub enum FreewayError {
 
 /// Why a checkpoint was rejected.
 #[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum CheckpointError {
     /// The checkpoint's format version is not one this build understands.
     UnsupportedVersion {
@@ -110,6 +115,7 @@ impl std::error::Error for CheckpointError {}
 impl std::fmt::Display for FreewayError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
+            Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::WorkerUnavailable => write!(f, "pipeline worker is not running"),
             Self::WorkerPanicked(msg) => write!(f, "pipeline worker panicked: {msg}"),
             Self::RestartsExhausted { attempts, last_panic } => {

@@ -132,6 +132,16 @@ impl MultiGranularity {
         }
     }
 
+    /// Attaches an observability handle to every level's streaming window
+    /// (labeled with its level index).
+    pub fn attach_telemetry(&mut self, telemetry: &freeway_telemetry::Telemetry) {
+        for (i, level) in self.levels.iter_mut().enumerate() {
+            if let Some(window) = level.window.as_mut() {
+                window.attach_telemetry(telemetry.clone(), i);
+            }
+        }
+    }
+
     /// Number of granularity levels.
     pub fn num_levels(&self) -> usize {
         self.levels.len()

@@ -14,6 +14,7 @@ use std::collections::VecDeque;
 
 /// Why a batch was rejected at ingestion.
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum BatchFault {
     /// The batch holds no rows.
     Empty,
@@ -59,6 +60,22 @@ pub enum BatchFault {
         /// Highest sequence number accepted so far.
         newest: u64,
     },
+}
+
+impl BatchFault {
+    /// Short static tag identifying the fault kind, used in telemetry
+    /// events and metric labels.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Self::Empty => "empty",
+            Self::WidthMismatch { .. } => "width-mismatch",
+            Self::LabelCountMismatch { .. } => "label-count-mismatch",
+            Self::LabelOutOfRange { .. } => "label-out-of-range",
+            Self::NonFiniteFeature { .. } => "non-finite-feature",
+            Self::DuplicateSeq { .. } => "duplicate-seq",
+            Self::RegressedSeq { .. } => "regressed-seq",
+        }
+    }
 }
 
 impl std::fmt::Display for BatchFault {

@@ -14,6 +14,7 @@
 use bytes::Bytes;
 use freeway_linalg::vector;
 use freeway_ml::{Model, ModelSnapshot, ModelSpec};
+use freeway_telemetry::{Telemetry, TelemetryEvent};
 
 /// One preserved `(d_i, k_i)` pair.
 #[derive(Clone, Debug)]
@@ -31,13 +32,25 @@ pub struct KnowledgeStore {
     entries: Vec<KnowledgeEntry>,
     capacity: usize,
     archive: Vec<Bytes>,
+    telemetry: Telemetry,
 }
 
 impl KnowledgeStore {
     /// Creates a store keeping at most `capacity` entries in memory.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { entries: Vec::with_capacity(capacity), capacity, archive: Vec::new() }
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity,
+            archive: Vec::new(),
+            telemetry: Telemetry::disabled(),
+        }
+    }
+
+    /// Attaches an observability handle: every preservation emits a
+    /// [`TelemetryEvent::KnowledgePreserved`].
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Number of in-memory entries.
@@ -95,6 +108,7 @@ impl KnowledgeStore {
             if let Some((idx, dist)) = nearest {
                 if dist <= dedup_radius {
                     self.entries[idx] = KnowledgeEntry { distribution, snapshot, disorder };
+                    self.emit_preserved(disorder);
                     return;
                 }
             }
@@ -106,6 +120,15 @@ impl KnowledgeStore {
             }
         }
         self.entries.push(KnowledgeEntry { distribution, snapshot, disorder });
+        self.emit_preserved(disorder);
+    }
+
+    fn emit_preserved(&self, disorder: f64) {
+        self.telemetry.emit(TelemetryEvent::KnowledgePreserved {
+            seq: self.telemetry.seq(),
+            entries: self.entries.len(),
+            disorder,
+        });
     }
 
     /// Finds the in-memory entry whose distribution is nearest to

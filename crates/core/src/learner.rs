@@ -8,6 +8,7 @@
 //! multi-granularity models regardless (§V-A).
 
 use crate::config::FreewayConfig;
+use crate::error::FreewayError;
 use crate::granularity::MultiGranularity;
 use crate::knowledge::KnowledgeStore;
 use crate::selector::{Decision, StrategySelector};
@@ -16,9 +17,11 @@ use freeway_drift::ShiftPattern;
 use freeway_linalg::{vector, Matrix};
 use freeway_ml::ModelSpec;
 use freeway_streams::Batch;
+use freeway_telemetry::{Stage, Telemetry, TelemetryEvent};
 
 /// Which mechanism produced a batch's predictions.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
 pub enum Strategy {
     /// Multi-granularity Gaussian-kernel ensemble (Pattern A / warm-up).
     Ensemble,
@@ -56,6 +59,41 @@ pub struct InferenceReport {
     /// PCA projection after a numerical failure — predictions still
     /// flow, but pattern routing is less trustworthy until re-warm-up.
     pub degraded: bool,
+}
+
+impl InferenceReport {
+    /// Hard class predictions, one per input row.
+    pub fn predictions(&self) -> &[usize] {
+        &self.predictions
+    }
+
+    /// Strategy that produced the predictions.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// Classified pattern (`None` during PCA warm-up).
+    pub fn pattern(&self) -> Option<ShiftPattern> {
+        self.pattern
+    }
+
+    /// Shift severity `M` (0 during warm-up).
+    pub fn severity(&self) -> f64 {
+        self.severity
+    }
+
+    /// Shift distance `d_t` (0 during warm-up).
+    pub fn distance(&self) -> f64 {
+        self.distance
+    }
+
+    /// True when predictions were produced on a degraded (identity) PCA
+    /// projection. Mirrored on the event stream as
+    /// [`TelemetryEvent::InferenceDegraded`] so harnesses can assert on
+    /// degradation without reaching into report internals.
+    pub fn is_degraded(&self) -> bool {
+        self.degraded
+    }
 }
 
 /// Counters of how often each strategy served an inference batch.
@@ -104,17 +142,43 @@ pub struct Learner {
     experience: ExperienceBuffer,
     cec: CoherentExperience,
     stats: StrategyStats,
+    telemetry: Telemetry,
 }
 
 impl Learner {
     /// Creates a learner for the given model architecture.
+    ///
+    /// # Panics
+    /// On invalid configuration; use [`Learner::try_new`] (or
+    /// [`crate::PipelineBuilder`]) for a fallible construction path.
     pub fn new(spec: ModelSpec, config: FreewayConfig) -> Self {
-        config.validate();
+        match Self::try_new(spec, config, Telemetry::disabled()) {
+            Ok(learner) => learner,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible constructor with an observability handle: per-stage timing
+    /// spans, shift gauges, and drift/strategy events flow into
+    /// `telemetry` (pass [`Telemetry::disabled`] for a zero-overhead
+    /// no-op).
+    ///
+    /// # Errors
+    /// [`FreewayError::InvalidConfig`] when the configuration violates a
+    /// constraint (the message names the offending field).
+    pub fn try_new(
+        spec: ModelSpec,
+        config: FreewayConfig,
+        telemetry: Telemetry,
+    ) -> Result<Self, FreewayError> {
+        config.check().map_err(FreewayError::InvalidConfig)?;
         // Size the process-wide worker pool (FREEWAY_THREADS still wins).
         freeway_linalg::pool::configure(config.num_threads);
-        let selector = StrategySelector::new(&config);
-        let granularity = MultiGranularity::new(spec.clone(), &config);
-        let knowledge = KnowledgeStore::new(config.kdg_buffer);
+        let selector = StrategySelector::with_telemetry(&config, telemetry.clone());
+        let mut granularity = MultiGranularity::new(spec.clone(), &config);
+        granularity.attach_telemetry(&telemetry);
+        let mut knowledge = KnowledgeStore::new(config.kdg_buffer);
+        knowledge.attach_telemetry(telemetry.clone());
         let experience =
             ExperienceBuffer::new(config.experience_points(), Some(config.exp_buffer as u64 * 4));
         let cec = CoherentExperience::with_recent(
@@ -123,7 +187,7 @@ impl Learner {
             config.cec_min_purity,
             config.seed ^ 0xCEC,
         );
-        Self {
+        Ok(Self {
             config,
             spec,
             selector,
@@ -132,7 +196,8 @@ impl Learner {
             experience,
             cec,
             stats: StrategyStats::default(),
-        }
+            telemetry,
+        })
     }
 
     /// The paper's constructor template:
@@ -186,6 +251,22 @@ impl Learner {
         self.stats
     }
 
+    /// The observability handle this learner reports into (disabled by
+    /// default; pipelines clone this to share one event stream).
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Re-attaches an observability handle after construction, re-wiring
+    /// every sub-component (used when a learner is rebuilt from a
+    /// checkpoint and must keep reporting into the supervisor's sink).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.selector.attach_telemetry(telemetry.clone());
+        self.granularity.attach_telemetry(&telemetry);
+        self.knowledge.attach_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
+    }
+
     /// Rate-aware adjuster hook: accelerate ASW decay under pressure.
     pub fn set_decay_multiplier(&mut self, multiplier: f64) {
         self.granularity.set_decay_multiplier(multiplier);
@@ -206,11 +287,28 @@ impl Learner {
     /// Handles one **inference** batch: classifies its shift pattern and
     /// runs exactly one strategy.
     pub fn infer(&mut self, x: &Matrix) -> InferenceReport {
-        let report = self.infer_inner(x);
+        let report = {
+            let _span = self.telemetry.time(Stage::Infer);
+            self.infer_inner(x)
+        };
         match report.strategy {
             Strategy::Ensemble => self.stats.ensemble += 1,
             Strategy::Clustering => self.stats.clustering += 1,
             Strategy::KnowledgeReuse => self.stats.knowledge += 1,
+        }
+        if self.telemetry.enabled() {
+            let seq = self.telemetry.seq();
+            self.telemetry.emit(TelemetryEvent::StrategyDispatched {
+                seq,
+                strategy: report.strategy.tag(),
+                pattern: report.pattern.map_or("warmup", ShiftPattern::tag),
+            });
+            if report.degraded {
+                self.telemetry.emit(TelemetryEvent::InferenceDegraded {
+                    seq,
+                    strategy: report.strategy.tag(),
+                });
+            }
         }
         report
     }
@@ -355,6 +453,7 @@ impl Learner {
     /// preserves knowledge at window completions (§V-A).
     pub fn train(&mut self, x: &Matrix, labels: &[usize]) {
         assert_eq!(x.rows(), labels.len(), "label count mismatch");
+        let _span = self.telemetry.time(Stage::Train);
         // A training-only stream must still warm up PCA; observe() during
         // warm-up only accumulates rows (it reports nothing), and once the
         // selector is ready the inference stream owns all observations.
@@ -422,6 +521,7 @@ impl Learner {
     /// Prequential step: infer on the batch, then (if labeled) train on
     /// it. Returns the inference report.
     pub fn process(&mut self, batch: &Batch) -> InferenceReport {
+        self.telemetry.batch_started(batch.seq);
         let report = self.infer(&batch.x);
         if let Some(labels) = batch.labels.as_deref() {
             self.train(&batch.x, labels);

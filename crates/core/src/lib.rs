@@ -22,11 +22,19 @@
 //! returns), [`guard`] (ingestion validation and the poison-batch
 //! quarantine), and [`supervisor`] (the checkpointed, auto-restarting
 //! [`supervisor::SupervisedPipeline`]).
+//!
+//! Construction goes through [`builder::PipelineBuilder`] — one fluent
+//! description of model, configuration, supervision, and telemetry sink
+//! that builds a bare `Learner`, a plain `Pipeline`, or a
+//! `SupervisedPipeline`. Observability (metrics, per-stage timings, and
+//! the structured event stream) comes from the `freeway-telemetry`
+//! crate, re-exported here as [`telemetry`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod asw;
+pub mod builder;
 pub mod config;
 pub mod error;
 pub mod granularity;
@@ -39,6 +47,9 @@ pub mod rate;
 pub mod selector;
 pub mod supervisor;
 
+pub use freeway_telemetry as telemetry;
+
+pub use builder::PipelineBuilder;
 pub use config::{FreewayConfig, OptimizerKind};
 pub use error::{CheckpointError, FreewayError, PipelineError};
 pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
@@ -49,3 +60,22 @@ pub use selector::StrategySelector;
 pub use supervisor::{
     FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
 };
+
+/// Curated one-line import surface:
+/// `use freeway_core::prelude::*;` pulls in everything a typical
+/// deployment touches — the builder, configuration, the learner types,
+/// both pipelines, the error taxonomy, and the telemetry handles.
+pub mod prelude {
+    pub use crate::builder::PipelineBuilder;
+    pub use crate::config::{FreewayConfig, OptimizerKind};
+    pub use crate::error::{CheckpointError, FreewayError, PipelineError};
+    pub use crate::guard::{BatchFault, Quarantine};
+    pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
+    pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::supervisor::{
+        FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
+    };
+    pub use freeway_telemetry::{
+        RecordingSink, Stage, Telemetry, TelemetryEvent, TelemetrySink, TelemetrySnapshot,
+    };
+}

@@ -18,6 +18,7 @@
 use crate::error::{panic_message, PipelineError};
 use crate::learner::{InferenceReport, Learner};
 use crossbeam::channel::{bounded, Receiver, Sender};
+use freeway_telemetry::Stage;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
 
@@ -46,9 +47,18 @@ pub struct Pipeline {
 
 impl Pipeline {
     /// Spawns the worker thread. `queue_depth` bounds both channels,
-    /// providing backpressure instead of unbounded memory growth.
-    pub fn spawn(mut learner: Learner, queue_depth: usize) -> Self {
-        assert!(queue_depth >= 1, "queue depth must be positive");
+    /// providing backpressure instead of unbounded memory growth. The
+    /// learner's [`freeway_telemetry::Telemetry`] handle rides along into
+    /// the worker: queue waits are timed as the `ingest` stage and every
+    /// batch bumps the shared sequence cursor.
+    ///
+    /// # Errors
+    /// [`PipelineError::InvalidConfig`] when `queue_depth` is zero.
+    pub fn with_learner(mut learner: Learner, queue_depth: usize) -> Result<Self, PipelineError> {
+        if queue_depth == 0 {
+            return Err(PipelineError::InvalidConfig("queue depth must be positive".to_owned()));
+        }
+        let telemetry = learner.telemetry().clone();
         let (in_tx, in_rx) = bounded::<Command>(queue_depth);
         let (out_tx, out_rx) = bounded::<PipelineOutput>(queue_depth);
         let handle = std::thread::spawn(move || {
@@ -57,9 +67,19 @@ impl Pipeline {
             // into the closure, so a caught panic forfeits it — exactly
             // the semantics the supervisor's checkpoint restart assumes.
             catch_unwind(AssertUnwindSafe(move || {
-                while let Ok(cmd) = in_rx.recv() {
+                loop {
+                    // The ingest span covers queue wait: how long the
+                    // worker starved before the next batch arrived.
+                    let cmd = {
+                        let _span = telemetry.time(Stage::Ingest);
+                        match in_rx.recv() {
+                            Ok(cmd) => cmd,
+                            Err(_) => break,
+                        }
+                    };
                     match cmd {
                         Command::Batch(batch) => {
+                            telemetry.batch_started(batch.seq);
                             // The paper's routing: labeled data is the
                             // training stream, unlabeled the inference
                             // stream.
@@ -89,7 +109,19 @@ impl Pipeline {
             }))
             .map_err(panic_message)
         });
-        Self { input: Some(in_tx), output: out_rx, handle: Some(handle) }
+        Ok(Self { input: Some(in_tx), output: out_rx, handle: Some(handle) })
+    }
+
+    /// Legacy panicking constructor.
+    ///
+    /// # Panics
+    /// When `queue_depth` is zero (the historical `assert!`).
+    #[deprecated(since = "0.1.0", note = "use Pipeline::with_learner or crate::PipelineBuilder")]
+    pub fn spawn(learner: Learner, queue_depth: usize) -> Self {
+        match Self::with_learner(learner, queue_depth) {
+            Ok(pipeline) => pipeline,
+            Err(err) => panic!("{err}"),
+        }
     }
 
     fn send(&self, cmd: Command) -> Result<(), PipelineError> {
@@ -201,7 +233,7 @@ mod tests {
     fn routes_labeled_to_training_and_unlabeled_to_inference() {
         let mut rng = stream_rng(1);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let pipeline = Pipeline::spawn(learner(), 16);
+        let pipeline = Pipeline::with_learner(learner(), 16).expect("spawn");
 
         let (x, y) = concept.sample_batch(64, &mut rng);
         pipeline.feed(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("worker alive");
@@ -223,7 +255,7 @@ mod tests {
     fn prequential_feed_reports_and_trains() {
         let mut rng = stream_rng(2);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let pipeline = Pipeline::spawn(learner(), 16);
+        let pipeline = Pipeline::with_learner(learner(), 16).expect("spawn");
         for i in 0..10 {
             let (x, y) = concept.sample_batch(64, &mut rng);
             pipeline
@@ -243,7 +275,7 @@ mod tests {
 
     #[test]
     fn finish_returns_learner_with_state() {
-        let pipeline = Pipeline::spawn(learner(), 4);
+        let pipeline = Pipeline::with_learner(learner(), 4).expect("spawn");
         let l = pipeline.finish().expect("clean shutdown");
         assert_eq!(l.config().mini_batch, 64);
     }
@@ -252,7 +284,7 @@ mod tests {
     fn outputs_preserve_batch_order() {
         let mut rng = stream_rng(3);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let pipeline = Pipeline::spawn(learner(), 32);
+        let pipeline = Pipeline::with_learner(learner(), 32).expect("spawn");
         for i in 0..20 {
             let (x, y) = concept.sample_batch(32, &mut rng);
             pipeline
@@ -266,7 +298,7 @@ mod tests {
 
     #[test]
     fn worker_panic_is_caught_and_reported() {
-        let pipeline = Pipeline::spawn(learner(), 4);
+        let pipeline = Pipeline::with_learner(learner(), 4).expect("spawn");
         // A ragged batch trips the learner's label-count assert inside
         // the worker; the panic must be contained, not abort the test.
         let poison = Batch {
@@ -288,7 +320,7 @@ mod tests {
     fn feed_after_worker_death_errors_instead_of_panicking() {
         let mut rng = stream_rng(4);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let pipeline = Pipeline::spawn(learner(), 4);
+        let pipeline = Pipeline::with_learner(learner(), 4).expect("spawn");
         let poison = Batch {
             x: freeway_linalg::Matrix::zeros(4, 4),
             labels: Some(vec![0]),
@@ -306,7 +338,7 @@ mod tests {
 
     #[test]
     fn drop_with_full_queue_and_dead_worker_does_not_deadlock() {
-        let pipeline = Pipeline::spawn(learner(), 1);
+        let pipeline = Pipeline::with_learner(learner(), 1).expect("spawn");
         let poison = |seq| Batch {
             x: freeway_linalg::Matrix::zeros(4, 4),
             labels: Some(vec![0]),

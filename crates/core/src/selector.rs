@@ -1,7 +1,10 @@
 //! The strategy selector: shift tracker + pattern classifier (§V-A).
 
-use freeway_drift::{classify, ShiftMeasurement, ShiftPattern, ShiftTracker, ShiftTrackerConfig};
+use freeway_drift::{
+    classify_and_emit, ShiftMeasurement, ShiftPattern, ShiftTracker, ShiftTrackerConfig,
+};
 use freeway_linalg::Matrix;
+use freeway_telemetry::{Stage, Telemetry};
 
 use crate::config::FreewayConfig;
 
@@ -20,12 +23,21 @@ pub struct Decision {
 pub struct StrategySelector {
     tracker: ShiftTracker,
     alpha: f64,
+    telemetry: Telemetry,
 }
 
 impl StrategySelector {
     /// Builds a selector from the learner configuration.
     pub fn new(config: &FreewayConfig) -> Self {
-        let tracker = ShiftTracker::new(ShiftTrackerConfig {
+        Self::with_telemetry(config, Telemetry::disabled())
+    }
+
+    /// Builds a selector with an observability handle: classification gets
+    /// a timing span, severe patterns emit
+    /// [`freeway_telemetry::TelemetryEvent::DriftDetected`], and the
+    /// underlying tracker records projection/shift spans and gauges.
+    pub fn with_telemetry(config: &FreewayConfig, telemetry: Telemetry) -> Self {
+        let mut tracker = ShiftTracker::new(ShiftTrackerConfig {
             warmup_rows: config.pca_warmup_rows,
             components: config.pca_components,
             history: config.shift_history,
@@ -33,7 +45,15 @@ impl StrategySelector {
             distribution_memory: config.distribution_memory,
             ..Default::default()
         });
-        Self { tracker, alpha: config.alpha }
+        tracker.set_telemetry(telemetry.clone());
+        Self { tracker, alpha: config.alpha, telemetry }
+    }
+
+    /// Re-attaches an observability handle after construction (checkpoint
+    /// restore re-wires the restored learner this way).
+    pub fn attach_telemetry(&mut self, telemetry: Telemetry) {
+        self.tracker.set_telemetry(telemetry.clone());
+        self.telemetry = telemetry;
     }
 
     /// True once PCA warm-up finished.
@@ -44,7 +64,8 @@ impl StrategySelector {
     /// Classifies one batch; `None` during warm-up.
     pub fn observe(&mut self, x: &Matrix) -> Option<Decision> {
         let measurement = self.tracker.observe(x)?;
-        let pattern = classify(&measurement, self.alpha);
+        let _span = self.telemetry.time(Stage::Select);
+        let pattern = classify_and_emit(&measurement, self.alpha, &self.telemetry);
         Some(Decision { pattern, measurement })
     }
 

@@ -27,6 +27,7 @@ use crate::persistence::Checkpoint;
 use crate::pipeline::PipelineOutput;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use freeway_streams::Batch;
+use freeway_telemetry::{Telemetry, TelemetryEvent};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
@@ -132,15 +133,25 @@ struct Worker {
 }
 
 fn spawn_worker(mut learner: Learner, queue_depth: usize) -> Worker {
+    let telemetry = learner.telemetry().clone();
     let (in_tx, in_rx) = bounded::<SupCommand>(queue_depth);
     // One extra slot per possible in-flight checkpoint reply so a
     // checkpoint command never wedges behind a full output queue.
     let (out_tx, out_rx) = bounded::<WorkerMsg>(queue_depth + 1);
     let handle = std::thread::spawn(move || {
         catch_unwind(AssertUnwindSafe(move || {
-            while let Ok(cmd) = in_rx.recv() {
+            loop {
+                // Queue wait is the ingest stage, as in the plain pipeline.
+                let cmd = {
+                    let _span = telemetry.time(freeway_telemetry::Stage::Ingest);
+                    match in_rx.recv() {
+                        Ok(cmd) => cmd,
+                        Err(_) => break,
+                    }
+                };
                 let msg = match cmd {
                     SupCommand::Batch(batch) => {
+                        telemetry.batch_started(batch.seq);
                         let report = match batch.labels.as_deref() {
                             Some(labels) => {
                                 learner.train(&batch.x, labels);
@@ -185,14 +196,30 @@ pub struct SupervisedPipeline {
     /// Accepted batches whose outputs have not been observed yet.
     in_flight: usize,
     accepted_since_checkpoint: usize,
+    /// Shared with the learner: quarantine/checkpoint/restart events are
+    /// emitted here so fault handling is observable from the outside.
+    telemetry: Telemetry,
 }
 
 impl SupervisedPipeline {
     /// Spawns the supervised worker. The guard's policy (feature width,
-    /// class count) is derived from the learner's model spec.
-    pub fn spawn(learner: Learner, config: SupervisorConfig) -> Self {
-        assert!(config.queue_depth >= 1, "queue depth must be positive");
-        assert!(config.checkpoint_every_n_batches >= 1, "checkpoint cadence must be positive");
+    /// class count) is derived from the learner's model spec, and the
+    /// learner's [`Telemetry`] handle is shared by the supervisor so
+    /// quarantine, checkpoint, and restart events land on the same stream
+    /// as the learner's own.
+    ///
+    /// # Errors
+    /// [`FreewayError::InvalidConfig`] when `queue_depth` or
+    /// `checkpoint_every_n_batches` is zero.
+    pub fn with_learner(learner: Learner, config: SupervisorConfig) -> Result<Self, FreewayError> {
+        if config.queue_depth == 0 {
+            return Err(FreewayError::InvalidConfig("queue depth must be positive".to_owned()));
+        }
+        if config.checkpoint_every_n_batches == 0 {
+            return Err(FreewayError::InvalidConfig(
+                "checkpoint cadence must be positive".to_owned(),
+            ));
+        }
         let policy = GuardPolicy {
             expected_features: learner.spec().features(),
             num_classes: learner.spec().classes(),
@@ -201,8 +228,9 @@ impl SupervisedPipeline {
         let guard = BatchGuard::new(policy);
         let quarantine = Quarantine::new(config.quarantine_capacity);
         let last_checkpoint = Checkpoint::capture(&learner);
+        let telemetry = learner.telemetry().clone();
         let worker = Some(spawn_worker(learner, config.queue_depth));
-        Self {
+        Ok(Self {
             config,
             worker,
             guard,
@@ -212,6 +240,23 @@ impl SupervisedPipeline {
             stats: SupervisorStats::default(),
             in_flight: 0,
             accepted_since_checkpoint: 0,
+            telemetry,
+        })
+    }
+
+    /// Legacy panicking constructor.
+    ///
+    /// # Panics
+    /// When `queue_depth` or `checkpoint_every_n_batches` is zero (the
+    /// historical `assert!`s).
+    #[deprecated(
+        since = "0.1.0",
+        note = "use SupervisedPipeline::with_learner or crate::PipelineBuilder"
+    )]
+    pub fn spawn(learner: Learner, config: SupervisorConfig) -> Self {
+        match Self::with_learner(learner, config) {
+            Ok(pipeline) => pipeline,
+            Err(err) => panic!("{err}"),
         }
     }
 
@@ -237,6 +282,8 @@ impl SupervisedPipeline {
     fn submit(&mut self, batch: Batch, prequential: bool) -> Result<FeedOutcome, FreewayError> {
         if let Err(fault) = self.guard.admit(&batch) {
             self.stats.quarantined += 1;
+            self.telemetry
+                .emit(TelemetryEvent::BatchQuarantined { seq: batch.seq, fault: fault.tag() });
             self.quarantine.push(batch, fault.clone());
             return Ok(FeedOutcome::Quarantined(fault));
         }
@@ -311,9 +358,13 @@ impl SupervisedPipeline {
 
     fn install_checkpoint(&mut self, checkpoint: Checkpoint) {
         self.stats.checkpoints_taken += 1;
+        let mut persisted = false;
         if let Some(path) = self.config.checkpoint_path.as_ref() {
             match checkpoint.save_atomic(path) {
-                Ok(()) => self.stats.checkpoints_persisted += 1,
+                Ok(()) => {
+                    self.stats.checkpoints_persisted += 1;
+                    persisted = true;
+                }
                 Err(e) => {
                     // Persistence failing must not take down a healthy
                     // pipeline: the in-memory checkpoint still advances.
@@ -322,7 +373,18 @@ impl SupervisedPipeline {
                 }
             }
         }
+        self.telemetry
+            .emit(TelemetryEvent::CheckpointWritten { seq: self.telemetry.seq(), persisted });
         self.last_checkpoint = checkpoint;
+    }
+
+    /// Restores the last checkpoint and re-wires the restored learner to
+    /// this supervisor's telemetry stream, announcing the restore.
+    fn restore_checkpoint(&self) -> Result<Learner, FreewayError> {
+        let mut learner = self.last_checkpoint.restore()?;
+        learner.attach_telemetry(self.telemetry.clone());
+        self.telemetry.emit(TelemetryEvent::CheckpointRestored { seq: self.telemetry.seq() });
+        Ok(learner)
     }
 
     /// Reaps a dead worker and spawns a replacement from the last
@@ -348,7 +410,8 @@ impl SupervisedPipeline {
             }
         };
         self.stats.worker_panics += 1;
-        self.stats.lost_in_flight += self.in_flight as u64;
+        let lost = self.in_flight as u64;
+        self.stats.lost_in_flight += lost;
         self.in_flight = 0;
         self.accepted_since_checkpoint = 0;
         if self.stats.restarts >= self.config.max_restarts {
@@ -358,7 +421,11 @@ impl SupervisedPipeline {
             });
         }
         self.stats.restarts += 1;
-        let learner = self.last_checkpoint.restore()?;
+        let learner = self.restore_checkpoint()?;
+        self.telemetry.emit(TelemetryEvent::WorkerRestarted {
+            restarts: self.stats.restarts as u64,
+            lost_in_flight: lost,
+        });
         self.worker = Some(spawn_worker(learner, self.config.queue_depth));
         Ok(())
     }
@@ -441,18 +508,18 @@ impl SupervisedPipeline {
                         self.stats.worker_panics += 1;
                         self.stats.lost_in_flight += self.in_flight as u64;
                         eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
-                        self.last_checkpoint.restore()?
+                        self.restore_checkpoint()?
                     }
                     Err(payload) => {
                         let panic = panic_message(payload);
                         self.stats.worker_panics += 1;
                         self.stats.lost_in_flight += self.in_flight as u64;
                         eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
-                        self.last_checkpoint.restore()?
+                        self.restore_checkpoint()?
                     }
                 }
             }
-            None => self.last_checkpoint.restore()?,
+            None => self.restore_checkpoint()?,
         };
         Ok(FinishedRun {
             learner,
@@ -493,7 +560,7 @@ mod tests {
     fn clean_stream_flows_like_the_plain_pipeline() {
         let mut rng = stream_rng(21);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut sup = SupervisedPipeline::with_learner(learner(), config()).expect("spawn");
         let mut outputs = Vec::new();
         for i in 0..12 {
             let (x, y) = concept.sample_batch(64, &mut rng);
@@ -517,7 +584,7 @@ mod tests {
     fn poison_batches_are_quarantined_not_fed() {
         let mut rng = stream_rng(22);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut sup = SupervisedPipeline::with_learner(learner(), config()).expect("spawn");
         let (x, y) = concept.sample_batch(64, &mut rng);
         sup.feed_prequential(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("clean");
 
@@ -563,7 +630,7 @@ mod tests {
     fn injected_panic_restarts_from_checkpoint_and_stream_continues() {
         let mut rng = stream_rng(23);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut sup = SupervisedPipeline::with_learner(learner(), config()).expect("spawn");
         let mut outputs = Vec::new();
         for i in 0..6 {
             let (x, y) = concept.sample_batch(64, &mut rng);
@@ -593,8 +660,11 @@ mod tests {
     fn restart_budget_exhaustion_is_an_error_and_finish_still_recovers() {
         let mut rng = stream_rng(24);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup =
-            SupervisedPipeline::spawn(learner(), SupervisorConfig { max_restarts: 1, ..config() });
+        let mut sup = SupervisedPipeline::with_learner(
+            learner(),
+            SupervisorConfig { max_restarts: 1, ..config() },
+        )
+        .expect("spawn");
         let mut outputs = Vec::new();
         let (x, y) = concept.sample_batch(64, &mut rng);
         sup.feed_prequential(Batch::labeled(x, y, 0, DriftPhase::Stable)).expect("healthy");
@@ -635,14 +705,15 @@ mod tests {
 
         let mut rng = stream_rng(25);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup = SupervisedPipeline::spawn(
+        let mut sup = SupervisedPipeline::with_learner(
             learner(),
             SupervisorConfig {
                 checkpoint_every_n_batches: 2,
                 checkpoint_path: Some(path.clone()),
                 ..Default::default()
             },
-        );
+        )
+        .expect("spawn");
         for i in 0..6 {
             let (x, y) = concept.sample_batch(64, &mut rng);
             sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
@@ -659,7 +730,7 @@ mod tests {
     fn sequence_faults_are_quarantined_when_enabled() {
         let mut rng = stream_rng(26);
         let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
-        let mut sup = SupervisedPipeline::spawn(learner(), config());
+        let mut sup = SupervisedPipeline::with_learner(learner(), config()).expect("spawn");
         let (x, y) = concept.sample_batch(64, &mut rng);
         let batch = Batch::labeled(x, y, 5, DriftPhase::Stable);
         sup.feed_prequential(batch.clone()).expect("clean");

@@ -95,10 +95,10 @@ proptest! {
             ModelSpec::lr(FEATURES, CLASSES),
             FreewayConfig { mini_batch: 8, pca_warmup_rows: 16, ..Default::default() },
         );
-        let mut sup = SupervisedPipeline::spawn(
+        let mut sup = SupervisedPipeline::with_learner(
             learner,
             SupervisorConfig { checkpoint_every_n_batches: 4, ..Default::default() },
-        );
+        ).expect("valid supervisor config");
         // seq 0 is fed first so RepeatSeq steps always collide with it.
         let mut fed = 0u64;
         for (i, step) in steps.iter().enumerate() {
@@ -139,10 +139,10 @@ proptest! {
             ModelSpec::lr(FEATURES, CLASSES),
             FreewayConfig { mini_batch: 8, pca_warmup_rows: 16, ..Default::default() },
         );
-        let mut sup = SupervisedPipeline::spawn(
+        let mut sup = SupervisedPipeline::with_learner(
             learner,
             SupervisorConfig { quarantine_capacity: capacity, ..Default::default() },
-        );
+        ).expect("valid supervisor config");
         for i in 0..poison_count {
             let mut batch = clean_batch(i as u64, 8);
             batch.x.row_mut(0)[0] = f64::NAN;

@@ -33,6 +33,6 @@ pub use ddm::{Ddm, DriftLevel, Eddm};
 pub use disorder::{inversion_count, normalized_disorder};
 pub use kstest::{ks_statistic, KsDetector};
 pub use page_hinkley::PageHinkley;
-pub use pattern::{classify, ShiftPattern};
+pub use pattern::{classify, classify_and_emit, ShiftPattern};
 pub use pca::PcaReducer;
 pub use shift::{ShiftMeasurement, ShiftTracker, ShiftTrackerConfig};

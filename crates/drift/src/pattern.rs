@@ -5,6 +5,7 @@
 //! * Pattern C — reoccurring shift: `M > α` and `d_h < d_t`.
 
 use crate::shift::ShiftMeasurement;
+use freeway_telemetry::{Telemetry, TelemetryEvent};
 use serde::{Deserialize, Serialize};
 
 /// The paper's default severity threshold.
@@ -30,6 +31,12 @@ impl ShiftPattern {
             Self::Reoccurring => "reoccurring",
         }
     }
+
+    /// True for the severe patterns (B and C): the severity `M` exceeded
+    /// the `alpha` threshold.
+    pub fn is_severe(self) -> bool {
+        !matches!(self, Self::Slight)
+    }
 }
 
 /// Classifies a measurement against the severity threshold `alpha`.
@@ -41,6 +48,26 @@ pub fn classify(m: &ShiftMeasurement, alpha: f64) -> ShiftPattern {
         Some(dh) if dh < m.distance => ShiftPattern::Reoccurring,
         _ => ShiftPattern::Sudden,
     }
+}
+
+/// Classifies like [`classify`], additionally emitting a
+/// [`TelemetryEvent::DriftDetected`] for severe patterns (B and C).
+///
+/// The event carries the full measurement (severity winsorized to a large
+/// finite value, `d_h` as a negative sentinel when no history exists) and
+/// is stamped with the telemetry handle's current batch sequence number.
+pub fn classify_and_emit(m: &ShiftMeasurement, alpha: f64, telemetry: &Telemetry) -> ShiftPattern {
+    let pattern = classify(m, alpha);
+    if pattern.is_severe() {
+        telemetry.emit(TelemetryEvent::DriftDetected {
+            seq: telemetry.seq(),
+            severity: if m.severity.is_finite() { m.severity } else { 1e9 },
+            distance: m.distance,
+            nearest_historical: m.nearest_historical.unwrap_or(-1.0),
+            pattern: pattern.tag(),
+        });
+    }
+    pattern
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 
 use crate::pca::{PcaReducer, PcaWarmup};
 use freeway_linalg::{stats, vector, Matrix};
+use freeway_telemetry::{Stage, Telemetry};
 use std::collections::VecDeque;
 
 /// Configuration for [`ShiftTracker`].
@@ -91,6 +92,7 @@ pub struct ShiftTracker {
     previous: Option<Vec<f64>>,
     shift_history: VecDeque<f64>,
     distributions: VecDeque<Vec<f64>>,
+    telemetry: Telemetry,
 }
 
 impl ShiftTracker {
@@ -105,7 +107,14 @@ impl ShiftTracker {
             previous: None,
             shift_history: VecDeque::new(),
             distributions: VecDeque::new(),
+            telemetry: Telemetry::disabled(),
         }
+    }
+
+    /// Attaches an observability handle: projection and shift computation
+    /// get timing spans, and each measurement updates the shift gauges.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry) {
+        self.telemetry = telemetry;
     }
 
     /// Creates a tracker with default configuration.
@@ -159,9 +168,13 @@ impl ShiftTracker {
         }
 
         let pca = self.pca.as_ref().expect("ready");
-        let mean = batch.column_means();
-        let projected = pca.project_mean(&mean);
+        let projected = {
+            let _span = self.telemetry.time(Stage::PcaProject);
+            let mean = batch.column_means();
+            pca.project_mean(&mean)
+        };
 
+        let _shift_span = self.telemetry.time(Stage::Shift);
         let previous = self.previous.as_ref().expect("set when PCA fitted");
         let distance = vector::euclidean_distance(&projected, previous);
 
@@ -214,6 +227,7 @@ impl ShiftTracker {
         }
         self.previous = Some(projected.clone());
 
+        self.telemetry.record_shift(if severity.is_finite() { severity } else { 1e9 }, distance);
         Some(ShiftMeasurement {
             projected,
             distance,

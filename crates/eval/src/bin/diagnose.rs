@@ -57,6 +57,7 @@ fn main() {
             Strategy::Ensemble => "ens",
             Strategy::Clustering => "cec",
             Strategy::KnowledgeReuse => "kdg",
+            _ => "other",
         };
         println!(
             "{i},{:?},{:?},{strat},{:.2},{:.3},{:.3},{:.3},{:.3},{:?}",

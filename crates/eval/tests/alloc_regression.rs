@@ -10,6 +10,9 @@
 //! ```
 #![cfg(feature = "alloc-metrics")]
 
+use std::sync::Arc;
+
+use freeway_core::telemetry::{NoopSink, Stage, Telemetry, TelemetryEvent};
 use freeway_eval::alloc_metrics;
 use freeway_linalg::Matrix;
 use freeway_ml::{ModelSpec, Sgd, Trainer};
@@ -19,22 +22,49 @@ const BATCH: usize = 1024;
 const WARM_ITERS: usize = 3;
 const MEASURED_ITERS: usize = 5;
 
-fn warm_and_measure(mut trainer: Trainer) -> alloc_metrics::AllocSnapshot {
+fn warm_and_measure(trainer: Trainer) -> alloc_metrics::AllocSnapshot {
+    warm_and_measure_with(trainer, &Telemetry::disabled())
+}
+
+/// Warm train/infer loop, instrumented the way `Learner::process` is:
+/// batch marker, per-stage spans, a per-batch event, and the shift gauges.
+/// The telemetry handle must never add an allocation to this loop —
+/// disabled or sink-attached alike.
+fn warm_and_measure_with(
+    mut trainer: Trainer,
+    telemetry: &Telemetry,
+) -> alloc_metrics::AllocSnapshot {
     let mut generator = Hyperplane::new(10, 0.02, 0.05, 42);
     let batch = generator.next_batch(BATCH);
     let (x, y) = (&batch.x, batch.labels());
     let mut probs = Matrix::zeros(0, 0);
 
-    for _ in 0..WARM_ITERS {
-        trainer.predict_proba_into(x, &mut probs);
-        trainer.train_batch(x, y);
+    let step = |trainer: &mut Trainer, probs: &mut Matrix, seq: u64| {
+        telemetry.batch_started(seq);
+        {
+            let _span = telemetry.time(Stage::Infer);
+            trainer.predict_proba_into(x, probs);
+        }
+        {
+            let _span = telemetry.time(Stage::Train);
+            trainer.train_batch(x, y);
+        }
+        telemetry.record_shift(0.5, 1.0);
+        telemetry.emit(TelemetryEvent::StrategyDispatched {
+            seq,
+            strategy: "ensemble",
+            pattern: "warmup",
+        });
+    };
+
+    for i in 0..WARM_ITERS {
+        step(&mut trainer, &mut probs, i as u64);
     }
 
     alloc_metrics::reset();
     let before = alloc_metrics::snapshot().expect("alloc-metrics feature is on");
-    for _ in 0..MEASURED_ITERS {
-        trainer.predict_proba_into(x, &mut probs);
-        trainer.train_batch(x, y);
+    for i in 0..MEASURED_ITERS {
+        step(&mut trainer, &mut probs, (WARM_ITERS + i) as u64);
     }
     alloc_metrics::since(&before).expect("alloc-metrics feature is on")
 }
@@ -67,6 +97,42 @@ fn warm_lr_loop_allocates_nothing() {
         delta.allocs, delta.bytes
     );
     assert_eq!(delta.bytes, 0);
+}
+
+/// A disabled telemetry handle is the documented zero-cost path: the
+/// fully instrumented warm loop (spans, events, gauges) must still make
+/// zero heap allocations.
+#[test]
+fn warm_loop_with_disabled_telemetry_allocates_nothing() {
+    freeway_linalg::pool::configure(1);
+    let trainer = Trainer::new(ModelSpec::mlp(10, vec![32], 2).build(0), Box::new(Sgd::new(0.05)));
+    let delta = warm_and_measure_with(trainer, &Telemetry::disabled());
+    assert_eq!(
+        delta.allocs, 0,
+        "disabled telemetry added {} allocations ({} bytes) to the warm hot path",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.bytes, 0);
+}
+
+/// Even a *live* handle must stay off the heap on the hot path: metric
+/// updates are atomics against pre-registered handles, events are `Copy`,
+/// and the no-op sink retains nothing.
+#[test]
+fn warm_loop_with_live_noop_sink_allocates_nothing() {
+    freeway_linalg::pool::configure(1);
+    let trainer = Trainer::new(ModelSpec::mlp(10, vec![32], 2).build(0), Box::new(Sgd::new(0.05)));
+    let telemetry = Telemetry::attached(Arc::new(NoopSink));
+    let delta = warm_and_measure_with(trainer, &telemetry);
+    assert_eq!(
+        delta.allocs, 0,
+        "live telemetry (noop sink) added {} allocations ({} bytes) to the warm hot path",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.bytes, 0);
+    // The instrumentation genuinely ran: counters saw the measured loop.
+    let metrics = telemetry.metrics();
+    assert_eq!(metrics.counters["freeway_batches_total"], (WARM_ITERS + MEASURED_ITERS) as u64);
 }
 
 /// The counters themselves must observe ordinary allocations — guards

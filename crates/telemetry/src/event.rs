@@ -1,0 +1,237 @@
+//! Structured runtime events emitted by the pipeline, supervisor, learner,
+//! and drift machinery.
+//!
+//! Events are small `Copy` values: every payload is a scalar or a
+//! `&'static str` tag, so emitting one never allocates. String tags rather
+//! than domain enums keep this crate dependency-free — the producing crates
+//! translate their own enums via `tag()` helpers.
+
+use serde::Serialize;
+
+/// One structured observability event.
+///
+/// Serialized externally tagged, e.g.
+/// `{"DriftDetected": {"seq": 12, "severity": 4.1, ...}}`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize)]
+#[non_exhaustive]
+pub enum TelemetryEvent {
+    /// The shift classifier saw a severe shift (pattern B or C, paper
+    /// Eqns 6–10): severity `M` exceeded the `alpha` threshold.
+    DriftDetected {
+        /// Batch sequence number the decision was made on.
+        seq: u64,
+        /// Severity z-score `M = (d_t - mu_d) / sigma_d` (Eqn 10),
+        /// sanitized to a large finite value if degenerate.
+        severity: f64,
+        /// Distance `d_t` between consecutive projected batch means.
+        distance: f64,
+        /// Distance `d_h` to the nearest historical distribution, or a
+        /// negative sentinel when no history exists yet.
+        nearest_historical: f64,
+        /// Classified pattern tag: `"sudden"` or `"reoccurring"`.
+        pattern: &'static str,
+    },
+    /// The learner routed a batch to an adaptation strategy.
+    StrategyDispatched {
+        /// Batch sequence number.
+        seq: u64,
+        /// Strategy tag (e.g. `"ensemble"`, `"cec"`, `"knowledge-reuse"`).
+        strategy: &'static str,
+        /// Pattern tag that drove the dispatch, `"warmup"` before the
+        /// shift tracker is ready.
+        pattern: &'static str,
+    },
+    /// The adaptive streaming window dropped batches whose decayed weight
+    /// fell below the floor (Eqn 11 decay).
+    WindowEvicted {
+        /// Batch sequence number current when the eviction happened.
+        seq: u64,
+        /// Granularity level that owns the window.
+        level: usize,
+        /// Number of window batches evicted.
+        evicted: usize,
+        /// Normalized disorder of the insertion that triggered decay.
+        disorder: f64,
+    },
+    /// The supervisor captured a checkpoint from the worker.
+    CheckpointWritten {
+        /// Batch sequence number the checkpoint covers.
+        seq: u64,
+        /// Whether the checkpoint was also persisted to disk.
+        persisted: bool,
+    },
+    /// Learner state was restored from the last good checkpoint.
+    CheckpointRestored {
+        /// Batch sequence number the restored checkpoint covers.
+        seq: u64,
+    },
+    /// The batch guard rejected a batch into the quarantine.
+    BatchQuarantined {
+        /// Sequence number of the rejected batch.
+        seq: u64,
+        /// Fault tag (e.g. `"non-finite-feature"`, `"width-mismatch"`).
+        fault: &'static str,
+    },
+    /// The supervisor restarted the worker thread after a panic.
+    WorkerRestarted {
+        /// Total restarts so far, including this one.
+        restarts: u64,
+        /// In-flight batches lost with the crashed worker.
+        lost_in_flight: u64,
+    },
+    /// An inference report was produced in degraded mode (e.g. severe
+    /// shift handled with no trusted model available).
+    InferenceDegraded {
+        /// Batch sequence number.
+        seq: u64,
+        /// Strategy tag that degraded.
+        strategy: &'static str,
+    },
+    /// A distribution/model snapshot entered the knowledge store.
+    KnowledgePreserved {
+        /// Batch sequence number current at preservation time.
+        seq: u64,
+        /// Live entries in the store after the insert.
+        entries: usize,
+        /// Window disorder recorded with the snapshot.
+        disorder: f64,
+    },
+}
+
+impl TelemetryEvent {
+    /// The event's kind discriminant.
+    pub fn kind(&self) -> EventKind {
+        match self {
+            TelemetryEvent::DriftDetected { .. } => EventKind::DriftDetected,
+            TelemetryEvent::StrategyDispatched { .. } => EventKind::StrategyDispatched,
+            TelemetryEvent::WindowEvicted { .. } => EventKind::WindowEvicted,
+            TelemetryEvent::CheckpointWritten { .. } => EventKind::CheckpointWritten,
+            TelemetryEvent::CheckpointRestored { .. } => EventKind::CheckpointRestored,
+            TelemetryEvent::BatchQuarantined { .. } => EventKind::BatchQuarantined,
+            TelemetryEvent::WorkerRestarted { .. } => EventKind::WorkerRestarted,
+            TelemetryEvent::InferenceDegraded { .. } => EventKind::InferenceDegraded,
+            TelemetryEvent::KnowledgePreserved { .. } => EventKind::KnowledgePreserved,
+        }
+    }
+
+    /// The batch sequence number the event refers to, when it has one.
+    pub fn seq(&self) -> Option<u64> {
+        match *self {
+            TelemetryEvent::DriftDetected { seq, .. }
+            | TelemetryEvent::StrategyDispatched { seq, .. }
+            | TelemetryEvent::WindowEvicted { seq, .. }
+            | TelemetryEvent::CheckpointWritten { seq, .. }
+            | TelemetryEvent::CheckpointRestored { seq }
+            | TelemetryEvent::BatchQuarantined { seq, .. }
+            | TelemetryEvent::InferenceDegraded { seq, .. }
+            | TelemetryEvent::KnowledgePreserved { seq, .. } => Some(seq),
+            TelemetryEvent::WorkerRestarted { .. } => None,
+        }
+    }
+}
+
+/// Discriminant for [`TelemetryEvent`], used for per-kind counters and
+/// filtering.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum EventKind {
+    /// See [`TelemetryEvent::DriftDetected`].
+    DriftDetected,
+    /// See [`TelemetryEvent::StrategyDispatched`].
+    StrategyDispatched,
+    /// See [`TelemetryEvent::WindowEvicted`].
+    WindowEvicted,
+    /// See [`TelemetryEvent::CheckpointWritten`].
+    CheckpointWritten,
+    /// See [`TelemetryEvent::CheckpointRestored`].
+    CheckpointRestored,
+    /// See [`TelemetryEvent::BatchQuarantined`].
+    BatchQuarantined,
+    /// See [`TelemetryEvent::WorkerRestarted`].
+    WorkerRestarted,
+    /// See [`TelemetryEvent::InferenceDegraded`].
+    InferenceDegraded,
+    /// See [`TelemetryEvent::KnowledgePreserved`].
+    KnowledgePreserved,
+}
+
+impl EventKind {
+    /// Every kind, in counter-index order.
+    pub const ALL: [EventKind; 9] = [
+        EventKind::DriftDetected,
+        EventKind::StrategyDispatched,
+        EventKind::WindowEvicted,
+        EventKind::CheckpointWritten,
+        EventKind::CheckpointRestored,
+        EventKind::BatchQuarantined,
+        EventKind::WorkerRestarted,
+        EventKind::InferenceDegraded,
+        EventKind::KnowledgePreserved,
+    ];
+
+    /// Variant name as it appears in serialized events.
+    pub fn name(self) -> &'static str {
+        match self {
+            EventKind::DriftDetected => "DriftDetected",
+            EventKind::StrategyDispatched => "StrategyDispatched",
+            EventKind::WindowEvicted => "WindowEvicted",
+            EventKind::CheckpointWritten => "CheckpointWritten",
+            EventKind::CheckpointRestored => "CheckpointRestored",
+            EventKind::BatchQuarantined => "BatchQuarantined",
+            EventKind::WorkerRestarted => "WorkerRestarted",
+            EventKind::InferenceDegraded => "InferenceDegraded",
+            EventKind::KnowledgePreserved => "KnowledgePreserved",
+        }
+    }
+
+    /// Snake-case suffix used in per-kind metric names.
+    pub fn metric_name(self) -> &'static str {
+        match self {
+            EventKind::DriftDetected => "drift_detected",
+            EventKind::StrategyDispatched => "strategy_dispatched",
+            EventKind::WindowEvicted => "window_evicted",
+            EventKind::CheckpointWritten => "checkpoint_written",
+            EventKind::CheckpointRestored => "checkpoint_restored",
+            EventKind::BatchQuarantined => "batch_quarantined",
+            EventKind::WorkerRestarted => "worker_restarted",
+            EventKind::InferenceDegraded => "inference_degraded",
+            EventKind::KnowledgePreserved => "knowledge_preserved",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            EventKind::DriftDetected => 0,
+            EventKind::StrategyDispatched => 1,
+            EventKind::WindowEvicted => 2,
+            EventKind::CheckpointWritten => 3,
+            EventKind::CheckpointRestored => 4,
+            EventKind::BatchQuarantined => 5,
+            EventKind::WorkerRestarted => 6,
+            EventKind::InferenceDegraded => 7,
+            EventKind::KnowledgePreserved => 8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_index_matches_all_order() {
+        for (i, kind) in EventKind::ALL.iter().enumerate() {
+            assert_eq!(kind.index(), i);
+        }
+    }
+
+    #[test]
+    fn events_serialize_externally_tagged() {
+        let event = TelemetryEvent::BatchQuarantined { seq: 7, fault: "empty" };
+        let json = serde_json::to_string(&event).expect("serializable");
+        assert!(json.contains("BatchQuarantined"), "{json}");
+        assert!(json.contains("\"seq\":7"), "{json}");
+        assert_eq!(event.seq(), Some(7));
+        assert_eq!(event.kind().name(), "BatchQuarantined");
+    }
+}

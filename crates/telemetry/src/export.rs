@@ -1,0 +1,128 @@
+//! Exporters: Prometheus text rendering and JSON snapshots.
+
+use crate::metrics::MetricsSnapshot;
+use crate::{Telemetry, TelemetryEvent};
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+
+/// Full observability state at one point in time: every metric plus the
+/// retained event timeline.
+#[derive(Clone, Debug, Serialize)]
+pub struct TelemetrySnapshot {
+    /// Metric values (counters, gauges, histograms).
+    pub metrics: MetricsSnapshot,
+    /// Retained events in emission order.
+    pub events: Vec<TelemetryEvent>,
+    /// Events the sink dropped because it was full.
+    pub dropped_events: u64,
+}
+
+impl TelemetrySnapshot {
+    /// Captures the current state of `telemetry`.
+    ///
+    /// Disabled telemetry yields an empty snapshot.
+    pub fn capture(telemetry: &Telemetry) -> Self {
+        Self {
+            metrics: telemetry.metrics(),
+            events: telemetry.events(),
+            dropped_events: telemetry.dropped_events(),
+        }
+    }
+
+    /// Pretty-printed JSON rendering of the whole snapshot.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).unwrap_or_else(|_| String::from("{}"))
+    }
+
+    /// JSON rendering with wall-clock-dependent fields removed.
+    ///
+    /// Stage-timing histograms are the only nondeterministic metrics; with
+    /// them stripped, a fixed-seed single-threaded run produces
+    /// byte-identical output across invocations.
+    pub fn deterministic_json(&self) -> String {
+        let stripped = Self {
+            metrics: MetricsSnapshot {
+                counters: self.metrics.counters.clone(),
+                gauges: self.metrics.gauges.clone(),
+                histograms: BTreeMap::new(),
+            },
+            events: self.events.clone(),
+            dropped_events: self.dropped_events,
+        };
+        stripped.to_json()
+    }
+
+    /// Writes [`Self::to_json`] to `path`, creating parent directories.
+    pub fn write_json(&self, path: &Path) -> io::Result<()> {
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        std::fs::write(path, self.to_json())
+    }
+}
+
+/// Renders a metrics snapshot as a Prometheus text-format page.
+pub fn render_prometheus(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in &snapshot.gauges {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snapshot.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut cumulative = 0u64;
+        for (bound, count) in hist.bounds.iter().zip(&hist.buckets) {
+            cumulative += count;
+            let _ = writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cumulative}");
+        }
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", hist.count);
+        let _ = writeln!(out, "{name}_sum {}", hist.sum);
+        let _ = writeln!(out, "{name}_count {}", hist.count);
+    }
+    out
+}
+
+/// Writes the Prometheus text page for `telemetry` to `path`, creating
+/// parent directories.
+pub fn write_prometheus(telemetry: &Telemetry, path: &Path) -> io::Result<()> {
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    std::fs::write(path, render_prometheus(&telemetry.metrics()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{RecordingSink, Stage};
+    use std::sync::Arc;
+
+    #[test]
+    fn snapshot_roundtrip_and_prometheus_text() {
+        let sink = Arc::new(RecordingSink::new());
+        let telemetry = Telemetry::attached(sink);
+        telemetry.batch_started(3);
+        telemetry.emit(TelemetryEvent::CheckpointWritten { seq: 3, persisted: false });
+        drop(telemetry.time(Stage::Train));
+
+        let snapshot = TelemetrySnapshot::capture(&telemetry);
+        assert_eq!(snapshot.events.len(), 1);
+        let json = snapshot.to_json();
+        assert!(json.contains("CheckpointWritten"), "{json}");
+        assert!(json.contains("freeway_batches_total"), "{json}");
+
+        let det = snapshot.deterministic_json();
+        assert!(!det.contains("freeway_stage_train_seconds"), "{det}");
+
+        let page = render_prometheus(&telemetry.metrics());
+        assert!(page.contains("# TYPE freeway_batches_total counter"), "{page}");
+        assert!(page.contains("freeway_stage_train_seconds_count 1"), "{page}");
+    }
+}

@@ -1,0 +1,345 @@
+//! Observability layer for the FreewayML runtime: a lock-cheap metrics
+//! registry, a structured event stream, and per-stage timing spans.
+//!
+//! The central type is [`Telemetry`], a cheaply clonable handle threaded
+//! through the learner, pipeline, supervisor, and drift machinery at
+//! construction time (via the pipeline builder). It has two states:
+//!
+//! - **Disabled** ([`Telemetry::disabled`], the default): every operation
+//!   is a branch on a `None` and returns immediately — no clock reads, no
+//!   atomics, no allocation. This is the zero-cost path the hot-loop
+//!   regression tests pin down.
+//! - **Attached** ([`Telemetry::attached`]): metrics update via relaxed
+//!   atomics, and events are forwarded to a [`TelemetrySink`]. Nothing on
+//!   the hot path allocates; the bundled [`RecordingSink`] preallocates its
+//!   buffer and events themselves are `Copy`.
+//!
+//! Exporters ([`TelemetrySnapshot`], [`render_prometheus`]) turn the
+//! registry and retained events into a JSON snapshot or a Prometheus-style
+//! text page.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+mod event;
+mod export;
+mod metrics;
+mod sink;
+
+pub use event::{EventKind, TelemetryEvent};
+pub use export::{render_prometheus, write_prometheus, TelemetrySnapshot};
+pub use metrics::{
+    Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+    DURATION_SECONDS_BOUNDS,
+};
+pub use sink::{NoopSink, RecordingSink, TelemetrySink};
+
+/// Re-export of the JSON substrate so downstream tests and tools can
+/// parse exported snapshots without declaring their own dependency.
+pub use serde_json;
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Pipeline stage identifiers for timing spans, in stream order.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Batch admission: guard checks and handoff into the worker queue.
+    Ingest,
+    /// PCA projection of the batch mean (paper Eqn 6 input).
+    PcaProject,
+    /// Shift-graph distance and severity computation (Eqns 6–10).
+    Shift,
+    /// Pattern classification and strategy selection.
+    Select,
+    /// Model training, including window maintenance.
+    Train,
+    /// Prediction, including severe-shift handling.
+    Infer,
+}
+
+impl Stage {
+    /// Every stage, in histogram-index order.
+    pub const ALL: [Stage; 6] =
+        [Stage::Ingest, Stage::PcaProject, Stage::Shift, Stage::Select, Stage::Train, Stage::Infer];
+
+    /// Snake-case name used in metric names.
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Ingest => "ingest",
+            Stage::PcaProject => "pca_project",
+            Stage::Shift => "shift",
+            Stage::Select => "select",
+            Stage::Train => "train",
+            Stage::Infer => "infer",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Ingest => 0,
+            Stage::PcaProject => 1,
+            Stage::Shift => 2,
+            Stage::Select => 3,
+            Stage::Train => 4,
+            Stage::Infer => 5,
+        }
+    }
+}
+
+struct Inner {
+    sink: Arc<dyn TelemetrySink>,
+    registry: MetricsRegistry,
+    /// Sequence number of the batch currently flowing through the learner;
+    /// lets deep call sites (windows, knowledge store) stamp events without
+    /// having the batch in hand.
+    seq: AtomicU64,
+    /// Per-kind event counters, indexed by `EventKind::index()`.
+    event_counters: Vec<Counter>,
+    /// Per-stage duration histograms, indexed by `Stage::index()`.
+    stage_histograms: Vec<Histogram>,
+    batches: Counter,
+    shift_severity: Gauge,
+    shift_distance: Gauge,
+    window_disorder: Gauge,
+}
+
+/// Cheaply clonable observability handle.
+///
+/// See the [crate docs](crate) for the disabled/attached contract. All
+/// methods are safe to call from any thread.
+#[derive(Clone, Default)]
+pub struct Telemetry {
+    inner: Option<Arc<Inner>>,
+}
+
+impl std::fmt::Debug for Telemetry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Telemetry").field("enabled", &self.enabled()).finish()
+    }
+}
+
+impl Telemetry {
+    /// A handle whose every operation is a no-op.
+    pub fn disabled() -> Self {
+        Self { inner: None }
+    }
+
+    /// A live handle forwarding events to `sink`, with the well-known
+    /// metrics (batch counter, per-event counters, stage histograms,
+    /// shift/disorder gauges) pre-registered.
+    pub fn attached(sink: Arc<dyn TelemetrySink>) -> Self {
+        let registry = MetricsRegistry::default();
+        let event_counters = EventKind::ALL
+            .iter()
+            .map(|kind| registry.counter(&format!("freeway_events_{}_total", kind.metric_name())))
+            .collect();
+        let stage_histograms = Stage::ALL
+            .iter()
+            .map(|stage| {
+                registry.histogram(
+                    &format!("freeway_stage_{}_seconds", stage.name()),
+                    DURATION_SECONDS_BOUNDS,
+                )
+            })
+            .collect();
+        let batches = registry.counter("freeway_batches_total");
+        let shift_severity = registry.gauge("freeway_shift_severity");
+        let shift_distance = registry.gauge("freeway_shift_distance");
+        let window_disorder = registry.gauge("freeway_window_disorder");
+        Self {
+            inner: Some(Arc::new(Inner {
+                sink,
+                registry,
+                seq: AtomicU64::new(0),
+                event_counters,
+                stage_histograms,
+                batches,
+                shift_severity,
+                shift_distance,
+                window_disorder,
+            })),
+        }
+    }
+
+    /// Convenience: a live handle backed by a fresh [`RecordingSink`].
+    ///
+    /// Returns the handle and the sink for reading the timeline back.
+    pub fn recording() -> (Self, Arc<RecordingSink>) {
+        let sink = Arc::new(RecordingSink::new());
+        (Self::attached(sink.clone()), sink)
+    }
+
+    /// Whether this handle is live.
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Marks the start of a batch: stores its sequence number and bumps the
+    /// batch counter.
+    #[inline]
+    pub fn batch_started(&self, seq: u64) {
+        if let Some(inner) = &self.inner {
+            inner.seq.store(seq, Ordering::Relaxed);
+            inner.batches.inc();
+        }
+    }
+
+    /// Sequence number of the batch currently in flight (0 when disabled).
+    #[inline]
+    pub fn seq(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.seq.load(Ordering::Relaxed))
+    }
+
+    /// Emits one event: bumps its per-kind counter and forwards it to the
+    /// sink. No-op when disabled.
+    #[inline]
+    pub fn emit(&self, event: TelemetryEvent) {
+        if let Some(inner) = &self.inner {
+            inner.event_counters[event.kind().index()].inc();
+            inner.sink.record(&event);
+        }
+    }
+
+    /// Updates the shift gauges with the latest measurement.
+    #[inline]
+    pub fn record_shift(&self, severity: f64, distance: f64) {
+        if let Some(inner) = &self.inner {
+            inner.shift_severity.set(severity);
+            inner.shift_distance.set(distance);
+        }
+    }
+
+    /// Updates the window-disorder gauge.
+    #[inline]
+    pub fn record_disorder(&self, disorder: f64) {
+        if let Some(inner) = &self.inner {
+            inner.window_disorder.set(disorder);
+        }
+    }
+
+    /// Starts a timing span for `stage`; the elapsed time is recorded into
+    /// the stage histogram when the returned guard drops. When disabled,
+    /// no clock is read.
+    #[inline]
+    #[must_use = "the span measures until it is dropped"]
+    pub fn time(&self, stage: Stage) -> StageSpan {
+        StageSpan {
+            active: self
+                .inner
+                .as_ref()
+                .map(|i| (i.stage_histograms[stage.index()].clone(), Instant::now())),
+        }
+    }
+
+    /// Get-or-create a counter in this handle's registry. Returns a
+    /// detached no-op handle when disabled.
+    pub fn counter(&self, name: &str) -> Counter {
+        self.inner.as_ref().map_or_else(Counter::default, |i| i.registry.counter(name))
+    }
+
+    /// Get-or-create a gauge in this handle's registry. Returns a detached
+    /// no-op handle when disabled.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        self.inner.as_ref().map_or_else(Gauge::default, |i| i.registry.gauge(name))
+    }
+
+    /// Get-or-create a histogram in this handle's registry. Returns a
+    /// detached no-op handle when disabled.
+    pub fn histogram(&self, name: &str, bounds: &'static [f64]) -> Histogram {
+        self.inner.as_ref().map_or_else(Histogram::default, |i| i.registry.histogram(name, bounds))
+    }
+
+    /// Point-in-time copy of every metric (empty when disabled).
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.as_ref().map_or_else(MetricsSnapshot::default, |i| i.registry.snapshot())
+    }
+
+    /// Copy of the sink's retained events (empty when disabled or when the
+    /// sink does not retain).
+    pub fn events(&self) -> Vec<TelemetryEvent> {
+        self.inner.as_ref().map_or_else(Vec::new, |i| i.sink.events())
+    }
+
+    /// Events the sink dropped because it was full.
+    pub fn dropped_events(&self) -> u64 {
+        self.inner.as_ref().map_or(0, |i| i.sink.dropped())
+    }
+
+    /// Captures a full [`TelemetrySnapshot`] (metrics + events).
+    pub fn snapshot(&self) -> TelemetrySnapshot {
+        TelemetrySnapshot::capture(self)
+    }
+
+    /// Renders the metrics as a Prometheus text-format page.
+    pub fn render_prometheus(&self) -> String {
+        render_prometheus(&self.metrics())
+    }
+}
+
+/// Drop guard returned by [`Telemetry::time`]; records the elapsed stage
+/// duration into the stage histogram on drop.
+#[derive(Debug)]
+pub struct StageSpan {
+    active: Option<(Histogram, Instant)>,
+}
+
+impl Drop for StageSpan {
+    fn drop(&mut self) {
+        if let Some((histogram, start)) = self.active.take() {
+            histogram.record(start.elapsed().as_secs_f64());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_handle_is_inert() {
+        let telemetry = Telemetry::disabled();
+        assert!(!telemetry.enabled());
+        telemetry.batch_started(9);
+        assert_eq!(telemetry.seq(), 0);
+        telemetry.emit(TelemetryEvent::CheckpointRestored { seq: 1 });
+        telemetry.record_shift(1.0, 2.0);
+        drop(telemetry.time(Stage::Infer));
+        assert!(telemetry.events().is_empty());
+        assert!(telemetry.metrics().counters.is_empty());
+    }
+
+    #[test]
+    fn attached_handle_counts_events_and_batches() {
+        let (telemetry, sink) = Telemetry::recording();
+        telemetry.batch_started(5);
+        assert_eq!(telemetry.seq(), 5);
+        telemetry.emit(TelemetryEvent::WorkerRestarted { restarts: 1, lost_in_flight: 2 });
+        telemetry.emit(TelemetryEvent::WorkerRestarted { restarts: 2, lost_in_flight: 0 });
+        let metrics = telemetry.metrics();
+        assert_eq!(metrics.counters["freeway_batches_total"], 1);
+        assert_eq!(metrics.counters["freeway_events_worker_restarted_total"], 2);
+        assert_eq!(sink.len(), 2);
+    }
+
+    #[test]
+    fn spans_record_into_stage_histograms() {
+        let (telemetry, _sink) = Telemetry::recording();
+        {
+            let _span = telemetry.time(Stage::Select);
+        }
+        let metrics = telemetry.metrics();
+        assert_eq!(metrics.histograms["freeway_stage_select_seconds"].count, 1);
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let (telemetry, _sink) = Telemetry::recording();
+        let clone = telemetry.clone();
+        clone.batch_started(11);
+        assert_eq!(telemetry.seq(), 11);
+    }
+}

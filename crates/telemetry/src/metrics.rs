@@ -1,0 +1,352 @@
+//! Lock-cheap metric primitives: atomic counters, gauges, and fixed-bucket
+//! histograms behind a name-keyed registry.
+//!
+//! Handles returned by the registry are cheap clones of an `Arc` around the
+//! atomic cells; every hot-path operation (`inc`, `set`, `record`) is a
+//! handful of relaxed atomic ops with no allocation and no locking. The
+//! registry itself takes a lock only at registration and snapshot time.
+//! A defaulted handle is a no-op, so disabled telemetry pays nothing.
+
+use parking_lot::RwLock;
+use serde::Serialize;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Bucket upper bounds for stage-duration histograms, in seconds.
+///
+/// Exponential from one microsecond to one second; durations above the last
+/// bound land in the implicit `+Inf` overflow bucket.
+pub const DURATION_SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
+
+#[derive(Debug, Default)]
+struct CounterCore {
+    value: AtomicU64,
+}
+
+/// Monotonically increasing counter.
+///
+/// `Counter::default()` is a detached no-op handle; live handles come from
+/// [`MetricsRegistry::counter`].
+#[derive(Clone, Debug, Default)]
+pub struct Counter {
+    core: Option<Arc<CounterCore>>,
+}
+
+impl Counter {
+    fn live() -> Self {
+        Self { core: Some(Arc::new(CounterCore::default())) }
+    }
+
+    /// Adds one to the counter. No-op on a detached handle.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` to the counter. No-op on a detached handle.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if let Some(core) = &self.core {
+            core.value.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value (0 for a detached handle).
+    pub fn get(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.value.load(Ordering::Relaxed))
+    }
+}
+
+#[derive(Debug, Default)]
+struct GaugeCore {
+    bits: AtomicU64,
+}
+
+/// Last-write-wins gauge holding an `f64`.
+///
+/// `Gauge::default()` is a detached no-op handle; live handles come from
+/// [`MetricsRegistry::gauge`].
+#[derive(Clone, Debug, Default)]
+pub struct Gauge {
+    core: Option<Arc<GaugeCore>>,
+}
+
+impl Gauge {
+    fn live() -> Self {
+        Self { core: Some(Arc::new(GaugeCore::default())) }
+    }
+
+    /// Stores `value`. No-op on a detached handle.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        if let Some(core) = &self.core {
+            core.bits.store(value.to_bits(), Ordering::Relaxed);
+        }
+    }
+
+    /// Last stored value (0.0 for a detached handle).
+    pub fn get(&self) -> f64 {
+        self.core.as_ref().map_or(0.0, |c| f64::from_bits(c.bits.load(Ordering::Relaxed)))
+    }
+}
+
+#[derive(Debug)]
+struct HistogramCore {
+    /// Ascending upper bounds; an implicit `+Inf` bucket follows the last.
+    bounds: &'static [f64],
+    /// One slot per bound plus the overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    /// Running sum as `f64` bits, accumulated with a CAS loop.
+    sum_bits: AtomicU64,
+}
+
+/// Fixed-bucket histogram with static bounds.
+///
+/// `Histogram::default()` is a detached no-op handle; live handles come from
+/// [`MetricsRegistry::histogram`].
+#[derive(Clone, Debug, Default)]
+pub struct Histogram {
+    core: Option<Arc<HistogramCore>>,
+}
+
+impl Histogram {
+    fn live(bounds: &'static [f64]) -> Self {
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Self {
+            core: Some(Arc::new(HistogramCore {
+                bounds,
+                buckets,
+                count: AtomicU64::new(0),
+                sum_bits: AtomicU64::new(0.0f64.to_bits()),
+            })),
+        }
+    }
+
+    /// Records one observation. No-op on a detached handle.
+    #[inline]
+    pub fn record(&self, value: f64) {
+        let Some(core) = &self.core else { return };
+        let idx = core.bounds.iter().position(|b| value <= *b).unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let mut current = core.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(current) + value).to_bits();
+            match core.sum_bits.compare_exchange_weak(
+                current,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// Total number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.core.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
+    }
+
+    fn snapshot(&self) -> Option<HistogramSnapshot> {
+        let core = self.core.as_ref()?;
+        Some(HistogramSnapshot {
+            bounds: core.bounds.to_vec(),
+            buckets: core.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+            count: core.count.load(Ordering::Relaxed),
+            sum: f64::from_bits(core.sum_bits.load(Ordering::Relaxed)),
+        })
+    }
+}
+
+#[derive(Clone, Debug)]
+enum Metric {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// Name-keyed store of counters, gauges, and histograms.
+///
+/// Registration is get-or-create: asking twice for the same name returns
+/// handles to the same underlying cell. Asking for an existing name with a
+/// different metric kind returns a detached no-op handle rather than
+/// panicking or clobbering the registered metric.
+#[derive(Default)]
+pub struct MetricsRegistry {
+    metrics: RwLock<Vec<(String, Metric)>>,
+}
+
+impl std::fmt::Debug for MetricsRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("MetricsRegistry").field("metrics", &self.metrics.read().len()).finish()
+    }
+}
+
+impl MetricsRegistry {
+    fn lookup(&self, name: &str) -> Option<Metric> {
+        let guard = self.metrics.read();
+        guard.iter().find(|(n, _)| n == name).map(|(_, m)| m.clone())
+    }
+
+    /// Returns the counter registered under `name`, creating it if absent.
+    pub fn counter(&self, name: &str) -> Counter {
+        match self.lookup(name) {
+            Some(Metric::Counter(c)) => return c,
+            Some(_) => return Counter::default(),
+            None => {}
+        }
+        let mut guard = self.metrics.write();
+        if let Some((_, existing)) = guard.iter().find(|(n, _)| n == name) {
+            return match existing {
+                Metric::Counter(c) => c.clone(),
+                _ => Counter::default(),
+            };
+        }
+        let counter = Counter::live();
+        guard.push((name.to_string(), Metric::Counter(counter.clone())));
+        counter
+    }
+
+    /// Returns the gauge registered under `name`, creating it if absent.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match self.lookup(name) {
+            Some(Metric::Gauge(g)) => return g,
+            Some(_) => return Gauge::default(),
+            None => {}
+        }
+        let mut guard = self.metrics.write();
+        if let Some((_, existing)) = guard.iter().find(|(n, _)| n == name) {
+            return match existing {
+                Metric::Gauge(g) => g.clone(),
+                _ => Gauge::default(),
+            };
+        }
+        let gauge = Gauge::live();
+        guard.push((name.to_string(), Metric::Gauge(gauge.clone())));
+        gauge
+    }
+
+    /// Returns the histogram registered under `name`, creating it with the
+    /// given static bucket `bounds` if absent.
+    pub fn histogram(&self, name: &str, bounds: &'static [f64]) -> Histogram {
+        match self.lookup(name) {
+            Some(Metric::Histogram(h)) => return h,
+            Some(_) => return Histogram::default(),
+            None => {}
+        }
+        let mut guard = self.metrics.write();
+        if let Some((_, existing)) = guard.iter().find(|(n, _)| n == name) {
+            return match existing {
+                Metric::Histogram(h) => h.clone(),
+                _ => Histogram::default(),
+            };
+        }
+        let histogram = Histogram::live(bounds);
+        guard.push((name.to_string(), Metric::Histogram(histogram.clone())));
+        histogram
+    }
+
+    /// Point-in-time copy of every registered metric, sorted by name.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let guard = self.metrics.read();
+        let mut snapshot = MetricsSnapshot::default();
+        for (name, metric) in guard.iter() {
+            match metric {
+                Metric::Counter(c) => {
+                    snapshot.counters.insert(name.clone(), c.get());
+                }
+                Metric::Gauge(g) => {
+                    snapshot.gauges.insert(name.clone(), g.get());
+                }
+                Metric::Histogram(h) => {
+                    if let Some(hist) = h.snapshot() {
+                        snapshot.histograms.insert(name.clone(), hist);
+                    }
+                }
+            }
+        }
+        snapshot
+    }
+}
+
+/// Point-in-time copy of one histogram.
+#[derive(Clone, Debug, Serialize)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds (the `+Inf` bucket is implicit).
+    pub bounds: Vec<f64>,
+    /// Per-bucket observation counts; one slot per bound plus overflow.
+    pub buckets: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+/// Point-in-time copy of a [`MetricsRegistry`], ready for export.
+#[derive(Clone, Debug, Default, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by metric name.
+    pub counters: BTreeMap<String, u64>,
+    /// Gauge values by metric name.
+    pub gauges: BTreeMap<String, f64>,
+    /// Histogram states by metric name.
+    pub histograms: BTreeMap<String, HistogramSnapshot>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_roundtrip() {
+        let registry = MetricsRegistry::default();
+        let a = registry.counter("hits");
+        let b = registry.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        assert_eq!(registry.snapshot().counters["hits"], 3);
+    }
+
+    #[test]
+    fn detached_handles_are_noops() {
+        let c = Counter::default();
+        c.inc();
+        assert_eq!(c.get(), 0);
+        let g = Gauge::default();
+        g.set(5.0);
+        assert_eq!(g.get(), 0.0);
+        let h = Histogram::default();
+        h.record(1.0);
+        assert_eq!(h.count(), 0);
+    }
+
+    #[test]
+    fn kind_mismatch_yields_detached_handle() {
+        let registry = MetricsRegistry::default();
+        let c = registry.counter("x");
+        let g = registry.gauge("x");
+        c.inc();
+        g.set(9.0);
+        assert_eq!(registry.snapshot().counters["x"], 1);
+        assert!(!registry.snapshot().gauges.contains_key("x"));
+    }
+
+    #[test]
+    fn histogram_buckets_and_sum() {
+        let registry = MetricsRegistry::default();
+        let h = registry.histogram("lat", DURATION_SECONDS_BOUNDS);
+        h.record(5e-7); // first bucket
+        h.record(0.5); // <= 1.0 bucket
+        h.record(30.0); // overflow
+        let snap = &registry.snapshot().histograms["lat"];
+        assert_eq!(snap.count, 3);
+        assert_eq!(snap.buckets[0], 1);
+        assert_eq!(snap.buckets[snap.bounds.len()], 1);
+        assert!((snap.sum - 30.5000005).abs() < 1e-9);
+    }
+}

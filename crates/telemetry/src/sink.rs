@@ -1,0 +1,143 @@
+//! Event sinks: where emitted [`TelemetryEvent`]s go.
+
+use crate::event::TelemetryEvent;
+use parking_lot::Mutex;
+
+/// Destination for structured events.
+///
+/// Implementations must be cheap and non-blocking: `record` is called from
+/// the streaming hot path (under the learner's train/infer loop), so a sink
+/// that allocates or does I/O per event will show up in throughput. The
+/// bundled [`RecordingSink`] preallocates its buffer and only moves a `Copy`
+/// value under a short mutex.
+pub trait TelemetrySink: Send + Sync {
+    /// Accepts one event.
+    fn record(&self, event: &TelemetryEvent);
+
+    /// Copy of every retained event, in emission order. Sinks that do not
+    /// retain events return an empty vec.
+    fn events(&self) -> Vec<TelemetryEvent> {
+        Vec::new()
+    }
+
+    /// Number of events dropped because the sink was full.
+    fn dropped(&self) -> u64 {
+        0
+    }
+}
+
+/// Sink that discards every event.
+///
+/// Useful when only the metrics side of telemetry is wanted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopSink;
+
+impl TelemetrySink for NoopSink {
+    fn record(&self, _event: &TelemetryEvent) {}
+}
+
+struct RecordingBuf {
+    events: Vec<TelemetryEvent>,
+    dropped: u64,
+}
+
+/// Bounded in-memory sink that retains events for later inspection.
+///
+/// The buffer is preallocated to `capacity`, so recording below capacity
+/// never allocates; once full, further events are counted as dropped
+/// instead of growing the buffer. Callers keep their own `Arc` to the sink
+/// and read the timeline back with [`RecordingSink::events`].
+pub struct RecordingSink {
+    capacity: usize,
+    buf: Mutex<RecordingBuf>,
+}
+
+impl RecordingSink {
+    /// Default retention when using [`RecordingSink::new`].
+    pub const DEFAULT_CAPACITY: usize = 65_536;
+
+    /// Creates a sink retaining up to [`Self::DEFAULT_CAPACITY`] events.
+    pub fn new() -> Self {
+        Self::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// Creates a sink retaining up to `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            capacity,
+            buf: Mutex::new(RecordingBuf { events: Vec::with_capacity(capacity), dropped: 0 }),
+        }
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.buf.lock().events.len()
+    }
+
+    /// Whether no events have been retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Clears retained events and the dropped counter.
+    pub fn clear(&self) {
+        let mut buf = self.buf.lock();
+        buf.events.clear();
+        buf.dropped = 0;
+    }
+}
+
+impl Default for RecordingSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl std::fmt::Debug for RecordingSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let buf = self.buf.lock();
+        f.debug_struct("RecordingSink")
+            .field("capacity", &self.capacity)
+            .field("len", &buf.events.len())
+            .field("dropped", &buf.dropped)
+            .finish()
+    }
+}
+
+impl TelemetrySink for RecordingSink {
+    fn record(&self, event: &TelemetryEvent) {
+        let mut buf = self.buf.lock();
+        if buf.events.len() < self.capacity {
+            buf.events.push(*event);
+        } else {
+            buf.dropped += 1;
+        }
+    }
+
+    fn events(&self) -> Vec<TelemetryEvent> {
+        self.buf.lock().events.clone()
+    }
+
+    fn dropped(&self) -> u64 {
+        self.buf.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recording_sink_bounds_retention() {
+        let sink = RecordingSink::with_capacity(2);
+        for seq in 0..5 {
+            sink.record(&TelemetryEvent::InferenceDegraded { seq, strategy: "t" });
+        }
+        assert_eq!(sink.len(), 2);
+        assert_eq!(sink.dropped(), 3);
+        assert_eq!(sink.events()[0].seq(), Some(0));
+        sink.clear();
+        assert!(sink.is_empty());
+        assert_eq!(sink.dropped(), 0);
+    }
+}

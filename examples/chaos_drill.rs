@@ -4,7 +4,8 @@
 //! (~10% poison: NaN bursts, width corruption, bad labels, duplicates,
 //! reorders, dropped labels), schedules a worker panic mid-stream, and
 //! drives the checkpointed supervisor over it. Prints the fault log, the
-//! recovery counters, and the accuracy cost of the chaos versus a
+//! recovery counters, the fault-handling event timeline (quarantines,
+//! checkpoints, the restart), and the accuracy cost of the chaos versus a
 //! fault-free run on the same stream seed.
 //!
 //! ```sh
@@ -21,10 +22,17 @@ fn main() {
     let (batches, batch_size) = (96, 128);
     let supervisor = SupervisorConfig { checkpoint_every_n_batches: 4, ..Default::default() };
     let learner = |f: usize, c: usize| {
-        Learner::new(
-            ModelSpec::lr(f, c),
-            FreewayConfig { pca_warmup_rows: 256, mini_batch: batch_size, ..Default::default() },
-        )
+        // The builder attaches a recording sink, so the chaos report comes
+        // back with the full fault-handling event stream.
+        let (builder, _sink) = PipelineBuilder::new(ModelSpec::lr(f, c)).recording();
+        builder
+            .with_config(FreewayConfig {
+                pca_warmup_rows: 256,
+                mini_batch: batch_size,
+                ..Default::default()
+            })
+            .build_learner()
+            .expect("valid configuration")
     };
 
     // Reference: the same stream with no faults and no panic.
@@ -63,6 +71,28 @@ fn main() {
             if rec.expect_quarantine { "quarantined" } else { "flows through" }
         );
     }
+    println!("\nfault-handling event timeline:");
+    for event in &report.events {
+        match event {
+            TelemetryEvent::BatchQuarantined { seq, fault } => {
+                println!("  seq {seq:>3}: quarantined ({fault})");
+            }
+            TelemetryEvent::CheckpointWritten { seq, persisted } if *persisted => {
+                println!("  seq {seq:>3}: checkpoint persisted");
+            }
+            TelemetryEvent::CheckpointRestored { seq } => {
+                println!("  seq {seq:>3}: checkpoint restored");
+            }
+            TelemetryEvent::WorkerRestarted { restarts, lost_in_flight } => {
+                println!("           worker restart #{restarts} ({lost_in_flight} lost in flight)");
+            }
+            TelemetryEvent::InferenceDegraded { seq, strategy } => {
+                println!("  seq {seq:>3}: degraded inference via {strategy}");
+            }
+            _ => {}
+        }
+    }
+
     let s = report.stats;
     println!(
         "\nsupervisor: {} accepted, {} quarantined, {} worker panic(s), {} restart(s)",

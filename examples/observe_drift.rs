@@ -1,0 +1,140 @@
+//! Observability drill: watch FreewayML detect drift through telemetry.
+//!
+//! Runs the "Black Friday" sudden-shift workload with a recording
+//! telemetry sink attached via the builder, prints the drift-event
+//! timeline as it unfolds, checks the `DriftDetected` events against the
+//! stream's ground-truth phase tags, and writes both exporter formats
+//! (Prometheus text + JSON snapshot) next to the experiment results.
+//!
+//! ```sh
+//! cargo run --release --example observe_drift
+//! ```
+//!
+//! The process exits non-zero if the drift timeline does not match the
+//! ground truth — CI runs this as the telemetry gate.
+
+use freewayml::prelude::*;
+use freewayml::streams::concept::GmmConcept;
+use freewayml::streams::datasets::{Segment, SimulatedDataset};
+use freewayml::telemetry::TelemetrySnapshot;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::BTreeMap;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let seed = 11;
+    let batch_size = 256;
+    let batches = 60;
+
+    // Same workload as `sudden_shift_retail`: 30 calm batches, one fresh
+    // sudden shift (batch 30), and a reoccurring return home (batch 45).
+    let mut rng = StdRng::seed_from_u64(seed);
+    let regular = GmmConcept::random(12, 3, 2, 3.5, 1.0, &mut rng);
+    let program = vec![
+        Segment::Localized { amplitude: 0.25, batches: 30 },
+        Segment::SwitchFresh { batches: 15 },
+        Segment::SwitchTo { index: 0, batches: 15 },
+    ];
+    let mut stream = SimulatedDataset::new("Retail", vec![regular], program, 3.5, 1.0, 2, seed)
+        .with_label_noise(0.1);
+
+    // The builder is the one place everything is configured: model,
+    // learner config, and the telemetry sink — attached before the first
+    // batch so the event stream covers the whole run.
+    let (builder, sink) = PipelineBuilder::new(ModelSpec::mlp(12, vec![32], 3)).recording();
+    let mut learner = builder
+        .with_config(FreewayConfig { mini_batch: batch_size, ..Default::default() })
+        .build_learner()
+        .expect("valid configuration");
+
+    let mut phase_by_seq: BTreeMap<u64, DriftPhase> = BTreeMap::new();
+    for i in 0..batches {
+        let batch = stream.next_batch(batch_size);
+        phase_by_seq.insert(batch.seq, batch.phase);
+        let _ = learner.process(&batch);
+        let _ = i;
+    }
+
+    // ---- Drift-event timeline -------------------------------------------
+    let events = sink.events();
+    println!("=== Drift-event timeline ({} events total) ===", events.len());
+    println!("  seq | event           | detail");
+    println!("------+-----------------+----------------------------------------");
+    let mut drift_seqs: Vec<u64> = Vec::new();
+    for event in &events {
+        match event {
+            TelemetryEvent::DriftDetected { seq, severity, distance, pattern, .. } => {
+                drift_seqs.push(*seq);
+                let truth = phase_by_seq.get(seq).copied().unwrap_or(DriftPhase::Stable);
+                println!(
+                    "{seq:>5} | DriftDetected   | pattern={pattern:<10} M={severity:>7.2} \
+                     d_t={distance:>6.2} truth={truth:?}"
+                );
+            }
+            TelemetryEvent::StrategyDispatched { seq, strategy, pattern }
+                if *strategy != "ensemble" =>
+            {
+                println!("{seq:>5} | Dispatched      | strategy={strategy} pattern={pattern}");
+            }
+            TelemetryEvent::WindowEvicted { seq, level, evicted, disorder } => {
+                println!(
+                    "{seq:>5} | WindowEvicted   | level={level} evicted={evicted} \
+                     disorder={disorder:.3}"
+                );
+            }
+            TelemetryEvent::KnowledgePreserved { seq, entries, disorder } => {
+                println!("{seq:>5} | KnowledgeSaved  | entries={entries} disorder={disorder:.3}");
+            }
+            _ => {}
+        }
+    }
+
+    // ---- Exports --------------------------------------------------------
+    let snapshot = TelemetrySnapshot::capture(learner.telemetry());
+    let json_path = std::path::Path::new("results/TELEMETRY_observe_drift.json");
+    let prom_path = std::path::Path::new("results/TELEMETRY_observe_drift.prom");
+    if let Err(e) = snapshot.write_json(json_path) {
+        eprintln!("FAIL: writing JSON snapshot: {e}");
+        return ExitCode::FAILURE;
+    }
+    if let Err(e) = freewayml::telemetry::write_prometheus(learner.telemetry(), prom_path) {
+        eprintln!("FAIL: writing Prometheus page: {e}");
+        return ExitCode::FAILURE;
+    }
+    println!("\nwrote {} and {}", json_path.display(), prom_path.display());
+
+    // ---- Ground-truth checks (CI gate) ----------------------------------
+    let severe_truth: Vec<u64> =
+        phase_by_seq.iter().filter(|(_, p)| p.is_severe()).map(|(s, _)| *s).collect();
+    println!("\nground-truth severe batches: {severe_truth:?}");
+    println!("DriftDetected batches:       {drift_seqs:?}");
+
+    let mut failures = Vec::new();
+    if drift_seqs.is_empty() {
+        failures.push("no DriftDetected events were emitted".to_string());
+    }
+    for seq in &severe_truth {
+        if !drift_seqs.contains(seq) {
+            failures.push(format!("severe batch {seq} produced no DriftDetected event"));
+        }
+    }
+    let batches_total =
+        snapshot.metrics.counters.get("freeway_batches_total").copied().unwrap_or(0);
+    if batches_total != batches as u64 {
+        failures.push(format!("freeway_batches_total = {batches_total}, expected {batches}"));
+    }
+    if snapshot.events.is_empty() {
+        failures.push("snapshot carries no events".to_string());
+    }
+
+    if failures.is_empty() {
+        println!("\nPASS: drift timeline matches pattern-B/C ground truth");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -30,7 +30,7 @@ fn main() {
         ModelSpec::lr(10, 2),
         FreewayConfig { mini_batch: batch_size, ..Default::default() },
     );
-    let pipeline = Pipeline::spawn(learner, 32);
+    let pipeline = Pipeline::with_learner(learner, 32).expect("valid queue depth");
 
     println!("tick | rate     | pressure | batches/tick | decay x");
     println!("-----+----------+----------+--------------+--------");

@@ -25,10 +25,13 @@
 //! // A drifting stream (rotating hyperplane, 10 features).
 //! let mut stream = Hyperplane::new(10, 0.02, 0.05, 42);
 //!
-//! // The paper's constructor: Learner(Model, ModelNum, MiniBatch,
-//! // KdgBuffer, ExpBuffer, alpha).
-//! let mut learner =
-//!     Learner::paper_interface(ModelSpec::mlp(10, vec![32], 2), 2, 256, 20, 10, 1.96);
+//! // One builder describes the whole deployment: model, configuration,
+//! // and (optionally) a telemetry sink recording the event stream.
+//! let (builder, sink) = PipelineBuilder::new(ModelSpec::mlp(10, vec![32], 2)).recording();
+//! let mut learner = builder
+//!     .with_config(FreewayConfig { mini_batch: 256, ..Default::default() })
+//!     .build_learner()
+//!     .expect("valid configuration");
 //!
 //! // Prequential loop: test, then train, on every batch.
 //! let mut correct = 0usize;
@@ -37,7 +40,7 @@
 //!     let batch = stream.next_batch(256);
 //!     let report = learner.process(&batch);
 //!     correct += report
-//!         .predictions
+//!         .predictions()
 //!         .iter()
 //!         .zip(batch.labels())
 //!         .filter(|(p, t)| p == t)
@@ -45,6 +48,13 @@
 //!     total += batch.len();
 //! }
 //! assert!(correct as f64 / total as f64 > 0.5);
+//! // Every batch dispatched exactly one strategy — observable as events.
+//! let dispatched = sink
+//!     .events()
+//!     .iter()
+//!     .filter(|e| matches!(e, TelemetryEvent::StrategyDispatched { .. }))
+//!     .count();
+//! assert_eq!(dispatched, 30);
 //! ```
 //!
 //! ## Crate map
@@ -67,6 +77,8 @@
 //!   table/figure runner;
 //! * [`chaos`] (`freeway-chaos`) — deterministic fault injection and
 //!   recovery drills for the supervised runtime;
+//! * [`telemetry`] (`freeway-telemetry`) — metrics registry, structured
+//!   event stream, and Prometheus/JSON exporters;
 //! * [`linalg`] (`freeway-linalg`) — the dense math substrate.
 
 #![warn(missing_docs)]
@@ -80,13 +92,20 @@ pub use freeway_eval as eval;
 pub use freeway_linalg as linalg;
 pub use freeway_ml as ml;
 pub use freeway_streams as streams;
+pub use freeway_telemetry as telemetry;
 
 /// The commonly used types in one import.
 pub mod prelude {
     pub use freeway_baselines::{FreewaySystem, StreamingLearner};
-    pub use freeway_core::{FreewayConfig, InferenceReport, Learner, Strategy};
+    pub use freeway_core::{
+        FreewayConfig, FreewayError, InferenceReport, Learner, Pipeline, PipelineBuilder, Strategy,
+        SupervisedPipeline, SupervisorConfig,
+    };
     pub use freeway_drift::ShiftPattern;
     pub use freeway_linalg::Matrix;
     pub use freeway_ml::{Model, ModelSpec};
     pub use freeway_streams::{Batch, DriftPhase, Hyperplane, Sea, StreamGenerator};
+    pub use freeway_telemetry::{
+        RecordingSink, Stage, Telemetry, TelemetryEvent, TelemetrySink, TelemetrySnapshot,
+    };
 }

@@ -141,7 +141,7 @@ fn pipeline_processes_mixed_streams_end_to_end() {
     // feeding — both channels are bounded, so fire-and-forget feeding
     // of more than `2 * depth` batches would deadlock by design
     // (backpressure, not unbounded buffering).
-    let pipeline = Pipeline::spawn(learner, 8);
+    let pipeline = Pipeline::with_learner(learner, 8).expect("valid queue depth");
     let mut inference_reports = 0;
     let mut received = 0;
     for i in 0..30 {
