@@ -31,15 +31,35 @@ assert snapshot["metrics"]["counters"]["freeway_events_drift_detected_total"] >=
 print(f"telemetry gate: {len(drifts)} DriftDetected event(s) in exported snapshot")
 PY
 
+echo "== overload gate (admission control + degradation ladder) =="
+# The overload integration drill asserts bounded producer latency and
+# memory, zero stalls, and the prequential-accuracy envelope under a 4x
+# burst; the checkpoint-corruption drill asserts restore falls back past
+# a trashed newest generation. Release build: the drill budgets real
+# wall-clock stage times, which debug-profile compute would blow. The
+# drill example then re-writes its deterministic artifact and the diff
+# asserts byte-stability.
+cargo test -q --release -p freeway-chaos --test overload
+cargo run --release --example overload_drill > /dev/null
+cp results/OVERLOAD_drill.json /tmp/overload_drill_ci.json
+cargo run --release --example overload_drill > /dev/null
+diff /tmp/overload_drill_ci.json results/OVERLOAD_drill.json
+rm -f /tmp/overload_drill_ci.json
+echo "overload gate: drill green, artifact byte-stable"
+
 echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 
-echo "== unwrap/expect audit (freeway-core runtime must not panic) =="
+echo "== unwrap/expect audit (runtime crates must not panic) =="
 # The supervised runtime's library code may not unwrap/expect its way
 # past errors; tests keep their expects (cfg(test) code is not linted
 # because only the lib target is checked, and --no-deps keeps the audit
-# scoped to freeway-core itself).
+# scoped to the listed crates). freeway-chaos rides along: the fault
+# injector and overload harness run inside the same process as the
+# runtime they are drilling.
 cargo clippy -q -p freeway-core --lib --no-deps -- \
+    -W clippy::unwrap_used -W clippy::expect_used -D warnings
+cargo clippy -q -p freeway-chaos --lib --no-deps -- \
     -W clippy::unwrap_used -W clippy::expect_used -D warnings
 
 echo "== cargo clippy =="

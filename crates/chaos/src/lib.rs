@@ -21,9 +21,23 @@
 //! ~10% poison plus a mid-stream worker panic must produce zero process
 //! panics, quarantine every poison batch, and land within two accuracy
 //! points of the fault-free run.
+//!
+//! The [`overload`] module is the companion drill for *load* faults:
+//! burst arrival schedules, a slowed train stage, disk-latency injection,
+//! and both a wall-clock harness ([`run_overload_prequential`]) and a
+//! deterministic virtual-time one ([`simulate_overload`]) for asserting
+//! that admission control and the degradation ladder keep the runtime
+//! stable under 4× overload.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
+
+pub mod overload;
+
+pub use overload::{
+    paired_per_seq, run_overload_prequential, simulate_overload, BurstSchedule, OverloadConfig,
+    OverloadReport, SimOverloadConfig, SimOverloadReport, SimTransition,
+};
 
 use std::collections::{BTreeMap, HashMap, VecDeque};
 

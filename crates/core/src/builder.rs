@@ -22,7 +22,9 @@
 //! # let _ = &mut learner;
 //! ```
 
+use crate::admission::{AdmissionConfig, AdmittedPipeline};
 use crate::config::FreewayConfig;
+use crate::degrade::DegradationHandle;
 use crate::error::FreewayError;
 use crate::learner::Learner;
 use crate::pipeline::Pipeline;
@@ -44,6 +46,7 @@ pub struct PipelineBuilder {
     spec: ModelSpec,
     config: FreewayConfig,
     supervisor: SupervisorConfig,
+    admission: Option<AdmissionConfig>,
     telemetry: Telemetry,
 }
 
@@ -56,6 +59,7 @@ impl PipelineBuilder {
             spec,
             config: FreewayConfig::default(),
             supervisor: SupervisorConfig::default(),
+            admission: None,
             telemetry: Telemetry::disabled(),
         }
     }
@@ -154,6 +158,17 @@ impl PipelineBuilder {
         self
     }
 
+    /// Puts admission control in front of the supervised pipeline:
+    /// overload policy, bounded shed buffer, and (via
+    /// [`AdmissionConfig::ladder`]) the graceful-degradation ladder.
+    /// Only [`Self::build_admitted`] consumes this; the other build
+    /// targets ignore it, so admission stays zero-cost when disabled.
+    #[must_use]
+    pub fn admission(mut self, config: AdmissionConfig) -> Self {
+        self.admission = Some(config);
+        self
+    }
+
     /// Convenience: attaches an in-memory [`RecordingSink`] and hands it
     /// back so the caller can read events after (or during) the run.
     #[must_use]
@@ -190,6 +205,27 @@ impl PipelineBuilder {
         let supervisor = self.supervisor.clone();
         let learner = self.build_learner()?;
         SupervisedPipeline::with_learner(learner, supervisor)
+    }
+
+    /// Builds the supervised pipeline behind admission control (the
+    /// config set via [`Self::admission`], or [`AdmissionConfig::default`]
+    /// when none was set). The learner, the supervisor, and the ladder
+    /// all share one [`DegradationHandle`], so a level change made by the
+    /// ladder is visible to the worker thread on its very next batch —
+    /// and survives crash-restore, because the supervisor re-attaches the
+    /// handle to the recovered learner.
+    ///
+    /// # Errors
+    /// As [`Self::build_supervised`], plus invalid admission knobs.
+    pub fn build_admitted(self) -> Result<AdmittedPipeline, FreewayError> {
+        let admission = self.admission.clone().unwrap_or_default();
+        admission.check().map_err(FreewayError::InvalidConfig)?;
+        let supervisor = self.supervisor.clone();
+        let handle = DegradationHandle::new();
+        let mut learner = self.build_learner()?;
+        learner.attach_degradation(handle.clone());
+        let inner = SupervisedPipeline::with_learner(learner, supervisor)?;
+        AdmittedPipeline::new(inner, admission, handle)
     }
 
     fn check_supervisor(supervisor: &SupervisorConfig) -> Result<(), FreewayError> {

@@ -26,6 +26,11 @@ pub enum FreewayError {
     /// The worker thread is gone and no restart was attempted (e.g. the
     /// pipeline was already finished).
     WorkerUnavailable,
+    /// The worker's input queue is full: transient backpressure, not a
+    /// failure. Callers may retry, shed, or block — unlike
+    /// [`Self::WorkerUnavailable`], which means the worker is dead and a
+    /// retry can never succeed.
+    QueueFull,
     /// The worker thread panicked; the message is the panic payload.
     WorkerPanicked(String),
     /// The worker crashed more times than the supervisor allows.
@@ -85,6 +90,14 @@ pub enum CheckpointError {
     },
     /// The serialized form could not be parsed at all.
     Malformed(String),
+    /// The payload's CRC32 does not match the checksum stored alongside
+    /// it — the file was truncated or corrupted after it was written.
+    CrcMismatch {
+        /// Checksum stored in the envelope.
+        stored: u32,
+        /// Checksum computed over the payload actually read.
+        computed: u32,
+    },
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -106,6 +119,12 @@ impl std::fmt::Display for CheckpointError {
                 write!(f, "knowledge entry {entry} was captured from a different model spec")
             }
             Self::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
+            Self::CrcMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checkpoint CRC mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
         }
     }
 }
@@ -117,6 +136,7 @@ impl std::fmt::Display for FreewayError {
         match self {
             Self::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             Self::WorkerUnavailable => write!(f, "pipeline worker is not running"),
+            Self::QueueFull => write!(f, "pipeline queue is full (retryable backpressure)"),
             Self::WorkerPanicked(msg) => write!(f, "pipeline worker panicked: {msg}"),
             Self::RestartsExhausted { attempts, last_panic } => {
                 write!(f, "worker restart budget exhausted after {attempts} attempts: {last_panic}")

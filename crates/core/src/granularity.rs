@@ -366,6 +366,26 @@ impl MultiGranularity {
         self.last_trained_projection = Some(projected.to_vec());
     }
 
+    /// Degraded-mode training (overload ladder level `short-only`): only
+    /// the short model updates; long windows neither accumulate nor
+    /// retrain, and the per-level EWMA probes are skipped. This is the
+    /// cheapest update that still tracks the stream — the paper's
+    /// short-granularity model is precisely the "reacts to the newest
+    /// data" end of the spectrum, so under overload it is the one worth
+    /// paying for. Async results that were already in flight are still
+    /// harvested (they were paid for before the overload).
+    pub fn train_short_only(&mut self, x: &Matrix, labels: &[usize], projected: &[f64]) {
+        self.harvest_async_updates();
+        for level in &mut self.levels {
+            if level.window.is_none() {
+                level.trainer.train_batch(x, labels);
+                level.updates += 1;
+                level.trained_projection = Some(projected.to_vec());
+            }
+        }
+        self.last_trained_projection = Some(projected.to_vec());
+    }
+
     /// Ensemble class probabilities for a batch whose projection is
     /// `current_projection` (Equations 12–14).
     ///

@@ -131,6 +131,17 @@ impl BatchGuard {
     /// `Err` names the first fault found. Checks are ordered cheapest
     /// first; the non-finite scan is the only O(rows × cols) pass.
     pub fn admit(&mut self, batch: &Batch) -> Result<(), BatchFault> {
+        self.inspect(batch)?;
+        self.accept(batch.seq);
+        Ok(())
+    }
+
+    /// Validation only — the seq watermark does **not** advance. The
+    /// admission controller needs this split: an inspected batch may
+    /// still bounce off a full queue and be re-offered later, which
+    /// `admit`'s eager watermark would misreport as a duplicate. Call
+    /// [`Self::accept`] once the batch is actually enqueued.
+    pub fn inspect(&self, batch: &Batch) -> Result<(), BatchFault> {
         if batch.is_empty() {
             return Err(BatchFault::Empty);
         }
@@ -171,8 +182,13 @@ impl BatchGuard {
                 }
             }
         }
-        self.newest_seq = Some(batch.seq);
         Ok(())
+    }
+
+    /// Advances the seq watermark after a successfully enqueued batch.
+    /// Pair with [`Self::inspect`]; [`Self::admit`] does both.
+    pub fn accept(&mut self, seq: u64) {
+        self.newest_seq = Some(seq);
     }
 
     /// Highest sequence number accepted so far.
@@ -307,6 +323,18 @@ mod tests {
         assert_eq!(g.admit(&clean(1)), Err(BatchFault::RegressedSeq { seq: 1, newest: 3 }));
         // A rejection must not advance the watermark.
         assert_eq!(g.admit(&clean(4)), Ok(()));
+    }
+
+    #[test]
+    fn inspect_does_not_advance_the_watermark() {
+        let mut g = guard();
+        assert_eq!(g.inspect(&clean(3)), Ok(()));
+        assert_eq!(g.newest_seq(), None, "inspection alone must not commit");
+        // The same batch can be inspected again (a queue-full re-offer).
+        assert_eq!(g.inspect(&clean(3)), Ok(()));
+        g.accept(3);
+        assert_eq!(g.newest_seq(), Some(3));
+        assert_eq!(g.inspect(&clean(3)), Err(BatchFault::DuplicateSeq { seq: 3 }));
     }
 
     #[test]

@@ -8,6 +8,7 @@
 //! multi-granularity models regardless (§V-A).
 
 use crate::config::FreewayConfig;
+use crate::degrade::{DegradationHandle, DegradationLevel};
 use crate::error::FreewayError;
 use crate::granularity::MultiGranularity;
 use crate::knowledge::KnowledgeStore;
@@ -59,6 +60,10 @@ pub struct InferenceReport {
     /// PCA projection after a numerical failure — predictions still
     /// flow, but pattern routing is less trustworthy until re-warm-up.
     pub degraded: bool,
+    /// Overload service level in force when this batch was answered
+    /// ([`DegradationLevel::Full`] unless an admission controller has
+    /// stepped the ladder down).
+    pub degradation: DegradationLevel,
 }
 
 impl InferenceReport {
@@ -93,6 +98,11 @@ impl InferenceReport {
     /// degradation without reaching into report internals.
     pub fn is_degraded(&self) -> bool {
         self.degraded
+    }
+
+    /// Overload service level in force when this batch was answered.
+    pub fn degradation(&self) -> DegradationLevel {
+        self.degradation
     }
 }
 
@@ -143,6 +153,12 @@ pub struct Learner {
     cec: CoherentExperience,
     stats: StrategyStats,
     telemetry: Telemetry,
+    /// Shared overload service level, written by an admission
+    /// controller's degradation ladder and read (one relaxed load) at
+    /// the top of every train call. Defaults to a private handle pinned
+    /// at [`DegradationLevel::Full`], so standalone learners behave
+    /// exactly as before.
+    degradation: DegradationHandle,
 }
 
 impl Learner {
@@ -197,6 +213,7 @@ impl Learner {
             cec,
             stats: StrategyStats::default(),
             telemetry,
+            degradation: DegradationHandle::new(),
         })
     }
 
@@ -272,6 +289,19 @@ impl Learner {
         self.granularity.set_decay_multiplier(multiplier);
     }
 
+    /// Shares an overload degradation level with this learner: training
+    /// is gated on the handle's current [`DegradationLevel`] from the
+    /// next batch on. Wired by [`crate::PipelineBuilder`] when admission
+    /// control is configured.
+    pub fn attach_degradation(&mut self, handle: DegradationHandle) {
+        self.degradation = handle;
+    }
+
+    /// Current overload service level (from the attached handle).
+    pub fn degradation_level(&self) -> DegradationLevel {
+        self.degradation.level()
+    }
+
     /// Projects a batch mean into shift-graph coordinates (zeros during
     /// warm-up, when no PCA exists yet).
     fn project(&self, x: &Matrix) -> Vec<f64> {
@@ -314,6 +344,7 @@ impl Learner {
     }
 
     fn infer_inner(&mut self, x: &Matrix) -> InferenceReport {
+        let degradation = self.degradation.level();
         let decision = self.selector.observe(x);
         let projected = self.project(x);
         let degraded = self.selector.tracker().pca().is_some_and(|p| p.degraded());
@@ -328,6 +359,7 @@ impl Learner {
                     severity: 0.0,
                     distance: 0.0,
                     degraded,
+                    degradation,
                 }
             }
             Some(Decision { pattern, measurement }) => {
@@ -363,6 +395,7 @@ impl Learner {
                     severity: measurement.severity,
                     distance: measurement.distance,
                     degraded,
+                    degradation,
                 }
             }
         }
@@ -454,6 +487,13 @@ impl Learner {
     pub fn train(&mut self, x: &Matrix, labels: &[usize]) {
         assert_eq!(x.rows(), labels.len(), "label count mismatch");
         let _span = self.telemetry.time(Stage::Train);
+        let degradation = self.degradation.level();
+        if matches!(degradation, DegradationLevel::InferenceOnly | DegradationLevel::Shed) {
+            // Training frozen under overload: the ensemble keeps serving
+            // from its current parameters; no window, experience, or
+            // knowledge state moves, so recovery resumes cleanly.
+            return;
+        }
         // A training-only stream must still warm up PCA; observe() during
         // warm-up only accumulates rows (it reports nothing), and once the
         // selector is ready the inference stream owns all observations.
@@ -461,6 +501,18 @@ impl Learner {
             let _ = self.selector.observe(x);
         }
         let projected = self.project(x);
+        if degradation == DegradationLevel::ShortOnly {
+            // Overload ladder step 1: skip the multi-granularity retrain;
+            // only the cheap short model tracks the stream. Experience
+            // maintenance stays (CEC must keep working under pressure —
+            // severe shifts do not wait for the load to clear), but
+            // window completions cannot happen, so knowledge
+            // preservation is naturally paused.
+            self.granularity.train_short_only(x, labels, &projected);
+            self.experience.tick();
+            self.experience.push_batch(x, labels);
+            return;
+        }
         self.granularity.train(x, labels, &projected);
 
         // Maintain the coherent-experience buffer from the training stream.
@@ -665,6 +717,47 @@ mod tests {
             params_before,
             "inference-only batches must not move parameters"
         );
+    }
+
+    #[test]
+    fn degradation_gates_training_but_not_inference() {
+        use crate::degrade::{DegradationHandle, DegradationLevel};
+        let mut rng = stream_rng(16);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut learner = Learner::new(ModelSpec::lr(4, 2), config());
+        let handle = DegradationHandle::new();
+        learner.attach_degradation(handle.clone());
+        let _ = run_stream(&mut learner, &concept, &mut rng, 5, 128);
+
+        // Inference-only: parameters must not move, predictions must flow.
+        handle.set(DegradationLevel::InferenceOnly);
+        let before = learner.granularity().short_model().parameters();
+        let (x, y) = concept.sample_batch(128, &mut rng);
+        let report = learner.process(&Batch::labeled(x, y, 100, DriftPhase::Stable));
+        assert_eq!(report.predictions.len(), 128);
+        assert_eq!(report.degradation(), DegradationLevel::InferenceOnly);
+        assert_eq!(
+            learner.granularity().short_model().parameters(),
+            before,
+            "frozen training must not move parameters"
+        );
+
+        // Short-only: the short model moves again.
+        handle.set(DegradationLevel::ShortOnly);
+        let (x, y) = concept.sample_batch(128, &mut rng);
+        let report = learner.process(&Batch::labeled(x, y, 101, DriftPhase::Stable));
+        assert_eq!(report.degradation(), DegradationLevel::ShortOnly);
+        assert_ne!(
+            learner.granularity().short_model().parameters(),
+            before,
+            "short-only must keep tracking the stream"
+        );
+
+        // Recovery: full service resumes.
+        handle.set(DegradationLevel::Full);
+        let (x, y) = concept.sample_batch(128, &mut rng);
+        let report = learner.process(&Batch::labeled(x, y, 102, DriftPhase::Stable));
+        assert_eq!(report.degradation(), DegradationLevel::Full);
     }
 
     #[test]

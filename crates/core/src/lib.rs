@@ -23,6 +23,13 @@
 //! quarantine), and [`supervisor`] (the checkpointed, auto-restarting
 //! [`supervisor::SupervisedPipeline`]).
 //!
+//! The overload-resilience layer sits on top of it: [`admission`]
+//! (admission policies, counted load shedding, and the
+//! [`admission::AdmittedPipeline`] wrapper), [`degrade`] (the
+//! graceful-degradation ladder with hysteresis), and [`retry`]
+//! (bounded exponential backoff with deterministic jitter, used for
+//! checkpoint persistence).
+//!
 //! Construction goes through [`builder::PipelineBuilder`] — one fluent
 //! description of model, configuration, supervision, and telemetry sink
 //! that builds a bare `Learner`, a plain `Pipeline`, or a
@@ -33,9 +40,11 @@
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod admission;
 pub mod asw;
 pub mod builder;
 pub mod config;
+pub mod degrade;
 pub mod error;
 pub mod granularity;
 pub mod guard;
@@ -44,21 +53,28 @@ pub mod learner;
 pub mod persistence;
 pub mod pipeline;
 pub mod rate;
+pub mod retry;
 pub mod selector;
 pub mod supervisor;
 
 pub use freeway_telemetry as telemetry;
 
+pub use admission::{
+    AdmissionConfig, AdmissionOutcome, AdmissionPolicy, AdmissionStats, AdmittedPipeline,
+    AdmittedRun, ShedBatch, ShedBuffer, ShedReason,
+};
 pub use builder::PipelineBuilder;
 pub use config::{FreewayConfig, OptimizerKind};
+pub use degrade::{DegradationHandle, DegradationLadder, DegradationLevel, LadderConfig};
 pub use error::{CheckpointError, FreewayError, PipelineError};
 pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
 pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
-pub use persistence::{Checkpoint, CHECKPOINT_VERSION};
+pub use persistence::{crc32, Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
 pub use pipeline::{Pipeline, PipelineOutput};
+pub use retry::RetryPolicy;
 pub use selector::StrategySelector;
 pub use supervisor::{
-    FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
+    FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats, TryFeedOutcome,
 };
 
 /// Curated one-line import surface:
@@ -66,14 +82,20 @@ pub use supervisor::{
 /// deployment touches — the builder, configuration, the learner types,
 /// both pipelines, the error taxonomy, and the telemetry handles.
 pub mod prelude {
+    pub use crate::admission::{
+        AdmissionConfig, AdmissionOutcome, AdmissionPolicy, AdmissionStats, AdmittedPipeline,
+        AdmittedRun, ShedReason,
+    };
     pub use crate::builder::PipelineBuilder;
     pub use crate::config::{FreewayConfig, OptimizerKind};
+    pub use crate::degrade::{DegradationLevel, LadderConfig};
     pub use crate::error::{CheckpointError, FreewayError, PipelineError};
     pub use crate::guard::{BatchFault, Quarantine};
     pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
     pub use crate::pipeline::{Pipeline, PipelineOutput};
     pub use crate::supervisor::{
         FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
+        TryFeedOutcome,
     };
     pub use freeway_telemetry::{
         RecordingSink, Stage, Telemetry, TelemetryEvent, TelemetrySink, TelemetrySnapshot,

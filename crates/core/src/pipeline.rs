@@ -17,10 +17,11 @@
 
 use crate::error::{panic_message, PipelineError};
 use crate::learner::{InferenceReport, Learner};
-use crossbeam::channel::{bounded, Receiver, Sender};
+use crossbeam::channel::{bounded, Receiver, Sender, TrySendError};
 use freeway_telemetry::Stage;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 /// Output of the pipeline for one batch.
 #[derive(Clone, Debug)]
@@ -35,6 +36,13 @@ enum Command {
     Batch(freeway_streams::Batch),
     /// Prequential batch: infer first, then train on the same data.
     Prequential(freeway_streams::Batch),
+}
+
+/// Recovers the batch from a command a failed send handed back.
+fn command_batch(cmd: Command) -> freeway_streams::Batch {
+    match cmd {
+        Command::Batch(batch) | Command::Prequential(batch) => batch,
+    }
 }
 
 /// A running pipeline around a [`Learner`].
@@ -155,6 +163,88 @@ impl Pipeline {
     /// [`PipelineError::WorkerUnavailable`] when the worker has exited.
     pub fn feed_prequential(&self, batch: freeway_streams::Batch) -> Result<(), PipelineError> {
         self.send(Command::Prequential(batch))
+    }
+
+    /// Non-blocking [`Self::feed`]: never waits on a full queue. On
+    /// failure the batch is handed back so the caller can retry, backlog,
+    /// or shed it.
+    ///
+    /// # Errors
+    /// [`PipelineError::QueueFull`] when the input queue is at capacity —
+    /// transient backpressure, retry later;
+    /// [`PipelineError::WorkerUnavailable`] when the worker has exited —
+    /// permanent, do **not** retry (call [`Self::finish`] for the panic
+    /// message).
+    pub fn try_feed(
+        &self,
+        batch: freeway_streams::Batch,
+    ) -> Result<(), (freeway_streams::Batch, PipelineError)> {
+        self.try_send(Command::Batch(batch))
+    }
+
+    /// Non-blocking [`Self::feed_prequential`]; failure semantics as
+    /// [`Self::try_feed`].
+    ///
+    /// # Errors
+    /// As [`Self::try_feed`].
+    pub fn try_feed_prequential(
+        &self,
+        batch: freeway_streams::Batch,
+    ) -> Result<(), (freeway_streams::Batch, PipelineError)> {
+        self.try_send(Command::Prequential(batch))
+    }
+
+    /// Bounded-latency feed: retries [`Self::try_feed`] until `budget`
+    /// elapses, then hands the batch back with
+    /// [`PipelineError::QueueFull`]. The vendored channel has no native
+    /// timed send, so this polls with a short sleep — adequate for the
+    /// millisecond-scale deadlines admission control uses.
+    ///
+    /// # Errors
+    /// [`PipelineError::QueueFull`] when the deadline expired with the
+    /// queue still full; [`PipelineError::WorkerUnavailable`] when the
+    /// worker has exited (returned immediately, the budget is not spent).
+    pub fn feed_timeout(
+        &self,
+        batch: freeway_streams::Batch,
+        budget: Duration,
+    ) -> Result<(), (freeway_streams::Batch, PipelineError)> {
+        let deadline = Instant::now() + budget;
+        let mut cmd = Command::Batch(batch);
+        loop {
+            match self.try_send_cmd(cmd) {
+                Ok(()) => return Ok(()),
+                Err((returned, PipelineError::QueueFull)) => {
+                    if Instant::now() >= deadline {
+                        return Err((command_batch(returned), PipelineError::QueueFull));
+                    }
+                    cmd = returned;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err((returned, err)) => return Err((command_batch(returned), err)),
+            }
+        }
+    }
+
+    fn try_send(&self, cmd: Command) -> Result<(), (freeway_streams::Batch, PipelineError)> {
+        self.try_send_cmd(cmd).map_err(|(cmd, err)| (command_batch(cmd), err))
+    }
+
+    // The large Err is deliberate: a rejected command hands its batch
+    // back by value so the caller can retry, backlog, or shed without
+    // re-allocating — boxing it would defeat the zero-alloc feed path.
+    #[allow(clippy::result_large_err)]
+    fn try_send_cmd(&self, cmd: Command) -> Result<(), (Command, PipelineError)> {
+        let Some(input) = self.input.as_ref() else {
+            return Err((cmd, PipelineError::WorkerUnavailable));
+        };
+        match input.try_send(cmd) {
+            Ok(()) => Ok(()),
+            Err(TrySendError::Full(returned)) => Err((returned, PipelineError::QueueFull)),
+            Err(TrySendError::Disconnected(returned)) => {
+                Err((returned, PipelineError::WorkerUnavailable))
+            }
+        }
     }
 
     /// Receives the next output, blocking.
@@ -334,6 +424,94 @@ mod tests {
         let (x, y) = concept.sample_batch(32, &mut rng);
         let res = pipeline.feed(Batch::labeled(x, y, 1, DriftPhase::Stable));
         assert!(matches!(res, Err(PipelineError::WorkerUnavailable)));
+    }
+
+    #[test]
+    fn try_feed_full_queue_is_retryable_backpressure() {
+        let mut rng = stream_rng(5);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::with_learner(learner(), 1).expect("spawn");
+        // Saturate the tiny queue: the worker may hold one batch while the
+        // channel holds another, so push until the channel itself rejects.
+        let mut fed = 0;
+        let full_err = loop {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            match pipeline.try_feed(Batch::labeled(x, y, fed, DriftPhase::Stable)) {
+                Ok(()) => fed += 1,
+                Err(e) => break e,
+            }
+            assert!(fed < 64, "a 1-deep queue must fill long before 64 batches");
+        };
+        // Full is a distinct, retryable error carrying the batch back.
+        let (returned, err) = full_err;
+        assert!(matches!(err, PipelineError::QueueFull), "got {err:?}");
+        assert_eq!(returned.seq, fed, "the rejected batch comes back intact");
+        // Draining the consumer side makes the retry succeed — exactly
+        // the contract that distinguishes Full from a dead worker.
+        let _ = pipeline.recv().expect("worker alive");
+        let mut batch = returned;
+        loop {
+            match pipeline.try_feed(batch) {
+                Ok(()) => break,
+                Err((b, PipelineError::QueueFull)) => {
+                    batch = b;
+                    let _ = pipeline.recv().expect("worker alive");
+                }
+                Err((_, e)) => panic!("retry after drain must not fail: {e:?}"),
+            }
+        }
+        let _ = pipeline.finish().expect("clean shutdown");
+    }
+
+    #[test]
+    fn try_feed_dead_worker_is_not_retryable() {
+        let mut rng = stream_rng(6);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::with_learner(learner(), 4).expect("spawn");
+        let poison = Batch {
+            x: freeway_linalg::Matrix::zeros(4, 4),
+            labels: Some(vec![0]),
+            seq: 0,
+            phase: DriftPhase::Stable,
+        };
+        pipeline.feed(poison).expect("queue accepts before the crash");
+        while pipeline.recv().is_ok() {}
+        let (x, y) = concept.sample_batch(32, &mut rng);
+        let (_, err) = pipeline
+            .try_feed(Batch::labeled(x, y, 1, DriftPhase::Stable))
+            .expect_err("dead worker rejects");
+        assert!(
+            matches!(err, PipelineError::WorkerUnavailable),
+            "a dead worker must not masquerade as backpressure: {err:?}"
+        );
+    }
+
+    #[test]
+    fn feed_timeout_expires_against_a_full_queue_and_returns_the_batch() {
+        let mut rng = stream_rng(7);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let pipeline = Pipeline::with_learner(learner(), 1).expect("spawn");
+        // With nobody receiving, capacity is exactly 3 batches: one in the
+        // worker's hands (blocked sending its output once the output slot
+        // is taken), one output slot, one input slot. Fill it, then give
+        // the worker time to reach its permanently blocked state.
+        let mut seq = 0;
+        for _ in 0..3 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            pipeline.feed(Batch::labeled(x, y, seq, DriftPhase::Stable)).expect("fits");
+            seq += 1;
+        }
+        std::thread::sleep(Duration::from_millis(100));
+        // Queue full and nobody draining: the deadline must expire.
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        let start = std::time::Instant::now();
+        let (returned, err) = pipeline
+            .feed_timeout(Batch::labeled(x, y, seq, DriftPhase::Stable), Duration::from_millis(5))
+            .expect_err("no drain, must time out");
+        assert!(matches!(err, PipelineError::QueueFull), "got {err:?}");
+        assert_eq!(returned.seq, seq);
+        assert!(start.elapsed() >= Duration::from_millis(5), "budget was honoured");
+        let _ = pipeline.finish().expect("clean shutdown");
     }
 
     #[test]

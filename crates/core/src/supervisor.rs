@@ -20,17 +20,21 @@
 //! `try_recv`, and `finish` take `&mut self` so restart bookkeeping
 //! needs no locking.
 
+use crate::degrade::{DegradationHandle, DegradationLevel};
 use crate::error::{panic_message, FreewayError};
 use crate::guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
 use crate::learner::Learner;
-use crate::persistence::Checkpoint;
+use crate::persistence::{Checkpoint, CheckpointStore};
 use crate::pipeline::PipelineOutput;
+use crate::retry::RetryPolicy;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use freeway_streams::Batch;
 use freeway_telemetry::{Telemetry, TelemetryEvent};
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 
 /// Supervision policy knobs.
@@ -53,6 +57,15 @@ pub struct SupervisorConfig {
     /// Reject duplicate / regressing sequence numbers at the guard.
     /// Disable for sources that legitimately re-emit (cycling files).
     pub check_seq: bool,
+    /// How many on-disk checkpoint generations to retain when
+    /// `checkpoint_path` is set (`checkpoint.0.json` newest). Restore
+    /// falls back to the newest generation passing CRC and validation.
+    pub checkpoint_generations: usize,
+    /// Retry schedule wrapped around each checkpoint persistence attempt
+    /// (exponential backoff with deterministic jitter). Transient disk
+    /// stalls retry in place; a persistently failing disk degrades the
+    /// checkpoint *cadence* instead of killing the worker.
+    pub persist_retry: RetryPolicy,
 }
 
 impl Default for SupervisorConfig {
@@ -64,6 +77,8 @@ impl Default for SupervisorConfig {
             quarantine_capacity: 64,
             max_restarts: 3,
             check_seq: true,
+            checkpoint_generations: 3,
+            persist_retry: RetryPolicy::default(),
         }
     }
 }
@@ -99,6 +114,20 @@ pub enum FeedOutcome {
     Quarantined(BatchFault),
 }
 
+/// What happened to a batch offered to the non-blocking
+/// [`SupervisedPipeline::try_feed`].
+#[derive(Debug)]
+pub enum TryFeedOutcome {
+    /// The batch passed validation and reached the worker.
+    Accepted,
+    /// The batch was rejected and sits in the quarantine.
+    Quarantined(BatchFault),
+    /// The worker queue is full; the batch comes back to the caller
+    /// untouched (the guard watermark did not advance, so it can be
+    /// re-offered later without tripping duplicate-seq detection).
+    Full(Batch),
+}
+
 /// Everything a finished supervised run hands back.
 pub struct FinishedRun {
     /// The learner, recovered from the last checkpoint if the worker was
@@ -132,7 +161,7 @@ struct Worker {
     handle: JoinHandle<Result<Learner, String>>,
 }
 
-fn spawn_worker(mut learner: Learner, queue_depth: usize) -> Worker {
+fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<AtomicU64>) -> Worker {
     let telemetry = learner.telemetry().clone();
     let (in_tx, in_rx) = bounded::<SupCommand>(queue_depth);
     // One extra slot per possible in-flight checkpoint reply so a
@@ -149,6 +178,23 @@ fn spawn_worker(mut learner: Learner, queue_depth: usize) -> Worker {
                         Err(_) => break,
                     }
                 };
+                // Chaos hook: an artificially slowed worker turns any
+                // stream into an overload, exercising backpressure,
+                // shedding, and the degradation ladder for real. The
+                // delay models the train stage, so it shrinks with the
+                // service level: degraded levels skip (most of) training
+                // and genuinely run faster.
+                if matches!(cmd, SupCommand::Batch(_) | SupCommand::Prequential(_)) {
+                    let nanos = chaos_delay.load(Ordering::Relaxed);
+                    if nanos > 0 {
+                        let scaled = match learner.degradation_level() {
+                            DegradationLevel::Full => nanos,
+                            DegradationLevel::ShortOnly => nanos / 2,
+                            DegradationLevel::InferenceOnly | DegradationLevel::Shed => nanos / 8,
+                        };
+                        std::thread::sleep(std::time::Duration::from_nanos(scaled));
+                    }
+                }
                 let msg = match cmd {
                     SupCommand::Batch(batch) => {
                         telemetry.batch_started(batch.seq);
@@ -196,6 +242,22 @@ pub struct SupervisedPipeline {
     /// Accepted batches whose outputs have not been observed yet.
     in_flight: usize,
     accepted_since_checkpoint: usize,
+    /// A checkpoint request that could not be enqueued without blocking
+    /// (non-blocking feed path); sent opportunistically later.
+    checkpoint_due: bool,
+    /// Cadence multiplier, doubled on persistence failure and reset on
+    /// success: a sick disk is asked for checkpoints less often instead
+    /// of stalling or killing a healthy worker.
+    cadence_backoff: usize,
+    /// Chaos hook shared with the worker thread: nanoseconds of
+    /// artificial delay before each train/infer command (0 = off).
+    chaos_train_delay: Arc<AtomicU64>,
+    /// Chaos hook: artificial delay injected before each checkpoint
+    /// persistence attempt, simulating a slow disk.
+    chaos_persist_delay: Arc<AtomicU64>,
+    /// When set, a restored learner is re-attached to this shared
+    /// degradation level so overload service levels survive restarts.
+    degradation: Option<DegradationHandle>,
     /// Shared with the learner: quarantine/checkpoint/restart events are
     /// emitted here so fault handling is observable from the outside.
     telemetry: Telemetry,
@@ -227,9 +289,15 @@ impl SupervisedPipeline {
         };
         let guard = BatchGuard::new(policy);
         let quarantine = Quarantine::new(config.quarantine_capacity);
+        if config.checkpoint_generations == 0 {
+            return Err(FreewayError::InvalidConfig(
+                "checkpoint generations must be positive".to_owned(),
+            ));
+        }
         let last_checkpoint = Checkpoint::capture(&learner);
         let telemetry = learner.telemetry().clone();
-        let worker = Some(spawn_worker(learner, config.queue_depth));
+        let chaos_train_delay = Arc::new(AtomicU64::new(0));
+        let worker = Some(spawn_worker(learner, config.queue_depth, chaos_train_delay.clone()));
         Ok(Self {
             config,
             worker,
@@ -240,6 +308,11 @@ impl SupervisedPipeline {
             stats: SupervisorStats::default(),
             in_flight: 0,
             accepted_since_checkpoint: 0,
+            checkpoint_due: false,
+            cadence_backoff: 1,
+            chaos_train_delay,
+            chaos_persist_delay: Arc::new(AtomicU64::new(0)),
+            degradation: None,
             telemetry,
         })
     }
@@ -287,17 +360,173 @@ impl SupervisedPipeline {
             self.quarantine.push(batch, fault.clone());
             return Ok(FeedOutcome::Quarantined(fault));
         }
+        // Absorb finished work first so checkpoint results (and their
+        // disk verdicts) are applied promptly, not only at finish.
+        self.absorb_available()?;
         let cmd =
             if prequential { SupCommand::Prequential(batch) } else { SupCommand::Batch(batch) };
         self.send_with_recovery(cmd)?;
-        self.in_flight += 1;
-        self.stats.accepted += 1;
-        self.accepted_since_checkpoint += 1;
-        if self.accepted_since_checkpoint >= self.config.checkpoint_every_n_batches {
-            self.accepted_since_checkpoint = 0;
+        self.note_accepted();
+        if self.checkpoint_due {
+            self.checkpoint_due = false;
             self.send_with_recovery(SupCommand::Checkpoint)?;
         }
         Ok(FeedOutcome::Accepted)
+    }
+
+    /// Shared bookkeeping after a batch actually reached the worker.
+    /// The checkpoint cadence is the configured one times the current
+    /// disk-backoff multiplier; the request itself is only *flagged*
+    /// here so the non-blocking path can defer it.
+    fn note_accepted(&mut self) {
+        self.in_flight += 1;
+        self.stats.accepted += 1;
+        self.accepted_since_checkpoint += 1;
+        let cadence = self.config.checkpoint_every_n_batches.saturating_mul(self.cadence_backoff);
+        if self.accepted_since_checkpoint >= cadence {
+            self.accepted_since_checkpoint = 0;
+            self.checkpoint_due = true;
+        }
+    }
+
+    /// Non-blocking feed, routed by labeledness: the admission
+    /// controller's primitive. Never waits on the worker — a full queue
+    /// hands the batch straight back as [`TryFeedOutcome::Full`] so the
+    /// caller can shed, backlog, or retry under its own policy. A dead
+    /// worker is restarted (the restarted queue is empty, so the retry
+    /// then succeeds or the restart budget errors out).
+    ///
+    /// # Errors
+    /// As [`Self::feed`].
+    pub fn try_feed(&mut self, batch: Batch) -> Result<TryFeedOutcome, FreewayError> {
+        self.try_submit(batch, false)
+    }
+
+    /// Non-blocking prequential feed; see [`Self::try_feed`].
+    ///
+    /// # Errors
+    /// As [`Self::feed`].
+    pub fn try_feed_prequential(&mut self, batch: Batch) -> Result<TryFeedOutcome, FreewayError> {
+        self.try_submit(batch, true)
+    }
+
+    fn try_submit(
+        &mut self,
+        batch: Batch,
+        prequential: bool,
+    ) -> Result<TryFeedOutcome, FreewayError> {
+        // Inspect without advancing the watermark: a Full outcome must
+        // leave the guard willing to see this seq again.
+        if let Err(fault) = self.guard.inspect(&batch) {
+            self.stats.quarantined += 1;
+            self.telemetry
+                .emit(TelemetryEvent::BatchQuarantined { seq: batch.seq, fault: fault.tag() });
+            self.quarantine.push(batch, fault.clone());
+            return Ok(TryFeedOutcome::Quarantined(fault));
+        }
+        // Absorb whatever the worker already produced — freeing output
+        // slots is what lets a busy worker drain its input queue.
+        self.absorb_available()?;
+        let seq = batch.seq;
+        let mut cmd =
+            if prequential { SupCommand::Prequential(batch) } else { SupCommand::Batch(batch) };
+        loop {
+            let Some(worker) = self.worker.as_ref() else {
+                return Err(FreewayError::WorkerUnavailable);
+            };
+            match worker.input.try_send(cmd) {
+                Ok(()) => break,
+                Err(TrySendError::Full(returned)) => {
+                    let batch = match returned {
+                        SupCommand::Batch(b) | SupCommand::Prequential(b) => b,
+                        // Only batch commands enter this loop.
+                        _ => return Err(FreewayError::WorkerUnavailable),
+                    };
+                    return Ok(TryFeedOutcome::Full(batch));
+                }
+                Err(TrySendError::Disconnected(returned)) => {
+                    cmd = returned;
+                    self.restart_worker()?;
+                }
+            }
+        }
+        self.guard.accept(seq);
+        self.note_accepted();
+        self.flush_due_checkpoint();
+        Ok(TryFeedOutcome::Accepted)
+    }
+
+    /// Opportunistically sends a deferred checkpoint request; if the
+    /// queue is still full the flag stays set for the next call.
+    fn flush_due_checkpoint(&mut self) {
+        if !self.checkpoint_due {
+            return;
+        }
+        if let Some(worker) = self.worker.as_ref() {
+            if worker.input.try_send(SupCommand::Checkpoint).is_ok() {
+                self.checkpoint_due = false;
+            }
+        }
+    }
+
+    /// Drains every worker message currently available, without
+    /// blocking. A detected disconnect restarts the worker.
+    fn absorb_available(&mut self) -> Result<(), FreewayError> {
+        loop {
+            let Some(worker) = self.worker.as_ref() else { return Ok(()) };
+            match worker.output.try_recv() {
+                Ok(msg) => self.handle_msg(msg),
+                Err(TryRecvError::Empty) => return Ok(()),
+                Err(TryRecvError::Disconnected) => {
+                    self.restart_worker()?;
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// Batches accepted but not yet answered by the worker.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight
+    }
+
+    /// The configured channel bound (capacity of the worker queue).
+    pub fn queue_depth(&self) -> usize {
+        self.config.queue_depth
+    }
+
+    /// Chaos hook: every subsequent train/infer command sleeps this long
+    /// inside the worker before running, simulating an overloaded or
+    /// degraded compute stage. Survives worker restarts. Zero disables.
+    pub fn set_chaos_train_delay(&self, delay: std::time::Duration) {
+        self.chaos_train_delay
+            .store(delay.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// Chaos hook: every subsequent checkpoint persistence sleeps this
+    /// long first, simulating a slow disk. Zero disables.
+    pub fn set_chaos_persist_delay(&self, delay: std::time::Duration) {
+        self.chaos_persist_delay
+            .store(delay.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// Shares the overload degradation level with this supervisor so a
+    /// learner restored after a crash re-attaches to it (the live
+    /// learner must have been attached before the pipeline was built —
+    /// [`crate::PipelineBuilder`] wires both ends).
+    pub fn set_degradation_handle(&mut self, handle: DegradationHandle) {
+        self.degradation = Some(handle);
+    }
+
+    /// Current checkpoint-cadence multiplier (1 = healthy disk; doubles
+    /// per persistence failure, resets on success).
+    pub fn cadence_backoff(&self) -> usize {
+        self.cadence_backoff
+    }
+
+    /// The telemetry handle shared with the worker thread.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
     }
 
     /// Chaos hook: makes the worker panic on its next command, exercising
@@ -360,15 +589,23 @@ impl SupervisedPipeline {
         self.stats.checkpoints_taken += 1;
         let mut persisted = false;
         if let Some(path) = self.config.checkpoint_path.as_ref() {
-            match checkpoint.save_atomic(path) {
+            let delay = self.chaos_persist_delay.load(Ordering::Relaxed);
+            if delay > 0 {
+                std::thread::sleep(std::time::Duration::from_nanos(delay));
+            }
+            let store = CheckpointStore::new(path.clone(), self.config.checkpoint_generations);
+            match self.config.persist_retry.run(|| store.save(&checkpoint)) {
                 Ok(()) => {
                     self.stats.checkpoints_persisted += 1;
+                    self.cadence_backoff = 1;
                     persisted = true;
                 }
                 Err(e) => {
                     // Persistence failing must not take down a healthy
-                    // pipeline: the in-memory checkpoint still advances.
+                    // pipeline: the in-memory checkpoint still advances,
+                    // and the sick disk gets asked less often.
                     self.stats.checkpoint_persist_failures += 1;
+                    self.cadence_backoff = (self.cadence_backoff * 2).min(64);
                     eprintln!("freeway-core: checkpoint persistence failed (state kept): {e}");
                 }
             }
@@ -379,10 +616,14 @@ impl SupervisedPipeline {
     }
 
     /// Restores the last checkpoint and re-wires the restored learner to
-    /// this supervisor's telemetry stream, announcing the restore.
+    /// this supervisor's telemetry stream and shared degradation level,
+    /// announcing the restore.
     fn restore_checkpoint(&self) -> Result<Learner, FreewayError> {
         let mut learner = self.last_checkpoint.restore()?;
         learner.attach_telemetry(self.telemetry.clone());
+        if let Some(handle) = self.degradation.as_ref() {
+            learner.attach_degradation(handle.clone());
+        }
         self.telemetry.emit(TelemetryEvent::CheckpointRestored { seq: self.telemetry.seq() });
         Ok(learner)
     }
@@ -426,7 +667,8 @@ impl SupervisedPipeline {
             restarts: self.stats.restarts as u64,
             lost_in_flight: lost,
         });
-        self.worker = Some(spawn_worker(learner, self.config.queue_depth));
+        self.worker =
+            Some(spawn_worker(learner, self.config.queue_depth, self.chaos_train_delay.clone()));
         Ok(())
     }
 
@@ -721,9 +963,110 @@ mod tests {
         let run = sup.finish().expect("finish");
         assert!(run.stats.checkpoints_persisted >= 1, "{:?}", run.stats);
         assert_eq!(run.stats.checkpoint_persist_failures, 0);
-        let loaded = Checkpoint::load(&path).expect("persisted checkpoint loads and validates");
+        let store = CheckpointStore::new(path, SupervisorConfig::default().checkpoint_generations);
+        assert!(store.generation_path(0).exists(), "newest generation on disk");
+        let (loaded, generation) =
+            store.load_newest().expect("persisted checkpoint loads and validates");
+        assert_eq!(generation, 0);
         assert_eq!(loaded.spec, *run.learner.spec());
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn try_feed_full_queue_returns_the_batch_and_keeps_the_guard_open() {
+        let mut rng = stream_rng(27);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::with_learner(
+            learner(),
+            SupervisorConfig { queue_depth: 1, ..config() },
+        )
+        .expect("spawn");
+        // Slow the worker so the 1-deep queue reliably fills.
+        sup.set_chaos_train_delay(std::time::Duration::from_millis(30));
+        let mut full_batch = None;
+        let mut accepted = 0u64;
+        for i in 0..50 {
+            let (x, y) = concept.sample_batch(32, &mut rng);
+            match sup.try_feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)) {
+                Ok(TryFeedOutcome::Accepted) => accepted += 1,
+                Ok(TryFeedOutcome::Full(batch)) => {
+                    full_batch = Some(batch);
+                    break;
+                }
+                other => panic!("unexpected outcome: {other:?}"),
+            }
+        }
+        let bounced = full_batch.expect("a 1-deep queue with a 30ms worker must fill");
+        // The bounced batch can be re-offered without a duplicate-seq
+        // quarantine once the queue drains.
+        sup.set_chaos_train_delay(std::time::Duration::ZERO);
+        loop {
+            match sup.try_feed_prequential(bounced.clone()).expect("healthy") {
+                TryFeedOutcome::Accepted => break,
+                TryFeedOutcome::Full(_) => std::thread::sleep(std::time::Duration::from_millis(1)),
+                TryFeedOutcome::Quarantined(fault) => {
+                    panic!("re-offer after Full must not quarantine: {fault:?}")
+                }
+            }
+        }
+        let run = sup.finish().expect("finish");
+        assert_eq!(run.stats.accepted, accepted + 1);
+        assert_eq!(run.stats.quarantined, 0);
+    }
+
+    #[test]
+    fn try_feed_still_quarantines_poison() {
+        let mut sup = SupervisedPipeline::with_learner(learner(), config()).expect("spawn");
+        let wide = Batch::unlabeled(Matrix::zeros(8, 7), 0, DriftPhase::Stable);
+        assert!(matches!(
+            sup.try_feed(wide).expect("quarantine is not an error"),
+            TryFeedOutcome::Quarantined(BatchFault::WidthMismatch { found: 7, expected: 4 })
+        ));
+        let run = sup.finish().expect("finish");
+        assert_eq!(run.stats.quarantined, 1);
+    }
+
+    #[test]
+    fn failing_disk_degrades_cadence_instead_of_killing_the_run() {
+        let dir = std::env::temp_dir().join("freeway-supervisor-sickdisk");
+        let _ = std::fs::remove_dir_all(&dir);
+        // The directory deliberately does not exist: every persistence
+        // attempt fails, exercising retry exhaustion + cadence backoff.
+        let path = dir.join("nope").join("ckpt.json");
+        let mut rng = stream_rng(28);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::with_learner(
+            learner(),
+            SupervisorConfig {
+                checkpoint_every_n_batches: 2,
+                checkpoint_path: Some(path),
+                persist_retry: RetryPolicy {
+                    max_attempts: 2,
+                    base_delay: std::time::Duration::from_micros(50),
+                    max_delay: std::time::Duration::from_micros(100),
+                    seed: 7,
+                },
+                ..Default::default()
+            },
+        )
+        .expect("spawn");
+        let mut received = 0u64;
+        for i in 0..12 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable))
+                .expect("persist failures must not fail the feed");
+        }
+        // Drain every in-flight result so the checkpoint verdicts queued
+        // behind them are applied before we look at the backoff.
+        while sup.recv().is_ok() {
+            received += 1;
+        }
+        assert!(sup.cadence_backoff() > 1, "cadence degraded after persist failures");
+        let run = sup.finish().expect("finish");
+        assert!(run.stats.checkpoint_persist_failures >= 1, "{:?}", run.stats);
+        assert_eq!(run.stats.checkpoints_persisted, 0);
+        assert_eq!(run.stats.worker_panics, 0, "the worker never noticed the sick disk");
+        assert_eq!(received + run.outputs.len() as u64 + run.stats.lost_in_flight, 12);
     }
 
     #[test]

@@ -96,6 +96,25 @@ pub enum TelemetryEvent {
         /// Window disorder recorded with the snapshot.
         disorder: f64,
     },
+    /// The degradation ladder moved the learner to a different service
+    /// level (overload protection: full → short-only → inference-only
+    /// → shed, and back on recovery).
+    DegradationChanged {
+        /// Batch sequence number current at the transition.
+        seq: u64,
+        /// Level tag before the transition (e.g. `"full"`).
+        from: &'static str,
+        /// Level tag after the transition (e.g. `"short-only"`).
+        to: &'static str,
+    },
+    /// The admission controller dropped a batch instead of feeding it.
+    BatchShed {
+        /// Sequence number of the dropped batch.
+        seq: u64,
+        /// Why it was dropped (e.g. `"queue-full"`,
+        /// `"deadline-exceeded"`, `"degraded"`).
+        reason: &'static str,
+    },
 }
 
 impl TelemetryEvent {
@@ -111,6 +130,8 @@ impl TelemetryEvent {
             TelemetryEvent::WorkerRestarted { .. } => EventKind::WorkerRestarted,
             TelemetryEvent::InferenceDegraded { .. } => EventKind::InferenceDegraded,
             TelemetryEvent::KnowledgePreserved { .. } => EventKind::KnowledgePreserved,
+            TelemetryEvent::DegradationChanged { .. } => EventKind::DegradationChanged,
+            TelemetryEvent::BatchShed { .. } => EventKind::BatchShed,
         }
     }
 
@@ -124,7 +145,9 @@ impl TelemetryEvent {
             | TelemetryEvent::CheckpointRestored { seq }
             | TelemetryEvent::BatchQuarantined { seq, .. }
             | TelemetryEvent::InferenceDegraded { seq, .. }
-            | TelemetryEvent::KnowledgePreserved { seq, .. } => Some(seq),
+            | TelemetryEvent::KnowledgePreserved { seq, .. }
+            | TelemetryEvent::DegradationChanged { seq, .. }
+            | TelemetryEvent::BatchShed { seq, .. } => Some(seq),
             TelemetryEvent::WorkerRestarted { .. } => None,
         }
     }
@@ -153,11 +176,15 @@ pub enum EventKind {
     InferenceDegraded,
     /// See [`TelemetryEvent::KnowledgePreserved`].
     KnowledgePreserved,
+    /// See [`TelemetryEvent::DegradationChanged`].
+    DegradationChanged,
+    /// See [`TelemetryEvent::BatchShed`].
+    BatchShed,
 }
 
 impl EventKind {
     /// Every kind, in counter-index order.
-    pub const ALL: [EventKind; 9] = [
+    pub const ALL: [EventKind; 11] = [
         EventKind::DriftDetected,
         EventKind::StrategyDispatched,
         EventKind::WindowEvicted,
@@ -167,6 +194,8 @@ impl EventKind {
         EventKind::WorkerRestarted,
         EventKind::InferenceDegraded,
         EventKind::KnowledgePreserved,
+        EventKind::DegradationChanged,
+        EventKind::BatchShed,
     ];
 
     /// Variant name as it appears in serialized events.
@@ -181,6 +210,8 @@ impl EventKind {
             EventKind::WorkerRestarted => "WorkerRestarted",
             EventKind::InferenceDegraded => "InferenceDegraded",
             EventKind::KnowledgePreserved => "KnowledgePreserved",
+            EventKind::DegradationChanged => "DegradationChanged",
+            EventKind::BatchShed => "BatchShed",
         }
     }
 
@@ -196,6 +227,8 @@ impl EventKind {
             EventKind::WorkerRestarted => "worker_restarted",
             EventKind::InferenceDegraded => "inference_degraded",
             EventKind::KnowledgePreserved => "knowledge_preserved",
+            EventKind::DegradationChanged => "degradation_changed",
+            EventKind::BatchShed => "batch_shed",
         }
     }
 
@@ -210,6 +243,8 @@ impl EventKind {
             EventKind::WorkerRestarted => 6,
             EventKind::InferenceDegraded => 7,
             EventKind::KnowledgePreserved => 8,
+            EventKind::DegradationChanged => 9,
+            EventKind::BatchShed => 10,
         }
     }
 }

@@ -151,6 +151,14 @@ impl Histogram {
         self.core.as_ref().map_or(0, |c| c.count.load(Ordering::Relaxed))
     }
 
+    /// Sum of all recorded observations (0.0 on a detached handle).
+    /// Together with [`Self::count`] this gives a running mean without a
+    /// full snapshot — the degradation ladder reads per-stage cost this
+    /// way on every observation.
+    pub fn sum(&self) -> f64 {
+        self.core.as_ref().map_or(0.0, |c| f64::from_bits(c.sum_bits.load(Ordering::Relaxed)))
+    }
+
     fn snapshot(&self) -> Option<HistogramSnapshot> {
         let core = self.core.as_ref()?;
         Some(HistogramSnapshot {
