@@ -47,6 +47,34 @@ diff /tmp/overload_drill_ci.json results/OVERLOAD_drill.json
 rm -f /tmp/overload_drill_ci.json
 echo "overload gate: drill green, artifact byte-stable"
 
+echo "== throughput regression gate (single-core kernel floor) =="
+# bench_throughput --quick sweeps StreamingLR at batch 256 over pools
+# [1, 2] and emits one machine-readable JSON line; the gate fails when
+# the serial FreewayML point drops below the checked-in floor. The floor
+# (results/BENCH_floor.json) is set well under the measured steady state
+# so host noise passes but losing the kernel/pool optimisations does not.
+cargo build --release -q -p freeway-eval --features alloc-metrics
+./target/release/bench_throughput --quick | tail -n 1 > /tmp/bench_quick_ci.json
+python3 - <<'PY'
+import json
+floor = json.load(open("results/BENCH_floor.json"))
+bench = json.load(open("/tmp/bench_quick_ci.json"))
+match = [
+    p for p in bench["points"]
+    if p["system"] == "FreewayML"
+    and p["model"] == floor["model"]
+    and p["batch_size"] == floor["batch_size"]
+    and p["threads"] == floor["threads"]
+]
+assert match, f"quick bench emitted no point matching the floor spec {floor}"
+got = match[0]["items_per_sec"]
+need = floor["min_items_per_sec"]
+assert got >= need, f"FreewayML throughput regressed: {got:,.0f} items/s < floor {need:,.0f}"
+assert bench["kernel_microbench"], "quick bench carries no kernel microbench section"
+print(f"throughput gate: FreewayML {got:,.0f} items/s >= floor {need:,.0f}")
+PY
+rm -f /tmp/bench_quick_ci.json
+
 echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -34,7 +34,7 @@ impl StreamingLearner for AlinkStyle {
     }
 
     fn train(&mut self, x: &Matrix, labels: &[usize]) {
-        self.trainer.train_batch(x, labels);
+        self.trainer.train_step(x, labels);
     }
 }
 

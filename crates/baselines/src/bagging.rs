@@ -163,7 +163,7 @@ impl StreamingLearner for OnlineBagging {
                 }
             }
 
-            self.members[member_idx].trainer.train_weighted(x, labels, Some(&weights));
+            self.members[member_idx].trainer.train_weighted_step(x, labels, Some(&weights));
         }
     }
 }

@@ -69,14 +69,14 @@ impl StreamingLearner for CamelStyle {
         let mean = x.column_means();
         let replay = self.select_similar(&mean, self.replay_per_batch.min(x.rows() / 4));
         if replay.is_empty() {
-            self.trainer.train_batch(x, labels);
+            self.trainer.train_step(x, labels);
         } else {
             let replay_rows: Vec<Vec<f64>> = replay.iter().map(|s| s.features.clone()).collect();
             let replay_x = Matrix::from_rows(&replay_rows);
             let combined = x.vstack(&replay_x);
             let mut combined_labels = labels.to_vec();
             combined_labels.extend(replay.iter().map(|s| s.label));
-            self.trainer.train_batch(&combined, &combined_labels);
+            self.trainer.train_step(&combined, &combined_labels);
         }
         // Admit fresh samples to the buffer (every 4th keeps it diverse
         // without ballooning the cost).

@@ -44,7 +44,7 @@ impl StreamingLearner for FlinkMlStyle {
         // Watermark staging: consume the previously completed batch, stage
         // the current one until its watermark passes (the next call).
         if let Some((sx, sy)) = self.staged.take() {
-            self.trainer.train_batch(&sx, &sy);
+            self.trainer.train_step(&sx, &sy);
         }
         self.staged = Some((x.clone(), labels.to_vec()));
     }

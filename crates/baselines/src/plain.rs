@@ -40,7 +40,7 @@ impl StreamingLearner for PlainSgd {
     }
 
     fn train(&mut self, x: &Matrix, labels: &[usize]) {
-        self.trainer.train_batch(x, labels);
+        self.trainer.train_step(x, labels);
     }
 }
 

@@ -73,7 +73,7 @@ impl StreamingLearner for RiverStyle {
                 Box::new(Sgd::new(crate::plain::PlainSgd::LEARNING_RATE)),
             );
         }
-        self.trainer.train_batch(x, labels);
+        self.trainer.train_step(x, labels);
     }
 }
 

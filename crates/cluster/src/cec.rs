@@ -9,22 +9,28 @@
 
 use crate::kmeans::{nearest_centroid, KMeans};
 use freeway_linalg::Matrix;
-use std::collections::VecDeque;
-
-/// A labeled experience point with its insertion batch (for expiry).
-#[derive(Clone, Debug)]
-struct Experience {
-    features: Vec<f64>,
-    label: usize,
-    inserted_at: u64,
-}
 
 /// The `ExpBuffer` of the paper: the most recent labeled points, bounded
 /// in count and (optionally) in age.
+///
+/// Stored as a flat ring — one `capacity x dim` feature arena plus
+/// parallel label/age arrays — so pushing a batch copies rows into place
+/// and never allocates once the arena exists. The old representation
+/// (one `Vec<f64>` per point) cost one heap allocation per stream item,
+/// the single largest allocation source on the hot path.
 #[derive(Clone, Debug)]
 pub struct ExperienceBuffer {
-    entries: VecDeque<Experience>,
+    /// Row-major `capacity x dim` feature storage (lazily sized at the
+    /// first push, when the stream dimension becomes known).
+    features: Vec<f64>,
+    labels: Vec<usize>,
+    inserted_at: Vec<u64>,
+    /// Feature dimension; `0` until the first point arrives.
+    dim: usize,
     capacity: usize,
+    /// Ring index of the oldest live entry.
+    head: usize,
+    len: usize,
     /// Entries older than this many batches are expired; `None` disables.
     expiration_batches: Option<u64>,
     clock: u64,
@@ -34,19 +40,26 @@ impl ExperienceBuffer {
     /// Creates a buffer holding at most `capacity` points.
     pub fn new(capacity: usize, expiration_batches: Option<u64>) -> Self {
         assert!(capacity > 0, "capacity must be positive");
-        Self { entries: VecDeque::with_capacity(capacity), capacity, expiration_batches, clock: 0 }
+        Self {
+            features: Vec::new(),
+            labels: vec![0; capacity],
+            inserted_at: vec![0; capacity],
+            dim: 0,
+            capacity,
+            head: 0,
+            len: 0,
+            expiration_batches,
+            clock: 0,
+        }
     }
 
     /// Advances the batch clock and expires outdated experiences.
     pub fn tick(&mut self) {
         self.clock += 1;
         if let Some(max_age) = self.expiration_batches {
-            while let Some(front) = self.entries.front() {
-                if self.clock.saturating_sub(front.inserted_at) > max_age {
-                    self.entries.pop_front();
-                } else {
-                    break;
-                }
+            while self.len > 0 && self.clock.saturating_sub(self.inserted_at[self.head]) > max_age {
+                self.head = (self.head + 1) % self.capacity;
+                self.len -= 1;
             }
         }
     }
@@ -55,34 +68,74 @@ impl ExperienceBuffer {
     /// points overall, evicting the oldest.
     ///
     /// # Panics
-    /// Panics if `labels.len() != x.rows()`.
+    /// Panics if `labels.len() != x.rows()`, or if the feature dimension
+    /// changes while points are still buffered.
     pub fn push_batch(&mut self, x: &Matrix, labels: &[usize]) {
         assert_eq!(x.rows(), labels.len(), "label count mismatch");
-        for (row, &label) in x.row_iter().zip(labels) {
-            if self.entries.len() == self.capacity {
-                self.entries.pop_front();
+        if x.rows() == 0 {
+            return;
+        }
+        if self.dim != x.cols() {
+            assert_eq!(self.len, 0, "feature dimension changed mid-stream");
+            self.dim = x.cols();
+            self.head = 0;
+            self.features.clear();
+            self.features.resize(self.capacity * self.dim, 0.0);
+        }
+        let n = x.rows();
+        if n <= self.capacity {
+            // The batch lands on at most two contiguous slot runs (one
+            // wrap), so the per-row slot arithmetic collapses into block
+            // copies. End state matches the row-by-row insert exactly: the
+            // same rows land in the same slots, then the ring advances by
+            // however many evictions occurred.
+            let start = (self.head + self.len) % self.capacity;
+            let first = (self.capacity - start).min(n);
+            let d = self.dim;
+            let src = x.as_slice();
+            self.features[start * d..(start + first) * d].copy_from_slice(&src[..first * d]);
+            self.labels[start..start + first].copy_from_slice(&labels[..first]);
+            self.inserted_at[start..start + first].fill(self.clock);
+            if n > first {
+                let rest = n - first;
+                self.features[..rest * d].copy_from_slice(&src[first * d..n * d]);
+                self.labels[..rest].copy_from_slice(&labels[first..]);
+                self.inserted_at[..rest].fill(self.clock);
             }
-            self.entries.push_back(Experience {
-                features: row.to_vec(),
-                label,
-                inserted_at: self.clock,
-            });
+            let evicted = (self.len + n).saturating_sub(self.capacity);
+            self.len = (self.len + n).min(self.capacity);
+            self.head = (self.head + evicted) % self.capacity;
+            return;
+        }
+        // Oversized batch (rare): rows wrap over themselves, keep the
+        // straightforward per-row insert.
+        for (row, &label) in x.row_iter().zip(labels) {
+            let slot = (self.head + self.len) % self.capacity;
+            self.features[slot * self.dim..(slot + 1) * self.dim].copy_from_slice(row);
+            self.labels[slot] = label;
+            self.inserted_at[slot] = self.clock;
+            if self.len == self.capacity {
+                // Overwrote the oldest entry in place; the ring advances.
+                self.head = (self.head + 1) % self.capacity;
+            } else {
+                self.len += 1;
+            }
         }
     }
 
     /// Number of stored experiences.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        self.len
     }
 
     /// True when no experiences are stored.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len == 0
     }
 
     /// Borrowed feature matrix + labels of all stored experiences.
     pub fn snapshot(&self) -> (Matrix, Vec<usize>) {
-        self.snapshot_recent(self.entries.len())
+        self.snapshot_recent(self.len)
     }
 
     /// Feature matrix + labels of the `m` most recent experiences. The
@@ -90,8 +143,8 @@ impl ExperienceBuffer {
     /// the post-shift distribution, so CEC guides with a recent slice
     /// rather than the whole buffer.
     pub fn snapshot_recent(&self, m: usize) -> (Matrix, Vec<usize>) {
-        let take = m.min(self.entries.len());
-        let dim = self.entries.back().map_or(0, |e| e.features.len());
+        let take = m.min(self.len);
+        let dim = if self.len == 0 { 0 } else { self.dim };
         let mut x = Matrix::zeros(take, dim);
         let mut labels = Vec::with_capacity(take);
         for (r, (row, label)) in self.recent_rows(m).enumerate() {
@@ -105,9 +158,12 @@ impl ExperienceBuffer {
     /// label)` pairs, oldest of the slice first — lets callers assemble
     /// working matrices directly without intermediate row clones.
     pub fn recent_rows(&self, m: usize) -> impl Iterator<Item = (&[f64], usize)> {
-        let take = m.min(self.entries.len());
-        let start = self.entries.len() - take;
-        self.entries.iter().skip(start).map(|e| (e.features.as_slice(), e.label))
+        let take = m.min(self.len);
+        let start = self.len - take;
+        (start..self.len).map(move |i| {
+            let slot = (self.head + i) % self.capacity;
+            (&self.features[slot * self.dim..(slot + 1) * self.dim], self.labels[slot])
+        })
     }
 }
 
@@ -338,6 +394,38 @@ mod tests {
         let preds = cec.predict(&batch, &buffer).expect("non-empty");
         let correct = preds.iter().zip(&truth).filter(|(p, t)| p == t).count();
         assert!(correct as f64 / truth.len() as f64 > 0.9, "{correct}/{}", truth.len());
+    }
+
+    #[test]
+    fn block_copy_insert_matches_per_row_reference() {
+        // Drive the ring through growth, exact-fit, wrap, and oversized
+        // inserts; a shadow Vec-of-rows model defines the expected state.
+        let cap = 7;
+        let mut buffer = ExperienceBuffer::new(cap, None);
+        let mut shadow: Vec<(Vec<f64>, usize)> = Vec::new();
+        let mut next = 0usize;
+        for batch_rows in [3usize, 4, 2, 7, 5, 1, 6, 9, 7, 2] {
+            let rows: Vec<Vec<f64>> = (0..batch_rows)
+                .map(|_| {
+                    next += 1;
+                    vec![next as f64, (next * 2) as f64]
+                })
+                .collect();
+            let labels: Vec<usize> = rows.iter().map(|r| r[0] as usize % 3).collect();
+            buffer.push_batch(&Matrix::from_rows(&rows), &labels);
+            for (r, &l) in rows.iter().zip(&labels) {
+                shadow.push((r.clone(), l));
+                if shadow.len() > cap {
+                    shadow.remove(0);
+                }
+            }
+            let (x, y) = buffer.snapshot();
+            assert_eq!(x.rows(), shadow.len());
+            for (i, (er, el)) in shadow.iter().enumerate() {
+                assert_eq!(x.row(i), &er[..], "row {i} after batch of {batch_rows}");
+                assert_eq!(y[i], *el, "label {i} after batch of {batch_rows}");
+            }
+        }
     }
 
     #[test]

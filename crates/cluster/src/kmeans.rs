@@ -52,42 +52,89 @@ impl KMeans {
         let mut assignments = vec![0usize; n];
         let mut iterations = 0;
 
+        // Lloyd scratch, reused across iterations: transposed centroids +
+        // per-point accumulators for the assignment step, sums/counts for
+        // the update step, one centroid-sized buffer for the means.
+        let mut ct = vec![0.0; self.k * d];
+        let mut acc = vec![0.0; self.k];
+        let mut dists = vec![0.0; n];
+        let mut sums = Matrix::zeros(self.k, d);
+        let mut counts = vec![0usize; self.k];
+        let mut mean = vec![0.0; d];
+        // Whether the previous update step hit the empty-cluster repair;
+        // starts true so the first iteration never takes the shortcut below.
+        let mut repaired = true;
+
         for iter in 0..self.max_iters {
             iterations = iter + 1;
             // Assignment step.
-            for (r, row) in data.row_iter().enumerate() {
-                let (best, _) = nearest_centroid(row, &centroids);
-                assignments[r] = best;
+            let changed =
+                assign_nearest(data, &centroids, &mut ct, &mut acc, &mut assignments, &mut dists);
+            if !changed && !repaired {
+                // Unchanged assignments after a repair-free update mean the
+                // update step would recompute bit-identical centroids (same
+                // sums, same counts, same arithmetic), so movement would be
+                // exactly 0.0 < tol: skip straight to the break the full
+                // pass would take. (A repair re-seeds from distances to the
+                // *current* centroids, so after one the recompute is not
+                // guaranteed identical and the shortcut stays off.)
+                break;
             }
-            // Update step.
-            let mut sums = Matrix::zeros(self.k, d);
-            let mut counts = vec![0usize; self.k];
-            for (row, &a) in data.row_iter().zip(&assignments) {
-                vector::axpy(sums.row_mut(a), 1.0, row);
-                counts[a] += 1;
+            // Update step. Accumulating `+= v` matches the previous
+            // `axpy(.., 1.0, row)` formulation bit-for-bit (multiplying by
+            // 1.0 is exact); the flat walk just drops the per-row call and
+            // bounds-check overhead.
+            sums.as_mut_slice().fill(0.0);
+            counts.fill(0);
+            if d > 0 {
+                let ss = sums.as_mut_slice();
+                for (row, &a) in data.as_slice().chunks_exact(d).zip(&assignments) {
+                    for (s, &v) in ss[a * d..(a + 1) * d].iter_mut().zip(row) {
+                        *s += v;
+                    }
+                    counts[a] += 1;
+                }
+            } else {
+                for &a in &assignments {
+                    counts[a] += 1;
+                }
             }
             // Empty-cluster repair: re-seed on the point farthest from its
             // centroid, the standard fix that keeps exactly k clusters.
+            // That point does not depend on which empty cluster is being
+            // repaired (assignments and centroids are fixed for the whole
+            // repair loop), and its distance-to-assigned-centroid is
+            // exactly the winning distance the assignment step recorded —
+            // so one flop-free scan replaces a full re-computation per
+            // empty cluster. Last-max tie-breaking matches the `max_by`
+            // the re-computation used.
+            repaired = false;
+            let mut far_idx = usize::MAX;
             for (c, count) in counts.iter_mut().enumerate() {
                 if *count == 0 {
-                    let (far_idx, _) = data
-                        .row_iter()
-                        .enumerate()
-                        .map(|(i, row)| {
-                            (i, vector::euclidean_distance(row, centroids.row(assignments[i])))
-                        })
-                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
-                        .expect("data non-empty");
+                    if far_idx == usize::MAX {
+                        let mut best = f64::NEG_INFINITY;
+                        far_idx = 0;
+                        for (i, &dv) in dists.iter().enumerate() {
+                            if dv >= best {
+                                best = dv;
+                                far_idx = i;
+                            }
+                        }
+                    }
                     sums.row_mut(c).copy_from_slice(data.row(far_idx));
                     *count = 1;
+                    repaired = true;
                 }
             }
             let mut movement = 0.0;
             for (c, &count) in counts.iter().enumerate() {
                 let inv = 1.0 / count as f64;
-                let new_centroid: Vec<f64> = sums.row(c).iter().map(|x| x * inv).collect();
-                movement += vector::euclidean_distance(&new_centroid, centroids.row(c));
-                centroids.row_mut(c).copy_from_slice(&new_centroid);
+                for (m, &s) in mean.iter_mut().zip(sums.row(c)) {
+                    *m = s * inv;
+                }
+                movement += vector::euclidean_distance(&mean, centroids.row(c));
+                centroids.row_mut(c).copy_from_slice(&mean);
             }
             if movement < self.tol {
                 break;
@@ -95,10 +142,9 @@ impl KMeans {
         }
 
         // Final assignment against the converged centroids.
+        assign_nearest(data, &centroids, &mut ct, &mut acc, &mut assignments, &mut dists);
         let mut inertia = 0.0;
-        for (r, row) in data.row_iter().enumerate() {
-            let (best, dist) = nearest_centroid(row, &centroids);
-            assignments[r] = best;
+        for &dist in &dists {
             inertia += dist * dist;
         }
 
@@ -148,6 +194,132 @@ impl KMeans {
         }
         centroids
     }
+}
+
+/// Assigns every data row to its nearest centroid, recording the winning
+/// distance per row and returning whether any assignment changed.
+/// Bit-identical to calling [`nearest_centroid`] per row: each (point,
+/// centroid) pair accumulates its squared differences in the same
+/// ascending-dimension order and takes the same `sqrt`, and the winner
+/// scan is the same ascending-centroid strict `<` comparison. The only
+/// difference is that the `k` independent accumulation chains run
+/// interleaved — via a transposed centroid copy so the inner loop is
+/// contiguous — which fills the FP pipeline without touching any pair's
+/// arithmetic.
+fn assign_nearest(
+    data: &Matrix,
+    centroids: &Matrix,
+    ct: &mut [f64],
+    acc: &mut [f64],
+    assignments: &mut [usize],
+    dists: &mut [f64],
+) -> bool {
+    let k = centroids.rows();
+    let d = centroids.cols();
+    debug_assert_eq!(ct.len(), k * d);
+    debug_assert_eq!(acc.len(), k);
+    debug_assert_eq!(dists.len(), assignments.len());
+    if d == 0 {
+        // Zero-dimensional rows are all at distance 0: the first centroid
+        // wins every strict-`<` scan, exactly as in `nearest_centroid`.
+        let mut changed = false;
+        for slot in assignments.iter_mut() {
+            changed |= *slot != 0;
+            *slot = 0;
+        }
+        dists.fill(0.0);
+        return changed;
+    }
+    let cs = centroids.as_slice();
+    for c in 0..k {
+        for j in 0..d {
+            ct[j * k + c] = cs[c * d + j];
+        }
+    }
+    // Const-K specialisation: with the lane count known at compile time
+    // the accumulators live in registers and the lane loop unrolls, which
+    // is where the assignment step's throughput comes from. The generic
+    // path is the same algorithm with a runtime lane count.
+    match k {
+        1 => assign_rows::<1>(data, d, ct, assignments, dists),
+        2 => assign_rows::<2>(data, d, ct, assignments, dists),
+        3 => assign_rows::<3>(data, d, ct, assignments, dists),
+        4 => assign_rows::<4>(data, d, ct, assignments, dists),
+        5 => assign_rows::<5>(data, d, ct, assignments, dists),
+        6 => assign_rows::<6>(data, d, ct, assignments, dists),
+        7 => assign_rows::<7>(data, d, ct, assignments, dists),
+        8 => assign_rows::<8>(data, d, ct, assignments, dists),
+        10 => assign_rows::<10>(data, d, ct, assignments, dists),
+        12 => assign_rows::<12>(data, d, ct, assignments, dists),
+        16 => assign_rows::<16>(data, d, ct, assignments, dists),
+        _ => {
+            let mut changed = false;
+            for ((row, slot), dist_out) in
+                data.as_slice().chunks_exact(d).zip(assignments.iter_mut()).zip(dists.iter_mut())
+            {
+                acc.fill(0.0);
+                for (&p, col) in row.iter().zip(ct.chunks_exact(k)) {
+                    for (a, &cv) in acc.iter_mut().zip(col) {
+                        let diff = p - cv;
+                        *a += diff * diff;
+                    }
+                }
+                let (best, best_d) = winner_scan(acc);
+                changed |= *slot != best;
+                *slot = best;
+                *dist_out = best_d;
+            }
+            changed
+        }
+    }
+}
+
+/// The const-K body of [`assign_nearest`]; `ct` is the `d x K` transposed
+/// centroid copy. Identical arithmetic, compile-time lane count.
+fn assign_rows<const K: usize>(
+    data: &Matrix,
+    d: usize,
+    ct: &[f64],
+    assignments: &mut [usize],
+    dists: &mut [f64],
+) -> bool {
+    let mut changed = false;
+    for ((row, slot), dist_out) in
+        data.as_slice().chunks_exact(d).zip(assignments.iter_mut()).zip(dists.iter_mut())
+    {
+        let mut acc = [0.0f64; K];
+        for (&p, col) in row.iter().zip(ct.chunks_exact(K)) {
+            for (a, &cv) in acc.iter_mut().zip(col) {
+                let diff = p - cv;
+                *a += diff * diff;
+            }
+        }
+        let (best, best_d) = winner_scan(&mut acc);
+        changed |= *slot != best;
+        *slot = best;
+        *dist_out = best_d;
+    }
+    changed
+}
+
+/// Branchless nearest-centroid selection over squared distances: the same
+/// per-lane `sqrt` and ascending-centroid strict-`<` scan as
+/// [`nearest_centroid`], with conditional moves — the winner flips
+/// unpredictably while centroids move, and a mispredicted branch per
+/// (point, centroid) pair costs more than the distance accumulation.
+#[inline]
+fn winner_scan(acc: &mut [f64]) -> (usize, f64) {
+    for a in acc.iter_mut() {
+        *a = a.sqrt();
+    }
+    let mut best = 0usize;
+    let mut best_d = f64::INFINITY;
+    for (c, &dist) in acc.iter().enumerate() {
+        let better = dist < best_d;
+        best_d = if better { dist } else { best_d };
+        best = if better { c } else { best };
+    }
+    (best, best_d)
 }
 
 /// Index of and distance to the nearest centroid row.
@@ -246,5 +418,86 @@ mod tests {
     #[should_panic(expected = "at least k rows")]
     fn rejects_insufficient_data() {
         KMeans::new(5, 0).fit(&Matrix::zeros(3, 2));
+    }
+
+    /// The original (pre-scratch, per-pair `nearest_centroid`) Lloyd loop,
+    /// kept verbatim as the bit-identity oracle for `fit`.
+    fn reference_fit(km: &KMeans, data: &Matrix) -> KMeansResult {
+        let n = data.rows();
+        let d = data.cols();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(km.seed);
+        let mut centroids = km.init_plus_plus(data, &mut rng);
+        let mut assignments = vec![0usize; n];
+        let mut iterations = 0;
+        for iter in 0..km.max_iters {
+            iterations = iter + 1;
+            for (r, row) in data.row_iter().enumerate() {
+                let (best, _) = nearest_centroid(row, &centroids);
+                assignments[r] = best;
+            }
+            let mut sums = Matrix::zeros(km.k, d);
+            let mut counts = vec![0usize; km.k];
+            for (row, &a) in data.row_iter().zip(&assignments) {
+                vector::axpy(sums.row_mut(a), 1.0, row);
+                counts[a] += 1;
+            }
+            for (c, count) in counts.iter_mut().enumerate() {
+                if *count == 0 {
+                    let (far_idx, _) = data
+                        .row_iter()
+                        .enumerate()
+                        .map(|(i, row)| {
+                            (i, vector::euclidean_distance(row, centroids.row(assignments[i])))
+                        })
+                        .max_by(|a, b| a.1.partial_cmp(&b.1).expect("finite distance"))
+                        .expect("data non-empty");
+                    sums.row_mut(c).copy_from_slice(data.row(far_idx));
+                    *count = 1;
+                }
+            }
+            let mut movement = 0.0;
+            for (c, &count) in counts.iter().enumerate() {
+                let inv = 1.0 / count as f64;
+                let new_centroid: Vec<f64> = sums.row(c).iter().map(|x| x * inv).collect();
+                movement += vector::euclidean_distance(&new_centroid, centroids.row(c));
+                centroids.row_mut(c).copy_from_slice(&new_centroid);
+            }
+            if movement < km.tol {
+                break;
+            }
+        }
+        let mut inertia = 0.0;
+        for (r, row) in data.row_iter().enumerate() {
+            let (best, dist) = nearest_centroid(row, &centroids);
+            assignments[r] = best;
+            inertia += dist * dist;
+        }
+        KMeansResult { centroids, assignments, inertia, iterations }
+    }
+
+    #[test]
+    fn fit_is_bit_identical_to_reference() {
+        for (n, d, k, seed) in
+            [(512, 10, 8, 7u64), (64, 3, 5, 1), (40, 1, 4, 9), (20, 16, 3, 42), (9, 2, 9, 5)]
+        {
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed * 31 + 1);
+            let rows: Vec<Vec<f64>> =
+                (0..n).map(|_| (0..d).map(|_| rng.random_range(-3.0..3.0)).collect()).collect();
+            let data = Matrix::from_rows(&rows);
+            let km = KMeans::new(k, seed);
+            let fast = km.fit(&data);
+            let refr = reference_fit(&km, &data);
+            assert_eq!(fast.assignments, refr.assignments, "n={n} d={d} k={k}");
+            assert_eq!(fast.centroids, refr.centroids, "n={n} d={d} k={k}");
+            assert_eq!(fast.inertia.to_bits(), refr.inertia.to_bits(), "n={n} d={d} k={k}");
+            assert_eq!(fast.iterations, refr.iterations, "n={n} d={d} k={k}");
+        }
+        // Duplicate-heavy data exercises the empty-cluster repair path.
+        let dup = Matrix::from_rows(&vec![vec![1.0, 1.0]; 12]);
+        let km = KMeans::new(4, 3);
+        let fast = km.fit(&dup);
+        let refr = reference_fit(&km, &dup);
+        assert_eq!(fast.assignments, refr.assignments);
+        assert_eq!(fast.centroids, refr.centroids);
     }
 }

@@ -33,6 +33,35 @@ struct PendingUpdate {
     disorder: f64,
 }
 
+/// Rows scored by the per-level prequential probe in [`MultiGranularity::train`].
+const PROBE_ROWS: usize = 64;
+
+/// Cached hard predictions for the probe slice of the batch this level
+/// last scored during `predict_proba`, tagged with a bitwise copy of that
+/// slice. Under the prequential test-then-train contract the training
+/// batch is the batch just inferred, so `train`'s EWMA probe can reuse
+/// these instead of paying another forward pass. The cache is *purely*
+/// an optimisation: a hit requires the level's model to be unchanged
+/// since the predictions were written **and** the incoming probe slice
+/// to be bitwise identical to the tagged one — under those conditions
+/// recomputing would reproduce the exact same predictions, so results
+/// are bit-identical whether the cache hits or misses.
+#[derive(Default)]
+struct ProbeCache {
+    /// Bitwise copy of the probe slice (`preds.len() * cols` values,
+    /// row-major) the predictions were computed on.
+    head: Vec<f64>,
+    /// Column count of the tagged batch.
+    cols: usize,
+    /// Full row count of the tagged batch (the probe spans the whole
+    /// batch when it has ≤ [`PROBE_ROWS`] rows, so shape must match).
+    batch_rows: usize,
+    /// Argmax predictions for the probe rows.
+    preds: Vec<usize>,
+    /// Cleared whenever this level's model changes.
+    valid: bool,
+}
+
 /// One granularity level.
 struct Level {
     trainer: Trainer,
@@ -63,6 +92,18 @@ struct Level {
     /// pass allocates nothing. Behind a mutex because prediction takes
     /// `&self` and the parallel path evaluates levels on pool threads.
     scratch: Mutex<(Workspace, Matrix)>,
+    /// Probe predictions left behind by the most recent `predict_proba`
+    /// this level voted in (see [`ProbeCache`]). Behind a mutex for the
+    /// same reason as `scratch`.
+    probe: Mutex<ProbeCache>,
+}
+
+impl Level {
+    /// Drops the cached probe predictions; must be called after every
+    /// mutation of this level's model (the cache's validity contract).
+    fn invalidate_probe(&mut self) {
+        self.probe.get_mut().valid = false;
+    }
 }
 
 /// The multi-granularity model bank.
@@ -116,6 +157,7 @@ impl MultiGranularity {
                     trusted: true,
                     ewma_acc: 0.5,
                     scratch: Mutex::new((Workspace::new(), Matrix::zeros(0, 0))),
+                    probe: Mutex::new(ProbeCache::default()),
                 }
             })
             .collect();
@@ -159,6 +201,9 @@ impl MultiGranularity {
 
     /// Mutable short model (knowledge restore writes here).
     pub fn short_model_mut(&mut self) -> &mut dyn Model {
+        // The caller may mutate the model, so the probe cache's
+        // "unchanged since predict" premise no longer holds.
+        self.levels[0].invalidate_probe();
         self.levels[0].trainer.model_mut()
     }
 
@@ -220,6 +265,7 @@ impl MultiGranularity {
                 match outcome {
                     Ok(trainer) => {
                         level.trainer = trainer;
+                        level.invalidate_probe();
                         level.updates += 1;
                         level.trained_projection = finished.window_mean;
                         level.trusted = true;
@@ -268,12 +314,29 @@ impl MultiGranularity {
             // slice of) this batch before any update touches it. 64 rows
             // estimate batch accuracy to within a few points, which the
             // EWMA smooths — paying a full CNN forward here would double
-            // training cost for no extra signal.
+            // training cost for no extra signal. When the level just
+            // voted on this same batch (the prequential test-then-train
+            // contract), the probe reuses the predictions that forward
+            // pass left in the level's [`ProbeCache`] — a cache hit is
+            // proven bit-identical by the bitwise slice tag, so this only
+            // removes the redundant forward, never changes the EWMA.
             if level.updates > 0 {
-                const PROBE_ROWS: usize = 64;
-                let acc = if x.rows() > PROBE_ROWS {
+                let n = PROBE_ROWS.min(x.rows());
+                let probe_labels = &labels[..n];
+                let cache = level.probe.get_mut();
+                let head = &x.as_slice()[..n * x.cols()];
+                let acc = if n > 0
+                    && cache.valid
+                    && cache.batch_rows == x.rows()
+                    && cache.cols == x.cols()
+                    && cache.preds.len() == n
+                    && cache.head == head
+                {
+                    let hit = cache.preds.iter().zip(probe_labels).filter(|(p, t)| p == t).count();
+                    hit as f64 / n as f64
+                } else if x.rows() > PROBE_ROWS {
                     let sub = x.slice_rows(0, PROBE_ROWS);
-                    freeway_ml::model::accuracy(level.trainer.model(), &sub, &labels[..PROBE_ROWS])
+                    freeway_ml::model::accuracy(level.trainer.model(), &sub, probe_labels)
                 } else {
                     freeway_ml::model::accuracy(level.trainer.model(), x, labels)
                 };
@@ -281,7 +344,8 @@ impl MultiGranularity {
             }
             match level.window.as_mut() {
                 None => {
-                    level.trainer.train_batch(x, labels);
+                    level.trainer.train_step(x, labels);
+                    level.invalidate_probe();
                     level.updates += 1;
                     level.trained_projection = Some(projected.to_vec());
                     short_params = Some(level.trainer.model().parameters());
@@ -324,15 +388,14 @@ impl MultiGranularity {
                                 let spawned = pool.spawn_detached(move || {
                                     let result = std::panic::catch_unwind(
                                         std::panic::AssertUnwindSafe(move || {
-                                            for _ in 0..epochs {
-                                                train_weighted_precomputed(
-                                                    &mut snapshot,
-                                                    &wx,
-                                                    &wy,
-                                                    &ww,
-                                                    subsets,
-                                                );
-                                            }
+                                            train_weighted_precomputed(
+                                                &mut snapshot,
+                                                &wx,
+                                                &wy,
+                                                &ww,
+                                                subsets,
+                                                epochs,
+                                            );
                                             snapshot
                                         }),
                                     );
@@ -343,16 +406,16 @@ impl MultiGranularity {
                                 debug_assert!(spawned, "pool checked parallel above");
                                 level.pending.push(PendingUpdate { slot, window_mean, disorder });
                             } else {
-                                for _ in 0..epochs {
-                                    train_weighted_precomputed(
-                                        &mut snapshot,
-                                        &wx,
-                                        &wy,
-                                        &ww,
-                                        subsets,
-                                    );
-                                }
+                                train_weighted_precomputed(
+                                    &mut snapshot,
+                                    &wx,
+                                    &wy,
+                                    &ww,
+                                    subsets,
+                                    epochs,
+                                );
                                 level.trainer = snapshot;
+                                level.invalidate_probe();
                                 level.updates += 1;
                                 level.trained_projection = window_mean;
                                 level.trusted = true;
@@ -378,7 +441,8 @@ impl MultiGranularity {
         self.harvest_async_updates();
         for level in &mut self.levels {
             if level.window.is_none() {
-                level.trainer.train_batch(x, labels);
+                level.trainer.train_step(x, labels);
+                level.invalidate_probe();
                 level.updates += 1;
                 level.trained_projection = Some(projected.to_vec());
             }
@@ -481,6 +545,7 @@ impl MultiGranularity {
             pool::global().run(tasks);
             for &(i, w) in &voters {
                 let guard = self.levels[i].scratch.lock();
+                record_probe(&self.levels[i], x, &guard.1);
                 blended.axpy(w / voting_total, &guard.1);
             }
         } else {
@@ -489,6 +554,7 @@ impl MultiGranularity {
                 let mut guard = level.scratch.lock();
                 let (ws, probs) = &mut *guard;
                 level.trainer.model().predict_proba_into(x, ws, probs);
+                record_probe(level, x, probs);
                 blended.axpy(w / voting_total, probs);
             }
         }
@@ -527,6 +593,7 @@ impl MultiGranularity {
         }
         for (level, p) in self.levels.iter_mut().zip(params) {
             level.trainer.model_mut().set_parameters(p);
+            level.invalidate_probe();
             level.updates = level.updates.max(1);
             level.trusted = true;
             // Async results trained before the restore are stale now.
@@ -575,46 +642,77 @@ impl MultiGranularity {
     }
 }
 
+/// Tags `level`'s [`ProbeCache`] with the probe slice of `x` and the
+/// argmax predictions its forward pass just produced for those rows.
+/// Forward passes are row-independent (every model here processes each
+/// sample row identically regardless of its neighbours), so these
+/// predictions are bitwise what `accuracy` on the probe slice would
+/// recompute — the cache-hit proof in [`MultiGranularity::train`].
+fn record_probe(level: &Level, x: &Matrix, probs: &Matrix) {
+    let n = PROBE_ROWS.min(x.rows());
+    let mut cache = level.probe.lock();
+    cache.cols = x.cols();
+    cache.batch_rows = x.rows();
+    cache.head.clear();
+    cache.head.extend_from_slice(&x.as_slice()[..n * x.cols()]);
+    cache.preds.clear();
+    cache.preds.extend(probs.row_iter().take(n).map(|row| vector::argmax(row).unwrap_or(0)));
+    cache.valid = true;
+}
+
 /// Gaussian kernel `K(D, σ) = exp(−D² / 2σ²)` (Equation 14).
 pub fn gaussian_kernel(distance: f64, sigma: f64) -> f64 {
     (-(distance * distance) / (2.0 * sigma * sigma)).exp()
 }
 
-/// Runs a weighted update, splitting the window into `subsets` chunks and
-/// merging per-chunk gradients — the pre-computing window of §V-B. With
-/// `subsets == 1` this is a single weighted batch step.
+/// Runs `epochs` weighted passes, each splitting the window into
+/// `subsets` chunks and merging per-chunk gradients — the pre-computing
+/// window of §V-B. With `subsets == 1` each pass is a single weighted
+/// batch step. The epoch loop lives here (not at the call site) so the
+/// chunk matrix and gradient buffer warm once and are reused across
+/// every subset of every epoch: a warm window update allocates only the
+/// merged-gradient accumulator, while producing bit-identical parameters
+/// to the old slice-and-allocate loop (same chunk contents, same
+/// gradient arithmetic, same merge order).
 fn train_weighted_precomputed(
     trainer: &mut Trainer,
     x: &Matrix,
     labels: &[usize],
     weights: &[f64],
     subsets: usize,
+    epochs: usize,
 ) {
     let n = x.rows();
     if n == 0 {
         return;
     }
     if subsets <= 1 || n < subsets * 2 {
-        trainer.train_weighted(x, labels, Some(weights));
+        for _ in 0..epochs {
+            trainer.train_weighted_step(x, labels, Some(weights));
+        }
         return;
     }
-    let mut acc = PrecomputeAccumulator::new();
-    let chunk = n.div_ceil(subsets);
-    let mut start = 0;
-    while start < n {
-        let end = (start + chunk).min(n);
-        let sub_x = x.slice_rows(start, end);
-        let sub_y = &labels[start..end];
-        let sub_w = &weights[start..end];
-        let weight_sum: f64 = sub_w.iter().sum();
-        if weight_sum > 0.0 {
-            let grad = trainer.model().gradient(&sub_x, sub_y, Some(sub_w));
-            acc.add_subset(&grad, weight_sum);
+    let mut sub_x = Matrix::zeros(0, 0);
+    let mut grad = Vec::new();
+    for _ in 0..epochs {
+        let mut acc = PrecomputeAccumulator::new();
+        let chunk = n.div_ceil(subsets);
+        let mut start = 0;
+        while start < n {
+            let end = (start + chunk).min(n);
+            let sub_y = &labels[start..end];
+            let sub_w = &weights[start..end];
+            let weight_sum: f64 = sub_w.iter().sum();
+            if weight_sum > 0.0 {
+                x.copy_row_range_into(start, end, &mut sub_x);
+                trainer.gradient_into(&sub_x, sub_y, Some(sub_w), &mut grad);
+                acc.add_subset(&grad, weight_sum);
+            }
+            start = end;
         }
-        start = end;
-    }
-    if let Some(merged) = acc.take_merged() {
-        trainer.apply_gradient(&merged);
+        if let Some(merged) = acc.take_merged() {
+            trainer.apply_gradient(&merged);
+        }
     }
 }
 

@@ -346,11 +346,15 @@ impl Learner {
     fn infer_inner(&mut self, x: &Matrix) -> InferenceReport {
         let degradation = self.degradation.level();
         let decision = self.selector.observe(x);
-        let projected = self.project(x);
         let degraded = self.selector.tracker().pca().is_some_and(|p| p.degraded());
         match decision {
             None => {
-                // PCA warm-up: only the ensemble exists.
+                // PCA warm-up: only the ensemble exists. This is the only
+                // arm that needs its own projection — a ready selector
+                // already projected the batch into `measurement.projected`,
+                // so projecting up front would duplicate the column-means
+                // and PCA work on every post-warmup batch.
+                let projected = self.project(x);
                 let predictions = self.granularity.predict(x, &projected);
                 InferenceReport {
                     predictions,

@@ -2,28 +2,92 @@
 //!
 //! Writes `results/BENCH_throughput.json`: items/second per framework,
 //! batch size, and worker-pool size (1 = serial, plus the host's core
-//! count unless `FREEWAY_THREADS_SWEEP` overrides the pooled size).
+//! count unless `FREEWAY_THREADS_SWEEP` overrides the pooled size), with
+//! a per-kernel GFLOP/s microbench section.
+//!
+//! Flags:
+//! - `--models lr,mlp[,cnn]` restricts the model families swept
+//!   (default: `lr,mlp`).
+//! - `--quick` shrinks the sweep to a CI-sized regression probe: LR
+//!   only, batch 256, pools `[1, 2]`, 20 batches (still overridable
+//!   through `FREEWAY_BATCHES`), results not written to `results/`.
 
 use freeway_eval::experiments::{common, fig10, ModelFamily, Scale};
+use freeway_eval::kernel_bench;
+
+fn parse_models(spec: &str) -> Vec<ModelFamily> {
+    let mut families = Vec::new();
+    for tag in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        let family = match tag.to_ascii_lowercase().as_str() {
+            "lr" => ModelFamily::Lr,
+            "mlp" => ModelFamily::Mlp,
+            "cnn" => ModelFamily::Cnn,
+            other => {
+                eprintln!("error: unknown model family '{other}' (expected lr, mlp, or cnn)");
+                std::process::exit(2);
+            }
+        };
+        if !families.contains(&family) {
+            families.push(family);
+        }
+    }
+    if families.is_empty() {
+        eprintln!("error: --models needs at least one family");
+        std::process::exit(2);
+    }
+    families
+}
 
 fn main() {
+    let mut quick = false;
+    let mut families = vec![ModelFamily::Lr, ModelFamily::Mlp];
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--models" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("error: --models needs a value, e.g. --models lr,mlp");
+                    std::process::exit(2);
+                };
+                families = parse_models(&spec);
+            }
+            other => match other.strip_prefix("--models=") {
+                Some(spec) => families = parse_models(spec),
+                None => {
+                    eprintln!("error: unknown flag '{other}' (supported: --models, --quick)");
+                    std::process::exit(2);
+                }
+            },
+        }
+    }
+
     let mut scale = Scale::from_env();
     if std::env::var("FREEWAY_BATCHES").is_err() {
-        scale.batches = 30;
+        scale.batches = if quick { 20 } else { 30 };
     }
     let cores = std::thread::available_parallelism().map_or(1, usize::from);
     let pooled = std::env::var("FREEWAY_THREADS_SWEEP")
         .ok()
         .and_then(|v| v.parse::<usize>().ok())
-        .unwrap_or(cores)
+        .unwrap_or(if quick { 2 } else { cores })
         .max(2);
-    eprintln!("Throughput comparison at {scale:?}, pool sizes [1, {pooled}] on {cores} cores");
-    let result = fig10::run_thread_comparison(
-        &scale,
-        &[ModelFamily::Lr, ModelFamily::Mlp],
-        &[256, 1024, 2048],
-        &[1, pooled],
+    let batch_sizes: &[usize] = if quick { &[256] } else { &[256, 1024, 2048] };
+    if quick {
+        families = vec![ModelFamily::Lr];
+    }
+    eprintln!(
+        "Throughput comparison at {scale:?}, pool sizes [1, {pooled}] on {cores} cores{}",
+        if quick { " (quick)" } else { "" }
     );
+    let mut result = fig10::run_thread_comparison(&scale, &families, batch_sizes, &[1, pooled]);
+    result.kernel_microbench = kernel_bench::run();
     println!("{}", result.render());
-    common::save_json("BENCH_throughput", &result);
+    if quick {
+        // Machine-readable output for the CI gate without touching the
+        // checked-in artifact.
+        println!("{}", serde_json::to_string(&result).expect("serializable result"));
+    } else {
+        common::save_json("BENCH_throughput", &result);
+    }
 }

@@ -98,6 +98,10 @@ pub struct BenchThroughput {
     pub host_cores: usize,
     /// All measured points.
     pub points: Vec<ThreadedPoint>,
+    /// Per-kernel GFLOP/s at the shipped shapes, so a kernel regression
+    /// is attributable without re-deriving it from items/second. Empty
+    /// when the caller skipped the micro sweep.
+    pub kernel_microbench: Vec<crate::kernel_bench::KernelBenchPoint>,
 }
 
 /// Runs the Figure-10 sweep once per entry of `thread_counts`, with the
@@ -159,6 +163,7 @@ pub fn run_thread_comparison(
     BenchThroughput {
         host_cores: std::thread::available_parallelism().map_or(1, usize::from),
         points,
+        kernel_microbench: Vec::new(),
     }
 }
 
@@ -197,6 +202,24 @@ impl BenchThroughput {
                         row.push(p.map_or("-".into(), |p| format!("{:.0}", p.items_per_sec)));
                     }
                     row
+                })
+                .collect();
+            out.push_str(&crate::metrics::render_table(&header, &rows));
+        }
+        if !self.kernel_microbench.is_empty() {
+            out.push_str("== Kernel microbench ==\n");
+            let header =
+                vec!["Kernel".to_string(), "Shape".into(), "ns/call".into(), "GFLOP/s".into()];
+            let rows: Vec<Vec<String>> = self
+                .kernel_microbench
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.kernel.clone(),
+                        p.shape.clone(),
+                        format!("{:.0}", p.ns_per_call),
+                        format!("{:.2}", p.gflops),
+                    ]
                 })
                 .collect();
             out.push_str(&crate::metrics::render_table(&header, &rows));

@@ -12,6 +12,7 @@
 
 pub mod alloc_metrics;
 pub mod experiments;
+pub mod kernel_bench;
 pub mod metrics;
 pub mod prequential;
 

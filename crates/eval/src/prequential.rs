@@ -2,7 +2,7 @@
 
 use crate::metrics;
 use freeway_baselines::StreamingLearner;
-use freeway_streams::{DriftPhase, StreamGenerator};
+use freeway_streams::{BatchPool, DriftPhase, StreamGenerator};
 use std::time::Instant;
 
 /// Everything measured during one prequential run.
@@ -85,9 +85,14 @@ pub fn run_prequential(
     batch_size: usize,
     warmup_batches: usize,
 ) -> PrequentialResult {
+    // One recycled buffer pair serves the whole run: after the first
+    // batch, ingest allocates nothing (generators overwrite the dirty
+    // buffers with bit-identical content — see `BatchPool`'s contract).
+    let mut pool = BatchPool::new();
     for _ in 0..warmup_batches {
-        let batch = generator.next_batch(batch_size);
+        let batch = generator.next_batch_pooled(batch_size, &mut pool);
         learner.train(&batch.x, batch.labels());
+        pool.recycle(batch);
     }
 
     let mut accs = Vec::with_capacity(batches);
@@ -96,7 +101,7 @@ pub fn run_prequential(
     let mut train_us = Vec::with_capacity(batches);
 
     for _ in 0..batches {
-        let batch = generator.next_batch(batch_size);
+        let batch = generator.next_batch_pooled(batch_size, &mut pool);
 
         let t0 = Instant::now();
         let preds = learner.infer(&batch.x);
@@ -108,6 +113,8 @@ pub fn run_prequential(
         let t1 = Instant::now();
         learner.train(&batch.x, batch.labels());
         train_us.push(t1.elapsed().as_secs_f64() * 1e6);
+
+        pool.recycle(batch);
     }
 
     PrequentialResult {

@@ -16,7 +16,7 @@ use freeway_core::telemetry::{NoopSink, Stage, Telemetry, TelemetryEvent};
 use freeway_eval::alloc_metrics;
 use freeway_linalg::Matrix;
 use freeway_ml::{ModelSpec, Sgd, Trainer};
-use freeway_streams::{Hyperplane, StreamGenerator};
+use freeway_streams::{BatchPool, Hyperplane, StreamGenerator};
 
 const BATCH: usize = 1024;
 const WARM_ITERS: usize = 3;
@@ -133,6 +133,92 @@ fn warm_loop_with_live_noop_sink_allocates_nothing() {
     // The instrumentation genuinely ran: counters saw the measured loop.
     let metrics = telemetry.metrics();
     assert_eq!(metrics.counters["freeway_batches_total"], (WARM_ITERS + MEASURED_ITERS) as u64);
+}
+
+/// The pool itself must reach zero-allocation steady state: once one
+/// buffer pair is in circulation, acquire → fill → recycle cycles (with
+/// reshapes smaller than the high-water mark) never touch the heap.
+#[test]
+fn warm_batch_pool_cycle_allocates_nothing() {
+    let mut pool = BatchPool::new();
+    // Warm at the largest shape so later reshapes fit in place.
+    let (x, labels) = pool.acquire(BATCH, 10);
+    pool.recycle(freeway_streams::Batch::labeled(
+        x,
+        {
+            let mut l = labels;
+            l.resize(BATCH, 0);
+            l
+        },
+        0,
+        freeway_streams::DriftPhase::Stable,
+    ));
+
+    alloc_metrics::reset();
+    let before = alloc_metrics::snapshot().expect("alloc-metrics feature is on");
+    for (round, rows) in [BATCH, BATCH / 2, BATCH, 64, BATCH].into_iter().enumerate() {
+        let (x, mut labels) = pool.acquire(rows, 10);
+        labels.resize(rows, round % 2);
+        pool.recycle(freeway_streams::Batch::labeled(
+            x,
+            labels,
+            round as u64 + 1,
+            freeway_streams::DriftPhase::Stable,
+        ));
+    }
+    let delta = alloc_metrics::since(&before).expect("alloc-metrics feature is on");
+    assert_eq!(
+        delta.allocs, 0,
+        "warm BatchPool cycle allocated {} times ({} bytes)",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(pool.reused(), 5, "every measured acquire reuses the warm buffer");
+}
+
+/// End-to-end ingest gate: the pooled generator → infer → train →
+/// recycle loop (the shape `run_prequential` executes) must be
+/// allocation-free once generator buffers and trainer workspaces are
+/// warm. This is the loop the 2.65 → ~0.2 allocs/item reduction pays
+/// for; regressing it shows up here before it shows up in the bench.
+#[test]
+fn warm_pooled_ingest_train_loop_allocates_nothing() {
+    freeway_linalg::pool::configure(1);
+    let mut generator = Hyperplane::new(10, 0.02, 0.05, 42);
+    let mut pool = BatchPool::new();
+    let mut trainer = Trainer::new(ModelSpec::lr(10, 2).build(0), Box::new(Sgd::new(0.05)));
+    let mut probs = Matrix::zeros(0, 0);
+
+    let step = |generator: &mut Hyperplane,
+                pool: &mut BatchPool,
+                trainer: &mut Trainer,
+                probs: &mut Matrix| {
+        let batch = generator.next_batch_pooled(BATCH, pool);
+        trainer.predict_proba_into(&batch.x, probs);
+        trainer.train_batch(&batch.x, batch.labels());
+        pool.recycle(batch);
+    };
+
+    for _ in 0..WARM_ITERS {
+        step(&mut generator, &mut pool, &mut trainer, &mut probs);
+    }
+
+    alloc_metrics::reset();
+    let before = alloc_metrics::snapshot().expect("alloc-metrics feature is on");
+    for _ in 0..MEASURED_ITERS {
+        step(&mut generator, &mut pool, &mut trainer, &mut probs);
+    }
+    let delta = alloc_metrics::since(&before).expect("alloc-metrics feature is on");
+    assert_eq!(
+        delta.allocs, 0,
+        "warm pooled ingest->train loop allocated {} times ({} bytes) over {MEASURED_ITERS} loops",
+        delta.allocs, delta.bytes
+    );
+    assert_eq!(delta.bytes, 0);
+    assert_eq!(
+        pool.reused() + 1,
+        pool.acquired(),
+        "only the very first acquire may allocate a buffer pair"
+    );
 }
 
 /// The counters themselves must observe ordinary allocations — guards

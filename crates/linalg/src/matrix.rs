@@ -36,6 +36,28 @@ pub const PAR_MATVEC_MIN_ELEMS: usize = 64 * 1024;
 /// this constant and the row count — never on the thread count.
 pub const T_MATVEC_CHUNK_ROWS: usize = 256;
 
+/// Rows per register block in the tiled matmul micro-kernels.
+///
+/// Together with [`MICRO_COLS`] this sizes the accumulator footprint:
+/// `4 x 8` f64 accumulators fill four 512-bit registers (or eight
+/// 256-bit ones), leaving room for the operand broadcasts.
+pub const MICRO_ROWS: usize = 4;
+
+/// Columns per register block in the tiled matmul micro-kernels — one
+/// full [`crate::vector::WIDE_LANES`] vector of output columns.
+pub const MICRO_COLS: usize = 8;
+
+/// Row extent of an output tile in the cache-blocked matmul paths. A
+/// `TILE_ROWS x k` block of the left operand stays resident in L1/L2
+/// while the micro-kernels sweep one column tile.
+pub const TILE_ROWS: usize = 64;
+
+/// Column extent of an output tile in the cache-blocked matmul paths.
+/// Sized so a `k x TILE_COLS` panel of the right operand (the data every
+/// micro-kernel in the tile re-reads) fits comfortably in L2 for the
+/// MLP/CNN shapes this workspace trains (`k` up to a few hundred).
+pub const TILE_COLS: usize = 256;
+
 impl Matrix {
     /// Creates a `rows x cols` matrix filled with zeros.
     pub fn zeros(rows: usize, cols: usize) -> Self {
@@ -218,12 +240,12 @@ impl Matrix {
             self.rows, self.cols, rhs.rows, rhs.cols
         );
         out.resize(self.rows, rhs.cols);
-        out.data.fill(0.0);
+        // No zero-fill: every output element is fully overwritten by the
+        // band kernel below (each is produced in one register
+        // accumulation over the whole shared dimension).
         let flops = self.rows * self.cols * rhs.cols;
         if self.rows < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
-            for (i, out_row) in out.data.chunks_mut(rhs.cols.max(1)).enumerate() {
-                self.matmul_row_into(rhs, i, out_row);
-            }
+            self.matmul_band_into(rhs, 0, self.rows, &mut out.data);
             return;
         }
         self.matmul_pooled_into(rhs, out, &crate::pool::global());
@@ -245,34 +267,144 @@ impl Matrix {
         out
     }
 
-    /// Pooled matmul body; `out` must already be zeroed with shape
-    /// `self.rows x rhs.cols`. Output rows are partitioned across pool
-    /// threads; each row's arithmetic is unchanged, so the result is
-    /// bit-identical for any thread count.
+    /// Pooled matmul body; `out` must have shape `self.rows x rhs.cols`
+    /// (every element is overwritten). Output rows are partitioned into
+    /// bands aligned to the [`MICRO_ROWS`] register tiling, and each band
+    /// runs the same cache-blocked kernel as the serial path; each output
+    /// element still accumulates in plain ascending-`k` order, so the
+    /// result is bit-identical for any thread count.
     fn matmul_pooled_into(&self, rhs: &Matrix, out: &mut Matrix, pool: &crate::pool::WorkerPool) {
         if self.rows == 0 {
             return;
         }
         let out_cols = rhs.cols.max(1);
-        let chunk_rows = self.rows.div_ceil(pool.threads());
+        // Band boundaries land on micro-tile edges so no task splits a
+        // register block.
+        let chunk_rows = self.rows.div_ceil(pool.threads()).next_multiple_of(MICRO_ROWS);
         let tasks: Vec<crate::pool::Task<'_>> = out
             .data
             .chunks_mut((chunk_rows * out_cols).max(1))
             .enumerate()
             .map(|(chunk, out_chunk)| {
                 let row0 = chunk * chunk_rows;
+                let rows_here = out_chunk.len() / out_cols;
                 Box::new(move || {
-                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
-                        self.matmul_row_into(rhs, row0 + offset, out_row);
-                    }
+                    self.matmul_band_into(rhs, row0, row0 + rows_here, out_chunk);
                 }) as crate::pool::Task<'_>
             })
             .collect();
         pool.run(tasks);
     }
 
-    /// Computes one output row of `self * rhs` into `out_row` (whose prior
-    /// contents are ignored; every element is overwritten).
+    /// Cache-blocked `self * rhs` over the output row band `[i0, i1)`;
+    /// `out_band` is the corresponding slice of the output buffer (row
+    /// `i` lives at offset `(i - i0) * rhs.cols`). Prior contents are
+    /// ignored: every element is overwritten.
+    ///
+    /// Tiling walks `TILE_COLS`-wide column panels and `TILE_ROWS`-tall
+    /// row blocks so the right-hand panel a tile re-reads stays cache
+    /// resident, with a `MICRO_ROWS x MICRO_COLS` register micro-kernel
+    /// inside. Each output element accumulates its terms in plain
+    /// ascending-`k` order regardless of tile or band geometry — the
+    /// blocking only changes *where* partial sums live and *when* output
+    /// elements are produced, never the order or association of any
+    /// element's additions — so the result is bit-identical to the naive
+    /// k-outer loop, for any tile sizes and any thread count.
+    fn matmul_band_into(&self, rhs: &Matrix, i0: usize, i1: usize, out_band: &mut [f64]) {
+        let n = rhs.cols;
+        if n == 0 || i1 <= i0 {
+            return;
+        }
+        debug_assert_eq!(out_band.len(), (i1 - i0) * n);
+        for jc in (0..n).step_by(TILE_COLS) {
+            let jc_end = (jc + TILE_COLS).min(n);
+            for ic in (i0..i1).step_by(TILE_ROWS) {
+                let ic_end = (ic + TILE_ROWS).min(i1);
+                let mut i = ic;
+                while i + MICRO_ROWS <= ic_end {
+                    let mut j = jc;
+                    while j + MICRO_COLS <= jc_end {
+                        self.matmul_micro::<{ MICRO_COLS }>(rhs, i, j, i0, out_band);
+                        j += MICRO_COLS;
+                    }
+                    // Narrow column remainder: keep the 4-row register
+                    // blocking (one `b` row load serves four output rows)
+                    // instead of falling back to row-at-a-time — this is
+                    // the *entire* matmul for skinny outputs like the
+                    // LR/MLP head (2–8 classes).
+                    match jc_end - j {
+                        0 => {}
+                        1 => self.matmul_micro::<1>(rhs, i, j, i0, out_band),
+                        2 => self.matmul_micro::<2>(rhs, i, j, i0, out_band),
+                        3 => self.matmul_micro::<3>(rhs, i, j, i0, out_band),
+                        4 => self.matmul_micro::<4>(rhs, i, j, i0, out_band),
+                        5 => self.matmul_micro::<5>(rhs, i, j, i0, out_band),
+                        6 => self.matmul_micro::<6>(rhs, i, j, i0, out_band),
+                        _ => self.matmul_micro::<7>(rhs, i, j, i0, out_band),
+                    }
+                    i += MICRO_ROWS;
+                }
+                for r in i..ic_end {
+                    let base = (r - i0) * n;
+                    Self::matmul_row_range_into(
+                        self.row(r),
+                        rhs,
+                        jc,
+                        &mut out_band[base + jc..base + jc_end],
+                    );
+                }
+            }
+        }
+    }
+
+    /// `MICRO_ROWS x N` register micro-kernel: computes output rows
+    /// `i..i + MICRO_ROWS`, columns `j..j + N` of `self * rhs` into
+    /// `out_band` (band starting at output row `i0`). `N = MICRO_COLS`
+    /// is the full-width tile interior; `N < MICRO_COLS` serves the
+    /// column remainder and skinny outputs. All accumulators live in
+    /// registers; terms are added in ascending `k`, matching the naive
+    /// loop element-for-element.
+    #[inline]
+    fn matmul_micro<const N: usize>(
+        &self,
+        rhs: &Matrix,
+        i: usize,
+        j: usize,
+        i0: usize,
+        out_band: &mut [f64],
+    ) {
+        let k = self.cols;
+        let n = rhs.cols;
+        assert!(i + MICRO_ROWS <= self.rows && j + N <= n && rhs.rows == k);
+        let a = &self.data;
+        let b = &rhs.data;
+        let mut acc = [[0.0f64; N]; MICRO_ROWS];
+        for p in 0..k {
+            // SAFETY: `p < k = rhs.rows` and `j + N <= n` put
+            // `p * n + j + N <= rhs.data.len()`; likewise
+            // `i + MICRO_ROWS <= self.rows` and `p < k` keep every `a`
+            // index below `self.data.len()`. Both are established by the
+            // assert above; unchecked access hoists the per-`k` bounds
+            // checks out of the FMA loop.
+            unsafe {
+                let b_row = b.get_unchecked(p * n + j..p * n + j + N);
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let a_v = *a.get_unchecked((i + r) * k + p);
+                    for l in 0..N {
+                        acc_r[l] += a_v * b_row[l];
+                    }
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let base = (i + r - i0) * n + j;
+            out_band[base..base + N].copy_from_slice(acc_r);
+        }
+    }
+
+    /// Columns `j0..j0 + out_row.len()` of one output row of
+    /// `self * rhs` (whose prior contents are ignored; every element is
+    /// overwritten).
     ///
     /// Each output element accumulates its terms in plain ascending-`k`
     /// order — the register blocking below only changes *where* the
@@ -280,23 +412,28 @@ impl Matrix {
     /// output slice), never the order or association of the additions, so
     /// the result is bit-identical to the naive k-outer loop.
     #[inline]
-    fn matmul_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f64]) {
-        let a_row = self.row(i);
-        let mut j0 = 0;
-        while out_row.len() - j0 >= 8 {
-            Self::matmul_row_block::<8>(a_row, rhs, j0, &mut out_row[j0..j0 + 8]);
-            j0 += 8;
+    fn matmul_row_range_into(a_row: &[f64], rhs: &Matrix, j0: usize, out_row: &mut [f64]) {
+        let mut j = j0;
+        let end = j0 + out_row.len();
+        while end - j >= MICRO_COLS {
+            Self::matmul_row_block::<{ MICRO_COLS }>(
+                a_row,
+                rhs,
+                j,
+                &mut out_row[j - j0..j - j0 + MICRO_COLS],
+            );
+            j += MICRO_COLS;
         }
-        let rest = &mut out_row[j0..];
+        let rest = &mut out_row[j - j0..];
         match rest.len() {
             0 => {}
-            1 => Self::matmul_row_block::<1>(a_row, rhs, j0, rest),
-            2 => Self::matmul_row_block::<2>(a_row, rhs, j0, rest),
-            3 => Self::matmul_row_block::<3>(a_row, rhs, j0, rest),
-            4 => Self::matmul_row_block::<4>(a_row, rhs, j0, rest),
-            5 => Self::matmul_row_block::<5>(a_row, rhs, j0, rest),
-            6 => Self::matmul_row_block::<6>(a_row, rhs, j0, rest),
-            _ => Self::matmul_row_block::<7>(a_row, rhs, j0, rest),
+            1 => Self::matmul_row_block::<1>(a_row, rhs, j, rest),
+            2 => Self::matmul_row_block::<2>(a_row, rhs, j, rest),
+            3 => Self::matmul_row_block::<3>(a_row, rhs, j, rest),
+            4 => Self::matmul_row_block::<4>(a_row, rhs, j, rest),
+            5 => Self::matmul_row_block::<5>(a_row, rhs, j, rest),
+            6 => Self::matmul_row_block::<6>(a_row, rhs, j, rest),
+            _ => Self::matmul_row_block::<7>(a_row, rhs, j, rest),
         }
     }
 
@@ -306,9 +443,15 @@ impl Matrix {
     /// vectorize).
     #[inline]
     fn matmul_row_block<const N: usize>(a_row: &[f64], rhs: &Matrix, j0: usize, out: &mut [f64]) {
+        let cols = rhs.cols.max(1);
+        assert!(j0 + N <= cols && a_row.len() * cols <= rhs.data.len());
         let mut acc = [0.0f64; N];
-        for (&a_ik, b_row) in a_row.iter().zip(rhs.data.chunks_exact(rhs.cols.max(1))) {
-            let b = &b_row[j0..j0 + N];
+        for (p, &a_ik) in a_row.iter().enumerate() {
+            // SAFETY: `p < a_row.len()` and `j0 + N <= cols` keep
+            // `p * cols + j0 + N <= rhs.data.len()` per the assert above;
+            // unchecked access hoists the per-`k` re-slice bounds check
+            // out of the accumulation loop.
+            let b = unsafe { rhs.data.get_unchecked(p * cols + j0..p * cols + j0 + N) };
             for j in 0..N {
                 acc[j] += a_ik * b[j];
             }
@@ -359,19 +502,109 @@ impl Matrix {
                 2 => self.matmul_transa_serial::<2>(rhs, out),
                 3 => self.matmul_transa_serial::<3>(rhs, out),
                 4 => self.matmul_transa_serial::<4>(rhs, out),
-                cols => {
-                    for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
-                        for (out_row, &a_kc) in out.data.chunks_exact_mut(cols).zip(a_row) {
-                            for (o, &b) in out_row.iter_mut().zip(b_row) {
-                                *o += a_kc * b;
-                            }
-                        }
-                    }
-                }
+                _ => self.matmul_transa_band_into(rhs, 0, self.cols, &mut out.data),
             }
             return;
         }
         self.matmul_transa_pooled_into(rhs, out, &crate::pool::global());
+    }
+
+    /// Register-blocked `self^T * rhs` over output rows `[c0, c1)`
+    /// (columns of `self`); `out_band` is the corresponding slice of the
+    /// output buffer, which must be zeroed (elements accumulate in
+    /// place). Works in `MICRO_ROWS x MICRO_COLS` register tiles over the
+    /// ascending shared-row sweep; each output element accumulates in
+    /// ascending shared-row order exactly like the naive loop, for any
+    /// band geometry, so results are bit-identical to
+    /// `self.transpose().matmul(rhs)`.
+    fn matmul_transa_band_into(&self, rhs: &Matrix, c0: usize, c1: usize, out_band: &mut [f64]) {
+        let n = rhs.cols;
+        if n == 0 || c1 <= c0 {
+            return;
+        }
+        debug_assert_eq!(out_band.len(), (c1 - c0) * n);
+        let mut c = c0;
+        while c + MICRO_ROWS <= c1 {
+            let mut j = 0;
+            while j + MICRO_COLS <= n {
+                self.matmul_transa_micro(rhs, c, j, c0, out_band);
+                j += MICRO_COLS;
+            }
+            if j < n {
+                self.matmul_transa_scalar(rhs, c, c + MICRO_ROWS, j, n, c0, out_band);
+            }
+            c += MICRO_ROWS;
+        }
+        if c < c1 {
+            self.matmul_transa_scalar(rhs, c, c1, 0, n, c0, out_band);
+        }
+    }
+
+    /// `MICRO_ROWS x MICRO_COLS` register tile of `self^T * rhs`: output
+    /// rows `c..c + MICRO_ROWS`, columns `j..j + MICRO_COLS`, accumulated
+    /// over all shared rows in ascending order with register-resident
+    /// partial sums.
+    #[inline]
+    fn matmul_transa_micro(
+        &self,
+        rhs: &Matrix,
+        c: usize,
+        j: usize,
+        c0: usize,
+        out_band: &mut [f64],
+    ) {
+        let n = rhs.cols;
+        let k = self.cols;
+        assert!(c + MICRO_ROWS <= k && j + MICRO_COLS <= n && rhs.rows == self.rows);
+        let a = &self.data;
+        let b = &rhs.data;
+        let mut acc = [[0.0f64; MICRO_COLS]; MICRO_ROWS];
+        for r in 0..self.rows {
+            // SAFETY: `r < self.rows = rhs.rows`, `c + MICRO_ROWS <= k`,
+            // and `j + MICRO_COLS <= n` (asserted above) bound every
+            // index below the respective buffer lengths; unchecked access
+            // hoists the per-row bounds checks out of the FMA loop.
+            unsafe {
+                let a_row = a.get_unchecked(r * k + c..r * k + c + MICRO_ROWS);
+                let b_row = b.get_unchecked(r * n + j..r * n + j + MICRO_COLS);
+                for (acc_c, &a_rc) in acc.iter_mut().zip(a_row) {
+                    for l in 0..MICRO_COLS {
+                        acc_c[l] += a_rc * b_row[l];
+                    }
+                }
+            }
+        }
+        for (row_idx, acc_c) in acc.iter().enumerate() {
+            let base = (c + row_idx - c0) * n + j;
+            for (o, &v) in out_band[base..base + MICRO_COLS].iter_mut().zip(acc_c) {
+                *o += v;
+            }
+        }
+    }
+
+    /// Scalar remainder of the blocked `self^T * rhs`: output rows
+    /// `[ca, cb)`, columns `[ja, jb)`, ascending shared-row accumulation
+    /// directly into the (zero-initialised) output band.
+    #[allow(clippy::too_many_arguments)] // tile coordinates: two index ranges + band offset
+    fn matmul_transa_scalar(
+        &self,
+        rhs: &Matrix,
+        ca: usize,
+        cb: usize,
+        ja: usize,
+        jb: usize,
+        c0: usize,
+        out_band: &mut [f64],
+    ) {
+        let n = rhs.cols;
+        for (a_row, b_row) in self.row_iter().zip(rhs.row_iter()) {
+            for (c, &a_rc) in a_row.iter().enumerate().take(cb).skip(ca) {
+                let base = (c - c0) * n;
+                for (o, &b) in out_band[base + ja..base + jb].iter_mut().zip(&b_row[ja..jb]) {
+                    *o += a_rc * b;
+                }
+            }
+        }
     }
 
     /// Serial `self^T * rhs` body for a constant narrow `rhs` width:
@@ -409,9 +642,10 @@ impl Matrix {
 
     /// Pooled `self^T * rhs` body; `out` must already be zeroed with shape
     /// `self.cols x rhs.cols`. Output rows (columns of `self`) are
-    /// partitioned across threads; each output element is produced wholly
-    /// within one task by ascending shared-row accumulation, so there are
-    /// no split reductions and the result is thread-count invariant.
+    /// partitioned into micro-tile-aligned bands running the blocked
+    /// kernel; each output element is produced wholly within one task by
+    /// ascending shared-row accumulation, so there are no split
+    /// reductions and the result is thread-count invariant.
     fn matmul_transa_pooled_into(
         &self,
         rhs: &Matrix,
@@ -422,23 +656,16 @@ impl Matrix {
             return;
         }
         let out_cols = rhs.cols.max(1);
-        let chunk_rows = self.cols.div_ceil(pool.threads());
+        let chunk_rows = self.cols.div_ceil(pool.threads()).next_multiple_of(MICRO_ROWS);
         let tasks: Vec<crate::pool::Task<'_>> = out
             .data
             .chunks_mut((chunk_rows * out_cols).max(1))
             .enumerate()
             .map(|(chunk, out_chunk)| {
                 let c0 = chunk * chunk_rows;
+                let rows_here = out_chunk.len() / out_cols;
                 Box::new(move || {
-                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
-                        let c = c0 + offset;
-                        for k in 0..self.rows {
-                            let a_kc = self[(k, c)];
-                            for (o, &b) in out_row.iter_mut().zip(rhs.row(k)) {
-                                *o += a_kc * b;
-                            }
-                        }
-                    }
+                    self.matmul_transa_band_into(rhs, c0, c0 + rows_here, out_chunk);
                 }) as crate::pool::Task<'_>
             })
             .collect();
@@ -475,12 +702,94 @@ impl Matrix {
         out.resize(self.rows, rhs.rows);
         let flops = self.rows * self.cols * rhs.rows;
         if self.rows < 2 || flops < PAR_MATMUL_MIN_FLOPS || crate::pool::configured_threads() == 1 {
-            for (i, out_row) in out.data.chunks_mut(rhs.rows.max(1)).enumerate() {
-                self.matmul_transb_row_into(rhs, i, out_row);
-            }
+            self.matmul_transb_band_into(rhs, 0, self.rows, &mut out.data);
             return;
         }
         self.matmul_transb_pooled_into(rhs, out, &crate::pool::global());
+    }
+
+    /// Register-blocked `self * rhs^T` over output rows `[i0, i1)`;
+    /// `out_band` is the corresponding slice of the output buffer (prior
+    /// contents ignored). Both operands stream contiguously along the
+    /// shared dimension, so the blocking is pure register tiling:
+    /// `MICRO_ROWS x MICRO_ROWS` output tiles, each element a plain
+    /// ascending-`k` dot — bit-identical to `matmul` against a
+    /// materialized transpose for any band geometry or thread count.
+    fn matmul_transb_band_into(&self, rhs: &Matrix, i0: usize, i1: usize, out_band: &mut [f64]) {
+        let n = rhs.rows;
+        if n == 0 || i1 <= i0 {
+            return;
+        }
+        debug_assert_eq!(out_band.len(), (i1 - i0) * n);
+        // Narrow shared dimensions keep the register-held-row kernels.
+        if self.cols <= MICRO_ROWS {
+            for i in i0..i1 {
+                let base = (i - i0) * n;
+                self.matmul_transb_row_range_into(rhs, i, 0, &mut out_band[base..base + n]);
+            }
+            return;
+        }
+        let mut i = i0;
+        while i + MICRO_ROWS <= i1 {
+            let mut j = 0;
+            while j + MICRO_ROWS <= n {
+                self.matmul_transb_micro(rhs, i, j, i0, out_band);
+                j += MICRO_ROWS;
+            }
+            if j < n {
+                for r in i..i + MICRO_ROWS {
+                    let base = (r - i0) * n;
+                    self.matmul_transb_row_range_into(rhs, r, j, &mut out_band[base + j..base + n]);
+                }
+            }
+            i += MICRO_ROWS;
+        }
+        for r in i..i1 {
+            let base = (r - i0) * n;
+            self.matmul_transb_row_range_into(rhs, r, 0, &mut out_band[base..base + n]);
+        }
+    }
+
+    /// `MICRO_ROWS x MICRO_ROWS` register tile of `self * rhs^T`: output
+    /// rows `i..i + MICRO_ROWS`, columns `j..j + MICRO_ROWS`, each
+    /// element a plain ascending-`k` sum held in a register.
+    #[inline]
+    fn matmul_transb_micro(
+        &self,
+        rhs: &Matrix,
+        i: usize,
+        j: usize,
+        i0: usize,
+        out_band: &mut [f64],
+    ) {
+        let k = self.cols;
+        let n = rhs.rows;
+        assert!(i + MICRO_ROWS <= self.rows && j + MICRO_ROWS <= n && rhs.cols == k);
+        let a = &self.data;
+        let b = &rhs.data;
+        let mut acc = [[0.0f64; MICRO_ROWS]; MICRO_ROWS];
+        for p in 0..k {
+            // SAFETY: `p < k`, `i + MICRO_ROWS <= self.rows`, and
+            // `j + MICRO_ROWS <= n = rhs.rows` (asserted above) bound all
+            // indices; unchecked access hoists per-`k` bounds checks out
+            // of the accumulation loop.
+            unsafe {
+                let mut b_v = [0.0f64; MICRO_ROWS];
+                for (s, slot) in b_v.iter_mut().enumerate() {
+                    *slot = *b.get_unchecked((j + s) * k + p);
+                }
+                for (r, acc_r) in acc.iter_mut().enumerate() {
+                    let a_v = *a.get_unchecked((i + r) * k + p);
+                    for s in 0..MICRO_ROWS {
+                        acc_r[s] += a_v * b_v[s];
+                    }
+                }
+            }
+        }
+        for (r, acc_r) in acc.iter().enumerate() {
+            let base = (i + r - i0) * n + j;
+            out_band[base..base + MICRO_ROWS].copy_from_slice(acc_r);
+        }
     }
 
     /// [`Self::matmul_transb`] on an explicit pool, bypassing the size
@@ -501,7 +810,8 @@ impl Matrix {
 
     /// Pooled `self * rhs^T` body; `out` must have shape
     /// `self.rows x rhs.rows` (every element is overwritten). Output rows
-    /// are partitioned across threads with unchanged per-row arithmetic.
+    /// are partitioned into micro-tile-aligned bands running the blocked
+    /// kernel, with unchanged per-element arithmetic.
     fn matmul_transb_pooled_into(
         &self,
         rhs: &Matrix,
@@ -512,43 +822,44 @@ impl Matrix {
             return;
         }
         let out_cols = rhs.rows.max(1);
-        let chunk_rows = self.rows.div_ceil(pool.threads());
+        let chunk_rows = self.rows.div_ceil(pool.threads()).next_multiple_of(MICRO_ROWS);
         let tasks: Vec<crate::pool::Task<'_>> = out
             .data
             .chunks_mut((chunk_rows * out_cols).max(1))
             .enumerate()
             .map(|(chunk, out_chunk)| {
                 let row0 = chunk * chunk_rows;
+                let rows_here = out_chunk.len() / out_cols;
                 Box::new(move || {
-                    for (offset, out_row) in out_chunk.chunks_mut(out_cols).enumerate() {
-                        self.matmul_transb_row_into(rhs, row0 + offset, out_row);
-                    }
+                    self.matmul_transb_band_into(rhs, row0, row0 + rows_here, out_chunk);
                 }) as crate::pool::Task<'_>
             })
             .collect();
         pool.run(tasks);
     }
 
-    /// Computes one output row of `self * rhs^T` into `out_row`.
+    /// Columns `j0..j0 + out_row.len()` of one output row of
+    /// `self * rhs^T`.
     ///
     /// Uses a plain ascending-k scalar sum — deliberately *not* the
     /// unrolled [`crate::vector::dot`], whose 4-lane association order
     /// differs — so each element matches `matmul` against a materialized
     /// transpose bit for bit.
     #[inline]
-    fn matmul_transb_row_into(&self, rhs: &Matrix, i: usize, out_row: &mut [f64]) {
+    fn matmul_transb_row_range_into(&self, rhs: &Matrix, i: usize, j0: usize, out_row: &mut [f64]) {
         let a_row = self.row(i);
+        let b_rows = &rhs.data[j0 * rhs.cols..(j0 + out_row.len()) * rhs.cols];
         // Narrow shared dimensions (backprop's `delta · W^T` with few
         // classes) keep the row in registers; the ascending-k sum below
         // is the same either way.
         match a_row.len() {
             0 => out_row.fill(0.0),
-            1 => Self::matmul_transb_row_narrow::<1>(a_row, rhs, out_row),
-            2 => Self::matmul_transb_row_narrow::<2>(a_row, rhs, out_row),
-            3 => Self::matmul_transb_row_narrow::<3>(a_row, rhs, out_row),
-            4 => Self::matmul_transb_row_narrow::<4>(a_row, rhs, out_row),
+            1 => Self::matmul_transb_row_narrow::<1>(a_row, b_rows, out_row),
+            2 => Self::matmul_transb_row_narrow::<2>(a_row, b_rows, out_row),
+            3 => Self::matmul_transb_row_narrow::<3>(a_row, b_rows, out_row),
+            4 => Self::matmul_transb_row_narrow::<4>(a_row, b_rows, out_row),
             cols => {
-                for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(cols)) {
+                for (o, b_row) in out_row.iter_mut().zip(b_rows.chunks_exact(cols)) {
                     let mut s = 0.0;
                     for (&a, &b) in a_row.iter().zip(b_row) {
                         s += a * b;
@@ -559,14 +870,19 @@ impl Matrix {
         }
     }
 
-    /// One output row of `self * rhs^T` for a constant narrow shared
-    /// dimension `N`: per-element ascending-k scalar sums exactly like the
-    /// generic loop, with `a_row` held in registers.
+    /// A span of one output row of `self * rhs^T` for a constant narrow
+    /// shared dimension `N`: per-element ascending-k scalar sums exactly
+    /// like the generic loop, with `a_row` held in registers. `b_rows` is
+    /// the contiguous slice of `rhs` rows matching `out_row`.
     #[inline]
-    fn matmul_transb_row_narrow<const N: usize>(a_row: &[f64], rhs: &Matrix, out_row: &mut [f64]) {
+    fn matmul_transb_row_narrow<const N: usize>(
+        a_row: &[f64],
+        b_rows: &[f64],
+        out_row: &mut [f64],
+    ) {
         let mut a = [0.0f64; N];
         a.copy_from_slice(&a_row[..N]);
-        for (o, b_row) in out_row.iter_mut().zip(rhs.data.chunks_exact(N)) {
+        for (o, b_row) in out_row.iter_mut().zip(b_rows.chunks_exact(N)) {
             let mut s = 0.0;
             for j in 0..N {
                 s += a[j] * b_row[j];
@@ -625,15 +941,23 @@ impl Matrix {
         if self.rows == 0 {
             return;
         }
+        if self.cols == 0 {
+            out.fill(0.0);
+            return;
+        }
         let chunk_rows = self.rows.div_ceil(pool.threads());
         let tasks: Vec<crate::pool::Task<'_>> = out
             .chunks_mut(chunk_rows)
             .enumerate()
             .map(|(chunk, out_chunk)| {
                 let row0 = chunk * chunk_rows;
+                // Walk the band with `chunks_exact` instead of re-indexing
+                // `self.row(row0 + offset)` per row: one bounds check for
+                // the whole band, and the row stride is a loop-carried add.
+                let band = &self.data[row0 * self.cols..(row0 + out_chunk.len()) * self.cols];
                 Box::new(move || {
-                    for (offset, slot) in out_chunk.iter_mut().enumerate() {
-                        *slot = crate::vector::dot(self.row(row0 + offset), v);
+                    for (slot, row) in out_chunk.iter_mut().zip(band.chunks_exact(self.cols)) {
+                        *slot = crate::vector::dot(row, v);
                     }
                 }) as crate::pool::Task<'_>
             })
@@ -728,11 +1052,14 @@ impl Matrix {
     }
 
     /// [`Self::t_matvec_range`] accumulating into a pre-zeroed slice.
+    ///
+    /// Each row contributes through the wide-lane [`crate::vector::axpy`]
+    /// core; axpy is element-wise, so the unroll width never changes any
+    /// element's accumulation order and the result stays bit-identical to
+    /// the scalar loop.
     fn t_matvec_range_into(&self, v: &[f64], start: usize, end: usize, out: &mut [f64]) {
         for (r, &vr) in v.iter().enumerate().take(end).skip(start) {
-            for (o, &x) in out.iter_mut().zip(self.row(r)) {
-                *o += vr * x;
-            }
+            crate::vector::axpy(out, vr, self.row(r));
         }
     }
 

@@ -251,4 +251,84 @@ proptest! {
         }
         prop_assert!((w[n - 1] - 1.0).abs() < 1e-12);
     }
+
+    // The blocked kernels band output rows to the micro-kernel height, so
+    // pool-size invariance must also hold for shapes larger than the
+    // register block — band boundaries move with thread count but every
+    // output element keeps its full ascending-k accumulation.
+
+    #[test]
+    fn tiled_pooled_kernels_bit_identical_across_pool_sizes(
+        rows in 1usize..80,
+        inner in 1usize..14,
+        cols in 1usize..14,
+        seed in 0u64..1000,
+    ) {
+        let fill = |i: usize| ((i as f64 + seed as f64) * 0.61).sin() * 4.0;
+        let a = Matrix::from_vec(rows, inner, (0..rows * inner).map(fill).collect());
+        let b = Matrix::from_vec(inner, cols, (0..inner * cols).map(|i| fill(i + 3)).collect());
+        let bt = b.transpose();
+        let at = a.transpose();
+        let serial = a.matmul_with(&b, &WorkerPool::new(1));
+        for threads in [2usize, 3, 8] {
+            let pool = WorkerPool::new(threads);
+            prop_assert_eq!(&serial, &a.matmul_with(&b, &pool));
+            prop_assert_eq!(&at.matmul_transa_with(&b, &pool), &serial);
+            prop_assert_eq!(&a.matmul_transb_with(&bt, &pool), &serial);
+        }
+    }
+}
+
+/// Naive triple-loop reference: per output element, one accumulator
+/// started at `0.0` and advanced in ascending-k order — the association
+/// order the blocked kernels promise to preserve bit-for-bit.
+fn naive_matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    let mut out = Matrix::zeros(a.rows(), b.cols());
+    for i in 0..a.rows() {
+        for j in 0..b.cols() {
+            let mut acc = 0.0;
+            for p in 0..a.cols() {
+                acc += a[(i, p)] * b[(p, j)];
+            }
+            out[(i, j)] = acc;
+        }
+    }
+    out
+}
+
+/// Tile-size invariance, phrased against the fixed tile constants: shapes
+/// on, below, and across every micro/tile boundary (4-row micro, 8-col
+/// micro, 64-row L1 tile, 256-col tile) must all reproduce the naive
+/// reference exactly, serial and pooled. If a tile edge ever changed an
+/// element's accumulation order, one of these shapes would catch it.
+#[test]
+fn blocked_kernels_bit_identical_to_naive_across_tile_boundaries() {
+    let shapes = [
+        (1usize, 1usize, 1usize),
+        (3, 7, 9),
+        (4, 8, 8),
+        (5, 9, 17),
+        (17, 2, 31),
+        (64, 10, 256),
+        (65, 3, 257),
+        (70, 33, 300),
+        (130, 17, 40),
+    ];
+    for &(m, k, n) in &shapes {
+        let fill = |i: usize| ((i as f64) * 0.37).sin() * 5.0;
+        let a = Matrix::from_vec(m, k, (0..m * k).map(fill).collect());
+        let b = Matrix::from_vec(k, n, (0..k * n).map(|i| fill(i + 11)).collect());
+        let reference = naive_matmul(&a, &b);
+        assert_eq!(a.matmul(&b), reference, "matmul {m}x{k}x{n}");
+        let at = a.transpose();
+        assert_eq!(at.matmul_transa(&b), reference, "transa {m}x{k}x{n}");
+        let bt = b.transpose();
+        assert_eq!(a.matmul_transb(&bt), reference, "transb {m}x{k}x{n}");
+        for threads in [2usize, 5] {
+            let pool = WorkerPool::new(threads);
+            assert_eq!(a.matmul_with(&b, &pool), reference, "pooled matmul {m}x{k}x{n}");
+            assert_eq!(at.matmul_transa_with(&b, &pool), reference, "pooled transa {m}x{k}x{n}");
+            assert_eq!(a.matmul_transb_with(&bt, &pool), reference, "pooled transb {m}x{k}x{n}");
+        }
+    }
 }

@@ -38,8 +38,9 @@ impl SoftmaxRegression {
 
     fn logits_into(&self, x: &Matrix, out: &mut Matrix) {
         x.matmul_into(&self.weights, out);
-        for r in 0..out.rows() {
-            for (v, &b) in out.row_mut(r).iter_mut().zip(&self.bias) {
+        let cols = self.bias.len();
+        for row in out.as_mut_slice().chunks_exact_mut(cols) {
+            for (v, &b) in row.iter_mut().zip(&self.bias) {
                 *v += b;
             }
         }

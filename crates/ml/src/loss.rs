@@ -3,13 +3,18 @@
 use freeway_linalg::Matrix;
 
 /// In-place row-wise softmax with the log-sum-exp shift for stability.
+///
+/// Walks the storage as flat `cols`-wide chunks instead of re-slicing a
+/// row per iteration — same arithmetic in the same order as the obvious
+/// per-row loop, so results are bit-identical; the chunked walk just
+/// removes per-row bounds checks from what is (after the exp calls) the
+/// hottest few instructions in every forward pass.
 pub fn softmax_rows(logits: &mut Matrix) {
     let cols = logits.cols();
     if cols == 0 {
         return;
     }
-    for r in 0..logits.rows() {
-        let row = logits.row_mut(r);
+    for row in logits.as_mut_slice().chunks_exact_mut(cols) {
         let max = row.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
         let mut sum = 0.0;
         for x in row.iter_mut() {
@@ -87,12 +92,29 @@ pub fn softmax_grad_into(
         }
         None => n as f64,
     };
-    for (r, &y) in labels.iter().enumerate() {
-        assert!(y < out.cols(), "label {y} out of range");
-        out[(r, y)] -= 1.0;
-        let w = weights.map_or(1.0, |w| w[r]) / total_weight;
-        for v in out.row_mut(r) {
-            *v *= w;
+    // Flat chunked walk (see `softmax_rows`): identical arithmetic per
+    // row, minus the per-row re-slicing.
+    let cols = out.cols();
+    match weights {
+        None => {
+            let w = 1.0 / total_weight;
+            for (row, &y) in out.as_mut_slice().chunks_exact_mut(cols).zip(labels) {
+                assert!(y < cols, "label {y} out of range");
+                row[y] -= 1.0;
+                for v in row {
+                    *v *= w;
+                }
+            }
+        }
+        Some(ws) => {
+            for ((row, &y), &wr) in out.as_mut_slice().chunks_exact_mut(cols).zip(labels).zip(ws) {
+                assert!(y < cols, "label {y} out of range");
+                row[y] -= 1.0;
+                let w = wr / total_weight;
+                for v in row {
+                    *v *= w;
+                }
+            }
         }
     }
 }

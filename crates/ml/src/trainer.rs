@@ -88,6 +88,50 @@ impl Trainer {
         loss
     }
 
+    /// One mini-batch SGD step that skips the pre-update loss. The
+    /// parameter update is bit-identical to [`Self::train_batch`] — same
+    /// gradient, same optimizer step — but the streaming hot path discards
+    /// the loss, and computing it costs a `ln` per (row, class) (plus a
+    /// whole extra forward pass on the data-parallel path).
+    pub fn train_step(&mut self, x: &Matrix, y: &[usize]) {
+        self.train_weighted_step(x, y, None);
+    }
+
+    /// [`Self::train_weighted`] without the pre-update loss; see
+    /// [`Self::train_step`].
+    pub fn train_weighted_step(&mut self, x: &Matrix, y: &[usize], weights: Option<&[f64]>) {
+        if self.parallel_gradient {
+            crate::gradient::sharded_gradient_into(
+                self.model.as_ref(),
+                x,
+                y,
+                weights,
+                &freeway_linalg::pool::global(),
+                &mut self.shard_scratch,
+                &mut self.grad,
+            );
+        } else {
+            self.model.gradient_into(x, y, weights, &mut self.ws, &mut self.grad);
+        }
+        self.model.parameters_into(&mut self.params);
+        self.optimizer.step_into(&self.params, &self.grad, &mut self.delta);
+        self.model.apply_update(&self.delta);
+    }
+
+    /// Writes the model's (optionally weighted) average batch gradient
+    /// into `out` using this trainer's reusable workspace — the
+    /// allocation-free building block of the pre-computing window.
+    /// Bit-identical to `self.model().gradient(x, y, weights)`.
+    pub fn gradient_into(
+        &mut self,
+        x: &Matrix,
+        y: &[usize],
+        weights: Option<&[f64]>,
+        out: &mut Vec<f64>,
+    ) {
+        self.model.gradient_into(x, y, weights, &mut self.ws, out);
+    }
+
     /// Applies a pre-computed (already merged) gradient — the final step of
     /// the pre-computing window.
     pub fn apply_gradient(&mut self, grad: &[f64]) {
@@ -158,6 +202,22 @@ mod tests {
         }
         assert!(last < first, "loss should drop: {first} -> {last}");
         assert!(accuracy(t.model(), &x, &y) > 0.95);
+    }
+
+    #[test]
+    fn train_step_is_bit_identical_to_train_batch() {
+        let (x, y) = separable();
+        let mut a = Trainer::new(ModelSpec::mlp(2, vec![8], 2).build(3), Box::new(Sgd::new(0.1)));
+        let mut b = a.clone();
+        for _ in 0..5 {
+            let _ = a.train_batch(&x, &y);
+            b.train_step(&x, &y);
+        }
+        assert_eq!(a.model().parameters(), b.model().parameters());
+        let w: Vec<f64> = (0..y.len()).map(|i| 0.5 + (i % 3) as f64 * 0.25).collect();
+        let _ = a.train_weighted(&x, &y, Some(&w));
+        b.train_weighted_step(&x, &y, Some(&w));
+        assert_eq!(a.model().parameters(), b.model().parameters());
     }
 
     #[test]

@@ -324,6 +324,29 @@ impl StreamGenerator for CsvStream {
         Batch::labeled(x, labels, (self.cursor / size.max(1)) as u64, DriftPhase::Stable)
     }
 
+    fn next_batch_pooled(&mut self, size: usize, pool: &mut crate::pool::BatchPool) -> Batch {
+        let n = self.len();
+        let cols = self.x.cols();
+        let (mut x, mut labels) = pool.acquire(size, cols);
+        let mut emitted = 0;
+        while emitted < size {
+            if self.cursor >= n {
+                if self.cycle {
+                    self.cursor = 0;
+                } else {
+                    break;
+                }
+            }
+            x.row_mut(emitted).copy_from_slice(self.x.row(self.cursor));
+            labels.push(self.labels[self.cursor]);
+            self.cursor += 1;
+            emitted += 1;
+        }
+        // A non-cycling stream's final batch may come up short.
+        x.resize(emitted, cols);
+        Batch::labeled(x, labels, (self.cursor / size.max(1)) as u64, DriftPhase::Stable)
+    }
+
     fn num_features(&self) -> usize {
         self.x.cols()
     }

@@ -1,6 +1,7 @@
 //! The stream-generator trait all workloads implement.
 
 use crate::batch::Batch;
+use crate::pool::BatchPool;
 
 /// An infinite source of labeled mini-batches.
 ///
@@ -9,6 +10,16 @@ use crate::batch::Batch;
 pub trait StreamGenerator: Send {
     /// Produces the next batch of `size` samples.
     fn next_batch(&mut self, size: usize) -> Batch;
+
+    /// [`Self::next_batch`] drawing buffers from `pool` instead of
+    /// allocating. Must emit a batch bit-identical to `next_batch` (same
+    /// RNG consumption, same values) — only the buffer provenance may
+    /// differ. The default falls back to the allocating path, so
+    /// generators without a pooled override stay correct.
+    fn next_batch_pooled(&mut self, size: usize, pool: &mut BatchPool) -> Batch {
+        let _ = pool;
+        self.next_batch(size)
+    }
 
     /// Feature dimension of the stream.
     fn num_features(&self) -> usize;
@@ -38,6 +49,33 @@ mod tests {
         for (i, b) in batches.iter().enumerate() {
             assert_eq!(b.seq, i as u64);
             assert_eq!(b.len(), 16);
+        }
+    }
+
+    #[test]
+    fn pooled_batches_are_bit_identical_to_allocating() {
+        use crate::pool::BatchPool;
+        use crate::sea::Sea;
+        let mut pool = BatchPool::new();
+        let mut plain = Hyperplane::with_regimes(6, 0.02, 0.05, Some(3), 2, 9);
+        let mut pooled = Hyperplane::with_regimes(6, 0.02, 0.05, Some(3), 2, 9);
+        for _ in 0..8 {
+            let a = plain.next_batch(32);
+            let b = pooled.next_batch_pooled(32, &mut pool);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.labels, b.labels);
+            assert_eq!((a.seq, a.phase), (b.seq, b.phase));
+            pool.recycle(b);
+        }
+        assert_eq!(pool.reused(), 7, "warm loop reuses the single buffer pair");
+        let mut plain = Sea::new(3, 0.1, 11);
+        let mut pooled = Sea::new(3, 0.1, 11);
+        for _ in 0..8 {
+            let a = plain.next_batch(17);
+            let b = pooled.next_batch_pooled(17, &mut pool);
+            assert_eq!(a.x, b.x);
+            assert_eq!(a.labels, b.labels);
+            pool.recycle(b);
         }
     }
 }

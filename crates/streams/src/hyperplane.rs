@@ -138,10 +138,16 @@ impl Hyperplane {
         }
         label
     }
-}
 
-impl StreamGenerator for Hyperplane {
-    fn next_batch(&mut self, size: usize) -> Batch {
+    /// Samples one batch into caller-provided buffers (which may be dirty
+    /// pool returns — every cell of every emitted row is overwritten) and
+    /// advances the stream. Returns the batch's sequence number and phase.
+    fn fill_batch(
+        &mut self,
+        size: usize,
+        x: &mut Matrix,
+        labels: &mut Vec<usize>,
+    ) -> (u64, DriftPhase) {
         // Regime bookkeeping.
         let regime_now = self.regime_at(self.seq);
         let phase = if regime_now != self.current_regime {
@@ -165,24 +171,32 @@ impl StreamGenerator for Hyperplane {
         let blend_rows =
             if regime_next != regime_now { ((size as f64) * BLEND_FRACTION) as usize } else { 0 };
 
-        let mut x = Matrix::zeros(size, self.dim);
-        let mut labels = Vec::with_capacity(size);
+        x.resize(size, self.dim);
+        labels.clear();
         for r in 0..size {
             let regime = if r >= size - blend_rows { regime_next } else { regime_now };
-            let label = {
-                let row = x.row_mut(r);
-                // Borrow dance: sample_row needs &mut self, so copy out.
-                let mut buf = vec![0.0; row.len()];
-                let l = self.sample_row(regime, &mut buf);
-                row.copy_from_slice(&buf);
-                l
-            };
+            let label = self.sample_row(regime, x.row_mut(r));
             labels.push(label);
         }
         self.drift_weights();
-        let batch = Batch::labeled(x, labels, self.seq, phase);
+        let seq = self.seq;
         self.seq += 1;
-        batch
+        (seq, phase)
+    }
+}
+
+impl StreamGenerator for Hyperplane {
+    fn next_batch(&mut self, size: usize) -> Batch {
+        let mut x = Matrix::zeros(size, self.dim);
+        let mut labels = Vec::with_capacity(size);
+        let (seq, phase) = self.fill_batch(size, &mut x, &mut labels);
+        Batch::labeled(x, labels, seq, phase)
+    }
+
+    fn next_batch_pooled(&mut self, size: usize, pool: &mut crate::pool::BatchPool) -> Batch {
+        let (mut x, mut labels) = pool.acquire(size, self.dim);
+        let (seq, phase) = self.fill_batch(size, &mut x, &mut labels);
+        Batch::labeled(x, labels, seq, phase)
     }
 
     fn num_features(&self) -> usize {

@@ -18,6 +18,7 @@
 //! * [`image`] — image streams + the frozen "VGG" feature extractor.
 //! * [`source`] — a rate-simulated source feeding the rate-aware adjuster;
 //! * [`csv`] — a loader streaming real CSV datasets in file order.
+//! * [`pool`] — a recycling arena so warm ingest loops reuse batch buffers.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -29,6 +30,7 @@ pub mod datasets;
 pub mod generator;
 pub mod hyperplane;
 pub mod image;
+pub mod pool;
 pub mod sea;
 pub mod source;
 
@@ -37,4 +39,5 @@ pub use concept::GmmConcept;
 pub use csv::{CsvError, CsvLoadSummary, CsvStream, LabelColumn};
 pub use generator::StreamGenerator;
 pub use hyperplane::Hyperplane;
+pub use pool::BatchPool;
 pub use sea::Sea;

@@ -1,0 +1,108 @@
+//! Recycling arena for ingest batches.
+//!
+//! The prequential loop used to allocate a fresh feature matrix and label
+//! vector for every mini-batch — one of the last per-batch allocations on
+//! the hot path after PR 2's zero-alloc train loop. [`BatchPool`] keeps
+//! retired buffers and hands them back to generators, so a warm
+//! ingest→train loop reaches steady state with zero ingest allocations:
+//! the consumer [`recycle`](BatchPool::recycle)s each batch once it is
+//! done and the next [`acquire`](BatchPool::acquire) reuses the storage.
+//!
+//! Buffers come back *dirty*: [`freeway_linalg::Matrix::resize`] keeps
+//! old contents, so generators overriding
+//! [`StreamGenerator::next_batch_pooled`](crate::generator::StreamGenerator::next_batch_pooled)
+//! must overwrite every cell they emit. All in-tree generators sample
+//! every cell per row, which also guarantees the pooled path is
+//! bit-identical to the allocating one — the data never depends on the
+//! buffer's provenance.
+
+use crate::batch::Batch;
+use freeway_linalg::Matrix;
+
+/// A free-list of retired `(features, labels)` buffer pairs.
+#[derive(Debug, Default)]
+pub struct BatchPool {
+    free: Vec<(Matrix, Vec<usize>)>,
+    acquired: u64,
+    reused: u64,
+}
+
+impl BatchPool {
+    /// Creates an empty pool.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Hands out a `rows x cols` matrix and an empty label vector,
+    /// reusing retired buffers when any are available.
+    ///
+    /// The matrix contents are unspecified (dirty from a previous batch);
+    /// the label vector is empty but keeps its capacity.
+    pub fn acquire(&mut self, rows: usize, cols: usize) -> (Matrix, Vec<usize>) {
+        self.acquired += 1;
+        match self.free.pop() {
+            Some((mut x, mut labels)) => {
+                self.reused += 1;
+                x.resize(rows, cols);
+                labels.clear();
+                (x, labels)
+            }
+            None => (Matrix::zeros(rows, cols), Vec::with_capacity(rows)),
+        }
+    }
+
+    /// Returns a consumed batch's buffers to the free list. Unlabeled
+    /// batches recycle their matrix with a fresh (empty) label vector.
+    pub fn recycle(&mut self, batch: Batch) {
+        let Batch { x, labels, .. } = batch;
+        self.free.push((x, labels.unwrap_or_default()));
+    }
+
+    /// Buffers currently sitting in the free list.
+    pub fn idle(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Total [`acquire`](Self::acquire) calls served.
+    pub fn acquired(&self) -> u64 {
+        self.acquired
+    }
+
+    /// How many acquisitions were served from retired buffers instead of
+    /// fresh allocations — in a warm loop this tracks `acquired` exactly.
+    pub fn reused(&self) -> u64 {
+        self.reused
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batch::DriftPhase;
+
+    #[test]
+    fn acquire_recycle_reaches_steady_state() {
+        let mut pool = BatchPool::new();
+        for round in 0..5u64 {
+            let (x, mut labels) = pool.acquire(8, 3);
+            assert_eq!((x.rows(), x.cols()), (8, 3));
+            assert!(labels.is_empty());
+            labels.resize(8, 0);
+            pool.recycle(Batch::labeled(x, labels, round, DriftPhase::Stable));
+        }
+        assert_eq!(pool.acquired(), 5);
+        assert_eq!(pool.reused(), 4, "only the first acquire allocates");
+        assert_eq!(pool.idle(), 1);
+    }
+
+    #[test]
+    fn reshapes_recycled_buffers() {
+        let mut pool = BatchPool::new();
+        let (x, labels) = pool.acquire(4, 4);
+        pool.recycle(Batch::unlabeled(x, 0, DriftPhase::Stable));
+        let _ = labels;
+        let (x2, _) = pool.acquire(2, 7);
+        assert_eq!((x2.rows(), x2.cols()), (2, 7));
+        assert_eq!(pool.reused(), 1);
+    }
+}

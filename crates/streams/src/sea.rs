@@ -68,22 +68,24 @@ impl Sea {
     }
 }
 
-impl StreamGenerator for Sea {
-    fn next_batch(&mut self, size: usize) -> Batch {
+impl Sea {
+    /// Samples one batch into caller-provided (possibly dirty pooled)
+    /// buffers and advances the stream; every emitted cell is overwritten.
+    fn fill_batch(
+        &mut self,
+        size: usize,
+        x: &mut Matrix,
+        labels: &mut Vec<usize>,
+    ) -> (u64, DriftPhase) {
         let ci = self.concept_index(self.seq);
         let ci_next = self.concept_index(self.seq + 1);
         let blend_rows = if ci_next != ci { ((size as f64) * BLEND_FRACTION) as usize } else { 0 };
 
-        let mut x = Matrix::zeros(size, 3);
-        let mut labels = Vec::with_capacity(size);
+        x.resize(size, 3);
+        labels.clear();
         for r in 0..size {
             let concept = if r >= size - blend_rows { ci_next } else { ci };
-            let label = {
-                let mut buf = [0.0; 3];
-                let l = self.sample_row(concept, &mut buf);
-                x.row_mut(r).copy_from_slice(&buf);
-                l
-            };
+            let label = self.sample_row(concept, x.row_mut(r));
             labels.push(label);
         }
         // Phase: the first batch after a switch is Sudden (or Reoccurring
@@ -98,9 +100,24 @@ impl StreamGenerator for Sea {
         } else {
             DriftPhase::Stable
         };
-        let batch = Batch::labeled(x, labels, self.seq, phase);
+        let seq = self.seq;
         self.seq += 1;
-        batch
+        (seq, phase)
+    }
+}
+
+impl StreamGenerator for Sea {
+    fn next_batch(&mut self, size: usize) -> Batch {
+        let mut x = Matrix::zeros(size, 3);
+        let mut labels = Vec::with_capacity(size);
+        let (seq, phase) = self.fill_batch(size, &mut x, &mut labels);
+        Batch::labeled(x, labels, seq, phase)
+    }
+
+    fn next_batch_pooled(&mut self, size: usize, pool: &mut crate::pool::BatchPool) -> Batch {
+        let (mut x, mut labels) = pool.acquire(size, 3);
+        let (seq, phase) = self.fill_batch(size, &mut x, &mut labels);
+        Batch::labeled(x, labels, seq, phase)
     }
 
     fn num_features(&self) -> usize {
