@@ -26,8 +26,10 @@ use crate::admission::{AdmissionConfig, AdmittedPipeline};
 use crate::config::FreewayConfig;
 use crate::degrade::DegradationHandle;
 use crate::error::FreewayError;
+use crate::knowledge::SharedKnowledge;
 use crate::learner::Learner;
 use crate::pipeline::Pipeline;
+use crate::shard::ShardedPipeline;
 use crate::supervisor::{SupervisedPipeline, SupervisorConfig};
 use freeway_ml::ModelSpec;
 use freeway_telemetry::{RecordingSink, Telemetry, TelemetrySink};
@@ -48,6 +50,7 @@ pub struct PipelineBuilder {
     supervisor: SupervisorConfig,
     admission: Option<AdmissionConfig>,
     telemetry: Telemetry,
+    shards: usize,
 }
 
 impl PipelineBuilder {
@@ -61,6 +64,7 @@ impl PipelineBuilder {
             supervisor: SupervisorConfig::default(),
             admission: None,
             telemetry: Telemetry::disabled(),
+            shards: 1,
         }
     }
 
@@ -169,6 +173,16 @@ impl PipelineBuilder {
         self
     }
 
+    /// Sets the shard count for [`Self::build_sharded`]: keyed batches
+    /// are hash-routed across `n` independent admitted pipelines sharing
+    /// one telemetry stream and one cross-shard knowledge registry. The
+    /// other build targets ignore this.
+    #[must_use]
+    pub fn shards(mut self, n: usize) -> Self {
+        self.shards = n;
+        self
+    }
+
     /// Convenience: attaches an in-memory [`RecordingSink`] and hands it
     /// back so the caller can read events after (or during) the run.
     #[must_use]
@@ -226,6 +240,86 @@ impl PipelineBuilder {
         learner.attach_degradation(handle.clone());
         let inner = SupervisedPipeline::with_learner(learner, supervisor)?;
         AdmittedPipeline::new(inner, admission, handle)
+    }
+
+    /// Builds the sharded multi-tenant runtime: [`Self::shards`] admitted
+    /// pipelines behind a hash router, sharing one telemetry stream and
+    /// one cross-shard [`SharedKnowledge`] registry (capacity
+    /// [`FreewayConfig::kdg_buffer`], like each shard's local store).
+    ///
+    /// Thread budget (see [`FreewayConfig::num_threads`] for the full
+    /// policy): the kernel worker pool is process-wide and shared by all
+    /// shards, so with `n` shards the compute threads are the `n` shard
+    /// workers plus the pool. The resolved kernel thread count is
+    /// `FREEWAY_THREADS` when set, else `num_threads` (`0` meaning
+    /// "cores / shards", i.e. hand the whole budget to the shards).
+    /// Multi-shard with a parallel kernel pool must fit the host:
+    /// `shards + kernel_threads > cores` is rejected. Serial kernels
+    /// (the default) permit any shard count — workers beyond the core
+    /// count time-slice, they do not oversubscribe kernel compute.
+    ///
+    /// Per-shard checkpoint paths get a `.shard<i>` suffix so shards
+    /// never clobber each other's persisted generations.
+    ///
+    /// # Errors
+    /// As [`Self::build_admitted`], plus a zero shard count or an
+    /// oversubscribing shard/kernel-thread split.
+    pub fn build_sharded(self) -> Result<ShardedPipeline, FreewayError> {
+        if self.shards == 0 {
+            return Err(FreewayError::InvalidConfig("shard count must be positive".to_owned()));
+        }
+        Self::check_supervisor(&self.supervisor)?;
+        let admission = self.admission.clone().unwrap_or_default();
+        admission.check().map_err(FreewayError::InvalidConfig)?;
+        let cores = std::thread::available_parallelism().map_or(1, usize::from);
+        let requested = std::env::var("FREEWAY_THREADS")
+            .ok()
+            .and_then(|raw| raw.trim().parse::<usize>().ok())
+            .unwrap_or(self.config.num_threads);
+        let kernel_threads = if requested == 0 {
+            // Auto: the shard workers are the parallelism; give the
+            // kernel pool whatever cores the workers leave over.
+            (cores / self.shards).max(1)
+        } else {
+            requested
+        };
+        if self.shards > 1 && kernel_threads > 1 && self.shards + kernel_threads > cores {
+            return Err(FreewayError::InvalidConfig(format!(
+                "{} shards + {kernel_threads} kernel threads oversubscribe {cores} cores; \
+                 use serial kernels (num_threads = 1) or fewer shards \
+                 (see FreewayConfig::num_threads)",
+                self.shards
+            )));
+        }
+        let mut config = self.config;
+        config.num_threads = kernel_threads;
+        let shared = SharedKnowledge::new(config.kdg_buffer);
+        let mut shards = Vec::with_capacity(self.shards);
+        for shard in 0..self.shards {
+            let mut supervisor = self.supervisor.clone();
+            if let Some(path) = supervisor.checkpoint_path.take() {
+                supervisor.checkpoint_path =
+                    Some(PathBuf::from(format!("{}.shard{shard}", path.display())));
+            }
+            let handle = DegradationHandle::new();
+            let mut learner =
+                Learner::try_new(self.spec.clone(), config.clone(), self.telemetry.clone())?;
+            learner.attach_degradation(handle.clone());
+            if self.shards > 1 {
+                // A single shard gets no registry handle: lookups could
+                // only ever see its own entries (which are excluded), so
+                // attaching would just spend publish work — and skipping
+                // it keeps 1-shard runs byte-identical to the plain
+                // pipeline (the parity oracle).
+                learner.attach_shared_knowledge(&shared, shard);
+            }
+            let mut inner = SupervisedPipeline::with_learner(learner, supervisor)?;
+            if self.shards > 1 {
+                inner.set_shared_knowledge(shared.clone(), shard);
+            }
+            shards.push(AdmittedPipeline::new(inner, admission.clone(), handle)?);
+        }
+        Ok(ShardedPipeline::new(shards, shared, self.telemetry))
     }
 
     fn check_supervisor(supervisor: &SupervisorConfig) -> Result<(), FreewayError> {

@@ -15,6 +15,9 @@ use bytes::Bytes;
 use freeway_linalg::vector;
 use freeway_ml::{Model, ModelSnapshot, ModelSpec};
 use freeway_telemetry::{Telemetry, TelemetryEvent};
+use parking_lot::{Mutex, RwLock};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// One preserved `(d_i, k_i)` pair.
 #[derive(Clone, Debug)]
@@ -189,6 +192,231 @@ impl KnowledgeStore {
     }
 }
 
+/// One entry of the cross-shard knowledge registry.
+///
+/// Unlike [`KnowledgeEntry`], the fingerprint is the **raw feature-space
+/// batch mean**, not a PCA projection: every shard fits its own PCA basis,
+/// so projected coordinates are incomparable across shards while raw
+/// means live in the one space all shards share.
+#[derive(Clone, Debug)]
+pub struct SharedEntry {
+    /// Raw feature-space mean of the batch that triggered preservation.
+    pub fingerprint: Vec<f64>,
+    /// The reusable model parameters.
+    pub snapshot: ModelSnapshot,
+    /// ASW disorder at preservation time (provenance).
+    pub disorder: f64,
+    /// Shard that preserved this entry.
+    pub shard: usize,
+    /// The preserving shard's local train-batch counter — the stable half
+    /// of the `(seq, shard)` ordering key.
+    pub seq: u64,
+}
+
+/// Writer-side state: one append-ordered sub-list per shard. Each shard's
+/// sub-list is a pure function of that shard's own publish sequence
+/// (dedup and the per-shard cap never look at other shards), which is
+/// what makes the merged view interleaving-independent.
+#[derive(Default)]
+struct SharedWriter {
+    per_shard: Vec<Vec<SharedEntry>>,
+    published: u64,
+}
+
+struct SharedInner {
+    /// Bumped under the write lock on every view swap; readers poll it
+    /// without taking any lock.
+    epoch: AtomicU64,
+    /// COW snapshot of the merged view. Readers clone the `Arc` (two
+    /// atomic ops) and then search entirely lock-free.
+    view: RwLock<Arc<Vec<SharedEntry>>>,
+    writer: Mutex<SharedWriter>,
+    capacity: usize,
+}
+
+/// Concurrent cross-shard knowledge registry (the sharded runtime's
+/// §IV-D store).
+///
+/// Concurrency contract:
+/// * **Reads are lock-free in steady state.** Shards hold a
+///   [`SharedReader`] that caches the current view `Arc` and its epoch;
+///   a lookup only touches the registry when the epoch atomic says the
+///   view moved.
+/// * **Writes are copy-on-write.** A publish rebuilds the merged view
+///   and swaps the `Arc` under a write lock held for the swap only.
+/// * **Content is interleaving-independent.** Each shard's contribution
+///   depends only on its own publish order (single producer per shard);
+///   the merged view is the global top-`capacity` of the per-shard
+///   sub-lists by the stable ordering key `(seq, shard)` descending.
+///   Any arrival interleaving of the same per-shard sequences converges
+///   to the same view — paper tables stay byte-reproducible.
+#[derive(Clone)]
+pub struct SharedKnowledge {
+    inner: Arc<SharedInner>,
+}
+
+impl SharedKnowledge {
+    /// Creates a registry whose merged view keeps at most `capacity`
+    /// entries (each shard also contributes at most `capacity`).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        Self {
+            inner: Arc::new(SharedInner {
+                epoch: AtomicU64::new(0),
+                view: RwLock::new(Arc::new(Vec::new())),
+                writer: Mutex::new(SharedWriter::default()),
+                capacity,
+            }),
+        }
+    }
+
+    /// Current view epoch (bumped on every publish that changes the view).
+    pub fn epoch(&self) -> u64 {
+        self.inner.epoch.load(Ordering::Acquire)
+    }
+
+    /// Entries in the merged view.
+    pub fn len(&self) -> usize {
+        self.inner.view.read().len()
+    }
+
+    /// True when no shard has published yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total publish calls across all shards.
+    pub fn published(&self) -> u64 {
+        self.inner.writer.lock().published
+    }
+
+    /// Consistent `(epoch, view)` pair, read under the read lock so the
+    /// epoch always matches the view it stamps.
+    pub fn view(&self) -> (u64, Arc<Vec<SharedEntry>>) {
+        let guard = self.inner.view.read();
+        (self.inner.epoch.load(Ordering::Acquire), Arc::clone(&guard))
+    }
+
+    /// Publishes one preserved concept from `shard`.
+    ///
+    /// Dedup is same-shard only: when the shard's own nearest prior entry
+    /// lies within `dedup_radius`, it is replaced (the replacement carries
+    /// the new `seq`). Cross-shard entries never interact except through
+    /// capacity eviction, which keeps the global top-`capacity` by
+    /// `(seq, shard)` descending.
+    pub fn publish(
+        &self,
+        shard: usize,
+        seq: u64,
+        fingerprint: Vec<f64>,
+        snapshot: ModelSnapshot,
+        disorder: f64,
+        dedup_radius: f64,
+    ) {
+        let mut writer = self.inner.writer.lock();
+        writer.published += 1;
+        if writer.per_shard.len() <= shard {
+            writer.per_shard.resize_with(shard + 1, Vec::new);
+        }
+        let own = &mut writer.per_shard[shard];
+        if dedup_radius > 0.0 {
+            let nearest = own
+                .iter()
+                .enumerate()
+                .map(|(i, e)| (i, vector::euclidean_distance(&e.fingerprint, &fingerprint)))
+                .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal));
+            if let Some((idx, dist)) = nearest {
+                if dist <= dedup_radius {
+                    own.remove(idx);
+                }
+            }
+        }
+        own.push(SharedEntry { fingerprint, snapshot, disorder, shard, seq });
+        if own.len() > self.inner.capacity {
+            own.remove(0);
+        }
+        // Rebuild the merged view: global top-capacity, newest first.
+        let mut merged: Vec<SharedEntry> = writer.per_shard.iter().flatten().cloned().collect();
+        merged.sort_by_key(|b| std::cmp::Reverse((b.seq, b.shard)));
+        merged.truncate(self.inner.capacity);
+        let mut view = self.inner.view.write();
+        *view = Arc::new(merged);
+        self.inner.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// Creates `shard`'s cached read handle.
+    pub fn reader(&self, shard: usize) -> SharedReader {
+        SharedReader { shared: self.clone(), shard, epoch: 0, cache: Arc::new(Vec::new()) }
+    }
+}
+
+impl std::fmt::Debug for SharedKnowledge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SharedKnowledge")
+            .field("len", &self.len())
+            .field("epoch", &self.epoch())
+            .finish()
+    }
+}
+
+/// One shard's cached read handle into a [`SharedKnowledge`] registry.
+///
+/// Holds the last seen view `Arc`; lookups re-read the registry only when
+/// the epoch atomic moved, so the steady-state read path takes no lock.
+pub struct SharedReader {
+    shared: SharedKnowledge,
+    shard: usize,
+    epoch: u64,
+    cache: Arc<Vec<SharedEntry>>,
+}
+
+impl SharedReader {
+    /// The shard this reader belongs to (its own entries are excluded
+    /// from lookups).
+    pub fn shard(&self) -> usize {
+        self.shard
+    }
+
+    /// The underlying registry.
+    pub fn shared(&self) -> &SharedKnowledge {
+        &self.shared
+    }
+
+    fn refresh(&mut self) {
+        if self.shared.epoch() != self.epoch {
+            let (epoch, view) = self.shared.view();
+            self.epoch = epoch;
+            self.cache = view;
+        }
+    }
+
+    /// Nearest entry preserved by a *different* shard, with its raw
+    /// feature-space distance. Excluding own-shard entries keeps a
+    /// 1-shard run byte-identical to the unsharded pipeline (the lookup
+    /// can never fire) and makes every hit a genuine cross-shard reuse.
+    pub fn nearest_foreign(&mut self, fingerprint: &[f64]) -> Option<(SharedEntry, f64)> {
+        self.refresh();
+        self.cache
+            .iter()
+            .filter(|e| e.shard != self.shard)
+            .map(|e| (e, vector::euclidean_distance(&e.fingerprint, fingerprint)))
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap_or(std::cmp::Ordering::Equal))
+            .map(|(e, d)| (e.clone(), d))
+    }
+
+    /// Publishes on behalf of this reader's shard.
+    pub fn publish(
+        &self,
+        seq: u64,
+        fingerprint: Vec<f64>,
+        snapshot: ModelSnapshot,
+        disorder: f64,
+        dedup_radius: f64,
+    ) {
+        self.shared.publish(self.shard, seq, fingerprint, snapshot, disorder, dedup_radius);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -264,5 +492,97 @@ mod tests {
         assert!(s.nearest(&[0.0]).is_none());
         assert!(s.match_knowledge(&[0.0], 100.0).is_none());
         assert!(s.is_empty());
+    }
+
+    fn snap(seed: u64) -> ModelSnapshot {
+        let spec = ModelSpec::lr(2, 2);
+        let model = spec.build(seed);
+        ModelSnapshot::capture(spec, model.as_ref())
+    }
+
+    fn view_key(shared: &SharedKnowledge) -> Vec<(u64, usize, Vec<f64>)> {
+        let (_, view) = shared.view();
+        view.iter().map(|e| (e.seq, e.shard, e.fingerprint.clone())).collect()
+    }
+
+    #[test]
+    fn shared_view_is_interleaving_independent() {
+        // Three shards, fixed per-shard publish sequences; every arrival
+        // interleaving must converge to the same merged view.
+        let per_shard: Vec<Vec<(u64, Vec<f64>)>> = vec![
+            vec![(1, vec![0.0, 0.0]), (4, vec![0.1, 0.0]), (7, vec![9.0, 9.0])],
+            vec![(2, vec![5.0, 5.0]), (3, vec![5.05, 5.0]), (9, vec![-4.0, 1.0])],
+            vec![(5, vec![2.0, -2.0]), (6, vec![7.0, 7.0])],
+        ];
+        // Interleavings as sequences of shard indices (each shard's own
+        // publishes stay in order — single producer per shard).
+        let orders: Vec<Vec<usize>> = vec![
+            vec![0, 0, 0, 1, 1, 1, 2, 2],
+            vec![2, 1, 0, 1, 2, 0, 1, 0],
+            vec![1, 2, 1, 0, 0, 2, 1, 0],
+        ];
+        let mut views = Vec::new();
+        for order in &orders {
+            let shared = SharedKnowledge::new(4);
+            let mut cursors = vec![0usize; per_shard.len()];
+            for &s in order {
+                let (seq, fp) = per_shard[s][cursors[s]].clone();
+                cursors[s] += 1;
+                shared.publish(s, seq, fp, snap(seq), 0.5, 0.2);
+            }
+            assert_eq!(shared.len(), 4);
+            views.push(view_key(&shared));
+        }
+        assert_eq!(views[0], views[1]);
+        assert_eq!(views[0], views[2]);
+        // Newest-first by (seq, shard): seq 9, 7, 6, 5 survive at cap 4.
+        let seqs: Vec<u64> = views[0].iter().map(|(s, _, _)| *s).collect();
+        assert_eq!(seqs, vec![9, 7, 6, 5]);
+    }
+
+    #[test]
+    fn shared_dedup_is_same_shard_only() {
+        let shared = SharedKnowledge::new(8);
+        shared.publish(0, 1, vec![1.0, 1.0], snap(1), 0.5, 0.5);
+        // Shard 1 publishes *at the same point*: no dedup across shards.
+        shared.publish(1, 1, vec![1.0, 1.0], snap(2), 0.5, 0.5);
+        assert_eq!(shared.len(), 2);
+        // Shard 0 republishes nearby: replaces its own entry.
+        shared.publish(0, 5, vec![1.1, 1.0], snap(3), 0.5, 0.5);
+        assert_eq!(shared.len(), 2);
+        let (_, view) = shared.view();
+        let shard0: Vec<_> = view.iter().filter(|e| e.shard == 0).collect();
+        assert_eq!(shard0.len(), 1);
+        assert_eq!(shard0[0].seq, 5);
+    }
+
+    #[test]
+    fn reader_excludes_own_shard_and_tracks_epoch() {
+        let shared = SharedKnowledge::new(8);
+        let mut reader = shared.reader(0);
+        assert!(reader.nearest_foreign(&[0.0, 0.0]).is_none());
+        shared.publish(0, 1, vec![0.0, 0.0], snap(1), 0.5, 0.0);
+        // Own-shard entry is invisible to the reader.
+        assert!(reader.nearest_foreign(&[0.0, 0.0]).is_none());
+        shared.publish(1, 1, vec![3.0, 4.0], snap(2), 0.5, 0.0);
+        let (entry, dist) = reader.nearest_foreign(&[0.0, 0.0]).expect("foreign entry");
+        assert_eq!(entry.shard, 1);
+        assert!((dist - 5.0).abs() < 1e-12);
+        // Cache refresh happened exactly because the epoch moved.
+        assert_eq!(reader.epoch, shared.epoch());
+    }
+
+    #[test]
+    fn shared_restored_snapshot_predicts_like_original() {
+        let spec = ModelSpec::lr(3, 2);
+        let mut model = spec.build(7);
+        let x = freeway_linalg::Matrix::from_rows(&[vec![1.0, -1.0, 0.5]]);
+        let g = model.gradient(&x, &[1], None);
+        model.apply_update(&g.iter().map(|v| -0.2 * v).collect::<Vec<_>>());
+        let shared = SharedKnowledge::new(4);
+        shared.publish(2, 1, vec![0.0; 3], ModelSnapshot::capture(spec, model.as_ref()), 0.1, 0.0);
+        let mut reader = shared.reader(0);
+        let (entry, _) = reader.nearest_foreign(&[0.0; 3]).expect("published");
+        assert_eq!(entry.snapshot.restore().predict(&x), model.predict(&x));
     }
 }

@@ -11,12 +11,12 @@ use crate::config::FreewayConfig;
 use crate::degrade::{DegradationHandle, DegradationLevel};
 use crate::error::FreewayError;
 use crate::granularity::MultiGranularity;
-use crate::knowledge::KnowledgeStore;
+use crate::knowledge::{KnowledgeStore, SharedKnowledge, SharedReader};
 use crate::selector::{Decision, StrategySelector};
 use freeway_cluster::{CoherentExperience, ExperienceBuffer};
 use freeway_drift::ShiftPattern;
 use freeway_linalg::{vector, Matrix};
-use freeway_ml::ModelSpec;
+use freeway_ml::{ModelSnapshot, ModelSpec};
 use freeway_streams::Batch;
 use freeway_telemetry::{Stage, Telemetry, TelemetryEvent};
 
@@ -159,6 +159,15 @@ pub struct Learner {
     /// at [`DegradationLevel::Full`], so standalone learners behave
     /// exactly as before.
     degradation: DegradationHandle,
+    /// Cross-shard knowledge registry handle; `None` outside a sharded
+    /// runtime, in which case no publish or lookup ever happens and the
+    /// learner is byte-identical to the unsharded one.
+    shared: Option<SharedReader>,
+    /// Training batches seen — the stable half of this shard's
+    /// `(seq, shard)` ordering key in the shared registry.
+    batches_trained: u64,
+    /// Inference batches answered from a *foreign* shard's shared entry.
+    shared_hits: u64,
 }
 
 impl Learner {
@@ -214,6 +223,9 @@ impl Learner {
             stats: StrategyStats::default(),
             telemetry,
             degradation: DegradationHandle::new(),
+            shared: None,
+            batches_trained: 0,
+            shared_hits: 0,
         })
     }
 
@@ -300,6 +312,25 @@ impl Learner {
     /// Current overload service level (from the attached handle).
     pub fn degradation_level(&self) -> DegradationLevel {
         self.degradation.level()
+    }
+
+    /// Joins this learner to a cross-shard knowledge registry as `shard`:
+    /// window-completion preservations are additionally published to the
+    /// registry, and severe-shift inference first probes other shards'
+    /// entries (sharded Pattern-C warm start). Wired by
+    /// [`crate::PipelineBuilder::build_sharded`].
+    pub fn attach_shared_knowledge(&mut self, shared: &SharedKnowledge, shard: usize) {
+        self.shared = Some(shared.reader(shard));
+    }
+
+    /// Inference batches answered from a foreign shard's shared entry.
+    pub fn shared_hits(&self) -> u64 {
+        self.shared_hits
+    }
+
+    /// Training batches seen (the shared-registry ordering seq).
+    pub fn batches_trained(&self) -> u64 {
+        self.batches_trained
     }
 
     /// Projects a batch mean into shift-graph coordinates (zeros during
@@ -405,7 +436,63 @@ impl Learner {
         }
     }
 
+    /// Cross-shard Pattern-C probe: when a severe shift lands on this
+    /// shard, another tenant's shard may already hold the post-shift
+    /// concept. Tried before CEC arbitration because a matching foreign
+    /// snapshot is trained knowledge, not a cold-start reconstruction.
+    ///
+    /// The probe sits on `infer_sudden` (not only the Reoccurring arm)
+    /// deliberately: a concept that is *recurring globally* but *new to
+    /// this shard* classifies as Sudden here — the local tracker has no
+    /// history of it — and that is exactly the case the shared registry
+    /// exists for. The evidence gate mirrors the local reuse gate: the
+    /// restored snapshot must score at least as well as the live ensemble
+    /// on the freshest labeled points.
+    fn try_shared_reuse(
+        &mut self,
+        x: &Matrix,
+        projected: &[f64],
+    ) -> Option<(Vec<usize>, Strategy)> {
+        if self.shared.is_none() || !self.config.enable_knowledge {
+            return None;
+        }
+        // Fingerprints live in raw feature space (per-shard PCA bases are
+        // incomparable), so the lookup key is the raw batch mean.
+        let fingerprint = x.column_means();
+        let (entry, distance) = self.shared.as_mut()?.nearest_foreign(&fingerprint)?;
+        let probe = self.cec.max_experience;
+        let (gx, gy) = self.experience.snapshot_recent(probe);
+        if gy.is_empty() {
+            return None;
+        }
+        let restored = entry.snapshot.restore();
+        let restored_preds = restored.predict(&gx);
+        let restored_score =
+            restored_preds.iter().zip(&gy).filter(|(p, t)| p == t).count() as f64 / gy.len() as f64;
+        let ens = self.granularity.predict(&gx, projected);
+        let ensemble_score =
+            ens.iter().zip(&gy).filter(|(p, t)| p == t).count() as f64 / gy.len() as f64;
+        if restored_score < ensemble_score {
+            return None;
+        }
+        self.shared_hits += 1;
+        if self.telemetry.enabled() {
+            self.telemetry.emit(TelemetryEvent::SharedKnowledgeHit {
+                seq: self.telemetry.seq(),
+                shard: self.shared.as_ref().map_or(0, |r| r.shard()) as u64,
+                source_shard: entry.shard as u64,
+                distance,
+            });
+        }
+        let probs = restored.predict_proba(x);
+        let preds = probs.row_iter().map(|r| vector::argmax(r).unwrap_or(0)).collect();
+        Some((preds, Strategy::KnowledgeReuse))
+    }
+
     fn infer_sudden(&mut self, x: &Matrix, projected: &[f64]) -> (Vec<usize>, Strategy) {
+        if let Some(reused) = self.try_shared_reuse(x, projected) {
+            return reused;
+        }
         if !self.config.enable_cec {
             return (self.granularity.predict(x, projected), Strategy::Ensemble);
         }
@@ -491,6 +578,7 @@ impl Learner {
     pub fn train(&mut self, x: &Matrix, labels: &[usize]) {
         assert_eq!(x.rows(), labels.len(), "label count mismatch");
         let _span = self.telemetry.time(Stage::Train);
+        self.batches_trained += 1;
         let degradation = self.degradation.level();
         if matches!(degradation, DegradationLevel::InferenceOnly | DegradationLevel::Shed) {
             // Training frozen under overload: the ensemble keeps serving
@@ -531,24 +619,38 @@ impl Learner {
         if let Some(disorder) = self.granularity.take_completed_disorder() {
             let (mu_d, _) = self.selector.tracker().history_stats();
             let dedup_radius = self.config.kdg_dedup_scale * mu_d;
-            if disorder > self.config.beta {
-                self.knowledge.preserve_dedup(
-                    projected.clone(),
-                    self.granularity.long_model(),
-                    self.spec.clone(),
-                    disorder,
-                    dedup_radius,
-                );
+            // High disorder ⇒ the stable long model; low disorder ⇒ the
+            // stream just moved directionally, the long window blurred
+            // that trajectory, so preserve the information-rich short
+            // model (its distribution is the current one; preserving both
+            // under one fingerprint would just thrash the dedup slot).
+            let model = if disorder > self.config.beta {
+                self.granularity.long_model()
             } else {
-                // Low disorder: the stream just moved directionally; the
-                // long window blurred that trajectory, so preserve the
-                // information-rich short model (its distribution is the
-                // current one; preserving both under one fingerprint would
-                // just thrash the dedup slot).
-                self.knowledge.preserve_dedup(
-                    projected,
-                    self.granularity.short_model(),
-                    self.spec.clone(),
+                self.granularity.short_model()
+            };
+            self.knowledge.preserve_dedup(
+                projected,
+                model,
+                self.spec.clone(),
+                disorder,
+                dedup_radius,
+            );
+            // Mirror the preservation into the cross-shard registry so
+            // other tenants' shards can warm-start on this concept. The
+            // fingerprint is the raw batch mean (shared space); `seq` is
+            // this shard's train counter, giving the registry its stable
+            // `(seq, shard)` ordering key.
+            if let Some(reader) = self.shared.as_ref() {
+                let model = if disorder > self.config.beta {
+                    self.granularity.long_model()
+                } else {
+                    self.granularity.short_model()
+                };
+                reader.publish(
+                    self.batches_trained,
+                    x.column_means(),
+                    ModelSnapshot::capture(self.spec.clone(), model),
                     disorder,
                     dedup_radius,
                 );

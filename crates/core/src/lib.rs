@@ -30,6 +30,11 @@
 //! (bounded exponential backoff with deterministic jitter, used for
 //! checkpoint persistence).
 //!
+//! The scale-out layer is [`shard`]: the keyed, hash-routed
+//! [`shard::ShardedPipeline`] running one admitted pipeline per shard
+//! over a shared cross-shard knowledge registry
+//! ([`knowledge::SharedKnowledge`]).
+//!
 //! Construction goes through [`builder::PipelineBuilder`] — one fluent
 //! description of model, configuration, supervision, and telemetry sink
 //! that builds a bare `Learner`, a plain `Pipeline`, or a
@@ -55,6 +60,7 @@ pub mod pipeline;
 pub mod rate;
 pub mod retry;
 pub mod selector;
+pub mod shard;
 pub mod supervisor;
 
 pub use freeway_telemetry as telemetry;
@@ -68,11 +74,13 @@ pub use config::{FreewayConfig, OptimizerKind};
 pub use degrade::{DegradationHandle, DegradationLadder, DegradationLevel, LadderConfig};
 pub use error::{CheckpointError, FreewayError, PipelineError};
 pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
+pub use knowledge::{SharedEntry, SharedKnowledge, SharedReader};
 pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
 pub use persistence::{crc32, Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
 pub use pipeline::{Pipeline, PipelineOutput};
 pub use retry::RetryPolicy;
 pub use selector::StrategySelector;
+pub use shard::{shard_for, ShardedPipeline, ShardedRun};
 pub use supervisor::{
     FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats, TryFeedOutcome,
 };
@@ -91,8 +99,10 @@ pub mod prelude {
     pub use crate::degrade::{DegradationLevel, LadderConfig};
     pub use crate::error::{CheckpointError, FreewayError, PipelineError};
     pub use crate::guard::{BatchFault, Quarantine};
+    pub use crate::knowledge::{SharedEntry, SharedKnowledge};
     pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
     pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::shard::{shard_for, ShardedPipeline, ShardedRun};
     pub use crate::supervisor::{
         FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
         TryFeedOutcome,

@@ -1,0 +1,268 @@
+//! The sharded multi-tenant scale-out runtime.
+//!
+//! [`ShardedPipeline`] hash-routes keyed batches across N shards, each a
+//! full [`AdmittedPipeline`] (supervised worker + admission control +
+//! degradation ladder) driving its own [`crate::Learner`]. The shards
+//! are tied together by two shared structures:
+//!
+//! * one [`Telemetry`] handle — counters and events from every shard
+//!   land on a single stream, so fleet observability is the same code
+//!   path as single-pipeline observability;
+//! * one [`SharedKnowledge`] registry — concepts preserved on any shard
+//!   are visible to Pattern-C lookup on every other shard (lock-free on
+//!   the read path; see [`crate::knowledge`] for the concurrency
+//!   contract).
+//!
+//! Routing is `mix64(key) % n` ([`shard_for`]): a hand-rolled SplitMix64
+//! finalizer rather than `std`'s hasher, so the key→shard mapping is
+//! stable across Rust releases and platforms — per-tenant placement is
+//! part of the reproducibility surface.
+//!
+//! Thread budget: the kernel worker pool is process-wide and shared by
+//! all shards, so shard workers and pool threads draw on one core
+//! budget. [`crate::PipelineBuilder::build_sharded`] validates the split
+//! (serial kernels per shard by default); see
+//! [`crate::FreewayConfig::num_threads`] for the policy.
+
+use crate::admission::{AdmissionOutcome, AdmissionStats, AdmittedPipeline, AdmittedRun};
+use crate::error::FreewayError;
+use crate::knowledge::SharedKnowledge;
+use crate::pipeline::PipelineOutput;
+use freeway_streams::keyed::{mix64, KeyedBatch};
+use freeway_telemetry::Telemetry;
+
+/// The shard a key routes to: `mix64(key) % num_shards`.
+///
+/// # Panics
+/// Panics when `num_shards` is zero.
+pub fn shard_for(key: u64, num_shards: usize) -> usize {
+    assert!(num_shards > 0, "num_shards must be positive");
+    (mix64(key) % num_shards as u64) as usize
+}
+
+/// N admitted pipelines behind one hash router, sharing one telemetry
+/// stream and one cross-shard knowledge registry. Construct via
+/// [`crate::PipelineBuilder::shards`] + `build_sharded`.
+pub struct ShardedPipeline {
+    shards: Vec<AdmittedPipeline>,
+    shared: SharedKnowledge,
+    telemetry: Telemetry,
+    /// Round-robin scan position for [`Self::try_recv`] fairness.
+    recv_cursor: usize,
+}
+
+impl ShardedPipeline {
+    pub(crate) fn new(
+        shards: Vec<AdmittedPipeline>,
+        shared: SharedKnowledge,
+        telemetry: Telemetry,
+    ) -> Self {
+        Self { shards, shared, telemetry, recv_cursor: 0 }
+    }
+
+    /// Number of shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shard `key` routes to.
+    pub fn shard_for_key(&self, key: u64) -> usize {
+        shard_for(key, self.shards.len())
+    }
+
+    /// The cross-shard knowledge registry.
+    pub fn shared(&self) -> &SharedKnowledge {
+        &self.shared
+    }
+
+    /// The telemetry handle shared by every shard.
+    pub fn telemetry(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Direct access to one shard (tests, drills, per-shard stats).
+    pub fn shard(&mut self, shard: usize) -> &mut AdmittedPipeline {
+        &mut self.shards[shard]
+    }
+
+    /// Routes a training/inference batch to its key's shard.
+    ///
+    /// # Errors
+    /// As [`AdmittedPipeline::feed`] on the routed shard.
+    pub fn feed(&mut self, batch: KeyedBatch) -> Result<(usize, AdmissionOutcome), FreewayError> {
+        let shard = self.shard_for_key(batch.key);
+        let outcome = self.shards[shard].feed(batch.batch)?;
+        Ok((shard, outcome))
+    }
+
+    /// Routes a prequential batch to its key's shard.
+    ///
+    /// # Errors
+    /// As [`AdmittedPipeline::feed_prequential`] on the routed shard.
+    pub fn feed_prequential(
+        &mut self,
+        batch: KeyedBatch,
+    ) -> Result<(usize, AdmissionOutcome), FreewayError> {
+        let shard = self.shard_for_key(batch.key);
+        let outcome = self.shards[shard].feed_prequential(batch.batch)?;
+        Ok((shard, outcome))
+    }
+
+    /// Receives the next ready output from any shard without blocking,
+    /// scanning round-robin from the last served shard so no shard can
+    /// starve the drain.
+    ///
+    /// # Errors
+    /// As [`AdmittedPipeline::try_recv`] on the failing shard.
+    pub fn try_recv(&mut self) -> Result<Option<(usize, PipelineOutput)>, FreewayError> {
+        let n = self.shards.len();
+        for step in 0..n {
+            let shard = (self.recv_cursor + step) % n;
+            if let Some(out) = self.shards[shard].try_recv()? {
+                self.recv_cursor = (shard + 1) % n;
+                return Ok(Some((shard, out)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Drains every shard to quiescence — backlogs empty, zero batches in
+    /// flight — and returns all outputs sorted by `(seq, shard)`.
+    ///
+    /// This is the deterministic phase boundary: after a barrier the
+    /// shared registry holds every preservation the fed batches could
+    /// trigger, regardless of worker scheduling, which is what lets
+    /// drills and paper tables stay byte-reproducible on a live
+    /// multi-threaded runtime.
+    ///
+    /// # Errors
+    /// As [`AdmittedPipeline::try_recv`] (including restart exhaustion on
+    /// a crashed shard).
+    pub fn barrier(&mut self) -> Result<Vec<(usize, PipelineOutput)>, FreewayError> {
+        let mut outputs = Vec::new();
+        for (i, shard) in self.shards.iter_mut().enumerate() {
+            loop {
+                while let Some(out) = shard.try_recv()? {
+                    outputs.push((i, out));
+                }
+                if shard.backlog_len() == 0 && shard.supervisor().in_flight() == 0 {
+                    break;
+                }
+                std::thread::yield_now();
+            }
+        }
+        outputs.sort_by_key(|(shard, out)| (out.seq, *shard));
+        Ok(outputs)
+    }
+
+    /// Aggregated admission counters across all shards (sums; the
+    /// backlog peak is the max over shards — peaks do not add).
+    pub fn stats(&self) -> AdmissionStats {
+        aggregate_stats(self.shards.iter().map(AdmittedPipeline::stats))
+    }
+
+    /// Per-shard admission counters, indexed by shard.
+    pub fn per_shard_stats(&self) -> Vec<AdmissionStats> {
+        self.shards.iter().map(AdmittedPipeline::stats).collect()
+    }
+
+    /// Chaos hook: makes one shard's worker panic on its next command,
+    /// exercising that shard's crash-restart path while the other shards
+    /// and the shared registry keep serving.
+    ///
+    /// # Errors
+    /// As [`crate::SupervisedPipeline::inject_worker_panic`].
+    pub fn inject_worker_panic(&mut self, shard: usize) -> Result<(), FreewayError> {
+        self.shards[shard].supervisor().inject_worker_panic()
+    }
+
+    /// Finishes every shard and hands back the per-shard runs plus the
+    /// shared registry.
+    ///
+    /// # Errors
+    /// As [`AdmittedPipeline::finish`]; the first failing shard aborts
+    /// the collection.
+    pub fn finish(self) -> Result<ShardedRun, FreewayError> {
+        let mut runs = Vec::with_capacity(self.shards.len());
+        for shard in self.shards {
+            runs.push(shard.finish()?);
+        }
+        Ok(ShardedRun { shards: runs, shared: self.shared })
+    }
+}
+
+/// Everything a finished sharded run hands back.
+pub struct ShardedRun {
+    /// Per-shard admitted runs, indexed by shard.
+    pub shards: Vec<AdmittedRun>,
+    /// The cross-shard knowledge registry (final state).
+    pub shared: SharedKnowledge,
+}
+
+impl ShardedRun {
+    /// Aggregated admission counters across all shards.
+    pub fn admission(&self) -> AdmissionStats {
+        aggregate_stats(self.shards.iter().map(|run| run.admission))
+    }
+
+    /// Total cross-shard knowledge hits across all shard learners.
+    pub fn shared_hits(&self) -> u64 {
+        self.shards.iter().map(|run| run.learner().shared_hits()).sum()
+    }
+}
+
+fn aggregate_stats(stats: impl Iterator<Item = AdmissionStats>) -> AdmissionStats {
+    stats.fold(AdmissionStats::default(), |mut acc, s| {
+        acc.offered += s.offered;
+        acc.admitted += s.admitted;
+        acc.shed += s.shed;
+        acc.quarantined += s.quarantined;
+        acc.backlog_peak = acc.backlog_peak.max(s.backlog_peak);
+        acc.degradation_transitions += s.degradation_transitions;
+        acc
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_for_is_stable_and_covers_all_shards() {
+        // Pinned routing: key→shard placement is part of the
+        // reproducibility surface.
+        assert_eq!(shard_for(0, 4), (0xe220a8397b1dcdaf_u64 % 4) as usize);
+        let mut seen = [false; 4];
+        for key in 0..64u64 {
+            seen[shard_for(key, 4)] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "64 keys cover 4 shards: {seen:?}");
+    }
+
+    #[test]
+    fn aggregate_sums_counters_and_maxes_peak() {
+        let a = AdmissionStats {
+            offered: 3,
+            admitted: 2,
+            shed: 1,
+            quarantined: 0,
+            backlog_peak: 5,
+            degradation_transitions: 1,
+        };
+        let b = AdmissionStats {
+            offered: 4,
+            admitted: 4,
+            shed: 0,
+            quarantined: 1,
+            backlog_peak: 2,
+            degradation_transitions: 0,
+        };
+        let total = aggregate_stats([a, b].into_iter());
+        assert_eq!(total.offered, 7);
+        assert_eq!(total.admitted, 6);
+        assert_eq!(total.shed, 1);
+        assert_eq!(total.quarantined, 1);
+        assert_eq!(total.backlog_peak, 5);
+        assert_eq!(total.degradation_transitions, 1);
+    }
+}

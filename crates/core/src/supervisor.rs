@@ -258,6 +258,10 @@ pub struct SupervisedPipeline {
     /// When set, a restored learner is re-attached to this shared
     /// degradation level so overload service levels survive restarts.
     degradation: Option<DegradationHandle>,
+    /// When set, a restored learner is re-joined to the cross-shard
+    /// knowledge registry as this shard, so one shard's crash never
+    /// disconnects it from the fleet's preserved concepts.
+    shared: Option<(crate::knowledge::SharedKnowledge, usize)>,
     /// Shared with the learner: quarantine/checkpoint/restart events are
     /// emitted here so fault handling is observable from the outside.
     telemetry: Telemetry,
@@ -313,6 +317,7 @@ impl SupervisedPipeline {
             chaos_train_delay,
             chaos_persist_delay: Arc::new(AtomicU64::new(0)),
             degradation: None,
+            shared: None,
             telemetry,
         })
     }
@@ -518,6 +523,19 @@ impl SupervisedPipeline {
         self.degradation = Some(handle);
     }
 
+    /// Registers the cross-shard knowledge registry this pipeline's
+    /// learner belongs to (as `shard`), so a learner restored after a
+    /// crash is re-joined to it — like the degradation handle, the live
+    /// learner must have been attached before the worker was spawned;
+    /// [`crate::PipelineBuilder::build_sharded`] wires both ends.
+    pub fn set_shared_knowledge(
+        &mut self,
+        shared: crate::knowledge::SharedKnowledge,
+        shard: usize,
+    ) {
+        self.shared = Some((shared, shard));
+    }
+
     /// Current checkpoint-cadence multiplier (1 = healthy disk; doubles
     /// per persistence failure, resets on success).
     pub fn cadence_backoff(&self) -> usize {
@@ -623,6 +641,9 @@ impl SupervisedPipeline {
         learner.attach_telemetry(self.telemetry.clone());
         if let Some(handle) = self.degradation.as_ref() {
             learner.attach_degradation(handle.clone());
+        }
+        if let Some((shared, shard)) = self.shared.as_ref() {
+            learner.attach_shared_knowledge(shared, *shard);
         }
         self.telemetry.emit(TelemetryEvent::CheckpointRestored { seq: self.telemetry.seq() });
         Ok(learner)

@@ -98,6 +98,26 @@ proptest! {
     }
 
     #[test]
+    fn same_key_always_routes_to_same_shard(
+        keys in prop::collection::vec(0u64..u64::MAX, 1..64), shards in 1usize..9
+    ) {
+        for &key in &keys {
+            let shard = freeway_core::shard_for(key, shards);
+            prop_assert!(shard < shards, "shard {shard} out of range for {shards}");
+            // Routing is a pure function of (key, shard count): feeding the
+            // same key twice — or on another host — lands on the same shard.
+            prop_assert_eq!(shard, freeway_core::shard_for(key, shards));
+        }
+    }
+
+    #[test]
+    fn single_shard_takes_every_key(keys in prop::collection::vec(0u64..u64::MAX, 1..64)) {
+        for &key in &keys {
+            prop_assert_eq!(freeway_core::shard_for(key, 1), 0);
+        }
+    }
+
+    #[test]
     fn learner_reports_match_batch_shape(
         size in 8usize..64, batches in 2usize..6, seed in 0u64..50
     ) {

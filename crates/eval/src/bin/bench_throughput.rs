@@ -11,9 +11,16 @@
 //! - `--quick` shrinks the sweep to a CI-sized regression probe: LR
 //!   only, batch 256, pools `[1, 2]`, 20 batches (still overridable
 //!   through `FREEWAY_BATCHES`), results not written to `results/`.
+//! - `--shards 1,2[,4]` sweeps the sharded runtime at those shard
+//!   counts over `--keys` interleaved keyed streams (full runs default
+//!   to `1,2`; quick runs skip the shard sweep unless the flag is
+//!   given, at a CI-sized stream length).
+//! - `--keys K` sets the keyed-stream (tenant) count for the shard
+//!   sweep (default 1024).
 
 use freeway_eval::experiments::{common, fig10, ModelFamily, Scale};
 use freeway_eval::kernel_bench;
+use freeway_eval::shard_bench::{self, ShardSweep};
 
 fn parse_models(spec: &str) -> Vec<ModelFamily> {
     let mut families = Vec::new();
@@ -38,9 +45,43 @@ fn parse_models(spec: &str) -> Vec<ModelFamily> {
     families
 }
 
+fn parse_shards(spec: &str) -> Vec<usize> {
+    let mut counts = Vec::new();
+    for tag in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match tag.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                if !counts.contains(&n) {
+                    counts.push(n);
+                }
+            }
+            _ => {
+                eprintln!("error: --shards takes positive counts, e.g. --shards 1,2");
+                std::process::exit(2);
+            }
+        }
+    }
+    if counts.is_empty() {
+        eprintln!("error: --shards needs at least one count");
+        std::process::exit(2);
+    }
+    counts
+}
+
+fn parse_keys(spec: &str) -> usize {
+    match spec.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("error: --keys takes a positive stream count, e.g. --keys 1024");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
     let mut quick = false;
     let mut families = vec![ModelFamily::Lr, ModelFamily::Mlp];
+    let mut shard_counts: Option<Vec<usize>> = None;
+    let mut keys = 1024usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -52,13 +93,35 @@ fn main() {
                 };
                 families = parse_models(&spec);
             }
-            other => match other.strip_prefix("--models=") {
-                Some(spec) => families = parse_models(spec),
-                None => {
-                    eprintln!("error: unknown flag '{other}' (supported: --models, --quick)");
+            "--shards" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("error: --shards needs a value, e.g. --shards 1,2");
+                    std::process::exit(2);
+                };
+                shard_counts = Some(parse_shards(&spec));
+            }
+            "--keys" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("error: --keys needs a value, e.g. --keys 1024");
+                    std::process::exit(2);
+                };
+                keys = parse_keys(&spec);
+            }
+            other => {
+                if let Some(spec) = other.strip_prefix("--models=") {
+                    families = parse_models(spec);
+                } else if let Some(spec) = other.strip_prefix("--shards=") {
+                    shard_counts = Some(parse_shards(spec));
+                } else if let Some(spec) = other.strip_prefix("--keys=") {
+                    keys = parse_keys(spec);
+                } else {
+                    eprintln!(
+                        "error: unknown flag '{other}' \
+                         (supported: --models, --shards, --keys, --quick)"
+                    );
                     std::process::exit(2);
                 }
-            },
+            }
         }
     }
 
@@ -82,6 +145,18 @@ fn main() {
     );
     let mut result = fig10::run_thread_comparison(&scale, &families, batch_sizes, &[1, pooled]);
     result.kernel_microbench = kernel_bench::run();
+    // Shard-scaling sweep: on by default for full runs, opt-in (via
+    // --shards) for quick CI probes.
+    let shard_sweep_counts = shard_counts.unwrap_or(if quick { Vec::new() } else { vec![1, 2] });
+    if !shard_sweep_counts.is_empty() {
+        let sweep =
+            ShardSweep { keys, batches: if quick { keys } else { 2 * keys }, ..Default::default() };
+        eprintln!(
+            "Shard scaling at {:?} shards, {} keyed streams x {} batches of {}",
+            shard_sweep_counts, sweep.keys, sweep.batches, sweep.batch_size
+        );
+        result.shard_scaling = shard_bench::run_shard_scaling(&shard_sweep_counts, &sweep);
+    }
     println!("{}", result.render());
     if quick {
         // Machine-readable output for the CI gate without touching the

@@ -102,6 +102,10 @@ pub struct BenchThroughput {
     /// is attributable without re-deriving it from items/second. Empty
     /// when the caller skipped the micro sweep.
     pub kernel_microbench: Vec<crate::kernel_bench::KernelBenchPoint>,
+    /// Shard-scaling sweep over the sharded multi-tenant runtime
+    /// (items/s per shard count over interleaved keyed streams). Empty
+    /// when the caller skipped the shard sweep.
+    pub shard_scaling: Vec<crate::shard_bench::ShardScalingPoint>,
 }
 
 /// Runs the Figure-10 sweep once per entry of `thread_counts`, with the
@@ -164,6 +168,7 @@ pub fn run_thread_comparison(
         host_cores: std::thread::available_parallelism().map_or(1, usize::from),
         points,
         kernel_microbench: Vec::new(),
+        shard_scaling: Vec::new(),
     }
 }
 
@@ -202,6 +207,30 @@ impl BenchThroughput {
                         row.push(p.map_or("-".into(), |p| format!("{:.0}", p.items_per_sec)));
                     }
                     row
+                })
+                .collect();
+            out.push_str(&crate::metrics::render_table(&header, &rows));
+        }
+        if !self.shard_scaling.is_empty() {
+            out.push_str("== Shard scaling (interleaved keyed streams) ==\n");
+            let header = vec![
+                "Shards".to_string(),
+                "Keys".into(),
+                "Kernel thr".into(),
+                "items/s".into(),
+                "vs 1 shard".into(),
+            ];
+            let rows: Vec<Vec<String>> = self
+                .shard_scaling
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.shards.to_string(),
+                        p.keys.to_string(),
+                        p.kernel_threads.to_string(),
+                        format!("{:.0}", p.items_per_sec),
+                        format!("{:.2}x", p.speedup_vs_one_shard),
+                    ]
                 })
                 .collect();
             out.push_str(&crate::metrics::render_table(&header, &rows));

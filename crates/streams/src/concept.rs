@@ -111,9 +111,28 @@ impl GmmConcept {
 
     /// Samples a labeled batch of `n` points.
     pub fn sample_batch(&self, n: usize, rng: &mut StdRng) -> (Matrix, Vec<usize>) {
-        let total_prior: f64 = self.classes.iter().map(|c| c.prior).sum();
         let mut x = Matrix::zeros(n, self.dim);
         let mut labels = Vec::with_capacity(n);
+        self.sample_batch_into(n, &mut x, &mut labels, rng);
+        (x, labels)
+    }
+
+    /// [`Self::sample_batch`] writing into caller-provided buffers (the
+    /// pooled-ingest path). `x` is resized to `n x dim` and every cell is
+    /// overwritten; `labels` is cleared and refilled. RNG consumption is
+    /// identical to the allocating path, so pooled batches are
+    /// bit-identical to allocated ones.
+    pub fn sample_batch_into(
+        &self,
+        n: usize,
+        x: &mut Matrix,
+        labels: &mut Vec<usize>,
+        rng: &mut StdRng,
+    ) {
+        let total_prior: f64 = self.classes.iter().map(|c| c.prior).sum();
+        x.resize(n, self.dim);
+        labels.clear();
+        labels.reserve(n);
         for r in 0..n {
             // Sample class by prior.
             let mut pick = rng.random_range(0.0..total_prior);
@@ -132,7 +151,6 @@ impl GmmConcept {
             }
             labels.push(class);
         }
-        (x, labels)
     }
 
     /// Pattern A1: translate every component mean by `delta`.

@@ -19,6 +19,8 @@
 //! * [`source`] — a rate-simulated source feeding the rate-aware adjuster;
 //! * [`csv`] — a loader streaming real CSV datasets in file order.
 //! * [`pool`] — a recycling arena so warm ingest loops reuse batch buffers.
+//! * [`keyed`] — interleaved multi-key (tenant) streams for the sharded
+//!   runtime.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -30,6 +32,7 @@ pub mod datasets;
 pub mod generator;
 pub mod hyperplane;
 pub mod image;
+pub mod keyed;
 pub mod pool;
 pub mod sea;
 pub mod source;
@@ -39,5 +42,6 @@ pub use concept::GmmConcept;
 pub use csv::{CsvError, CsvLoadSummary, CsvStream, LabelColumn};
 pub use generator::StreamGenerator;
 pub use hyperplane::Hyperplane;
+pub use keyed::{InterleavedKeyed, KeyedBatch};
 pub use pool::BatchPool;
 pub use sea::Sea;

@@ -115,6 +115,19 @@ pub enum TelemetryEvent {
         /// `"deadline-exceeded"`, `"degraded"`).
         reason: &'static str,
     },
+    /// A shard reused a model snapshot preserved by a *different* shard
+    /// through the cross-shard knowledge registry (sharded Pattern-C
+    /// warm start).
+    SharedKnowledgeHit {
+        /// Batch sequence number the lookup was made on.
+        seq: u64,
+        /// Shard that performed the lookup.
+        shard: u64,
+        /// Shard that originally preserved the reused snapshot.
+        source_shard: u64,
+        /// Feature-space distance to the matched fingerprint.
+        distance: f64,
+    },
 }
 
 impl TelemetryEvent {
@@ -132,6 +145,7 @@ impl TelemetryEvent {
             TelemetryEvent::KnowledgePreserved { .. } => EventKind::KnowledgePreserved,
             TelemetryEvent::DegradationChanged { .. } => EventKind::DegradationChanged,
             TelemetryEvent::BatchShed { .. } => EventKind::BatchShed,
+            TelemetryEvent::SharedKnowledgeHit { .. } => EventKind::SharedKnowledgeHit,
         }
     }
 
@@ -147,7 +161,8 @@ impl TelemetryEvent {
             | TelemetryEvent::InferenceDegraded { seq, .. }
             | TelemetryEvent::KnowledgePreserved { seq, .. }
             | TelemetryEvent::DegradationChanged { seq, .. }
-            | TelemetryEvent::BatchShed { seq, .. } => Some(seq),
+            | TelemetryEvent::BatchShed { seq, .. }
+            | TelemetryEvent::SharedKnowledgeHit { seq, .. } => Some(seq),
             TelemetryEvent::WorkerRestarted { .. } => None,
         }
     }
@@ -180,11 +195,13 @@ pub enum EventKind {
     DegradationChanged,
     /// See [`TelemetryEvent::BatchShed`].
     BatchShed,
+    /// See [`TelemetryEvent::SharedKnowledgeHit`].
+    SharedKnowledgeHit,
 }
 
 impl EventKind {
     /// Every kind, in counter-index order.
-    pub const ALL: [EventKind; 11] = [
+    pub const ALL: [EventKind; 12] = [
         EventKind::DriftDetected,
         EventKind::StrategyDispatched,
         EventKind::WindowEvicted,
@@ -196,6 +213,7 @@ impl EventKind {
         EventKind::KnowledgePreserved,
         EventKind::DegradationChanged,
         EventKind::BatchShed,
+        EventKind::SharedKnowledgeHit,
     ];
 
     /// Variant name as it appears in serialized events.
@@ -212,6 +230,7 @@ impl EventKind {
             EventKind::KnowledgePreserved => "KnowledgePreserved",
             EventKind::DegradationChanged => "DegradationChanged",
             EventKind::BatchShed => "BatchShed",
+            EventKind::SharedKnowledgeHit => "SharedKnowledgeHit",
         }
     }
 
@@ -229,6 +248,7 @@ impl EventKind {
             EventKind::KnowledgePreserved => "knowledge_preserved",
             EventKind::DegradationChanged => "degradation_changed",
             EventKind::BatchShed => "batch_shed",
+            EventKind::SharedKnowledgeHit => "shared_knowledge_hit",
         }
     }
 
@@ -245,6 +265,7 @@ impl EventKind {
             EventKind::KnowledgePreserved => 8,
             EventKind::DegradationChanged => 9,
             EventKind::BatchShed => 10,
+            EventKind::SharedKnowledgeHit => 11,
         }
     }
 }

@@ -98,13 +98,16 @@ pub use freeway_telemetry as telemetry;
 pub mod prelude {
     pub use freeway_baselines::{FreewaySystem, StreamingLearner};
     pub use freeway_core::{
-        FreewayConfig, FreewayError, InferenceReport, Learner, Pipeline, PipelineBuilder, Strategy,
+        shard_for, FreewayConfig, FreewayError, InferenceReport, Learner, Pipeline,
+        PipelineBuilder, ShardedPipeline, ShardedRun, SharedKnowledge, Strategy,
         SupervisedPipeline, SupervisorConfig,
     };
     pub use freeway_drift::ShiftPattern;
     pub use freeway_linalg::Matrix;
     pub use freeway_ml::{Model, ModelSpec};
-    pub use freeway_streams::{Batch, DriftPhase, Hyperplane, Sea, StreamGenerator};
+    pub use freeway_streams::{
+        Batch, DriftPhase, Hyperplane, InterleavedKeyed, KeyedBatch, Sea, StreamGenerator,
+    };
     pub use freeway_telemetry::{
         RecordingSink, Stage, Telemetry, TelemetryEvent, TelemetrySink, TelemetrySnapshot,
     };
