@@ -116,6 +116,37 @@ PY
 rm -f /tmp/shard_quick_ci.json
 echo "sharded gate: crash isolation green, drill artifact byte-stable"
 
+echo "== journal gate (durable ingest + effectively-once replay) =="
+# The torn-write proptest cuts a journal at every byte of its tail frame
+# and asserts recovery is always the framed prefix; the journaled crash
+# drill asserts a two-panic run and a single-shard-panic 2-shard run both
+# lose zero batches and reproduce the fault-free transcript byte-for-byte;
+# the drill artifact is re-written and diffed for byte-stability.
+cargo test -q --release -p freeway-core --test journal_recovery
+cargo run --release --example chaos_drill -- --journal > /dev/null
+cp results/JOURNAL_drill.json /tmp/journal_drill_ci.json
+cargo run --release --example chaos_drill -- --journal > /dev/null
+diff /tmp/journal_drill_ci.json results/JOURNAL_drill.json
+rm -f /tmp/journal_drill_ci.json
+python3 - <<'PY'
+import json
+drill = json.load(open("results/JOURNAL_drill.json"))
+plain, sharded = drill["plain"], drill["sharded"]
+assert plain["lost_in_flight"] == 0, f"plain drill lost batches: {plain}"
+assert plain["transcript_matches_fault_free"], "plain transcript diverged"
+assert plain["replay_exercised"], "crash drill never exercised replay"
+assert plain["replayed_outputs_all_suppressed"], "a replayed output was delivered twice"
+assert plain["journal_appended"] == plain["accepted"], "an accepted batch skipped the journal"
+assert sharded["lost_in_flight"] == [0, 0], f"a shard lost batches: {sharded}"
+assert sharded["victim_transcript_matches"], "victim shard transcript diverged"
+assert sharded["healthy_transcript_matches"], "healthy shard transcript diverged"
+assert sharded["replay_confined_to_victim"], "replay leaked to the healthy shard"
+print(
+    "journal gate: replay exercised, 0 lost, "
+    "transcripts byte-equal to fault-free, artifact byte-stable"
+)
+PY
+
 echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -43,7 +43,7 @@ use std::collections::{BTreeMap, HashMap, VecDeque};
 
 use freeway_core::supervisor::{SupervisedPipeline, SupervisorConfig, SupervisorStats};
 use freeway_core::telemetry::TelemetryEvent;
-use freeway_core::{FreewayError, Learner};
+use freeway_core::{FreewayError, JournalStats, Learner};
 use freeway_linalg::Matrix;
 use freeway_streams::{Batch, StreamGenerator};
 use rand::rngs::StdRng;
@@ -330,6 +330,14 @@ pub struct ChaosRunReport {
     /// was built with a recording sink, e.g. via
     /// `PipelineBuilder::recording`).
     pub events: Vec<TelemetryEvent>,
+    /// The exact predictions of every output, keyed by sequence number —
+    /// the run's transcript. Two runs that delivered identical outputs
+    /// for identical seqs compare equal here, which is the
+    /// effectively-once acceptance check for journaled crash drills.
+    pub transcript: BTreeMap<u64, Vec<usize>>,
+    /// Journal counters at finish (`None` when the run was not
+    /// journaled).
+    pub journal: Option<JournalStats>,
 }
 
 impl ChaosRunReport {
@@ -378,9 +386,14 @@ pub fn paired_accuracy(a: &ChaosRunReport, b: &ChaosRunReport) -> (f64, f64) {
 /// produced.
 ///
 /// Labeled batches go through the prequential (test-then-train) path;
-/// unlabeled ones through the inference path. After each scheduled panic
-/// the function waits for the supervisor to complete the restart so the
-/// recovery really is exercised (not raced past).
+/// unlabeled ones through the inference path. The batch at a panic index
+/// is fed *behind* the panic command, so it is deterministically in
+/// flight when the worker dies: without a journal it is lost (counted in
+/// `lost_in_flight`), with one ([`SupervisorConfig::journal`]) it is
+/// replayed and the run's [`ChaosRunReport::transcript`] comes out
+/// identical to a fault-free run. After feeding it the function waits for
+/// the supervisor to complete the restart so the recovery really is
+/// exercised (not raced past).
 ///
 /// # Errors
 /// Propagates supervisor errors — notably
@@ -400,15 +413,10 @@ pub fn run_supervised_prequential(
     let mut restart_target = 0usize;
 
     for i in 0..batches {
-        if panic_at.contains(&i) {
+        let awaiting_restart = panic_at.contains(&i);
+        if awaiting_restart {
             sup.inject_worker_panic()?;
             restart_target += 1;
-            while sup.stats().restarts < restart_target {
-                match sup.try_recv()? {
-                    Some(out) => outputs.push(out),
-                    None => std::thread::yield_now(),
-                }
-            }
         }
         let batch = stream.next_batch(batch_size);
         if batch.is_empty() {
@@ -423,6 +431,14 @@ pub fn run_supervised_prequential(
                 sup.feed(batch)?;
             }
         }
+        if awaiting_restart {
+            while sup.stats().restarts < restart_target {
+                match sup.try_recv()? {
+                    Some(out) => outputs.push(out),
+                    None => std::thread::yield_now(),
+                }
+            }
+        }
         while let Some(out) = sup.try_recv()? {
             outputs.push(out);
         }
@@ -432,9 +448,11 @@ pub fn run_supervised_prequential(
     outputs.extend(run.outputs);
 
     let mut per_seq = BTreeMap::new();
+    let mut transcript = BTreeMap::new();
     let (mut correct, mut scored) = (0usize, 0usize);
     for out in &outputs {
         let Some(report) = &out.report else { continue };
+        transcript.insert(out.seq, report.predictions.clone());
         let Some(labels) = labels_by_seq.get(&out.seq) else { continue };
         let c = report.predictions.iter().zip(labels).filter(|(p, l)| p == l).count();
         per_seq.insert(out.seq, (c, labels.len()));
@@ -449,6 +467,8 @@ pub fn run_supervised_prequential(
         correct,
         scored,
         events: run.learner.telemetry().events(),
+        transcript,
+        journal: run.journal,
     })
 }
 

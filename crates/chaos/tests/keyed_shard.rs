@@ -1,10 +1,13 @@
-//! Sharded chaos drill (ISSUE §sharding): a worker panic on one shard
-//! restarts only that shard — the other shards and the cross-shard
-//! knowledge registry keep serving, and the healthy shard's transcript
-//! is byte-identical to a fault-free run of the same keyed stream.
+//! Sharded chaos drill (ISSUE §sharding + §journal): a worker panic on
+//! one shard restarts only that shard — the other shards and the
+//! cross-shard knowledge registry keep serving, the healthy shard's
+//! transcript is byte-identical to a fault-free run of the same keyed
+//! stream, and with the per-shard ingest journal enabled the *victim*
+//! shard's transcript is too (replay recovers its in-flight batch).
 
 use freeway_core::{
-    shard_for, AdmissionConfig, AdmissionPolicy, FreewayConfig, PipelineBuilder, ShardedPipeline,
+    shard_for, AdmissionConfig, AdmissionPolicy, FreewayConfig, JournalConfig, PipelineBuilder,
+    ShardedPipeline,
 };
 use freeway_ml::ModelSpec;
 use freeway_streams::keyed::{InterleavedKeyed, KeyedBatch};
@@ -17,7 +20,7 @@ const PANIC_ROUND: usize = 20;
 /// `(seq, predictions, strategy tag, severity bits)` rows per shard.
 type Transcript = Vec<(u64, Vec<usize>, &'static str, u64)>;
 
-fn build() -> ShardedPipeline {
+fn build(journal_dir: &std::path::Path) -> ShardedPipeline {
     PipelineBuilder::new(ModelSpec::lr(DIM, 2))
         .with_config(FreewayConfig {
             pca_warmup_rows: 64,
@@ -26,6 +29,9 @@ fn build() -> ShardedPipeline {
         })
         .with_queue_depth(32)
         .with_checkpoint_every(4)
+        // Per-shard journals (`ingest.wal.shard{0,1}`): a crash on one
+        // shard replays only that shard's admitted batches.
+        .journal(JournalConfig::new(journal_dir.join("ingest.wal")))
         .admission(AdmissionConfig {
             policy: AdmissionPolicy::Block,
             ladder: None,
@@ -48,10 +54,14 @@ fn tenant_keys() -> [u64; 2] {
 /// the registry state every lookup observes — is fully deterministic.
 /// `panic_shard` injects a worker panic before that shard's batch in
 /// round [`PANIC_ROUND`].
-fn drill(panic_shard: Option<usize>) -> (Vec<Transcript>, ShardedPipeline) {
+fn drill(panic_shard: Option<usize>, label: &str) -> (Vec<Transcript>, ShardedPipeline) {
+    let dir =
+        std::env::temp_dir().join(format!("freeway-keyed-shard-{}-{label}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("temp dir");
     let keys = tenant_keys();
     let mut gen = InterleavedKeyed::uniform(DIM, 2, 2, 2024);
-    let mut sharded = build();
+    let mut sharded = build(&dir);
     let mut transcripts: Vec<Transcript> = vec![Vec::new(), Vec::new()];
     for round in 0..ROUNDS {
         for (tenant, &key) in keys.iter().enumerate() {
@@ -79,25 +89,31 @@ fn drill(panic_shard: Option<usize>) -> (Vec<Transcript>, ShardedPipeline) {
 
 #[test]
 fn shard_panic_restarts_only_that_shard() {
-    let (clean, clean_pipe) = drill(None);
-    let (faulted, mut faulted_pipe) = drill(Some(0));
+    let (clean, clean_pipe) = drill(None, "clean");
+    let (faulted, mut faulted_pipe) = drill(Some(0), "faulted");
 
-    // Only shard 0 crashed and restarted; shard 1 never did.
+    // Only shard 0 crashed and restarted; shard 1 never did — and only
+    // shard 0's journal replayed.
     let stats0 = faulted_pipe.shard(0).supervisor().stats();
     let stats1 = faulted_pipe.shard(1).supervisor().stats();
     assert_eq!(stats0.worker_panics, 1, "injected panic fired");
     assert_eq!(stats0.restarts, 1, "victim shard restarted once");
     assert_eq!(stats1.worker_panics, 0, "healthy shard untouched");
     assert_eq!(stats1.restarts, 0, "healthy shard never restarted");
+    assert!(stats0.replayed > 0, "victim shard recovered by replay: {stats0:?}");
+    assert_eq!(stats1.replayed, 0, "healthy shard's journal never replayed");
+    assert_eq!(stats0.lost_in_flight, 0, "replay recovered the in-flight batch: {stats0:?}");
 
     // The healthy shard's transcript is byte-identical to the fault-free
     // run: the blast radius of a shard crash is that shard alone.
     assert_eq!(clean[1], faulted[1], "healthy shard unaffected by the crash");
     assert_eq!(faulted[1].len(), ROUNDS, "healthy shard answered every batch");
 
-    // The victim lost at most its in-flight batch and kept serving after
-    // the restart (outputs from both before and after the panic round).
-    assert!(faulted[0].len() >= ROUNDS - stats0.lost_in_flight as usize - 1);
+    // Under journaled replay the *victim* shard's transcript is exact
+    // too: the batch in flight at the crash is replayed, deduplicated by
+    // seq, and scored identically — effectively-once, not at-most-once.
+    assert_eq!(clean[0], faulted[0], "victim shard transcript identical under replay");
+    assert_eq!(faulted[0].len(), ROUNDS, "victim shard answered every batch exactly once");
     assert!(faulted[0].iter().any(|(seq, ..)| *seq > (PANIC_ROUND as u64) * 2));
 
     // The registry survived: the healthy shard's published entries are
@@ -113,4 +129,10 @@ fn shard_panic_restarts_only_that_shard() {
     let run = faulted_pipe.finish().expect("clean finish after recovery");
     assert_eq!(run.admission().admitted, (ROUNDS * 2) as u64);
     drop(clean_pipe);
+    for label in ["clean", "faulted"] {
+        let _ = std::fs::remove_dir_all(
+            std::env::temp_dir()
+                .join(format!("freeway-keyed-shard-{}-{label}", std::process::id())),
+        );
+    }
 }

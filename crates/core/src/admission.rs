@@ -550,6 +550,19 @@ impl AdmittedPipeline {
         self.inner.set_chaos_persist_delay(delay);
     }
 
+    /// Chaos hook passthrough: artificially slow journal fsyncs; see
+    /// [`SupervisedPipeline::set_chaos_journal_sync_delay`].
+    pub fn set_chaos_journal_sync_delay(&self, delay: Duration) {
+        self.inner.set_chaos_journal_sync_delay(delay);
+    }
+
+    /// Journal counters of the wrapped pipeline (`None` without a
+    /// journal). Shed batches never reach the supervisor, so they are
+    /// never journaled — the log holds exactly the admitted stream.
+    pub fn journal_stats(&self) -> Option<crate::journal::JournalStats> {
+        self.inner.journal_stats()
+    }
+
     /// Direct access to the wrapped pipeline (tests and harnesses).
     pub fn supervisor(&mut self) -> &mut SupervisedPipeline {
         &mut self.inner

@@ -162,6 +162,21 @@ impl PipelineBuilder {
         self
     }
 
+    /// Enables the durable ingest journal
+    /// ([`SupervisorConfig::journal`]): every accepted batch is appended
+    /// to a segmented write-ahead log at the config's path, and crash
+    /// recovery replays journaled batches instead of dropping in-flight
+    /// work — effectively-once semantics (see the
+    /// [`crate::journal`] module docs). Applies to every supervised
+    /// build target; [`Self::build_sharded`] gives each shard its own
+    /// log at `<path>.shard<i>` so one shard's crash replays only that
+    /// shard.
+    #[must_use]
+    pub fn journal(mut self, config: crate::journal::JournalConfig) -> Self {
+        self.supervisor.journal = Some(config);
+        self
+    }
+
     /// Puts admission control in front of the supervised pipeline:
     /// overload policy, bounded shed buffer, and (via
     /// [`AdmissionConfig::ladder`]) the graceful-degradation ladder.
@@ -301,6 +316,11 @@ impl PipelineBuilder {
                 supervisor.checkpoint_path =
                     Some(PathBuf::from(format!("{}.shard{shard}", path.display())));
             }
+            if let Some(journal) = supervisor.journal.as_mut() {
+                // One log per shard: a crash on shard i replays only
+                // shard i's admitted batches.
+                journal.path = PathBuf::from(format!("{}.shard{shard}", journal.path.display()));
+            }
             let handle = DegradationHandle::new();
             let mut learner =
                 Learner::try_new(self.spec.clone(), config.clone(), self.telemetry.clone())?;
@@ -335,6 +355,18 @@ impl PipelineBuilder {
             return Err(FreewayError::InvalidConfig(
                 "quarantine capacity must be positive".to_owned(),
             ));
+        }
+        if let Some(journal) = supervisor.journal.as_ref() {
+            if journal.segment_max_bytes == 0 {
+                return Err(FreewayError::InvalidConfig(
+                    "journal segment size must be positive".to_owned(),
+                ));
+            }
+            if journal.fsync_every_n_appends == 0 {
+                return Err(FreewayError::InvalidConfig(
+                    "journal fsync cadence must be positive".to_owned(),
+                ));
+            }
         }
         Ok(())
     }

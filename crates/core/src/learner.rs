@@ -168,6 +168,11 @@ pub struct Learner {
     batches_trained: u64,
     /// Inference batches answered from a *foreign* shard's shared entry.
     shared_hits: u64,
+    /// When set, preservations are NOT mirrored into the shared registry.
+    /// The supervisor flips this during journal replay: the original
+    /// publishes survived the in-process crash, so re-publishing them
+    /// would be a side effect the fault-free run never had.
+    shared_publish_muted: bool,
 }
 
 impl Learner {
@@ -226,6 +231,7 @@ impl Learner {
             shared: None,
             batches_trained: 0,
             shared_hits: 0,
+            shared_publish_muted: false,
         })
     }
 
@@ -326,6 +332,14 @@ impl Learner {
     /// Inference batches answered from a foreign shard's shared entry.
     pub fn shared_hits(&self) -> u64 {
         self.shared_hits
+    }
+
+    /// Mutes (or unmutes) mirroring preservations into the shared
+    /// registry. Used by the supervisor while re-feeding journaled
+    /// batches after a crash: the crashed worker's publishes are still in
+    /// the registry, so replay must not repeat them.
+    pub fn set_shared_publish_muted(&mut self, muted: bool) {
+        self.shared_publish_muted = muted;
     }
 
     /// Training batches seen (the shared-registry ordering seq).
@@ -641,7 +655,7 @@ impl Learner {
             // fingerprint is the raw batch mean (shared space); `seq` is
             // this shard's train counter, giving the registry its stable
             // `(seq, shard)` ordering key.
-            if let Some(reader) = self.shared.as_ref() {
+            if let Some(reader) = self.shared.as_ref().filter(|_| !self.shared_publish_muted) {
                 let model = if disorder > self.config.beta {
                     self.granularity.long_model()
                 } else {

@@ -53,6 +53,7 @@ pub mod degrade;
 pub mod error;
 pub mod granularity;
 pub mod guard;
+pub mod journal;
 pub mod knowledge;
 pub mod learner;
 pub mod persistence;
@@ -74,6 +75,7 @@ pub use config::{FreewayConfig, OptimizerKind};
 pub use degrade::{DegradationHandle, DegradationLadder, DegradationLevel, LadderConfig};
 pub use error::{CheckpointError, FreewayError, PipelineError};
 pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
+pub use journal::{frame_batch, Journal, JournalConfig, JournalRecord, JournalStats};
 pub use knowledge::{SharedEntry, SharedKnowledge, SharedReader};
 pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
 pub use persistence::{crc32, Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
@@ -99,6 +101,7 @@ pub mod prelude {
     pub use crate::degrade::{DegradationLevel, LadderConfig};
     pub use crate::error::{CheckpointError, FreewayError, PipelineError};
     pub use crate::guard::{BatchFault, Quarantine};
+    pub use crate::journal::{Journal, JournalConfig, JournalStats};
     pub use crate::knowledge::{SharedEntry, SharedKnowledge};
     pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
     pub use crate::pipeline::{Pipeline, PipelineOutput};

@@ -94,6 +94,13 @@ pub struct Checkpoint {
     pub level_parameters: Vec<Vec<f64>>,
     /// Preserved knowledge: (distribution fingerprint, snapshot, disorder).
     pub knowledge: Vec<(Vec<f64>, ModelSnapshot, f64)>,
+    /// Highest batch sequence number the worker had processed when this
+    /// checkpoint was captured — the replay floor for the ingest journal
+    /// (`None` on checkpoints captured before any batch, and on files
+    /// written by pre-journal builds; both mean "replay everything").
+    /// Skipped when absent so pre-journal checkpoint bytes are unchanged.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub journal_seq: Option<u64>,
 }
 
 impl Checkpoint {
@@ -110,6 +117,7 @@ impl Checkpoint {
                 .iter()
                 .map(|e| (e.distribution.clone(), e.snapshot.clone(), e.disorder))
                 .collect(),
+            journal_seq: None,
         }
     }
 

@@ -12,9 +12,22 @@
 //! * a worker panic is detected at the channel boundary, the crashed
 //!   thread is joined for its panic message, and a fresh worker is
 //!   spawned from the last checkpoint — up to `max_restarts` times;
-//! * batches in flight at the moment of a crash are *lost, not replayed*
-//!   (streaming semantics: the stream has moved on), and the loss is
-//!   counted in [`SupervisorStats::lost_in_flight`].
+//! * without a journal, batches in flight at the moment of a crash are
+//!   *lost, not replayed* (streaming semantics: the stream has moved
+//!   on), and the loss is counted in
+//!   [`SupervisorStats::lost_in_flight`];
+//! * with [`SupervisorConfig::journal`] set, every accepted batch is
+//!   appended to a durable [`crate::journal::Journal`] after the worker
+//!   hand-off, and restart becomes restore-then-replay: the replay base
+//!   checkpoint is restored, journaled batches above it are re-fed
+//!   synchronously (shared-registry publishes muted, telemetry muted,
+//!   outputs deduplicated by seq against what was already delivered),
+//!   and `lost_in_flight` stays zero — effectively-once semantics. The
+//!   base advances, and old journal segments are dropped, only when a
+//!   checkpoint is *durably persisted* to disk; a run without a
+//!   checkpoint path replays from genesis, which reconstructs the
+//!   worker's exact state (cadence checkpoints are deliberately lossy
+//!   about PCA/shift-tracker state, a genesis replay is not).
 //!
 //! The supervisor is single-threaded on the caller side: `feed`,
 //! `try_recv`, and `finish` take `&mut self` so restart bookkeeping
@@ -23,19 +36,21 @@
 use crate::degrade::{DegradationHandle, DegradationLevel};
 use crate::error::{panic_message, FreewayError};
 use crate::guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
+use crate::journal::{frame_batch, Journal, JournalConfig, JournalRecord, JournalStats};
 use crate::learner::Learner;
 use crate::persistence::{Checkpoint, CheckpointStore};
 use crate::pipeline::PipelineOutput;
 use crate::retry::RetryPolicy;
 use crossbeam::channel::{bounded, Receiver, Sender, TryRecvError, TrySendError};
 use freeway_streams::Batch;
-use freeway_telemetry::{Telemetry, TelemetryEvent};
-use std::collections::VecDeque;
+use freeway_telemetry::{Counter, Telemetry, TelemetryEvent, DURATION_SECONDS_BOUNDS};
+use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Supervision policy knobs.
 #[derive(Clone, Debug)]
@@ -66,6 +81,11 @@ pub struct SupervisorConfig {
     /// stalls retry in place; a persistently failing disk degrades the
     /// checkpoint *cadence* instead of killing the worker.
     pub persist_retry: RetryPolicy,
+    /// When set, every accepted batch is journaled and crash recovery
+    /// replays instead of dropping in-flight work (see the module docs
+    /// for the effectively-once contract). `None` (the default) keeps
+    /// the journal-free path byte-identical to previous builds.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for SupervisorConfig {
@@ -79,6 +99,7 @@ impl Default for SupervisorConfig {
             check_seq: true,
             checkpoint_generations: 3,
             persist_retry: RetryPolicy::default(),
+            journal: None,
         }
     }
 }
@@ -100,9 +121,16 @@ pub struct SupervisorStats {
     pub checkpoints_persisted: u64,
     /// Disk persistence failures (non-fatal; in-memory state kept).
     pub checkpoint_persist_failures: u64,
-    /// Accepted batches whose results were lost to a crash (streaming
-    /// semantics: lost batches are not replayed).
+    /// Accepted batches whose results were lost to a crash. Without a
+    /// journal this is streaming at-most-once accounting; with one, it
+    /// counts only what replay could not recover (zero on a healthy
+    /// journal).
     pub lost_in_flight: u64,
+    /// Journaled batches re-fed during crash recoveries.
+    pub replayed: u64,
+    /// Replayed batches whose outputs were suppressed because they had
+    /// already been delivered before the crash (seq-based dedup).
+    pub replay_suppressed: u64,
 }
 
 /// What happened to a batch offered to [`SupervisedPipeline::feed`].
@@ -139,6 +167,11 @@ pub struct FinishedRun {
     pub stats: SupervisorStats,
     /// The dead-letter buffer with every retained poison batch.
     pub quarantine: Quarantine,
+    /// Journal counters (appends, syncs, recovered records, truncated
+    /// segments); `None` when journaling was not configured. The journal
+    /// is fsynced before these are captured, so they describe a fully
+    /// durable log.
+    pub journal: Option<JournalStats>,
 }
 
 enum SupCommand {
@@ -161,7 +194,12 @@ struct Worker {
     handle: JoinHandle<Result<Learner, String>>,
 }
 
-fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<AtomicU64>) -> Worker {
+fn spawn_worker(
+    mut learner: Learner,
+    queue_depth: usize,
+    chaos_delay: Arc<AtomicU64>,
+    initial_last_seq: Option<u64>,
+) -> Worker {
     let telemetry = learner.telemetry().clone();
     let (in_tx, in_rx) = bounded::<SupCommand>(queue_depth);
     // One extra slot per possible in-flight checkpoint reply so a
@@ -169,6 +207,10 @@ fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<Atomi
     let (out_tx, out_rx) = bounded::<WorkerMsg>(queue_depth + 1);
     let handle = std::thread::spawn(move || {
         catch_unwind(AssertUnwindSafe(move || {
+            // Highest batch seq processed; stamped onto checkpoints as
+            // the journal replay floor. Seeded with the replay
+            // high-water mark on post-recovery respawns.
+            let mut last_seq = initial_last_seq;
             loop {
                 // Queue wait is the ingest stage, as in the plain pipeline.
                 let cmd = {
@@ -198,6 +240,7 @@ fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<Atomi
                 let msg = match cmd {
                     SupCommand::Batch(batch) => {
                         telemetry.batch_started(batch.seq);
+                        last_seq = Some(batch.seq);
                         let report = match batch.labels.as_deref() {
                             Some(labels) => {
                                 learner.train(&batch.x, labels);
@@ -208,11 +251,14 @@ fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<Atomi
                         WorkerMsg::Output(PipelineOutput { seq: batch.seq, report })
                     }
                     SupCommand::Prequential(batch) => {
+                        last_seq = Some(batch.seq);
                         let report = learner.process(&batch);
                         WorkerMsg::Output(PipelineOutput { seq: batch.seq, report: Some(report) })
                     }
                     SupCommand::Checkpoint => {
-                        WorkerMsg::Checkpoint(Box::new(Checkpoint::capture(&learner)))
+                        let mut checkpoint = Checkpoint::capture(&learner);
+                        checkpoint.journal_seq = last_seq;
+                        WorkerMsg::Checkpoint(Box::new(checkpoint))
                     }
                     SupCommand::InjectPanic => panic!("injected worker panic (chaos)"),
                 };
@@ -225,6 +271,71 @@ fn spawn_worker(mut learner: Learner, queue_depth: usize, chaos_delay: Arc<Atomi
         .map_err(panic_message)
     });
     Worker { input: in_tx, output: out_rx, handle }
+}
+
+/// Everything the supervisor keeps per enabled journal.
+struct JournalState {
+    journal: Journal,
+    /// Replay base: restoring this checkpoint and re-feeding every
+    /// journaled record above `base.journal_seq` reproduces the
+    /// crashed worker's exact state. Advances only when a checkpoint is
+    /// durably persisted to disk (never on in-memory cadence captures),
+    /// so a run without a checkpoint path replays from genesis.
+    base: Checkpoint,
+    /// Seqs whose outputs have already been delivered toward the
+    /// caller; replay re-feeds these for state but suppresses their
+    /// outputs (seq-based dedup). Pruned below the truncation floor.
+    produced: BTreeSet<u64>,
+    /// Wall-clock cost of each restore-then-replay recovery.
+    recovery_seconds: freeway_telemetry::Histogram,
+}
+
+/// Outcome of one synchronous replay pass (see [`replay_into`]).
+struct ReplaySummary {
+    replayed: u64,
+    suppressed: u64,
+    /// Outputs delivered now that were lost with the crashed worker.
+    recovered: u64,
+    last_seq: Option<u64>,
+}
+
+/// Re-feeds `records` into `learner` exactly as the worker loop would
+/// have, routing each output through seq-based dedup: already-delivered
+/// seqs are suppressed, the rest land on `pending` in order. The caller
+/// is responsible for muting the learner's telemetry and shared-registry
+/// publishes around this call (replayed work already had its side
+/// effects the first time).
+fn replay_into(
+    learner: &mut Learner,
+    records: &[JournalRecord],
+    produced: &mut BTreeSet<u64>,
+    pending: &mut VecDeque<PipelineOutput>,
+) -> ReplaySummary {
+    let mut summary = ReplaySummary { replayed: 0, suppressed: 0, recovered: 0, last_seq: None };
+    for record in records {
+        let batch = record.to_batch();
+        let report = if record.prequential {
+            Some(learner.process(&batch))
+        } else {
+            match batch.labels.as_deref() {
+                Some(labels) => {
+                    learner.train(&batch.x, labels);
+                    None
+                }
+                None => Some(learner.infer(&batch.x)),
+            }
+        };
+        summary.replayed += 1;
+        summary.last_seq = Some(record.seq);
+        if produced.contains(&record.seq) {
+            summary.suppressed += 1;
+        } else {
+            produced.insert(record.seq);
+            pending.push_back(PipelineOutput { seq: record.seq, report });
+            summary.recovered += 1;
+        }
+    }
+    summary
 }
 
 /// A fault-tolerant pipeline around a [`Learner`].
@@ -265,6 +376,14 @@ pub struct SupervisedPipeline {
     /// Shared with the learner: quarantine/checkpoint/restart events are
     /// emitted here so fault handling is observable from the outside.
     telemetry: Telemetry,
+    /// The durable ingest journal and its replay bookkeeping; `None`
+    /// when journaling is not configured (the default, byte-identical
+    /// legacy path).
+    journal: Option<JournalState>,
+    /// Exported restart counter (`freeway_worker_restarts_total`).
+    restarts_counter: Counter,
+    /// Exported loss counter (`freeway_lost_in_flight_total`).
+    lost_counter: Counter,
 }
 
 impl SupervisedPipeline {
@@ -298,10 +417,91 @@ impl SupervisedPipeline {
                 "checkpoint generations must be positive".to_owned(),
             ));
         }
+        let mut learner = learner;
         let last_checkpoint = Checkpoint::capture(&learner);
         let telemetry = learner.telemetry().clone();
+        let restarts_counter = telemetry.counter("freeway_worker_restarts_total");
+        let lost_counter = telemetry.counter("freeway_lost_in_flight_total");
         let chaos_train_delay = Arc::new(AtomicU64::new(0));
-        let worker = Some(spawn_worker(learner, config.queue_depth, chaos_train_delay.clone()));
+        let mut stats = SupervisorStats::default();
+        // With a journal configured, a non-empty log means the previous
+        // process died with work admitted but not durably checkpointed:
+        // recover its exact state before spawning the worker. Outputs of
+        // replayed batches were delivered by the previous incarnation, so
+        // every one of them is suppressed here.
+        let mut startup_seq = None;
+        let journal = match config.journal.clone() {
+            None => None,
+            Some(journal_config) => {
+                if journal_config.segment_max_bytes == 0 {
+                    return Err(FreewayError::InvalidConfig(
+                        "journal segment size must be positive".to_owned(),
+                    ));
+                }
+                if journal_config.fsync_every_n_appends == 0 {
+                    return Err(FreewayError::InvalidConfig(
+                        "journal fsync cadence must be positive".to_owned(),
+                    ));
+                }
+                let (journal, recovered) = Journal::open(journal_config)?;
+                let recovery_seconds = telemetry
+                    .histogram("freeway_journal_recovery_seconds", DURATION_SECONDS_BOUNDS);
+                let mut base = last_checkpoint.clone();
+                let mut produced = BTreeSet::new();
+                if !recovered.is_empty() {
+                    let started = Instant::now();
+                    // Genesis journal (lowest segment index 0): the fresh
+                    // learner plus a full replay IS the crashed process's
+                    // state. A truncated journal needs the disk
+                    // checkpoint that justified the truncation.
+                    let records: Vec<JournalRecord> = if journal.lowest_segment_index() == 0 {
+                        recovered
+                    } else {
+                        let Some(path) = config.checkpoint_path.as_ref() else {
+                            return Err(FreewayError::InvalidConfig(
+                                "journal history is truncated below a checkpoint; \
+                                     recovering it requires checkpoint_path"
+                                    .to_owned(),
+                            ));
+                        };
+                        let store =
+                            CheckpointStore::new(path.clone(), config.checkpoint_generations);
+                        let (loaded, _generation) = store.load_newest()?;
+                        let floor = loaded.journal_seq;
+                        base = loaded;
+                        learner = base.restore()?;
+                        match floor {
+                            Some(floor) => {
+                                recovered.into_iter().filter(|r| r.seq > floor).collect()
+                            }
+                            None => recovered,
+                        }
+                    };
+                    learner.attach_telemetry(Telemetry::disabled());
+                    learner.set_shared_publish_muted(true);
+                    for record in &records {
+                        produced.insert(record.seq);
+                    }
+                    let mut discarded = VecDeque::new();
+                    let summary =
+                        replay_into(&mut learner, &records, &mut produced, &mut discarded);
+                    learner.set_shared_publish_muted(false);
+                    learner.attach_telemetry(telemetry.clone());
+                    stats.replayed += summary.replayed;
+                    stats.replay_suppressed += summary.suppressed;
+                    startup_seq = summary.last_seq;
+                    recovery_seconds.record(started.elapsed().as_secs_f64());
+                    telemetry.emit(TelemetryEvent::JournalReplayed {
+                        seq: summary.last_seq.unwrap_or(0),
+                        replayed: summary.replayed,
+                        suppressed: summary.suppressed,
+                    });
+                }
+                Some(JournalState { journal, base, produced, recovery_seconds })
+            }
+        };
+        let worker =
+            Some(spawn_worker(learner, config.queue_depth, chaos_train_delay.clone(), startup_seq));
         Ok(Self {
             config,
             worker,
@@ -309,7 +509,7 @@ impl SupervisedPipeline {
             quarantine,
             pending: VecDeque::new(),
             last_checkpoint,
-            stats: SupervisorStats::default(),
+            stats,
             in_flight: 0,
             accepted_since_checkpoint: 0,
             checkpoint_due: false,
@@ -319,6 +519,9 @@ impl SupervisedPipeline {
             degradation: None,
             shared: None,
             telemetry,
+            journal,
+            restarts_counter,
+            lost_counter,
         })
     }
 
@@ -368,10 +571,17 @@ impl SupervisedPipeline {
         // Absorb finished work first so checkpoint results (and their
         // disk verdicts) are applied promptly, not only at finish.
         self.absorb_available()?;
+        let seq = batch.seq;
+        // Frame before the batch moves into the command; the append
+        // itself happens only after the hand-off succeeds (a restart
+        // mid-send re-sends the batch, so journaling it early would
+        // replay it on top of the re-send).
+        let frame = self.journal.as_ref().map(|_| frame_batch(&batch, prequential));
         let cmd =
             if prequential { SupCommand::Prequential(batch) } else { SupCommand::Batch(batch) };
         self.send_with_recovery(cmd)?;
         self.note_accepted();
+        self.journal_append(seq, frame);
         if self.checkpoint_due {
             self.checkpoint_due = false;
             self.send_with_recovery(SupCommand::Checkpoint)?;
@@ -433,6 +643,7 @@ impl SupervisedPipeline {
         // slots is what lets a busy worker drain its input queue.
         self.absorb_available()?;
         let seq = batch.seq;
+        let frame = self.journal.as_ref().map(|_| frame_batch(&batch, prequential));
         let mut cmd =
             if prequential { SupCommand::Prequential(batch) } else { SupCommand::Batch(batch) };
         loop {
@@ -457,6 +668,7 @@ impl SupervisedPipeline {
         }
         self.guard.accept(seq);
         self.note_accepted();
+        self.journal_append(seq, frame);
         self.flush_due_checkpoint();
         Ok(TryFeedOutcome::Accepted)
     }
@@ -513,6 +725,31 @@ impl SupervisedPipeline {
     pub fn set_chaos_persist_delay(&self, delay: std::time::Duration) {
         self.chaos_persist_delay
             .store(delay.as_nanos().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+    }
+
+    /// Chaos hook: every subsequent journal fsync sleeps this long first,
+    /// simulating a slow disk. The delay counts against the slow-sync
+    /// budget, so a sustained one degrades the fsync cadence instead of
+    /// stalling ingest. No-op without a journal; zero disables.
+    pub fn set_chaos_journal_sync_delay(&self, delay: std::time::Duration) {
+        if let Some(state) = self.journal.as_ref() {
+            state
+                .journal
+                .chaos_sync_delay_handle()
+                .store(delay.as_millis().min(u128::from(u64::MAX)) as u64, Ordering::Relaxed);
+        }
+    }
+
+    /// Journal counters so far (`None` without a journal).
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(|state| state.journal.stats())
+    }
+
+    /// The journal's current fsync-cadence backoff multiplier (1 =
+    /// healthy disk, doubled per slow/failed sync); `None` without a
+    /// journal.
+    pub fn journal_sync_backoff(&self) -> Option<u64> {
+        self.journal.as_ref().map(|state| state.journal.sync_backoff())
     }
 
     /// Shares the overload degradation level with this supervisor so a
@@ -593,10 +830,33 @@ impl SupervisedPipeline {
         }
     }
 
+    /// Appends one framed batch to the journal (when enabled). Append
+    /// failures are logged, never fatal: ingest continues and only the
+    /// replay guarantee degrades for the unjournaled window.
+    fn journal_append(&mut self, seq: u64, frame: Option<Vec<u8>>) {
+        let Some(state) = self.journal.as_mut() else { return };
+        let Some(frame) = frame else { return };
+        match state.journal.append_frame(seq, &frame) {
+            Ok(synced) => {
+                self.telemetry.emit(TelemetryEvent::JournalAppended {
+                    seq,
+                    bytes: frame.len() as u64,
+                    synced,
+                });
+            }
+            Err(e) => eprintln!("freeway-core: journal append failed (batch not durable): {e}"),
+        }
+    }
+
     fn handle_msg(&mut self, msg: WorkerMsg) {
         match msg {
             WorkerMsg::Output(out) => {
                 self.in_flight = self.in_flight.saturating_sub(1);
+                if let Some(state) = self.journal.as_mut() {
+                    // Delivered toward the caller: a future replay of
+                    // this seq must be state-only (output suppressed).
+                    state.produced.insert(out.seq);
+                }
                 self.pending.push_back(out);
             }
             WorkerMsg::Checkpoint(cp) => self.install_checkpoint(*cp),
@@ -630,14 +890,39 @@ impl SupervisedPipeline {
         }
         self.telemetry
             .emit(TelemetryEvent::CheckpointWritten { seq: self.telemetry.seq(), persisted });
+        // Only a *durably persisted* checkpoint may advance the replay
+        // base and truncate journal history below it: an in-memory
+        // cadence capture dies with the process, so truncating on it
+        // would leave an unrecoverable hole after a crash.
+        if persisted {
+            if let Some(state) = self.journal.as_mut() {
+                state.base = checkpoint.clone();
+                if let Some(floor) = checkpoint.journal_seq {
+                    match state.journal.truncate_below(floor) {
+                        Ok(removed) if removed > 0 => {
+                            self.telemetry.emit(TelemetryEvent::JournalTruncated {
+                                seq: floor,
+                                segments: removed,
+                            });
+                        }
+                        Ok(_) => {}
+                        Err(e) => {
+                            eprintln!("freeway-core: journal truncation failed (log kept): {e}")
+                        }
+                    }
+                    // Seqs at or below the floor can never replay again.
+                    state.produced = state.produced.split_off(&(floor + 1));
+                }
+            }
+        }
         self.last_checkpoint = checkpoint;
     }
 
-    /// Restores the last checkpoint and re-wires the restored learner to
+    /// Restores the given checkpoint and re-wires the restored learner to
     /// this supervisor's telemetry stream and shared degradation level,
     /// announcing the restore.
-    fn restore_checkpoint(&self) -> Result<Learner, FreewayError> {
-        let mut learner = self.last_checkpoint.restore()?;
+    fn restore_checkpoint_from(&self, checkpoint: &Checkpoint) -> Result<Learner, FreewayError> {
+        let mut learner = checkpoint.restore()?;
         learner.attach_telemetry(self.telemetry.clone());
         if let Some(handle) = self.degradation.as_ref() {
             learner.attach_degradation(handle.clone());
@@ -647,6 +932,70 @@ impl SupervisedPipeline {
         }
         self.telemetry.emit(TelemetryEvent::CheckpointRestored { seq: self.telemetry.seq() });
         Ok(learner)
+    }
+
+    /// Restores the last checkpoint; see [`Self::restore_checkpoint_from`].
+    fn restore_checkpoint(&self) -> Result<Learner, FreewayError> {
+        self.restore_checkpoint_from(&self.last_checkpoint)
+    }
+
+    /// Produces the learner to respawn after a crash. With a journal,
+    /// this is restore-the-base-then-replay: journaled records above the
+    /// base are re-fed synchronously (telemetry and shared-registry
+    /// publishes muted — the crashed worker already had those side
+    /// effects), outputs the crashed worker never delivered land on
+    /// `pending` via seq-based dedup, and the loss shrinks by exactly
+    /// what replay recovered. Without a journal the last checkpoint is
+    /// restored and the in-flight work is genuinely lost.
+    ///
+    /// Returns `(learner, net_lost, respawn_seq)` where `respawn_seq`
+    /// seeds the new worker's checkpoint stamping.
+    fn recover_learner(&mut self, lost: u64) -> Result<(Learner, u64, Option<u64>), FreewayError> {
+        let journal_parts = self.journal.as_mut().map(|state| {
+            let base = state.base.clone();
+            let records = state.journal.records_above(base.journal_seq);
+            let produced = std::mem::take(&mut state.produced);
+            (base, records, produced)
+        });
+        let Some((base, records, mut produced)) = journal_parts else {
+            let learner = self.restore_checkpoint()?;
+            return Ok((learner, lost, self.last_checkpoint.journal_seq));
+        };
+        let records = match records {
+            Ok(records) => records,
+            Err(e) => {
+                // An unreadable journal degrades to the journal-free
+                // contract: restore the newest checkpoint, count the
+                // loss honestly.
+                eprintln!("freeway-core: journal replay failed ({e}); restoring checkpoint only");
+                if let Some(state) = self.journal.as_mut() {
+                    state.produced = produced;
+                }
+                let learner = self.restore_checkpoint()?;
+                return Ok((learner, lost, self.last_checkpoint.journal_seq));
+            }
+        };
+        let started = Instant::now();
+        let mut learner = self.restore_checkpoint_from(&base)?;
+        learner.attach_telemetry(Telemetry::disabled());
+        learner.set_shared_publish_muted(true);
+        let summary = replay_into(&mut learner, &records, &mut produced, &mut self.pending);
+        learner.set_shared_publish_muted(false);
+        learner.attach_telemetry(self.telemetry.clone());
+        self.stats.replayed += summary.replayed;
+        self.stats.replay_suppressed += summary.suppressed;
+        let net_lost = lost.saturating_sub(summary.recovered);
+        let respawn_seq = summary.last_seq.or(base.journal_seq);
+        if let Some(state) = self.journal.as_mut() {
+            state.produced = produced;
+            state.recovery_seconds.record(started.elapsed().as_secs_f64());
+        }
+        self.telemetry.emit(TelemetryEvent::JournalReplayed {
+            seq: summary.last_seq.unwrap_or(0),
+            replayed: summary.replayed,
+            suppressed: summary.suppressed,
+        });
+        Ok((learner, net_lost, respawn_seq))
     }
 
     /// Reaps a dead worker and spawns a replacement from the last
@@ -673,23 +1022,32 @@ impl SupervisedPipeline {
         };
         self.stats.worker_panics += 1;
         let lost = self.in_flight as u64;
-        self.stats.lost_in_flight += lost;
         self.in_flight = 0;
         self.accepted_since_checkpoint = 0;
         if self.stats.restarts >= self.config.max_restarts {
+            // Past the budget nothing replays: the loss is real.
+            self.stats.lost_in_flight += lost;
+            self.lost_counter.add(lost);
             return Err(FreewayError::RestartsExhausted {
                 attempts: self.stats.restarts,
                 last_panic: panic,
             });
         }
         self.stats.restarts += 1;
-        let learner = self.restore_checkpoint()?;
+        self.restarts_counter.inc();
+        let (learner, net_lost, respawn_seq) = self.recover_learner(lost)?;
+        self.stats.lost_in_flight += net_lost;
+        self.lost_counter.add(net_lost);
         self.telemetry.emit(TelemetryEvent::WorkerRestarted {
             restarts: self.stats.restarts as u64,
-            lost_in_flight: lost,
+            lost_in_flight: net_lost,
         });
-        self.worker =
-            Some(spawn_worker(learner, self.config.queue_depth, self.chaos_train_delay.clone()));
+        self.worker = Some(spawn_worker(
+            learner,
+            self.config.queue_depth,
+            self.chaos_train_delay.clone(),
+            respawn_seq,
+        ));
         Ok(())
     }
 
@@ -767,29 +1125,43 @@ impl SupervisedPipeline {
                 }
                 match handle.join() {
                     Ok(Ok(learner)) => learner,
-                    Ok(Err(panic)) => {
-                        self.stats.worker_panics += 1;
-                        self.stats.lost_in_flight += self.in_flight as u64;
-                        eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
-                        self.restore_checkpoint()?
-                    }
+                    Ok(Err(panic)) => self.finish_recover(panic)?,
                     Err(payload) => {
                         let panic = panic_message(payload);
-                        self.stats.worker_panics += 1;
-                        self.stats.lost_in_flight += self.in_flight as u64;
-                        eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
-                        self.restore_checkpoint()?
+                        self.finish_recover(panic)?
                     }
                 }
             }
             None => self.restore_checkpoint()?,
         };
+        let journal = self.journal.as_mut().map(|state| {
+            // Make everything admitted this run durable before handing
+            // the stats out.
+            state.journal.sync();
+            state.journal.stats()
+        });
         Ok(FinishedRun {
             learner,
             outputs: std::mem::take(&mut self.pending).into(),
             stats: self.stats,
             quarantine: self.quarantine.clone(),
+            journal,
         })
+    }
+
+    /// Dead-worker recovery at finish time: counts the crash, recovers
+    /// the learner (replaying the journal when enabled — recovered
+    /// outputs still land in the finished run), and surfaces the
+    /// residual loss.
+    fn finish_recover(&mut self, panic: String) -> Result<Learner, FreewayError> {
+        self.stats.worker_panics += 1;
+        let lost = self.in_flight as u64;
+        self.in_flight = 0;
+        eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
+        let (learner, net_lost, _respawn_seq) = self.recover_learner(lost)?;
+        self.stats.lost_in_flight += net_lost;
+        self.lost_counter.add(net_lost);
+        Ok(learner)
     }
 }
 
@@ -1088,6 +1460,98 @@ mod tests {
         assert_eq!(run.stats.checkpoints_persisted, 0);
         assert_eq!(run.stats.worker_panics, 0, "the worker never noticed the sick disk");
         assert_eq!(received + run.outputs.len() as u64 + run.stats.lost_in_flight, 12);
+    }
+
+    #[test]
+    fn journaled_restart_replays_lost_in_flight_batches() {
+        let dir =
+            std::env::temp_dir().join(format!("freeway-journal-restart-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let mut rng = stream_rng(29);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        let mut sup = SupervisedPipeline::with_learner(
+            learner(),
+            SupervisorConfig {
+                journal: Some(JournalConfig::new(dir.join("ingest.wal"))),
+                ..config()
+            },
+        )
+        .expect("spawn");
+        let mut outputs = Vec::new();
+        for i in 0..4 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
+            drain(&mut sup, &mut outputs);
+        }
+        // The panic command queues ahead of batch 4, so the crash
+        // deterministically takes an admitted batch down with it.
+        sup.inject_worker_panic().expect("inject");
+        let (x, y) = concept.sample_batch(64, &mut rng);
+        sup.feed_prequential(Batch::labeled(x, y, 4, DriftPhase::Stable)).expect("fed");
+        wait_for_restarts(&mut sup, 1, &mut outputs);
+        for i in 5..8 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            sup.feed_prequential(Batch::labeled(x, y, i, DriftPhase::Stable)).expect("healthy");
+            drain(&mut sup, &mut outputs);
+        }
+        let run = sup.finish().expect("finish");
+        outputs.extend(run.outputs);
+        assert_eq!(run.stats.restarts, 1, "{:?}", run.stats);
+        assert_eq!(run.stats.lost_in_flight, 0, "replay recovers everything: {:?}", run.stats);
+        assert!(run.stats.replayed >= 1, "{:?}", run.stats);
+        let seqs: Vec<u64> = outputs.iter().map(|o| o.seq).collect();
+        assert_eq!(seqs, (0..8).collect::<Vec<u64>>(), "every batch exactly once, in order");
+        let journal = run.journal.expect("journal stats present");
+        assert_eq!(journal.appended, 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn startup_recovery_replays_a_previous_processes_journal() {
+        let dir =
+            std::env::temp_dir().join(format!("freeway-journal-startup-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        let journal = JournalConfig::new(dir.join("ingest.wal"));
+        let mut rng = stream_rng(30);
+        let concept = GmmConcept::random(4, 2, 1, 3.0, 0.5, &mut rng);
+        // First incarnation: admit five batches, then die without a
+        // clean finish (the journal is the only durable trace).
+        let mut batches = Vec::new();
+        for i in 0..8 {
+            let (x, y) = concept.sample_batch(64, &mut rng);
+            batches.push(Batch::labeled(x, y, i, DriftPhase::Stable));
+        }
+        {
+            let mut sup = SupervisedPipeline::with_learner(
+                learner(),
+                SupervisorConfig { journal: Some(journal.clone()), ..config() },
+            )
+            .expect("spawn");
+            for batch in batches.iter().take(5) {
+                sup.feed_prequential(batch.clone()).expect("healthy");
+            }
+            // Dropped without finish(): a process crash from the
+            // journal's point of view.
+        }
+        // Second incarnation: genesis replay reconstructs the state,
+        // suppressing every already-delivered output.
+        let mut sup = SupervisedPipeline::with_learner(
+            learner(),
+            SupervisorConfig { journal: Some(journal), ..config() },
+        )
+        .expect("recovering spawn");
+        assert_eq!(sup.stats().replayed, 5, "{:?}", sup.stats());
+        assert_eq!(sup.stats().replay_suppressed, 5, "{:?}", sup.stats());
+        for batch in batches.iter().skip(5) {
+            sup.feed_prequential(batch.clone()).expect("healthy");
+        }
+        let run = sup.finish().expect("finish");
+        assert_eq!(run.outputs.len(), 3, "only post-recovery outputs are delivered");
+        assert_eq!(run.stats.accepted, 3);
+        assert_eq!(run.stats.lost_in_flight, 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -128,6 +128,36 @@ pub enum TelemetryEvent {
         /// Feature-space distance to the matched fingerprint.
         distance: f64,
     },
+    /// An admitted batch was framed and appended to the durable ingest
+    /// journal.
+    JournalAppended {
+        /// Sequence number of the journaled batch.
+        seq: u64,
+        /// Framed record size in bytes (header + payload).
+        bytes: u64,
+        /// Whether this append also flushed the segment to disk
+        /// (fsync cadence boundary).
+        synced: bool,
+    },
+    /// A crash recovery replayed journaled batches into the restored
+    /// learner.
+    JournalReplayed {
+        /// Highest sequence number reached by the replay.
+        seq: u64,
+        /// Batches re-fed from the journal during this recovery.
+        replayed: u64,
+        /// Replayed batches whose outputs were suppressed because they
+        /// had already been delivered (seq-based dedup).
+        suppressed: u64,
+    },
+    /// Journal segments entirely below the last durable checkpoint were
+    /// dropped.
+    JournalTruncated {
+        /// Checkpoint sequence number the truncation is anchored to.
+        seq: u64,
+        /// Number of segment files removed.
+        segments: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -146,6 +176,9 @@ impl TelemetryEvent {
             TelemetryEvent::DegradationChanged { .. } => EventKind::DegradationChanged,
             TelemetryEvent::BatchShed { .. } => EventKind::BatchShed,
             TelemetryEvent::SharedKnowledgeHit { .. } => EventKind::SharedKnowledgeHit,
+            TelemetryEvent::JournalAppended { .. } => EventKind::JournalAppended,
+            TelemetryEvent::JournalReplayed { .. } => EventKind::JournalReplayed,
+            TelemetryEvent::JournalTruncated { .. } => EventKind::JournalTruncated,
         }
     }
 
@@ -162,7 +195,10 @@ impl TelemetryEvent {
             | TelemetryEvent::KnowledgePreserved { seq, .. }
             | TelemetryEvent::DegradationChanged { seq, .. }
             | TelemetryEvent::BatchShed { seq, .. }
-            | TelemetryEvent::SharedKnowledgeHit { seq, .. } => Some(seq),
+            | TelemetryEvent::SharedKnowledgeHit { seq, .. }
+            | TelemetryEvent::JournalAppended { seq, .. }
+            | TelemetryEvent::JournalReplayed { seq, .. }
+            | TelemetryEvent::JournalTruncated { seq, .. } => Some(seq),
             TelemetryEvent::WorkerRestarted { .. } => None,
         }
     }
@@ -197,11 +233,17 @@ pub enum EventKind {
     BatchShed,
     /// See [`TelemetryEvent::SharedKnowledgeHit`].
     SharedKnowledgeHit,
+    /// See [`TelemetryEvent::JournalAppended`].
+    JournalAppended,
+    /// See [`TelemetryEvent::JournalReplayed`].
+    JournalReplayed,
+    /// See [`TelemetryEvent::JournalTruncated`].
+    JournalTruncated,
 }
 
 impl EventKind {
     /// Every kind, in counter-index order.
-    pub const ALL: [EventKind; 12] = [
+    pub const ALL: [EventKind; 15] = [
         EventKind::DriftDetected,
         EventKind::StrategyDispatched,
         EventKind::WindowEvicted,
@@ -214,6 +256,9 @@ impl EventKind {
         EventKind::DegradationChanged,
         EventKind::BatchShed,
         EventKind::SharedKnowledgeHit,
+        EventKind::JournalAppended,
+        EventKind::JournalReplayed,
+        EventKind::JournalTruncated,
     ];
 
     /// Variant name as it appears in serialized events.
@@ -231,6 +276,9 @@ impl EventKind {
             EventKind::DegradationChanged => "DegradationChanged",
             EventKind::BatchShed => "BatchShed",
             EventKind::SharedKnowledgeHit => "SharedKnowledgeHit",
+            EventKind::JournalAppended => "JournalAppended",
+            EventKind::JournalReplayed => "JournalReplayed",
+            EventKind::JournalTruncated => "JournalTruncated",
         }
     }
 
@@ -249,6 +297,9 @@ impl EventKind {
             EventKind::DegradationChanged => "degradation_changed",
             EventKind::BatchShed => "batch_shed",
             EventKind::SharedKnowledgeHit => "shared_knowledge_hit",
+            EventKind::JournalAppended => "journal_appended",
+            EventKind::JournalReplayed => "journal_replayed",
+            EventKind::JournalTruncated => "journal_truncated",
         }
     }
 
@@ -266,6 +317,9 @@ impl EventKind {
             EventKind::DegradationChanged => 9,
             EventKind::BatchShed => 10,
             EventKind::SharedKnowledgeHit => 11,
+            EventKind::JournalAppended => 12,
+            EventKind::JournalReplayed => 13,
+            EventKind::JournalTruncated => 14,
         }
     }
 }

@@ -98,8 +98,8 @@ pub use freeway_telemetry as telemetry;
 pub mod prelude {
     pub use freeway_baselines::{FreewaySystem, StreamingLearner};
     pub use freeway_core::{
-        shard_for, FreewayConfig, FreewayError, InferenceReport, Learner, Pipeline,
-        PipelineBuilder, ShardedPipeline, ShardedRun, SharedKnowledge, Strategy,
+        shard_for, FreewayConfig, FreewayError, InferenceReport, JournalConfig, JournalStats,
+        Learner, Pipeline, PipelineBuilder, ShardedPipeline, ShardedRun, SharedKnowledge, Strategy,
         SupervisedPipeline, SupervisorConfig,
     };
     pub use freeway_drift::ShiftPattern;
