@@ -147,6 +147,38 @@ print(
 )
 PY
 
+echo "== serving gate (multi-client facade + label regimes) =="
+# The serve suite proves concurrent sessions match a serialized oracle;
+# the label-regime suite proves delayed/partial labels stay within the
+# accuracy budget. The serving drill (8 clients x 2 shards under mixed
+# label schedules) internally asserts zero panics, oracle equality, the
+# 3-point accuracy budget, and a bounded p99 submit latency; its
+# artifact is re-written and diffed for byte-stability, then the JSON
+# re-parse asserts the recorded invariants independently.
+cargo test -q --release -p freeway-core --test serve
+cargo test -q --release -p freeway-chaos --test label_regime
+cargo run --release --example serving_drill > /dev/null
+cp results/SERVING_drill.json /tmp/serving_drill_ci.json
+cargo run --release --example serving_drill > /dev/null
+diff /tmp/serving_drill_ci.json results/SERVING_drill.json
+rm -f /tmp/serving_drill_ci.json
+python3 - <<'PY'
+import json
+drill = json.load(open("results/SERVING_drill.json"))
+assert drill["clients"] >= 8, f"drill ran {drill['clients']} clients, need >= 8"
+assert drill["shards"] == 2, f"drill ran {drill['shards']} shards, need 2"
+assert all(p == 0 for p in drill["worker_panics"]), f"worker panics: {drill['worker_panics']}"
+assert drill["shed"] == 0 and drill["quarantined"] == 0, "drill shed or quarantined batches"
+assert drill["oracle_match"] is True, "concurrent transcripts diverged from the oracle"
+assert all(a > 0 for a in drill["per_shard_admitted"]), "a shard sat idle"
+gap = drill["full_accuracy"] - drill["regime_accuracy"]
+assert gap <= 0.03, f"label-regime accuracy gap {gap:.4f} blew the 3-point budget"
+print(
+    f"serving gate: {drill['clients']} clients over {drill['shards']} shards, "
+    f"oracle match, regime gap {gap:+.4f}"
+)
+PY
+
 echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -28,12 +28,22 @@
 //! deterministic virtual-time one ([`simulate_overload`]) for asserting
 //! that admission control and the degradation ladder keep the runtime
 //! stable under 4× overload.
+//!
+//! The [`label`] module covers *label-delivery* faults: delayed,
+//! partial, and bursty label arrival ([`LabelSchedule`]), with
+//! [`run_label_prequential`] measuring how far a regime pushes accuracy
+//! from the fully-labeled baseline.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
+pub mod label;
 pub mod overload;
 
+pub use label::{
+    run_label_prequential, LabelFate, LabelRegimeReport, LabelSchedule, LabelScheduler, LabelStep,
+    LateLabels,
+};
 pub use overload::{
     paired_per_seq, run_overload_prequential, simulate_overload, BurstSchedule, OverloadConfig,
     OverloadReport, SimOverloadConfig, SimOverloadReport, SimTransition,
@@ -51,6 +61,7 @@ use rand::{RngExt, SeedableRng};
 
 /// The kinds of fault [`ChaosStream`] can inject.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum FaultKind {
     /// A handful of feature cells overwritten with `NaN`.
     NanBurst,

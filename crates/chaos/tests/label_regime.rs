@@ -1,0 +1,168 @@
+//! Label-regime acceptance drills (ISSUE §serving, label-schedule leg):
+//!
+//! 1. A pass-through schedule must reproduce the plain supervised
+//!    prequential harness **byte-for-byte** — same transcript, same
+//!    per-seq scores. The regime machinery is free when idle.
+//! 2. The drill regime from the serving capstone — labels delayed by 4
+//!    batches and only 50% surviving — must stay within 3 accuracy
+//!    points of the fully-labeled run on the same stream seed, with the
+//!    continuous pseudo-label mode carrying the unlabeled batches.
+
+use freeway_chaos::{run_label_prequential, run_supervised_prequential, LabelSchedule};
+use freeway_core::supervisor::SupervisorConfig;
+use freeway_core::telemetry::{EventKind, TelemetryEvent};
+use freeway_core::{FreewayConfig, Learner, PipelineBuilder};
+use freeway_ml::ModelSpec;
+use freeway_streams::{Hyperplane, StreamGenerator};
+
+const STREAM_SEED: u64 = 2024;
+const BATCHES: usize = 192;
+const BATCH_SIZE: usize = 128;
+
+/// A slowly rotating hyperplane: enough drift that stale labels matter,
+/// slow enough that a 4-batch lag is survivable — the regime gap then
+/// measures label scarcity, not drift-chasing.
+fn stream() -> Hyperplane {
+    Hyperplane::new(8, 0.001, 0.05, STREAM_SEED)
+}
+
+fn config(pseudo: bool) -> FreewayConfig {
+    FreewayConfig {
+        pca_warmup_rows: 256,
+        mini_batch: BATCH_SIZE,
+        enable_pseudo_labels: pseudo,
+        // CEC purity on this stream plateaus near 0.8; the conservative
+        // default (0.9) never fires. 0.7 trades a little label noise for
+        // coverage and is what closes the delayed-label gap below.
+        pseudo_label_min_purity: 0.7,
+        ..Default::default()
+    }
+}
+
+fn learner(stream: &dyn StreamGenerator, pseudo: bool) -> Learner {
+    Learner::new(ModelSpec::lr(stream.num_features(), stream.num_classes()), config(pseudo))
+}
+
+fn recording_learner(stream: &dyn StreamGenerator, pseudo: bool) -> Learner {
+    let (builder, _sink) =
+        PipelineBuilder::new(ModelSpec::lr(stream.num_features(), stream.num_classes()))
+            .recording();
+    builder.with_config(config(pseudo)).build_learner().expect("valid configuration")
+}
+
+fn sup_config() -> SupervisorConfig {
+    SupervisorConfig { queue_depth: 32, ..Default::default() }
+}
+
+#[test]
+fn pass_through_schedule_matches_supervised_harness_byte_for_byte() {
+    let mut baseline_stream = stream();
+    let baseline = run_supervised_prequential(
+        &mut baseline_stream,
+        learner(&stream(), false),
+        sup_config(),
+        BATCHES,
+        BATCH_SIZE,
+        &[],
+    )
+    .expect("clean baseline run");
+
+    let mut regime_stream = stream();
+    let regime = run_label_prequential(
+        &mut regime_stream,
+        learner(&stream(), false),
+        sup_config(),
+        BATCHES,
+        BATCH_SIZE,
+        LabelSchedule::full(),
+    )
+    .expect("clean pass-through run");
+
+    assert_eq!(regime.deferred, 0);
+    assert_eq!(regime.dropped, 0);
+    assert_eq!(
+        regime.run.transcript, baseline.transcript,
+        "pass-through schedule must not change a single prediction"
+    );
+    assert_eq!(regime.run.per_seq, baseline.per_seq);
+    assert_eq!(regime.run.correct, baseline.correct);
+    assert_eq!(regime.run.scored, baseline.scored);
+}
+
+#[test]
+fn delayed_partial_labels_stay_within_three_points_of_fully_labeled() {
+    let mut full_stream = stream();
+    let full = run_label_prequential(
+        &mut full_stream,
+        learner(&stream(), true),
+        sup_config(),
+        BATCHES,
+        BATCH_SIZE,
+        LabelSchedule::full(),
+    )
+    .expect("clean fully-labeled run");
+
+    let schedule =
+        LabelSchedule { delay_batches: 4, keep_probability: 0.5, burst_period: 1, seed: 7 };
+    let mut delayed_stream = stream();
+    let delayed = run_label_prequential(
+        &mut delayed_stream,
+        learner(&stream(), true),
+        sup_config(),
+        BATCHES,
+        BATCH_SIZE,
+        schedule,
+    )
+    .expect("clean delayed run");
+
+    assert_eq!(delayed.run.stats.worker_panics, 0, "regime stress must not panic the worker");
+    assert!(delayed.deferred > 0, "half the labels should be parked");
+    assert!(delayed.dropped > 0, "half the labels should be dropped");
+    assert_eq!(delayed.arrived, delayed.deferred, "every parked label eventually lands");
+    assert!(delayed.max_lag >= 4, "delay-by-4 shows up in the lag");
+    assert_eq!(
+        delayed.run.scored, full.run.scored,
+        "scoring uses ground truth, independent of delivery"
+    );
+
+    let gap = full.run.accuracy() - delayed.run.accuracy();
+    assert!(
+        gap <= 0.03,
+        "delayed/partial labels cost {:.4} accuracy (full {:.4}, delayed {:.4}); budget is 3 points",
+        gap,
+        full.run.accuracy(),
+        delayed.run.accuracy()
+    );
+}
+
+#[test]
+fn label_events_and_lag_histogram_are_recorded() {
+    let mut events_stream = stream();
+    let report = run_label_prequential(
+        &mut events_stream,
+        recording_learner(&stream(), true),
+        sup_config(),
+        32,
+        BATCH_SIZE,
+        LabelSchedule { delay_batches: 2, keep_probability: 0.75, burst_period: 1, seed: 5 },
+    )
+    .expect("clean run");
+
+    let deferred_events =
+        report.run.events.iter().filter(|e| e.kind() == EventKind::LabelDeferred).count() as u64;
+    let arrived_events =
+        report.run.events.iter().filter(|e| e.kind() == EventKind::LabelArrived).count() as u64;
+    assert_eq!(
+        deferred_events,
+        report.deferred + report.dropped,
+        "one LabelDeferred per parked or dropped batch"
+    );
+    assert_eq!(arrived_events, report.arrived, "one LabelArrived per delivery");
+    let dropped_markers = report
+        .run
+        .events
+        .iter()
+        .filter(|e| matches!(e, TelemetryEvent::LabelDeferred { expected_lag: 0, .. }))
+        .count() as u64;
+    assert_eq!(dropped_markers, report.dropped, "drops are flagged with expected_lag = 0");
+}

@@ -221,6 +221,7 @@ impl AdmissionConfig {
 
 /// What happened to a batch offered to [`AdmittedPipeline::feed`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum AdmissionOutcome {
     /// The batch reached the worker (possibly after a wait).
     Admitted,

@@ -3,9 +3,9 @@
 //! [`PipelineBuilder`] is the single place where a deployment is
 //! described: model architecture, learner configuration, supervision
 //! policy, and the telemetry sink are all set **before** anything spawns,
-//! so observers see the run from its very first batch. The legacy
-//! constructors ([`Learner::new`], `Pipeline::spawn`,
-//! `SupervisedPipeline::spawn`) remain as thin deprecated wrappers.
+//! so observers see the run from its very first batch. It is the single
+//! construction path: the legacy `spawn` constructors were removed, and
+//! only [`Learner::new`] remains as a thin convenience wrapper.
 //!
 //! ```
 //! use freeway_core::PipelineBuilder;
@@ -29,6 +29,7 @@ use crate::error::FreewayError;
 use crate::knowledge::SharedKnowledge;
 use crate::learner::Learner;
 use crate::pipeline::Pipeline;
+use crate::serve::{Service, ServiceConfig};
 use crate::shard::ShardedPipeline;
 use crate::supervisor::{SupervisedPipeline, SupervisorConfig};
 use freeway_ml::ModelSpec;
@@ -51,6 +52,7 @@ pub struct PipelineBuilder {
     admission: Option<AdmissionConfig>,
     telemetry: Telemetry,
     shards: usize,
+    service: Option<ServiceConfig>,
 }
 
 impl PipelineBuilder {
@@ -65,6 +67,7 @@ impl PipelineBuilder {
             admission: None,
             telemetry: Telemetry::disabled(),
             shards: 1,
+            service: None,
         }
     }
 
@@ -195,6 +198,16 @@ impl PipelineBuilder {
     #[must_use]
     pub fn shards(mut self, n: usize) -> Self {
         self.shards = n;
+        self
+    }
+
+    /// Configures the multi-client serving facade for
+    /// [`Self::build_service`] (submit queue depth, retry pacing hint,
+    /// feed-order recording). The other build targets ignore this;
+    /// `build_service` without it uses [`ServiceConfig::default`].
+    #[must_use]
+    pub fn service(mut self, config: ServiceConfig) -> Self {
+        self.service = Some(config);
         self
     }
 
@@ -340,6 +353,20 @@ impl PipelineBuilder {
             shards.push(AdmittedPipeline::new(inner, admission.clone(), handle)?);
         }
         Ok(ShardedPipeline::new(shards, shared, self.telemetry))
+    }
+
+    /// Builds the serving facade: a [`Self::build_sharded`] runtime owned
+    /// by a router thread, fronted by cloneable [`crate::ServiceHandle`]s
+    /// whose keyed [`crate::ClientSession`]s submit concurrently (see
+    /// [`crate::serve`]). Configure with [`Self::service`]; a single
+    /// shard is a valid (unsharded) service.
+    ///
+    /// # Errors
+    /// As [`Self::build_sharded`], plus invalid service knobs.
+    pub fn build_service(mut self) -> Result<Service, FreewayError> {
+        let config = self.service.take().unwrap_or_default();
+        let pipeline = self.build_sharded()?;
+        Service::start(pipeline, config)
     }
 
     fn check_supervisor(supervisor: &SupervisorConfig) -> Result<(), FreewayError> {

@@ -170,6 +170,25 @@ pub struct FreewayConfig {
     pub enable_cec: bool,
     /// Mechanism toggle: historical knowledge reuse on Pattern C.
     pub enable_knowledge: bool,
+    /// Continuous low-label mode: train the short-granularity model on
+    /// CEC pseudo-labels for *unlabeled* batches whose cluster purity
+    /// clears [`Self::pseudo_label_min_purity`]. The paper uses CEC
+    /// labeling only inside Pattern-B handling; this extends it to every
+    /// unlabeled batch so delayed/partial-label streams keep adapting
+    /// between label deliveries. Off by default — it changes inference
+    /// output on unlabeled streams. (`serde` default keeps older
+    /// serialized configurations readable.)
+    #[serde(default)]
+    pub enable_pseudo_labels: bool,
+    /// Minimum CEC labeled-guidance purity for a pseudo-label training
+    /// pass (stricter than [`Self::cec_min_purity`] by default: training
+    /// on wrong labels is worse than predicting with them).
+    #[serde(default = "default_pseudo_label_min_purity")]
+    pub pseudo_label_min_purity: f64,
+}
+
+fn default_pseudo_label_min_purity() -> f64 {
+    0.9
 }
 
 impl Default for FreewayConfig {
@@ -208,6 +227,8 @@ impl Default for FreewayConfig {
             async_long_updates: false,
             enable_cec: true,
             enable_knowledge: true,
+            enable_pseudo_labels: false,
+            pseudo_label_min_purity: default_pseudo_label_min_purity(),
         }
     }
 }
@@ -257,6 +278,10 @@ impl FreewayConfig {
         ensure(self.shift_history >= 2, "shift_history must be at least 2")?;
         ensure(self.precompute_subsets >= 1, "precompute_subsets must be at least 1")?;
         ensure(self.asw_update_epochs >= 1, "asw_update_epochs must be at least 1")?;
+        ensure(
+            (0.0..=1.0).contains(&self.pseudo_label_min_purity),
+            "pseudo_label_min_purity must be in [0, 1]",
+        )?;
         Ok(())
     }
 
@@ -342,6 +367,10 @@ impl FreewayConfig {
         with_enable_cec => enable_cec: bool,
         /// Sets [`Self::enable_knowledge`].
         with_enable_knowledge => enable_knowledge: bool,
+        /// Sets [`Self::enable_pseudo_labels`].
+        with_enable_pseudo_labels => enable_pseudo_labels: bool,
+        /// Sets [`Self::pseudo_label_min_purity`].
+        with_pseudo_label_min_purity => pseudo_label_min_purity: f64,
     }
 }
 

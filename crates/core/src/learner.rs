@@ -168,6 +168,10 @@ pub struct Learner {
     batches_trained: u64,
     /// Inference batches answered from a *foreign* shard's shared entry.
     shared_hits: u64,
+    /// Unlabeled batches that still trained the short model via CEC
+    /// pseudo-labels (continuous low-label mode; see
+    /// [`FreewayConfig::enable_pseudo_labels`]).
+    pseudo_trained: u64,
     /// When set, preservations are NOT mirrored into the shared registry.
     /// The supervisor flips this during journal replay: the original
     /// publishes survived the in-process crash, so re-publishing them
@@ -231,6 +235,7 @@ impl Learner {
             shared: None,
             batches_trained: 0,
             shared_hits: 0,
+            pseudo_trained: 0,
             shared_publish_muted: false,
         })
     }
@@ -332,6 +337,13 @@ impl Learner {
     /// Inference batches answered from a foreign shard's shared entry.
     pub fn shared_hits(&self) -> u64 {
         self.shared_hits
+    }
+
+    /// Unlabeled batches that trained the short model via CEC
+    /// pseudo-labels. Zero unless
+    /// [`FreewayConfig::enable_pseudo_labels`] is set.
+    pub fn pseudo_trained(&self) -> u64 {
+        self.pseudo_trained
     }
 
     /// Mutes (or unmutes) mirroring preservations into the shared
@@ -692,13 +704,59 @@ impl Learner {
 
     /// Prequential step: infer on the batch, then (if labeled) train on
     /// it. Returns the inference report.
+    ///
+    /// Unlabeled batches may still train when
+    /// [`FreewayConfig::enable_pseudo_labels`] is set: CEC clusters the
+    /// batch against the coherent-experience buffer and, when its purity
+    /// clears [`FreewayConfig::pseudo_label_min_purity`], the cluster
+    /// labels update the short model only. This extends the paper's
+    /// Pattern-B pseudo-labeling (§IV-C) to a continuous low-label mode:
+    /// under delayed or partial label arrival the short model keeps
+    /// tracking the stream instead of freezing until labels land.
     pub fn process(&mut self, batch: &Batch) -> InferenceReport {
         self.telemetry.batch_started(batch.seq);
         let report = self.infer(&batch.x);
         if let Some(labels) = batch.labels.as_deref() {
             self.train(&batch.x, labels);
+        } else {
+            self.maybe_pseudo_train(&batch.x);
         }
         report
+    }
+
+    /// Pseudo-label training on an unlabeled batch (continuous low-label
+    /// mode). Guarded so that it is a no-op unless explicitly enabled:
+    ///
+    /// - CEC must produce a clustering whose purity clears the configured
+    ///   floor — low-purity clusterings are exactly the ones whose
+    ///   majority labels would poison the model.
+    /// - Only the short model trains (`train_short_only`): a wrong
+    ///   pseudo-label washes out of the short window quickly, whereas the
+    ///   long model and knowledge store would fossilize it.
+    /// - The experience buffer is **not** touched: pseudo-labels feeding
+    ///   the very buffer CEC clusters against would self-reinforce, so
+    ///   guidance stays genuinely labeled.
+    fn maybe_pseudo_train(&mut self, x: &Matrix) {
+        if !self.config.enable_pseudo_labels || !self.config.enable_cec {
+            return;
+        }
+        if !self.selector.is_ready() {
+            return;
+        }
+        let degradation = self.degradation.level();
+        if matches!(degradation, DegradationLevel::InferenceOnly | DegradationLevel::Shed) {
+            return;
+        }
+        let Some((preds, purity)) = self.cec.predict_scored(x, &self.experience) else {
+            return;
+        };
+        if purity < self.config.pseudo_label_min_purity {
+            return;
+        }
+        let _span = self.telemetry.time(Stage::Train);
+        let projected = self.project(x);
+        self.granularity.train_short_only(x, &preds, &projected);
+        self.pseudo_trained += 1;
     }
 }
 
@@ -732,6 +790,34 @@ mod tests {
                 learner.process(&b)
             })
             .collect()
+    }
+
+    #[test]
+    fn pseudo_labels_train_only_when_enabled_and_pure() {
+        let run = |enable: bool| {
+            let mut rng = stream_rng(77);
+            let concept = GmmConcept::random(6, 2, 2, 8.0, 0.4, &mut rng);
+            let cfg = FreewayConfig {
+                enable_pseudo_labels: enable,
+                pseudo_label_min_purity: 0.5,
+                ..config()
+            };
+            let mut learner = Learner::new(ModelSpec::lr(6, 2), cfg);
+            // Labeled warm-up readies PCA and fills the experience buffer
+            // CEC clusters against.
+            for i in 0..6u64 {
+                let (x, y) = concept.sample_batch(128, &mut rng);
+                learner.process(&Batch::labeled(x, y, i, DriftPhase::Stable));
+            }
+            assert_eq!(learner.pseudo_trained(), 0, "labeled batches never pseudo-train");
+            for i in 6..16u64 {
+                let (x, _) = concept.sample_batch(128, &mut rng);
+                learner.process(&Batch::unlabeled(x, i, DriftPhase::Stable));
+            }
+            learner.pseudo_trained()
+        };
+        assert_eq!(run(false), 0, "pseudo-labeling is opt-in");
+        assert!(run(true) > 0, "well-separated unlabeled batches should pseudo-train");
     }
 
     #[test]

@@ -35,12 +35,18 @@
 //! over a shared cross-shard knowledge registry
 //! ([`knowledge::SharedKnowledge`]).
 //!
+//! The serving layer is [`serve`]: a router thread owning the sharded
+//! runtime behind cloneable [`serve::ServiceHandle`]s, so many
+//! concurrent clients submit through keyed [`serve::ClientSession`]s
+//! with typed backpressure ([`serve::ServeError::Busy`]) and receive
+//! exactly their own answers.
+//!
 //! Construction goes through [`builder::PipelineBuilder`] — one fluent
 //! description of model, configuration, supervision, and telemetry sink
-//! that builds a bare `Learner`, a plain `Pipeline`, or a
-//! `SupervisedPipeline`. Observability (metrics, per-stage timings, and
-//! the structured event stream) comes from the `freeway-telemetry`
-//! crate, re-exported here as [`telemetry`].
+//! that builds everything from a bare `Learner` up to a multi-client
+//! `Service`. Observability (metrics, per-stage timings, and the
+//! structured event stream) comes from the `freeway-telemetry` crate,
+//! re-exported here as [`telemetry`].
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
@@ -61,6 +67,7 @@ pub mod pipeline;
 pub mod rate;
 pub mod retry;
 pub mod selector;
+pub mod serve;
 pub mod shard;
 pub mod supervisor;
 
@@ -82,6 +89,10 @@ pub use persistence::{crc32, Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
 pub use pipeline::{Pipeline, PipelineOutput};
 pub use retry::RetryPolicy;
 pub use selector::StrategySelector;
+pub use serve::{
+    AdmittedRecord, ClientSession, ServeError, Service, ServiceConfig, ServiceHandle,
+    ServiceReport, ServiceStats, SessionOutput, SubmitOutcome,
+};
 pub use shard::{shard_for, ShardedPipeline, ShardedRun};
 pub use supervisor::{
     FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats, TryFeedOutcome,
@@ -105,6 +116,10 @@ pub mod prelude {
     pub use crate::knowledge::{SharedEntry, SharedKnowledge};
     pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
     pub use crate::pipeline::{Pipeline, PipelineOutput};
+    pub use crate::serve::{
+        ClientSession, ServeError, Service, ServiceConfig, ServiceHandle, ServiceReport,
+        SessionOutput, SubmitOutcome,
+    };
     pub use crate::shard::{shard_for, ShardedPipeline, ShardedRun};
     pub use crate::supervisor::{
         FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,

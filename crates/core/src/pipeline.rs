@@ -120,18 +120,6 @@ impl Pipeline {
         Ok(Self { input: Some(in_tx), output: out_rx, handle: Some(handle) })
     }
 
-    /// Legacy panicking constructor.
-    ///
-    /// # Panics
-    /// When `queue_depth` is zero (the historical `assert!`).
-    #[deprecated(since = "0.1.0", note = "use Pipeline::with_learner or crate::PipelineBuilder")]
-    pub fn spawn(learner: Learner, queue_depth: usize) -> Self {
-        match Self::with_learner(learner, queue_depth) {
-            Ok(pipeline) => pipeline,
-            Err(err) => panic!("{err}"),
-        }
-    }
-
     fn send(&self, cmd: Command) -> Result<(), PipelineError> {
         let Some(input) = self.input.as_ref() else {
             return Err(PipelineError::WorkerUnavailable);

@@ -1,0 +1,868 @@
+//! Multi-client serving facade over the sharded runtime.
+//!
+//! The sharded pipeline ([`crate::ShardedPipeline`]) is a single-producer
+//! API: one thread routes keyed batches and drains outputs. Production
+//! serving is many concurrent clients, each with its own stream identity
+//! and its own view of "my answers". [`Service`] closes that gap with a
+//! dedicated **router thread** that owns the sharded pipeline:
+//!
+//! * clients clone a [`ServiceHandle`] and open keyed
+//!   [`ClientSession`]s; every session's submissions route to the shard
+//!   its key hashes to, so per-session answer order is total;
+//! * [`ClientSession::submit`]/[`ClientSession::submit_labeled`] are
+//!   non-blocking, mirroring [`crate::Pipeline::try_feed`]: a full
+//!   submit queue surfaces as the typed, retryable
+//!   [`ServeError::Busy`] (with a pacing hint) instead of a blocking
+//!   send, and [`ClientSession::submit_timeout`] mirrors
+//!   [`crate::Pipeline::feed_timeout`] by spending a bounded latency
+//!   budget first;
+//! * the router stamps every accepted submission with a globally
+//!   monotone sequence number (the ingest guard's contract) and keeps a
+//!   **per-session ledger** mapping those sequence numbers back to the
+//!   owning session, so each client receives exactly its own
+//!   [`SessionOutput`]s — including shed and quarantine verdicts — and
+//!   never another tenant's predictions;
+//! * shutdown ([`Service::shutdown`]) drains the submit queue, runs the
+//!   deterministic [`crate::ShardedPipeline::barrier`], delivers every
+//!   remaining answer, and hands back the finished [`ServiceReport`].
+//!
+//! Backpressure composes in two layers: the bounded submit queue bounds
+//! how far clients can run ahead of the router, and the admission
+//! controller configured on the builder governs what the router does
+//! when a shard's worker queue is full (block, shed, deadline — see
+//! [`crate::AdmissionPolicy`]). With the blocking policy nothing is ever
+//! dropped and client-side `Busy` is the only overload signal; with
+//! shedding policies dropped batches come back to their session as
+//! [`SubmitOutcome::Shed`].
+//!
+//! Construct via [`crate::PipelineBuilder::service`] +
+//! [`crate::PipelineBuilder::build_service`].
+
+use crate::admission::AdmissionOutcome;
+use crate::error::{panic_message, FreewayError};
+use crate::learner::InferenceReport;
+use crate::shard::{ShardedPipeline, ShardedRun};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender, TryRecvError, TrySendError};
+use freeway_streams::keyed::KeyedBatch;
+use freeway_streams::Batch;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-facade knobs.
+#[derive(Clone, Debug)]
+pub struct ServiceConfig {
+    /// Capacity of the shared client→router submit queue. Bounds how far
+    /// clients can run ahead of the router; a full queue surfaces as
+    /// [`ServeError::Busy`].
+    pub submit_queue_depth: usize,
+    /// Pacing hint handed back inside [`ServeError::Busy`]: how long a
+    /// client should wait before retrying. Advisory, not enforced.
+    pub retry_after_hint: Duration,
+    /// When set, the router records the exact order in which submissions
+    /// were fed to the shards ([`ServiceReport::admitted_order`]), so a
+    /// serialized oracle can replay the run deterministically.
+    pub record_admitted: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            submit_queue_depth: 64,
+            retry_after_hint: Duration::from_micros(200),
+            record_admitted: false,
+        }
+    }
+}
+
+impl ServiceConfig {
+    /// Validates the configuration.
+    ///
+    /// # Errors
+    /// A message naming the offending field, in the builder's
+    /// `InvalidConfig` style.
+    pub fn check(&self) -> Result<(), String> {
+        if self.submit_queue_depth == 0 {
+            return Err("service submit queue depth must be positive".to_owned());
+        }
+        if self.retry_after_hint.is_zero() {
+            return Err("service retry-after hint must be positive".to_owned());
+        }
+        Ok(())
+    }
+}
+
+/// Everything that can go wrong at the serving facade.
+///
+/// The two backpressure-adjacent failure modes stay distinguishable
+/// through every conversion: [`Self::Busy`] is transient (retry after
+/// the hint), [`Self::Disconnected`] is permanent (the router or its
+/// workers are gone). [`From`] impls in both directions round-trip
+/// [`FreewayError::QueueFull`] and [`FreewayError::WorkerUnavailable`]
+/// losslessly onto them.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The submit queue is at capacity: transient backpressure. Retry
+    /// after roughly `retry_after_hint`; the batch is handed back.
+    Busy {
+        /// Suggested client-side pause before the next attempt.
+        retry_after_hint: Duration,
+    },
+    /// The service's router thread is gone (shutdown or crash). A retry
+    /// can never succeed.
+    Disconnected,
+    /// The runtime beneath the facade failed; never wraps
+    /// [`FreewayError::QueueFull`] or
+    /// [`FreewayError::WorkerUnavailable`] (those normalize to
+    /// [`Self::Busy`] / [`Self::Disconnected`]).
+    Runtime(FreewayError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Busy { retry_after_hint } => {
+                write!(f, "service busy (retry after ~{retry_after_hint:?})")
+            }
+            Self::Disconnected => write!(f, "service is not running"),
+            Self::Runtime(e) => write!(f, "service runtime error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Runtime(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<FreewayError> for ServeError {
+    /// Normalizes the pipeline taxonomy onto the facade's:
+    /// `QueueFull` → [`ServeError::Busy`] (with the default hint),
+    /// `WorkerUnavailable` → [`ServeError::Disconnected`], everything
+    /// else wraps as [`ServeError::Runtime`].
+    fn from(e: FreewayError) -> Self {
+        match e {
+            FreewayError::QueueFull => {
+                Self::Busy { retry_after_hint: ServiceConfig::default().retry_after_hint }
+            }
+            FreewayError::WorkerUnavailable => Self::Disconnected,
+            other => Self::Runtime(other),
+        }
+    }
+}
+
+impl From<ServeError> for FreewayError {
+    /// The inverse mapping: [`ServeError::Busy`] → `QueueFull`,
+    /// [`ServeError::Disconnected`] → `WorkerUnavailable`,
+    /// [`ServeError::Runtime`] unwraps. Composing the two `From`s in
+    /// either order preserves the retryable-vs-permanent distinction.
+    fn from(e: ServeError) -> Self {
+        match e {
+            ServeError::Busy { .. } => Self::QueueFull,
+            ServeError::Disconnected => Self::WorkerUnavailable,
+            ServeError::Runtime(other) => other,
+        }
+    }
+}
+
+/// What finally happened to one submission, delivered to the owning
+/// session only.
+#[derive(Clone, Debug)]
+#[non_exhaustive]
+pub enum SubmitOutcome {
+    /// The batch was answered; prequential submissions also trained.
+    Answered(InferenceReport),
+    /// The batch trained the model; training-only submissions produce no
+    /// report.
+    Trained,
+    /// The batch was dropped under the admission policy; the tag is the
+    /// [`crate::ShedReason`] tag.
+    Shed(&'static str),
+    /// The batch failed ingestion validation; the tag is the
+    /// [`crate::BatchFault`] tag.
+    Quarantined(&'static str),
+}
+
+/// One delivered result, tagged with both sequence spaces.
+#[derive(Clone, Debug)]
+pub struct SessionOutput {
+    /// The session-local sequence number [`ClientSession::submit`]
+    /// returned for this batch.
+    pub client_seq: u64,
+    /// The globally monotone sequence number the router stamped.
+    pub global_seq: u64,
+    /// Shard that served (or dropped) the batch.
+    pub shard: usize,
+    /// The verdict.
+    pub outcome: SubmitOutcome,
+}
+
+/// Counters describing one service run.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct ServiceStats {
+    /// Sessions opened over the service's lifetime.
+    pub sessions_opened: u64,
+    /// Submissions the router accepted off the submit queue.
+    pub submitted: u64,
+    /// Submissions answered with an [`InferenceReport`].
+    pub answered: u64,
+    /// Training-only submissions completed.
+    pub trained: u64,
+    /// Submissions shed under the admission policy.
+    pub shed: u64,
+    /// Submissions quarantined as poison.
+    pub quarantined: u64,
+}
+
+/// One entry of the feed-order record ([`ServiceConfig::record_admitted`]).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AdmittedRecord {
+    /// Owning session id.
+    pub session: u64,
+    /// The session's routing key.
+    pub key: u64,
+    /// Session-local sequence number.
+    pub client_seq: u64,
+    /// Global sequence number the router stamped.
+    pub global_seq: u64,
+    /// Shard the batch routed to.
+    pub shard: usize,
+    /// True for prequential (test-then-train) submissions.
+    pub prequential: bool,
+    /// True when the batch carried labels.
+    pub labeled: bool,
+}
+
+/// Everything a finished service hands back.
+pub struct ServiceReport {
+    /// The finished sharded run (per-shard learners, outputs, stats).
+    pub run: ShardedRun,
+    /// Facade-level counters.
+    pub stats: ServiceStats,
+    /// Exact feed order when [`ServiceConfig::record_admitted`] was set:
+    /// replaying these records serially through an identically built
+    /// pipeline reproduces every shard's input sequence, which (with
+    /// cross-shard knowledge disabled) reproduces every answer.
+    /// Batches later shed from a backlog are removed, so the record is
+    /// exactly what the workers processed.
+    pub admitted_order: Option<Vec<AdmittedRecord>>,
+}
+
+enum Request {
+    Open { session: u64, reply: Sender<SessionOutput> },
+    Submit { session: u64, key: u64, client_seq: u64, batch: Batch, prequential: bool },
+    Close { session: u64 },
+    Shutdown,
+}
+
+struct ServiceShared {
+    next_session: AtomicU64,
+    retry_after_hint: Duration,
+}
+
+/// Cloneable entry point: one per client thread. Open sessions with
+/// [`Self::open_session`]; dropping every handle (and session) without
+/// calling [`Service::shutdown`] also shuts the router down cleanly.
+#[derive(Clone)]
+pub struct ServiceHandle {
+    tx: Sender<Request>,
+    shared: Arc<ServiceShared>,
+}
+
+impl ServiceHandle {
+    /// Opens a keyed session. All of the session's submissions route to
+    /// the shard `key` hashes to, and only this session receives their
+    /// outputs.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] when the service has shut down.
+    pub fn open_session(&self, key: u64) -> Result<ClientSession, ServeError> {
+        let session = self.shared.next_session.fetch_add(1, Ordering::Relaxed);
+        let (reply_tx, reply_rx) = unbounded();
+        self.tx
+            .send(Request::Open { session, reply: reply_tx })
+            .map_err(|_| ServeError::Disconnected)?;
+        Ok(ClientSession {
+            tx: self.tx.clone(),
+            shared: Arc::clone(&self.shared),
+            session,
+            key,
+            next_client_seq: 0,
+            in_flight: 0,
+            reply: reply_rx,
+        })
+    }
+}
+
+/// One client's keyed stream into the service. Not `Clone`: the session
+/// is the unit of answer routing, so each concurrent submitter opens its
+/// own.
+pub struct ClientSession {
+    tx: Sender<Request>,
+    shared: Arc<ServiceShared>,
+    session: u64,
+    key: u64,
+    next_client_seq: u64,
+    in_flight: u64,
+    reply: Receiver<SessionOutput>,
+}
+
+impl ClientSession {
+    /// This session's service-unique id.
+    pub fn id(&self) -> u64 {
+        self.session
+    }
+
+    /// This session's routing key.
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// Submissions enqueued but not yet resolved by a received output.
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Submits an unlabeled batch for inference. Non-blocking: a full
+    /// submit queue hands the batch back with [`ServeError::Busy`].
+    /// Returns the session-local sequence number the answer will carry.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] on a full queue (retry after the hint);
+    /// [`ServeError::Disconnected`] when the service is gone.
+    pub fn submit(&mut self, x: freeway_linalg::Matrix) -> Result<u64, (Batch, ServeError)> {
+        let batch = Batch::unlabeled(x, self.next_client_seq, freeway_streams::DriftPhase::Stable);
+        self.submit_batch(batch, false)
+    }
+
+    /// Submits a labeled batch prequentially (test-then-train): the
+    /// answer is an [`InferenceReport`] *and* the batch updates the
+    /// model. Failure semantics as [`Self::submit`].
+    ///
+    /// # Errors
+    /// As [`Self::submit`].
+    ///
+    /// # Panics
+    /// When `labels.len() != x.rows()` (the [`Batch::labeled`] contract).
+    pub fn submit_labeled(
+        &mut self,
+        x: freeway_linalg::Matrix,
+        labels: Vec<usize>,
+    ) -> Result<u64, (Batch, ServeError)> {
+        let batch =
+            Batch::labeled(x, labels, self.next_client_seq, freeway_streams::DriftPhase::Stable);
+        self.submit_batch(batch, true)
+    }
+
+    /// Submits a labeled batch for training only (no inference report;
+    /// the session receives [`SubmitOutcome::Trained`]). This is how
+    /// late-arriving labels re-enter the stream. Failure semantics as
+    /// [`Self::submit`].
+    ///
+    /// # Errors
+    /// As [`Self::submit`].
+    ///
+    /// # Panics
+    /// When `labels.len() != x.rows()` (the [`Batch::labeled`] contract).
+    pub fn submit_train(
+        &mut self,
+        x: freeway_linalg::Matrix,
+        labels: Vec<usize>,
+    ) -> Result<u64, (Batch, ServeError)> {
+        let batch =
+            Batch::labeled(x, labels, self.next_client_seq, freeway_streams::DriftPhase::Stable);
+        self.submit_batch(batch, false)
+    }
+
+    /// Lowest-level submit: takes a prepared batch (e.g. one handed back
+    /// by a failed submit) and the prequential flag. The batch's `seq` is
+    /// restamped with this session's next local sequence number; the
+    /// router restamps it again with the global one.
+    ///
+    /// # Errors
+    /// As [`Self::submit`].
+    pub fn submit_batch(
+        &mut self,
+        mut batch: Batch,
+        prequential: bool,
+    ) -> Result<u64, (Batch, ServeError)> {
+        let client_seq = self.next_client_seq;
+        batch.seq = client_seq;
+        let req = Request::Submit {
+            session: self.session,
+            key: self.key,
+            client_seq,
+            batch,
+            prequential,
+        };
+        match self.tx.try_send(req) {
+            Ok(()) => {
+                self.next_client_seq += 1;
+                self.in_flight += 1;
+                Ok(client_seq)
+            }
+            Err(TrySendError::Full(req)) => Err((
+                request_batch(req),
+                ServeError::Busy { retry_after_hint: self.shared.retry_after_hint },
+            )),
+            Err(TrySendError::Disconnected(req)) => {
+                Err((request_batch(req), ServeError::Disconnected))
+            }
+        }
+    }
+
+    /// Bounded-latency submit, mirroring [`crate::Pipeline::feed_timeout`]:
+    /// retries [`Self::submit_batch`] until `budget` elapses, then hands
+    /// the batch back with [`ServeError::Busy`]. The vendored channel has
+    /// no timed send, so this polls with a short sleep.
+    ///
+    /// # Errors
+    /// [`ServeError::Busy`] when the deadline expired with the queue
+    /// still full; [`ServeError::Disconnected`] when the service is gone
+    /// (returned immediately, the budget is not spent).
+    pub fn submit_timeout(
+        &mut self,
+        batch: Batch,
+        prequential: bool,
+        budget: Duration,
+    ) -> Result<u64, (Batch, ServeError)> {
+        let deadline = Instant::now() + budget;
+        let mut batch = batch;
+        loop {
+            match self.submit_batch(batch, prequential) {
+                Ok(seq) => return Ok(seq),
+                Err((returned, ServeError::Busy { retry_after_hint })) => {
+                    if Instant::now() >= deadline {
+                        return Err((returned, ServeError::Busy { retry_after_hint }));
+                    }
+                    batch = returned;
+                    std::thread::sleep(Duration::from_micros(100));
+                }
+                Err(other) => return Err(other),
+            }
+        }
+    }
+
+    /// Receives this session's next output without blocking (`None` both
+    /// when nothing is ready and when the service has shut down — use
+    /// [`Self::recv_output`] to distinguish).
+    pub fn try_output(&mut self) -> Option<SessionOutput> {
+        match self.reply.try_recv() {
+            Ok(out) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                Some(out)
+            }
+            Err(_) => None,
+        }
+    }
+
+    /// Receives this session's next output, blocking until one arrives.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] when the service has shut down and
+    /// every buffered output has been drained.
+    pub fn recv_output(&mut self) -> Result<SessionOutput, ServeError> {
+        match self.reply.recv() {
+            Ok(out) => {
+                self.in_flight = self.in_flight.saturating_sub(1);
+                Ok(out)
+            }
+            Err(_) => Err(ServeError::Disconnected),
+        }
+    }
+}
+
+impl Drop for ClientSession {
+    fn drop(&mut self) {
+        // Best-effort: a full queue or a dead router both mean the close
+        // notice does not matter (the router drops unroutable outputs).
+        let _ = self.tx.try_send(Request::Close { session: self.session });
+    }
+}
+
+fn request_batch(req: Request) -> Batch {
+    match req {
+        Request::Submit { batch, .. } => batch,
+        // submit_batch only ever hands back the request it constructed.
+        _ => unreachable!("only Submit requests carry a batch"),
+    }
+}
+
+/// A running serving facade; owns the router thread. Construct via
+/// [`crate::PipelineBuilder::build_service`], hand out
+/// [`ServiceHandle`]s, then call [`Self::shutdown`].
+pub struct Service {
+    handle: ServiceHandle,
+    router: Option<JoinHandle<Result<ServiceReport, FreewayError>>>,
+}
+
+impl Service {
+    /// Spawns the router thread around a built sharded pipeline.
+    ///
+    /// # Errors
+    /// [`FreewayError::InvalidConfig`] when `config` fails
+    /// [`ServiceConfig::check`].
+    pub fn start(pipeline: ShardedPipeline, config: ServiceConfig) -> Result<Self, FreewayError> {
+        config.check().map_err(FreewayError::InvalidConfig)?;
+        let (tx, rx) = bounded::<Request>(config.submit_queue_depth);
+        let shared = Arc::new(ServiceShared {
+            next_session: AtomicU64::new(0),
+            retry_after_hint: config.retry_after_hint,
+        });
+        let record = config.record_admitted;
+        let router = std::thread::spawn(move || Router::new(pipeline, rx, record).run());
+        Ok(Self { handle: ServiceHandle { tx, shared }, router: Some(router) })
+    }
+
+    /// A cloneable client entry point.
+    pub fn handle(&self) -> ServiceHandle {
+        self.handle.clone()
+    }
+
+    /// Stops accepting new work, drains every queued submission, runs
+    /// the shard barrier so every in-flight batch is answered, delivers
+    /// the remaining outputs, and returns the finished report.
+    ///
+    /// # Errors
+    /// Any runtime error the router hit while serving (the first one
+    /// aborts the run), or [`FreewayError::WorkerPanicked`] if the
+    /// router thread itself died.
+    pub fn shutdown(mut self) -> Result<ServiceReport, FreewayError> {
+        let _ = self.handle.tx.send(Request::Shutdown);
+        let Some(router) = self.router.take() else {
+            return Err(FreewayError::WorkerUnavailable);
+        };
+        match router.join() {
+            Ok(report) => report,
+            Err(payload) => Err(FreewayError::WorkerPanicked(panic_message(payload))),
+        }
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        let _ = self.handle.tx.send(Request::Shutdown);
+        if let Some(router) = self.router.take() {
+            let _ = router.join();
+        }
+    }
+}
+
+struct SessionState {
+    reply: Sender<SessionOutput>,
+    in_flight_gauge: freeway_telemetry::Gauge,
+    in_flight: u64,
+}
+
+struct PendingEntry {
+    session: u64,
+    client_seq: u64,
+    shard: usize,
+}
+
+/// The router: owns the sharded pipeline, serializes all feeds, stamps
+/// global sequence numbers, and fans outputs back out by session.
+struct Router {
+    pipeline: ShardedPipeline,
+    rx: Receiver<Request>,
+    sessions: HashMap<u64, SessionState>,
+    /// global_seq → owning submission, for every batch handed to a shard
+    /// whose verdict has not yet come back.
+    ledger: HashMap<u64, PendingEntry>,
+    next_seq: u64,
+    stats: ServiceStats,
+    admitted_order: Option<Vec<AdmittedRecord>>,
+    /// Per-shard shed-buffer totals already reconciled against the
+    /// ledger; growth beyond the watermark triggers a scan.
+    shed_watermarks: Vec<u64>,
+    sessions_gauge: freeway_telemetry::Gauge,
+    submitted_counter: freeway_telemetry::Counter,
+}
+
+impl Router {
+    fn new(pipeline: ShardedPipeline, rx: Receiver<Request>, record_admitted: bool) -> Self {
+        let telemetry = pipeline.telemetry().clone();
+        let shed_watermarks = vec![0; pipeline.num_shards()];
+        Self {
+            pipeline,
+            rx,
+            sessions: HashMap::new(),
+            ledger: HashMap::new(),
+            next_seq: 0,
+            stats: ServiceStats::default(),
+            admitted_order: record_admitted.then(Vec::new),
+            shed_watermarks,
+            sessions_gauge: telemetry.gauge("freeway_serve_sessions_active"),
+            submitted_counter: telemetry.counter("freeway_serve_submitted_total"),
+        }
+    }
+
+    fn run(mut self) -> Result<ServiceReport, FreewayError> {
+        'serve: loop {
+            let mut worked = false;
+            loop {
+                match self.rx.try_recv() {
+                    Ok(Request::Shutdown) => break 'serve,
+                    Ok(req) => {
+                        worked = true;
+                        self.handle_request(req)?;
+                    }
+                    Err(TryRecvError::Empty) => break,
+                    Err(TryRecvError::Disconnected) => break 'serve,
+                }
+            }
+            while let Some((shard, out)) = self.pipeline.try_recv()? {
+                worked = true;
+                self.deliver(shard, out);
+            }
+            if !worked {
+                std::thread::sleep(Duration::from_micros(50));
+            }
+        }
+        // Submissions enqueued before the shutdown notice were accepted
+        // for service: drain and process them before the barrier.
+        loop {
+            match self.rx.try_recv() {
+                Ok(Request::Shutdown) => {}
+                Ok(req) => self.handle_request(req)?,
+                Err(_) => break,
+            }
+        }
+        let outputs = self.pipeline.barrier()?;
+        for (shard, out) in outputs {
+            self.deliver(shard, out);
+        }
+        self.reconcile_sheds();
+        let Router { pipeline, stats, admitted_order, sessions_gauge, .. } = self;
+        sessions_gauge.set(0.0);
+        let run = pipeline.finish()?;
+        Ok(ServiceReport { run, stats, admitted_order })
+    }
+
+    fn handle_request(&mut self, req: Request) -> Result<(), FreewayError> {
+        match req {
+            Request::Open { session, reply } => {
+                let gauge = self
+                    .pipeline
+                    .telemetry()
+                    .gauge(&format!("freeway_serve_session_{session}_in_flight"));
+                self.sessions
+                    .insert(session, SessionState { reply, in_flight_gauge: gauge, in_flight: 0 });
+                self.stats.sessions_opened += 1;
+                self.sessions_gauge.set(self.sessions.len() as f64);
+            }
+            Request::Close { session } => {
+                self.sessions.remove(&session);
+                self.sessions_gauge.set(self.sessions.len() as f64);
+            }
+            Request::Submit { session, key, client_seq, mut batch, prequential } => {
+                self.stats.submitted += 1;
+                self.submitted_counter.inc();
+                if let Some(state) = self.sessions.get_mut(&session) {
+                    state.in_flight += 1;
+                    state.in_flight_gauge.set(state.in_flight as f64);
+                }
+                // Keep output space ahead of a potentially blocking feed:
+                // with everything pumped, a Block-policy feed can wait on
+                // at most one worker step before a queue slot frees.
+                while let Some((shard, out)) = self.pipeline.try_recv()? {
+                    self.deliver(shard, out);
+                }
+                let global_seq = self.next_seq;
+                self.next_seq += 1;
+                batch.seq = global_seq;
+                let labeled = batch.labels.is_some();
+                let keyed = KeyedBatch { key, batch };
+                let (shard, outcome) = if prequential {
+                    self.pipeline.feed_prequential(keyed)?
+                } else {
+                    self.pipeline.feed(keyed)?
+                };
+                match outcome {
+                    AdmissionOutcome::Admitted | AdmissionOutcome::Backlogged => {
+                        self.ledger.insert(global_seq, PendingEntry { session, client_seq, shard });
+                        if let Some(order) = self.admitted_order.as_mut() {
+                            order.push(AdmittedRecord {
+                                session,
+                                key,
+                                client_seq,
+                                global_seq,
+                                shard,
+                                prequential,
+                                labeled,
+                            });
+                        }
+                    }
+                    AdmissionOutcome::Quarantined(fault) => {
+                        self.stats.quarantined += 1;
+                        self.send_to(
+                            session,
+                            SessionOutput {
+                                client_seq,
+                                global_seq,
+                                shard,
+                                outcome: SubmitOutcome::Quarantined(fault.tag()),
+                            },
+                        );
+                    }
+                    AdmissionOutcome::Shed(reason) => {
+                        self.stats.shed += 1;
+                        self.send_to(
+                            session,
+                            SessionOutput {
+                                client_seq,
+                                global_seq,
+                                shard,
+                                outcome: SubmitOutcome::Shed(reason.tag()),
+                            },
+                        );
+                    }
+                }
+                // A backlogged batch can be the shed victim of a *later*
+                // feed (shedding-oldest); reconcile after every feed so
+                // its session still hears the verdict.
+                self.reconcile_sheds();
+            }
+            Request::Shutdown => {}
+        }
+        Ok(())
+    }
+
+    /// Routes one pipeline output back to the session that owns it.
+    fn deliver(&mut self, shard: usize, out: crate::pipeline::PipelineOutput) {
+        let Some(entry) = self.ledger.remove(&out.seq) else {
+            // Only reachable if a future pipeline emits outputs for
+            // batches it was never fed; dropping is the safe response.
+            return;
+        };
+        debug_assert_eq!(entry.shard, shard, "output arrived from an unexpected shard");
+        let outcome = match out.report {
+            Some(report) => {
+                self.stats.answered += 1;
+                SubmitOutcome::Answered(report)
+            }
+            None => {
+                self.stats.trained += 1;
+                SubmitOutcome::Trained
+            }
+        };
+        self.send_to(
+            entry.session,
+            SessionOutput { client_seq: entry.client_seq, global_seq: out.seq, shard, outcome },
+        );
+    }
+
+    /// Scans shed buffers whose totals grew past the reconciled
+    /// watermark and reports newly shed ledger entries back to their
+    /// sessions.
+    fn reconcile_sheds(&mut self) {
+        for shard in 0..self.pipeline.num_shards() {
+            let total = self.pipeline.shard(shard).shed().total();
+            if total == self.shed_watermarks[shard] {
+                continue;
+            }
+            self.shed_watermarks[shard] = total;
+            let mut dropped = Vec::new();
+            for entry in self.pipeline.shard(shard).shed().entries() {
+                if self.ledger.contains_key(&entry.batch.seq) {
+                    dropped.push((entry.batch.seq, entry.reason.tag()));
+                }
+            }
+            for (seq, reason) in dropped {
+                if let Some(entry) = self.ledger.remove(&seq) {
+                    self.stats.shed += 1;
+                    if let Some(order) = self.admitted_order.as_mut() {
+                        order.retain(|rec| rec.global_seq != seq);
+                    }
+                    self.send_to(
+                        entry.session,
+                        SessionOutput {
+                            client_seq: entry.client_seq,
+                            global_seq: seq,
+                            shard,
+                            outcome: SubmitOutcome::Shed(reason),
+                        },
+                    );
+                }
+            }
+        }
+    }
+
+    fn send_to(&mut self, session: u64, output: SessionOutput) {
+        if let Some(state) = self.sessions.get_mut(&session) {
+            state.in_flight = state.in_flight.saturating_sub(1);
+            state.in_flight_gauge.set(state.in_flight as f64);
+            // A session that dropped its receiver no longer wants the
+            // answer; that is not an error.
+            let _ = state.reply.send(output);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_validation_names_the_field() {
+        let bad = ServiceConfig { submit_queue_depth: 0, ..Default::default() };
+        assert!(bad.check().unwrap_err().contains("queue depth"));
+        let bad = ServiceConfig { retry_after_hint: Duration::ZERO, ..Default::default() };
+        assert!(bad.check().unwrap_err().contains("retry-after"));
+        assert!(ServiceConfig::default().check().is_ok());
+    }
+
+    #[test]
+    fn freeway_to_serve_round_trip_is_lossless() {
+        // QueueFull and WorkerUnavailable must stay distinguishable
+        // through the facade — the exact regression this guards.
+        let cases: Vec<FreewayError> = vec![
+            FreewayError::InvalidConfig("field".into()),
+            FreewayError::WorkerUnavailable,
+            FreewayError::QueueFull,
+            FreewayError::WorkerPanicked("boom".into()),
+            FreewayError::RestartsExhausted { attempts: 3, last_panic: "boom".into() },
+            FreewayError::PoisonBatch { seq: 7, fault: crate::guard::BatchFault::Empty },
+            FreewayError::Checkpoint(crate::error::CheckpointError::Malformed("bad".into())),
+            FreewayError::Io(std::io::Error::other("disk")),
+        ];
+        for original in cases {
+            let tag = std::mem::discriminant(&original);
+            let via: ServeError = original.into();
+            // The two backpressure variants normalize onto the facade's
+            // own taxonomy, never into the Runtime catch-all.
+            match &via {
+                ServeError::Busy { .. } | ServeError::Disconnected => {}
+                ServeError::Runtime(inner) => {
+                    assert!(
+                        !matches!(inner, FreewayError::QueueFull | FreewayError::WorkerUnavailable),
+                        "Runtime must never absorb the normalized variants"
+                    );
+                }
+            }
+            let back: FreewayError = via.into();
+            assert_eq!(std::mem::discriminant(&back), tag, "round trip changed the variant");
+        }
+    }
+
+    #[test]
+    fn serve_to_freeway_round_trip_keeps_busy_and_disconnected_apart() {
+        let busy = ServeError::Busy { retry_after_hint: Duration::from_micros(200) };
+        let back: ServeError = FreewayError::from(busy).into();
+        assert!(matches!(back, ServeError::Busy { .. }), "Busy collapsed: {back:?}");
+
+        let gone: ServeError = FreewayError::from(ServeError::Disconnected).into();
+        assert!(matches!(gone, ServeError::Disconnected), "Disconnected collapsed: {gone:?}");
+
+        let runtime = ServeError::Runtime(FreewayError::InvalidConfig("x".into()));
+        let back: ServeError = FreewayError::from(runtime).into();
+        assert!(matches!(back, ServeError::Runtime(FreewayError::InvalidConfig(_))));
+    }
+}

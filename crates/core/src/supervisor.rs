@@ -135,6 +135,7 @@ pub struct SupervisorStats {
 
 /// What happened to a batch offered to [`SupervisedPipeline::feed`].
 #[derive(Clone, Debug, PartialEq)]
+#[non_exhaustive]
 pub enum FeedOutcome {
     /// The batch passed validation and reached the worker.
     Accepted,
@@ -145,6 +146,7 @@ pub enum FeedOutcome {
 /// What happened to a batch offered to the non-blocking
 /// [`SupervisedPipeline::try_feed`].
 #[derive(Debug)]
+#[non_exhaustive]
 pub enum TryFeedOutcome {
     /// The batch passed validation and reached the worker.
     Accepted,
@@ -523,22 +525,6 @@ impl SupervisedPipeline {
             restarts_counter,
             lost_counter,
         })
-    }
-
-    /// Legacy panicking constructor.
-    ///
-    /// # Panics
-    /// When `queue_depth` or `checkpoint_every_n_batches` is zero (the
-    /// historical `assert!`s).
-    #[deprecated(
-        since = "0.1.0",
-        note = "use SupervisedPipeline::with_learner or crate::PipelineBuilder"
-    )]
-    pub fn spawn(learner: Learner, config: SupervisorConfig) -> Self {
-        match Self::with_learner(learner, config) {
-            Ok(pipeline) => pipeline,
-            Err(err) => panic!("{err}"),
-        }
     }
 
     /// Feeds a batch, routed by labeledness. Poison batches are

@@ -1,4 +1,4 @@
-//! Builder/legacy parity: the deprecated constructors and the
+//! Builder/direct-constructor parity: `with_learner` and the
 //! [`PipelineBuilder`] must produce byte-identical experiment output for
 //! the same description — the builder is a re-plumbing of construction,
 //! never a behavior change.
@@ -59,11 +59,11 @@ fn builder_learner_matches_legacy_learner_exactly() {
 }
 
 #[test]
-fn builder_pipeline_matches_deprecated_spawn_exactly() {
+fn builder_pipeline_matches_direct_constructor_exactly() {
     let feed = batches();
 
-    #[allow(deprecated)]
-    let legacy = Pipeline::spawn(Learner::new(ModelSpec::lr(6, 2), config()), 16);
+    let legacy = Pipeline::with_learner(Learner::new(ModelSpec::lr(6, 2), config()), 16)
+        .expect("valid queue depth");
     for b in &feed {
         legacy.feed_prequential(b.clone()).expect("worker alive");
     }
@@ -91,11 +91,11 @@ fn builder_pipeline_matches_deprecated_spawn_exactly() {
         .collect();
     let _ = built.finish().expect("clean shutdown");
 
-    assert_eq!(legacy_out, built_out, "builder pipeline must match deprecated spawn");
+    assert_eq!(legacy_out, built_out, "builder pipeline must match the direct constructor");
 }
 
 #[test]
-fn builder_supervised_matches_deprecated_spawn_exactly() {
+fn builder_supervised_matches_direct_constructor_exactly() {
     let feed = batches();
     let sup_config = || SupervisorConfig {
         queue_depth: 16,
@@ -103,9 +103,9 @@ fn builder_supervised_matches_deprecated_spawn_exactly() {
         ..Default::default()
     };
 
-    #[allow(deprecated)]
     let mut legacy =
-        SupervisedPipeline::spawn(Learner::new(ModelSpec::lr(6, 2), config()), sup_config());
+        SupervisedPipeline::with_learner(Learner::new(ModelSpec::lr(6, 2), config()), sup_config())
+            .expect("valid supervision config");
     let legacy_out = drive_supervised(&mut legacy, &feed);
 
     let mut built = PipelineBuilder::new(ModelSpec::lr(6, 2))
@@ -115,7 +115,7 @@ fn builder_supervised_matches_deprecated_spawn_exactly() {
         .expect("valid configuration");
     let built_out = drive_supervised(&mut built, &feed);
 
-    assert_eq!(legacy_out, built_out, "builder supervised must match deprecated spawn");
+    assert_eq!(legacy_out, built_out, "builder supervised must match the direct constructor");
 }
 
 use freeway_core::SupervisedPipeline;

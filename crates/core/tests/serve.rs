@@ -1,0 +1,266 @@
+//! Serving-facade acceptance tests (ISSUE §serving):
+//!
+//! * Session semantics: each keyed session receives exactly its own
+//!   outputs, in submission order, with both sequence spaces intact.
+//! * Shutdown semantics: submitting into a shut-down service surfaces
+//!   [`ServeError::Disconnected`] and hands the batch back.
+//! * The concurrency oracle (proptest): M free-running session threads
+//!   interleave nondeterministically, yet replaying the recorded
+//!   admitted order serially through an identically built pipeline
+//!   reproduces every per-key transcript exactly. Concurrency changes
+//!   *interleaving*, never *answers*.
+
+use std::collections::HashMap;
+use std::time::Duration;
+
+use freeway_core::admission::{AdmissionConfig, AdmissionPolicy};
+use freeway_core::{FreewayConfig, PipelineBuilder, ServeError, ServiceConfig, SubmitOutcome};
+use freeway_ml::ModelSpec;
+use freeway_streams::concept::{stream_rng, GmmConcept};
+use freeway_streams::{Batch, DriftPhase, KeyedBatch};
+use proptest::prelude::*;
+
+const DIM: usize = 6;
+const CLASSES: usize = 2;
+const ROWS: usize = 32;
+
+fn config() -> FreewayConfig {
+    FreewayConfig {
+        pca_warmup_rows: 64,
+        mini_batch: ROWS,
+        // The cross-shard registry's reads are timing-dependent by
+        // design; the oracle needs per-shard determinism, so the drills
+        // here run without it.
+        enable_knowledge: false,
+        ..Default::default()
+    }
+}
+
+fn builder(shards: usize) -> PipelineBuilder {
+    PipelineBuilder::new(ModelSpec::lr(DIM, CLASSES))
+        .with_config(config())
+        .shards(shards)
+        .admission(AdmissionConfig { policy: AdmissionPolicy::Block, ..Default::default() })
+}
+
+/// Deterministic per-key batch stream: same `(seed, key, count)` always
+/// yields the same batches, so the oracle can regenerate a session's
+/// submissions without sharing state with the session thread.
+fn session_batches(seed: u64, key: u64, count: usize) -> Vec<Batch> {
+    let mut rng = stream_rng(seed ^ key.wrapping_mul(0x9e37_79b9_7f4a_7c15));
+    let concept = GmmConcept::random(DIM, CLASSES, 2, 4.0, 0.6, &mut rng);
+    (0..count)
+        .map(|i| {
+            let (x, y) = concept.sample_batch(ROWS, &mut rng);
+            Batch::labeled(x, y, i as u64, DriftPhase::Stable)
+        })
+        .collect()
+}
+
+#[test]
+fn sessions_receive_only_their_own_outputs_in_order() {
+    let service = builder(2).build_service().expect("valid service");
+    let handle = service.handle();
+    let mut a = handle.open_session(11).expect("service running");
+    let mut b = handle.open_session(12).expect("service running");
+    let batches_a = session_batches(1, 11, 6);
+    let batches_b = session_batches(1, 12, 6);
+
+    // Interleave submissions from one thread; answers must still come
+    // back strictly segregated and in per-session order.
+    for (ba, bb) in batches_a.iter().zip(&batches_b) {
+        a.submit_batch(ba.clone(), true).expect("admitted");
+        b.submit_batch(bb.clone(), true).expect("admitted");
+    }
+    for expect_seq in 0..6u64 {
+        for session in [&mut a, &mut b] {
+            let out = session.recv_output().expect("output delivered");
+            assert_eq!(out.client_seq, expect_seq, "per-session order is submission order");
+            assert!(
+                matches!(out.outcome, SubmitOutcome::Answered(_)),
+                "prequential submissions are answered"
+            );
+        }
+    }
+    assert_eq!(a.in_flight(), 0);
+    assert_eq!(b.in_flight(), 0);
+
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.sessions_opened, 2);
+    assert_eq!(report.stats.submitted, 12);
+    assert_eq!(report.stats.answered, 12);
+}
+
+#[test]
+fn training_only_submissions_complete_without_reports() {
+    let service = builder(1).build_service().expect("valid service");
+    let mut session = service.handle().open_session(5).expect("service running");
+    let batches = session_batches(3, 5, 4);
+    for b in &batches {
+        session
+            .submit_train(b.x.clone(), b.labels.clone().expect("labeled source"))
+            .expect("admitted");
+    }
+    for _ in 0..4 {
+        let out = session.recv_output().expect("output delivered");
+        assert!(matches!(out.outcome, SubmitOutcome::Trained), "train-only yields no report");
+    }
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.trained, 4);
+    assert_eq!(report.stats.answered, 0);
+}
+
+#[test]
+fn submitting_after_shutdown_is_disconnected_and_returns_the_batch() {
+    let service = builder(1).build_service().expect("valid service");
+    let handle = service.handle();
+    let mut session = handle.open_session(9).expect("service running");
+    let _ = service.shutdown().expect("clean shutdown");
+
+    let batch = session_batches(4, 9, 1).pop().expect("one batch");
+    let (returned, err) = session.submit_batch(batch.clone(), true).expect_err("service gone");
+    assert!(matches!(err, ServeError::Disconnected), "got {err:?}");
+    assert_eq!(returned.x.as_slice(), batch.x.as_slice(), "the batch comes back intact");
+
+    match handle.open_session(10) {
+        Err(ServeError::Disconnected) => {}
+        Err(err) => panic!("expected Disconnected, got {err:?}"),
+        Ok(_) => panic!("the service is gone; opening a session must fail"),
+    }
+}
+
+#[test]
+fn submit_timeout_gives_up_busy_after_the_budget() {
+    // A zero budget degrades to try-once; on an idle service that must
+    // still admit immediately (the budget bounds waiting, not success).
+    let service = builder(1).build_service().expect("valid service");
+    let mut session = service.handle().open_session(2).expect("service running");
+    let batch = session_batches(5, 2, 1).pop().expect("one batch");
+    session
+        .submit_timeout(batch, true, Duration::from_millis(50))
+        .expect("idle service admits within the budget");
+    let out = session.recv_output().expect("output delivered");
+    assert!(matches!(out.outcome, SubmitOutcome::Answered(_)));
+    let _ = service.shutdown().expect("clean shutdown");
+}
+
+/// Service-side run: M session threads submit concurrently, each
+/// retrying on Busy, and collect their own transcripts.
+fn concurrent_transcripts(
+    seed: u64,
+    counts: &[usize],
+) -> (HashMap<u64, Vec<Vec<usize>>>, Vec<freeway_core::AdmittedRecord>) {
+    let service = builder(2)
+        .service(ServiceConfig { record_admitted: true, ..Default::default() })
+        .build_service()
+        .expect("valid service");
+    let handle = service.handle();
+
+    let mut threads = Vec::new();
+    for (k, &count) in counts.iter().enumerate() {
+        let key = k as u64;
+        let handle = handle.clone();
+        let batches = session_batches(seed, key, count);
+        threads.push(std::thread::spawn(move || {
+            let mut session = handle.open_session(key).expect("service running");
+            let mut transcript = Vec::with_capacity(count);
+            for batch in batches {
+                let mut pending = batch;
+                loop {
+                    match session.submit_batch(pending, true) {
+                        Ok(_) => break,
+                        Err((back, ServeError::Busy { retry_after_hint })) => {
+                            std::thread::sleep(retry_after_hint);
+                            pending = back;
+                        }
+                        Err((_, err)) => panic!("unexpected submit failure: {err:?}"),
+                    }
+                }
+            }
+            for _ in 0..count {
+                let out = session.recv_output().expect("output delivered");
+                assert_eq!(
+                    out.client_seq,
+                    transcript.len() as u64,
+                    "outputs arrive in submission order"
+                );
+                match out.outcome {
+                    SubmitOutcome::Answered(report) => transcript.push(report.predictions),
+                    other => panic!("expected an answer, got {other:?}"),
+                }
+            }
+            (key, transcript)
+        }));
+    }
+    let mut by_key = HashMap::new();
+    for t in threads {
+        let (key, transcript) = t.join().expect("session thread completed");
+        by_key.insert(key, transcript);
+    }
+    let report = service.shutdown().expect("clean shutdown");
+    assert_eq!(report.stats.shed, 0, "Block admission never sheds");
+    assert_eq!(report.stats.quarantined, 0, "clean batches never quarantine");
+    (by_key, report.admitted_order.expect("record_admitted was set"))
+}
+
+/// Oracle: replay the recorded admitted order serially through an
+/// identically built (non-serving) sharded pipeline.
+fn oracle_transcripts(
+    seed: u64,
+    counts: &[usize],
+    admitted: &[freeway_core::AdmittedRecord],
+) -> HashMap<u64, Vec<Vec<usize>>> {
+    let mut pipeline = builder(2).build_sharded().expect("valid pipeline");
+    let batches: HashMap<u64, Vec<Batch>> = counts
+        .iter()
+        .enumerate()
+        .map(|(k, &count)| (k as u64, session_batches(seed, k as u64, count)))
+        .collect();
+    let mut owner: HashMap<u64, (u64, u64)> = HashMap::new();
+    for rec in admitted {
+        let mut batch = batches[&rec.key][rec.client_seq as usize].clone();
+        batch.seq = rec.global_seq;
+        owner.insert(rec.global_seq, (rec.key, rec.client_seq));
+        pipeline
+            .feed_prequential(KeyedBatch { key: rec.key, batch })
+            .expect("oracle feed admitted");
+    }
+    let mut transcripts: HashMap<u64, Vec<(u64, Vec<usize>)>> = HashMap::new();
+    for (_, out) in pipeline.barrier().expect("oracle barrier") {
+        let (key, client_seq) = owner[&out.seq];
+        let report = out.report.expect("prequential reports");
+        transcripts.entry(key).or_default().push((client_seq, report.predictions));
+    }
+    let _ = pipeline.finish().expect("clean oracle shutdown");
+    transcripts
+        .into_iter()
+        .map(|(key, mut entries)| {
+            entries.sort_by_key(|(client_seq, _)| *client_seq);
+            (key, entries.into_iter().map(|(_, p)| p).collect())
+        })
+        .collect()
+}
+
+proptest! {
+    // Each case spins up a service (2 shards + router) plus an oracle
+    // pipeline; a handful of cases is plenty, and keeps the suite fast.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn concurrent_sessions_match_the_serialized_oracle(
+        seed in 0u64..u64::MAX,
+        counts in prop::collection::vec(3usize..9, 2..5),
+    ) {
+        let (served, admitted) = concurrent_transcripts(seed, &counts);
+        prop_assert_eq!(
+            admitted.len(),
+            counts.iter().sum::<usize>(),
+            "every submission was admitted exactly once"
+        );
+        let oracle = oracle_transcripts(seed, &counts, &admitted);
+        prop_assert_eq!(
+            served, oracle,
+            "concurrent interleaving must not change any per-key transcript"
+        );
+    }
+}

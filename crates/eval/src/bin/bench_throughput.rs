@@ -17,9 +17,13 @@
 //!   given, at a CI-sized stream length).
 //! - `--keys K` sets the keyed-stream (tenant) count for the shard
 //!   sweep (default 1024).
+//! - `--serving 1,8[,32]` sweeps the serving facade at those closed-loop
+//!   client counts over 2 shards (full runs default to `1,8,32`; quick
+//!   runs skip the serving sweep unless the flag is given).
 
 use freeway_eval::experiments::{common, fig10, ModelFamily, Scale};
 use freeway_eval::kernel_bench;
+use freeway_eval::serving_bench::{self, ServingSweep};
 use freeway_eval::shard_bench::{self, ShardSweep};
 
 fn parse_models(spec: &str) -> Vec<ModelFamily> {
@@ -67,6 +71,28 @@ fn parse_shards(spec: &str) -> Vec<usize> {
     counts
 }
 
+fn parse_clients(spec: &str) -> Vec<usize> {
+    let mut counts = Vec::new();
+    for tag in spec.split(',').map(str::trim).filter(|t| !t.is_empty()) {
+        match tag.parse::<usize>() {
+            Ok(n) if n > 0 => {
+                if !counts.contains(&n) {
+                    counts.push(n);
+                }
+            }
+            _ => {
+                eprintln!("error: --serving takes positive client counts, e.g. --serving 1,8");
+                std::process::exit(2);
+            }
+        }
+    }
+    if counts.is_empty() {
+        eprintln!("error: --serving needs at least one client count");
+        std::process::exit(2);
+    }
+    counts
+}
+
 fn parse_keys(spec: &str) -> usize {
     match spec.parse::<usize>() {
         Ok(n) if n > 0 => n,
@@ -81,6 +107,7 @@ fn main() {
     let mut quick = false;
     let mut families = vec![ModelFamily::Lr, ModelFamily::Mlp];
     let mut shard_counts: Option<Vec<usize>> = None;
+    let mut serving_counts: Option<Vec<usize>> = None;
     let mut keys = 1024usize;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -107,6 +134,13 @@ fn main() {
                 };
                 keys = parse_keys(&spec);
             }
+            "--serving" => {
+                let Some(spec) = args.next() else {
+                    eprintln!("error: --serving needs a value, e.g. --serving 1,8");
+                    std::process::exit(2);
+                };
+                serving_counts = Some(parse_clients(&spec));
+            }
             other => {
                 if let Some(spec) = other.strip_prefix("--models=") {
                     families = parse_models(spec);
@@ -114,10 +148,12 @@ fn main() {
                     shard_counts = Some(parse_shards(spec));
                 } else if let Some(spec) = other.strip_prefix("--keys=") {
                     keys = parse_keys(spec);
+                } else if let Some(spec) = other.strip_prefix("--serving=") {
+                    serving_counts = Some(parse_clients(spec));
                 } else {
                     eprintln!(
                         "error: unknown flag '{other}' \
-                         (supported: --models, --shards, --keys, --quick)"
+                         (supported: --models, --shards, --keys, --serving, --quick)"
                     );
                     std::process::exit(2);
                 }
@@ -156,6 +192,20 @@ fn main() {
             shard_sweep_counts, sweep.keys, sweep.batches, sweep.batch_size
         );
         result.shard_scaling = shard_bench::run_shard_scaling(&shard_sweep_counts, &sweep);
+    }
+    // Many-clients serving sweep: on by default for full runs, opt-in
+    // (via --serving) for quick CI probes.
+    let serving_sweep_counts =
+        serving_counts.unwrap_or(if quick { Vec::new() } else { vec![1, 8, 32] });
+    if !serving_sweep_counts.is_empty() {
+        // The serving sweep is cheap; quick runs use the same length so
+        // a quick `--serving` measurement matches the full artifact.
+        let sweep = ServingSweep::default();
+        eprintln!(
+            "Serving sweep at {:?} clients, {} shards x {} batches of {}",
+            serving_sweep_counts, sweep.shards, sweep.batches_per_client, sweep.batch_size
+        );
+        result.serving = serving_bench::run_serving(&serving_sweep_counts, &sweep);
     }
     println!("{}", result.render());
     if quick {

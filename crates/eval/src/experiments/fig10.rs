@@ -106,6 +106,10 @@ pub struct BenchThroughput {
     /// (items/s per shard count over interleaved keyed streams). Empty
     /// when the caller skipped the shard sweep.
     pub shard_scaling: Vec<crate::shard_bench::ShardScalingPoint>,
+    /// Many-clients serving sweep over the serving facade (aggregate
+    /// items/s and round-trip percentiles per closed-loop client
+    /// count). Empty when the caller skipped the serving sweep.
+    pub serving: Vec<crate::serving_bench::ServingPoint>,
 }
 
 /// Runs the Figure-10 sweep once per entry of `thread_counts`, with the
@@ -169,6 +173,7 @@ pub fn run_thread_comparison(
         points,
         kernel_microbench: Vec::new(),
         shard_scaling: Vec::new(),
+        serving: Vec::new(),
     }
 }
 
@@ -230,6 +235,32 @@ impl BenchThroughput {
                         p.kernel_threads.to_string(),
                         format!("{:.0}", p.items_per_sec),
                         format!("{:.2}x", p.speedup_vs_one_shard),
+                    ]
+                })
+                .collect();
+            out.push_str(&crate::metrics::render_table(&header, &rows));
+        }
+        if !self.serving.is_empty() {
+            out.push_str("== Serving (closed-loop clients over the service facade) ==\n");
+            let header = vec![
+                "Clients".to_string(),
+                "Shards".into(),
+                "Batch".into(),
+                "items/s".into(),
+                "p50 us".into(),
+                "p99 us".into(),
+            ];
+            let rows: Vec<Vec<String>> = self
+                .serving
+                .iter()
+                .map(|p| {
+                    vec![
+                        p.clients.to_string(),
+                        p.shards.to_string(),
+                        p.batch_size.to_string(),
+                        format!("{:.0}", p.items_per_sec),
+                        format!("{:.0}", p.p50_round_trip_us),
+                        format!("{:.0}", p.p99_round_trip_us),
                     ]
                 })
                 .collect();

@@ -15,6 +15,7 @@ pub mod experiments;
 pub mod kernel_bench;
 pub mod metrics;
 pub mod prequential;
+pub mod serving_bench;
 pub mod shard_bench;
 
 pub use metrics::{global_accuracy, stability_index};

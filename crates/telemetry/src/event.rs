@@ -158,6 +158,26 @@ pub enum TelemetryEvent {
         /// Number of segment files removed.
         segments: u64,
     },
+    /// A label schedule withheld a batch's labels at ingest time: the
+    /// features were served unlabeled and the labels were parked for
+    /// later delivery (or dropped entirely under a partial-label
+    /// regime).
+    LabelDeferred {
+        /// Sequence number of the batch whose labels were withheld.
+        seq: u64,
+        /// Scheduled delivery lag in batches (`0` when the labels were
+        /// dropped and will never arrive).
+        expected_lag: u64,
+    },
+    /// Previously deferred labels were delivered as a training-only
+    /// batch.
+    LabelArrived {
+        /// Sequence number of the original feature batch the labels
+        /// belong to.
+        seq: u64,
+        /// Batches elapsed between deferral and delivery.
+        lag: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -179,6 +199,8 @@ impl TelemetryEvent {
             TelemetryEvent::JournalAppended { .. } => EventKind::JournalAppended,
             TelemetryEvent::JournalReplayed { .. } => EventKind::JournalReplayed,
             TelemetryEvent::JournalTruncated { .. } => EventKind::JournalTruncated,
+            TelemetryEvent::LabelDeferred { .. } => EventKind::LabelDeferred,
+            TelemetryEvent::LabelArrived { .. } => EventKind::LabelArrived,
         }
     }
 
@@ -198,7 +220,9 @@ impl TelemetryEvent {
             | TelemetryEvent::SharedKnowledgeHit { seq, .. }
             | TelemetryEvent::JournalAppended { seq, .. }
             | TelemetryEvent::JournalReplayed { seq, .. }
-            | TelemetryEvent::JournalTruncated { seq, .. } => Some(seq),
+            | TelemetryEvent::JournalTruncated { seq, .. }
+            | TelemetryEvent::LabelDeferred { seq, .. }
+            | TelemetryEvent::LabelArrived { seq, .. } => Some(seq),
             TelemetryEvent::WorkerRestarted { .. } => None,
         }
     }
@@ -239,11 +263,15 @@ pub enum EventKind {
     JournalReplayed,
     /// See [`TelemetryEvent::JournalTruncated`].
     JournalTruncated,
+    /// See [`TelemetryEvent::LabelDeferred`].
+    LabelDeferred,
+    /// See [`TelemetryEvent::LabelArrived`].
+    LabelArrived,
 }
 
 impl EventKind {
     /// Every kind, in counter-index order.
-    pub const ALL: [EventKind; 15] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::DriftDetected,
         EventKind::StrategyDispatched,
         EventKind::WindowEvicted,
@@ -259,6 +287,8 @@ impl EventKind {
         EventKind::JournalAppended,
         EventKind::JournalReplayed,
         EventKind::JournalTruncated,
+        EventKind::LabelDeferred,
+        EventKind::LabelArrived,
     ];
 
     /// Variant name as it appears in serialized events.
@@ -279,6 +309,8 @@ impl EventKind {
             EventKind::JournalAppended => "JournalAppended",
             EventKind::JournalReplayed => "JournalReplayed",
             EventKind::JournalTruncated => "JournalTruncated",
+            EventKind::LabelDeferred => "LabelDeferred",
+            EventKind::LabelArrived => "LabelArrived",
         }
     }
 
@@ -300,6 +332,8 @@ impl EventKind {
             EventKind::JournalAppended => "journal_appended",
             EventKind::JournalReplayed => "journal_replayed",
             EventKind::JournalTruncated => "journal_truncated",
+            EventKind::LabelDeferred => "label_deferred",
+            EventKind::LabelArrived => "label_arrived",
         }
     }
 
@@ -320,6 +354,8 @@ impl EventKind {
             EventKind::JournalAppended => 12,
             EventKind::JournalReplayed => 13,
             EventKind::JournalTruncated => 14,
+            EventKind::LabelDeferred => 15,
+            EventKind::LabelArrived => 16,
         }
     }
 }

@@ -30,7 +30,7 @@ pub use event::{EventKind, TelemetryEvent};
 pub use export::{render_prometheus, write_prometheus, TelemetrySnapshot};
 pub use metrics::{
     Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
-    DURATION_SECONDS_BOUNDS,
+    DURATION_SECONDS_BOUNDS, LABEL_LAG_BATCHES_BOUNDS,
 };
 pub use sink::{NoopSink, RecordingSink, TelemetrySink};
 

@@ -19,6 +19,13 @@ use std::sync::Arc;
 /// bound land in the implicit `+Inf` overflow bucket.
 pub const DURATION_SECONDS_BOUNDS: &[f64] = &[1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 1e-1, 1.0];
 
+/// Bucket upper bounds for label-delivery lag histograms, in batches.
+///
+/// Powers of two from one batch to 64 batches; lags above the last bound
+/// land in the implicit `+Inf` overflow bucket. Used by
+/// `freeway_label_lag_batches` in the delayed-label harnesses.
+pub const LABEL_LAG_BATCHES_BOUNDS: &[f64] = &[1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0];
+
 #[derive(Debug, Default)]
 struct CounterCore {
     value: AtomicU64,

@@ -97,10 +97,12 @@ pub use freeway_telemetry as telemetry;
 /// The commonly used types in one import.
 pub mod prelude {
     pub use freeway_baselines::{FreewaySystem, StreamingLearner};
+    pub use freeway_chaos::{LabelSchedule, LabelScheduler};
     pub use freeway_core::{
-        shard_for, FreewayConfig, FreewayError, InferenceReport, JournalConfig, JournalStats,
-        Learner, Pipeline, PipelineBuilder, ShardedPipeline, ShardedRun, SharedKnowledge, Strategy,
-        SupervisedPipeline, SupervisorConfig,
+        shard_for, ClientSession, FreewayConfig, FreewayError, InferenceReport, JournalConfig,
+        JournalStats, Learner, Pipeline, PipelineBuilder, ServeError, Service, ServiceConfig,
+        ServiceHandle, ServiceReport, SessionOutput, ShardedPipeline, ShardedRun, SharedKnowledge,
+        Strategy, SubmitOutcome, SupervisedPipeline, SupervisorConfig,
     };
     pub use freeway_drift::ShiftPattern;
     pub use freeway_linalg::Matrix;
