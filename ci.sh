@@ -179,6 +179,51 @@ print(
 )
 PY
 
+echo "== failover gate (liveness watchdog + shard fencing) =="
+# The liveness suite proves the watchdog never declares a slow-but-
+# progressing worker stalled (proptest) and that fenced-shard routing is
+# deterministic and survivor-only; the stall/fence suite proves forced
+# recovery of a hung or livelocked worker is effectively-once under a
+# journal and that the serving facade sheds stranded work with typed
+# retryable notices. The failover drill (stall -> recover -> crash-loop
+# -> fence -> reroute) re-writes its deterministic artifact, the diff
+# asserts byte-stability, and the JSON re-parse asserts the recorded
+# invariants independently: the drill completing at all is the
+# zero-process-panics claim, healthy shards never restart, and nothing
+# is lost anywhere (journal replay covers even the fenced shard).
+cargo test -q --release -p freeway-core --test liveness
+cargo test -q --release -p freeway-chaos --test stall_fence
+cargo run --release --example failover_drill > /dev/null
+cp results/FAILOVER_drill.json /tmp/failover_drill_ci.json
+cargo run --release --example failover_drill > /dev/null
+diff /tmp/failover_drill_ci.json results/FAILOVER_drill.json
+rm -f /tmp/failover_drill_ci.json
+python3 - <<'PY'
+import json
+drill = json.load(open("results/FAILOVER_drill.json"))
+assert drill["worker_stalls"] == 1, f"watchdog fired {drill['worker_stalls']} time(s), want 1"
+assert drill["fenced_shards"] == [0], f"fence landed on the wrong shard: {drill['fenced_shards']}"
+assert drill["restarts"][1:] == [0, 0], f"a healthy shard restarted: {drill['restarts']}"
+assert all(lost == 0 for lost in drill["lost_in_flight"]), (
+    f"batches lost in flight: {drill['lost_in_flight']}"
+)
+assert drill["failover_target"] in (1, 2), f"rerouted to a dead shard: {drill}"
+assert drill["surviving_accuracy_gap"] <= 0.03, (
+    f"surviving-traffic gap {drill['surviving_accuracy_gap']} blew the 3-point budget"
+)
+assert drill["registry_entries_after_fence"] == drill["registry_entries_before_fence"] > 0, (
+    "fencing changed the knowledge registry"
+)
+assert drill["cross_shard_hits"] >= 1, "failover never reused the fenced shard's knowledge"
+sim = drill["simulation"]
+assert sim["false_positives"] == 0, f"virtual-time watchdog false-fired: {sim}"
+assert sim["recovered"] == len(sim["detections"]) == 3, f"missed stall windows: {sim}"
+print(
+    f"failover gate: fence on shard 0, reroute -> {drill['failover_target']}, "
+    f"surviving gap {drill['surviving_accuracy_gap']:+.4f}, 0 lost, artifact byte-stable"
+)
+PY
+
 echo "== cargo doc (telemetry + builder API docs must be warning-free) =="
 RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
 

@@ -33,12 +33,19 @@
 //! partial, and bursty label arrival ([`LabelSchedule`]), with
 //! [`run_label_prequential`] measuring how far a regime pushes accuracy
 //! from the fully-labeled baseline.
+//!
+//! The [`stall`] module covers *liveness* faults: hung and livelocked
+//! workers, with a threaded drill ([`run_stall_prequential`]) proving the
+//! watchdog's detect → force-restart path and a virtual-time simulation
+//! ([`simulate_stall`]) pinning its decision logic — most importantly
+//! that a slow-but-progressing worker is never declared stalled.
 
 #![warn(missing_docs)]
 #![warn(clippy::all)]
 
 pub mod label;
 pub mod overload;
+pub mod stall;
 
 pub use label::{
     run_label_prequential, LabelFate, LabelRegimeReport, LabelSchedule, LabelScheduler, LabelStep,
@@ -47,6 +54,9 @@ pub use label::{
 pub use overload::{
     paired_per_seq, run_overload_prequential, simulate_overload, BurstSchedule, OverloadConfig,
     OverloadReport, SimOverloadConfig, SimOverloadReport, SimTransition,
+};
+pub use stall::{
+    run_stall_prequential, simulate_stall, SimDetection, SimStallConfig, SimStallReport, StallSpec,
 };
 
 use std::collections::{BTreeMap, HashMap, VecDeque};

@@ -78,6 +78,10 @@ pub enum ShedReason {
     DeadlineExceeded,
     /// The degradation ladder reached [`DegradationLevel::Shed`].
     Degraded,
+    /// The shard owning this pipeline exhausted its restart budget and
+    /// was fenced; the batch (and any backlog) is dropped here while
+    /// subsequent traffic for its keys is rerouted to surviving shards.
+    Fenced,
 }
 
 impl ShedReason {
@@ -87,6 +91,7 @@ impl ShedReason {
             Self::QueueFull => "queue-full",
             Self::DeadlineExceeded => "deadline-exceeded",
             Self::Degraded => "degraded",
+            Self::Fenced => "fenced",
         }
     }
 }
@@ -270,6 +275,10 @@ pub struct AdmittedPipeline {
     /// the delta gives mean seconds per batch over the recent window.
     train_stage: freeway_telemetry::Histogram,
     stage_watermark: (f64, u64),
+    /// Raised by [`Self::fence`] after the shard's restart budget
+    /// exhausted: every subsequent offer is shed with
+    /// [`ShedReason::Fenced`] instead of touching the dead worker.
+    fenced: bool,
 }
 
 impl AdmittedPipeline {
@@ -304,6 +313,7 @@ impl AdmittedPipeline {
             telemetry,
             train_stage,
             stage_watermark: (0.0, 0),
+            fenced: false,
         })
     }
 
@@ -326,6 +336,13 @@ impl AdmittedPipeline {
 
     fn offer(&mut self, batch: Batch, prequential: bool) -> Result<AdmissionOutcome, FreewayError> {
         self.stats.offered += 1;
+        if self.fenced {
+            // Defensive: the sharded router stops sending here once the
+            // fence is up, but a direct caller still gets a counted,
+            // typed verdict instead of a dead-worker error.
+            self.shed_batch(batch, ShedReason::Fenced);
+            return Ok(AdmissionOutcome::Shed(ShedReason::Fenced));
+        }
         let seq = batch.seq;
         self.drain_backlog()?;
         let outcome = if self.handle.level() == DegradationLevel::Shed {
@@ -537,6 +554,64 @@ impl AdmittedPipeline {
     /// Batches waiting caller-side for queue space.
     pub fn backlog_len(&self) -> usize {
         self.backlog.len()
+    }
+
+    /// Normalized occupancy of worker queue + backlog in `[0, 1]`; the
+    /// measured queue-pressure signal behind dynamic `Busy` retry hints.
+    pub fn occupancy(&self) -> f64 {
+        let capacity = self.inner.queue_depth() + self.config.backlog_capacity;
+        if capacity == 0 {
+            return 0.0;
+        }
+        let filled = (self.inner.in_flight() + self.backlog.len()).min(capacity);
+        filled as f64 / capacity as f64
+    }
+
+    /// Whether this pipeline has been fenced (restart budget exhausted).
+    pub fn is_fenced(&self) -> bool {
+        self.fenced
+    }
+
+    /// Fences the pipeline after its restart budget exhausted: the
+    /// backlog is drained into the shed buffer as [`ShedReason::Fenced`]
+    /// (those batches were waiting for a worker that will never return)
+    /// and every future offer is shed the same way. Outputs the dead
+    /// worker already produced stay consumable via [`Self::try_recv`].
+    pub(crate) fn fence(&mut self) {
+        if self.fenced {
+            return;
+        }
+        self.fenced = true;
+        while let Some((batch, _prequential)) = self.backlog.pop_front() {
+            self.shed_batch(batch, ShedReason::Fenced);
+        }
+    }
+
+    /// Counts a batch that was consumed by the feed that *triggered* the
+    /// fence (it was handed to a worker that died before answering, past
+    /// the restart budget — there is nothing left to retain).
+    pub(crate) fn note_fenced_drop(&mut self, seq: u64) {
+        self.stats.shed += 1;
+        self.telemetry.emit(TelemetryEvent::BatchShed { seq, reason: ShedReason::Fenced.tag() });
+    }
+
+    /// Liveness passthrough: polls the wrapped supervisor's stall
+    /// watchdog (see [`SupervisedPipeline::check_liveness`]); after a
+    /// forced recovery the backlog is drained into the fresh worker's
+    /// empty queue. A fenced pipeline reports `Ok(false)` without
+    /// touching the dead worker.
+    ///
+    /// # Errors
+    /// As [`SupervisedPipeline::check_liveness`].
+    pub fn check_liveness(&mut self) -> Result<bool, FreewayError> {
+        if self.fenced {
+            return Ok(false);
+        }
+        let recovered = self.inner.check_liveness()?;
+        if recovered {
+            self.drain_backlog()?;
+        }
+        Ok(recovered)
     }
 
     /// Chaos hook passthrough: artificially slow the worker's train

@@ -142,6 +142,15 @@ impl PipelineBuilder {
         self
     }
 
+    /// Arms the liveness watchdog: a worker owing work that makes no
+    /// heartbeat progress for this long is declared stalled and forcibly
+    /// recovered ([`SupervisorConfig::stall_deadline`]). Off by default.
+    #[must_use]
+    pub fn with_stall_deadline(mut self, deadline: std::time::Duration) -> Self {
+        self.supervisor.stall_deadline = Some(deadline);
+        self
+    }
+
     /// Enables or disables sequence-number validation at the guard
     /// ([`SupervisorConfig::check_seq`]).
     #[must_use]
@@ -381,6 +390,11 @@ impl PipelineBuilder {
         if supervisor.quarantine_capacity == 0 {
             return Err(FreewayError::InvalidConfig(
                 "quarantine capacity must be positive".to_owned(),
+            ));
+        }
+        if supervisor.stall_deadline.is_some_and(|deadline| deadline.is_zero()) {
+            return Err(FreewayError::InvalidConfig(
+                "stall deadline must be positive when set".to_owned(),
             ));
         }
         if let Some(journal) = supervisor.journal.as_ref() {

@@ -53,6 +53,17 @@ pub enum FreewayError {
     Checkpoint(CheckpointError),
     /// Filesystem failure while persisting or loading a checkpoint.
     Io(std::io::Error),
+    /// A deadline-bounded drain ([`ShardedPipeline::barrier_deadline`])
+    /// gave up: the listed shards still owed work when the budget ran
+    /// out. The pipeline is untouched — callers may retry, extend the
+    /// budget, or escalate to fencing.
+    ///
+    /// [`ShardedPipeline::barrier_deadline`]:
+    ///     crate::shard::ShardedPipeline::barrier_deadline
+    DrainTimeout {
+        /// Indices of the shards that had not reached quiescence.
+        shards: Vec<usize>,
+    },
 }
 
 /// Why a checkpoint was rejected.
@@ -144,6 +155,9 @@ impl std::fmt::Display for FreewayError {
             Self::PoisonBatch { seq, fault } => write!(f, "poison batch (seq {seq}): {fault}"),
             Self::Checkpoint(e) => write!(f, "checkpoint error: {e}"),
             Self::Io(e) => write!(f, "checkpoint I/O error: {e}"),
+            Self::DrainTimeout { shards } => {
+                write!(f, "drain deadline elapsed with unresponsive shards {shards:?}")
+            }
         }
     }
 }

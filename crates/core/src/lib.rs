@@ -35,6 +35,13 @@
 //! over a shared cross-shard knowledge registry
 //! ([`knowledge::SharedKnowledge`]).
 //!
+//! The liveness layer is [`liveness`]: per-worker heartbeat ledgers and
+//! the stall watchdog behind
+//! [`supervisor::SupervisedPipeline::check_liveness`], plus shard
+//! *fencing* — a shard whose restart budget exhausts is isolated and its
+//! keys deterministically rerouted ([`shard::failover_shard`]) instead of
+//! erroring the whole runtime.
+//!
 //! The serving layer is [`serve`]: a router thread owning the sharded
 //! runtime behind cloneable [`serve::ServiceHandle`]s, so many
 //! concurrent clients submit through keyed [`serve::ClientSession`]s
@@ -62,6 +69,7 @@ pub mod guard;
 pub mod journal;
 pub mod knowledge;
 pub mod learner;
+pub mod liveness;
 pub mod persistence;
 pub mod pipeline;
 pub mod rate;
@@ -85,15 +93,16 @@ pub use guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
 pub use journal::{frame_batch, Journal, JournalConfig, JournalRecord, JournalStats};
 pub use knowledge::{SharedEntry, SharedKnowledge, SharedReader};
 pub use learner::{InferenceReport, Learner, Strategy, StrategyStats};
+pub use liveness::{HeartbeatLedger, WatchdogState, WorkerStage};
 pub use persistence::{crc32, Checkpoint, CheckpointStore, CHECKPOINT_VERSION};
 pub use pipeline::{Pipeline, PipelineOutput};
 pub use retry::RetryPolicy;
 pub use selector::StrategySelector;
 pub use serve::{
-    AdmittedRecord, ClientSession, ServeError, Service, ServiceConfig, ServiceHandle,
+    busy_hint, AdmittedRecord, ClientSession, ServeError, Service, ServiceConfig, ServiceHandle,
     ServiceReport, ServiceStats, SessionOutput, SubmitOutcome,
 };
-pub use shard::{shard_for, ShardedPipeline, ShardedRun};
+pub use shard::{failover_shard, shard_for, ShardedPipeline, ShardedRun};
 pub use supervisor::{
     FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats, TryFeedOutcome,
 };
@@ -115,12 +124,13 @@ pub mod prelude {
     pub use crate::journal::{Journal, JournalConfig, JournalStats};
     pub use crate::knowledge::{SharedEntry, SharedKnowledge};
     pub use crate::learner::{InferenceReport, Learner, Strategy, StrategyStats};
+    pub use crate::liveness::{HeartbeatLedger, WatchdogState, WorkerStage};
     pub use crate::pipeline::{Pipeline, PipelineOutput};
     pub use crate::serve::{
         ClientSession, ServeError, Service, ServiceConfig, ServiceHandle, ServiceReport,
         SessionOutput, SubmitOutcome,
     };
-    pub use crate::shard::{shard_for, ShardedPipeline, ShardedRun};
+    pub use crate::shard::{failover_shard, shard_for, ShardedPipeline, ShardedRun};
     pub use crate::supervisor::{
         FeedOutcome, FinishedRun, SupervisedPipeline, SupervisorConfig, SupervisorStats,
         TryFeedOutcome,

@@ -39,6 +39,7 @@
 //! [`crate::PipelineBuilder::build_service`].
 
 use crate::admission::AdmissionOutcome;
+use crate::degrade::DegradationLevel;
 use crate::error::{panic_message, FreewayError};
 use crate::learner::InferenceReport;
 use crate::shard::{ShardedPipeline, ShardedRun};
@@ -58,9 +59,19 @@ pub struct ServiceConfig {
     /// clients can run ahead of the router; a full queue surfaces as
     /// [`ServeError::Busy`].
     pub submit_queue_depth: usize,
-    /// Pacing hint handed back inside [`ServeError::Busy`]: how long a
-    /// client should wait before retrying. Advisory, not enforced.
+    /// *Base* pacing hint handed back inside [`ServeError::Busy`]: the
+    /// wait suggested when the runtime is unloaded. The actual hint
+    /// scales with measured pressure — queue/backlog occupancy and the
+    /// degradation ladder — up to 4× this base (see [`busy_hint`]).
+    /// Advisory, not enforced.
     pub retry_after_hint: Duration,
+    /// Wall-clock budget for the shutdown drain. `None` (the default)
+    /// drains unboundedly via [`crate::ShardedPipeline::barrier`]; with a
+    /// budget, shutdown uses
+    /// [`crate::ShardedPipeline::barrier_deadline`] and surfaces the
+    /// typed [`FreewayError::DrainTimeout`] naming the unresponsive
+    /// shards instead of hanging on a wedged worker.
+    pub drain_budget: Option<Duration>,
     /// When set, the router records the exact order in which submissions
     /// were fed to the shards ([`ServiceReport::admitted_order`]), so a
     /// serialized oracle can replay the run deterministically.
@@ -72,6 +83,7 @@ impl Default for ServiceConfig {
         Self {
             submit_queue_depth: 64,
             retry_after_hint: Duration::from_micros(200),
+            drain_budget: None,
             record_admitted: false,
         }
     }
@@ -89,6 +101,9 @@ impl ServiceConfig {
         }
         if self.retry_after_hint.is_zero() {
             return Err("service retry-after hint must be positive".to_owned());
+        }
+        if self.drain_budget.is_some_and(|budget| budget.is_zero()) {
+            return Err("service drain budget must be positive when set".to_owned());
         }
         Ok(())
     }
@@ -259,12 +274,29 @@ enum Request {
     Open { session: u64, reply: Sender<SessionOutput> },
     Submit { session: u64, key: u64, client_seq: u64, batch: Batch, prequential: bool },
     Close { session: u64 },
+    InjectPanic { shard: usize },
+    InjectStall { shard: usize, duration: Duration, livelock: bool },
     Shutdown,
 }
 
 struct ServiceShared {
     next_session: AtomicU64,
     retry_after_hint: Duration,
+    /// Measured runtime pressure in `[0, 100]`, published by the router
+    /// every loop: the worst shard's queue/backlog occupancy folded with
+    /// its degradation-ladder level. Read lock-free by every session to
+    /// derive the [`ServeError::Busy`] pacing hint.
+    pressure_pct: AtomicU64,
+}
+
+/// Derives the [`ServeError::Busy`] pacing hint from the configured base
+/// and the router-published pressure percentage: `base` at zero pressure,
+/// scaling linearly to `4 × base` at 100%. Monotone in pressure — a more
+/// loaded service never suggests a *shorter* wait — so clients back off
+/// harder exactly when the runtime is drowning.
+pub fn busy_hint(base: Duration, pressure_pct: u64) -> Duration {
+    let pct = u32::try_from(pressure_pct.min(100)).unwrap_or(100);
+    base.saturating_add(base.saturating_mul(3).saturating_mul(pct) / 100)
 }
 
 /// Cloneable entry point: one per client thread. Open sessions with
@@ -298,6 +330,40 @@ impl ServiceHandle {
             in_flight: 0,
             reply: reply_rx,
         })
+    }
+
+    /// The router-published pressure estimate in `[0, 100]` (worst-shard
+    /// occupancy folded with degradation level). This is the input to
+    /// every session's [`ServeError::Busy`] hint ([`busy_hint`]).
+    pub fn pressure_pct(&self) -> u64 {
+        self.shared.pressure_pct.load(Ordering::Relaxed)
+    }
+
+    /// Chaos hook: makes one shard's worker panic on its next command,
+    /// exercising the crash-restart (and, past the budget, fencing) path
+    /// under live client traffic.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] when the service has shut down.
+    pub fn inject_worker_panic(&self, shard: usize) -> Result<(), ServeError> {
+        self.tx.send(Request::InjectPanic { shard }).map_err(|_| ServeError::Disconnected)
+    }
+
+    /// Chaos hook: schedules a stall (sleep or livelock) of `duration` on
+    /// one shard's worker, exercising the watchdog detect → force-restart
+    /// path under live client traffic.
+    ///
+    /// # Errors
+    /// [`ServeError::Disconnected`] when the service has shut down.
+    pub fn inject_worker_stall(
+        &self,
+        shard: usize,
+        duration: Duration,
+        livelock: bool,
+    ) -> Result<(), ServeError> {
+        self.tx
+            .send(Request::InjectStall { shard, duration, livelock })
+            .map_err(|_| ServeError::Disconnected)
     }
 }
 
@@ -410,7 +476,12 @@ impl ClientSession {
             }
             Err(TrySendError::Full(req)) => Err((
                 request_batch(req),
-                ServeError::Busy { retry_after_hint: self.shared.retry_after_hint },
+                ServeError::Busy {
+                    retry_after_hint: busy_hint(
+                        self.shared.retry_after_hint,
+                        self.shared.pressure_pct.load(Ordering::Relaxed),
+                    ),
+                },
             )),
             Err(TrySendError::Disconnected(req)) => {
                 Err((request_batch(req), ServeError::Disconnected))
@@ -515,9 +586,14 @@ impl Service {
         let shared = Arc::new(ServiceShared {
             next_session: AtomicU64::new(0),
             retry_after_hint: config.retry_after_hint,
+            pressure_pct: AtomicU64::new(0),
         });
         let record = config.record_admitted;
-        let router = std::thread::spawn(move || Router::new(pipeline, rx, record).run());
+        let drain_budget = config.drain_budget;
+        let router_shared = Arc::clone(&shared);
+        let router = std::thread::spawn(move || {
+            Router::new(pipeline, rx, record, router_shared, drain_budget).run()
+        });
         Ok(Self { handle: ServiceHandle { tx, shared }, router: Some(router) })
     }
 
@@ -582,12 +658,24 @@ struct Router {
     /// Per-shard shed-buffer totals already reconciled against the
     /// ledger; growth beyond the watermark triggers a scan.
     shed_watermarks: Vec<u64>,
+    /// Fenced-shard count already reconciled against the ledger; growth
+    /// triggers a stranded-entry sweep ([`Self::reconcile_fences`]).
+    fenced_seen: usize,
+    shared: Arc<ServiceShared>,
+    drain_budget: Option<Duration>,
     sessions_gauge: freeway_telemetry::Gauge,
     submitted_counter: freeway_telemetry::Counter,
+    pressure_gauge: freeway_telemetry::Gauge,
 }
 
 impl Router {
-    fn new(pipeline: ShardedPipeline, rx: Receiver<Request>, record_admitted: bool) -> Self {
+    fn new(
+        pipeline: ShardedPipeline,
+        rx: Receiver<Request>,
+        record_admitted: bool,
+        shared: Arc<ServiceShared>,
+        drain_budget: Option<Duration>,
+    ) -> Self {
         let telemetry = pipeline.telemetry().clone();
         let shed_watermarks = vec![0; pipeline.num_shards()];
         Self {
@@ -599,9 +687,38 @@ impl Router {
             stats: ServiceStats::default(),
             admitted_order: record_admitted.then(Vec::new),
             shed_watermarks,
+            fenced_seen: 0,
+            shared,
+            drain_budget,
             sessions_gauge: telemetry.gauge("freeway_serve_sessions_active"),
             submitted_counter: telemetry.counter("freeway_serve_submitted_total"),
+            pressure_gauge: telemetry.gauge("freeway_serve_pressure_pct"),
         }
+    }
+
+    /// Publishes the pressure estimate clients read for their `Busy`
+    /// hints: the worst unfenced shard's queue/backlog occupancy, folded
+    /// with its degradation-ladder level (each rung pinning a floor of
+    /// 25/50/75%), clamped to `[0, 100]`.
+    fn publish_pressure(&mut self) {
+        let mut pct = 0u64;
+        for shard in 0..self.pipeline.num_shards() {
+            if self.pipeline.is_fenced(shard) {
+                continue;
+            }
+            let state = self.pipeline.shard(shard);
+            let occupancy = (state.occupancy() * 100.0).round();
+            let floor = match state.degradation_level() {
+                DegradationLevel::Full => 0,
+                DegradationLevel::ShortOnly => 25,
+                DegradationLevel::InferenceOnly => 50,
+                DegradationLevel::Shed => 75,
+            };
+            pct = pct.max(occupancy as u64).max(floor);
+        }
+        let pct = pct.min(100);
+        self.shared.pressure_pct.store(pct, Ordering::Relaxed);
+        self.pressure_gauge.set(pct as f64);
     }
 
     fn run(mut self) -> Result<ServiceReport, FreewayError> {
@@ -622,6 +739,16 @@ impl Router {
                 worked = true;
                 self.deliver(shard, out);
             }
+            self.publish_pressure();
+            if !worked {
+                // Idle is when a stalled worker would otherwise go
+                // unnoticed: pump the watchdog, then reconcile any fence
+                // it raised.
+                if self.pipeline.check_liveness()? > 0 {
+                    worked = true;
+                }
+                self.reconcile_fences()?;
+            }
             if !worked {
                 std::thread::sleep(Duration::from_micros(50));
             }
@@ -635,11 +762,15 @@ impl Router {
                 Err(_) => break,
             }
         }
-        let outputs = self.pipeline.barrier()?;
+        let outputs = match self.drain_budget {
+            Some(budget) => self.pipeline.barrier_deadline(budget)?,
+            None => self.pipeline.barrier()?,
+        };
         for (shard, out) in outputs {
             self.deliver(shard, out);
         }
         self.reconcile_sheds();
+        self.reconcile_fences()?;
         let Router { pipeline, stats, admitted_order, sessions_gauge, .. } = self;
         sessions_gauge.set(0.0);
         let run = pipeline.finish()?;
@@ -727,8 +858,19 @@ impl Router {
                 }
                 // A backlogged batch can be the shed victim of a *later*
                 // feed (shedding-oldest); reconcile after every feed so
-                // its session still hears the verdict.
+                // its session still hears the verdict. A feed can also
+                // fence its shard (restart budget exhausted), stranding
+                // ledger entries the dead worker will never answer.
                 self.reconcile_sheds();
+                self.reconcile_fences()?;
+            }
+            Request::InjectPanic { shard } => {
+                self.pipeline.inject_worker_panic(shard)?;
+                self.reconcile_fences()?;
+            }
+            Request::InjectStall { shard, duration, livelock } => {
+                self.pipeline.inject_worker_stall(shard, duration, livelock)?;
+                self.reconcile_fences()?;
             }
             Request::Shutdown => {}
         }
@@ -795,6 +937,49 @@ impl Router {
         }
     }
 
+    /// Sweeps the ledger after a fence: batches admitted to a shard that
+    /// later exhausted its restart budget can be lost in flight (handed
+    /// to the worker that died) — no output and no shed-buffer entry will
+    /// ever surface for them. Their sessions receive a typed, retryable
+    /// [`SubmitOutcome::Shed`]`("fenced")` verdict instead of waiting
+    /// forever. Answers the worker produced *before* dying are delivered
+    /// first, so nothing answerable is misreported as lost.
+    fn reconcile_fences(&mut self) -> Result<(), FreewayError> {
+        if self.pipeline.fenced_shards().len() == self.fenced_seen {
+            return Ok(());
+        }
+        self.fenced_seen = self.pipeline.fenced_shards().len();
+        while let Some((shard, out)) = self.pipeline.try_recv()? {
+            self.deliver(shard, out);
+        }
+        self.reconcile_sheds();
+        let mut stranded: Vec<u64> = self
+            .ledger
+            .iter()
+            .filter(|(_, entry)| self.pipeline.is_fenced(entry.shard))
+            .map(|(seq, _)| *seq)
+            .collect();
+        stranded.sort_unstable();
+        for seq in stranded {
+            if let Some(entry) = self.ledger.remove(&seq) {
+                self.stats.shed += 1;
+                if let Some(order) = self.admitted_order.as_mut() {
+                    order.retain(|rec| rec.global_seq != seq);
+                }
+                self.send_to(
+                    entry.session,
+                    SessionOutput {
+                        client_seq: entry.client_seq,
+                        global_seq: seq,
+                        shard: entry.shard,
+                        outcome: SubmitOutcome::Shed("fenced"),
+                    },
+                );
+            }
+        }
+        Ok(())
+    }
+
     fn send_to(&mut self, session: u64, output: SessionOutput) {
         if let Some(state) = self.sessions.get_mut(&session) {
             state.in_flight = state.in_flight.saturating_sub(1);
@@ -817,6 +1002,42 @@ mod tests {
         let bad = ServiceConfig { retry_after_hint: Duration::ZERO, ..Default::default() };
         assert!(bad.check().unwrap_err().contains("retry-after"));
         assert!(ServiceConfig::default().check().is_ok());
+    }
+
+    #[test]
+    fn busy_hint_is_monotone_in_pressure() {
+        let base = Duration::from_micros(200);
+        let mut last = Duration::ZERO;
+        for pct in 0..=100 {
+            let hint = busy_hint(base, pct);
+            assert!(hint >= last, "hint shrank at {pct}%: {hint:?} < {last:?}");
+            last = hint;
+        }
+        assert_eq!(busy_hint(base, 0), base, "unloaded hint must equal the configured base");
+        assert_eq!(busy_hint(base, 100), base * 4, "saturated hint caps at 4x the base");
+        // Out-of-range pressure clamps instead of extrapolating.
+        assert_eq!(busy_hint(base, u64::MAX), busy_hint(base, 100));
+    }
+
+    #[test]
+    fn busy_hint_scales_with_backlog_occupancy() {
+        // The router derives pressure from occupancy; a fuller backlog
+        // must never yield a shorter suggested wait.
+        let base = Duration::from_millis(1);
+        for capacity in [1usize, 7, 64] {
+            let mut last = Duration::ZERO;
+            for used in 0..=capacity {
+                #[allow(clippy::cast_precision_loss)]
+                let occupancy = used as f64 / capacity as f64;
+                let pct = (occupancy * 100.0).round() as u64;
+                let hint = busy_hint(base, pct);
+                assert!(
+                    hint >= last,
+                    "hint shrank as backlog filled ({used}/{capacity}): {hint:?} < {last:?}"
+                );
+                last = hint;
+            }
+        }
     }
 
     #[test]

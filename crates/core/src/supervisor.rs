@@ -38,6 +38,7 @@ use crate::error::{panic_message, FreewayError};
 use crate::guard::{BatchFault, BatchGuard, GuardPolicy, Quarantine};
 use crate::journal::{frame_batch, Journal, JournalConfig, JournalRecord, JournalStats};
 use crate::learner::Learner;
+use crate::liveness::{HeartbeatLedger, WatchdogState, WorkerStage};
 use crate::persistence::{Checkpoint, CheckpointStore};
 use crate::pipeline::PipelineOutput;
 use crate::retry::RetryPolicy;
@@ -47,10 +48,10 @@ use freeway_telemetry::{Counter, Telemetry, TelemetryEvent, DURATION_SECONDS_BOU
 use std::collections::{BTreeSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Supervision policy knobs.
 #[derive(Clone, Debug)]
@@ -86,6 +87,14 @@ pub struct SupervisorConfig {
     /// for the effectively-once contract). `None` (the default) keeps
     /// the journal-free path byte-identical to previous builds.
     pub journal: Option<JournalConfig>,
+    /// When set, [`SupervisedPipeline::check_liveness`] arms a stall
+    /// watchdog: a worker with work pending whose heartbeat makes no
+    /// progress for this long is forcibly recovered through the same
+    /// checkpoint-restore + journal-replay path as a crash, counted
+    /// against the restart budget. A slow-but-progressing worker is
+    /// never killed — only a fully wedged one. `None` (the default)
+    /// disables the watchdog.
+    pub stall_deadline: Option<Duration>,
 }
 
 impl Default for SupervisorConfig {
@@ -100,6 +109,7 @@ impl Default for SupervisorConfig {
             checkpoint_generations: 3,
             persist_retry: RetryPolicy::default(),
             journal: None,
+            stall_deadline: None,
         }
     }
 }
@@ -131,6 +141,9 @@ pub struct SupervisorStats {
     /// Replayed batches whose outputs were suppressed because they had
     /// already been delivered before the crash (seq-based dedup).
     pub replay_suppressed: u64,
+    /// Stalls declared by the liveness watchdog (each one forced a
+    /// recovery counted in `restarts`, or exhausted the budget).
+    pub worker_stalls: u64,
 }
 
 /// What happened to a batch offered to [`SupervisedPipeline::feed`].
@@ -183,6 +196,14 @@ enum SupCommand {
     Checkpoint,
     /// Chaos hook: panic deterministically inside the worker.
     InjectPanic,
+    /// Chaos hook: stop making progress for this many nanoseconds
+    /// (`u64::MAX` = until fenced), either parked in short sleeps or
+    /// livelocked in a spin loop. No heartbeat lands while it runs, so
+    /// the watchdog sees exactly what a wedged worker looks like.
+    InjectStall {
+        nanos: u64,
+        livelock: bool,
+    },
 }
 
 enum WorkerMsg {
@@ -194,6 +215,13 @@ struct Worker {
     input: Sender<SupCommand>,
     output: Receiver<WorkerMsg>,
     handle: JoinHandle<Result<Learner, String>>,
+    /// Progress ledger the worker thread beats after every completed
+    /// command; the watchdog reads it from the supervisor side.
+    heartbeat: HeartbeatLedger,
+    /// Raised by forced stall recovery after the handle is abandoned: a
+    /// zombie worker that eventually wakes up sees it and exits instead
+    /// of ghost-writing into channels nobody reads.
+    fence: Arc<AtomicBool>,
 }
 
 fn spawn_worker(
@@ -207,6 +235,10 @@ fn spawn_worker(
     // One extra slot per possible in-flight checkpoint reply so a
     // checkpoint command never wedges behind a full output queue.
     let (out_tx, out_rx) = bounded::<WorkerMsg>(queue_depth + 1);
+    let heartbeat = HeartbeatLedger::new();
+    let fence = Arc::new(AtomicBool::new(false));
+    let ledger = heartbeat.clone();
+    let fenced = fence.clone();
     let handle = std::thread::spawn(move || {
         catch_unwind(AssertUnwindSafe(move || {
             // Highest batch seq processed; stamped onto checkpoints as
@@ -216,12 +248,16 @@ fn spawn_worker(
             loop {
                 // Queue wait is the ingest stage, as in the plain pipeline.
                 let cmd = {
+                    ledger.set_stage(WorkerStage::Idle);
                     let _span = telemetry.time(freeway_telemetry::Stage::Ingest);
                     match in_rx.recv() {
                         Ok(cmd) => cmd,
                         Err(_) => break,
                     }
                 };
+                if fenced.load(Ordering::Relaxed) {
+                    break;
+                }
                 // Chaos hook: an artificially slowed worker turns any
                 // stream into an overload, exercising backpressure,
                 // shedding, and the degradation ladder for real. The
@@ -241,6 +277,7 @@ fn spawn_worker(
                 }
                 let msg = match cmd {
                     SupCommand::Batch(batch) => {
+                        ledger.set_stage(WorkerStage::Train);
                         telemetry.batch_started(batch.seq);
                         last_seq = Some(batch.seq);
                         let report = match batch.labels.as_deref() {
@@ -253,26 +290,50 @@ fn spawn_worker(
                         WorkerMsg::Output(PipelineOutput { seq: batch.seq, report })
                     }
                     SupCommand::Prequential(batch) => {
+                        ledger.set_stage(WorkerStage::Train);
                         last_seq = Some(batch.seq);
                         let report = learner.process(&batch);
                         WorkerMsg::Output(PipelineOutput { seq: batch.seq, report: Some(report) })
                     }
                     SupCommand::Checkpoint => {
+                        ledger.set_stage(WorkerStage::Checkpoint);
                         let mut checkpoint = Checkpoint::capture(&learner);
                         checkpoint.journal_seq = last_seq;
                         WorkerMsg::Checkpoint(Box::new(checkpoint))
                     }
                     SupCommand::InjectPanic => panic!("injected worker panic (chaos)"),
+                    SupCommand::InjectStall { nanos, livelock } => {
+                        // A deliberately heartbeat-free window: the only
+                        // exits are the budget elapsing or the fence
+                        // going up after a forced recovery.
+                        ledger.set_stage(WorkerStage::ChaosStall);
+                        let started = Instant::now();
+                        let budget = Duration::from_nanos(nanos);
+                        while started.elapsed() < budget && !fenced.load(Ordering::Relaxed) {
+                            if livelock {
+                                std::hint::spin_loop();
+                            } else {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                        }
+                        if fenced.load(Ordering::Relaxed) {
+                            break;
+                        }
+                        // Survived a bounded stall: progress resumes.
+                        ledger.beat(None);
+                        continue;
+                    }
                 };
                 if out_tx.send(msg).is_err() {
                     break;
                 }
+                ledger.beat(last_seq);
             }
             learner
         }))
         .map_err(panic_message)
     });
-    Worker { input: in_tx, output: out_rx, handle }
+    Worker { input: in_tx, output: out_rx, handle, heartbeat, fence }
 }
 
 /// Everything the supervisor keeps per enabled journal.
@@ -354,6 +415,10 @@ pub struct SupervisedPipeline {
     stats: SupervisorStats,
     /// Accepted batches whose outputs have not been observed yet.
     in_flight: usize,
+    /// Checkpoint requests sent but not yet answered. Counted separately
+    /// from `in_flight` (which is batch accounting) so the watchdog sees
+    /// a worker wedged mid-checkpoint as owing work too.
+    checkpoints_in_flight: usize,
     accepted_since_checkpoint: usize,
     /// A checkpoint request that could not be enqueued without blocking
     /// (non-blocking feed path); sent opportunistically later.
@@ -386,6 +451,17 @@ pub struct SupervisedPipeline {
     restarts_counter: Counter,
     /// Exported loss counter (`freeway_lost_in_flight_total`).
     lost_counter: Counter,
+    /// Exported stall counter (`freeway_worker_stalls_total`).
+    stalls_counter: Counter,
+    /// Wall-clock cost of each forced stall recovery
+    /// (`freeway_stall_recovery_seconds`).
+    stall_recovery_seconds: freeway_telemetry::Histogram,
+    /// Stall detector, armed lazily on the first [`Self::check_liveness`]
+    /// call when `stall_deadline` is configured; reset on every respawn
+    /// so a fresh worker gets a full deadline.
+    watchdog: Option<WatchdogState>,
+    /// Monotonic origin for watchdog ticks (nanoseconds since here).
+    watchdog_origin: Instant,
 }
 
 impl SupervisedPipeline {
@@ -424,6 +500,9 @@ impl SupervisedPipeline {
         let telemetry = learner.telemetry().clone();
         let restarts_counter = telemetry.counter("freeway_worker_restarts_total");
         let lost_counter = telemetry.counter("freeway_lost_in_flight_total");
+        let stalls_counter = telemetry.counter("freeway_worker_stalls_total");
+        let stall_recovery_seconds =
+            telemetry.histogram("freeway_stall_recovery_seconds", DURATION_SECONDS_BOUNDS);
         let chaos_train_delay = Arc::new(AtomicU64::new(0));
         let mut stats = SupervisorStats::default();
         // With a journal configured, a non-empty log means the previous
@@ -513,6 +592,7 @@ impl SupervisedPipeline {
             last_checkpoint,
             stats,
             in_flight: 0,
+            checkpoints_in_flight: 0,
             accepted_since_checkpoint: 0,
             checkpoint_due: false,
             cadence_backoff: 1,
@@ -524,6 +604,10 @@ impl SupervisedPipeline {
             journal,
             restarts_counter,
             lost_counter,
+            stalls_counter,
+            stall_recovery_seconds,
+            watchdog: None,
+            watchdog_origin: Instant::now(),
         })
     }
 
@@ -571,6 +655,7 @@ impl SupervisedPipeline {
         if self.checkpoint_due {
             self.checkpoint_due = false;
             self.send_with_recovery(SupCommand::Checkpoint)?;
+            self.checkpoints_in_flight += 1;
         }
         Ok(FeedOutcome::Accepted)
     }
@@ -668,6 +753,7 @@ impl SupervisedPipeline {
         if let Some(worker) = self.worker.as_ref() {
             if worker.input.try_send(SupCommand::Checkpoint).is_ok() {
                 self.checkpoint_due = false;
+                self.checkpoints_in_flight += 1;
             }
         }
     }
@@ -802,17 +888,43 @@ impl SupervisedPipeline {
     }
 
     /// Waits for one worker message and absorbs it; a disconnect is a
-    /// crash — restart.
+    /// crash — restart. With a stall deadline configured the wait is a
+    /// polling loop that keeps the watchdog running, so backpressure
+    /// against a wedged worker ends in forced recovery instead of a
+    /// deadlock (the respawned worker's queue is empty, which unblocks
+    /// the caller's retry).
     fn pump_one_blocking(&mut self) -> Result<(), FreewayError> {
-        let Some(worker) = self.worker.as_ref() else {
-            return Err(FreewayError::WorkerUnavailable);
-        };
-        match worker.output.recv() {
-            Ok(msg) => {
-                self.handle_msg(msg);
-                Ok(())
+        if self.config.stall_deadline.is_none() {
+            let Some(worker) = self.worker.as_ref() else {
+                return Err(FreewayError::WorkerUnavailable);
+            };
+            return match worker.output.recv() {
+                Ok(msg) => {
+                    self.handle_msg(msg);
+                    Ok(())
+                }
+                Err(_) => self.restart_worker(),
+            };
+        }
+        loop {
+            let Some(worker) = self.worker.as_ref() else {
+                return Err(FreewayError::WorkerUnavailable);
+            };
+            match worker.output.try_recv() {
+                Ok(msg) => {
+                    self.handle_msg(msg);
+                    return Ok(());
+                }
+                Err(TryRecvError::Disconnected) => return self.restart_worker(),
+                Err(TryRecvError::Empty) => {
+                    if self.check_liveness()? {
+                        // Forced recovery emptied the queue; the caller's
+                        // pending send now has room.
+                        return Ok(());
+                    }
+                    std::thread::sleep(Duration::from_micros(50));
+                }
             }
-            Err(_) => self.restart_worker(),
         }
     }
 
@@ -845,7 +957,10 @@ impl SupervisedPipeline {
                 }
                 self.pending.push_back(out);
             }
-            WorkerMsg::Checkpoint(cp) => self.install_checkpoint(*cp),
+            WorkerMsg::Checkpoint(cp) => {
+                self.checkpoints_in_flight = self.checkpoints_in_flight.saturating_sub(1);
+                self.install_checkpoint(*cp);
+            }
         }
     }
 
@@ -988,7 +1103,7 @@ impl SupervisedPipeline {
     /// checkpoint. Outputs the dead worker already produced are kept;
     /// batches still in its queue are counted as lost.
     fn restart_worker(&mut self) -> Result<(), FreewayError> {
-        let Some(Worker { input, output, handle }) = self.worker.take() else {
+        let Some(Worker { input, output, handle, .. }) = self.worker.take() else {
             return Err(FreewayError::WorkerUnavailable);
         };
         drop(input);
@@ -1009,7 +1124,17 @@ impl SupervisedPipeline {
         self.stats.worker_panics += 1;
         let lost = self.in_flight as u64;
         self.in_flight = 0;
+        self.checkpoints_in_flight = 0;
         self.accepted_since_checkpoint = 0;
+        self.complete_restart(panic, lost)
+    }
+
+    /// Shared tail of every recovery (crash or forced stall): charge the
+    /// restart budget, recover the learner (journal replay when enabled),
+    /// and respawn. The caller has already reaped or abandoned the old
+    /// worker and zeroed `in_flight`.
+    fn complete_restart(&mut self, panic: String, lost: u64) -> Result<(), FreewayError> {
+        self.watchdog = None;
         if self.stats.restarts >= self.config.max_restarts {
             // Past the budget nothing replays: the loss is real.
             self.stats.lost_in_flight += lost;
@@ -1035,6 +1160,112 @@ impl SupervisedPipeline {
             respawn_seq,
         ));
         Ok(())
+    }
+
+    /// Polls the liveness watchdog, forcing recovery of a stalled worker.
+    ///
+    /// A no-op (always `Ok(false)`) unless
+    /// [`SupervisorConfig::stall_deadline`] is set. Otherwise this first
+    /// absorbs available worker output (the cheapest progress signal),
+    /// then feeds the heartbeat ledger into the watchdog: a worker with
+    /// work pending whose progress epoch has not advanced for a full
+    /// deadline is declared stalled and forcibly recovered — emitting
+    /// [`TelemetryEvent::WorkerStalled`] / `WorkerRecovered`, charging
+    /// the restart budget, and replaying the journal when enabled.
+    /// Returns `Ok(true)` when a stall was recovered this call.
+    ///
+    /// Callers with a deadline configured should poll this from their
+    /// drain loops (the admitted, sharded, and serving layers all do).
+    ///
+    /// # Errors
+    /// [`FreewayError::RestartsExhausted`] when the forced recovery blows
+    /// the budget; restore errors as [`Self::feed`].
+    pub fn check_liveness(&mut self) -> Result<bool, FreewayError> {
+        let Some(deadline) = self.config.stall_deadline else {
+            return Ok(false);
+        };
+        self.absorb_available()?;
+        let Some(worker) = self.worker.as_ref() else {
+            return Ok(false);
+        };
+        let epoch = worker.heartbeat.epoch();
+        let pending = (self.in_flight + self.checkpoints_in_flight) as u64;
+        let now = self.watchdog_origin.elapsed().as_nanos().min(u128::from(u64::MAX)) as u64;
+        let deadline_ticks = deadline.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let watchdog = self.watchdog.get_or_insert_with(|| WatchdogState::new(deadline_ticks));
+        if !watchdog.observe(now, epoch, pending) {
+            return Ok(false);
+        }
+        self.force_restart_stalled(now)?;
+        Ok(true)
+    }
+
+    /// Forced recovery of a stalled worker. Unlike a crash, the thread is
+    /// still running and can be neither joined nor drained blocking: raise
+    /// the fence (so the zombie exits if it ever wakes), drop our channel
+    /// ends, keep whatever output it already produced, abandon the
+    /// handle, and restart from the last checkpoint exactly as the crash
+    /// path does.
+    fn force_restart_stalled(&mut self, now: u64) -> Result<(), FreewayError> {
+        let Some(Worker { input, output, handle, heartbeat, fence }) = self.worker.take() else {
+            return Err(FreewayError::WorkerUnavailable);
+        };
+        fence.store(true, Ordering::Release);
+        drop(input);
+        while let Ok(msg) = output.try_recv() {
+            self.handle_msg(msg);
+        }
+        drop(output);
+        drop(handle);
+        let stalled_seq = heartbeat.last_seq().unwrap_or(0);
+        let stage = heartbeat.stage().tag();
+        let stalled_for = self.watchdog.as_ref().map(|w| w.stalled_for(now)).unwrap_or(0);
+        self.stats.worker_stalls += 1;
+        self.stalls_counter.inc();
+        self.telemetry.emit(TelemetryEvent::WorkerStalled { seq: stalled_seq, stage });
+        let started = Instant::now();
+        let lost = self.in_flight as u64;
+        self.in_flight = 0;
+        self.checkpoints_in_flight = 0;
+        self.accepted_since_checkpoint = 0;
+        self.complete_restart(
+            format!(
+                "worker stalled in stage `{stage}` (no progress for {}ms, deadline {}ms)",
+                stalled_for / 1_000_000,
+                self.config.stall_deadline.map(|d| d.as_millis()).unwrap_or(0),
+            ),
+            lost,
+        )?;
+        self.stall_recovery_seconds.record(started.elapsed().as_secs_f64());
+        self.telemetry.emit(TelemetryEvent::WorkerRecovered {
+            seq: stalled_seq,
+            restarts: self.stats.restarts as u64,
+        });
+        Ok(())
+    }
+
+    /// Chaos hook: makes the worker stop progressing on its next command
+    /// for `duration` (pass `Duration::MAX` for an unbounded hang that
+    /// only forced recovery clears), as a parked hang or a spinning
+    /// livelock. Exercises the real stall-detection and forced-recovery
+    /// path end to end.
+    ///
+    /// # Errors
+    /// As [`Self::feed`].
+    pub fn inject_worker_stall(
+        &mut self,
+        duration: Duration,
+        livelock: bool,
+    ) -> Result<(), FreewayError> {
+        let nanos = duration.as_nanos().min(u128::from(u64::MAX)) as u64;
+        self.send_with_recovery(SupCommand::InjectStall { nanos, livelock })
+    }
+
+    /// The live worker's heartbeat ledger, when a worker is running.
+    /// Observational: drills and dashboards read progress epoch, last
+    /// seq, and stage from it.
+    pub fn heartbeat(&self) -> Option<&HeartbeatLedger> {
+        self.worker.as_ref().map(|w| &w.heartbeat)
     }
 
     /// Receives the next output without blocking; absorbs checkpoint
@@ -1103,8 +1334,27 @@ impl SupervisedPipeline {
     /// [`FreewayError::Checkpoint`] only when that final checkpoint
     /// recovery itself fails.
     pub fn finish(mut self) -> Result<FinishedRun, FreewayError> {
+        // With a watchdog armed, the blocking drain below could hang on a
+        // wedged worker: run the liveness loop until nothing is owed (a
+        // stall forces recovery; an exhausted budget leaves the worker
+        // `None` and the checkpoint path below takes over), then raise
+        // the fence so an injected idle-stall exits instead of outliving
+        // the join.
+        if self.config.stall_deadline.is_some() {
+            while let Ok(progressed) = self.check_liveness() {
+                if self.worker.is_none() || self.in_flight + self.checkpoints_in_flight == 0 {
+                    break;
+                }
+                if !progressed {
+                    std::thread::sleep(Duration::from_micros(50));
+                }
+            }
+            if let Some(worker) = self.worker.as_ref() {
+                worker.fence.store(true, Ordering::Release);
+            }
+        }
         let learner = match self.worker.take() {
-            Some(Worker { input, output, handle }) => {
+            Some(Worker { input, output, handle, .. }) => {
                 drop(input);
                 while let Ok(msg) = output.recv() {
                     self.handle_msg(msg);
@@ -1143,6 +1393,7 @@ impl SupervisedPipeline {
         self.stats.worker_panics += 1;
         let lost = self.in_flight as u64;
         self.in_flight = 0;
+        self.checkpoints_in_flight = 0;
         eprintln!("freeway-core: worker dead at finish ({panic}); recovering");
         let (learner, net_lost, _respawn_seq) = self.recover_learner(lost)?;
         self.stats.lost_in_flight += net_lost;

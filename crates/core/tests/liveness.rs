@@ -1,0 +1,385 @@
+//! Liveness acceptance: the stall watchdog detects hung and livelocked
+//! workers (and only those — slow-but-progressing workers are never
+//! killed), forced recovery rides the checkpoint-restore path, exhausted
+//! shards fence instead of erroring the runtime, and failover routing is
+//! a deterministic, stable function of the failed set.
+
+use std::time::Duration;
+
+use freeway_core::liveness::WatchdogState;
+use freeway_core::shard::failover_shard;
+use freeway_core::telemetry::{EventKind, TelemetryEvent, TelemetrySink};
+use freeway_core::{
+    shard_for, AdmissionConfig, AdmissionOutcome, AdmissionPolicy, FreewayConfig, FreewayError,
+    PipelineBuilder, ShedReason,
+};
+use freeway_ml::ModelSpec;
+use freeway_streams::concept::{stream_rng, GmmConcept};
+use freeway_streams::keyed::KeyedBatch;
+use freeway_streams::{Batch, DriftPhase};
+use proptest::prelude::*;
+
+const DIM: usize = 4;
+const BATCH_SIZE: usize = 32;
+
+fn config() -> FreewayConfig {
+    FreewayConfig { pca_warmup_rows: 32, mini_batch: BATCH_SIZE, ..Default::default() }
+}
+
+fn lossless_admission() -> AdmissionConfig {
+    AdmissionConfig { policy: AdmissionPolicy::Block, ladder: None, ..Default::default() }
+}
+
+/// Labeled batches from one stationary concept, stamped with the caller's
+/// sequence counter.
+struct Feed {
+    concept: GmmConcept,
+    rng: rand::rngs::StdRng,
+    next_seq: u64,
+}
+
+impl Feed {
+    fn new(seed: u64) -> Self {
+        let mut rng = stream_rng(seed);
+        let concept = GmmConcept::random(DIM, 2, 2, 3.0, 0.5, &mut rng);
+        Self { concept, rng, next_seq: 0 }
+    }
+
+    fn batch(&mut self) -> Batch {
+        let (x, y) = self.concept.sample_batch(BATCH_SIZE, &mut self.rng);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        Batch::labeled(x, y, seq, DriftPhase::Stable)
+    }
+
+    fn keyed(&mut self, key: u64) -> KeyedBatch {
+        KeyedBatch { key, batch: self.batch() }
+    }
+}
+
+/// First key at/after `start` routing to `target` under `n` shards.
+fn key_for_shard(target: usize, n: usize, start: u64) -> u64 {
+    (start..start + 1024)
+        .find(|k| shard_for(*k, n) == target)
+        .expect("1024 consecutive keys cover every shard")
+}
+
+#[test]
+fn watchdog_detects_and_recovers_both_stall_flavors() {
+    for livelock in [false, true] {
+        let (builder, sink) = PipelineBuilder::new(ModelSpec::lr(DIM, 2))
+            .with_config(config())
+            .with_queue_depth(16)
+            .with_stall_deadline(Duration::from_millis(40))
+            .recording();
+        let mut sup = builder.build_supervised().expect("valid configuration");
+        let mut feed = Feed::new(7);
+        for _ in 0..3 {
+            sup.feed_prequential(feed.batch()).expect("healthy");
+        }
+        sup.inject_worker_stall(Duration::from_secs(30), livelock).expect("worker alive");
+        // Fed behind the stall: deterministically pending work, so the
+        // watchdog has something to declare stalled about.
+        sup.feed_prequential(feed.batch()).expect("healthy");
+        while sup.stats().worker_stalls < 1 {
+            sup.check_liveness().expect("recovery within budget");
+            std::thread::sleep(Duration::from_micros(200));
+        }
+        for _ in 0..3 {
+            sup.feed_prequential(feed.batch()).expect("recovered worker serves");
+        }
+        let run = sup.finish().expect("clean finish");
+        assert_eq!(run.stats.worker_stalls, 1, "livelock={livelock}");
+        assert_eq!(run.stats.restarts, 1, "forced recovery spends the restart budget");
+        let events = sink.events();
+        let stalled: Vec<_> =
+            events.iter().filter(|e| e.kind() == EventKind::WorkerStalled).collect();
+        let recovered: Vec<_> =
+            events.iter().filter(|e| e.kind() == EventKind::WorkerRecovered).collect();
+        assert_eq!(stalled.len(), 1, "livelock={livelock}: {events:?}");
+        assert_eq!(recovered.len(), 1, "livelock={livelock}");
+        if let TelemetryEvent::WorkerStalled { stage, .. } = stalled[0] {
+            assert_eq!(stage, &"chaos-stall");
+        }
+    }
+}
+
+#[test]
+fn slow_but_progressing_worker_is_never_declared_stalled() {
+    // Train and checkpoint-persist both slowed to a crawl — every step
+    // still lands a heartbeat, so however far behind the worker falls,
+    // the watchdog must stay quiet. This is the paper's slow-disk
+    // checkpoint-cadence case: backoff, not a kill.
+    let mut sup = PipelineBuilder::new(ModelSpec::lr(DIM, 2))
+        .with_config(config())
+        .with_queue_depth(16)
+        .with_checkpoint_every(4)
+        .with_stall_deadline(Duration::from_millis(120))
+        .build_supervised()
+        .expect("valid configuration");
+    sup.set_chaos_train_delay(Duration::from_millis(15));
+    sup.set_chaos_persist_delay(Duration::from_millis(25));
+    let mut feed = Feed::new(11);
+    for _ in 0..12 {
+        sup.feed_prequential(feed.batch()).expect("healthy");
+        sup.check_liveness().expect("no recovery needed");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let run = sup.finish().expect("clean finish");
+    assert_eq!(run.stats.worker_stalls, 0, "progressing worker was declared stalled");
+    assert_eq!(run.stats.restarts, 0);
+    assert_eq!(run.outputs.len(), 12, "every batch answered");
+}
+
+#[test]
+fn exhausted_shard_fences_and_keys_fail_over() {
+    let mut pipeline = PipelineBuilder::new(ModelSpec::lr(DIM, 2))
+        .with_config(config())
+        .with_queue_depth(16)
+        .with_max_restarts(0)
+        .admission(lossless_admission())
+        .shards(2)
+        .build_sharded()
+        .expect("valid configuration");
+    let mut feed = Feed::new(23);
+    let victim = 0usize;
+    let victim_key = key_for_shard(victim, 2, 0);
+    let survivor_key = key_for_shard(1, 2, 0);
+    for _ in 0..2 {
+        pipeline.feed_prequential(feed.keyed(victim_key)).expect("healthy");
+        pipeline.feed_prequential(feed.keyed(survivor_key)).expect("healthy");
+    }
+    pipeline.barrier().expect("healthy shards");
+    let shared_before = pipeline.shared().len();
+
+    // Zero restart budget: the first panic exhausts it. The error must
+    // not surface — the shard fences and the triggering batch comes back
+    // as a typed, retryable shed.
+    pipeline.inject_worker_panic(victim).expect("injection accepted");
+    let mut fenced_seen = false;
+    for _ in 0..400 {
+        let (shard, outcome) =
+            pipeline.feed_prequential(feed.keyed(victim_key)).expect("fence, not an error");
+        let _ = pipeline.try_recv().expect("drain never errors");
+        match outcome {
+            AdmissionOutcome::Shed(ShedReason::Fenced) => {
+                fenced_seen = true;
+                break;
+            }
+            _ => {
+                assert!(!pipeline.is_fenced(shard), "non-shed outcome on a fenced shard");
+                // The panic command may still be queued; give the worker
+                // a moment to die before probing again.
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        }
+    }
+    assert!(fenced_seen, "restart exhaustion never surfaced as a fenced shed");
+    assert!(pipeline.is_fenced(victim));
+    assert_eq!(pipeline.fenced_shards(), vec![victim]);
+
+    // The fenced shard's keys deterministically fail over to the
+    // survivor; healthy-shard keys do not move.
+    let rerouted = pipeline.route_for_key(victim_key).expect("survivor exists");
+    assert_eq!(rerouted, 1, "victim key must land on the survivor");
+    assert_eq!(pipeline.route_for_key(survivor_key).expect("survivor exists"), 1);
+    let (shard, outcome) = pipeline.feed_prequential(feed.keyed(victim_key)).expect("rerouted");
+    assert_eq!(shard, 1);
+    assert!(
+        matches!(outcome, AdmissionOutcome::Admitted | AdmissionOutcome::Backlogged),
+        "rerouted key must be served: {outcome:?}"
+    );
+
+    // Fencing isolates the worker, not the knowledge: the shared
+    // registry keeps every published entry readable for warm starts.
+    assert_eq!(pipeline.shared().len(), shared_before, "fence must not clear the registry");
+
+    pipeline.barrier().expect("surviving shard drains");
+    let run = pipeline.finish().expect("fenced runtime still finishes");
+    assert_eq!(run.shards.len(), 2);
+}
+
+#[test]
+fn sharded_liveness_sweep_recovers_a_stalled_shard() {
+    let mut pipeline = PipelineBuilder::new(ModelSpec::lr(DIM, 2))
+        .with_config(config())
+        .with_queue_depth(16)
+        .with_stall_deadline(Duration::from_millis(40))
+        .admission(lossless_admission())
+        .shards(2)
+        .build_sharded()
+        .expect("valid configuration");
+    let mut feed = Feed::new(31);
+    let key0 = key_for_shard(0, 2, 0);
+    let key1 = key_for_shard(1, 2, 0);
+    for _ in 0..2 {
+        pipeline.feed_prequential(feed.keyed(key0)).expect("healthy");
+        pipeline.feed_prequential(feed.keyed(key1)).expect("healthy");
+    }
+    pipeline.barrier().expect("healthy shards");
+
+    pipeline.inject_worker_stall(0, Duration::from_secs(30), false).expect("injection accepted");
+    pipeline.feed_prequential(feed.keyed(key0)).expect("healthy");
+    let mut recovered = 0usize;
+    while recovered == 0 {
+        recovered = pipeline.check_liveness().expect("recovery within budget");
+        std::thread::sleep(Duration::from_micros(200));
+    }
+    assert_eq!(recovered, 1);
+    assert!(pipeline.fenced_shards().is_empty(), "recovery within budget must not fence");
+
+    pipeline.barrier().expect("both shards quiescent");
+    let run = pipeline.finish().expect("clean finish");
+    assert_eq!(run.shards[0].run.stats.worker_stalls, 1);
+    assert_eq!(run.shards[1].run.stats.worker_stalls, 0);
+}
+
+#[test]
+fn barrier_deadline_names_the_wedged_shard_and_loses_nothing() {
+    // No watchdog here: the drain itself must stay bounded and report
+    // exactly which shard is wedged.
+    let mut pipeline = PipelineBuilder::new(ModelSpec::lr(DIM, 2))
+        .with_config(config())
+        .with_queue_depth(16)
+        .admission(lossless_admission())
+        .shards(2)
+        .build_sharded()
+        .expect("valid configuration");
+    let mut feed = Feed::new(43);
+    let key0 = key_for_shard(0, 2, 0);
+    let key1 = key_for_shard(1, 2, 0);
+    pipeline.feed_prequential(feed.keyed(key0)).expect("healthy");
+    pipeline.feed_prequential(feed.keyed(key1)).expect("healthy");
+    pipeline.barrier().expect("healthy shards");
+
+    pipeline.inject_worker_stall(0, Duration::from_millis(400), false).expect("accepted");
+    let stalled = feed.keyed(key0);
+    let stalled_seq = stalled.batch.seq;
+    pipeline.feed_prequential(stalled).expect("healthy");
+
+    let err = pipeline.barrier_deadline(Duration::from_millis(50));
+    match err {
+        Err(FreewayError::DrainTimeout { shards }) => {
+            assert_eq!(shards, vec![0], "exactly the wedged shard is named")
+        }
+        other => panic!("expected DrainTimeout, got {other:?}"),
+    }
+
+    // The stall is finite; once it ends, a plain barrier must deliver
+    // the delayed answer — a timed-out drain loses nothing.
+    std::thread::sleep(Duration::from_millis(450));
+    let outputs = pipeline.barrier().expect("stall over");
+    assert!(
+        outputs.iter().any(|(shard, out)| *shard == 0 && out.seq == stalled_seq),
+        "the batch wedged behind the stall must still be answered: {outputs:?}"
+    );
+    pipeline.finish().expect("clean finish");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The watchdog false-positive property: a worker that keeps making
+    /// progress — however slow its steps and however sparse the polling —
+    /// is never declared stalled, across randomized deadlines.
+    #[test]
+    fn progressing_worker_never_declared_stalled(
+        service in 1u64..50,
+        poll in 1u64..20,
+        slack in 0u64..100,
+        ticks in 200u64..1500,
+    ) {
+        // A progress observation can lag a completion by one poll; any
+        // deadline beyond service + poll is safe. Randomize the slack on
+        // top to cover the whole safe region, not one lucky point.
+        let deadline = service + 2 * poll + 1 + slack;
+        let mut watchdog = WatchdogState::new(deadline);
+        let mut epoch = 0u64;
+        let mut step = 0u64;
+        for now in 0..ticks {
+            step += 1;
+            if step >= service {
+                step = 0;
+                epoch += 1;
+            }
+            if now % poll == 0 {
+                prop_assert!(
+                    !watchdog.observe(now, epoch, 1),
+                    "false positive at tick {now} (service {service}, poll {poll}, \
+                     deadline {deadline})"
+                );
+            }
+        }
+    }
+
+    /// The complement: pending work with a frozen heartbeat is declared
+    /// stalled within one poll period past the deadline — detection
+    /// latency is bounded, not best-effort.
+    #[test]
+    fn frozen_worker_is_declared_within_deadline_plus_poll(
+        deadline in 1u64..200,
+        poll in 1u64..20,
+    ) {
+        let mut watchdog = WatchdogState::new(deadline);
+        prop_assert!(!watchdog.observe(0, 0, 1), "priming observation never fires");
+        let mut fired_at = None;
+        let mut now = poll;
+        while now <= deadline + 2 * poll {
+            if watchdog.observe(now, 0, 1) {
+                fired_at = Some(now);
+                break;
+            }
+            now += poll;
+        }
+        let fired = fired_at.expect("a frozen worker must be declared stalled");
+        prop_assert!(fired >= deadline, "fired early at {fired} (deadline {deadline})");
+        prop_assert!(fired <= deadline + poll, "fired late at {fired} (deadline {deadline})");
+    }
+
+    /// Failover routing is a pure, deterministic function of
+    /// `(key, failed set)`: same inputs, same shard; the result is always
+    /// a survivor; a healthy primary is never moved.
+    #[test]
+    fn failover_routing_is_deterministic_and_lands_on_survivors(
+        key in 0u64..u64::MAX,
+        fenced in prop::collection::vec((0u32..2).prop_map(|b| b == 1), 1..16),
+    ) {
+        let a = failover_shard(key, &fenced);
+        let b = failover_shard(key, &fenced);
+        prop_assert_eq!(a, b, "same failed set must give the same route");
+        match a {
+            Some(shard) => {
+                prop_assert!(!fenced[shard], "routed to a fenced shard");
+                let primary = shard_for(key, fenced.len());
+                if !fenced[primary] {
+                    prop_assert_eq!(shard, primary, "healthy-shard keys must never move");
+                }
+            }
+            None => prop_assert!(
+                fenced.iter().all(|&f| f),
+                "None is only legal when every shard is fenced"
+            ),
+        }
+    }
+
+    /// Fencing additional shards never disturbs keys whose primary is
+    /// still healthy — reroute churn is confined to the failed shards.
+    #[test]
+    fn healthy_primary_keys_are_stable_under_growing_failure(
+        key in 0u64..u64::MAX,
+        n in 1usize..16,
+        extra_fences in prop::collection::vec((0u32..2).prop_map(|b| b == 1), 16usize),
+    ) {
+        let primary = shard_for(key, n);
+        let healthy = vec![false; n];
+        prop_assert_eq!(failover_shard(key, &healthy), Some(primary));
+        // Keep the primary healthy, fence an arbitrary subset of others.
+        let mut grown: Vec<bool> = extra_fences.iter().copied().take(n).collect();
+        grown[primary] = false;
+        prop_assert_eq!(
+            failover_shard(key, &grown),
+            Some(primary),
+            "a healthy primary moved when other shards fenced"
+        );
+    }
+}

@@ -178,6 +178,34 @@ pub enum TelemetryEvent {
         /// Batches elapsed between deferral and delivery.
         lag: u64,
     },
+    /// The liveness watchdog declared a worker stalled: work was pending
+    /// and its heartbeat progress epoch did not advance within the
+    /// configured deadline.
+    WorkerStalled {
+        /// Last batch sequence number the worker completed before it
+        /// stopped making progress.
+        seq: u64,
+        /// Stage tag the worker last reported (e.g. `"train"`,
+        /// `"checkpoint"`, `"chaos-stall"`).
+        stage: &'static str,
+    },
+    /// A stalled worker was forcibly recovered through the
+    /// checkpoint-restore + journal-replay path.
+    WorkerRecovered {
+        /// Last batch sequence number completed before the stall.
+        seq: u64,
+        /// Total restarts so far, including this forced recovery.
+        restarts: u64,
+    },
+    /// A shard exhausted its restart budget and was fenced: its keys are
+    /// deterministically rerouted to surviving shards and its knowledge
+    /// sub-list stays readable for warm starts.
+    ShardFenced {
+        /// Batch sequence number current when the fence was raised.
+        seq: u64,
+        /// Index of the fenced shard.
+        shard: u64,
+    },
 }
 
 impl TelemetryEvent {
@@ -201,6 +229,9 @@ impl TelemetryEvent {
             TelemetryEvent::JournalTruncated { .. } => EventKind::JournalTruncated,
             TelemetryEvent::LabelDeferred { .. } => EventKind::LabelDeferred,
             TelemetryEvent::LabelArrived { .. } => EventKind::LabelArrived,
+            TelemetryEvent::WorkerStalled { .. } => EventKind::WorkerStalled,
+            TelemetryEvent::WorkerRecovered { .. } => EventKind::WorkerRecovered,
+            TelemetryEvent::ShardFenced { .. } => EventKind::ShardFenced,
         }
     }
 
@@ -222,7 +253,10 @@ impl TelemetryEvent {
             | TelemetryEvent::JournalReplayed { seq, .. }
             | TelemetryEvent::JournalTruncated { seq, .. }
             | TelemetryEvent::LabelDeferred { seq, .. }
-            | TelemetryEvent::LabelArrived { seq, .. } => Some(seq),
+            | TelemetryEvent::LabelArrived { seq, .. }
+            | TelemetryEvent::WorkerStalled { seq, .. }
+            | TelemetryEvent::WorkerRecovered { seq, .. }
+            | TelemetryEvent::ShardFenced { seq, .. } => Some(seq),
             TelemetryEvent::WorkerRestarted { .. } => None,
         }
     }
@@ -267,11 +301,17 @@ pub enum EventKind {
     LabelDeferred,
     /// See [`TelemetryEvent::LabelArrived`].
     LabelArrived,
+    /// See [`TelemetryEvent::WorkerStalled`].
+    WorkerStalled,
+    /// See [`TelemetryEvent::WorkerRecovered`].
+    WorkerRecovered,
+    /// See [`TelemetryEvent::ShardFenced`].
+    ShardFenced,
 }
 
 impl EventKind {
     /// Every kind, in counter-index order.
-    pub const ALL: [EventKind; 17] = [
+    pub const ALL: [EventKind; 20] = [
         EventKind::DriftDetected,
         EventKind::StrategyDispatched,
         EventKind::WindowEvicted,
@@ -289,6 +329,9 @@ impl EventKind {
         EventKind::JournalTruncated,
         EventKind::LabelDeferred,
         EventKind::LabelArrived,
+        EventKind::WorkerStalled,
+        EventKind::WorkerRecovered,
+        EventKind::ShardFenced,
     ];
 
     /// Variant name as it appears in serialized events.
@@ -311,6 +354,9 @@ impl EventKind {
             EventKind::JournalTruncated => "JournalTruncated",
             EventKind::LabelDeferred => "LabelDeferred",
             EventKind::LabelArrived => "LabelArrived",
+            EventKind::WorkerStalled => "WorkerStalled",
+            EventKind::WorkerRecovered => "WorkerRecovered",
+            EventKind::ShardFenced => "ShardFenced",
         }
     }
 
@@ -334,6 +380,9 @@ impl EventKind {
             EventKind::JournalTruncated => "journal_truncated",
             EventKind::LabelDeferred => "label_deferred",
             EventKind::LabelArrived => "label_arrived",
+            EventKind::WorkerStalled => "worker_stalled",
+            EventKind::WorkerRecovered => "worker_recovered",
+            EventKind::ShardFenced => "shard_fenced",
         }
     }
 
@@ -356,6 +405,9 @@ impl EventKind {
             EventKind::JournalTruncated => 14,
             EventKind::LabelDeferred => 15,
             EventKind::LabelArrived => 16,
+            EventKind::WorkerStalled => 17,
+            EventKind::WorkerRecovered => 18,
+            EventKind::ShardFenced => 19,
         }
     }
 }
